@@ -1,0 +1,105 @@
+// Command benchtables regenerates the evaluation tables of the paper
+// (Sect. 5) against the synthetic datasets:
+//
+//	benchtables -table 2          # SPARQLSIM vs. Ma et al. vs. HHK
+//	benchtables -table 3          # pruning effectiveness
+//	benchtables -table 4          # hash-join engine, full vs. pruned
+//	benchtables -table 5          # index-nested-loop engine
+//	benchtables -table iters      # SOI convergence shapes (§5.3)
+//	benchtables -table all
+//
+// Scale knobs: -universities (LUBM-like), -kgscale (DBpedia-like), -seed,
+// -repeats (timing repetitions, minimum is reported).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dualsim/internal/bench"
+	"dualsim/internal/engine"
+)
+
+func main() {
+	table := flag.String("table", "all", "table to regenerate: 2, 3, 4, 5, iters, orders, all")
+	universities := flag.Int("universities", 3, "LUBM-like scale (number of universities)")
+	kgScale := flag.Int("kgscale", 1, "DBpedia-like scale factor")
+	seed := flag.Int64("seed", 42, "generator seed")
+	repeats := flag.Int("repeats", 3, "timing repetitions (minimum reported)")
+	flag.Parse()
+
+	if err := run(*table, *universities, *kgScale, *seed, *repeats); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtables:", err)
+		os.Exit(1)
+	}
+}
+
+func run(table string, universities, kgScale int, seed int64, repeats int) error {
+	fmt.Printf("generating datasets (universities=%d, kgscale=%d, seed=%d)…\n",
+		universities, kgScale, seed)
+	d, err := bench.Setup(universities, kgScale, seed)
+	if err != nil {
+		return err
+	}
+	bench.DatasetSummary(os.Stdout, d)
+	fmt.Println()
+
+	want := func(t string) bool { return table == "all" || table == t }
+
+	if want("2") {
+		fmt.Println("Table 2: dual simulation runtimes, OPTIONAL-stripped B queries (seconds)")
+		rows, err := bench.Table2(d, repeats)
+		if err != nil {
+			return err
+		}
+		bench.RenderTable2(os.Stdout, rows)
+		fmt.Println()
+	}
+	if want("3") {
+		fmt.Println("Table 3: result sizes, required triples, SPARQLSIM runtime, triples after pruning")
+		rows, err := bench.Table3(d, repeats)
+		if err != nil {
+			return err
+		}
+		bench.RenderTable3(os.Stdout, rows)
+		fmt.Println()
+	}
+	if want("4") {
+		fmt.Println("Table 4: hash-join engine (in-memory-store stand-in), full vs. pruned (seconds)")
+		rows, err := bench.EngineComparison(d, engine.NewHashJoin(), repeats)
+		if err != nil {
+			return err
+		}
+		bench.RenderEngineTable(os.Stdout, rows)
+		fmt.Println()
+	}
+	if want("5") {
+		fmt.Println("Table 5: index-nested-loop engine (relational-store stand-in), full vs. pruned (seconds)")
+		rows, err := bench.EngineComparison(d, engine.NewIndexNL(), repeats)
+		if err != nil {
+			return err
+		}
+		bench.RenderEngineTable(os.Stdout, rows)
+		fmt.Println()
+	}
+	if want("iters") {
+		fmt.Println("SOI convergence shapes (§5.3): rounds per query")
+		rows, err := bench.IterationShapes(d)
+		if err != nil {
+			return err
+		}
+		bench.RenderIterations(os.Stdout, rows)
+		fmt.Println()
+	}
+	if want("orders") {
+		fmt.Println("Order-space search (§5.3 brute-force analysis), 40 random orders")
+		rows, err := bench.OrderSearch(d, 40, seed)
+		if err != nil {
+			return err
+		}
+		bench.RenderOrderSearch(os.Stdout, rows)
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,20 @@
+package main
+
+import "testing"
+
+// TestRunAllTablesTinyScale executes the full harness on a minimal
+// dataset to guard the cmd wiring end to end.
+func TestRunAllTablesTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if err := run("all", 1, 1, 7, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleTable(t *testing.T) {
+	if err := run("iters", 1, 1, 7, 1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunLUBM(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "lubm.nt")
+	if err := run("lubm", 1, 1, 7, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "ub:worksFor") {
+		t.Fatal("LUBM predicates missing from output")
+	}
+}
+
+func TestRunKG(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "kg.nt")
+	if err := run("kg", 1, 1, 7, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "dbo:director") {
+		t.Fatal("KG predicates missing from output")
+	}
+}
+
+func TestRunUnknownDataset(t *testing.T) {
+	if err := run("nope", 1, 1, 7, ""); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestRunBadPath(t *testing.T) {
+	if err := run("kg", 1, 1, 7, "/no/such/dir/out.nt"); err == nil {
+		t.Fatal("bad output path accepted")
+	}
+}

@@ -1,0 +1,188 @@
+// Command dualsim loads a graph database and processes a query with dual
+// simulation:
+//
+//	dualsim -data db.nt -q 'SELECT * WHERE { ?d <directed> ?m }'        # evaluate
+//	dualsim -data db.nt -query q.rq -prune                              # pruning stats
+//	dualsim -data db.nt -q '…' -mode simulate                           # candidate sets
+//	dualsim -data db.nt -q '…' -engine index -limit 20                  # results via index-NL engine
+//
+// Modes:
+//
+//	evaluate  (default) print the solution mappings
+//	simulate  print per-variable dual simulation candidate counts
+//	prune     print pruning statistics; with -out, dump the pruned store
+//	analyze   print the query's structural analysis (no -data needed)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dualsim"
+)
+
+func main() {
+	data := flag.String("data", "", "N-Triples database file (required)")
+	queryFile := flag.String("query", "", "query file")
+	queryText := flag.String("q", "", "inline query text")
+	mode := flag.String("mode", "evaluate", "evaluate, simulate or prune")
+	engineName := flag.String("engine", "hash", "hash or index")
+	limit := flag.Int("limit", 0, "print at most this many result rows (0 = all)")
+	out := flag.String("out", "", "prune mode: write the pruned store here")
+	doPrune := flag.Bool("prune", false, "evaluate on the pruned store instead of the full one")
+	flag.Parse()
+
+	if err := run(*data, *queryFile, *queryText, *mode, *engineName, *limit, *out, *doPrune); err != nil {
+		fmt.Fprintln(os.Stderr, "dualsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(data, queryFile, queryText, mode, engineName string, limit int, out string, doPrune bool) error {
+	src := queryText
+	if src == "" {
+		if queryFile == "" {
+			return fmt.Errorf("provide -q or -query")
+		}
+		b, err := os.ReadFile(queryFile)
+		if err != nil {
+			return err
+		}
+		src = string(b)
+	}
+	q, err := dualsim.ParseQuery(src)
+	if err != nil {
+		return err
+	}
+	if mode == "analyze" {
+		return runAnalyze(q)
+	}
+
+	if data == "" {
+		return fmt.Errorf("-data is required")
+	}
+	f, err := os.Open(data)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	start := time.Now()
+	st, err := dualsim.LoadNTriples(f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "loaded %d triples, %d nodes, %d predicates in %v\n",
+		st.NumTriples(), st.NumNodes(), st.NumPreds(), time.Since(start).Round(time.Millisecond))
+
+	kind := dualsim.HashJoin
+	switch engineName {
+	case "hash":
+	case "index":
+		kind = dualsim.IndexNL
+	default:
+		return fmt.Errorf("unknown engine %q (want hash or index)", engineName)
+	}
+
+	switch mode {
+	case "simulate":
+		return runSimulate(st, q)
+	case "prune":
+		return runPrune(st, q, out)
+	case "evaluate":
+		return runEvaluate(st, q, kind, limit, doPrune)
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+}
+
+func runAnalyze(q *dualsim.Query) error {
+	fmt.Printf("query: %s\n", q)
+	vars := dualsim.QueryVars(q)
+	mand := dualsim.MandatoryVars(q)
+	mandSet := make(map[string]bool, len(mand))
+	for _, v := range mand {
+		mandSet[v] = true
+	}
+	fmt.Printf("variables (%d):\n", len(vars))
+	for _, v := range vars {
+		role := "optional"
+		if mandSet[v] {
+			role = "mandatory"
+		}
+		fmt.Printf("  ?%-16s %s\n", v, role)
+	}
+	fmt.Printf("well-designed: %v\n", dualsim.IsWellDesigned(q))
+	return nil
+}
+
+func runSimulate(st *dualsim.Store, q *dualsim.Query) error {
+	start := time.Now()
+	rel, err := dualsim.DualSimulate(st, q, dualsim.Options{})
+	if err != nil {
+		return err
+	}
+	stats := rel.Stats()
+	fmt.Printf("largest dual simulation computed in %v (%d rounds, %d evaluations)\n",
+		time.Since(start).Round(time.Microsecond), stats.Rounds, stats.Evaluations)
+	for _, v := range dualsim.QueryVars(q) {
+		fmt.Printf("  ?%-20s %d candidates\n", v, rel.CandidateCount(v))
+	}
+	if rel.Empty() {
+		fmt.Println("the query is unsatisfiable (empty mandatory core)")
+	}
+	return nil
+}
+
+func runPrune(st *dualsim.Store, q *dualsim.Query, out string) error {
+	start := time.Now()
+	p, err := dualsim.Prune(st, q, dualsim.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pruning computed in %v\n", time.Since(start).Round(time.Microsecond))
+	fmt.Printf("  triples before: %d\n", p.Total())
+	fmt.Printf("  triples after:  %d\n", p.Kept())
+	fmt.Printf("  pruned:         %.2f%%\n", 100*p.Ratio())
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := dualsim.DumpNTriples(f, p.Store()); err != nil {
+			return err
+		}
+		fmt.Printf("  pruned store written to %s\n", out)
+	}
+	return nil
+}
+
+func runEvaluate(st *dualsim.Store, q *dualsim.Query, kind dualsim.EngineKind, limit int, doPrune bool) error {
+	target := st
+	if doPrune {
+		start := time.Now()
+		p, err := dualsim.Prune(st, q, dualsim.Options{})
+		if err != nil {
+			return err
+		}
+		target = p.Store()
+		fmt.Fprintf(os.Stderr, "pruned %d -> %d triples in %v\n",
+			p.Total(), p.Kept(), time.Since(start).Round(time.Microsecond))
+	}
+	start := time.Now()
+	res, err := dualsim.Evaluate(target, q, kind)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%d results in %v (%s engine)\n",
+		res.Len(), time.Since(start).Round(time.Microsecond), kind)
+	rows := res.Rows
+	if limit > 0 && len(rows) > limit {
+		rows = rows[:limit]
+	}
+	shown := &dualsim.Result{Vars: res.Vars, Rows: rows}
+	fmt.Print(shown.Format(st))
+	return nil
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dualsim"
+	"dualsim/internal/queries"
+)
+
+func fixture(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "fig1a.nt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	st, err := dualsim.FromTriples(queries.Fig1aTriples())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dualsim.DumpNTriples(f, st); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunEvaluateModes(t *testing.T) {
+	data := fixture(t)
+	for _, engine := range []string{"hash", "index"} {
+		if err := run(data, "", queries.QueryX1, "evaluate", engine, 1, "", false); err != nil {
+			t.Fatalf("engine %s: %v", engine, err)
+		}
+	}
+	// With pruning enabled.
+	if err := run(data, "", queries.QueryX2, "evaluate", "hash", 0, "", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSimulateMode(t *testing.T) {
+	data := fixture(t)
+	if err := run(data, "", queries.QueryX1, "simulate", "hash", 0, "", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPruneMode(t *testing.T) {
+	data := fixture(t)
+	out := filepath.Join(t.TempDir(), "pruned.nt")
+	if err := run(data, "", queries.QueryX1, "prune", "hash", 0, out, false); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	st, err := dualsim.LoadNTriples(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumTriples() != 4 {
+		t.Fatalf("pruned dump has %d triples, want 4", st.NumTriples())
+	}
+}
+
+func TestRunQueryFromFile(t *testing.T) {
+	data := fixture(t)
+	qf := filepath.Join(t.TempDir(), "q.rq")
+	if err := os.WriteFile(qf, []byte(queries.QueryX1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(data, qf, "", "evaluate", "hash", 0, "", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAnalyzeMode(t *testing.T) {
+	// analyze needs no data file.
+	if err := run("", "", queries.QueryX3, "analyze", "hash", 0, "", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	data := fixture(t)
+	cases := []struct {
+		name string
+		err  func() error
+	}{
+		{"missing data", func() error { return run("", "", queries.QueryX1, "evaluate", "hash", 0, "", false) }},
+		{"missing query", func() error { return run(data, "", "", "evaluate", "hash", 0, "", false) }},
+		{"bad engine", func() error { return run(data, "", queries.QueryX1, "evaluate", "nope", 0, "", false) }},
+		{"bad mode", func() error { return run(data, "", queries.QueryX1, "nope", "hash", 0, "", false) }},
+		{"bad query", func() error { return run(data, "", "SELECT", "evaluate", "hash", 0, "", false) }},
+		{"bad data path", func() error { return run("/no/such.nt", "", queries.QueryX1, "evaluate", "hash", 0, "", false) }},
+	}
+	for _, c := range cases {
+		if c.err() == nil {
+			t.Fatalf("%s: expected error", c.name)
+		}
+	}
+}

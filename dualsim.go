@@ -1,0 +1,254 @@
+// Package dualsim is a Go implementation of fast dual simulation
+// processing for graph database queries, reproducing Mennicke et al.,
+// "Fast Dual Simulation Processing of Graph Database Queries" (ICDE
+// 2019).
+//
+// Dual simulation is a relaxation of graph pattern matching: instead of
+// the homomorphic matches SPARQL computes, it relates every pattern node
+// to the set of database nodes that can mimic all of its incoming and
+// outgoing edges. The largest dual simulation is computable in polynomial
+// time and contains every homomorphic match, which makes it a sound and
+// aggressive pruning filter for query processing.
+//
+// The package exposes four layers:
+//
+//   - a graph database: an in-memory dictionary-encoded triple store with
+//     per-predicate indexes and adjacency bit-matrices
+//     (NewStore/LoadNTriples/FromTriples);
+//   - a SPARQL fragment: SELECT * queries over basic graph patterns with
+//     AND (.), OPTIONAL and UNION (ParseQuery), evaluated under the
+//     formal set semantics by two engines (Evaluate);
+//   - dual simulation: the system-of-inequalities solver computing the
+//     largest dual simulation of a query or a hand-built pattern graph
+//     (DualSimulate, NewPattern/SimulatePattern);
+//   - pruning: per-query database reduction (Prune) such that evaluating
+//     the query on the pruned store preserves every match.
+//
+// A minimal session:
+//
+//	st, _ := dualsim.LoadNTriples(file)
+//	q, _ := dualsim.ParseQuery(`SELECT * WHERE { ?d <directed> ?m . }`)
+//	pruned, _ := dualsim.Prune(st, q, dualsim.Options{})
+//	res, _ := dualsim.Evaluate(pruned.Store(), q, dualsim.HashJoin)
+package dualsim
+
+import (
+	"fmt"
+	"io"
+
+	"dualsim/internal/bitmat"
+	"dualsim/internal/core"
+	"dualsim/internal/engine"
+	"dualsim/internal/rdf"
+	"dualsim/internal/soi"
+	"dualsim/internal/sparql"
+	"dualsim/internal/storage"
+)
+
+// Store is the in-memory graph database (Definition 1): a finite set of
+// triples over disjoint object and literal universes, with per-predicate
+// indexes and lazily built adjacency bit-matrices.
+type Store = storage.Store
+
+// Triple is one RDF triple (s, p, o).
+type Triple = rdf.Triple
+
+// Term is an RDF term: an IRI (database object) or a literal.
+type Term = rdf.Term
+
+// IRI constructs an object term.
+func IRI(v string) Term { return rdf.NewIRI(v) }
+
+// Literal constructs a literal term.
+func Literal(v string) Term { return rdf.NewLiteral(v) }
+
+// T constructs an object-valued triple, TL a literal-valued one.
+func T(s, p, o string) Triple  { return rdf.T(s, p, o) }
+func TL(s, p, l string) Triple { return rdf.TL(s, p, l) }
+
+// NewStore returns an empty store; call Add/AddAll then Build.
+func NewStore() *Store { return storage.New() }
+
+// FromTriples builds a store from a triple slice.
+func FromTriples(ts []Triple) (*Store, error) { return storage.FromTriples(ts) }
+
+// LoadNTriples reads an N-Triples-style stream into a store.
+func LoadNTriples(r io.Reader) (*Store, error) {
+	ts, err := rdf.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return storage.FromTriples(ts)
+}
+
+// DumpNTriples writes the store's triples to w.
+func DumpNTriples(w io.Writer, st *Store) error {
+	return rdf.WriteAll(w, st.Triples())
+}
+
+// Query is a parsed SELECT * query.
+type Query = sparql.Query
+
+// ParseQuery parses the SPARQL fragment
+// `SELECT * WHERE { … }` with '.'-conjunction, OPTIONAL, UNION, groups,
+// variables, IRIs and literals.
+func ParseQuery(src string) (*Query, error) { return sparql.Parse(src) }
+
+// MustParseQuery is ParseQuery that panics on error (for fixtures).
+func MustParseQuery(src string) *Query { return sparql.MustParse(src) }
+
+// Result is a set of solution mappings.
+type Result = engine.Result
+
+// Unbound marks positions outside dom(µ) in result rows.
+const Unbound = engine.Unbound
+
+// EngineKind selects the evaluation engine.
+type EngineKind int
+
+const (
+	// HashJoin materializes triple patterns and hash-joins them in
+	// cardinality order (in-memory-store style).
+	HashJoin EngineKind = iota
+	// IndexNL uses greedy cost-based join ordering with index
+	// nested-loop extension (relational-store style).
+	IndexNL
+	// Reference is the executable denotational semantics — exponential,
+	// only for tiny stores and testing.
+	Reference
+)
+
+func (k EngineKind) engine() engine.Engine {
+	switch k {
+	case IndexNL:
+		return engine.NewIndexNL()
+	case Reference:
+		return engine.NewReference()
+	default:
+		return engine.NewHashJoin()
+	}
+}
+
+// String returns the engine's report name.
+func (k EngineKind) String() string { return k.engine().Name() }
+
+// Evaluate computes the solution mappings of q over st under the formal
+// set semantics.
+func Evaluate(st *Store, q *Query, kind EngineKind) (*Result, error) {
+	return kind.engine().Evaluate(st, q)
+}
+
+// Options configure the dual simulation solver (paper §3.3).
+type Options struct {
+	// Strategy selects the ×b evaluation: AutoStrategy (the popcount
+	// heuristic), RowWiseStrategy or ColWiseStrategy.
+	Strategy Strategy
+	// DeclarationOrder disables the sparsest-first inequality ordering.
+	DeclarationOrder bool
+	// PlainInit disables the summary-vector initialization (13).
+	PlainInit bool
+	// Compressed solves on gap-length encoded matrices.
+	Compressed bool
+	// ShortCircuit stops as soon as the query is proven unsatisfiable.
+	ShortCircuit bool
+	// Workers > 1 parallelizes the bit-matrix multiplications over that
+	// many goroutines.
+	Workers int
+}
+
+// Strategy selects the bit-matrix multiplication strategy.
+type Strategy int
+
+const (
+	// AutoStrategy picks row- or column-wise per evaluation by popcount.
+	AutoStrategy Strategy = iota
+	// RowWiseStrategy always unions matrix rows.
+	RowWiseStrategy
+	// ColWiseStrategy always probes candidate columns.
+	ColWiseStrategy
+)
+
+func (o Options) config() core.Config {
+	cfg := core.Config{
+		PlainInit:    o.PlainInit,
+		Compressed:   o.Compressed,
+		ShortCircuit: o.ShortCircuit,
+		Workers:      o.Workers,
+	}
+	switch o.Strategy {
+	case RowWiseStrategy:
+		cfg.Strategy = bitmat.RowWise
+	case ColWiseStrategy:
+		cfg.Strategy = bitmat.ColWise
+	}
+	if o.DeclarationOrder {
+		cfg.Order = soi.DeclarationOrder
+	}
+	return cfg
+}
+
+// Stats reports solver effort.
+type Stats struct {
+	// Rounds is the number of solver rounds ("iterations" in the paper).
+	Rounds int
+	// Evaluations counts individual inequality evaluations.
+	Evaluations int
+	// Updates counts evaluations that shrank a variable.
+	Updates int
+}
+
+// Relation is the largest dual simulation of a query: per original query
+// variable, the set of candidate database nodes (unioned over UNION
+// branches and optional copies).
+type Relation struct {
+	rel *core.QueryRelation
+	st  *Store
+}
+
+// Candidates returns the node set for a query variable as decoded terms.
+func (r *Relation) Candidates(varName string) []Term {
+	set := r.rel.VarSet(varName)
+	out := make([]Term, 0, set.Count())
+	set.ForEach(func(i int) bool {
+		out = append(out, r.st.Term(storage.NodeID(i)))
+		return true
+	})
+	return out
+}
+
+// CandidateCount returns |χS(v)| for a query variable.
+func (r *Relation) CandidateCount(varName string) int {
+	return r.rel.VarSet(varName).Count()
+}
+
+// Empty reports whether the query is unsatisfiable (every UNION branch
+// has an empty mandatory variable).
+func (r *Relation) Empty() bool { return r.rel.Empty() }
+
+// Stats returns aggregated solver statistics.
+func (r *Relation) Stats() Stats {
+	return Stats{
+		Rounds:      r.rel.Stats.Rounds,
+		Evaluations: r.rel.Stats.Evaluations,
+		Updates:     r.rel.Stats.Updates,
+	}
+}
+
+// DualSimulate computes the largest dual simulation between the query and
+// the store (Sect. 3–4 of the paper): a sound overapproximation of the
+// query's matches, per variable.
+func DualSimulate(st *Store, q *Query, opts Options) (*Relation, error) {
+	rel, err := core.QueryDualSimulation(st, q, opts.config())
+	if err != nil {
+		return nil, err
+	}
+	return &Relation{rel: rel, st: st}, nil
+}
+
+// errString guards exported wrappers against nil stores.
+func requireStore(st *Store) error {
+	if st == nil {
+		return fmt.Errorf("dualsim: nil store")
+	}
+	return nil
+}

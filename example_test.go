@@ -1,0 +1,96 @@
+package dualsim_test
+
+import (
+	"fmt"
+	"sort"
+
+	"dualsim"
+)
+
+// movieGraph is the running example of the paper (Fig. 1(a), abridged).
+func movieGraph() *dualsim.Store {
+	st, err := dualsim.FromTriples([]dualsim.Triple{
+		dualsim.T("B._De_Palma", "directed", "Mission:_Impossible"),
+		dualsim.T("B._De_Palma", "worked_with", "D._Koepp"),
+		dualsim.T("G._Hamilton", "directed", "Goldfinger"),
+		dualsim.T("G._Hamilton", "worked_with", "H._Saltzman"),
+		dualsim.T("T._Young", "directed", "From_Russia_with_Love"),
+		dualsim.T("D._Koepp", "directed", "Mortdecai"),
+	})
+	if err != nil {
+		panic(err)
+	}
+	return st
+}
+
+// ExampleDualSimulate computes the candidate sets of the paper's query
+// (X1): directors with a movie and a coworker.
+func ExampleDualSimulate() {
+	st := movieGraph()
+	q := dualsim.MustParseQuery(`SELECT * WHERE {
+	  ?director <directed> ?movie .
+	  ?director <worked_with> ?coworker . }`)
+
+	rel, _ := dualsim.DualSimulate(st, q, dualsim.Options{})
+	var names []string
+	for _, t := range rel.Candidates("director") {
+		names = append(names, t.Value)
+	}
+	sort.Strings(names)
+	fmt.Println(names)
+	// Output: [B._De_Palma G._Hamilton]
+}
+
+// ExamplePrune reduces the database to the triples that can participate
+// in a match.
+func ExamplePrune() {
+	st := movieGraph()
+	q := dualsim.MustParseQuery(`SELECT * WHERE {
+	  ?director <directed> ?movie .
+	  ?director <worked_with> ?coworker . }`)
+
+	p, _ := dualsim.Prune(st, q, dualsim.Options{})
+	fmt.Printf("%d of %d triples survive\n", p.Kept(), p.Total())
+
+	full, _ := dualsim.Evaluate(st, q, dualsim.HashJoin)
+	pruned, _ := dualsim.Evaluate(p.Store(), q, dualsim.HashJoin)
+	fmt.Println("identical results:", full.Equal(pruned))
+	// Output:
+	// 4 of 6 triples survive
+	// identical results: true
+}
+
+// ExampleEvaluate runs an OPTIONAL query under the formal set semantics.
+func ExampleEvaluate() {
+	st := movieGraph()
+	q := dualsim.MustParseQuery(`SELECT * WHERE {
+	  ?director <directed> ?movie .
+	  OPTIONAL { ?director <worked_with> ?coworker . } }`)
+
+	res, _ := dualsim.Evaluate(st, q, dualsim.IndexNL)
+	fmt.Println("rows:", res.Len())
+	// Output: rows: 4
+}
+
+// ExampleSimulatePattern uses the pattern-graph API directly, without
+// SPARQL.
+func ExampleSimulatePattern() {
+	st := movieGraph()
+	p := dualsim.NewPattern().
+		Edge("director", "directed", "movie").
+		Edge("director", "worked_with", "coworker")
+
+	rel, _ := dualsim.SimulatePattern(st, p, dualsim.Options{})
+	fmt.Println("movies:", len(rel.Candidates("movie")))
+	// Output: movies: 2
+}
+
+// ExampleIsWellDesigned classifies the paper's example queries.
+func ExampleIsWellDesigned() {
+	x2 := dualsim.MustParseQuery(`SELECT * WHERE {
+	  ?d <directed> ?m OPTIONAL { ?d <worked_with> ?c } }`)
+	x3 := dualsim.MustParseQuery(`SELECT * WHERE {
+	  { { ?v1 <a> ?v2 } OPTIONAL { ?v3 <b> ?v2 } } { ?v3 <c> ?v4 } }`)
+	fmt.Println(dualsim.IsWellDesigned(x2), dualsim.IsWellDesigned(x3))
+	// Output: true false
+}

@@ -1,0 +1,84 @@
+// Lubm reproduces the paper's §5.3 discussion on the LUBM-like dataset:
+// the cyclic queries L0 and L1 (mandatory cores exactly as in Fig. 6),
+// their SOI convergence behaviour, and L1's dual-simulation
+// over-retention — leftover triples far exceeding the required ones,
+// caused by the counterexample effect of Sect. 4.1.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dualsim"
+)
+
+// L0: the advisor/teacher/assistant triangle of Fig. 6(a).
+const queryL0 = `SELECT * WHERE {
+  ?student <ub:advisor> ?professor .
+  ?professor <ub:teacherOf> ?course .
+  ?student <ub:teachingAssistantOf> ?course . }`
+
+// L1: the publication constellation of Fig. 6(b).
+const queryL1 = `SELECT * WHERE {
+  ?publication <rdf:type> <ub:Publication> .
+  ?publication <ub:publicationAuthor> ?student .
+  ?publication <ub:publicationAuthor> ?professor .
+  ?student <ub:degreeFrom> ?university .
+  ?professor <ub:worksFor> ?department .
+  ?student <ub:memberOf> ?department .
+  ?department <ub:subOrganizationOf> ?university . }`
+
+func main() {
+	st, err := dualsim.GenerateLUBMStore(8, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("LUBM-like store: %d triples, %d nodes, %d predicates\n\n",
+		st.NumTriples(), st.NumNodes(), st.NumPreds())
+
+	for _, entry := range []struct{ id, text string }{
+		{"L0 (Fig. 6a triangle)", queryL0},
+		{"L1 (Fig. 6b publication cycle)", queryL1},
+	} {
+		q := dualsim.MustParseQuery(entry.text)
+
+		t0 := time.Now()
+		rel, err := dualsim.DualSimulate(st, q, dualsim.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		simTime := time.Since(t0)
+		stats := rel.Stats()
+
+		p, err := dualsim.Prune(st, q, dualsim.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		req, err := dualsim.RequiredTriples(st, q, dualsim.HashJoin)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := dualsim.Evaluate(st, q, dualsim.HashJoin)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%s\n", entry.id)
+		fmt.Printf("  SOI solved in %v: %d rounds, %d evaluations, %d updates\n",
+			simTime.Round(time.Microsecond), stats.Rounds, stats.Evaluations, stats.Updates)
+		fmt.Printf("  results:             %d\n", res.Len())
+		fmt.Printf("  required triples:    %d\n", req)
+		fmt.Printf("  triples aft pruning: %d (%.2f%% pruned)\n",
+			p.Kept(), 100*p.Ratio())
+		if req > 0 {
+			fmt.Printf("  over-retention:      %.1fx\n", float64(p.Kept())/float64(req))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("The L1 over-retention illustrates Sect. 4.1: dual simulation keeps")
+	fmt.Println("students whose degree university and department mimic a match through")
+	fmt.Println("*different* publications — non-transitive relationships appearing")
+	fmt.Println("transitive under dual simulation.")
+}

@@ -1,0 +1,111 @@
+package dualsim
+
+import (
+	"dualsim/internal/core"
+	"dualsim/internal/partition"
+	"dualsim/internal/storage"
+	"dualsim/internal/strongsim"
+)
+
+// This file exposes the two extension subsystems: strong simulation
+// (Ma et al.'s topology-capturing notion, the origin of the paper's
+// baseline) and the dual-simulation fingerprint index sketched in the
+// paper's related-work section.
+
+// StrongMatch is one strong simulation match: a center node whose
+// diameter-bounded ball dual-simulates the whole pattern.
+type StrongMatch struct {
+	Center Term
+	// Candidates per pattern variable, restricted to the ball.
+	Candidates map[string][]Term
+}
+
+// StrongSimulate computes the strong simulation matches of a pattern:
+// dual simulation confined to diameter-bounded balls. Unlike plain dual
+// simulation it rejects nodes that only mimic the pattern through
+// far-apart fragments (the paper's Fig. 4 counterexample).
+func StrongSimulate(st *Store, p *Pattern) ([]StrongMatch, error) {
+	if err := requireStore(st); err != nil {
+		return nil, err
+	}
+	res := strongsim.MatchPattern(st, p.p)
+	var out []StrongMatch
+	for _, m := range res.Matches {
+		sm := StrongMatch{
+			Center:     st.Term(m.Center),
+			Candidates: make(map[string][]Term),
+		}
+		for i, pv := range p.p.Vars() {
+			nodes := make([]storage.NodeID, 0, len(m.Sim[i]))
+			for n := range m.Sim[i] {
+				nodes = append(nodes, n)
+			}
+			sortNodeIDs(nodes)
+			terms := make([]Term, len(nodes))
+			for j, n := range nodes {
+				terms[j] = st.Term(n)
+			}
+			sm.Candidates[pv.Name] = terms
+		}
+		out = append(out, sm)
+	}
+	return out, nil
+}
+
+func sortNodeIDs(ns []storage.NodeID) {
+	for i := 1; i < len(ns); i++ {
+		for j := i; j > 0 && ns[j-1] > ns[j]; j-- {
+			ns[j-1], ns[j] = ns[j], ns[j-1]
+		}
+	}
+}
+
+// Fingerprint is a condensed stand-in for a store: nodes are k-bounded
+// bisimulation equivalence classes, edges connect classes. Dual
+// simulation on the fingerprint over-approximates dual simulation on the
+// original — a sound first pruning stage with a far smaller input.
+type Fingerprint struct {
+	sum *partition.Summary
+	st  *Store
+}
+
+// BuildFingerprint refines the store's nodes into k-bounded bisimulation
+// classes (k < 0 refines to the fixpoint) and condenses the store.
+func BuildFingerprint(st *Store, k int) (*Fingerprint, error) {
+	if err := requireStore(st); err != nil {
+		return nil, err
+	}
+	part := partition.Refine(st, k)
+	sum, err := partition.Fingerprint(st, part)
+	if err != nil {
+		return nil, err
+	}
+	return &Fingerprint{sum: sum, st: st}, nil
+}
+
+// Blocks returns the number of equivalence classes.
+func (f *Fingerprint) Blocks() int { return f.sum.Part.Blocks }
+
+// Triples returns the summary-graph size.
+func (f *Fingerprint) Triples() int { return f.sum.Store.NumTriples() }
+
+// CompressionRatio returns summary triples / original triples.
+func (f *Fingerprint) CompressionRatio() float64 {
+	return f.sum.CompressionRatio(f.st)
+}
+
+// CandidateCount returns, for a pattern variable, how many original
+// nodes the fingerprint-level dual simulation admits — always at least
+// the exact count (soundness), usually far fewer than the store size.
+func (f *Fingerprint) CandidateCount(p *Pattern, varName string) int {
+	lifted := f.sum.LiftedCandidates(f.st, p.p)
+	i, ok := indexOfVar(p.p, varName)
+	if !ok {
+		return 0
+	}
+	return len(lifted[i])
+}
+
+func indexOfVar(p *core.Pattern, name string) (int, bool) {
+	return p.VarIndex(name)
+}

@@ -1,0 +1,29 @@
+package dualsim
+
+import (
+	"dualsim/internal/datagen"
+)
+
+// GenerateLUBM synthesizes the LUBM-like benchmark dataset (Lehigh
+// University Benchmark shape: 18 predicates, structurally repetitive) at
+// the given scale, deterministically in the seed.
+func GenerateLUBM(universities int, seed int64) []Triple {
+	return datagen.LUBM(datagen.DefaultLUBM(universities, seed))
+}
+
+// GenerateLUBMStore generates and loads the LUBM-like dataset.
+func GenerateLUBMStore(universities int, seed int64) (*Store, error) {
+	return datagen.LUBMStore(datagen.DefaultLUBM(universities, seed))
+}
+
+// GenerateKG synthesizes the DBpedia-like knowledge graph (Zipfian
+// predicate distribution, typed entities) at the given scale,
+// deterministically in the seed.
+func GenerateKG(scale int, seed int64) []Triple {
+	return datagen.KG(datagen.DefaultKG(scale, seed))
+}
+
+// GenerateKGStore generates and loads the DBpedia-like dataset.
+func GenerateKGStore(scale int, seed int64) (*Store, error) {
+	return datagen.KGStore(datagen.DefaultKG(scale, seed))
+}

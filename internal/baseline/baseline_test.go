@@ -1,0 +1,288 @@
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dualsim/internal/core"
+	"dualsim/internal/rdf"
+	"dualsim/internal/storage"
+)
+
+func mustStore(t *testing.T, ts []rdf.Triple) *storage.Store {
+	t.Helper()
+	st, err := storage.FromTriples(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// fig4 is the counterexample database of the paper's Fig. 4(b).
+func fig4(t *testing.T) *storage.Store {
+	return mustStore(t, []rdf.Triple{
+		rdf.T("p1", "knows", "p2"),
+		rdf.T("p2", "knows", "p1"),
+		rdf.T("p2", "knows", "p3"),
+		rdf.T("p3", "knows", "p2"),
+		rdf.T("p3", "knows", "p4"),
+		rdf.T("p4", "knows", "p1"),
+	})
+}
+
+func twoCycle() *core.Pattern {
+	p := core.NewPattern()
+	p.Edge("v", "knows", "w")
+	p.Edge("w", "knows", "v")
+	return p
+}
+
+func TestMaFig4(t *testing.T) {
+	st := fig4(t)
+	res := MaEtAl(st, twoCycle())
+	if len(res.Sim[0]) != 4 || len(res.Sim[1]) != 4 {
+		t.Fatalf("sim sizes = %d/%d, want 4/4", len(res.Sim[0]), len(res.Sim[1]))
+	}
+	if res.Iterations < 1 {
+		t.Fatal("no iterations counted")
+	}
+	if err := twoCycle().VerifyDualSimulation(st, res.Sim); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHHKFig4(t *testing.T) {
+	st := fig4(t)
+	res := HHK(st, twoCycle())
+	if len(res.Sim[0]) != 4 || len(res.Sim[1]) != 4 {
+		t.Fatalf("sim sizes = %d/%d, want 4/4", len(res.Sim[0]), len(res.Sim[1]))
+	}
+	if err := twoCycle().VerifyDualSimulation(st, res.Sim); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaUnknownPredicate(t *testing.T) {
+	st := fig4(t)
+	p := core.NewPattern()
+	p.Edge("a", "nope", "b")
+	res := MaEtAl(st, p)
+	if len(res.Sim[0]) != 0 || len(res.Sim[1]) != 0 {
+		t.Fatal("unknown predicate must empty the relation")
+	}
+}
+
+func TestHHKUnknownPredicate(t *testing.T) {
+	st := fig4(t)
+	p := core.NewPattern()
+	p.Edge("a", "nope", "b")
+	res := HHK(st, p)
+	if len(res.Sim[0]) != 0 || len(res.Sim[1]) != 0 {
+		t.Fatal("unknown predicate must empty the relation")
+	}
+}
+
+func TestConstantsRespected(t *testing.T) {
+	st := mustStore(t, []rdf.Triple{
+		rdf.T("a", "p", "b"),
+		rdf.T("c", "p", "d"),
+	})
+	pat := core.NewPattern()
+	pat.Edge("x", "p", "y")
+	pat.Bind("x", rdf.NewIRI("a"))
+	for algo, run := range algorithms() {
+		res := run(st, pat)
+		xi, _ := pat.VarIndex("x")
+		yi, _ := pat.VarIndex("y")
+		aID, _ := st.TermID(rdf.NewIRI("a"))
+		bID, _ := st.TermID(rdf.NewIRI("b"))
+		if len(res.Sim[xi]) != 1 || !res.Sim[xi][aID] {
+			t.Fatalf("%s: x = %v, want {a}", algo, res.Sim[xi])
+		}
+		if len(res.Sim[yi]) != 1 || !res.Sim[yi][bID] {
+			t.Fatalf("%s: y = %v, want {b}", algo, res.Sim[yi])
+		}
+	}
+}
+
+func algorithms() map[string]func(*storage.Store, *core.Pattern) *Result {
+	return map[string]func(*storage.Store, *core.Pattern) *Result{
+		"ma":  MaEtAl,
+		"hhk": HHK,
+	}
+}
+
+// randomStore draws a random labeled data graph.
+func randomStore(r *rand.Rand, maxNodes, maxPreds, maxEdges int) *storage.Store {
+	n := r.Intn(maxNodes) + 2
+	p := r.Intn(maxPreds) + 1
+	e := r.Intn(maxEdges) + 1
+	st := storage.New()
+	for i := 0; i < e; i++ {
+		s := fmt.Sprintf("n%d", r.Intn(n))
+		o := fmt.Sprintf("n%d", r.Intn(n))
+		pr := fmt.Sprintf("p%d", r.Intn(p))
+		if err := st.Add(rdf.T(s, pr, o)); err != nil {
+			panic(err)
+		}
+	}
+	st.Build()
+	return st
+}
+
+// randomPattern draws a small random pattern over the same label space.
+func randomPattern(r *rand.Rand, maxVars, maxPreds, maxEdges int) *core.Pattern {
+	p := core.NewPattern()
+	nv := r.Intn(maxVars) + 1
+	ne := r.Intn(maxEdges) + 1
+	for i := 0; i < ne; i++ {
+		from := fmt.Sprintf("v%d", r.Intn(nv))
+		to := fmt.Sprintf("v%d", r.Intn(nv))
+		pred := fmt.Sprintf("p%d", r.Intn(maxPreds))
+		p.Edge(from, pred, to)
+	}
+	return p
+}
+
+// TestPropertyAllAlgorithmsAgree is the central equivalence invariant: the
+// SOI solver, Ma et al. and HHK compute the same largest dual simulation.
+func TestPropertyAllAlgorithmsAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		st := randomStore(r, 25, 3, 60)
+		pat := randomPattern(r, 4, 3, 5)
+
+		soiRel := core.DualSimulation(st, pat, core.Config{})
+		soiSets := soiRel.Sets()
+		ma := MaEtAl(st, pat)
+		hhk := HHK(st, pat)
+
+		for i := range soiSets {
+			if !sameSet(soiSets[i], ma.Sim[i]) || !sameSet(soiSets[i], hhk.Sim[i]) {
+				t.Logf("seed %d var %d: soi=%v ma=%v hhk=%v",
+					seed, i, soiSets[i], ma.Sim[i], hhk.Sim[i])
+				return false
+			}
+		}
+		// And the agreed relation is a dual simulation per Definition 2.
+		return pat.VerifyDualSimulation(st, soiSets) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyMaximality: adding any disqualified pair to the computed
+// relation breaks Definition 2 (restricted to patterns without isolated
+// variables to keep the check meaningful).
+func TestPropertyMaximality(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		st := randomStore(r, 15, 2, 40)
+		pat := randomPattern(r, 3, 2, 4)
+		res := MaEtAl(st, pat)
+
+		// Pick a handful of rejected pairs and check each breaks Def. 2.
+		for trial := 0; trial < 5; trial++ {
+			v := r.Intn(pat.NumVars())
+			n := storage.NodeID(r.Intn(st.NumNodes()))
+			if res.Sim[v][n] {
+				continue
+			}
+			extended := make([]map[storage.NodeID]bool, len(res.Sim))
+			for i, s := range res.Sim {
+				extended[i] = make(map[storage.NodeID]bool, len(s)+1)
+				for k := range s {
+					extended[i][k] = true
+				}
+			}
+			extended[v][n] = true
+			if pat.VerifyDualSimulation(st, extended) == nil {
+				// The extension is still a dual simulation — the computed
+				// relation was not maximal.
+				t.Logf("seed %d: var %d node %d extends the relation", seed, v, n)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyHomomorphicMatchesContained is Theorem 1: every homomorphic
+// match is inside the largest dual simulation. Matches are enumerated by
+// brute force.
+func TestPropertyHomomorphicMatchesContained(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		st := randomStore(r, 12, 2, 30)
+		pat := randomPattern(r, 3, 2, 3)
+		rel := core.DualSimulation(st, pat, core.Config{})
+		sets := rel.Sets()
+
+		ok := true
+		forEachMatch(st, pat, func(assign []storage.NodeID) {
+			for v, n := range assign {
+				if !sets[v][n] {
+					ok = false
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// forEachMatch enumerates all homomorphic matches of pat by brute force.
+func forEachMatch(st *storage.Store, pat *core.Pattern, fn func([]storage.NodeID)) {
+	assign := make([]storage.NodeID, pat.NumVars())
+	var rec func(v int)
+	rec = func(v int) {
+		if v == pat.NumVars() {
+			fn(append([]storage.NodeID(nil), assign...))
+			return
+		}
+		for n := 0; n < st.NumNodes(); n++ {
+			assign[v] = storage.NodeID(n)
+			if pv := pat.Vars()[v]; pv.Const != nil {
+				id, ok := st.TermID(*pv.Const)
+				if !ok || id != assign[v] {
+					continue
+				}
+			}
+			ok := true
+			for _, e := range pat.Edges() {
+				if e.From > v || e.To > v {
+					continue
+				}
+				pid, has := st.PredIDOf(e.Pred)
+				if !has || !st.HasTriple(assign[e.From], pid, assign[e.To]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				rec(v + 1)
+			}
+		}
+	}
+	rec(0)
+}
+
+func sameSet(a, b map[storage.NodeID]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,93 @@
+package baseline
+
+import (
+	"dualsim/internal/core"
+	"dualsim/internal/storage"
+)
+
+// Simulation computes the largest plain (forward-only) simulation: only
+// condition (i) of Definition 2 is enforced — every candidate must mimic
+// the pattern node's outgoing edges, incoming edges are ignored. This is
+// the classical graph simulation used, e.g., by PANDA's pruning (related
+// work, Sect. 6); the paper argues dual simulation prunes strictly more.
+// The containment χ_dual(v) ⊆ χ_sim(v) is property-tested.
+func Simulation(st *storage.Store, p *core.Pattern) *Result {
+	res := &Result{Sim: forwardCandidates(st, p)}
+	for {
+		res.Iterations++
+		changed := false
+		for _, e := range p.Edges() {
+			pid, ok := st.PredIDOf(e.Pred)
+			if !ok {
+				if len(res.Sim[e.From]) > 0 {
+					res.Sim[e.From] = map[storage.NodeID]bool{}
+					changed = true
+				}
+				continue
+			}
+			for v := range res.Sim[e.From] {
+				res.Checks++
+				if !anySupported(st.Objects(pid, v), res.Sim[e.To]) {
+					delete(res.Sim[e.From], v)
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return res
+		}
+	}
+}
+
+// forwardCandidates seeds sim(v) with every node supporting v's outgoing
+// edge labels only (plus constants); nodes lacking required incoming
+// edges stay in — simulation does not look backwards.
+func forwardCandidates(st *storage.Store, p *core.Pattern) []map[storage.NodeID]bool {
+	sim := make([]map[storage.NodeID]bool, p.NumVars())
+	for i, pv := range p.Vars() {
+		if pv.Const == nil {
+			continue
+		}
+		sim[i] = map[storage.NodeID]bool{}
+		if id, ok := st.TermID(*pv.Const); ok {
+			sim[i][id] = true
+		}
+	}
+	constrain := func(v int, allowed map[storage.NodeID]bool) {
+		if sim[v] == nil {
+			cp := make(map[storage.NodeID]bool, len(allowed))
+			for k := range allowed {
+				cp[k] = true
+			}
+			sim[v] = cp
+			return
+		}
+		for k := range sim[v] {
+			if !allowed[k] {
+				delete(sim[v], k)
+			}
+		}
+	}
+	for _, e := range p.Edges() {
+		pid, ok := st.PredIDOf(e.Pred)
+		if !ok {
+			sim[e.From] = map[storage.NodeID]bool{}
+			continue
+		}
+		subs := make(map[storage.NodeID]bool)
+		st.ForEachPair(pid, func(s, o storage.NodeID) bool {
+			subs[s] = true
+			return true
+		})
+		constrain(e.From, subs)
+	}
+	for i := range sim {
+		if sim[i] == nil {
+			sim[i] = make(map[storage.NodeID]bool, st.NumNodes())
+			for n := 0; n < st.NumNodes(); n++ {
+				sim[i][storage.NodeID(n)] = true
+			}
+		}
+	}
+	return sim
+}

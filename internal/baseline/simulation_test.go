@@ -1,0 +1,120 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dualsim/internal/core"
+	"dualsim/internal/rdf"
+	"dualsim/internal/storage"
+)
+
+// TestSimulationIgnoresBackwardEdges: plain simulation keeps nodes that
+// dual simulation rejects for lacking incoming support.
+func TestSimulationIgnoresBackwardEdges(t *testing.T) {
+	// b -p-> c and x -p-> c: pattern ?v -p-> ?w.
+	// For ?w, simulation keeps any node with *some* p-predecessor — but
+	// also nodes with none? No: simulation constrains only ?v (outgoing).
+	// ?w keeps ALL nodes, since it has no outgoing pattern edge.
+	st, err := storage.FromTriples([]rdf.Triple{
+		rdf.T("b", "p", "c"),
+		rdf.T("x", "q", "y"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat := core.NewPattern()
+	pat.Edge("v", "p", "w")
+
+	sim := Simulation(st, pat)
+	dual := MaEtAl(st, pat)
+
+	vi, _ := pat.VarIndex("v")
+	wi, _ := pat.VarIndex("w")
+	if len(sim.Sim[vi]) != 1 {
+		t.Fatalf("sim(v) = %v, want {b}", sim.Sim[vi])
+	}
+	// Simulation leaves w unconstrained (no outgoing edge from w).
+	if len(sim.Sim[wi]) != st.NumNodes() {
+		t.Fatalf("sim(w) = %d nodes, want all %d", len(sim.Sim[wi]), st.NumNodes())
+	}
+	// Dual simulation pins w to {c} via the backward condition.
+	if len(dual.Sim[wi]) != 1 {
+		t.Fatalf("dual(w) = %v, want {c}", dual.Sim[wi])
+	}
+}
+
+// TestPropertyDualRefinesSimulation: the largest dual simulation is
+// contained in the largest plain simulation, variable by variable.
+func TestPropertyDualRefinesSimulation(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		st := randomStore(r, 20, 3, 50)
+		pat := randomPattern(r, 4, 3, 5)
+		dual := MaEtAl(st, pat)
+		sim := Simulation(st, pat)
+		for i := range dual.Sim {
+			for n := range dual.Sim[i] {
+				if !sim.Sim[i][n] {
+					t.Logf("seed %d: dual kept %d for var %d, simulation did not", seed, n, i)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertySimulationSatisfiesForwardCondition: the result satisfies
+// Definition 2(i).
+func TestPropertySimulationSatisfiesForwardCondition(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		st := randomStore(r, 15, 2, 40)
+		pat := randomPattern(r, 3, 2, 4)
+		res := Simulation(st, pat)
+		for _, e := range pat.Edges() {
+			pid, ok := st.PredIDOf(e.Pred)
+			if !ok {
+				continue
+			}
+			for v := range res.Sim[e.From] {
+				if !anySupported(st.Objects(pid, v), res.Sim[e.To]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulationUnknownPredicate(t *testing.T) {
+	st := fig4(t)
+	pat := core.NewPattern()
+	pat.Edge("a", "nope", "b")
+	res := Simulation(st, pat)
+	ai, _ := pat.VarIndex("a")
+	if len(res.Sim[ai]) != 0 {
+		t.Fatal("unknown predicate must empty the subject side")
+	}
+}
+
+func TestSimulationConstants(t *testing.T) {
+	st := fig4(t)
+	pat := core.NewPattern()
+	pat.Edge("x", "knows", "y")
+	pat.Bind("x", rdf.NewIRI("p1"))
+	res := Simulation(st, pat)
+	xi, _ := pat.VarIndex("x")
+	p1, _ := st.TermID(rdf.NewIRI("p1"))
+	if len(res.Sim[xi]) != 1 || !res.Sim[xi][p1] {
+		t.Fatalf("sim(x) = %v", res.Sim[xi])
+	}
+}

@@ -1,0 +1,311 @@
+// Package bitmat implements the per-label adjacency bit-matrices of the
+// paper's Sect. 3.2 and the bit-matrix multiplication ×b that powers the
+// system-of-inequalities solver:
+//
+//	(x ×b A)(j) = 1  iff  ∃i : x(i) = 1 ∧ A(i,j) = 1
+//
+// For every label a of the graph database, the forward map F_a and the
+// backward map B_a are materialized as matrices; B_a is the transpose of
+// F_a. The multiplication is available in two evaluation strategies
+// (§3.3):
+//
+//   - row-wise: union the rows of A indexed by the set bits of x;
+//   - column-wise: for each candidate column j, test whether column j of A
+//     (= row j of Aᵀ) intersects x.
+//
+// The solver picks between the two per evaluation based on population
+// counts; Pair bundles a matrix with its transpose so both strategies are
+// always available.
+//
+// Matrices are stored sparsely. Two encodings implement the Mat interface:
+// CSR (sorted adjacency rows, the default working encoding) and Compressed
+// (gap-length encoded rows, the paper's at-rest encoding, cf. §5.1).
+package bitmat
+
+import (
+	"fmt"
+	"sort"
+
+	"dualsim/internal/bitvec"
+)
+
+// Mat is a boolean matrix with enough structure to run both ×b strategies.
+// Rows and columns range over [0, Dim()); all implementations are immutable
+// after construction and safe for concurrent reads.
+type Mat interface {
+	// Dim returns the number of rows (= columns; matrices are square over
+	// the node universe).
+	Dim() int
+	// NNZ returns the number of set cells, i.e. the number of a-labeled
+	// edges.
+	NNZ() int
+	// UnionRows ORs every row indexed by a set bit of x into dst:
+	// dst ∨= ⋃_{i ∈ x} A(i,·). This is the row-wise ×b kernel.
+	UnionRows(x, dst *bitvec.Vector)
+	// RowIntersects reports whether row i shares a set bit with x. Applied
+	// to the transpose it is the column-wise ×b kernel (equation (4)).
+	RowIntersects(i int, x *bitvec.Vector) bool
+	// NonEmptyRows returns the summary vector with bit i set iff row i has
+	// any set cell — f_a (resp. b_a for the transpose) of inequality (13).
+	// The returned vector is shared; callers must not modify it.
+	NonEmptyRows() *bitvec.Vector
+	// NonEmptyRowCount returns NonEmptyRows().Count() without recounting.
+	NonEmptyRowCount() int
+}
+
+// CSR is a compressed-sparse-row boolean matrix: row i holds the sorted
+// column indices of its set cells.
+type CSR struct {
+	n        int
+	ptr      []uint32
+	cols     []uint32
+	summary  *bitvec.Vector
+	nonEmpty int
+}
+
+// Cell is one set matrix cell (an edge endpoint pair).
+type Cell struct{ Row, Col uint32 }
+
+// NewCSR builds a CSR matrix of dimension n from the given cells.
+// Duplicate cells are collapsed.
+func NewCSR(n int, cells []Cell) *CSR {
+	for _, c := range cells {
+		if int(c.Row) >= n || int(c.Col) >= n {
+			panic(fmt.Sprintf("bitmat: cell (%d,%d) out of range for dim %d", c.Row, c.Col, n))
+		}
+	}
+	sorted := make([]Cell, len(cells))
+	copy(sorted, cells)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Row != sorted[j].Row {
+			return sorted[i].Row < sorted[j].Row
+		}
+		return sorted[i].Col < sorted[j].Col
+	})
+	// Dedup in place.
+	uniq := sorted[:0]
+	for i, c := range sorted {
+		if i == 0 || c != sorted[i-1] {
+			uniq = append(uniq, c)
+		}
+	}
+
+	m := &CSR{n: n, ptr: make([]uint32, n+1), cols: make([]uint32, len(uniq))}
+	for i, c := range uniq {
+		m.ptr[c.Row+1]++
+		m.cols[i] = c.Col
+	}
+	for i := 1; i <= n; i++ {
+		m.ptr[i] += m.ptr[i-1]
+	}
+	m.summary = bitvec.New(n)
+	for i := 0; i < n; i++ {
+		if m.ptr[i+1] > m.ptr[i] {
+			m.summary.Set(i)
+			m.nonEmpty++
+		}
+	}
+	return m
+}
+
+// Dim implements Mat.
+func (m *CSR) Dim() int { return m.n }
+
+// NNZ implements Mat.
+func (m *CSR) NNZ() int { return len(m.cols) }
+
+// Row returns the sorted column indices of row i. The slice is shared.
+func (m *CSR) Row(i int) []uint32 { return m.cols[m.ptr[i]:m.ptr[i+1]] }
+
+// UnionRows implements Mat.
+func (m *CSR) UnionRows(x, dst *bitvec.Vector) {
+	x.ForEach(func(i int) bool {
+		for _, j := range m.Row(i) {
+			dst.Set(int(j))
+		}
+		return true
+	})
+}
+
+// RowIntersects implements Mat.
+func (m *CSR) RowIntersects(i int, x *bitvec.Vector) bool {
+	for _, j := range m.Row(i) {
+		if x.Get(int(j)) {
+			return true
+		}
+	}
+	return false
+}
+
+// NonEmptyRows implements Mat.
+func (m *CSR) NonEmptyRows() *bitvec.Vector { return m.summary }
+
+// NonEmptyRowCount implements Mat.
+func (m *CSR) NonEmptyRowCount() int { return m.nonEmpty }
+
+// Transpose returns the transposed CSR matrix.
+func (m *CSR) Transpose() *CSR {
+	cells := make([]Cell, 0, len(m.cols))
+	for i := 0; i < m.n; i++ {
+		for _, j := range m.Row(i) {
+			cells = append(cells, Cell{Row: j, Col: uint32(i)})
+		}
+	}
+	return NewCSR(m.n, cells)
+}
+
+// Compressed stores each non-empty row as a gap-length encoded bit-vector
+// (bitvec.Compressed). It trades multiplication speed for memory — the
+// paper's BitMat-style at-rest representation.
+type Compressed struct {
+	n        int
+	rows     map[int]*bitvec.Compressed
+	nnz      int
+	summary  *bitvec.Vector
+	nonEmpty int
+}
+
+// CompressCSR converts a CSR matrix into the compressed encoding.
+func CompressCSR(m *CSR) *Compressed {
+	c := &Compressed{
+		n:        m.n,
+		rows:     make(map[int]*bitvec.Compressed),
+		nnz:      m.NNZ(),
+		summary:  m.summary,
+		nonEmpty: m.nonEmpty,
+	}
+	scratch := bitvec.New(m.n)
+	for i := 0; i < m.n; i++ {
+		row := m.Row(i)
+		if len(row) == 0 {
+			continue
+		}
+		scratch.Zero()
+		for _, j := range row {
+			scratch.Set(int(j))
+		}
+		c.rows[i] = bitvec.Compress(scratch)
+	}
+	return c
+}
+
+// Dim implements Mat.
+func (c *Compressed) Dim() int { return c.n }
+
+// NNZ implements Mat.
+func (c *Compressed) NNZ() int { return c.nnz }
+
+// UnionRows implements Mat.
+func (c *Compressed) UnionRows(x, dst *bitvec.Vector) {
+	x.ForEach(func(i int) bool {
+		if row, ok := c.rows[i]; ok {
+			row.OrInto(dst)
+		}
+		return true
+	})
+}
+
+// RowIntersects implements Mat.
+func (c *Compressed) RowIntersects(i int, x *bitvec.Vector) bool {
+	row, ok := c.rows[i]
+	return ok && row.Intersects(x)
+}
+
+// NonEmptyRows implements Mat.
+func (c *Compressed) NonEmptyRows() *bitvec.Vector { return c.summary }
+
+// NonEmptyRowCount implements Mat.
+func (c *Compressed) NonEmptyRowCount() int { return c.nonEmpty }
+
+// SizeWords reports the total encoded size of all rows in 64-bit words,
+// for the §5.1-style memory accounting.
+func (c *Compressed) SizeWords() int {
+	total := 0
+	for _, r := range c.rows {
+		total += r.SizeWords()
+	}
+	return total
+}
+
+// Pair bundles the forward matrix of a label with its transpose (the
+// backward matrix) so that both ×b strategies are available for both edge
+// directions.
+type Pair struct {
+	F Mat // F_a: row v holds the a-successors of v
+	B Mat // B_a = F_aᵀ: row w holds the a-predecessors of w
+}
+
+// NewPair builds the F/B pair of CSR matrices for one label from the
+// label's (subject, object) pairs over an n-node universe.
+func NewPair(n int, edges []Cell) Pair {
+	f := NewCSR(n, edges)
+	return Pair{F: f, B: f.Transpose()}
+}
+
+// CompressPair converts both matrices to the compressed encoding.
+func CompressPair(p Pair) Pair {
+	return Pair{
+		F: CompressCSR(p.F.(*CSR)),
+		B: CompressCSR(p.B.(*CSR)),
+	}
+}
+
+// Strategy selects the ×b evaluation strategy.
+type Strategy uint8
+
+const (
+	// Auto picks row-wise iff the multiplier x has fewer set bits than
+	// the candidate set — the paper's dynamic heuristic (§3.3).
+	Auto Strategy = iota
+	// RowWise always unions rows of A indexed by x.
+	RowWise
+	// ColWise always tests candidate columns against the transpose.
+	ColWise
+)
+
+// Multiply computes r = (x ×b A) ∧ cand into dst (which is zeroed first),
+// where A is p.F when dir is Forward and p.B when dir is Backward. cand
+// restricts the interesting columns (the current χS of the constrained
+// variable); restricting is sound because the result is immediately ∧-ed
+// with cand by the SOI update rule.
+//
+// It returns the number of set bits of x ("work left") purely as a metric.
+func (p Pair) Multiply(dir Direction, x, cand, dst *bitvec.Vector, s Strategy) int {
+	a, at := p.F, p.B
+	if dir == Backward {
+		a, at = p.B, p.F
+	}
+	dst.Zero()
+	xCount := x.Count()
+	rowwise := false
+	switch s {
+	case RowWise:
+		rowwise = true
+	case ColWise:
+		rowwise = false
+	default:
+		rowwise = xCount < cand.Count()
+	}
+	if rowwise {
+		a.UnionRows(x, dst)
+		dst.And(cand)
+	} else {
+		cand.ForEach(func(j int) bool {
+			if at.RowIntersects(j, x) {
+				dst.Set(j)
+			}
+			return true
+		})
+	}
+	return xCount
+}
+
+// Direction selects which of the two adjacency maps ×b runs against.
+type Direction uint8
+
+const (
+	// Forward multiplies against F_a.
+	Forward Direction = iota
+	// Backward multiplies against B_a.
+	Backward
+)

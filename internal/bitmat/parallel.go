@@ -1,0 +1,140 @@
+package bitmat
+
+import (
+	"sync"
+
+	"dualsim/internal/bitvec"
+)
+
+// This file implements the parallel ×b kernels the paper alludes to
+// ("our algorithm is also applicable … to massive parallelization
+// techniques of bit-matrix operations", Sect. 1): both multiplication
+// strategies partition their driving bit-vector into word ranges, fan the
+// ranges out to workers with worker-local accumulators, and OR-merge.
+// The results are bit-identical to the serial kernels (property-tested).
+
+// MultiplyParallel computes r = (x ×b A) ∧ cand into dst like Multiply,
+// distributing the work over the given number of goroutines. workers ≤ 1
+// falls back to the serial kernel.
+func (p Pair) MultiplyParallel(dir Direction, x, cand, dst *bitvec.Vector, s Strategy, workers int) int {
+	if workers <= 1 {
+		return p.Multiply(dir, x, cand, dst, s)
+	}
+	a, at := p.F, p.B
+	if dir == Backward {
+		a, at = p.B, p.F
+	}
+	dst.Zero()
+	xCount := x.Count()
+	rowwise := false
+	switch s {
+	case RowWise:
+		rowwise = true
+	case ColWise:
+		rowwise = false
+	default:
+		rowwise = xCount < cand.Count()
+	}
+	if rowwise {
+		parallelUnionRows(a, x, dst, workers)
+		dst.And(cand)
+	} else {
+		parallelProbeColumns(at, x, cand, dst, workers)
+	}
+	return xCount
+}
+
+// parallelUnionRows distributes the set bits of x (by word ranges) over
+// workers, each unioning its rows into a private accumulator.
+func parallelUnionRows(a Mat, x, dst *bitvec.Vector, workers int) {
+	words := x.Words()
+	ranges := wordRanges(len(words), workers)
+	if len(ranges) <= 1 {
+		a.UnionRows(x, dst)
+		return
+	}
+	locals := make([]*bitvec.Vector, len(ranges))
+	var wg sync.WaitGroup
+	for ri, r := range ranges {
+		wg.Add(1)
+		go func(ri int, lo, hi int) {
+			defer wg.Done()
+			local := bitvec.New(x.Len())
+			slice := sliceVector(x, lo, hi)
+			a.UnionRows(slice, local)
+			locals[ri] = local
+		}(ri, r[0], r[1])
+	}
+	wg.Wait()
+	for _, local := range locals {
+		dst.Or(local)
+	}
+}
+
+// parallelProbeColumns distributes the candidate columns (by word ranges
+// of cand) over workers; each probes its columns against the transpose.
+func parallelProbeColumns(at Mat, x, cand, dst *bitvec.Vector, workers int) {
+	words := cand.Words()
+	ranges := wordRanges(len(words), workers)
+	if len(ranges) <= 1 {
+		cand.ForEach(func(j int) bool {
+			if at.RowIntersects(j, x) {
+				dst.Set(j)
+			}
+			return true
+		})
+		return
+	}
+	locals := make([]*bitvec.Vector, len(ranges))
+	var wg sync.WaitGroup
+	for ri, r := range ranges {
+		wg.Add(1)
+		go func(ri int, lo, hi int) {
+			defer wg.Done()
+			local := bitvec.New(cand.Len())
+			slice := sliceVector(cand, lo, hi)
+			slice.ForEach(func(j int) bool {
+				if at.RowIntersects(j, x) {
+					local.Set(j)
+				}
+				return true
+			})
+			locals[ri] = local
+		}(ri, r[0], r[1])
+	}
+	wg.Wait()
+	for _, local := range locals {
+		dst.Or(local)
+	}
+}
+
+// wordRanges splits [0, n) words into at most `workers` contiguous
+// non-empty ranges.
+func wordRanges(n, workers int) [][2]int {
+	if n == 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var out [][2]int
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+// sliceVector returns a copy of v with only the words in [lo, hi) kept —
+// a cheap way to reuse the serial kernels per range.
+func sliceVector(v *bitvec.Vector, lo, hi int) *bitvec.Vector {
+	out := bitvec.New(v.Len())
+	src := v.Words()
+	dst := out.Words()
+	copy(dst[lo:hi], src[lo:hi])
+	return out
+}

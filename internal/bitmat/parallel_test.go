@@ -1,0 +1,93 @@
+package bitmat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dualsim/internal/bitvec"
+)
+
+// TestPropertyParallelMatchesSerial: every worker count produces exactly
+// the serial result for both strategies and directions.
+func TestPropertyParallelMatchesSerial(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(300) + 2
+		cells := randomCells(r, n, r.Intn(6*n))
+		p := NewPair(n, cells)
+		x := randomVec(r, n)
+		cand := randomVec(r, n)
+		want := bitvec.New(n)
+		got := bitvec.New(n)
+		for _, dir := range []Direction{Forward, Backward} {
+			for _, s := range []Strategy{RowWise, ColWise, Auto} {
+				p.Multiply(dir, x, cand, want, s)
+				for _, workers := range []int{0, 1, 2, 3, 8, 64} {
+					p.MultiplyParallel(dir, x, cand, got, s, workers)
+					if !got.Equal(want) {
+						t.Logf("seed %d dir %v strat %v workers %d", seed, dir, s, workers)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWordRanges(t *testing.T) {
+	if got := wordRanges(0, 4); got != nil {
+		t.Fatalf("wordRanges(0) = %v", got)
+	}
+	rs := wordRanges(10, 3)
+	covered := 0
+	prevHi := 0
+	for _, r := range rs {
+		if r[0] != prevHi {
+			t.Fatalf("gap in ranges: %v", rs)
+		}
+		if r[1] <= r[0] {
+			t.Fatalf("empty range: %v", rs)
+		}
+		covered += r[1] - r[0]
+		prevHi = r[1]
+	}
+	if covered != 10 {
+		t.Fatalf("ranges cover %d of 10 words", covered)
+	}
+	// More workers than words degrades gracefully.
+	if rs := wordRanges(2, 100); len(rs) > 2 {
+		t.Fatalf("wordRanges(2,100) = %v", rs)
+	}
+}
+
+func TestSliceVector(t *testing.T) {
+	v := bitvec.New(200)
+	v.Set(1)
+	v.Set(70)
+	v.Set(130)
+	s := sliceVector(v, 1, 2) // keep only word 1 (bits 64..127)
+	if s.Get(1) || !s.Get(70) || s.Get(130) {
+		t.Fatalf("slice = %v", s)
+	}
+}
+
+func TestParallelOnCompressed(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	n := 256
+	cells := randomCells(r, n, 800)
+	csr := NewPair(n, cells)
+	comp := CompressPair(csr)
+	x := randomVec(r, n)
+	cand := randomVec(r, n)
+	want, got := bitvec.New(n), bitvec.New(n)
+	csr.Multiply(Forward, x, cand, want, RowWise)
+	comp.MultiplyParallel(Forward, x, cand, got, RowWise, 4)
+	if !got.Equal(want) {
+		t.Fatal("parallel compressed multiply diverged")
+	}
+}

@@ -1,0 +1,187 @@
+// Package core implements the paper's primary contribution: computing the
+// largest dual simulation between a pattern graph and a graph database via
+// the system-of-inequalities formulation (Sect. 3), and its conservative
+// extension to SPARQL queries with AND, UNION and OPTIONAL operators
+// (Sect. 4).
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"dualsim/internal/rdf"
+	"dualsim/internal/storage"
+)
+
+// Pattern is a pattern graph G1 = (V1, Σ, E1): nodes are named variables,
+// edges carry predicate IRIs. A node may be bound to a constant database
+// term, the paper's Sect. 4.5 extension — its candidate set is then the
+// singleton containing that term.
+type Pattern struct {
+	vars    []PatternVar
+	varByID map[string]int
+	edges   []PatternEdge
+}
+
+// PatternVar is one pattern node.
+type PatternVar struct {
+	Name  string
+	Const *rdf.Term // nil for a free variable
+}
+
+// PatternEdge is one labeled pattern edge (From, Pred, To), indexing Vars.
+type PatternEdge struct {
+	From int
+	Pred string
+	To   int
+}
+
+// NewPattern returns an empty pattern.
+func NewPattern() *Pattern {
+	return &Pattern{varByID: make(map[string]int)}
+}
+
+// Var interns a free variable by name and returns its index.
+func (p *Pattern) Var(name string) int {
+	if i, ok := p.varByID[name]; ok {
+		return i
+	}
+	i := len(p.vars)
+	p.vars = append(p.vars, PatternVar{Name: name})
+	p.varByID[name] = i
+	return i
+}
+
+// Bind attaches a constant term to the named variable (interning it if
+// needed).
+func (p *Pattern) Bind(name string, t rdf.Term) {
+	i := p.Var(name)
+	c := t
+	p.vars[i].Const = &c
+}
+
+// Edge adds the pattern edge (from, pred, to) by variable names.
+func (p *Pattern) Edge(from, pred, to string) {
+	p.edges = append(p.edges, PatternEdge{From: p.Var(from), Pred: pred, To: p.Var(to)})
+}
+
+// NumVars returns |V1|.
+func (p *Pattern) NumVars() int { return len(p.vars) }
+
+// NumEdges returns |E1|.
+func (p *Pattern) NumEdges() int { return len(p.edges) }
+
+// Vars returns the variable list (read-only).
+func (p *Pattern) Vars() []PatternVar { return p.vars }
+
+// Edges returns the edge list (read-only).
+func (p *Pattern) Edges() []PatternEdge { return p.edges }
+
+// VarIndex returns the index of the named variable.
+func (p *Pattern) VarIndex(name string) (int, bool) {
+	i, ok := p.varByID[name]
+	return i, ok
+}
+
+// IsCyclic reports whether the pattern contains an undirected cycle —
+// the paper's §5.3 distinguishes cyclic queries (L0, L1) from acyclic
+// ones when discussing convergence behaviour. Parallel edges between the
+// same variable pair count as a cycle.
+func (p *Pattern) IsCyclic() bool {
+	parent := make([]int, len(p.vars))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range p.edges {
+		a, b := find(e.From), find(e.To)
+		if a == b {
+			return true
+		}
+		parent[a] = b
+	}
+	return false
+}
+
+// String renders the pattern as triple patterns, one per line.
+func (p *Pattern) String() string {
+	var b strings.Builder
+	for i, e := range p.edges {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "%s %s %s .", p.varLabel(e.From), e.Pred, p.varLabel(e.To))
+	}
+	return b.String()
+}
+
+func (p *Pattern) varLabel(i int) string {
+	v := p.vars[i]
+	if v.Const != nil {
+		return v.Const.String()
+	}
+	return "?" + v.Name
+}
+
+// VerifyDualSimulation checks Definition 2 directly against the store: for
+// the candidate relation given as per-variable node sets, every pair must
+// have all its pattern edges supported in both directions. It returns an
+// error describing the first violation, or nil if the relation is a dual
+// simulation. Used by tests to validate all solver implementations.
+func (p *Pattern) VerifyDualSimulation(st *storage.Store, sets []map[storage.NodeID]bool) error {
+	if len(sets) != len(p.vars) {
+		return fmt.Errorf("core: %d sets for %d variables", len(sets), len(p.vars))
+	}
+	for _, e := range p.edges {
+		pid, ok := st.PredIDOf(e.Pred)
+		if !ok {
+			if len(sets[e.From]) > 0 || len(sets[e.To]) > 0 {
+				return fmt.Errorf("core: predicate %q absent but endpoints non-empty", e.Pred)
+			}
+			continue
+		}
+		// Def. 2(i): v2 ∈ S(From) needs an a-successor in S(To).
+		for v2 := range sets[e.From] {
+			if !anyIn(st.Objects(pid, v2), sets[e.To]) {
+				return fmt.Errorf("core: %s=%d lacks %s-successor in %s",
+					p.vars[e.From].Name, v2, e.Pred, p.vars[e.To].Name)
+			}
+		}
+		// Def. 2(ii): w2 ∈ S(To) needs an a-predecessor in S(From).
+		for w2 := range sets[e.To] {
+			if !anyIn(st.Subjects(pid, w2), sets[e.From]) {
+				return fmt.Errorf("core: %s=%d lacks %s-predecessor in %s",
+					p.vars[e.To].Name, w2, e.Pred, p.vars[e.From].Name)
+			}
+		}
+	}
+	// Constants: a bound variable may only contain its constant.
+	for i, v := range p.vars {
+		if v.Const == nil {
+			continue
+		}
+		id, ok := st.TermID(*v.Const)
+		for n := range sets[i] {
+			if !ok || n != id {
+				return fmt.Errorf("core: constant %s contains foreign node %d", v.Name, n)
+			}
+		}
+	}
+	return nil
+}
+
+func anyIn(xs []storage.NodeID, set map[storage.NodeID]bool) bool {
+	for _, x := range xs {
+		if set[x] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,307 @@
+// Package datagen synthesizes the two evaluation datasets of the paper's
+// Sect. 5 at laptop scale:
+//
+//   - LUBM: a deterministic re-implementation of the Lehigh University
+//     Benchmark generator [Guo et al. 2005]. Its defining property for
+//     dual simulation experiments is a tiny predicate alphabet (18
+//     predicates in the original) spread over a large, structurally
+//     repetitive graph — low predicate selectivity, many SOI iterations
+//     for cyclic queries, and dual-simulation over-retention on L1-style
+//     queries.
+//   - DBpedia-like knowledge graph: a heterogeneous graph with a Zipfian
+//     predicate distribution and typed entities (films, people, places,
+//     organizations) — high predicate selectivity, split-second SOI
+//     convergence.
+//
+// Both generators are deterministic in their seed and scale parameters;
+// substitution rationale lives in DESIGN.md.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dualsim/internal/rdf"
+	"dualsim/internal/storage"
+)
+
+// LUBM predicate vocabulary (the ub: namespace of the original benchmark,
+// abbreviated). The paper's LUBM dataset has 18 predicates; we reproduce
+// the structurally relevant ones.
+const (
+	PredType              = "rdf:type"
+	PredSubOrganizationOf = "ub:subOrganizationOf"
+	PredUndergradFrom     = "ub:undergraduateDegreeFrom"
+	PredMastersFrom       = "ub:mastersDegreeFrom"
+	PredDoctoralFrom      = "ub:doctoralDegreeFrom"
+	PredDegreeFrom        = "ub:degreeFrom"
+	PredMemberOf          = "ub:memberOf"
+	PredWorksFor          = "ub:worksFor"
+	PredHeadOf            = "ub:headOf"
+	PredAdvisor           = "ub:advisor"
+	PredTakesCourse       = "ub:takesCourse"
+	PredTeacherOf         = "ub:teacherOf"
+	PredTeachingAssistant = "ub:teachingAssistantOf"
+	PredPublicationAuthor = "ub:publicationAuthor"
+	PredResearchInterest  = "ub:researchInterest"
+	PredEmailAddress      = "ub:emailAddress"
+	PredTelephone         = "ub:telephone"
+	PredName              = "ub:name"
+)
+
+// LUBM class IRIs used as rdf:type objects.
+const (
+	ClassUniversity    = "ub:University"
+	ClassDepartment    = "ub:Department"
+	ClassFullProfessor = "ub:FullProfessor"
+	ClassAssocProf     = "ub:AssociateProfessor"
+	ClassAsstProf      = "ub:AssistantProfessor"
+	ClassLecturer      = "ub:Lecturer"
+	ClassUndergrad     = "ub:UndergraduateStudent"
+	ClassGradStudent   = "ub:GraduateStudent"
+	ClassCourse        = "ub:Course"
+	ClassGradCourse    = "ub:GraduateCourse"
+	ClassPublication   = "ub:Publication"
+	ClassResearchGroup = "ub:ResearchGroup"
+)
+
+// LUBMConfig scales the generator. The defaults (via DefaultLUBM) fit in
+// memory on a laptop while preserving the benchmark's structural ratios
+// (derived from the original generator's documented ranges, scaled down).
+type LUBMConfig struct {
+	Universities int
+	Seed         int64
+
+	// Per-university/department ranges (min..max, inclusive).
+	DeptsPerUni           [2]int
+	FullProfsPerDept      [2]int
+	AssocProfsPerDept     [2]int
+	AsstProfsPerDept      [2]int
+	LecturersPerDept      [2]int
+	UndergradsPerDept     [2]int
+	GradsPerDept          [2]int
+	CoursesPerDept        [2]int
+	GradCoursesPerDept    [2]int
+	ResearchGroupsPerDept [2]int
+	PubsPerProf           [2]int
+}
+
+// DefaultLUBM returns the laptop-scale configuration used by the
+// experiment harness.
+func DefaultLUBM(universities int, seed int64) LUBMConfig {
+	return LUBMConfig{
+		Universities:          universities,
+		Seed:                  seed,
+		DeptsPerUni:           [2]int{3, 6},
+		FullProfsPerDept:      [2]int{2, 4},
+		AssocProfsPerDept:     [2]int{2, 5},
+		AsstProfsPerDept:      [2]int{2, 5},
+		LecturersPerDept:      [2]int{1, 3},
+		UndergradsPerDept:     [2]int{20, 40},
+		GradsPerDept:          [2]int{8, 16},
+		CoursesPerDept:        [2]int{6, 12},
+		GradCoursesPerDept:    [2]int{4, 8},
+		ResearchGroupsPerDept: [2]int{2, 4},
+		PubsPerProf:           [2]int{1, 4},
+	}
+}
+
+// LUBM generates the dataset as triples.
+func LUBM(cfg LUBMConfig) []rdf.Triple {
+	g := &lubmGen{
+		r:   rand.New(rand.NewSource(cfg.Seed)),
+		cfg: cfg,
+	}
+	g.run()
+	return g.out
+}
+
+// LUBMStore generates and loads the dataset in one step.
+func LUBMStore(cfg LUBMConfig) (*storage.Store, error) {
+	return storage.FromTriples(LUBM(cfg))
+}
+
+type lubmGen struct {
+	r   *rand.Rand
+	cfg LUBMConfig
+	out []rdf.Triple
+
+	universities []string
+}
+
+func (g *lubmGen) emit(s, p, o string) {
+	g.out = append(g.out, rdf.T(s, p, o))
+}
+
+func (g *lubmGen) emitLit(s, p, lit string) {
+	g.out = append(g.out, rdf.TL(s, p, lit))
+}
+
+func (g *lubmGen) between(rng [2]int) int {
+	if rng[1] <= rng[0] {
+		return rng[0]
+	}
+	return rng[0] + g.r.Intn(rng[1]-rng[0]+1)
+}
+
+func (g *lubmGen) run() {
+	for u := 0; u < g.cfg.Universities; u++ {
+		g.universities = append(g.universities, fmt.Sprintf("univ%d", u))
+	}
+	for u := 0; u < g.cfg.Universities; u++ {
+		g.university(u)
+	}
+}
+
+func (g *lubmGen) university(u int) {
+	uni := g.universities[u]
+	g.emit(uni, PredType, ClassUniversity)
+
+	depts := g.between(g.cfg.DeptsPerUni)
+	for d := 0; d < depts; d++ {
+		g.department(u, d)
+	}
+}
+
+// otherUniversity picks a university different from u when possible —
+// degrees are mostly earned elsewhere, the property behind L1-style
+// cross-university joins.
+func (g *lubmGen) otherUniversity(u int) string {
+	if len(g.universities) == 1 {
+		return g.universities[0]
+	}
+	for {
+		v := g.r.Intn(len(g.universities))
+		if v != u {
+			return g.universities[v]
+		}
+	}
+}
+
+func (g *lubmGen) anyUniversity(u int) string {
+	// 20% home university, 80% elsewhere.
+	if g.r.Intn(5) == 0 {
+		return g.universities[u]
+	}
+	return g.otherUniversity(u)
+}
+
+func (g *lubmGen) department(u, d int) {
+	uni := g.universities[u]
+	dept := fmt.Sprintf("dept%d.univ%d", d, u)
+	g.emit(dept, PredType, ClassDepartment)
+	g.emit(dept, PredSubOrganizationOf, uni)
+
+	mk := func(class, kind string, n int) []string {
+		out := make([]string, n)
+		for i := range out {
+			out[i] = fmt.Sprintf("%s%d.%s", kind, i, dept)
+			g.emit(out[i], PredType, class)
+		}
+		return out
+	}
+
+	fulls := mk(ClassFullProfessor, "fullprof", g.between(g.cfg.FullProfsPerDept))
+	assocs := mk(ClassAssocProf, "assocprof", g.between(g.cfg.AssocProfsPerDept))
+	assts := mk(ClassAsstProf, "asstprof", g.between(g.cfg.AsstProfsPerDept))
+	lects := mk(ClassLecturer, "lecturer", g.between(g.cfg.LecturersPerDept))
+	undergrads := mk(ClassUndergrad, "ugstudent", g.between(g.cfg.UndergradsPerDept))
+	grads := mk(ClassGradStudent, "gradstudent", g.between(g.cfg.GradsPerDept))
+	courses := mk(ClassCourse, "course", g.between(g.cfg.CoursesPerDept))
+	gradCourses := mk(ClassGradCourse, "gradcourse", g.between(g.cfg.GradCoursesPerDept))
+	groups := mk(ClassResearchGroup, "group", g.between(g.cfg.ResearchGroupsPerDept))
+
+	faculty := append(append(append([]string{}, fulls...), assocs...), assts...)
+	staff := append(append([]string{}, faculty...), lects...)
+
+	for _, gr := range groups {
+		g.emit(gr, PredSubOrganizationOf, dept)
+	}
+
+	// Faculty: employment, degrees, head of department, publications.
+	g.emit(fulls[0], PredHeadOf, dept)
+	for _, f := range staff {
+		g.emit(f, PredWorksFor, dept)
+		g.emit(f, PredUndergradFrom, g.anyUniversity(u))
+		g.emit(f, PredMastersFrom, g.anyUniversity(u))
+		doct := g.anyUniversity(u)
+		g.emit(f, PredDoctoralFrom, doct)
+		g.emit(f, PredDegreeFrom, doct)
+		g.emitLit(f, PredEmailAddress, f+"@"+dept+".edu")
+		g.emitLit(f, PredTelephone, fmt.Sprintf("+1-555-%04d", g.r.Intn(10000)))
+		g.emitLit(f, PredName, f)
+		g.emitLit(f, PredResearchInterest, fmt.Sprintf("research%d", g.r.Intn(30)))
+	}
+
+	// Courses: every course taught by exactly one staff member.
+	allCourses := append(append([]string{}, courses...), gradCourses...)
+	for _, c := range allCourses {
+		g.emit(staff[g.r.Intn(len(staff))], PredTeacherOf, c)
+	}
+
+	// Undergraduates: member of the department, take 2-4 courses; a fifth
+	// of them have a faculty advisor.
+	for _, s := range undergrads {
+		g.emit(s, PredMemberOf, dept)
+		for _, c := range pick(g.r, courses, 2, 4) {
+			g.emit(s, PredTakesCourse, c)
+		}
+		if g.r.Intn(5) == 0 {
+			g.emit(s, PredAdvisor, faculty[g.r.Intn(len(faculty))])
+		}
+		g.emitLit(s, PredName, s)
+	}
+
+	// Graduate students: degree from some university, member of the
+	// department, advisor, 1-3 graduate courses, maybe TA.
+	for _, s := range grads {
+		g.emit(s, PredMemberOf, dept)
+		ugUni := g.anyUniversity(u)
+		g.emit(s, PredUndergradFrom, ugUni)
+		g.emit(s, PredDegreeFrom, ugUni)
+		g.emit(s, PredAdvisor, faculty[g.r.Intn(len(faculty))])
+		for _, c := range pick(g.r, gradCourses, 1, 3) {
+			g.emit(s, PredTakesCourse, c)
+		}
+		if g.r.Intn(4) == 0 {
+			g.emit(s, PredTeachingAssistant, courses[g.r.Intn(len(courses))])
+		}
+		g.emitLit(s, PredName, s)
+	}
+
+	// Publications: authored by faculty, with 30% chance of a graduate
+	// student co-author — the constellation L1 asks for.
+	pubID := 0
+	for _, f := range faculty {
+		n := g.between(g.cfg.PubsPerProf)
+		for i := 0; i < n; i++ {
+			pub := fmt.Sprintf("pub%d.%s", pubID, dept)
+			pubID++
+			g.emit(pub, PredType, ClassPublication)
+			g.emit(pub, PredPublicationAuthor, f)
+			if g.r.Intn(10) < 3 {
+				g.emit(pub, PredPublicationAuthor, grads[g.r.Intn(len(grads))])
+			}
+		}
+	}
+}
+
+// pick draws between lo and hi distinct elements from xs.
+func pick(r *rand.Rand, xs []string, lo, hi int) []string {
+	if len(xs) == 0 {
+		return nil
+	}
+	n := lo
+	if hi > lo {
+		n += r.Intn(hi - lo + 1)
+	}
+	if n > len(xs) {
+		n = len(xs)
+	}
+	idx := r.Perm(len(xs))[:n]
+	out := make([]string, n)
+	for i, j := range idx {
+		out[i] = xs[j]
+	}
+	return out
+}

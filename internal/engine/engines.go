@@ -1,0 +1,290 @@
+package engine
+
+import (
+	"sort"
+
+	"dualsim/internal/sparql"
+	"dualsim/internal/storage"
+)
+
+// Engine evaluates SPARQL queries against a store.
+type Engine interface {
+	// Name identifies the engine in reports (Tables 4/5).
+	Name() string
+	// Evaluate computes the solution mapping set of q over st.
+	Evaluate(st *storage.Store, q *sparql.Query) (*Result, error)
+}
+
+// ---------------------------------------------------------------------------
+// HashJoin: materialize every pattern, hash-join in cardinality order.
+
+type hashJoinEngine struct{}
+
+// NewHashJoin returns the materializing hash-join engine (the in-memory
+// RDFox stand-in of Table 4).
+func NewHashJoin() Engine { return hashJoinEngine{} }
+
+func (hashJoinEngine) Name() string { return "hashjoin" }
+
+func (hashJoinEngine) Evaluate(st *storage.Store, q *sparql.Query) (*Result, error) {
+	return evalExpr(st, q.Expr, hashJoinBGP)
+}
+
+func hashJoinBGP(st *storage.Store, b sparql.BGP) (*Result, error) {
+	if len(b) == 0 {
+		return unitResult(), nil
+	}
+	rs := make([]resolved, len(b))
+	for i, tp := range b {
+		r, err := resolve(st, tp)
+		if err != nil {
+			return nil, err
+		}
+		rs[i] = r
+	}
+	// Cheapest table first, then always join in the initial static
+	// cardinality order — the engine relies on hashing rather than
+	// clever ordering, like a materializing in-memory store.
+	sort.SliceStable(rs, func(i, j int) bool {
+		return rs[i].estimate(st, nil) < rs[j].estimate(st, nil)
+	})
+	acc := rs[0].scan(st)
+	for _, r := range rs[1:] {
+		if acc.Len() == 0 {
+			// Join with anything stays empty; keep widening the schema.
+			acc = NewResult(unionVars(acc, NewResult(r.vars()...))...)
+			continue
+		}
+		acc = join(acc, r.scan(st), false)
+	}
+	acc.Dedup()
+	return acc, nil
+}
+
+// ---------------------------------------------------------------------------
+// IndexNL: greedy cost-based ordering + index nested-loop extension.
+
+type indexNLEngine struct{}
+
+// NewIndexNL returns the index nested-loop engine with greedy join
+// reordering (the Virtuoso stand-in of Table 5).
+func NewIndexNL() Engine { return indexNLEngine{} }
+
+func (indexNLEngine) Name() string { return "indexnl" }
+
+func (indexNLEngine) Evaluate(st *storage.Store, q *sparql.Query) (*Result, error) {
+	return evalExpr(st, q.Expr, indexNLBGP)
+}
+
+func indexNLBGP(st *storage.Store, b sparql.BGP) (*Result, error) {
+	if len(b) == 0 {
+		return unitResult(), nil
+	}
+	rs := make([]resolved, len(b))
+	for i, tp := range b {
+		r, err := resolve(st, tp)
+		if err != nil {
+			return nil, err
+		}
+		rs[i] = r
+	}
+
+	// Greedy ordering: repeatedly pick the cheapest pattern given the
+	// variables bound so far, preferring connected patterns (those that
+	// share a bound variable) over Cartesian ones.
+	order := make([]resolved, 0, len(rs))
+	used := make([]bool, len(rs))
+	bound := make(map[string]bool)
+	for len(order) < len(rs) {
+		best, bestCost, bestConnected := -1, 0.0, false
+		for i, r := range rs {
+			if used[i] {
+				continue
+			}
+			connected := len(bound) == 0 || sharesBound(r, bound)
+			cost := r.estimate(st, bound)
+			if best < 0 || (connected && !bestConnected) ||
+				(connected == bestConnected && cost < bestCost) {
+				best, bestCost, bestConnected = i, cost, connected
+			}
+		}
+		used[best] = true
+		order = append(order, rs[best])
+		for _, v := range rs[best].vars() {
+			bound[v] = true
+		}
+	}
+
+	// Index nested loop over the chosen order.
+	varOrder := make([]string, 0, len(bound))
+	varCol := make(map[string]int)
+	for _, r := range order {
+		for _, v := range r.vars() {
+			if _, ok := varCol[v]; !ok {
+				varCol[v] = len(varOrder)
+				varOrder = append(varOrder, v)
+			}
+		}
+	}
+	out := NewResult(varOrder...)
+	current := [][]storage.NodeID{make([]storage.NodeID, len(varOrder))}
+	for i := range current[0] {
+		current[0][i] = Unbound
+	}
+	for _, r := range order {
+		if !r.ok {
+			return out, nil
+		}
+		var next [][]storage.NodeID
+		for _, row := range current {
+			extendRow(st, r, row, varCol, func(nr []storage.NodeID) {
+				next = append(next, nr)
+			})
+		}
+		current = next
+		if len(current) == 0 {
+			break
+		}
+	}
+	out.Rows = current
+	out.Dedup()
+	return out, nil
+}
+
+func sharesBound(r resolved, bound map[string]bool) bool {
+	for _, v := range r.vars() {
+		if bound[v] {
+			return true
+		}
+	}
+	return false
+}
+
+// extendRow enumerates the extensions of a partial row by pattern r using
+// the cheapest applicable index access path.
+func extendRow(st *storage.Store, r resolved, row []storage.NodeID, varCol map[string]int, emit func([]storage.NodeID)) {
+	sVal, sKnown := constOrBinding(r.sVar, r.sID, row, varCol)
+	oVal, oKnown := constOrBinding(r.oVar, r.oID, row, varCol)
+
+	push := func(s, o storage.NodeID) {
+		nr := append([]storage.NodeID(nil), row...)
+		if r.sVar != "" {
+			nr[varCol[r.sVar]] = s
+		}
+		if r.oVar != "" {
+			nr[varCol[r.oVar]] = o
+		}
+		emit(nr)
+	}
+
+	switch {
+	case sKnown && oKnown:
+		if st.HasTriple(sVal, r.pred, oVal) {
+			push(sVal, oVal)
+		}
+	case sKnown:
+		for _, o := range st.Objects(r.pred, sVal) {
+			if r.sVar == r.oVar && o != sVal {
+				continue
+			}
+			push(sVal, o)
+		}
+	case oKnown:
+		for _, s := range st.Subjects(r.pred, oVal) {
+			if r.sVar == r.oVar && s != oVal {
+				continue
+			}
+			push(s, oVal)
+		}
+	default:
+		st.ForEachPair(r.pred, func(s, o storage.NodeID) bool {
+			if r.sVar == r.oVar && s != o {
+				return true
+			}
+			push(s, o)
+			return true
+		})
+	}
+}
+
+func constOrBinding(v string, constID storage.NodeID, row []storage.NodeID, varCol map[string]int) (storage.NodeID, bool) {
+	if v == "" {
+		return constID, true
+	}
+	if val := row[varCol[v]]; val != Unbound {
+		return val, true
+	}
+	return 0, false
+}
+
+// ---------------------------------------------------------------------------
+// Reference: executable denotational semantics, for tiny inputs only.
+
+type referenceEngine struct{}
+
+// NewReference returns the specification engine: a direct transcription of
+// the Pérez et al. set semantics by brute-force enumeration. Exponential;
+// use only on small stores (tests, examples).
+func NewReference() Engine { return referenceEngine{} }
+
+func (referenceEngine) Name() string { return "reference" }
+
+func (referenceEngine) Evaluate(st *storage.Store, q *sparql.Query) (*Result, error) {
+	return evalExpr(st, q.Expr, referenceBGP)
+}
+
+func referenceBGP(st *storage.Store, b sparql.BGP) (*Result, error) {
+	if len(b) == 0 {
+		return unitResult(), nil
+	}
+	rs := make([]resolved, len(b))
+	for i, tp := range b {
+		r, err := resolve(st, tp)
+		if err != nil {
+			return nil, err
+		}
+		rs[i] = r
+	}
+	var vars []string
+	seen := make(map[string]bool)
+	for _, r := range rs {
+		for _, v := range r.vars() {
+			if !seen[v] {
+				seen[v] = true
+				vars = append(vars, v)
+			}
+		}
+	}
+	out := NewResult(vars...)
+	col := make(map[string]int, len(vars))
+	for i, v := range vars {
+		col[v] = i
+	}
+
+	// Enumerate every total assignment vars → O_DB and keep those whose
+	// image satisfies all triple patterns — dom(µ) = vars(BGP).
+	assign := make([]storage.NodeID, len(vars))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(vars) {
+			for _, r := range rs {
+				if !r.ok {
+					return
+				}
+				s, _ := constOrBinding(r.sVar, r.sID, assign, col)
+				o, _ := constOrBinding(r.oVar, r.oID, assign, col)
+				if !st.HasTriple(s, r.pred, o) {
+					return
+				}
+			}
+			out.Rows = append(out.Rows, append([]storage.NodeID(nil), assign...))
+			return
+		}
+		for n := 0; n < st.NumNodes(); n++ {
+			assign[i] = storage.NodeID(n)
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out, nil
+}

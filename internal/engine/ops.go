@@ -1,0 +1,205 @@
+package engine
+
+import (
+	"fmt"
+
+	"dualsim/internal/sparql"
+	"dualsim/internal/storage"
+)
+
+// evalExpr evaluates a graph pattern expression with the given BGP
+// evaluator plugged in; the operator algebra (AND = ⋈, OPTIONAL = left
+// outer join, UNION = ∪) is shared by all engines.
+func evalExpr(st *storage.Store, e sparql.Expr, bgp func(*storage.Store, sparql.BGP) (*Result, error)) (*Result, error) {
+	switch x := e.(type) {
+	case sparql.BGP:
+		return bgp(st, x)
+	case sparql.And:
+		l, err := evalExpr(st, x.L, bgp)
+		if err != nil {
+			return nil, err
+		}
+		r, err := evalExpr(st, x.R, bgp)
+		if err != nil {
+			return nil, err
+		}
+		return join(l, r, false), nil
+	case sparql.Optional:
+		l, err := evalExpr(st, x.L, bgp)
+		if err != nil {
+			return nil, err
+		}
+		r, err := evalExpr(st, x.R, bgp)
+		if err != nil {
+			return nil, err
+		}
+		return join(l, r, true), nil
+	case sparql.Union:
+		l, err := evalExpr(st, x.L, bgp)
+		if err != nil {
+			return nil, err
+		}
+		r, err := evalExpr(st, x.R, bgp)
+		if err != nil {
+			return nil, err
+		}
+		return union(l, r), nil
+	default:
+		return nil, fmt.Errorf("engine: unknown expression %T", e)
+	}
+}
+
+// join computes the compatibility join l ⋈ r; with leftOuter it computes
+// the left outer join (OPTIONAL): rows of l without any compatible partner
+// survive unextended.
+func join(l, r *Result, leftOuter bool) *Result {
+	shared := sharedVars(l, r)
+	outVars := unionVars(l, r)
+	out := NewResult(outVars...)
+
+	lIdx := varIndexes(l, shared)
+	rIdx := varIndexes(r, shared)
+
+	// Hash r rows whose shared variables are all bound; rows with unbound
+	// shared variables are compatibility wildcards and go to a scan list.
+	buckets := make(map[string][]int, len(r.Rows))
+	var wildcards []int
+	for i, row := range r.Rows {
+		if allBound(row, rIdx) {
+			buckets[keyOf(row, rIdx)] = append(buckets[keyOf(row, rIdx)], i)
+		} else {
+			wildcards = append(wildcards, i)
+		}
+	}
+
+	emit := func(lrow, rrow []storage.NodeID) {
+		merged := make([]storage.NodeID, len(outVars))
+		for k := range merged {
+			merged[k] = Unbound
+		}
+		for j, v := range lrow {
+			merged[j] = v // l's vars are a prefix of outVars
+		}
+		for j, v := range rrow {
+			if v == Unbound {
+				continue
+			}
+			oj := rTargetIndex(outVars, r.Vars[j])
+			merged[oj] = v
+		}
+		out.Rows = append(out.Rows, merged)
+	}
+
+	for _, lrow := range l.Rows {
+		matched := false
+		if allBound(lrow, lIdx) {
+			for _, ri := range buckets[keyOf(lrow, lIdx)] {
+				if compatible(l, r, lrow, r.Rows[ri], shared) {
+					emit(lrow, r.Rows[ri])
+					matched = true
+				}
+			}
+			for _, ri := range wildcards {
+				if compatible(l, r, lrow, r.Rows[ri], shared) {
+					emit(lrow, r.Rows[ri])
+					matched = true
+				}
+			}
+		} else {
+			// l row itself has unbound shared vars: scan everything.
+			for ri := range r.Rows {
+				if compatible(l, r, lrow, r.Rows[ri], shared) {
+					emit(lrow, r.Rows[ri])
+					matched = true
+				}
+			}
+		}
+		if leftOuter && !matched {
+			merged := make([]storage.NodeID, len(outVars))
+			for k := range merged {
+				merged[k] = Unbound
+			}
+			copy(merged, lrow)
+			out.Rows = append(out.Rows, merged)
+		}
+	}
+	out.Dedup()
+	return out
+}
+
+// union computes the set union, padding each side to the union schema.
+func union(l, r *Result) *Result {
+	outVars := unionVars(l, r)
+	out := l.Project(outVars)
+	rp := r.Project(outVars)
+	out.Rows = append(out.Rows, rp.Rows...)
+	out.Dedup()
+	return out
+}
+
+func sharedVars(l, r *Result) []string {
+	var out []string
+	for _, v := range l.Vars {
+		if r.VarIndex(v) >= 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func unionVars(l, r *Result) []string {
+	out := append([]string(nil), l.Vars...)
+	for _, v := range r.Vars {
+		if l.VarIndex(v) < 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func varIndexes(res *Result, vars []string) []int {
+	out := make([]int, len(vars))
+	for i, v := range vars {
+		out[i] = res.VarIndex(v)
+	}
+	return out
+}
+
+func allBound(row []storage.NodeID, idx []int) bool {
+	for _, i := range idx {
+		if row[i] == Unbound {
+			return false
+		}
+	}
+	return true
+}
+
+func keyOf(row []storage.NodeID, idx []int) string {
+	key := make([]storage.NodeID, len(idx))
+	for i, j := range idx {
+		key[i] = row[j]
+	}
+	return rowKey(key)
+}
+
+// compatible implements µ1 ⇋ µ2: agreement on every shared variable bound
+// in both mappings.
+func compatible(l, r *Result, lrow, rrow []storage.NodeID, shared []string) bool {
+	for _, v := range shared {
+		lv := lrow[l.VarIndex(v)]
+		rv := rrow[r.VarIndex(v)]
+		if lv != Unbound && rv != Unbound && lv != rv {
+			return false
+		}
+	}
+	return true
+}
+
+func rTargetIndex(outVars []string, v string) int {
+	for i, x := range outVars {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,100 @@
+package graph
+
+import "fmt"
+
+// Builder constructs a Graph from human-readable node and label names. It
+// is the convenient way to transcribe the paper's figures in tests and
+// examples:
+//
+//	b := graph.NewBuilder()
+//	b.Edge("director", "born_in", "place")
+//	g := b.Graph()
+type Builder struct {
+	g          *Graph
+	nodeByName map[string]NodeID
+	nodeNames  []string
+	lblByName  map[string]LabelID
+	lblNames   []string
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		g:          New(0, 0),
+		nodeByName: make(map[string]NodeID),
+		lblByName:  make(map[string]LabelID),
+	}
+}
+
+// Node interns name and returns its id.
+func (b *Builder) Node(name string) NodeID {
+	if id, ok := b.nodeByName[name]; ok {
+		return id
+	}
+	id := b.g.AddNode()
+	b.nodeByName[name] = id
+	b.nodeNames = append(b.nodeNames, name)
+	return id
+}
+
+// Label interns an edge label and returns its id.
+func (b *Builder) Label(name string) LabelID {
+	if id, ok := b.lblByName[name]; ok {
+		return id
+	}
+	id := LabelID(len(b.lblNames))
+	b.lblByName[name] = id
+	b.lblNames = append(b.lblNames, name)
+	if int(id) >= b.g.numLabels {
+		b.g.numLabels = int(id) + 1
+	}
+	return id
+}
+
+// Edge adds (from, label, to), interning all three names.
+func (b *Builder) Edge(from, label, to string) {
+	b.g.AddEdge(b.Node(from), b.Label(label), b.Node(to))
+}
+
+// Graph freezes and returns the built graph.
+func (b *Builder) Graph() *Graph {
+	b.g.Freeze()
+	return b.g
+}
+
+// NodeName returns the name interned for id.
+func (b *Builder) NodeName(id NodeID) string {
+	if int(id) >= len(b.nodeNames) {
+		return fmt.Sprintf("#%d", id)
+	}
+	return b.nodeNames[id]
+}
+
+// LabelName returns the name interned for id.
+func (b *Builder) LabelName(id LabelID) string {
+	if int(id) >= len(b.lblNames) {
+		return fmt.Sprintf("#%d", id)
+	}
+	return b.lblNames[id]
+}
+
+// NodeID looks up a node by name.
+func (b *Builder) NodeID(name string) (NodeID, bool) {
+	id, ok := b.nodeByName[name]
+	return id, ok
+}
+
+// LabelID looks up a label by name.
+func (b *Builder) LabelID(name string) (LabelID, bool) {
+	id, ok := b.lblByName[name]
+	return id, ok
+}
+
+// NumNodes returns the number of interned nodes.
+func (b *Builder) NumNodes() int { return len(b.nodeNames) }
+
+// NodeNames returns all interned node names, indexed by NodeID.
+func (b *Builder) NodeNames() []string { return b.nodeNames }
+
+// LabelNames returns all interned label names, indexed by LabelID.
+func (b *Builder) LabelNames() []string { return b.lblNames }

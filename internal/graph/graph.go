@@ -1,0 +1,245 @@
+// Package graph implements the edge-labeled directed graphs of the paper's
+// Sect. 2: a finite node set V, a finite label alphabet Σ, and a labeled
+// edge relation E ⊆ V × Σ × V, together with the forward adjacency map
+// F_a(v) (a-successors of v) and the backward adjacency map B_a(v)
+// (a-predecessors of v).
+//
+// Nodes and labels are dense integer ids; callers keep their own
+// dictionaries (see internal/storage for the database-side dictionary and
+// internal/core for pattern-side variable names).
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeID identifies a node within one graph.
+type NodeID = uint32
+
+// LabelID identifies an edge label within one graph's alphabet Σ.
+type LabelID = uint32
+
+// Edge is a single labeled directed edge (v, a, w).
+type Edge struct {
+	From  NodeID
+	Label LabelID
+	To    NodeID
+}
+
+// Graph is an edge-labeled directed graph. Build one with New and AddEdge,
+// then call Freeze to materialize the adjacency maps. A frozen graph is
+// immutable and safe for concurrent reads.
+type Graph struct {
+	numNodes  int
+	numLabels int
+	edges     []Edge
+
+	frozen bool
+	// fwd[a] and bwd[a] are CSR adjacency lists for label a.
+	fwd []adjacency
+	bwd []adjacency
+}
+
+// adjacency is a compressed sparse row structure: the neighbors of node v
+// are ids[ptr[v]:ptr[v+1]], sorted ascending.
+type adjacency struct {
+	ptr []uint32
+	ids []NodeID
+}
+
+func (a adjacency) neighbors(v NodeID) []NodeID {
+	return a.ids[a.ptr[v]:a.ptr[v+1]]
+}
+
+// New returns an empty graph with capacity hints.
+func New(numNodes, numLabels int) *Graph {
+	return &Graph{numNodes: numNodes, numLabels: numLabels}
+}
+
+// NumNodes returns |V|.
+func (g *Graph) NumNodes() int { return g.numNodes }
+
+// NumLabels returns |Σ|.
+func (g *Graph) NumLabels() int { return g.numLabels }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Edges returns the edge list. The slice must not be modified.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// AddNode grows the node universe by one and returns the new id.
+func (g *Graph) AddNode() NodeID {
+	if g.frozen {
+		panic("graph: AddNode on frozen graph")
+	}
+	g.numNodes++
+	return NodeID(g.numNodes - 1)
+}
+
+// AddEdge inserts edge (from, label, to). Node and label ids beyond the
+// current universe grow it.
+func (g *Graph) AddEdge(from NodeID, label LabelID, to NodeID) {
+	if g.frozen {
+		panic("graph: AddEdge on frozen graph")
+	}
+	if int(from) >= g.numNodes {
+		g.numNodes = int(from) + 1
+	}
+	if int(to) >= g.numNodes {
+		g.numNodes = int(to) + 1
+	}
+	if int(label) >= g.numLabels {
+		g.numLabels = int(label) + 1
+	}
+	g.edges = append(g.edges, Edge{From: from, Label: label, To: to})
+}
+
+// Freeze sorts and deduplicates the edge list and builds the per-label
+// forward and backward adjacency maps. Freeze is idempotent.
+func (g *Graph) Freeze() {
+	if g.frozen {
+		return
+	}
+	sort.Slice(g.edges, func(i, j int) bool {
+		a, b := g.edges[i], g.edges[j]
+		if a.Label != b.Label {
+			return a.Label < b.Label
+		}
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.To < b.To
+	})
+	g.edges = dedupEdges(g.edges)
+
+	g.fwd = make([]adjacency, g.numLabels)
+	g.bwd = make([]adjacency, g.numLabels)
+	for a := 0; a < g.numLabels; a++ {
+		g.fwd[a] = buildAdjacency(g.numNodes, g.edges, LabelID(a), false)
+		g.bwd[a] = buildAdjacency(g.numNodes, g.edges, LabelID(a), true)
+	}
+	g.frozen = true
+}
+
+func dedupEdges(es []Edge) []Edge {
+	if len(es) < 2 {
+		return es
+	}
+	out := es[:1]
+	for _, e := range es[1:] {
+		if e != out[len(out)-1] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func buildAdjacency(n int, edges []Edge, label LabelID, backward bool) adjacency {
+	counts := make([]uint32, n+1)
+	for _, e := range edges {
+		if e.Label != label {
+			continue
+		}
+		src := e.From
+		if backward {
+			src = e.To
+		}
+		counts[src+1]++
+	}
+	for i := 1; i <= n; i++ {
+		counts[i] += counts[i-1]
+	}
+	total := counts[n]
+	ids := make([]NodeID, total)
+	next := make([]uint32, n)
+	copy(next, counts[:n])
+	for _, e := range edges {
+		if e.Label != label {
+			continue
+		}
+		src, dst := e.From, e.To
+		if backward {
+			src, dst = dst, src
+		}
+		ids[next[src]] = dst
+		next[src]++
+	}
+	// Each bucket is already sorted when edges are sorted by (label, from,
+	// to) and we scan forward — true for the forward direction; the
+	// backward direction needs a per-bucket sort.
+	if backward {
+		for v := 0; v < n; v++ {
+			bucket := ids[counts[v]:counts[v+1]]
+			sort.Slice(bucket, func(i, j int) bool { return bucket[i] < bucket[j] })
+		}
+	}
+	return adjacency{ptr: counts, ids: ids}
+}
+
+func (g *Graph) mustBeFrozen() {
+	if !g.frozen {
+		panic("graph: adjacency access before Freeze")
+	}
+}
+
+// Fwd returns F_a(v), the sorted a-successors of v.
+func (g *Graph) Fwd(a LabelID, v NodeID) []NodeID {
+	g.mustBeFrozen()
+	return g.fwd[a].neighbors(v)
+}
+
+// Bwd returns B_a(v), the sorted a-predecessors of v.
+func (g *Graph) Bwd(a LabelID, v NodeID) []NodeID {
+	g.mustBeFrozen()
+	return g.bwd[a].neighbors(v)
+}
+
+// HasEdge reports whether (from, a, to) ∈ E.
+func (g *Graph) HasEdge(from NodeID, a LabelID, to NodeID) bool {
+	g.mustBeFrozen()
+	ns := g.fwd[a].neighbors(from)
+	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= to })
+	return i < len(ns) && ns[i] == to
+}
+
+// OutDegree returns the number of outgoing a-edges of v.
+func (g *Graph) OutDegree(a LabelID, v NodeID) int {
+	g.mustBeFrozen()
+	return len(g.fwd[a].neighbors(v))
+}
+
+// InDegree returns the number of incoming a-edges of v.
+func (g *Graph) InDegree(a LabelID, v NodeID) int {
+	g.mustBeFrozen()
+	return len(g.bwd[a].neighbors(v))
+}
+
+// LabelsOf returns the set of labels used by at least one edge, in
+// ascending order — Σ(G) in the paper's complexity discussion.
+func (g *Graph) LabelsOf() []LabelID {
+	seen := make([]bool, g.numLabels)
+	for _, e := range g.edges {
+		seen[e.Label] = true
+	}
+	var out []LabelID
+	for a, ok := range seen {
+		if ok {
+			out = append(out, LabelID(a))
+		}
+	}
+	return out
+}
+
+// String renders the graph as one "v -a-> w" line per edge, for debugging
+// and golden tests.
+func (g *Graph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph(|V|=%d, |Σ|=%d, |E|=%d)", g.numNodes, g.numLabels, len(g.edges))
+	for _, e := range g.edges {
+		fmt.Fprintf(&b, "\n  %d -%d-> %d", e.From, e.Label, e.To)
+	}
+	return b.String()
+}

@@ -1,0 +1,231 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// fig2a builds the pattern of the paper's Fig. 2(a).
+func fig2a() (*Builder, *Graph) {
+	b := NewBuilder()
+	b.Edge("director1", "born_in", "place")
+	b.Edge("director2", "born_in", "place")
+	b.Edge("director1", "worked_with", "coworker")
+	b.Edge("director2", "directed", "movie")
+	return b, b.Graph()
+}
+
+func TestBuilderInterning(t *testing.T) {
+	b, g := fig2a()
+	if g.NumNodes() != 5 {
+		t.Fatalf("NumNodes = %d, want 5", g.NumNodes())
+	}
+	if g.NumLabels() != 3 {
+		t.Fatalf("NumLabels = %d, want 3", g.NumLabels())
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("NumEdges = %d, want 4", g.NumEdges())
+	}
+	d1, ok := b.NodeID("director1")
+	if !ok {
+		t.Fatal("director1 not interned")
+	}
+	if b.NodeName(d1) != "director1" {
+		t.Fatal("name roundtrip failed")
+	}
+	if _, ok := b.NodeID("nobody"); ok {
+		t.Fatal("phantom node")
+	}
+}
+
+func TestAdjacency(t *testing.T) {
+	b, g := fig2a()
+	place, _ := b.NodeID("place")
+	d1, _ := b.NodeID("director1")
+	d2, _ := b.NodeID("director2")
+	born, _ := b.LabelID("born_in")
+
+	if got := g.Fwd(born, d1); !reflect.DeepEqual(got, []NodeID{place}) {
+		t.Fatalf("Fwd(born_in, director1) = %v", got)
+	}
+	preds := g.Bwd(born, place)
+	if len(preds) != 2 {
+		t.Fatalf("Bwd(born_in, place) = %v", preds)
+	}
+	want := map[NodeID]bool{d1: true, d2: true}
+	for _, p := range preds {
+		if !want[p] {
+			t.Fatalf("unexpected predecessor %d", p)
+		}
+	}
+	if !g.HasEdge(d1, born, place) {
+		t.Fatal("HasEdge missing edge")
+	}
+	if g.HasEdge(place, born, d1) {
+		t.Fatal("HasEdge found reversed edge")
+	}
+	if g.OutDegree(born, d1) != 1 || g.InDegree(born, place) != 2 {
+		t.Fatal("degree mismatch")
+	}
+}
+
+func TestFreezeDedup(t *testing.T) {
+	g := New(0, 0)
+	g.AddEdge(0, 0, 1)
+	g.AddEdge(0, 0, 1)
+	g.AddEdge(0, 0, 2)
+	g.Freeze()
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d after dedup, want 2", g.NumEdges())
+	}
+}
+
+func TestFreezeIdempotent(t *testing.T) {
+	_, g := fig2a()
+	g.Freeze() // second call must not panic or change anything
+	if g.NumEdges() != 4 {
+		t.Fatal("Freeze not idempotent")
+	}
+}
+
+func TestMutationAfterFreezePanics(t *testing.T) {
+	_, g := fig2a()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddEdge after Freeze did not panic")
+		}
+	}()
+	g.AddEdge(0, 0, 1)
+}
+
+func TestAccessBeforeFreezePanics(t *testing.T) {
+	g := New(2, 1)
+	g.AddEdge(0, 0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Fwd before Freeze did not panic")
+		}
+	}()
+	g.Fwd(0, 0)
+}
+
+func TestLabelsOf(t *testing.T) {
+	b := NewBuilder()
+	b.Label("unused")
+	b.Edge("a", "x", "b")
+	b.Edge("b", "z", "c")
+	g := b.Graph()
+	got := g.LabelsOf()
+	if len(got) != 2 {
+		t.Fatalf("LabelsOf = %v", got)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := New(3, 2)
+	g.Freeze()
+	if g.NumEdges() != 0 {
+		t.Fatal("phantom edges")
+	}
+	if got := g.Fwd(0, 1); len(got) != 0 {
+		t.Fatalf("Fwd on empty = %v", got)
+	}
+}
+
+// randomGraph draws a random labeled graph for property tests; exported via
+// testing helpers in other packages too (duplicated to avoid test-only
+// cross-package dependencies).
+func randomGraph(r *rand.Rand, maxN, maxL, maxE int) *Graph {
+	n := r.Intn(maxN) + 1
+	l := r.Intn(maxL) + 1
+	g := New(n, l)
+	e := r.Intn(maxE + 1)
+	for i := 0; i < e; i++ {
+		g.AddEdge(NodeID(r.Intn(n)), LabelID(r.Intn(l)), NodeID(r.Intn(n)))
+	}
+	g.Freeze()
+	return g
+}
+
+func TestPropertyFwdBwdAreTransposes(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 40, 5, 200)
+		for _, a := range g.LabelsOf() {
+			for v := 0; v < g.NumNodes(); v++ {
+				for _, w := range g.Fwd(a, NodeID(v)) {
+					found := false
+					for _, u := range g.Bwd(a, w) {
+						if u == NodeID(v) {
+							found = true
+							break
+						}
+					}
+					if !found {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDegreesSumToEdges(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 30, 4, 150)
+		out, in := 0, 0
+		for a := 0; a < g.NumLabels(); a++ {
+			for v := 0; v < g.NumNodes(); v++ {
+				out += g.OutDegree(LabelID(a), NodeID(v))
+				in += g.InDegree(LabelID(a), NodeID(v))
+			}
+		}
+		return out == g.NumEdges() && in == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyNeighborsSorted(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 30, 4, 200)
+		sorted := func(xs []NodeID) bool {
+			for i := 1; i < len(xs); i++ {
+				if xs[i-1] >= xs[i] {
+					return false
+				}
+			}
+			return true
+		}
+		for a := 0; a < g.NumLabels(); a++ {
+			for v := 0; v < g.NumNodes(); v++ {
+				if !sorted(g.Fwd(LabelID(a), NodeID(v))) || !sorted(g.Bwd(LabelID(a), NodeID(v))) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	g := New(2, 1)
+	g.AddEdge(0, 0, 1)
+	g.Freeze()
+	want := "graph(|V|=2, |Σ|=1, |E|=1)\n  0 -0-> 1"
+	if got := g.String(); got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,221 @@
+// Package partition implements the index idea sketched in the paper's
+// related-work discussion (Sect. 6): computing (bounded) simulation
+// equivalence classes of database nodes and condensing the database into
+// a summary graph — a "database fingerprint" that is much smaller than
+// the original and can stand in for it during dual simulation pruning.
+//
+// The construction is k-bounded bisimulation partition refinement in the
+// style of Milo/Suciu index structures: nodes start in one block (split
+// by term kind), and each round re-partitions by the signature
+//
+//	sig(v) = { (p, →, block(w)) | (v,p,w) ∈ E } ∪ { (p, ←, block(u)) | (u,p,v) ∈ E }
+//
+// Since bisimulation refines dual simulation equivalence, the summary
+// graph dual-simulates the original: solving the SOI on the summary and
+// lifting block candidates back to nodes yields a superset of the
+// original candidate sets. That gives a sound two-stage pruning pipeline
+// (summary first, exact second) — property-tested here.
+package partition
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dualsim/internal/core"
+	"dualsim/internal/rdf"
+	"dualsim/internal/storage"
+)
+
+// Partition assigns every node a block id.
+type Partition struct {
+	Block  []int // node id -> block id
+	Blocks int
+	// Rounds is the number of refinement rounds actually performed
+	// (may be fewer than k if the partition stabilizes early).
+	Rounds int
+}
+
+// Refine computes the k-bounded bisimulation partition of the store's
+// nodes. k < 0 refines to the full fixpoint.
+func Refine(st *storage.Store, k int) *Partition {
+	n := st.NumNodes()
+	p := &Partition{Block: make([]int, n)}
+
+	// Round 0: split by term kind (objects vs. literals) — the two
+	// universes of Definition 1 must never merge.
+	for i := 0; i < n; i++ {
+		if st.Term(storage.NodeID(i)).IsLiteral() {
+			p.Block[i] = 1
+		}
+	}
+	p.Blocks = 2
+
+	for round := 0; k < 0 || round < k; round++ {
+		next, blocks := refineOnce(st, p.Block)
+		changed := blocks != p.Blocks || !equalInts(next, p.Block)
+		p.Block = next
+		p.Blocks = blocks
+		if !changed {
+			break
+		}
+		p.Rounds++
+	}
+	return p
+}
+
+func refineOnce(st *storage.Store, block []int) ([]int, int) {
+	n := len(block)
+	sigs := make([]string, n)
+	var sb strings.Builder
+	for v := 0; v < n; v++ {
+		sb.Reset()
+		fmt.Fprintf(&sb, "b%d;", block[v])
+		parts := signatureParts(st, storage.NodeID(v), block)
+		sort.Strings(parts)
+		prev := ""
+		for _, part := range parts {
+			if part == prev {
+				continue // set semantics
+			}
+			prev = part
+			sb.WriteString(part)
+			sb.WriteByte(';')
+		}
+		sigs[v] = sb.String()
+	}
+	ids := make(map[string]int)
+	next := make([]int, n)
+	for v, s := range sigs {
+		id, ok := ids[s]
+		if !ok {
+			id = len(ids)
+			ids[s] = id
+		}
+		next[v] = id
+	}
+	return next, len(ids)
+}
+
+func signatureParts(st *storage.Store, v storage.NodeID, block []int) []string {
+	var parts []string
+	for p := 0; p < st.NumPreds(); p++ {
+		pid := storage.PredID(p)
+		for _, w := range st.Objects(pid, v) {
+			parts = append(parts, fmt.Sprintf("f%d:%d", pid, block[w]))
+		}
+		for _, u := range st.Subjects(pid, v) {
+			parts = append(parts, fmt.Sprintf("b%d:%d", pid, block[u]))
+		}
+	}
+	return parts
+}
+
+func equalInts(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Summary condenses the store along a partition: one node per block, one
+// p-edge between blocks B1 and B2 iff some (v,p,w) ∈ E has v ∈ B1,
+// w ∈ B2. Block nodes are named "block<N>" (literal blocks become
+// literal terms so Definition 1 still holds on the summary).
+type Summary struct {
+	Store *storage.Store
+	Part  *Partition
+	// blockNode maps a block id to its node id in the summary store.
+	blockNode map[int]storage.NodeID
+}
+
+// Fingerprint builds the summary graph of the store under the partition.
+func Fingerprint(st *storage.Store, part *Partition) (*Summary, error) {
+	litBlock := make(map[int]bool)
+	for v := 0; v < st.NumNodes(); v++ {
+		if st.Term(storage.NodeID(v)).IsLiteral() {
+			litBlock[part.Block[v]] = true
+		}
+	}
+	name := func(b int) rdf.Term {
+		if litBlock[b] {
+			return rdf.NewLiteral(fmt.Sprintf("block%d", b))
+		}
+		return rdf.NewIRI(fmt.Sprintf("block%d", b))
+	}
+
+	sum := storage.New()
+	seen := make(map[[3]int]bool)
+	addErr := error(nil)
+	st.ForEachTriple(func(s storage.NodeID, p storage.PredID, o storage.NodeID) bool {
+		key := [3]int{part.Block[s], int(p), part.Block[o]}
+		if seen[key] {
+			return true
+		}
+		seen[key] = true
+		t := rdf.Triple{S: name(key[0]), P: st.Pred(p), O: name(key[2])}
+		if err := sum.Add(t); err != nil {
+			addErr = err
+			return false
+		}
+		return true
+	})
+	if addErr != nil {
+		return nil, addErr
+	}
+	sum.Build()
+
+	out := &Summary{Store: sum, Part: part, blockNode: make(map[int]storage.NodeID)}
+	for b := 0; b < part.Blocks; b++ {
+		if id, ok := sum.TermID(name(b)); ok {
+			out.blockNode[b] = id
+		}
+	}
+	return out, nil
+}
+
+// CompressionRatio returns |summary triples| / |original triples|.
+func (s *Summary) CompressionRatio(st *storage.Store) float64 {
+	if st.NumTriples() == 0 {
+		return 1
+	}
+	return float64(s.Store.NumTriples()) / float64(st.NumTriples())
+}
+
+// LiftedCandidates runs dual simulation of the pattern against the
+// summary and lifts block-level candidates back to original nodes: node
+// v is a candidate for variable x iff v's block dual-simulates x on the
+// summary. Constants cannot be resolved on the summary and make the
+// lifting degenerate to "all nodes" for their variables (sound).
+func (s *Summary) LiftedCandidates(st *storage.Store, p *core.Pattern) []map[storage.NodeID]bool {
+	// Rebuild the pattern without constants (they do not exist on the
+	// summary); constant variables become free.
+	free := core.NewPattern()
+	for _, pv := range p.Vars() {
+		free.Var(pv.Name)
+	}
+	for _, e := range p.Edges() {
+		free.Edge(p.Vars()[e.From].Name, e.Pred, p.Vars()[e.To].Name)
+	}
+
+	rel := core.DualSimulation(s.Store, free, core.Config{})
+	out := make([]map[storage.NodeID]bool, p.NumVars())
+	for i := range out {
+		out[i] = make(map[storage.NodeID]bool)
+		chi := rel.Chi[i]
+		okBlocks := make(map[int]bool)
+		for b, node := range s.blockNode {
+			if chi.Get(int(node)) {
+				okBlocks[b] = true
+			}
+		}
+		for v := 0; v < st.NumNodes(); v++ {
+			if okBlocks[s.Part.Block[v]] {
+				out[i][storage.NodeID(v)] = true
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dualsim/internal/core"
+	"dualsim/internal/rdf"
+	"dualsim/internal/storage"
+)
+
+func mustStore(t *testing.T, ts []rdf.Triple) *storage.Store {
+	t.Helper()
+	st, err := storage.FromTriples(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestRefineSeparatesKinds: literals and IRIs never share a block.
+func TestRefineSeparatesKinds(t *testing.T) {
+	st := mustStore(t, []rdf.Triple{
+		rdf.T("a", "p", "b"),
+		rdf.TL("a", "p", "b"), // literal "b"
+	})
+	part := Refine(st, -1)
+	iri, _ := st.TermID(rdf.NewIRI("b"))
+	lit, _ := st.TermID(rdf.NewLiteral("b"))
+	if part.Block[iri] == part.Block[lit] {
+		t.Fatal("literal and IRI merged")
+	}
+}
+
+// TestRefineMergesTwins: structurally identical nodes share a block.
+func TestRefineMergesTwins(t *testing.T) {
+	st := mustStore(t, []rdf.Triple{
+		rdf.T("u1", "works_for", "dept"),
+		rdf.T("u2", "works_for", "dept"),
+		rdf.T("u3", "works_for", "dept"),
+		rdf.T("boss", "works_for", "dept"),
+		rdf.T("boss", "head_of", "dept"),
+	})
+	part := Refine(st, -1)
+	id := func(n string) int {
+		nid, _ := st.TermID(rdf.NewIRI(n))
+		return part.Block[nid]
+	}
+	if id("u1") != id("u2") || id("u2") != id("u3") {
+		t.Fatal("twins u1/u2/u3 should share a block")
+	}
+	if id("boss") == id("u1") {
+		t.Fatal("boss has an extra edge and must split")
+	}
+	if id("dept") == id("u1") {
+		t.Fatal("dept must not merge with employees")
+	}
+}
+
+// TestRefineBoundedVsFixpoint: k=0 performs no refinement beyond the
+// kind split; increasing k refines monotonically.
+func TestRefineBoundedVsFixpoint(t *testing.T) {
+	st := mustStore(t, []rdf.Triple{
+		rdf.T("a", "p", "b"),
+		rdf.T("b", "p", "c"),
+		rdf.T("c", "p", "d"),
+		rdf.T("d", "p", "e"),
+	})
+	k0 := Refine(st, 0)
+	if k0.Blocks != 2 {
+		t.Fatalf("k=0 blocks = %d, want 2", k0.Blocks)
+	}
+	prev := k0.Blocks
+	for k := 1; k <= 5; k++ {
+		part := Refine(st, k)
+		if part.Blocks < prev {
+			t.Fatalf("k=%d coarsened the partition: %d < %d", k, part.Blocks, prev)
+		}
+		prev = part.Blocks
+	}
+	full := Refine(st, -1)
+	// The 5-chain is fully distinguishable: every node in its own block.
+	if full.Blocks != 5 {
+		t.Fatalf("fixpoint blocks = %d, want 5", full.Blocks)
+	}
+}
+
+// TestFingerprintShape: the LUBM-ish twin structure condenses.
+func TestFingerprintShape(t *testing.T) {
+	var ts []rdf.Triple
+	for i := 0; i < 50; i++ {
+		ts = append(ts, rdf.T(fmt.Sprintf("student%d", i), "member_of", "dept"))
+		ts = append(ts, rdf.T(fmt.Sprintf("student%d", i), "takes", "course"))
+	}
+	st := mustStore(t, ts)
+	part := Refine(st, -1)
+	sum, err := Fingerprint(st, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Store.NumTriples() != 2 {
+		t.Fatalf("summary triples = %d, want 2", sum.Store.NumTriples())
+	}
+	if r := sum.CompressionRatio(st); r > 0.05 {
+		t.Fatalf("compression ratio = %f", r)
+	}
+}
+
+// TestPropertyLiftedCandidatesSound is the index soundness claim: the
+// block-level dual simulation lifted to nodes contains the exact
+// node-level dual simulation.
+func TestPropertyLiftedCandidatesSound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		st := randomStore(r)
+		pat := randomPattern(r)
+		for _, k := range []int{0, 1, 2, -1} {
+			part := Refine(st, k)
+			sum, err := Fingerprint(st, part)
+			if err != nil {
+				return false
+			}
+			lifted := sum.LiftedCandidates(st, pat)
+			exact := core.DualSimulation(st, pat, core.Config{}).Sets()
+			for i := range exact {
+				for n := range exact[i] {
+					if !lifted[i][n] {
+						t.Logf("seed %d k %d: node %d var %d in exact but not lifted",
+							seed, k, n, i)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertySummaryNeverLarger: the fingerprint has at most as many
+// triples as the original.
+func TestPropertySummaryNeverLarger(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		st := randomStore(r)
+		sum, err := Fingerprint(st, Refine(st, -1))
+		if err != nil {
+			return false
+		}
+		return sum.Store.NumTriples() <= st.NumTriples()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomStore(r *rand.Rand) *storage.Store {
+	n := r.Intn(10) + 3
+	e := r.Intn(25) + 3
+	st := storage.New()
+	for i := 0; i < e; i++ {
+		if r.Intn(6) == 0 {
+			_ = st.Add(rdf.TL(
+				fmt.Sprintf("n%d", r.Intn(n)),
+				fmt.Sprintf("p%d", r.Intn(2)),
+				fmt.Sprintf("lit%d", r.Intn(3))))
+		} else {
+			_ = st.Add(rdf.T(
+				fmt.Sprintf("n%d", r.Intn(n)),
+				fmt.Sprintf("p%d", r.Intn(2)),
+				fmt.Sprintf("n%d", r.Intn(n))))
+		}
+	}
+	st.Build()
+	return st
+}
+
+func randomPattern(r *rand.Rand) *core.Pattern {
+	p := core.NewPattern()
+	nv := r.Intn(3) + 1
+	ne := r.Intn(3) + 1
+	for i := 0; i < ne; i++ {
+		p.Edge(
+			fmt.Sprintf("v%d", r.Intn(nv)),
+			fmt.Sprintf("p%d", r.Intn(2)),
+			fmt.Sprintf("v%d", r.Intn(nv)))
+	}
+	return p
+}

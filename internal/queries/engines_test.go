@@ -1,0 +1,31 @@
+package queries
+
+import (
+	"testing"
+
+	"dualsim/internal/engine"
+)
+
+// TestEnginesAgreeOnWorkload evaluates every benchmark query with both
+// production engines and requires identical result sets — the workload-
+// level version of the random-query property test in internal/engine.
+func TestEnginesAgreeOnWorkload(t *testing.T) {
+	stores := testStores(t)
+	hash := engine.NewHashJoin()
+	index := engine.NewIndexNL()
+	for _, s := range All() {
+		st := stores[s.Dataset]
+		q := s.Query()
+		a, err := hash.Evaluate(st, q)
+		if err != nil {
+			t.Fatalf("%s hash: %v", s.ID, err)
+		}
+		b, err := index.Evaluate(st, q)
+		if err != nil {
+			t.Fatalf("%s index: %v", s.ID, err)
+		}
+		if !a.Equal(b) {
+			t.Fatalf("%s: engines disagree (%d vs %d rows)", s.ID, a.Len(), b.Len())
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package queries
+
+import (
+	"dualsim/internal/rdf"
+	"dualsim/internal/storage"
+)
+
+// Fig1aTriples returns the example graph database of the paper's
+// Fig. 1(a). Edge directions are reconstructed from the running text:
+// (X1) matches only B. De Palma and G. Hamilton as ?director, while (X2)
+// additionally matches D. Koepp and T. Young — so neither of the latter
+// has an outgoing worked_with edge.
+func Fig1aTriples() []rdf.Triple {
+	return []rdf.Triple{
+		rdf.T("B._De_Palma", "directed", "Mission:_Impossible"),
+		rdf.T("B._De_Palma", "awarded", "Oscar"),
+		rdf.T("B._De_Palma", "born_in", "Newark"),
+		rdf.T("B._De_Palma", "worked_with", "D._Koepp"),
+		rdf.T("Mission:_Impossible", "genre", "Action"),
+		rdf.T("Goldfinger", "genre", "Action"),
+		rdf.T("G._Hamilton", "directed", "Goldfinger"),
+		rdf.T("G._Hamilton", "born_in", "Paris"),
+		rdf.T("G._Hamilton", "worked_with", "H._Saltzman"),
+		rdf.T("Thunderball", "sequel_of", "Goldfinger"),
+		rdf.T("Thunderball", "awarded", "Oscar"),
+		rdf.T("H._Saltzman", "born_in", "Saint_John"),
+		rdf.T("From_Russia_with_Love", "prequel_of", "Goldfinger"),
+		rdf.T("T._Young", "directed", "From_Russia_with_Love"),
+		rdf.T("T._Young", "awarded", "BAFTA_Awards"),
+		rdf.T("P.R._Hunt", "worked_with", "D._Koepp"),
+		rdf.T("D._Koepp", "directed", "Mortdecai"),
+		rdf.TL("Newark", "population", "277140"),
+		rdf.TL("Paris", "population", "2220445"),
+		rdf.TL("Saint_John", "population", "70063"),
+	}
+}
+
+// Fig1aStore loads Fig. 1(a) into a store.
+func Fig1aStore() (*storage.Store, error) {
+	return storage.FromTriples(Fig1aTriples())
+}
+
+// QueryX1 is the paper's introductory query (X1).
+const QueryX1 = `SELECT * WHERE {
+  ?director <directed> ?movie .
+  ?director <worked_with> ?coworker . }`
+
+// QueryX2 is (X2): (X1) with the coworker part optional.
+const QueryX2 = `SELECT * WHERE {
+  ?director <directed> ?movie .
+  OPTIONAL { ?director <worked_with> ?coworker . } }`
+
+// QueryX3 is the non-well-designed example (X3) of Sect. 4.4.
+const QueryX3 = `SELECT * WHERE {
+  { { ?v1 <a> ?v2 . } OPTIONAL { ?v3 <b> ?v2 . } }
+  { ?v3 <c> ?v4 . } }`

@@ -1,0 +1,113 @@
+package rdf
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// failWriter fails after n bytes.
+type failWriter struct {
+	n       int
+	written int
+}
+
+var errDiskFull = errors.New("disk full")
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.n {
+		allowed := w.n - w.written
+		if allowed < 0 {
+			allowed = 0
+		}
+		w.written += allowed
+		return allowed, errDiskFull
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+func TestWriterPropagatesError(t *testing.T) {
+	w := NewWriter(&failWriter{n: 8})
+	// Buffered writes only fail on flush or buffer overflow; force many
+	// triples so the buffer spills.
+	var err error
+	for i := 0; i < 10_000 && err == nil; i++ {
+		err = w.Write(T("subject", "predicate", "object"))
+	}
+	if err == nil {
+		err = w.Flush()
+	}
+	if !errors.Is(err, errDiskFull) {
+		t.Fatalf("err = %v, want disk full", err)
+	}
+	// Subsequent writes keep failing fast.
+	if err := w.Write(T("a", "b", "c")); !errors.Is(err, errDiskFull) {
+		t.Fatalf("sticky error lost: %v", err)
+	}
+	if err := w.Flush(); !errors.Is(err, errDiskFull) {
+		t.Fatalf("flush after failure: %v", err)
+	}
+}
+
+// failReader errors midway through the stream.
+type failReader struct {
+	data string
+	pos  int
+	n    int
+}
+
+var errIO = errors.New("io broke")
+
+func (r *failReader) Read(p []byte) (int, error) {
+	if r.pos >= r.n {
+		return 0, errIO
+	}
+	limit := r.n - r.pos
+	if limit > len(p) {
+		limit = len(p)
+	}
+	count := copy(p[:limit], r.data[r.pos:])
+	r.pos += count
+	return count, nil
+}
+
+func TestReaderPropagatesIOError(t *testing.T) {
+	// The failure point is line-aligned: a mid-line failure would surface
+	// as a parse error on the truncated final token instead (Scanner
+	// flushes buffered data as a last token on error).
+	line := "<a> <p> <b> .\n"
+	data := strings.Repeat(line, 100)
+	_, err := ReadAll(&failReader{data: data, n: 3 * len(line)})
+	if !errors.Is(err, errIO) {
+		t.Fatalf("err = %v, want io error", err)
+	}
+}
+
+// TestReaderHugeLine: lines beyond the default bufio.Scanner limit must
+// still parse (the Reader raises the buffer cap).
+func TestReaderHugeLine(t *testing.T) {
+	long := strings.Repeat("x", 200_000)
+	line := `<a> <p> "` + long + `" .`
+	ts, err := ReadAll(strings.NewReader(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 1 || len(ts[0].O.Value) != 200_000 {
+		t.Fatal("huge literal mangled")
+	}
+}
+
+func TestReadAllStopsAtFirstBadLine(t *testing.T) {
+	in := "<a> <p> <b> .\ngarbage line here that cannot parse <\n<c> <p> <d> ."
+	_, err := ReadAll(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("bad line accepted")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+var _ io.Reader = (*failReader)(nil)

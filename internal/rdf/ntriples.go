@@ -1,0 +1,235 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Reader parses the N-Triples-style text format:
+//
+//	<subject> <predicate> <object> .
+//	<subject> <predicate> "literal" .
+//	# comment lines and blank lines are skipped
+//
+// Plain (unbracketed, unquoted) tokens are also accepted as IRIs so that
+// hand-written fixture files stay readable.
+type Reader struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewReader returns a Reader over r.
+func NewReader(r io.Reader) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &Reader{sc: sc}
+}
+
+// Read returns the next triple, or io.EOF when the input is exhausted.
+func (r *Reader) Read() (Triple, error) {
+	for r.sc.Scan() {
+		r.line++
+		line := strings.TrimSpace(r.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		t, err := ParseTriple(line)
+		if err != nil {
+			return Triple{}, fmt.Errorf("line %d: %w", r.line, err)
+		}
+		return t, nil
+	}
+	if err := r.sc.Err(); err != nil {
+		return Triple{}, err
+	}
+	return Triple{}, io.EOF
+}
+
+// ReadAll consumes the whole input.
+func ReadAll(r io.Reader) ([]Triple, error) {
+	rd := NewReader(r)
+	var out []Triple
+	for {
+		t, err := rd.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+}
+
+// ParseTriple parses a single N-Triples line (the trailing dot is
+// optional).
+func ParseTriple(line string) (Triple, error) {
+	p := &lineParser{s: line}
+	sTok, sKind, err := p.token()
+	if err != nil {
+		return Triple{}, err
+	}
+	if sKind == tokLiteral {
+		return Triple{}, fmt.Errorf("rdf: literal in subject position: %q", line)
+	}
+	pTok, pKind, err := p.token()
+	if err != nil {
+		return Triple{}, err
+	}
+	if pKind == tokLiteral {
+		return Triple{}, fmt.Errorf("rdf: literal in predicate position: %q", line)
+	}
+	oTok, oKind, err := p.token()
+	if err != nil {
+		return Triple{}, err
+	}
+	if err := p.end(); err != nil {
+		return Triple{}, err
+	}
+	t := Triple{S: NewIRI(sTok), P: pTok}
+	if oKind == tokLiteral {
+		t.O = NewLiteral(oTok)
+	} else {
+		t.O = NewIRI(oTok)
+	}
+	if err := t.Validate(); err != nil {
+		return Triple{}, err
+	}
+	return t, nil
+}
+
+type tokKind uint8
+
+const (
+	tokIRI tokKind = iota
+	tokLiteral
+)
+
+type lineParser struct {
+	s   string
+	pos int
+}
+
+func (p *lineParser) skipSpace() {
+	for p.pos < len(p.s) && (p.s[p.pos] == ' ' || p.s[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *lineParser) token() (string, tokKind, error) {
+	p.skipSpace()
+	if p.pos >= len(p.s) {
+		return "", 0, fmt.Errorf("rdf: unexpected end of line in %q", p.s)
+	}
+	switch p.s[p.pos] {
+	case '<':
+		end := strings.IndexByte(p.s[p.pos:], '>')
+		if end < 0 {
+			return "", 0, fmt.Errorf("rdf: unterminated IRI in %q", p.s)
+		}
+		tok := p.s[p.pos+1 : p.pos+end]
+		p.pos += end + 1
+		if tok == "" {
+			return "", 0, fmt.Errorf("rdf: empty IRI in %q", p.s)
+		}
+		return tok, tokIRI, nil
+	case '"':
+		i := p.pos + 1
+		for i < len(p.s) {
+			if p.s[i] == '\\' {
+				i += 2
+				continue
+			}
+			if p.s[i] == '"' {
+				break
+			}
+			i++
+		}
+		if i >= len(p.s) {
+			return "", 0, fmt.Errorf("rdf: unterminated literal in %q", p.s)
+		}
+		raw := p.s[p.pos+1 : i]
+		p.pos = i + 1
+		// Skip optional datatype/lang suffix (^^<...> or @lang).
+		for p.pos < len(p.s) && p.s[p.pos] != ' ' && p.s[p.pos] != '\t' {
+			p.pos++
+		}
+		val, err := unescapeLiteral(raw)
+		if err != nil {
+			return "", 0, err
+		}
+		return val, tokLiteral, nil
+	default:
+		start := p.pos
+		for p.pos < len(p.s) && p.s[p.pos] != ' ' && p.s[p.pos] != '\t' {
+			p.pos++
+		}
+		tok := p.s[start:p.pos]
+		if tok == "." {
+			return "", 0, fmt.Errorf("rdf: missing term before '.' in %q", p.s)
+		}
+		return tok, tokIRI, nil
+	}
+}
+
+func (p *lineParser) end() error {
+	p.skipSpace()
+	rest := strings.TrimSpace(p.s[p.pos:])
+	if rest != "" && rest != "." {
+		return fmt.Errorf("rdf: trailing garbage %q in %q", rest, p.s)
+	}
+	return nil
+}
+
+// Writer emits triples in the same format Reader accepts.
+type Writer struct {
+	w   *bufio.Writer
+	err error
+	n   int
+}
+
+// NewWriter returns a Writer over w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// Write emits one triple.
+func (w *Writer) Write(t Triple) error {
+	if w.err != nil {
+		return w.err
+	}
+	if _, err := w.w.WriteString(t.String()); err != nil {
+		w.err = err
+		return err
+	}
+	if err := w.w.WriteByte('\n'); err != nil {
+		w.err = err
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// Count returns the number of triples written so far.
+func (w *Writer) Count() int { return w.n }
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// WriteAll writes all triples and flushes.
+func WriteAll(w io.Writer, ts []Triple) error {
+	wr := NewWriter(w)
+	for _, t := range ts {
+		if err := wr.Write(t); err != nil {
+			return err
+		}
+	}
+	return wr.Flush()
+}

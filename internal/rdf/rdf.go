@@ -1,0 +1,153 @@
+// Package rdf provides the RDF data model of the paper's Sect. 2: triples
+// (s, p, o) over two disjoint universes — objects (IRIs) and literals —
+// with predicates drawn from a third universe. Literals may only occur in
+// the object position (Definition 1).
+//
+// The package also implements a line-oriented N-Triples-style text format
+// for loading and dumping graph databases.
+package rdf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind distinguishes the two node universes.
+type Kind uint8
+
+const (
+	// IRI identifies a database object (the universe O).
+	IRI Kind = iota
+	// Literal identifies a data value (the universe L).
+	Literal
+)
+
+// Term is a subject or object: either an IRI or a literal. The paper
+// abstracts IRIs to intuitive names; we do the same — Value holds the name
+// without angle brackets or quotes.
+type Term struct {
+	Kind  Kind
+	Value string
+}
+
+// NewIRI returns an IRI term.
+func NewIRI(v string) Term { return Term{Kind: IRI, Value: v} }
+
+// NewLiteral returns a literal term.
+func NewLiteral(v string) Term { return Term{Kind: Literal, Value: v} }
+
+// IsIRI reports whether t is an object (IRI) term.
+func (t Term) IsIRI() bool { return t.Kind == IRI }
+
+// IsLiteral reports whether t is a literal term.
+func (t Term) IsLiteral() bool { return t.Kind == Literal }
+
+// Key returns a string that is unique across both universes, suitable as a
+// dictionary key ("i:" + value for IRIs, "l:" + value for literals).
+func (t Term) Key() string {
+	if t.Kind == IRI {
+		return "i:" + t.Value
+	}
+	return "l:" + t.Value
+}
+
+// String renders the term in N-Triples style: <iri> or "literal".
+func (t Term) String() string {
+	if t.Kind == IRI {
+		return "<" + t.Value + ">"
+	}
+	return `"` + escapeLiteral(t.Value) + `"`
+}
+
+// Triple is a generalized RDF triple from O × P × (O ∪ L).
+type Triple struct {
+	S Term   // subject: must be an IRI
+	P string // predicate IRI
+	O Term   // object: IRI or literal
+}
+
+// T is a convenience constructor for an IRI-object triple.
+func T(s, p, o string) Triple {
+	return Triple{S: NewIRI(s), P: p, O: NewIRI(o)}
+}
+
+// TL is a convenience constructor for a literal-object triple.
+func TL(s, p, lit string) Triple {
+	return Triple{S: NewIRI(s), P: p, O: NewLiteral(lit)}
+}
+
+// Validate checks the well-formedness constraints of Definition 1.
+func (t Triple) Validate() error {
+	if !t.S.IsIRI() {
+		return fmt.Errorf("rdf: subject %s is a literal; literals may only occur in object position", t.S)
+	}
+	if t.S.Value == "" {
+		return fmt.Errorf("rdf: empty subject")
+	}
+	if t.P == "" {
+		return fmt.Errorf("rdf: empty predicate")
+	}
+	if t.O.Value == "" && t.O.IsIRI() {
+		return fmt.Errorf("rdf: empty object IRI")
+	}
+	return nil
+}
+
+// String renders the triple as one N-Triples line (without newline).
+func (t Triple) String() string {
+	return fmt.Sprintf("%s <%s> %s .", t.S, t.P, t.O)
+}
+
+func escapeLiteral(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		case '\r':
+			b.WriteString(`\r`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func unescapeLiteral(s string) (string, error) {
+	if !strings.ContainsRune(s, '\\') {
+		return s, nil
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '\\' {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(s) {
+			return "", fmt.Errorf("rdf: dangling escape in literal %q", s)
+		}
+		switch s[i] {
+		case '"':
+			b.WriteByte('"')
+		case '\\':
+			b.WriteByte('\\')
+		case 'n':
+			b.WriteByte('\n')
+		case 't':
+			b.WriteByte('\t')
+		case 'r':
+			b.WriteByte('\r')
+		default:
+			return "", fmt.Errorf("rdf: unknown escape \\%c in literal %q", s[i], s)
+		}
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,333 @@
+// Package soi implements the system-of-inequalities (SOI) characterization
+// of dual simulation from Sect. 3 of the paper.
+//
+// A System holds one variable per pattern node (plus renamed copies
+// introduced for SPARQL OPTIONAL handling, cf. Sect. 4) and three kinds of
+// constraints:
+//
+//   - an initial upper bound per variable — inequality (12) `v ≤ 1`, or its
+//     sharpened form (13) using the label summary vectors f_a, b_a, possibly
+//     intersected with a singleton when the pattern node is a constant;
+//   - edge inequalities `w ≤ v ×b F_a` and `v ≤ w ×b B_a` — inequality (11),
+//     one pair per pattern edge (v, a, w);
+//   - copy inequalities `x ≤ y` — inequalities (14)/(15) linking optional
+//     variable copies to their mandatory originals.
+//
+// Solve computes the largest solution with the round-based worklist
+// algorithm of Sect. 3.2, step 2: evaluate unstable inequalities, shrink
+// the left-hand variable by the ∧-update, and destabilize every inequality
+// whose right-hand side mentions the shrunken variable. The evaluation
+// strategy for each ×b (row-wise vs. column-wise) and the processing order
+// of unstable inequalities follow the heuristics of Sect. 3.3 and can be
+// overridden for ablation experiments.
+package soi
+
+import (
+	"fmt"
+	"sort"
+
+	"dualsim/internal/bitmat"
+	"dualsim/internal/bitvec"
+)
+
+// Var indexes a variable of the system.
+type Var int
+
+// Kind distinguishes the two inequality forms.
+type Kind uint8
+
+const (
+	// Edge is an inequality X ≤ Y ×b A with A an adjacency matrix.
+	Edge Kind = iota
+	// Copy is an inequality X ≤ Y.
+	Copy
+)
+
+// Ineq is one inequality of the system.
+type Ineq struct {
+	Kind Kind
+	X    Var // constrained (left-hand) variable
+	Y    Var // right-hand variable
+
+	// Edge-only fields.
+	Mats  bitmat.Pair
+	Dir   bitmat.Direction
+	Label string // predicate name, for diagnostics
+
+	// emptyCols caches the number of empty columns of the effective
+	// matrix — the static ordering heuristic key (§3.3).
+	emptyCols int
+}
+
+func (iq Ineq) String() string {
+	if iq.Kind == Copy {
+		return fmt.Sprintf("x%d ≤ x%d", iq.X, iq.Y)
+	}
+	d := "F"
+	if iq.Dir == bitmat.Backward {
+		d = "B"
+	}
+	return fmt.Sprintf("x%d ≤ x%d ×b %s_%s", iq.X, iq.Y, d, iq.Label)
+}
+
+// System is a system of inequalities over an n-dimensional node universe.
+type System struct {
+	n       int
+	names   []string
+	init    []*bitvec.Vector
+	ineqs   []Ineq
+	deps    [][]int // deps[v] = indices of inequalities with Y == v
+	reqVars []bool  // mandatory variables (empty ⇒ no query match exists)
+}
+
+// NewSystem returns an empty system over an n-node universe.
+func NewSystem(n int) *System {
+	return &System{n: n}
+}
+
+// Dim returns the node-universe size n.
+func (s *System) Dim() int { return s.n }
+
+// NumVars returns the number of variables.
+func (s *System) NumVars() int { return len(s.names) }
+
+// NumIneqs returns the number of inequalities.
+func (s *System) NumIneqs() int { return len(s.ineqs) }
+
+// VarName returns the diagnostic name of v.
+func (s *System) VarName(v Var) string { return s.names[v] }
+
+// Ineqs returns the inequality list (read-only).
+func (s *System) Ineqs() []Ineq { return s.ineqs }
+
+// AddVar adds a variable with the given name, initial upper bound and
+// mandatory flag. If init is nil the bound is the full vector 1
+// (inequality (12)). The bound is cloned by Solve, never mutated.
+func (s *System) AddVar(name string, init *bitvec.Vector, required bool) Var {
+	if init != nil && init.Len() != s.n {
+		panic(fmt.Sprintf("soi: init length %d != dim %d", init.Len(), s.n))
+	}
+	v := Var(len(s.names))
+	s.names = append(s.names, name)
+	s.init = append(s.init, init)
+	s.reqVars = append(s.reqVars, required)
+	return v
+}
+
+// ConstrainInit intersects the initial bound of v with extra — used to
+// layer the summary-vector initialization (13) and constant bindings on
+// top of (12).
+func (s *System) ConstrainInit(v Var, extra *bitvec.Vector) {
+	if extra.Len() != s.n {
+		panic("soi: bound length mismatch")
+	}
+	if s.init[v] == nil {
+		s.init[v] = extra.Clone()
+		return
+	}
+	s.init[v].And(extra)
+}
+
+// AddEdge installs the two inequalities (11) for a pattern edge
+// (from, label, to): to ≤ from ×b F_a and from ≤ to ×b B_a.
+func (s *System) AddEdge(from, to Var, mats bitmat.Pair, label string) {
+	fwdEmptyCols := mats.F.Dim() - mats.B.NonEmptyRowCount()
+	bwdEmptyCols := mats.B.Dim() - mats.F.NonEmptyRowCount()
+	s.ineqs = append(s.ineqs,
+		Ineq{Kind: Edge, X: to, Y: from, Mats: mats, Dir: bitmat.Forward, Label: label, emptyCols: fwdEmptyCols},
+		Ineq{Kind: Edge, X: from, Y: to, Mats: mats, Dir: bitmat.Backward, Label: label, emptyCols: bwdEmptyCols},
+	)
+}
+
+// AddCopy installs the inequality x ≤ y (inequalities (14)/(15)).
+func (s *System) AddCopy(x, y Var) {
+	s.ineqs = append(s.ineqs, Ineq{Kind: Copy, X: x, Y: y})
+}
+
+// Order selects the processing order of unstable inequalities in a round.
+type Order uint8
+
+const (
+	// SparsestFirst processes inequalities whose matrices have more empty
+	// columns first — the paper's static heuristic (§3.3).
+	SparsestFirst Order = iota
+	// DeclarationOrder keeps insertion order (ablation baseline).
+	DeclarationOrder
+)
+
+// Options control Solve.
+type Options struct {
+	// Strategy is the ×b evaluation strategy (default Auto, the paper's
+	// popcount heuristic).
+	Strategy bitmat.Strategy
+	// Order is the per-round inequality ordering (default SparsestFirst).
+	Order Order
+	// ShortCircuit stops as soon as a required variable becomes empty.
+	// Sound for query processing: an empty mandatory variable means the
+	// query has no matches at all (Theorem 1).
+	ShortCircuit bool
+	// Workers > 1 evaluates each ×b multiplication with that many
+	// goroutines (the bit-matrix parallelization of Sect. 1).
+	Workers int
+	// Permutation, when non-nil, fixes an explicit inequality evaluation
+	// order (overriding Order) — used by SearchOrders to explore the
+	// order space the way the paper's §5.3 brute-force analysis does.
+	// Must be a permutation of [0, NumIneqs()).
+	Permutation []int
+}
+
+// Stats reports solver effort, the quantities discussed in §5.2/§5.3.
+type Stats struct {
+	// Rounds counts worklist rounds (the paper's "iterations"): all
+	// inequalities unstable at the start of a round are evaluated once.
+	Rounds int
+	// Evaluations counts individual inequality evaluations.
+	Evaluations int
+	// Updates counts evaluations that shrank a variable.
+	Updates int
+	// ShortCircuited reports whether Solve stopped early on an empty
+	// required variable.
+	ShortCircuited bool
+}
+
+// Solution is the largest solution of the system: one χS row per variable.
+type Solution struct {
+	Chi   []*bitvec.Vector
+	Stats Stats
+}
+
+// EmptyRequired reports whether some required variable has an empty χS
+// row, i.e. the query is unsatisfiable (no SPARQL match exists).
+func (sol *Solution) EmptyRequired(s *System) bool {
+	for v, req := range s.reqVars {
+		if req && sol.Chi[v].IsEmpty() {
+			return true
+		}
+	}
+	return false
+}
+
+// Solve computes the largest solution. The system itself is not modified
+// and may be solved repeatedly (e.g. with different options).
+func (s *System) Solve(opts Options) *Solution {
+	chi := make([]*bitvec.Vector, len(s.names))
+	for v := range chi {
+		if s.init[v] == nil {
+			chi[v] = bitvec.NewFull(s.n)
+		} else {
+			chi[v] = s.init[v].Clone()
+		}
+	}
+	s.buildDeps()
+
+	sol := &Solution{Chi: chi}
+	if opts.ShortCircuit {
+		// The initialization (13) or a constant binding may already have
+		// emptied a required variable.
+		for v, req := range s.reqVars {
+			if req && chi[v].IsEmpty() {
+				sol.Stats.ShortCircuited = true
+				return sol
+			}
+		}
+	}
+	scratch := bitvec.New(s.n)
+
+	// current/next worklists of inequality indices; inQueue de-duplicates.
+	current := make([]int, len(s.ineqs))
+	for i := range current {
+		current[i] = i
+	}
+	reorder := func(queue []int) {
+		switch {
+		case opts.Permutation != nil:
+			sortByPermutation(queue, opts.Permutation)
+		case opts.Order == SparsestFirst:
+			sort.SliceStable(queue, func(a, b int) bool {
+				return s.ineqs[queue[a]].emptyCols > s.ineqs[queue[b]].emptyCols
+			})
+		}
+	}
+	reorder(current)
+	inQueue := make([]bool, len(s.ineqs))
+	for _, i := range current {
+		inQueue[i] = true
+	}
+
+	for len(current) > 0 {
+		sol.Stats.Rounds++
+		var next []int
+		for _, idx := range current {
+			inQueue[idx] = false
+			iq := &s.ineqs[idx]
+			sol.Stats.Evaluations++
+
+			changed := false
+			switch iq.Kind {
+			case Copy:
+				changed = chi[iq.X].And(chi[iq.Y])
+			case Edge:
+				iq.Mats.MultiplyParallel(iq.Dir, chi[iq.Y], chi[iq.X], scratch, opts.Strategy, opts.Workers)
+				if !scratch.Equal(chi[iq.X]) {
+					chi[iq.X].CopyFrom(scratch)
+					changed = true
+				}
+			}
+			if !changed {
+				continue
+			}
+			sol.Stats.Updates++
+			if opts.ShortCircuit && s.reqVars[iq.X] && chi[iq.X].IsEmpty() {
+				sol.Stats.ShortCircuited = true
+				return sol
+			}
+			// Re-enqueue every inequality whose right-hand side mentions
+			// the shrunken variable — including this one when X == Y
+			// (self-loop pattern edges), which may shrink further.
+			for _, dep := range s.deps[iq.X] {
+				if !inQueue[dep] {
+					inQueue[dep] = true
+					next = append(next, dep)
+				}
+			}
+		}
+		reorder(next)
+		current = next
+	}
+	return sol
+}
+
+func (s *System) buildDeps() {
+	if len(s.deps) == len(s.names) {
+		return
+	}
+	s.deps = make([][]int, len(s.names))
+	for i, iq := range s.ineqs {
+		s.deps[iq.Y] = append(s.deps[iq.Y], i)
+	}
+}
+
+// Verify checks that sol satisfies every inequality — the validity test of
+// Sect. 4.5 ("checking whether a given relation S constitutes a valid
+// assignment to E(Q) … may be performed in PTIME"). It returns the first
+// violated inequality, or nil.
+func (s *System) Verify(sol *Solution) *Ineq {
+	scratch := bitvec.New(s.n)
+	full := bitvec.NewFull(s.n)
+	for i := range s.ineqs {
+		iq := &s.ineqs[i]
+		switch iq.Kind {
+		case Copy:
+			if !sol.Chi[iq.X].SubsetOf(sol.Chi[iq.Y]) {
+				return iq
+			}
+		case Edge:
+			// Unrestricted multiply: X must be ≤ Y ×b A outright.
+			iq.Mats.Multiply(iq.Dir, sol.Chi[iq.Y], full, scratch, bitmat.RowWise)
+			if !sol.Chi[iq.X].SubsetOf(scratch) {
+				return iq
+			}
+		}
+	}
+	return nil
+}

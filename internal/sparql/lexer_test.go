@@ -1,0 +1,94 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDollarVariableSyntax(t *testing.T) {
+	q := MustParse(`SELECT * WHERE { $x p $y }`)
+	bgp := q.Expr.(BGP)
+	if bgp[0].S.Var != "x" || bgp[0].O.Var != "y" {
+		t.Fatalf("dollar vars = %v", bgp[0])
+	}
+}
+
+func TestSingleQuotedLiterals(t *testing.T) {
+	q := MustParse(`SELECT * WHERE { ?s p 'hello world' }`)
+	bgp := q.Expr.(BGP)
+	if !bgp[0].O.Const.IsLiteral() || bgp[0].O.Const.Value != "hello world" {
+		t.Fatalf("literal = %v", bgp[0].O)
+	}
+}
+
+func TestLiteralEscapes(t *testing.T) {
+	q := MustParse(`SELECT * WHERE { ?s p "a\nb\tc\\d\"e" }`)
+	want := "a\nb\tc\\d\"e"
+	if got := q.Expr.(BGP)[0].O.Const.Value; got != want {
+		t.Fatalf("literal = %q, want %q", got, want)
+	}
+	if _, err := Parse(`SELECT * WHERE { ?s p "bad\q" }`); err == nil {
+		t.Fatal("unknown escape accepted")
+	}
+}
+
+func TestPrefixedNameTokens(t *testing.T) {
+	q := MustParse(`SELECT * WHERE { ?s rdf:type ub:Publication }`)
+	bgp := q.Expr.(BGP)
+	if bgp[0].P.Const.Value != "rdf:type" || bgp[0].O.Const.Value != "ub:Publication" {
+		t.Fatalf("prefixed names = %v", bgp[0])
+	}
+}
+
+func TestKeywordCaseInsensitive(t *testing.T) {
+	q := MustParse(`select * where { ?a p ?b optional { ?a q ?c } }`)
+	if _, ok := q.Expr.(Optional); !ok {
+		t.Fatalf("got %T", q.Expr)
+	}
+	q2 := MustParse(`SELECT * WHERE { { ?a p ?b } union { ?a q ?b } }`)
+	if _, ok := q2.Expr.(Union); !ok {
+		t.Fatalf("got %T", q2.Expr)
+	}
+}
+
+func TestNestedGroupsDeep(t *testing.T) {
+	q := MustParse(`SELECT * WHERE { { { { ?a p ?b } } } }`)
+	if bgp, ok := q.Expr.(BGP); !ok || len(bgp) != 1 {
+		t.Fatalf("deep nesting = %T %v", q.Expr, q.Expr)
+	}
+}
+
+func TestUnionAfterOptionalGroup(t *testing.T) {
+	// OPTIONAL over a union of groups.
+	q := MustParse(`SELECT * WHERE { ?a p ?b OPTIONAL { { ?b q ?c } UNION { ?b r ?c } } }`)
+	opt, ok := q.Expr.(Optional)
+	if !ok {
+		t.Fatalf("got %T", q.Expr)
+	}
+	if _, ok := opt.R.(Union); !ok {
+		t.Fatalf("optional right = %T", opt.R)
+	}
+}
+
+func TestVarsOnNestedStructure(t *testing.T) {
+	q := MustParse(`SELECT * WHERE {
+	  { ?a p ?b } UNION { ?c q ?d OPTIONAL { ?e r ?f } } }`)
+	if got := len(Vars(q.Expr)); got != 6 {
+		t.Fatalf("vars = %d", got)
+	}
+	m := Mand(q.Expr)
+	if len(m) != 0 {
+		t.Fatalf("mand across union branches = %v", m)
+	}
+}
+
+func TestErrorMessagesCarryContext(t *testing.T) {
+	_, err := Parse(`SELECT * WHERE { ?s p "unterminated }`)
+	if err == nil || !strings.Contains(err.Error(), "unterminated") {
+		t.Fatalf("err = %v", err)
+	}
+	_, err = Parse(`FOO * WHERE { ?s p ?o }`)
+	if err == nil || !strings.Contains(err.Error(), "SELECT") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,327 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse parses the concrete syntax
+//
+//	SELECT * WHERE { pattern }
+//
+// where pattern is a sequence of triple patterns separated by optional
+// dots, sub-groups `{ … }`, `OPTIONAL { … }` clauses and `{…} UNION {…}`
+// alternations. Terms are variables (?name), IRIs (<iri> or bare words)
+// and literals ("text", object position only). Comment lines start with
+// '#'.
+//
+// Juxtaposition inside a group denotes conjunction: triple patterns
+// accumulate into one BGP, sub-groups and OPTIONAL clauses combine with
+// the accumulated pattern via AND and OPTIONAL, exactly the standard
+// SPARQL-algebra group translation.
+func Parse(input string) (*Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	if err := p.keyword("SELECT"); err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokStar); err != nil {
+		return nil, err
+	}
+	if err := p.keyword("WHERE"); err != nil {
+		return nil, err
+	}
+	expr, err := p.group()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eof() {
+		return nil, fmt.Errorf("sparql: trailing input at %q", p.peek().text)
+	}
+	return &Query{Expr: expr}, nil
+}
+
+// MustParse is Parse for tests and fixtures; it panics on error.
+func MustParse(input string) *Query {
+	q, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokVar
+	tokIRI
+	tokLiteral
+	tokWord // bare word or keyword
+	tokLBrace
+	tokRBrace
+	tokDot
+	tokStar
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == '#': // comment to end of line
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case unicode.IsSpace(rune(c)):
+			i++
+		case c == '{':
+			toks = append(toks, token{tokLBrace, "{", i})
+			i++
+		case c == '}':
+			toks = append(toks, token{tokRBrace, "}", i})
+			i++
+		case c == '.':
+			toks = append(toks, token{tokDot, ".", i})
+			i++
+		case c == '*':
+			toks = append(toks, token{tokStar, "*", i})
+			i++
+		case c == '?' || c == '$':
+			start := i + 1
+			i++
+			for i < n && isNameByte(input[i]) {
+				i++
+			}
+			if i == start {
+				return nil, fmt.Errorf("sparql: empty variable name at offset %d", start-1)
+			}
+			toks = append(toks, token{tokVar, input[start:i], start})
+		case c == '<':
+			end := strings.IndexByte(input[i:], '>')
+			if end < 0 {
+				return nil, fmt.Errorf("sparql: unterminated IRI at offset %d", i)
+			}
+			toks = append(toks, token{tokIRI, input[i+1 : i+end], i})
+			i += end + 1
+		case c == '"' || c == '\'':
+			quote := c
+			j := i + 1
+			var sb strings.Builder
+			for j < n && input[j] != quote {
+				if input[j] == '\\' && j+1 < n {
+					j++
+					switch input[j] {
+					case 'n':
+						sb.WriteByte('\n')
+					case 't':
+						sb.WriteByte('\t')
+					case '\\', '"', '\'':
+						sb.WriteByte(input[j])
+					default:
+						return nil, fmt.Errorf("sparql: unknown escape \\%c at offset %d", input[j], j)
+					}
+				} else {
+					sb.WriteByte(input[j])
+				}
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("sparql: unterminated literal at offset %d", i)
+			}
+			toks = append(toks, token{tokLiteral, sb.String(), i})
+			i = j + 1
+		case isNameByte(c) || c == ':':
+			start := i
+			for i < n && (isNameByte(input[i]) || input[i] == ':') {
+				i++
+			}
+			toks = append(toks, token{tokWord, input[start:i], start})
+		default:
+			return nil, fmt.Errorf("sparql: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}
+
+func isNameByte(c byte) bool {
+	return c == '_' || c == '-' ||
+		'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' || '0' <= c && c <= '9'
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+func (p *parser) eof() bool   { return p.peek().kind == tokEOF }
+func (p *parser) isWord(w string) bool {
+	t := p.peek()
+	return t.kind == tokWord && strings.EqualFold(t.text, w)
+}
+
+func (p *parser) keyword(w string) error {
+	if !p.isWord(w) {
+		return fmt.Errorf("sparql: expected %s, got %q", w, p.peek().text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) expect(k tokKind) error {
+	if p.peek().kind != k {
+		return fmt.Errorf("sparql: unexpected token %q", p.peek().text)
+	}
+	p.next()
+	return nil
+}
+
+// group parses `{ … }` and returns its algebra translation.
+func (p *parser) group() (Expr, error) {
+	if err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	var acc Expr
+	var bgp BGP
+
+	flushBGP := func() {
+		if bgp != nil {
+			acc = joinExpr(acc, bgp)
+			bgp = nil
+		}
+	}
+
+	for {
+		t := p.peek()
+		switch {
+		case t.kind == tokRBrace:
+			p.next()
+			flushBGP()
+			if acc == nil {
+				acc = BGP{}
+			}
+			return acc, nil
+		case t.kind == tokEOF:
+			return nil, fmt.Errorf("sparql: unterminated group")
+		case t.kind == tokDot:
+			p.next() // separator
+		case p.isWord("OPTIONAL"):
+			p.next()
+			sub, err := p.groupOrUnion()
+			if err != nil {
+				return nil, err
+			}
+			flushBGP()
+			if acc == nil {
+				acc = BGP{}
+			}
+			acc = Optional{L: acc, R: sub}
+		case t.kind == tokLBrace:
+			sub, err := p.groupOrUnion()
+			if err != nil {
+				return nil, err
+			}
+			flushBGP()
+			acc = joinExpr(acc, sub)
+		default:
+			tp, err := p.triplePattern()
+			if err != nil {
+				return nil, err
+			}
+			bgp = append(bgp, tp)
+		}
+	}
+}
+
+// groupOrUnion parses `{…} (UNION {…})*`.
+func (p *parser) groupOrUnion() (Expr, error) {
+	e, err := p.group()
+	if err != nil {
+		return nil, err
+	}
+	for p.isWord("UNION") {
+		p.next()
+		r, err := p.group()
+		if err != nil {
+			return nil, err
+		}
+		e = Union{L: e, R: r}
+	}
+	return e, nil
+}
+
+func joinExpr(acc, e Expr) Expr {
+	if acc == nil {
+		return e
+	}
+	// Merge adjacent BGPs to keep trees small.
+	if lb, ok := acc.(BGP); ok {
+		if rb, ok := e.(BGP); ok {
+			return append(append(BGP{}, lb...), rb...)
+		}
+	}
+	return And{L: acc, R: e}
+}
+
+func (p *parser) triplePattern() (TriplePattern, error) {
+	s, err := p.term(false)
+	if err != nil {
+		return TriplePattern{}, err
+	}
+	pr, err := p.term(false)
+	if err != nil {
+		return TriplePattern{}, err
+	}
+	o, err := p.term(true)
+	if err != nil {
+		return TriplePattern{}, err
+	}
+	if s.Const != nil && s.Const.IsLiteral() {
+		return TriplePattern{}, fmt.Errorf("sparql: literal in subject position")
+	}
+	if pr.Const != nil && pr.Const.IsLiteral() {
+		return TriplePattern{}, fmt.Errorf("sparql: literal in predicate position")
+	}
+	return TriplePattern{S: s, P: pr, O: o}, nil
+}
+
+func (p *parser) term(allowLiteral bool) (Term, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokVar:
+		p.next()
+		return V(t.text), nil
+	case tokIRI:
+		p.next()
+		return C(t.text), nil
+	case tokWord:
+		if strings.EqualFold(t.text, "OPTIONAL") || strings.EqualFold(t.text, "UNION") {
+			return Term{}, fmt.Errorf("sparql: keyword %q in term position", t.text)
+		}
+		p.next()
+		return C(t.text), nil
+	case tokLiteral:
+		if !allowLiteral {
+			return Term{}, fmt.Errorf("sparql: literal %q outside object position", t.text)
+		}
+		p.next()
+		return CL(t.text), nil
+	default:
+		return Term{}, fmt.Errorf("sparql: unexpected token %q in triple pattern", t.text)
+	}
+}

@@ -1,0 +1,261 @@
+package sparql
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// queryX1 is the paper's introductory query (X1).
+const queryX1 = `
+SELECT * WHERE {
+  ?director directed ?movie .
+  ?director worked_with ?coworker . }`
+
+// queryX2 is (X2): the worked_with part becomes optional.
+const queryX2 = `
+SELECT * WHERE {
+  ?director directed ?movie .
+  OPTIONAL { ?director worked_with ?coworker . } }`
+
+// queryX3 is (X3): a non-well-designed conjunction of an optional pattern
+// with a triple pattern re-using the optional variable v3.
+const queryX3 = `
+SELECT * WHERE {
+  { { ?v1 a ?v2 . } OPTIONAL { ?v3 b ?v2 . } }
+  { ?v3 c ?v4 . } }`
+
+func TestParseX1(t *testing.T) {
+	q := MustParse(queryX1)
+	bgp, ok := q.Expr.(BGP)
+	if !ok {
+		t.Fatalf("X1 should parse to a BGP, got %T", q.Expr)
+	}
+	want := BGP{
+		{S: V("director"), P: C("directed"), O: V("movie")},
+		{S: V("director"), P: C("worked_with"), O: V("coworker")},
+	}
+	if !reflect.DeepEqual(bgp, want) {
+		t.Fatalf("parse = %v", bgp)
+	}
+}
+
+func TestParseX2(t *testing.T) {
+	q := MustParse(queryX2)
+	opt, ok := q.Expr.(Optional)
+	if !ok {
+		t.Fatalf("X2 should parse to an Optional, got %T", q.Expr)
+	}
+	if l, ok := opt.L.(BGP); !ok || len(l) != 1 {
+		t.Fatalf("X2 left = %v", opt.L)
+	}
+	if r, ok := opt.R.(BGP); !ok || len(r) != 1 || r[0].P.Const.Value != "worked_with" {
+		t.Fatalf("X2 right = %v", opt.R)
+	}
+}
+
+func TestParseX3Shape(t *testing.T) {
+	q := MustParse(queryX3)
+	and, ok := q.Expr.(And)
+	if !ok {
+		t.Fatalf("X3 should parse to And, got %T", q.Expr)
+	}
+	if _, ok := and.L.(Optional); !ok {
+		t.Fatalf("X3 left should be Optional, got %T", and.L)
+	}
+}
+
+func TestParseUnion(t *testing.T) {
+	q := MustParse(`SELECT * WHERE { { ?x p ?y } UNION { ?x q ?y } UNION { ?x r ?y } }`)
+	u, ok := q.Expr.(Union)
+	if !ok {
+		t.Fatalf("got %T", q.Expr)
+	}
+	if _, ok := u.L.(Union); !ok {
+		t.Fatalf("left-assoc expected, left = %T", u.L)
+	}
+	if len(UnionFreeBranches(q.Expr)) != 3 {
+		t.Fatal("want 3 branches")
+	}
+}
+
+func TestParseConstantsAndLiterals(t *testing.T) {
+	q := MustParse(`SELECT * WHERE { ?p <born_in> <Paris> . ?c population "70063" . }`)
+	bgp := q.Expr.(BGP)
+	if bgp[0].O.Const == nil || bgp[0].O.Const.Value != "Paris" {
+		t.Fatalf("object = %v", bgp[0].O)
+	}
+	if !bgp[1].O.Const.IsLiteral() || bgp[1].O.Const.Value != "70063" {
+		t.Fatalf("literal = %v", bgp[1].O)
+	}
+}
+
+func TestParseVariablePredicate(t *testing.T) {
+	q := MustParse(`SELECT * WHERE { ?s ?p ?o }`)
+	bgp := q.Expr.(BGP)
+	if !bgp[0].P.IsVar() {
+		t.Fatal("predicate variable lost")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`SELECT`,
+		`SELECT * { ?s p ?o }`,                // missing WHERE
+		`SELECT * WHERE { ?s p }`,             // incomplete triple
+		`SELECT * WHERE { ?s p ?o`,            // unterminated group
+		`SELECT * WHERE { "lit" p ?o }`,       // literal subject
+		`SELECT * WHERE { ?s "lit" ?o }`,      // literal predicate
+		`SELECT * WHERE { ?s p ?o } junk`,     // trailing input
+		`SELECT * WHERE { ? p ?o }`,           // empty var name
+		`SELECT * WHERE { ?s p "open }`,       // unterminated literal
+		`SELECT * WHERE { ?s <open ?o }`,      // unterminated IRI
+		`SELECT * WHERE { OPTIONAL ?x p ?y }`, // OPTIONAL without group
+		`SELECT * WHERE { ?s p ?o ~ }`,        // stray char
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Fatalf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestCommentsAndCase(t *testing.T) {
+	q := MustParse(`
+# leading comment
+select * where { # inline comment? no, whole line
+  ?x p ?y
+}`)
+	if len(q.Expr.(BGP)) != 1 {
+		t.Fatal("comment handling broken")
+	}
+}
+
+func TestDotSeparatorsOptional(t *testing.T) {
+	a := MustParse(`SELECT * WHERE { ?x p ?y . ?y q ?z . }`)
+	b := MustParse(`SELECT * WHERE { ?x p ?y ?y q ?z }`)
+	if a.String() != b.String() {
+		t.Fatalf("dot-insensitive parse mismatch: %s vs %s", a, b)
+	}
+}
+
+func TestGroupJoin(t *testing.T) {
+	// Adjacent BGP groups join; the join of two BGPs is their union, so
+	// the parser merges them into one BGP (semantically identical).
+	q := MustParse(`SELECT * WHERE { { ?x p ?y } { ?y q ?z } }`)
+	if bgp, ok := q.Expr.(BGP); !ok || len(bgp) != 2 {
+		t.Fatalf("got %T %v", q.Expr, q.Expr)
+	}
+	// A non-BGP group following triples joins with And.
+	q2 := MustParse(`SELECT * WHERE { ?x p ?y { ?y q ?z OPTIONAL { ?z r ?w } } }`)
+	if _, ok := q2.Expr.(And); !ok {
+		t.Fatalf("got %T", q2.Expr)
+	}
+}
+
+func TestLoneOptional(t *testing.T) {
+	// OPTIONAL at group start left-joins with the empty BGP.
+	q := MustParse(`SELECT * WHERE { OPTIONAL { ?x p ?y } }`)
+	opt, ok := q.Expr.(Optional)
+	if !ok {
+		t.Fatalf("got %T", q.Expr)
+	}
+	if l, ok := opt.L.(BGP); !ok || len(l) != 0 {
+		t.Fatalf("left = %v", opt.L)
+	}
+}
+
+func TestVarsAndMand(t *testing.T) {
+	q := MustParse(queryX2)
+	if got := Vars(q.Expr); !reflect.DeepEqual(got, []string{"coworker", "director", "movie"}) {
+		t.Fatalf("Vars = %v", got)
+	}
+	m := Mand(q.Expr)
+	if !m["director"] || !m["movie"] || m["coworker"] {
+		t.Fatalf("Mand = %v", m)
+	}
+}
+
+func TestMandX3(t *testing.T) {
+	// X3: v3 occurs optional in the left conjunct but mandatory in the
+	// right one, so v3 ∈ mand.
+	q := MustParse(queryX3)
+	m := Mand(q.Expr)
+	for _, v := range []string{"v1", "v2", "v3", "v4"} {
+		if !m[v] {
+			t.Fatalf("%s should be mandatory; mand = %v", v, m)
+		}
+	}
+}
+
+func TestMandUnion(t *testing.T) {
+	q := MustParse(`SELECT * WHERE { { ?x p ?y } UNION { ?x q ?z } }`)
+	m := Mand(q.Expr)
+	if !m["x"] || m["y"] || m["z"] {
+		t.Fatalf("Mand = %v", m)
+	}
+}
+
+func TestWellDesigned(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{queryX1, true},
+		{queryX2, true},
+		{queryX3, false}, // the paper: "(X3) is not well-designed"
+		{`SELECT * WHERE { ?a p ?b OPTIONAL { ?b q ?c } }`, true},
+		{`SELECT * WHERE { ?a p ?b OPTIONAL { ?c q ?d } }`, true},
+		// v occurs in the optional and in a later conjunct, not in Q1.
+		{`SELECT * WHERE { { ?a p ?b OPTIONAL { ?a q ?v } } { ?v r ?w } }`, false},
+		// nested optionals, inner var anchored in outer optional side.
+		{`SELECT * WHERE { ?a p ?b OPTIONAL { ?b q ?c OPTIONAL { ?c r ?d } } }`, true},
+	}
+	for _, c := range cases {
+		q := MustParse(c.src)
+		if got := IsWellDesigned(q.Expr); got != c.want {
+			t.Fatalf("IsWellDesigned(%s) = %v, want %v", strings.TrimSpace(c.src), got, c.want)
+		}
+	}
+}
+
+func TestUnionFreeBranchesDistribution(t *testing.T) {
+	// (A UNION B) AND C → 2 branches of And.
+	q := MustParse(`SELECT * WHERE { { { ?x p ?y } UNION { ?x q ?y } } { ?y r ?z } }`)
+	br := UnionFreeBranches(q.Expr)
+	if len(br) != 2 {
+		t.Fatalf("branches = %d", len(br))
+	}
+	for _, b := range br {
+		if HasUnion(b) {
+			t.Fatal("branch still has UNION")
+		}
+		if _, ok := b.(And); !ok {
+			t.Fatalf("branch = %T", b)
+		}
+	}
+	// UNION under OPTIONAL right side also splits (over-approximation).
+	q2 := MustParse(`SELECT * WHERE { ?x p ?y OPTIONAL { { ?y q ?z } UNION { ?y r ?z } } }`)
+	if got := len(UnionFreeBranches(q2.Expr)); got != 2 {
+		t.Fatalf("branches = %d", got)
+	}
+}
+
+func TestTriples(t *testing.T) {
+	q := MustParse(queryX3)
+	if got := len(Triples(q.Expr)); got != 3 {
+		t.Fatalf("Triples = %d, want 3", got)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, src := range []string{queryX1, queryX2, queryX3,
+		`SELECT * WHERE { { ?x p ?y } UNION { ?x q "lit" } }`} {
+		q := MustParse(src)
+		q2 := MustParse(q.String())
+		if q.String() != q2.String() {
+			t.Fatalf("roundtrip: %s vs %s", q, q2)
+		}
+	}
+}

@@ -1,0 +1,440 @@
+// Package storage implements the in-memory graph database the rest of the
+// system runs on: a dictionary-encoded triple store with per-predicate
+// sorted indexes (PSO and POS order), per-predicate statistics for join
+// ordering, and lazily built per-predicate adjacency bit-matrix pairs for
+// the SOI solver.
+//
+// A Store is the concrete realization of the paper's graph database
+// DB = (O_DB, Σ, E_DB): the node universe O_DB contains every subject and
+// object term, the alphabet Σ is the predicate set, and E_DB is the triple
+// relation.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"dualsim/internal/bitmat"
+	"dualsim/internal/bitvec"
+	"dualsim/internal/rdf"
+)
+
+// NodeID indexes the node universe O_DB (subjects and objects).
+type NodeID = uint32
+
+// PredID indexes the predicate alphabet Σ.
+type PredID = uint32
+
+// pair is one (subject, object) edge of a predicate.
+type pair struct{ a, b NodeID }
+
+// predIndex holds one predicate's triples in the two sort orders plus
+// statistics.
+type predIndex struct {
+	pso       []pair // sorted by (subject, object)
+	pos       []pair // sorted by (object, subject)
+	distinctS int
+	distinctO int
+}
+
+// Store is an immutable-after-Build triple store. The zero value is not
+// usable; call New.
+type Store struct {
+	terms  []rdf.Term
+	termID map[string]NodeID
+	preds  []string
+	predID map[string]PredID
+
+	byPred []predIndex
+	nTrip  int
+	built  bool
+
+	matMu sync.Mutex
+	mats  map[PredID]bitmat.Pair
+
+	// staging, discarded by Build
+	staged []tripleIDs
+}
+
+type tripleIDs struct {
+	s NodeID
+	p PredID
+	o NodeID
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{
+		termID: make(map[string]NodeID),
+		predID: make(map[string]PredID),
+		mats:   make(map[PredID]bitmat.Pair),
+	}
+}
+
+// Add stages one triple. Must be called before Build.
+func (st *Store) Add(t rdf.Triple) error {
+	if st.built {
+		return fmt.Errorf("storage: Add after Build")
+	}
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	st.staged = append(st.staged, tripleIDs{
+		s: st.internTerm(t.S),
+		p: st.internPred(t.P),
+		o: st.internTerm(t.O),
+	})
+	return nil
+}
+
+// AddAll stages a batch of triples.
+func (st *Store) AddAll(ts []rdf.Triple) error {
+	for _, t := range ts {
+		if err := st.Add(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (st *Store) internTerm(t rdf.Term) NodeID {
+	key := t.Key()
+	if id, ok := st.termID[key]; ok {
+		return id
+	}
+	id := NodeID(len(st.terms))
+	st.terms = append(st.terms, t)
+	st.termID[key] = id
+	return id
+}
+
+func (st *Store) internPred(p string) PredID {
+	if id, ok := st.predID[p]; ok {
+		return id
+	}
+	id := PredID(len(st.preds))
+	st.preds = append(st.preds, p)
+	st.predID[p] = id
+	return id
+}
+
+// Build finalizes the store: triples are deduplicated, both index orders
+// are sorted, and statistics are computed. Build is idempotent.
+func (st *Store) Build() {
+	if st.built {
+		return
+	}
+	st.byPred = make([]predIndex, len(st.preds))
+	perPred := make([][]pair, len(st.preds))
+	for _, t := range st.staged {
+		perPred[t.p] = append(perPred[t.p], pair{a: t.s, b: t.o})
+	}
+	st.staged = nil
+	st.nTrip = 0
+	for p := range perPred {
+		pso := dedupSorted(perPred[p])
+		pos := make([]pair, len(pso))
+		for i, e := range pso {
+			pos[i] = pair{a: e.b, b: e.a}
+		}
+		sortPairs(pos)
+		st.byPred[p] = predIndex{
+			pso:       pso,
+			pos:       pos,
+			distinctS: countDistinctFirst(pso),
+			distinctO: countDistinctFirst(pos),
+		}
+		st.nTrip += len(pso)
+	}
+	st.built = true
+}
+
+func sortPairs(ps []pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].a != ps[j].a {
+			return ps[i].a < ps[j].a
+		}
+		return ps[i].b < ps[j].b
+	})
+}
+
+func dedupSorted(ps []pair) []pair {
+	sortPairs(ps)
+	if len(ps) < 2 {
+		return ps
+	}
+	out := ps[:1]
+	for _, e := range ps[1:] {
+		if e != out[len(out)-1] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func countDistinctFirst(ps []pair) int {
+	n := 0
+	for i, e := range ps {
+		if i == 0 || e.a != ps[i-1].a {
+			n++
+		}
+	}
+	return n
+}
+
+func (st *Store) mustBeBuilt() {
+	if !st.built {
+		panic("storage: access before Build")
+	}
+}
+
+// NumTriples returns |E_DB| (after deduplication).
+func (st *Store) NumTriples() int { st.mustBeBuilt(); return st.nTrip }
+
+// NumNodes returns |O_DB|, the dimension of all bit-vectors and matrices.
+func (st *Store) NumNodes() int { return len(st.terms) }
+
+// NumPreds returns |Σ|.
+func (st *Store) NumPreds() int { return len(st.preds) }
+
+// Term decodes a node id.
+func (st *Store) Term(id NodeID) rdf.Term { return st.terms[id] }
+
+// TermID looks up a term.
+func (st *Store) TermID(t rdf.Term) (NodeID, bool) {
+	id, ok := st.termID[t.Key()]
+	return id, ok
+}
+
+// Pred decodes a predicate id.
+func (st *Store) Pred(id PredID) string { return st.preds[id] }
+
+// PredIDOf looks up a predicate by IRI.
+func (st *Store) PredIDOf(p string) (PredID, bool) {
+	id, ok := st.predID[p]
+	return id, ok
+}
+
+// PredCount returns the number of p-triples.
+func (st *Store) PredCount(p PredID) int {
+	st.mustBeBuilt()
+	return len(st.byPred[p].pso)
+}
+
+// DistinctSubjects returns the number of distinct subjects under p.
+func (st *Store) DistinctSubjects(p PredID) int {
+	st.mustBeBuilt()
+	return st.byPred[p].distinctS
+}
+
+// DistinctObjects returns the number of distinct objects under p.
+func (st *Store) DistinctObjects(p PredID) int {
+	st.mustBeBuilt()
+	return st.byPred[p].distinctO
+}
+
+// lookup returns the sub-slice of ps whose first component equals key.
+func lookup(ps []pair, key NodeID) []pair {
+	lo := sort.Search(len(ps), func(i int) bool { return ps[i].a >= key })
+	hi := sort.Search(len(ps), func(i int) bool { return ps[i].a > key })
+	return ps[lo:hi]
+}
+
+// Objects returns the sorted objects o with (s, p, o) ∈ E_DB — the forward
+// map F_p(s).
+func (st *Store) Objects(p PredID, s NodeID) []NodeID {
+	st.mustBeBuilt()
+	sub := lookup(st.byPred[p].pso, s)
+	out := make([]NodeID, len(sub))
+	for i, e := range sub {
+		out[i] = e.b
+	}
+	return out
+}
+
+// Subjects returns the sorted subjects s with (s, p, o) ∈ E_DB — the
+// backward map B_p(o).
+func (st *Store) Subjects(p PredID, o NodeID) []NodeID {
+	st.mustBeBuilt()
+	sub := lookup(st.byPred[p].pos, o)
+	out := make([]NodeID, len(sub))
+	for i, e := range sub {
+		out[i] = e.b
+	}
+	return out
+}
+
+// HasTriple reports whether (s, p, o) ∈ E_DB.
+func (st *Store) HasTriple(s NodeID, p PredID, o NodeID) bool {
+	st.mustBeBuilt()
+	sub := lookup(st.byPred[p].pso, s)
+	i := sort.Search(len(sub), func(i int) bool { return sub[i].b >= o })
+	return i < len(sub) && sub[i].b == o
+}
+
+// ForEachPair calls fn for every (s, o) pair of predicate p in PSO order;
+// stops early if fn returns false.
+func (st *Store) ForEachPair(p PredID, fn func(s, o NodeID) bool) {
+	st.mustBeBuilt()
+	for _, e := range st.byPred[p].pso {
+		if !fn(e.a, e.b) {
+			return
+		}
+	}
+}
+
+// ForEachTriple calls fn for every triple in (pred, subject, object)
+// order; stops early if fn returns false.
+func (st *Store) ForEachTriple(fn func(s NodeID, p PredID, o NodeID) bool) {
+	st.mustBeBuilt()
+	for p := range st.byPred {
+		for _, e := range st.byPred[p].pso {
+			if !fn(e.a, PredID(p), e.b) {
+				return
+			}
+		}
+	}
+}
+
+// Triples materializes the whole store as decoded rdf triples (test and
+// export helper).
+func (st *Store) Triples() []rdf.Triple {
+	st.mustBeBuilt()
+	out := make([]rdf.Triple, 0, st.nTrip)
+	st.ForEachTriple(func(s NodeID, p PredID, o NodeID) bool {
+		out = append(out, rdf.Triple{S: st.terms[s], P: st.preds[p], O: st.terms[o]})
+		return true
+	})
+	return out
+}
+
+// Matrices returns the adjacency bit-matrix pair (F_p, B_p) for predicate
+// p, building and caching it on first use — per §3.3 only the matrices a
+// pattern actually mentions are ever materialized.
+func (st *Store) Matrices(p PredID) bitmat.Pair {
+	st.mustBeBuilt()
+	st.matMu.Lock()
+	defer st.matMu.Unlock()
+	if m, ok := st.mats[p]; ok {
+		return m
+	}
+	cells := make([]bitmat.Cell, len(st.byPred[p].pso))
+	for i, e := range st.byPred[p].pso {
+		cells[i] = bitmat.Cell{Row: e.a, Col: e.b}
+	}
+	m := bitmat.NewPair(st.NumNodes(), cells)
+	st.mats[p] = m
+	return m
+}
+
+// Restrict builds a new store over the same dictionaries containing only
+// the triples accepted by keep. Node and predicate ids remain valid across
+// the restriction, so solution mappings computed against the restricted
+// store compare directly with ones from the original — this is how the
+// pruned database of the paper's Sect. 5 is represented.
+func (st *Store) Restrict(keep func(s NodeID, p PredID, o NodeID) bool) *Store {
+	st.mustBeBuilt()
+	out := &Store{
+		terms:  st.terms,
+		termID: st.termID,
+		preds:  st.preds,
+		predID: st.predID,
+		mats:   make(map[PredID]bitmat.Pair),
+	}
+	out.byPred = make([]predIndex, len(st.preds))
+	for p := range st.byPred {
+		var kept []pair
+		for _, e := range st.byPred[p].pso {
+			if keep(e.a, PredID(p), e.b) {
+				kept = append(kept, e)
+			}
+		}
+		pos := make([]pair, len(kept))
+		for i, e := range kept {
+			pos[i] = pair{a: e.b, b: e.a}
+		}
+		sortPairs(pos)
+		out.byPred[p] = predIndex{
+			pso:       kept,
+			pos:       pos,
+			distinctS: countDistinctFirst(kept),
+			distinctO: countDistinctFirst(pos),
+		}
+		out.nTrip += len(kept)
+	}
+	out.built = true
+	return out
+}
+
+// PairAt returns the i-th (subject, object) pair of predicate p in PSO
+// order; 0 ≤ i < PredCount(p).
+func (st *Store) PairAt(p PredID, i int) (NodeID, NodeID) {
+	st.mustBeBuilt()
+	e := st.byPred[p].pso[i]
+	return e.a, e.b
+}
+
+// FindPair returns the PSO position of (s, p, o), or -1 if absent. The
+// position is stable for the lifetime of the store and is used to address
+// triples in pruning masks.
+func (st *Store) FindPair(p PredID, s, o NodeID) int {
+	st.mustBeBuilt()
+	ps := st.byPred[p].pso
+	lo := sort.Search(len(ps), func(i int) bool {
+		return ps[i].a > s || (ps[i].a == s && ps[i].b >= o)
+	})
+	if lo < len(ps) && ps[lo].a == s && ps[lo].b == o {
+		return lo
+	}
+	return -1
+}
+
+// RestrictByMask builds a restricted store (shared dictionaries, cf.
+// Restrict) keeping exactly the triples whose PSO position is set in the
+// predicate's mask. A nil mask drops the whole predicate.
+func (st *Store) RestrictByMask(masks []*bitvec.Vector) *Store {
+	st.mustBeBuilt()
+	out := &Store{
+		terms:  st.terms,
+		termID: st.termID,
+		preds:  st.preds,
+		predID: st.predID,
+		mats:   make(map[PredID]bitmat.Pair),
+	}
+	out.byPred = make([]predIndex, len(st.preds))
+	for p := range st.byPred {
+		var kept []pair
+		if p < len(masks) && masks[p] != nil {
+			src := st.byPred[p].pso
+			masks[p].ForEach(func(i int) bool {
+				kept = append(kept, src[i])
+				return true
+			})
+		}
+		pos := make([]pair, len(kept))
+		for i, e := range kept {
+			pos[i] = pair{a: e.b, b: e.a}
+		}
+		sortPairs(pos)
+		out.byPred[p] = predIndex{
+			pso:       kept,
+			pos:       pos,
+			distinctS: countDistinctFirst(kept),
+			distinctO: countDistinctFirst(pos),
+		}
+		out.nTrip += len(kept)
+	}
+	out.built = true
+	return out
+}
+
+// FromTriples is a convenience constructor: stage, build, return.
+func FromTriples(ts []rdf.Triple) (*Store, error) {
+	st := New()
+	if err := st.AddAll(ts); err != nil {
+		return nil, err
+	}
+	st.Build()
+	return st, nil
+}

@@ -1,0 +1,219 @@
+package strongsim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dualsim/internal/core"
+	"dualsim/internal/rdf"
+	"dualsim/internal/storage"
+)
+
+func mustStore(t *testing.T, ts []rdf.Triple) *storage.Store {
+	t.Helper()
+	st, err := storage.FromTriples(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// fig4 is the paper's Fig. 4(b) graph K.
+func fig4(t *testing.T) *storage.Store {
+	return mustStore(t, []rdf.Triple{
+		rdf.T("p1", "knows", "p2"),
+		rdf.T("p2", "knows", "p1"),
+		rdf.T("p2", "knows", "p3"),
+		rdf.T("p3", "knows", "p2"),
+		rdf.T("p3", "knows", "p4"),
+		rdf.T("p4", "knows", "p1"),
+	})
+}
+
+func twoCycle() *core.Pattern {
+	p := core.NewPattern()
+	p.Edge("v", "knows", "w")
+	p.Edge("w", "knows", "v")
+	return p
+}
+
+// TestFig4StrongSimulationExcludesP4 is the point of strong simulation:
+// dual simulation keeps p4 (Sect. 4.1 counterexample), strong simulation
+// rejects it because p4's ball has no mutual pair through p4.
+func TestFig4StrongSimulationExcludesP4(t *testing.T) {
+	st := fig4(t)
+	pat := twoCycle()
+
+	// Plain dual simulation keeps all four nodes.
+	dual := core.DualSimulation(st, pat, core.Config{})
+	if dual.Set("v")[mustID(t, st, "p4")] != true {
+		t.Fatal("fixture broken: dual simulation should keep p4")
+	}
+
+	res := MatchPattern(st, pat)
+	vSet := res.NodeSet("v")
+	p4 := mustID(t, st, "p4")
+	if vSet[p4] {
+		t.Fatal("strong simulation must exclude p4")
+	}
+	for _, n := range []string{"p1", "p2", "p3"} {
+		if !vSet[mustID(t, st, n)] {
+			t.Fatalf("%s missing from strong simulation", n)
+		}
+	}
+	if res.Centers != 4 {
+		t.Fatalf("centers = %d, want 4 (the global dual simulation)", res.Centers)
+	}
+}
+
+func mustID(t *testing.T, st *storage.Store, name string) storage.NodeID {
+	t.Helper()
+	id, ok := st.TermID(rdf.NewIRI(name))
+	if !ok {
+		t.Fatalf("node %s missing", name)
+	}
+	return id
+}
+
+func TestDiameter(t *testing.T) {
+	if d := Diameter(twoCycle()); d != 1 {
+		t.Fatalf("diameter(2-cycle) = %d, want 1", d)
+	}
+	path := core.NewPattern()
+	path.Edge("a", "p", "b")
+	path.Edge("b", "p", "c")
+	path.Edge("c", "p", "d")
+	if d := Diameter(path); d != 3 {
+		t.Fatalf("diameter(path4) = %d, want 3", d)
+	}
+	disc := core.NewPattern()
+	disc.Edge("a", "p", "b")
+	disc.Edge("c", "p", "d")
+	if d := Diameter(disc); d != -1 {
+		t.Fatalf("diameter(disconnected) = %d, want -1", d)
+	}
+	loop := core.NewPattern()
+	loop.Edge("a", "p", "a")
+	if d := Diameter(loop); d != 0 {
+		t.Fatalf("diameter(self-loop) = %d, want 0", d)
+	}
+}
+
+func TestBall(t *testing.T) {
+	st := fig4(t)
+	p1 := mustID(t, st, "p1")
+	b0 := Ball(st, p1, 0)
+	if len(b0) != 1 || !b0[p1] {
+		t.Fatalf("ball radius 0 = %v", b0)
+	}
+	b1 := Ball(st, p1, 1)
+	// p1's undirected neighbors: p2 (both ways), p4 (incoming).
+	if len(b1) != 3 {
+		t.Fatalf("ball radius 1 has %d nodes, want 3", len(b1))
+	}
+	b2 := Ball(st, p1, 2)
+	if len(b2) != 4 {
+		t.Fatalf("ball radius 2 has %d nodes, want 4", len(b2))
+	}
+}
+
+// TestPropertyStrongRefinesDual: strong simulation candidates are
+// contained in the dual simulation candidates (per variable).
+func TestPropertyStrongRefinesDual(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		st := randomStore(r)
+		pat := randomConnectedPattern(r)
+		dual := core.DualSimulation(st, pat, core.Config{})
+		dualSets := dual.Sets()
+		strong := MatchPattern(st, pat)
+		for i := range dualSets {
+			name := pat.Vars()[i].Name
+			for n := range strong.NodeSet(name) {
+				if !dualSets[i][n] {
+					t.Logf("seed %d: strong kept %d for %s, dual did not", seed, n, name)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyMatchesAreDualSimulations: every per-ball relation is a
+// dual simulation of the pattern w.r.t. the ball subgraph, hence also
+// w.r.t. the full store.
+func TestPropertyMatchesAreDualSimulations(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		st := randomStore(r)
+		pat := randomConnectedPattern(r)
+		strong := MatchPattern(st, pat)
+		for _, m := range strong.Matches {
+			if err := pat.VerifyDualSimulation(st, m.Sim); err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomStore(r *rand.Rand) *storage.Store {
+	n := r.Intn(12) + 3
+	e := r.Intn(30) + 3
+	st := storage.New()
+	for i := 0; i < e; i++ {
+		_ = st.Add(rdf.T(
+			fmt.Sprintf("n%d", r.Intn(n)),
+			fmt.Sprintf("p%d", r.Intn(2)),
+			fmt.Sprintf("n%d", r.Intn(n))))
+	}
+	st.Build()
+	return st
+}
+
+// randomConnectedPattern draws a small connected pattern (strong
+// simulation needs a finite diameter).
+func randomConnectedPattern(r *rand.Rand) *core.Pattern {
+	p := core.NewPattern()
+	nv := r.Intn(3) + 2
+	for i := 1; i < nv; i++ {
+		from := fmt.Sprintf("v%d", r.Intn(i))
+		to := fmt.Sprintf("v%d", i)
+		pred := fmt.Sprintf("p%d", r.Intn(2))
+		if r.Intn(2) == 0 {
+			p.Edge(from, pred, to)
+		} else {
+			p.Edge(to, pred, from)
+		}
+	}
+	return p
+}
+
+func TestDisconnectedPatternNoMatches(t *testing.T) {
+	st := fig4(t)
+	p := core.NewPattern()
+	p.Edge("a", "knows", "b")
+	p.Edge("c", "knows", "d")
+	res := MatchPattern(st, p)
+	if len(res.Matches) != 0 {
+		t.Fatal("disconnected pattern should yield no ball matches")
+	}
+}
+
+func TestNodeSetUnknownVariable(t *testing.T) {
+	st := fig4(t)
+	res := MatchPattern(st, twoCycle())
+	if res.NodeSet("nope") != nil {
+		t.Fatal("unknown variable should return nil")
+	}
+}
