@@ -14,6 +14,7 @@
 package dualsim_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -135,14 +136,14 @@ func benchmarkEngineTable(b *testing.B, eng engine.Engine) {
 		pruned := p.Store()
 		b.Run(spec.ID+"/full", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := eng.Evaluate(st, q); err != nil {
+				if _, err := eng.Evaluate(context.Background(), st, q); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 		b.Run(spec.ID+"/pruned", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := eng.Evaluate(pruned, q); err != nil {
+				if _, err := eng.Evaluate(context.Background(), pruned, q); err != nil {
 					b.Fatal(err)
 				}
 			}

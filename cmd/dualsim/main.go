@@ -2,9 +2,10 @@
 // simulation:
 //
 //	dualsim -data db.nt -q 'SELECT * WHERE { ?d <directed> ?m }'        # evaluate
-//	dualsim -data db.nt -query q.rq -prune                              # pruning stats
+//	dualsim -data db.nt -query q.rq -prune                              # pruned evaluation
 //	dualsim -data db.nt -q '…' -mode simulate                           # candidate sets
 //	dualsim -data db.nt -q '…' -engine index -limit 20                  # results via index-NL engine
+//	dualsim -data db.nt -q '…' -prune -fingerprint 2 -timeout 30s       # full pipeline, bounded
 //
 // Modes:
 //
@@ -12,12 +13,19 @@
 //	simulate  print per-variable dual simulation candidate counts
 //	prune     print pruning statistics; with -out, dump the pruned store
 //	analyze   print the query's structural analysis (no -data needed)
+//
+// The command is a thin client of the session API: it opens a DB over
+// the loaded store, prepares the query once and executes the pipeline
+// under a cancellable context — Ctrl-C (or -timeout) interrupts the
+// solver and the join engines mid-flight.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"dualsim"
@@ -27,26 +35,53 @@ func main() {
 	data := flag.String("data", "", "N-Triples database file (required)")
 	queryFile := flag.String("query", "", "query file")
 	queryText := flag.String("q", "", "inline query text")
-	mode := flag.String("mode", "evaluate", "evaluate, simulate or prune")
+	mode := flag.String("mode", "evaluate", "evaluate, simulate, prune or analyze")
 	engineName := flag.String("engine", "hash", "hash or index")
 	limit := flag.Int("limit", 0, "print at most this many result rows (0 = all)")
 	out := flag.String("out", "", "prune mode: write the pruned store here")
-	doPrune := flag.Bool("prune", false, "evaluate on the pruned store instead of the full one")
+	doPrune := flag.Bool("prune", false, "evaluate through the pruning pipeline instead of directly")
+	fingerprintK := flag.Int("fingerprint", 0, "with -prune: pre-filter via a k-bounded bisimulation fingerprint (0 = off)")
+	workers := flag.Int("workers", 0, "parallelize bit-matrix multiplications over this many goroutines")
+	timeout := flag.Duration("timeout", 0, "abort the query after this duration (0 = no deadline)")
 	flag.Parse()
 
-	if err := run(*data, *queryFile, *queryText, *mode, *engineName, *limit, *out, *doPrune); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	cfg := cliConfig{
+		data: *data, queryFile: *queryFile, queryText: *queryText,
+		mode: *mode, engine: *engineName, limit: *limit, out: *out,
+		prune: *doPrune, fingerprintK: *fingerprintK, workers: *workers,
+	}
+	if err := run(ctx, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "dualsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(data, queryFile, queryText, mode, engineName string, limit int, out string, doPrune bool) error {
-	src := queryText
+// cliConfig carries the parsed flags.
+type cliConfig struct {
+	data, queryFile, queryText string
+	mode, engine               string
+	limit                      int
+	out                        string
+	prune                      bool
+	fingerprintK               int
+	workers                    int
+}
+
+func run(ctx context.Context, cfg cliConfig) error {
+	src := cfg.queryText
 	if src == "" {
-		if queryFile == "" {
+		if cfg.queryFile == "" {
 			return fmt.Errorf("provide -q or -query")
 		}
-		b, err := os.ReadFile(queryFile)
+		b, err := os.ReadFile(cfg.queryFile)
 		if err != nil {
 			return err
 		}
@@ -56,14 +91,14 @@ func run(data, queryFile, queryText, mode, engineName string, limit int, out str
 	if err != nil {
 		return err
 	}
-	if mode == "analyze" {
+	if cfg.mode == "analyze" {
 		return runAnalyze(q)
 	}
 
-	if data == "" {
+	if cfg.data == "" {
 		return fmt.Errorf("-data is required")
 	}
-	f, err := os.Open(data)
+	f, err := os.Open(cfg.data)
 	if err != nil {
 		return err
 	}
@@ -76,25 +111,45 @@ func run(data, queryFile, queryText, mode, engineName string, limit int, out str
 	fmt.Fprintf(os.Stderr, "loaded %d triples, %d nodes, %d predicates in %v\n",
 		st.NumTriples(), st.NumNodes(), st.NumPreds(), time.Since(start).Round(time.Millisecond))
 
-	kind := dualsim.HashJoin
-	switch engineName {
-	case "hash":
-	case "index":
-		kind = dualsim.IndexNL
-	default:
-		return fmt.Errorf("unknown engine %q (want hash or index)", engineName)
+	db, err := openSession(st, cfg)
+	if err != nil {
+		return err
 	}
+	defer db.Close()
 
-	switch mode {
+	switch cfg.mode {
 	case "simulate":
-		return runSimulate(st, q)
+		return runSimulate(ctx, db, q)
 	case "prune":
-		return runPrune(st, q, out)
+		return runPrune(ctx, db, q, cfg.out)
 	case "evaluate":
-		return runEvaluate(st, q, kind, limit, doPrune)
+		return runEvaluate(ctx, db, q, cfg.limit)
 	default:
-		return fmt.Errorf("unknown mode %q", mode)
+		return fmt.Errorf("unknown mode %q", cfg.mode)
 	}
+}
+
+// openSession maps the flags onto session options.
+func openSession(st *dualsim.Store, cfg cliConfig) (*dualsim.DB, error) {
+	opts := []dualsim.Option{dualsim.WithPruning(cfg.prune || cfg.mode == "prune")}
+	switch cfg.engine {
+	case "hash":
+		opts = append(opts, dualsim.WithEngine(dualsim.HashJoin))
+	case "index":
+		opts = append(opts, dualsim.WithEngine(dualsim.IndexNL))
+	default:
+		return nil, fmt.Errorf("unknown engine %q (want hash or index)", cfg.engine)
+	}
+	if cfg.workers > 0 {
+		opts = append(opts, dualsim.WithWorkers(cfg.workers))
+	}
+	if cfg.fingerprintK != 0 {
+		if !cfg.prune && cfg.mode != "prune" {
+			return nil, fmt.Errorf("-fingerprint pre-filters the pruning solve; combine it with -prune")
+		}
+		opts = append(opts, dualsim.WithFingerprint(cfg.fingerprintK))
+	}
+	return dualsim.Open(st, opts...)
 }
 
 func runAnalyze(q *dualsim.Query) error {
@@ -117,9 +172,9 @@ func runAnalyze(q *dualsim.Query) error {
 	return nil
 }
 
-func runSimulate(st *dualsim.Store, q *dualsim.Query) error {
+func runSimulate(ctx context.Context, db *dualsim.DB, q *dualsim.Query) error {
 	start := time.Now()
-	rel, err := dualsim.DualSimulate(st, q, dualsim.Options{})
+	rel, err := db.DualSimulate(ctx, q)
 	if err != nil {
 		return err
 	}
@@ -135,9 +190,9 @@ func runSimulate(st *dualsim.Store, q *dualsim.Query) error {
 	return nil
 }
 
-func runPrune(st *dualsim.Store, q *dualsim.Query, out string) error {
+func runPrune(ctx context.Context, db *dualsim.DB, q *dualsim.Query, out string) error {
 	start := time.Now()
-	p, err := dualsim.Prune(st, q, dualsim.Options{})
+	p, err := db.Prune(ctx, q)
 	if err != nil {
 		return err
 	}
@@ -159,30 +214,28 @@ func runPrune(st *dualsim.Store, q *dualsim.Query, out string) error {
 	return nil
 }
 
-func runEvaluate(st *dualsim.Store, q *dualsim.Query, kind dualsim.EngineKind, limit int, doPrune bool) error {
-	target := st
-	if doPrune {
-		start := time.Now()
-		p, err := dualsim.Prune(st, q, dualsim.Options{})
-		if err != nil {
-			return err
-		}
-		target = p.Store()
-		fmt.Fprintf(os.Stderr, "pruned %d -> %d triples in %v\n",
-			p.Total(), p.Kept(), time.Since(start).Round(time.Microsecond))
-	}
-	start := time.Now()
-	res, err := dualsim.Evaluate(target, q, kind)
+func runEvaluate(ctx context.Context, db *dualsim.DB, q *dualsim.Query, limit int) error {
+	pq, err := db.PrepareQuery(q)
 	if err != nil {
 		return err
 	}
+	res, stats, err := pq.Exec(ctx)
+	if err != nil {
+		return err
+	}
+	for _, ss := range stats.Stages {
+		if ss.Skipped {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "%-11s %8v  %d -> %d\n", ss.Name, ss.Duration.Round(time.Microsecond), ss.In, ss.Out)
+	}
 	fmt.Fprintf(os.Stderr, "%d results in %v (%s engine)\n",
-		res.Len(), time.Since(start).Round(time.Microsecond), kind)
+		res.Len(), stats.Duration.Round(time.Microsecond), db.EngineName())
 	rows := res.Rows
 	if limit > 0 && len(rows) > limit {
 		rows = rows[:limit]
 	}
 	shown := &dualsim.Result{Vars: res.Vars, Rows: rows}
-	fmt.Print(shown.Format(st))
+	fmt.Print(shown.Format(db.Store()))
 	return nil
 }

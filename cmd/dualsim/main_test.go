@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -27,22 +29,33 @@ func fixture(t *testing.T) string {
 	return path
 }
 
+// do runs the CLI with a background context and defaults for the fields
+// a test does not care about.
+func do(t *testing.T, cfg cliConfig) error {
+	t.Helper()
+	return run(context.Background(), cfg)
+}
+
 func TestRunEvaluateModes(t *testing.T) {
 	data := fixture(t)
 	for _, engine := range []string{"hash", "index"} {
-		if err := run(data, "", queries.QueryX1, "evaluate", engine, 1, "", false); err != nil {
+		if err := do(t, cliConfig{data: data, queryText: queries.QueryX1, mode: "evaluate", engine: engine, limit: 1}); err != nil {
 			t.Fatalf("engine %s: %v", engine, err)
 		}
 	}
-	// With pruning enabled.
-	if err := run(data, "", queries.QueryX2, "evaluate", "hash", 0, "", true); err != nil {
+	// Through the pruning pipeline.
+	if err := do(t, cliConfig{data: data, queryText: queries.QueryX2, mode: "evaluate", engine: "hash", prune: true}); err != nil {
+		t.Fatal(err)
+	}
+	// Full pipeline: fingerprint pre-filter + pruning + workers.
+	if err := do(t, cliConfig{data: data, queryText: queries.QueryX1, mode: "evaluate", engine: "hash", prune: true, fingerprintK: 2, workers: 2}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSimulateMode(t *testing.T) {
 	data := fixture(t)
-	if err := run(data, "", queries.QueryX1, "simulate", "hash", 0, "", false); err != nil {
+	if err := do(t, cliConfig{data: data, queryText: queries.QueryX1, mode: "simulate", engine: "hash"}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -50,7 +63,7 @@ func TestRunSimulateMode(t *testing.T) {
 func TestRunPruneMode(t *testing.T) {
 	data := fixture(t)
 	out := filepath.Join(t.TempDir(), "pruned.nt")
-	if err := run(data, "", queries.QueryX1, "prune", "hash", 0, out, false); err != nil {
+	if err := do(t, cliConfig{data: data, queryText: queries.QueryX1, mode: "prune", engine: "hash", out: out}); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -73,15 +86,25 @@ func TestRunQueryFromFile(t *testing.T) {
 	if err := os.WriteFile(qf, []byte(queries.QueryX1), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(data, qf, "", "evaluate", "hash", 0, "", false); err != nil {
+	if err := do(t, cliConfig{data: data, queryFile: qf, mode: "evaluate", engine: "hash"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunAnalyzeMode(t *testing.T) {
 	// analyze needs no data file.
-	if err := run("", "", queries.QueryX3, "analyze", "hash", 0, "", false); err != nil {
+	if err := do(t, cliConfig{queryText: queries.QueryX3, mode: "analyze", engine: "hash"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunCancelled(t *testing.T) {
+	data := fixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := run(ctx, cliConfig{data: data, queryText: queries.QueryX1, mode: "evaluate", engine: "hash", prune: true})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run: %v", err)
 	}
 }
 
@@ -89,17 +112,17 @@ func TestRunErrors(t *testing.T) {
 	data := fixture(t)
 	cases := []struct {
 		name string
-		err  func() error
+		cfg  cliConfig
 	}{
-		{"missing data", func() error { return run("", "", queries.QueryX1, "evaluate", "hash", 0, "", false) }},
-		{"missing query", func() error { return run(data, "", "", "evaluate", "hash", 0, "", false) }},
-		{"bad engine", func() error { return run(data, "", queries.QueryX1, "evaluate", "nope", 0, "", false) }},
-		{"bad mode", func() error { return run(data, "", queries.QueryX1, "nope", "hash", 0, "", false) }},
-		{"bad query", func() error { return run(data, "", "SELECT", "evaluate", "hash", 0, "", false) }},
-		{"bad data path", func() error { return run("/no/such.nt", "", queries.QueryX1, "evaluate", "hash", 0, "", false) }},
+		{"missing data", cliConfig{queryText: queries.QueryX1, mode: "evaluate", engine: "hash"}},
+		{"missing query", cliConfig{data: data, mode: "evaluate", engine: "hash"}},
+		{"bad engine", cliConfig{data: data, queryText: queries.QueryX1, mode: "evaluate", engine: "nope"}},
+		{"bad mode", cliConfig{data: data, queryText: queries.QueryX1, mode: "nope", engine: "hash"}},
+		{"bad query", cliConfig{data: data, queryText: "SELECT", mode: "evaluate", engine: "hash"}},
+		{"bad data path", cliConfig{data: "/no/such.nt", queryText: queries.QueryX1, mode: "evaluate", engine: "hash"}},
 	}
 	for _, c := range cases {
-		if c.err() == nil {
+		if do(t, c.cfg) == nil {
 			t.Fatalf("%s: expected error", c.name)
 		}
 	}

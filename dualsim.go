@@ -10,29 +10,43 @@
 // time and contains every homomorphic match, which makes it a sound and
 // aggressive pruning filter for query processing.
 //
-// The package exposes four layers:
+// The package is organized around sessions and prepared queries, in the
+// database/sql mould:
 //
 //   - a graph database: an in-memory dictionary-encoded triple store with
 //     per-predicate indexes and adjacency bit-matrices
 //     (NewStore/LoadNTriples/FromTriples);
-//   - a SPARQL fragment: SELECT * queries over basic graph patterns with
-//     AND (.), OPTIONAL and UNION (ParseQuery), evaluated under the
-//     formal set semantics by two engines (Evaluate);
-//   - dual simulation: the system-of-inequalities solver computing the
-//     largest dual simulation of a query or a hand-built pattern graph
-//     (DualSimulate, NewPattern/SimulatePattern);
-//   - pruning: per-query database reduction (Prune) such that evaluating
-//     the query on the pruned store preserves every match.
+//   - a session: Open(st, ...Option) fixes the engine, the solver
+//     switches and the pipeline composition for a store; sessions are
+//     safe for concurrent use;
+//   - prepared queries: db.Prepare(src) parses the SPARQL fragment
+//     (SELECT * over basic graph patterns with AND (.), OPTIONAL and
+//     UNION) and plans it exactly once — pattern extraction, lowering to
+//     per-branch systems of inequalities with their ordering keys, and
+//     the fingerprint lookup when the session has one;
+//   - execution: pq.Exec(ctx) runs the composable pipeline — optional
+//     fingerprint pre-filter, dual-simulation pruning (the paper's
+//     headline application), engine evaluation — returning the solution
+//     mappings plus per-stage ExecStats. Cancellation and deadlines on
+//     ctx interrupt the solver between inequality evaluations and the
+//     engines between join row batches.
 //
 // A minimal session:
 //
 //	st, _ := dualsim.LoadNTriples(file)
-//	q, _ := dualsim.ParseQuery(`SELECT * WHERE { ?d <directed> ?m . }`)
-//	pruned, _ := dualsim.Prune(st, q, dualsim.Options{})
-//	res, _ := dualsim.Evaluate(pruned.Store(), q, dualsim.HashJoin)
+//	db, _ := dualsim.Open(st, dualsim.WithEngine(dualsim.HashJoin))
+//	pq, _ := db.Prepare(`SELECT * WHERE { ?d <directed> ?m . }`)
+//	res, stats, _ := pq.Exec(ctx) // prune + evaluate; reusable, concurrent
+//	fmt.Println(res.Len(), stats.PrunedRatio())
+//
+// The pre-session one-shot helpers (DualSimulate, Prune, Evaluate) are
+// kept as deprecated wrappers over a default session. Pattern-graph
+// level dual simulation (NewPattern/SimulatePattern), strong simulation
+// and the fingerprint index are exposed alongside (see extensions.go).
 package dualsim
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -134,11 +148,27 @@ func (k EngineKind) String() string { return k.engine().Name() }
 
 // Evaluate computes the solution mappings of q over st under the formal
 // set semantics.
+//
+// Deprecated: open a session and execute through it instead — Open(st,
+// WithEngine(kind), WithPruning(false)), then db.Exec or
+// Prepare/Exec(ctx) for cancellation and plan reuse. Evaluate runs one
+// uncancellable evaluation on a throwaway session.
 func Evaluate(st *Store, q *Query, kind EngineKind) (*Result, error) {
-	return kind.engine().Evaluate(st, q)
+	if err := requireStore(st); err != nil {
+		return nil, err
+	}
+	db, err := Open(st, WithEngine(kind), WithPruning(false))
+	if err != nil {
+		return nil, err
+	}
+	return db.Evaluate(context.Background(), st, q)
 }
 
 // Options configure the dual simulation solver (paper §3.3).
+//
+// Deprecated: sessions replace the flat option struct — configure Open
+// with functional options (WithStrategy, WithWorkers, …), or import an
+// existing Options value wholesale via WithOptions.
 type Options struct {
 	// Strategy selects the ×b evaluation: AutoStrategy (the popcount
 	// heuristic), RowWiseStrategy or ColWiseStrategy.
@@ -237,12 +267,18 @@ func (r *Relation) Stats() Stats {
 // DualSimulate computes the largest dual simulation between the query and
 // the store (Sect. 3–4 of the paper): a sound overapproximation of the
 // query's matches, per variable.
+//
+// Deprecated: use a session — Open(st, WithOptions(opts)) followed by
+// db.DualSimulate(ctx, q) — for cancellation and configuration reuse.
 func DualSimulate(st *Store, q *Query, opts Options) (*Relation, error) {
-	rel, err := core.QueryDualSimulation(st, q, opts.config())
+	if err := requireStore(st); err != nil {
+		return nil, err
+	}
+	db, err := Open(st, WithOptions(opts))
 	if err != nil {
 		return nil, err
 	}
-	return &Relation{rel: rel, st: st}, nil
+	return db.DualSimulate(context.Background(), q)
 }
 
 // errString guards exported wrappers against nil stores.

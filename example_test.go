@@ -1,6 +1,7 @@
 package dualsim_test
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -23,8 +24,44 @@ func movieGraph() *dualsim.Store {
 	return st
 }
 
+// ExampleOpen shows the session flow: Open a DB over the store, Prepare
+// a query once, Exec(ctx) the pruning pipeline any number of times.
+func ExampleOpen() {
+	st := movieGraph()
+	db, _ := dualsim.Open(st, dualsim.WithEngine(dualsim.HashJoin))
+	defer db.Close()
+
+	pq, _ := db.Prepare(`SELECT * WHERE {
+	  ?director <directed> ?movie .
+	  ?director <worked_with> ?coworker . }`)
+
+	res, stats, _ := pq.Exec(context.Background())
+	fmt.Printf("%d rows; %d of %d triples survived pruning\n",
+		res.Len(), stats.TriplesAfter, stats.TriplesBefore)
+	// Output: 2 rows; 4 of 6 triples survived pruning
+}
+
+// ExampleDB_Exec runs a one-shot query with per-stage statistics.
+func ExampleDB_Exec() {
+	st := movieGraph()
+	db, _ := dualsim.Open(st)
+
+	res, stats, _ := db.Exec(context.Background(), `SELECT * WHERE {
+	  ?director <directed> ?movie .
+	  OPTIONAL { ?director <worked_with> ?coworker . } }`)
+	fmt.Println("rows:", res.Len())
+	for _, ss := range stats.Stages {
+		fmt.Printf("%s: %d -> %d\n", ss.Name, ss.In, ss.Out)
+	}
+	// Output:
+	// rows: 4
+	// prune: 6 -> 6
+	// evaluate: 6 -> 4
+}
+
 // ExampleDualSimulate computes the candidate sets of the paper's query
-// (X1): directors with a movie and a coworker.
+// (X1): directors with a movie and a coworker. (DualSimulate is the
+// deprecated one-shot form of DB.DualSimulate.)
 func ExampleDualSimulate() {
 	st := movieGraph()
 	q := dualsim.MustParseQuery(`SELECT * WHERE {

@@ -8,9 +8,14 @@
 // It also reproduces the paper's Fig. 4 counterexample on a small social
 // graph: dual simulation keeps p4 for the mutual-knows exemplar although
 // p4 belongs to no homomorphic match.
+//
+// Pattern-graph simulation runs through the session API too: Open a DB
+// over the store once, then db.SimulatePattern(ctx, p) per exemplar —
+// cancellable like every other session operation.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,16 +23,23 @@ import (
 )
 
 func main() {
-	knowledgeGraphExemplar()
-	fig4Counterexample()
+	ctx := context.Background()
+	knowledgeGraphExemplar(ctx)
+	fig4Counterexample(ctx)
 }
 
-func knowledgeGraphExemplar() {
+func knowledgeGraphExemplar(ctx context.Context) {
 	st, err := dualsim.GenerateKGStore(2, 7)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("knowledge graph: %d triples\n\n", st.NumTriples())
+
+	db, err := dualsim.Open(st)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
 
 	// The exemplar: an organisation whose founder shares a birthplace
 	// with one of its employees. Expressed as a pattern graph:
@@ -37,7 +49,7 @@ func knowledgeGraphExemplar() {
 		Edge("founder", "dbo:birthPlace", "hometown").
 		Edge("employee", "dbo:birthPlace", "hometown")
 
-	rel, err := dualsim.SimulatePattern(st, p, dualsim.Options{})
+	rel, err := db.SimulatePattern(ctx, p)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -63,7 +75,7 @@ func knowledgeGraphExemplar() {
 	fmt.Println()
 }
 
-func fig4Counterexample() {
+func fig4Counterexample(ctx context.Context) {
 	// Fig. 4(b): the knows-graph K.
 	st, err := dualsim.FromTriples([]dualsim.Triple{
 		dualsim.T("p1", "knows", "p2"),
@@ -82,7 +94,11 @@ func fig4Counterexample() {
 		Edge("v", "knows", "w").
 		Edge("w", "knows", "v")
 
-	rel, err := dualsim.SimulatePattern(st, p, dualsim.Options{})
+	db, err := dualsim.Open(st)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rel, err := db.SimulatePattern(ctx, p)
 	if err != nil {
 		log.Fatal(err)
 	}

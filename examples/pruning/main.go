@@ -1,10 +1,13 @@
 // Pruning demonstrates the paper's headline application (Sect. 5) on the
-// DBpedia-like dataset: for a join-heavy query, dual simulation removes
-// the overwhelming majority of triples, and evaluating on the pruned
-// store is faster while producing identical results.
+// DBpedia-like dataset through the session pipeline: for join-heavy
+// queries, dual simulation removes the overwhelming majority of triples,
+// and the per-stage ExecStats show the split between pruning time
+// (t_SPARQLSIM) and join time (t_DB pruned). A second, pruning-free
+// session provides the t_DB baseline on the full store.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -29,6 +32,7 @@ var benchQueries = []struct {
 }
 
 func main() {
+	ctx := context.Background()
 	st, err := dualsim.GenerateKGStore(4, 42)
 	if err != nil {
 		log.Fatal(err)
@@ -36,39 +40,39 @@ func main() {
 	fmt.Printf("DBpedia-like store: %d triples, %d nodes, %d predicates\n\n",
 		st.NumTriples(), st.NumNodes(), st.NumPreds())
 
-	for _, bq := range benchQueries {
-		q := dualsim.MustParseQuery(bq.text)
+	// Two sessions over the same store: the pipeline session prunes
+	// before evaluating, the baseline session evaluates directly.
+	pipeline, err := dualsim.Open(st)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseline, err := dualsim.Open(st, dualsim.WithPruning(false))
+	if err != nil {
+		log.Fatal(err)
+	}
 
-		t0 := time.Now()
-		p, err := dualsim.Prune(st, q, dualsim.Options{})
+	for _, bq := range benchQueries {
+		res, stats, err := pipeline.Exec(ctx, bq.text)
 		if err != nil {
 			log.Fatal(err)
 		}
-		tPrune := time.Since(t0)
-		pruned := p.Store()
 
-		t0 = time.Now()
-		full, err := dualsim.Evaluate(st, q, dualsim.HashJoin)
+		t0 := time.Now()
+		full, _, err := baseline.Exec(ctx, bq.text)
 		if err != nil {
 			log.Fatal(err)
 		}
 		tFull := time.Since(t0)
 
-		t0 = time.Now()
-		prunedRes, err := dualsim.Evaluate(pruned, q, dualsim.HashJoin)
-		if err != nil {
-			log.Fatal(err)
-		}
-		tPruned := time.Since(t0)
-
 		fmt.Printf("query %q:\n", bq.id)
 		fmt.Printf("  triples     %8d → %d (%.2f%% pruned, %v pruning time)\n",
-			p.Total(), p.Kept(), 100*p.Ratio(), tPrune.Round(time.Microsecond))
+			stats.TriplesBefore, stats.TriplesAfter, 100*stats.PrunedRatio(),
+			stats.PruneTime().Round(time.Microsecond))
 		fmt.Printf("  results     %8d (identical on pruned store: %v)\n",
-			full.Len(), full.Equal(prunedRes))
+			full.Len(), full.Equal(res))
 		fmt.Printf("  t_DB        %8v\n", tFull.Round(time.Microsecond))
 		fmt.Printf("  t_DB_pruned %8v (+ pruning = %v)\n\n",
-			tPruned.Round(time.Microsecond),
-			(tPruned + tPrune).Round(time.Microsecond))
+			stats.JoinTime().Round(time.Microsecond),
+			(stats.JoinTime() + stats.PruneTime()).Round(time.Microsecond))
 	}
 }

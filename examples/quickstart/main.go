@@ -1,10 +1,13 @@
-// Quickstart walks through the paper's running example: the movie
-// database of Fig. 1(a), query (X1) and its optional variant (X2),
-// computing the largest dual simulation, pruning the database and
-// evaluating the query on both versions.
+// Quickstart walks through the paper's running example with the session
+// API: the movie database of Fig. 1(a), query (X1) and its optional
+// variant (X2). A session is opened over the store, each query is
+// prepared once, and Exec(ctx) runs the pruning pipeline — the
+// per-stage ExecStats expose the dual simulation's effect (16 of 20
+// triples disqualified) alongside the final solution mappings.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -47,6 +50,7 @@ SELECT * WHERE {
   OPTIONAL { ?director <worked_with> ?coworker . } }`
 
 func main() {
+	ctx := context.Background()
 	st, err := dualsim.FromTriples(fig1a)
 	if err != nil {
 		log.Fatal(err)
@@ -54,9 +58,18 @@ func main() {
 	fmt.Printf("database: %d triples, %d nodes, %d predicates\n\n",
 		st.NumTriples(), st.NumNodes(), st.NumPreds())
 
-	// --- Step 1: the largest dual simulation of (X1) -------------------
+	// --- Step 1: open a session ----------------------------------------
+	// The session fixes engine and pipeline for every query prepared on
+	// it; the default pipeline is dual-sim prune → evaluate.
+	db, err := dualsim.Open(st, dualsim.WithEngine(dualsim.HashJoin))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// --- Step 2: the largest dual simulation of (X1) -------------------
 	q := dualsim.MustParseQuery(queryX1)
-	rel, err := dualsim.DualSimulate(st, q, dualsim.Options{})
+	rel, err := db.DualSimulate(ctx, q)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,36 +82,35 @@ func main() {
 		fmt.Println()
 	}
 
-	// --- Step 2: prune the database ------------------------------------
-	p, err := dualsim.Prune(st, q, dualsim.Options{})
+	// --- Step 3: prepare once, execute the pipeline --------------------
+	pq, err := db.PrepareQuery(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, stats, err := pq.Exec(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\npruning: %d of %d triples survive (%.0f%% pruned)\n",
-		p.Kept(), p.Total(), 100*p.Ratio())
+		stats.TriplesAfter, stats.TriplesBefore, 100*stats.PrunedRatio())
+	fmt.Printf("(X1) results (pruned pipeline, %d rows):\n%s", res.Len(), res.Format(st))
 
-	// --- Step 3: evaluate on full and pruned stores --------------------
-	full, err := dualsim.Evaluate(st, q, dualsim.HashJoin)
+	// Identical to evaluating the full store directly (Theorem 2).
+	full, err := db.Evaluate(ctx, st, q)
 	if err != nil {
 		log.Fatal(err)
 	}
-	pruned, err := dualsim.Evaluate(p.Store(), q, dualsim.HashJoin)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("\n(X1) results (full store, %d rows):\n%s", full.Len(), full.Format(st))
-	fmt.Printf("identical on the pruned store: %v\n", full.Equal(pruned))
+	fmt.Printf("identical on the full store: %v\n", full.Equal(res))
 
 	// --- Step 4: the optional variant (X2) ------------------------------
-	q2 := dualsim.MustParseQuery(queryX2)
-	res2, err := dualsim.Evaluate(st, q2, dualsim.HashJoin)
+	res2, _, err := db.Exec(ctx, queryX2)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\n(X2) results (%d rows — D. Koepp and T. Young join without a coworker):\n%s",
 		res2.Len(), res2.Format(st))
 
-	if full.Len() != 2 || res2.Len() != 4 {
+	if res.Len() != 2 || res2.Len() != 4 {
 		fmt.Fprintln(os.Stderr, "unexpected result sizes")
 		os.Exit(1)
 	}

@@ -1,6 +1,8 @@
 package dualsim
 
 import (
+	"slices"
+
 	"dualsim/internal/core"
 	"dualsim/internal/partition"
 	"dualsim/internal/storage"
@@ -40,7 +42,7 @@ func StrongSimulate(st *Store, p *Pattern) ([]StrongMatch, error) {
 			for n := range m.Sim[i] {
 				nodes = append(nodes, n)
 			}
-			sortNodeIDs(nodes)
+			slices.Sort(nodes)
 			terms := make([]Term, len(nodes))
 			for j, n := range nodes {
 				terms[j] = st.Term(n)
@@ -50,14 +52,6 @@ func StrongSimulate(st *Store, p *Pattern) ([]StrongMatch, error) {
 		out = append(out, sm)
 	}
 	return out, nil
-}
-
-func sortNodeIDs(ns []storage.NodeID) {
-	for i := 1; i < len(ns); i++ {
-		for j := i; j > 0 && ns[j-1] > ns[j]; j-- {
-			ns[j-1], ns[j] = ns[j], ns[j-1]
-		}
-	}
 }
 
 // Fingerprint is a condensed stand-in for a store: nodes are k-bounded

@@ -19,6 +19,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -176,12 +177,12 @@ func Table3(d *Datasets, repeats int) ([]Table3Row, error) {
 		row.AfterPruning = p.Kept
 		row.Rounds = rel.Stats.Rounds
 
-		res, err := eng.Evaluate(st, q)
+		res, err := eng.Evaluate(context.Background(), st, q)
 		if err != nil {
 			return nil, err
 		}
 		row.Results = res.Len()
-		req, err := prune.RequiredCount(st, q, eng)
+		req, err := prune.RequiredCount(context.Background(), st, q, eng)
 		if err != nil {
 			return nil, err
 		}
@@ -229,14 +230,14 @@ func EngineComparison(d *Datasets, eng engine.Engine, repeats int) ([]EngineRow,
 
 		var res *engine.Result
 		row.TDB = timeIt(repeats, func() {
-			res, err = eng.Evaluate(st, q)
+			res, err = eng.Evaluate(context.Background(), st, q)
 		})
 		if err != nil {
 			return nil, err
 		}
 		row.Results = res.Len()
 		row.TDBPruned = timeIt(repeats, func() {
-			_, err = eng.Evaluate(pruned, q)
+			_, err = eng.Evaluate(context.Background(), pruned, q)
 		})
 		if err != nil {
 			return nil, err

@@ -60,8 +60,9 @@ func TestTable2Invariants(t *testing.T) {
 	}
 	// The paper's Table 2 claim: SOI outperforms Ma et al. in every
 	// case. Allow a little timing noise at tiny scale, but the trend
-	// must be overwhelming.
-	if soiWins < 15 {
+	// must be overwhelming. Under the race detector the instrumentation
+	// overhead distorts relative timings too much to assert the trend.
+	if soiWins < 15 && !raceEnabled {
 		t.Fatalf("SOI only faster on %d/20 queries", soiWins)
 	}
 	var buf bytes.Buffer

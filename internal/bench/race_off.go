@@ -1,0 +1,8 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether the race detector instruments this build.
+// Timing-based invariants (SOI-vs-baseline speed comparisons) are not
+// meaningful under the detector's 5–10x slowdown and are relaxed.
+const raceEnabled = false

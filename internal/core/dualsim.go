@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"dualsim/internal/bitmat"
 	"dualsim/internal/bitvec"
 	"dualsim/internal/soi"
@@ -135,13 +137,23 @@ func predMatrices(st *storage.Store, pred string, compressed bool) bitmat.Pair {
 // DualSimulation computes the largest dual simulation between pattern p
 // and the store, the central operation of the paper.
 func DualSimulation(st *storage.Store, p *Pattern, cfg Config) *Relation {
+	rel, _ := DualSimulationCtx(context.Background(), st, p, cfg)
+	return rel
+}
+
+// DualSimulationCtx is DualSimulation honouring cancellation: the solver
+// aborts between inequality evaluations and the ctx error is returned.
+func DualSimulationCtx(ctx context.Context, st *storage.Store, p *Pattern, cfg Config) (*Relation, error) {
 	sys := BuildSystem(st, p, cfg)
-	sol := sys.Solve(soi.Options{
+	sol, err := sys.SolveCtx(ctx, soi.Options{
 		Strategy:     cfg.Strategy,
 		Order:        cfg.Order,
 		ShortCircuit: cfg.ShortCircuit,
 		Workers:      cfg.Workers,
 	})
+	if err != nil {
+		return nil, err
+	}
 	chi := sol.Chi[:p.NumVars()]
 	if sol.Stats.ShortCircuited {
 		// An empty mandatory variable certifies the empty result; expose
@@ -150,5 +162,5 @@ func DualSimulation(st *storage.Store, p *Pattern, cfg Config) *Relation {
 			c.Zero()
 		}
 	}
-	return &Relation{Pattern: p, Chi: chi, Stats: sol.Stats}
+	return &Relation{Pattern: p, Chi: chi, Stats: sol.Stats}, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"dualsim/internal/bitvec"
@@ -69,6 +70,25 @@ type Branch struct {
 type QueryPlan struct {
 	Query    *sparql.Query
 	Branches []*Branch
+}
+
+// PatternGraph rebuilds the branch as a pattern graph over its SOI
+// variables (copy inequalities are dropped — they only tighten the
+// solution, so the pattern over-approximates the branch). Used by the
+// fingerprint pre-filter, which lifts summary-level candidates per
+// pattern variable.
+func (b *Branch) PatternGraph() *Pattern {
+	p := NewPattern()
+	for _, qv := range b.Vars {
+		p.Var(qv.Name)
+		if qv.Const != nil {
+			p.Bind(qv.Name, *qv.Const)
+		}
+	}
+	for _, e := range b.Edges {
+		p.Edge(b.Vars[e.From].Name, e.Pred, b.Vars[e.To].Name)
+	}
+	return p
 }
 
 // ---------------------------------------------------------------------------
@@ -356,16 +376,44 @@ type QueryRelation struct {
 	Stats    soi.Stats // aggregated over branches
 }
 
+// Finalize freezes every branch system for solving. A finalized plan is
+// immutable and may be solved concurrently — the basis for prepared
+// queries: translation, lowering and finalization happen once, Solve
+// runs per execution.
+func (p *QueryPlan) Finalize() {
+	for _, br := range p.Branches {
+		br.Sys.Finalize()
+	}
+}
+
 // Solve computes the largest solution of every branch.
 func (p *QueryPlan) Solve(cfg Config) *QueryRelation {
+	rel, _ := p.SolveRestricted(context.Background(), cfg, nil)
+	return rel
+}
+
+// SolveRestricted computes the largest solution of every branch,
+// honouring ctx cancellation. restrict, when non-nil, carries one
+// per-branch slice of initial-bound intersections (indexed like
+// Branch.Vars, nil entries skipped) — the hook through which a
+// fingerprint pre-filter tightens the solver's starting point without
+// mutating the shared plan.
+func (p *QueryPlan) SolveRestricted(ctx context.Context, cfg Config, restrict [][]*bitvec.Vector) (*QueryRelation, error) {
 	rel := &QueryRelation{Plan: p}
-	for _, br := range p.Branches {
-		sol := br.Sys.Solve(soi.Options{
+	for i, br := range p.Branches {
+		opts := soi.Options{
 			Strategy:     cfg.Strategy,
 			Order:        cfg.Order,
 			ShortCircuit: cfg.ShortCircuit,
 			Workers:      cfg.Workers,
-		})
+		}
+		if restrict != nil && i < len(restrict) {
+			opts.Restrict = restrict[i]
+		}
+		sol, err := br.Sys.SolveCtx(ctx, opts)
+		if err != nil {
+			return nil, err
+		}
 		bs := &BranchSolution{Branch: br, Sol: sol}
 		bs.MandatoryEmpty = sol.Stats.ShortCircuited || sol.EmptyRequired(br.Sys)
 		rel.Branches = append(rel.Branches, bs)
@@ -374,7 +422,7 @@ func (p *QueryPlan) Solve(cfg Config) *QueryRelation {
 		rel.Stats.Updates += sol.Stats.Updates
 		rel.Stats.ShortCircuited = rel.Stats.ShortCircuited || sol.Stats.ShortCircuited
 	}
-	return rel
+	return rel, nil
 }
 
 // VarSet returns the union over branches and renamed copies of the
@@ -424,9 +472,14 @@ func (r *QueryRelation) Empty() bool {
 // QueryDualSimulation is the convenience entry point: build the plan and
 // solve it.
 func QueryDualSimulation(st *storage.Store, q *sparql.Query, cfg Config) (*QueryRelation, error) {
+	return QueryDualSimulationCtx(context.Background(), st, q, cfg)
+}
+
+// QueryDualSimulationCtx is QueryDualSimulation honouring cancellation.
+func QueryDualSimulationCtx(ctx context.Context, st *storage.Store, q *sparql.Query, cfg Config) (*QueryRelation, error) {
 	plan, err := BuildQueryPlan(st, q, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return plan.Solve(cfg), nil
+	return plan.SolveRestricted(ctx, cfg, nil)
 }

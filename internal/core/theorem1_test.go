@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -74,7 +75,7 @@ func TestPropertyTheorem1QueryLevel(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		res, err := eng.Evaluate(st, q)
+		res, err := eng.Evaluate(context.Background(), st, q)
 		if err != nil {
 			return false
 		}
@@ -123,7 +124,7 @@ func TestPropertyShortCircuitConsistency(t *testing.T) {
 			return false
 		}
 		if sc.Empty() {
-			res, err := eng.Evaluate(st, q)
+			res, err := eng.Evaluate(context.Background(), st, q)
 			if err != nil {
 				return false
 			}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -65,7 +66,7 @@ func TestX1Results(t *testing.T) {
 	st := fig1a(t)
 	q := sparql.MustParse(queryX1)
 	for _, e := range engines() {
-		res, err := e.Evaluate(st, q)
+		res, err := e.Evaluate(context.Background(), st, q)
 		if err != nil {
 			t.Fatalf("%s: %v", e.Name(), err)
 		}
@@ -85,7 +86,7 @@ func TestX2Results(t *testing.T) {
 	st := fig1a(t)
 	q := sparql.MustParse(queryX2)
 	for _, e := range engines() {
-		res, err := e.Evaluate(st, q)
+		res, err := e.Evaluate(context.Background(), st, q)
 		if err != nil {
 			t.Fatalf("%s: %v", e.Name(), err)
 		}
@@ -149,7 +150,7 @@ SELECT * WHERE {
 	if sparql.IsWellDesigned(q.Expr) {
 		t.Fatal("X3 must be non-well-designed")
 	}
-	want, err := NewReference().Evaluate(st, q)
+	want, err := NewReference().Evaluate(context.Background(), st, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ SELECT * WHERE {
 		t.Fatal("fixture should produce matches")
 	}
 	for _, e := range fastEngines() {
-		got, err := e.Evaluate(st, q)
+		got, err := e.Evaluate(context.Background(), st, q)
 		if err != nil {
 			t.Fatalf("%s: %v", e.Name(), err)
 		}
@@ -172,7 +173,7 @@ func TestEmptyBGP(t *testing.T) {
 	st := fig1a(t)
 	q := &sparql.Query{Expr: sparql.BGP{}}
 	for _, e := range engines() {
-		res, err := e.Evaluate(st, q)
+		res, err := e.Evaluate(context.Background(), st, q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -187,14 +188,14 @@ func TestConstantsOnlyPattern(t *testing.T) {
 	yes := sparql.MustParse(`SELECT * WHERE { <B._De_Palma> directed <Mission:_Impossible> }`)
 	no := sparql.MustParse(`SELECT * WHERE { <B._De_Palma> directed Goldfinger }`)
 	for _, e := range engines() {
-		r1, err := e.Evaluate(st, yes)
+		r1, err := e.Evaluate(context.Background(), st, yes)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if r1.Len() != 1 {
 			t.Fatalf("%s: ask-true = %d rows", e.Name(), r1.Len())
 		}
-		r2, err := e.Evaluate(st, no)
+		r2, err := e.Evaluate(context.Background(), st, no)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -212,7 +213,7 @@ func TestUnknownConstantOrPredicate(t *testing.T) {
 	} {
 		q := sparql.MustParse(src)
 		for _, e := range engines() {
-			res, err := e.Evaluate(st, q)
+			res, err := e.Evaluate(context.Background(), st, q)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -227,7 +228,7 @@ func TestVariablePredicateRejected(t *testing.T) {
 	st := fig1a(t)
 	q := sparql.MustParse(`SELECT * WHERE { ?s ?p ?o }`)
 	for _, e := range engines() {
-		if _, err := e.Evaluate(st, q); err == nil {
+		if _, err := e.Evaluate(context.Background(), st, q); err == nil {
 			t.Fatalf("%s accepted a variable predicate", e.Name())
 		}
 	}
@@ -241,7 +242,7 @@ func TestSameVarTwice(t *testing.T) {
 	})
 	q := sparql.MustParse(`SELECT * WHERE { ?x knows ?x }`)
 	for _, e := range engines() {
-		res, err := e.Evaluate(st, q)
+		res, err := e.Evaluate(context.Background(), st, q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -256,7 +257,7 @@ func TestUnion(t *testing.T) {
 	q := sparql.MustParse(`SELECT * WHERE {
 	  { ?x directed ?y } UNION { ?x worked_with ?y } }`)
 	for _, e := range engines() {
-		res, err := e.Evaluate(st, q)
+		res, err := e.Evaluate(context.Background(), st, q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -274,7 +275,7 @@ func TestCartesianProduct(t *testing.T) {
 	})
 	q := sparql.MustParse(`SELECT * WHERE { ?x p ?y . ?v q ?w }`)
 	for _, e := range engines() {
-		res, err := e.Evaluate(st, q)
+		res, err := e.Evaluate(context.Background(), st, q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -362,12 +363,12 @@ func TestPropertyEnginesMatchReference(t *testing.T) {
 			return false
 		}
 		q := &sparql.Query{Expr: randomQuery(r, 2, 3, 2)}
-		want, err := NewReference().Evaluate(st, q)
+		want, err := NewReference().Evaluate(context.Background(), st, q)
 		if err != nil {
 			return false
 		}
 		for _, e := range fastEngines() {
-			got, err := e.Evaluate(st, q)
+			got, err := e.Evaluate(context.Background(), st, q)
 			if err != nil {
 				t.Logf("seed %d: %s error: %v", seed, e.Name(), err)
 				return false

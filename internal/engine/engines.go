@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"sort"
 
 	"dualsim/internal/sparql"
@@ -11,8 +12,10 @@ import (
 type Engine interface {
 	// Name identifies the engine in reports (Tables 4/5).
 	Name() string
-	// Evaluate computes the solution mapping set of q over st.
-	Evaluate(st *storage.Store, q *sparql.Query) (*Result, error)
+	// Evaluate computes the solution mapping set of q over st. It honours
+	// ctx: cancellation or deadline expiry aborts the evaluation between
+	// join steps and row batches, returning ctx.Err().
+	Evaluate(ctx context.Context, st *storage.Store, q *sparql.Query) (*Result, error)
 }
 
 // ---------------------------------------------------------------------------
@@ -26,11 +29,11 @@ func NewHashJoin() Engine { return hashJoinEngine{} }
 
 func (hashJoinEngine) Name() string { return "hashjoin" }
 
-func (hashJoinEngine) Evaluate(st *storage.Store, q *sparql.Query) (*Result, error) {
-	return evalExpr(st, q.Expr, hashJoinBGP)
+func (hashJoinEngine) Evaluate(ctx context.Context, st *storage.Store, q *sparql.Query) (*Result, error) {
+	return evalExpr(ctx, st, q.Expr, hashJoinBGP)
 }
 
-func hashJoinBGP(st *storage.Store, b sparql.BGP) (*Result, error) {
+func hashJoinBGP(ctx context.Context, st *storage.Store, b sparql.BGP) (*Result, error) {
 	if len(b) == 0 {
 		return unitResult(), nil
 	}
@@ -50,12 +53,19 @@ func hashJoinBGP(st *storage.Store, b sparql.BGP) (*Result, error) {
 	})
 	acc := rs[0].scan(st)
 	for _, r := range rs[1:] {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if acc.Len() == 0 {
 			// Join with anything stays empty; keep widening the schema.
 			acc = NewResult(unionVars(acc, NewResult(r.vars()...))...)
 			continue
 		}
-		acc = join(acc, r.scan(st), false)
+		var err error
+		acc, err = join(ctx, acc, r.scan(st), false)
+		if err != nil {
+			return nil, err
+		}
 	}
 	acc.Dedup()
 	return acc, nil
@@ -72,11 +82,11 @@ func NewIndexNL() Engine { return indexNLEngine{} }
 
 func (indexNLEngine) Name() string { return "indexnl" }
 
-func (indexNLEngine) Evaluate(st *storage.Store, q *sparql.Query) (*Result, error) {
-	return evalExpr(st, q.Expr, indexNLBGP)
+func (indexNLEngine) Evaluate(ctx context.Context, st *storage.Store, q *sparql.Query) (*Result, error) {
+	return evalExpr(ctx, st, q.Expr, indexNLBGP)
 }
 
-func indexNLBGP(st *storage.Store, b sparql.BGP) (*Result, error) {
+func indexNLBGP(ctx context.Context, st *storage.Store, b sparql.BGP) (*Result, error) {
 	if len(b) == 0 {
 		return unitResult(), nil
 	}
@@ -136,7 +146,12 @@ func indexNLBGP(st *storage.Store, b sparql.BGP) (*Result, error) {
 			return out, nil
 		}
 		var next [][]storage.NodeID
-		for _, row := range current {
+		for i, row := range current {
+			if i%rowCheckInterval == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			extendRow(st, r, row, varCol, func(nr []storage.NodeID) {
 				next = append(next, nr)
 			})
@@ -229,11 +244,11 @@ func NewReference() Engine { return referenceEngine{} }
 
 func (referenceEngine) Name() string { return "reference" }
 
-func (referenceEngine) Evaluate(st *storage.Store, q *sparql.Query) (*Result, error) {
-	return evalExpr(st, q.Expr, referenceBGP)
+func (referenceEngine) Evaluate(ctx context.Context, st *storage.Store, q *sparql.Query) (*Result, error) {
+	return evalExpr(ctx, st, q.Expr, referenceBGP)
 }
 
-func referenceBGP(st *storage.Store, b sparql.BGP) (*Result, error) {
+func referenceBGP(ctx context.Context, st *storage.Store, b sparql.BGP) (*Result, error) {
 	if len(b) == 0 {
 		return unitResult(), nil
 	}
@@ -264,27 +279,38 @@ func referenceBGP(st *storage.Store, b sparql.BGP) (*Result, error) {
 	// Enumerate every total assignment vars → O_DB and keep those whose
 	// image satisfies all triple patterns — dom(µ) = vars(BGP).
 	assign := make([]storage.NodeID, len(vars))
-	var rec func(i int)
-	rec = func(i int) {
+	checked := 0
+	var rec func(i int) error
+	rec = func(i int) error {
 		if i == len(vars) {
+			if checked++; checked%rowCheckInterval == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			for _, r := range rs {
 				if !r.ok {
-					return
+					return nil
 				}
 				s, _ := constOrBinding(r.sVar, r.sID, assign, col)
 				o, _ := constOrBinding(r.oVar, r.oID, assign, col)
 				if !st.HasTriple(s, r.pred, o) {
-					return
+					return nil
 				}
 			}
 			out.Rows = append(out.Rows, append([]storage.NodeID(nil), assign...))
-			return
+			return nil
 		}
 		for n := 0; n < st.NumNodes(); n++ {
 			assign[i] = storage.NodeID(n)
-			rec(i + 1)
+			if err := rec(i + 1); err != nil {
+				return err
+			}
 		}
+		return nil
 	}
-	rec(0)
+	if err := rec(0); err != nil {
+		return nil, err
+	}
 	return out, nil
 }

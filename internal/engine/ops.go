@@ -1,45 +1,55 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"dualsim/internal/sparql"
 	"dualsim/internal/storage"
 )
 
+// rowCheckInterval is the number of rows a join or scan loop processes
+// between two context-cancellation checks.
+const rowCheckInterval = 1024
+
 // evalExpr evaluates a graph pattern expression with the given BGP
 // evaluator plugged in; the operator algebra (AND = ⋈, OPTIONAL = left
-// outer join, UNION = ∪) is shared by all engines.
-func evalExpr(st *storage.Store, e sparql.Expr, bgp func(*storage.Store, sparql.BGP) (*Result, error)) (*Result, error) {
+// outer join, UNION = ∪) is shared by all engines, as is the ctx
+// cancellation discipline: every operator node checks ctx, and the join
+// loops check it every rowCheckInterval rows.
+func evalExpr(ctx context.Context, st *storage.Store, e sparql.Expr, bgp func(context.Context, *storage.Store, sparql.BGP) (*Result, error)) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	switch x := e.(type) {
 	case sparql.BGP:
-		return bgp(st, x)
+		return bgp(ctx, st, x)
 	case sparql.And:
-		l, err := evalExpr(st, x.L, bgp)
+		l, err := evalExpr(ctx, st, x.L, bgp)
 		if err != nil {
 			return nil, err
 		}
-		r, err := evalExpr(st, x.R, bgp)
+		r, err := evalExpr(ctx, st, x.R, bgp)
 		if err != nil {
 			return nil, err
 		}
-		return join(l, r, false), nil
+		return join(ctx, l, r, false)
 	case sparql.Optional:
-		l, err := evalExpr(st, x.L, bgp)
+		l, err := evalExpr(ctx, st, x.L, bgp)
 		if err != nil {
 			return nil, err
 		}
-		r, err := evalExpr(st, x.R, bgp)
+		r, err := evalExpr(ctx, st, x.R, bgp)
 		if err != nil {
 			return nil, err
 		}
-		return join(l, r, true), nil
+		return join(ctx, l, r, true)
 	case sparql.Union:
-		l, err := evalExpr(st, x.L, bgp)
+		l, err := evalExpr(ctx, st, x.L, bgp)
 		if err != nil {
 			return nil, err
 		}
-		r, err := evalExpr(st, x.R, bgp)
+		r, err := evalExpr(ctx, st, x.R, bgp)
 		if err != nil {
 			return nil, err
 		}
@@ -52,7 +62,7 @@ func evalExpr(st *storage.Store, e sparql.Expr, bgp func(*storage.Store, sparql.
 // join computes the compatibility join l ⋈ r; with leftOuter it computes
 // the left outer join (OPTIONAL): rows of l without any compatible partner
 // survive unextended.
-func join(l, r *Result, leftOuter bool) *Result {
+func join(ctx context.Context, l, r *Result, leftOuter bool) (*Result, error) {
 	shared := sharedVars(l, r)
 	outVars := unionVars(l, r)
 	out := NewResult(outVars...)
@@ -90,7 +100,12 @@ func join(l, r *Result, leftOuter bool) *Result {
 		out.Rows = append(out.Rows, merged)
 	}
 
-	for _, lrow := range l.Rows {
+	for li, lrow := range l.Rows {
+		if li%rowCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		matched := false
 		if allBound(lrow, lIdx) {
 			for _, ri := range buckets[keyOf(lrow, lIdx)] {
@@ -124,7 +139,7 @@ func join(l, r *Result, leftOuter bool) *Result {
 		}
 	}
 	out.Dedup()
-	return out
+	return out, nil
 }
 
 // union computes the set union, padding each side to the union schema.

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"testing"
 
 	"dualsim/internal/rdf"
@@ -83,7 +84,7 @@ func TestUnionSchemaAlignment(t *testing.T) {
 	st := scanFixture(t)
 	q := sparql.MustParse(`SELECT * WHERE { { ?x p ?y } UNION { ?z q ?z } }`)
 	for _, e := range engines() {
-		res, err := e.Evaluate(st, q)
+		res, err := e.Evaluate(context.Background(), st, q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -115,6 +116,15 @@ func TestSortDeterminism(t *testing.T) {
 	}
 }
 
+func mustJoin(t *testing.T, l, r *Result, leftOuter bool) *Result {
+	t.Helper()
+	out, err := join(context.Background(), l, r, leftOuter)
+	if err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	return out
+}
+
 // TestJoinOnUnboundSharedVars: a row with an unbound shared variable is
 // compatible with anything (the slow path of join).
 func TestJoinOnUnboundSharedVars(t *testing.T) {
@@ -128,12 +138,12 @@ func TestJoinOnUnboundSharedVars(t *testing.T) {
 	r := NewResult("y", "z")
 	r.Rows = [][]storage.NodeID{{c, a}, {b, b}}
 
-	joined := join(l, r, false)
+	joined := mustJoin(t, l, r, false)
 	// Row (a, unbound) joins both r rows; row (b, c) joins only (c, a).
 	if joined.Len() != 3 {
 		t.Fatalf("joined = %d rows\n%s", joined.Len(), joined.Format(st))
 	}
-	left := join(l, NewResult("y", "z"), true)
+	left := mustJoin(t, l, NewResult("y", "z"), true)
 	if left.Len() != 2 {
 		t.Fatalf("left join against empty = %d rows", left.Len())
 	}

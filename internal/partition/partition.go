@@ -22,6 +22,7 @@ import (
 	"sort"
 	"strings"
 
+	"dualsim/internal/bitvec"
 	"dualsim/internal/core"
 	"dualsim/internal/rdf"
 	"dualsim/internal/storage"
@@ -190,8 +191,52 @@ func (s *Summary) CompressionRatio(st *storage.Store) float64 {
 // summary. Constants cannot be resolved on the summary and make the
 // lifting degenerate to "all nodes" for their variables (sound).
 func (s *Summary) LiftedCandidates(st *storage.Store, p *core.Pattern) []map[storage.NodeID]bool {
-	// Rebuild the pattern without constants (they do not exist on the
-	// summary); constant variables become free.
+	blocks := s.liftedBlocks(p)
+	out := make([]map[storage.NodeID]bool, p.NumVars())
+	for i, okBlocks := range blocks {
+		out[i] = make(map[storage.NodeID]bool)
+		for v := 0; v < st.NumNodes(); v++ {
+			if okBlocks[s.Part.Block[v]] {
+				out[i][storage.NodeID(v)] = true
+			}
+		}
+	}
+	return out
+}
+
+// LiftedVectors is LiftedCandidates in bit-vector form, indexed by
+// original node id — the representation soi.Options.Restrict consumes.
+// A variable whose lifted set degenerates to all nodes (constants, or a
+// fully admissible summary) yields a nil entry, meaning "no restriction".
+func (s *Summary) LiftedVectors(st *storage.Store, p *core.Pattern) []*bitvec.Vector {
+	blocks := s.liftedBlocks(p)
+	n := st.NumNodes()
+	out := make([]*bitvec.Vector, p.NumVars())
+	for i, okBlocks := range blocks {
+		if p.Vars()[i].Const != nil {
+			// Constants are resolved exactly by the SOI's singleton bound;
+			// the summary cannot improve on that.
+			continue
+		}
+		vec := bitvec.New(n)
+		kept := 0
+		for v := 0; v < n; v++ {
+			if okBlocks[s.Part.Block[v]] {
+				vec.Set(v)
+				kept++
+			}
+		}
+		if kept < n {
+			out[i] = vec
+		}
+	}
+	return out
+}
+
+// liftedBlocks solves the constant-free rebuild of the pattern on the
+// summary (constants do not exist there and become free variables) and
+// returns, per pattern variable, the set of admissible block ids.
+func (s *Summary) liftedBlocks(p *core.Pattern) []map[int]bool {
 	free := core.NewPattern()
 	for _, pv := range p.Vars() {
 		free.Var(pv.Name)
@@ -201,9 +246,8 @@ func (s *Summary) LiftedCandidates(st *storage.Store, p *core.Pattern) []map[sto
 	}
 
 	rel := core.DualSimulation(s.Store, free, core.Config{})
-	out := make([]map[storage.NodeID]bool, p.NumVars())
+	out := make([]map[int]bool, p.NumVars())
 	for i := range out {
-		out[i] = make(map[storage.NodeID]bool)
 		chi := rel.Chi[i]
 		okBlocks := make(map[int]bool)
 		for b, node := range s.blockNode {
@@ -211,11 +255,7 @@ func (s *Summary) LiftedCandidates(st *storage.Store, p *core.Pattern) []map[sto
 				okBlocks[b] = true
 			}
 		}
-		for v := 0; v < st.NumNodes(); v++ {
-			if okBlocks[s.Part.Block[v]] {
-				out[i][storage.NodeID(v)] = true
-			}
-		}
+		out[i] = okBlocks
 	}
 	return out
 }

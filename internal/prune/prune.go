@@ -17,6 +17,8 @@
 package prune
 
 import (
+	"context"
+
 	"dualsim/internal/bitvec"
 	"dualsim/internal/core"
 	"dualsim/internal/engine"
@@ -51,13 +53,25 @@ func (p *Pruning) Store() *storage.Store {
 	return p.store.RestrictByMask(p.Masks)
 }
 
+// tripleCheckInterval is the number of triples the mask scan visits
+// between two context-cancellation checks.
+const tripleCheckInterval = 1 << 16
+
 // Prune computes the kept-triple masks from a solved query relation.
 func Prune(st *storage.Store, rel *core.QueryRelation) *Pruning {
+	p, _ := PruneCtx(context.Background(), st, rel)
+	return p
+}
+
+// PruneCtx is Prune honouring cancellation: the O(|D|) mask scan checks
+// ctx every tripleCheckInterval triples and returns (nil, ctx.Err()).
+func PruneCtx(ctx context.Context, st *storage.Store, rel *core.QueryRelation) (*Pruning, error) {
 	out := &Pruning{
 		Masks: make([]*bitvec.Vector, st.NumPreds()),
 		Total: st.NumTriples(),
 		store: st,
 	}
+	sinceCheck := 0
 	for _, bs := range rel.Branches {
 		if bs.MandatoryEmpty {
 			// Theorem 1: no match exists in this branch; it retains
@@ -80,6 +94,12 @@ func Prune(st *storage.Store, rel *core.QueryRelation) *Pruning {
 				out.Masks[pid] = mask
 			}
 			for i := 0; i < st.PredCount(pid); i++ {
+				if sinceCheck++; sinceCheck >= tripleCheckInterval {
+					sinceCheck = 0
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+				}
 				s, o := st.PairAt(pid, i)
 				if chiS.Get(int(s)) && chiO.Get(int(o)) {
 					mask.Set(i)
@@ -92,16 +112,26 @@ func Prune(st *storage.Store, rel *core.QueryRelation) *Pruning {
 			out.Kept += m.Count()
 		}
 	}
-	return out
+	return out, nil
 }
 
 // PruneQuery is the one-call convenience wrapper: translate, solve, prune.
 func PruneQuery(st *storage.Store, q *sparql.Query, cfg core.Config) (*Pruning, *core.QueryRelation, error) {
-	rel, err := core.QueryDualSimulation(st, q, cfg)
+	return PruneQueryCtx(context.Background(), st, q, cfg)
+}
+
+// PruneQueryCtx is PruneQuery honouring cancellation during the solve
+// and the mask scan.
+func PruneQueryCtx(ctx context.Context, st *storage.Store, q *sparql.Query, cfg core.Config) (*Pruning, *core.QueryRelation, error) {
+	rel, err := core.QueryDualSimulationCtx(ctx, st, q, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
-	return Prune(st, rel), rel, nil
+	p, err := PruneCtx(ctx, st, rel)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, rel, nil
 }
 
 // TripleRef addresses one database triple by ids.
@@ -118,10 +148,10 @@ type TripleRef struct {
 // BGP of the branch contributes its instantiated triples if and only if
 // the mapping restricted to the BGP is a match of it (all variables bound
 // and all instantiated triples present).
-func Required(st *storage.Store, q *sparql.Query, eng engine.Engine) ([]TripleRef, error) {
+func Required(ctx context.Context, st *storage.Store, q *sparql.Query, eng engine.Engine) ([]TripleRef, error) {
 	masks := make([]*bitvec.Vector, st.NumPreds())
 	for _, branch := range sparql.UnionFreeBranches(q.Expr) {
-		res, err := eng.Evaluate(st, &sparql.Query{Expr: branch})
+		res, err := eng.Evaluate(ctx, st, &sparql.Query{Expr: branch})
 		if err != nil {
 			return nil, err
 		}
@@ -148,8 +178,8 @@ func Required(st *storage.Store, q *sparql.Query, eng engine.Engine) ([]TripleRe
 }
 
 // RequiredCount is Required reduced to its cardinality.
-func RequiredCount(st *storage.Store, q *sparql.Query, eng engine.Engine) (int, error) {
-	refs, err := Required(st, q, eng)
+func RequiredCount(ctx context.Context, st *storage.Store, q *sparql.Query, eng engine.Engine) (int, error) {
+	refs, err := Required(ctx, st, q, eng)
 	return len(refs), err
 }
 

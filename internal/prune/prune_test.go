@@ -1,6 +1,7 @@
 package prune
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -119,7 +120,7 @@ func TestEmptyQueryPrunesEverything(t *testing.T) {
 func TestRequiredTriples(t *testing.T) {
 	st := fig1a(t)
 	q := sparql.MustParse(queryX1)
-	got, err := RequiredCount(st, q, engine.NewHashJoin())
+	got, err := RequiredCount(context.Background(), st, q, engine.NewHashJoin())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestRequiredTriples(t *testing.T) {
 func TestRequiredTriplesOptional(t *testing.T) {
 	st := fig1a(t)
 	q := sparql.MustParse(queryX2)
-	got, err := RequiredCount(st, q, engine.NewHashJoin())
+	got, err := RequiredCount(context.Background(), st, q, engine.NewHashJoin())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,11 +165,11 @@ func prunedOutcome(t testing.TB, st *storage.Store, q *sparql.Query) (sound, exa
 		t.Fatalf("prune: %v", err)
 	}
 	eng := engine.NewHashJoin()
-	full, err := eng.Evaluate(st, q)
+	full, err := eng.Evaluate(context.Background(), st, q)
 	if err != nil {
 		t.Fatalf("full eval: %v", err)
 	}
-	pruned, err := eng.Evaluate(p.Store(), q)
+	pruned, err := eng.Evaluate(context.Background(), p.Store(), q)
 	if err != nil {
 		t.Fatalf("pruned eval: %v", err)
 	}
@@ -310,7 +311,7 @@ func TestPropertyRequiredSubsetOfKept(t *testing.T) {
 		if err != nil {
 			t.Fatalf("prune: %v", err)
 		}
-		refs, err := Required(st, q, engine.NewHashJoin())
+		refs, err := Required(context.Background(), st, q, engine.NewHashJoin())
 		if err != nil {
 			t.Fatalf("required: %v", err)
 		}
@@ -345,7 +346,7 @@ func TestRequiredPromotedRowCoincidence(t *testing.T) {
 	q := sparql.MustParse(`SELECT * WHERE {
 	  ?v2 <p1> ?v1
 	  OPTIONAL { { ?v1 <p0> <k> } { ?v1 <p1> ?v1 } } }`)
-	refs, err := Required(st, q, engine.NewHashJoin())
+	refs, err := Required(context.Background(), st, q, engine.NewHashJoin())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -365,7 +366,7 @@ func TestRequiredPromotedRowCoincidence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	refs2, err := Required(st2, q, engine.NewHashJoin())
+	refs2, err := Required(context.Background(), st2, q, engine.NewHashJoin())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -400,7 +401,7 @@ func TestNonWellDesignedPromotionNuance(t *testing.T) {
 		t.Fatal("fixture must be non-well-designed")
 	}
 	eng := engine.NewHashJoin()
-	full, err := eng.Evaluate(st, q)
+	full, err := eng.Evaluate(context.Background(), st, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -413,7 +414,7 @@ func TestNonWellDesignedPromotionNuance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pruned, err := eng.Evaluate(p.Store(), q)
+	pruned, err := eng.Evaluate(context.Background(), p.Store(), q)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package queries
 
 import (
+	"context"
 	"testing"
 
 	"dualsim/internal/engine"
@@ -16,11 +17,11 @@ func TestEnginesAgreeOnWorkload(t *testing.T) {
 	for _, s := range All() {
 		st := stores[s.Dataset]
 		q := s.Query()
-		a, err := hash.Evaluate(st, q)
+		a, err := hash.Evaluate(context.Background(), st, q)
 		if err != nil {
 			t.Fatalf("%s hash: %v", s.ID, err)
 		}
-		b, err := index.Evaluate(st, q)
+		b, err := index.Evaluate(context.Background(), st, q)
 		if err != nil {
 			t.Fatalf("%s index: %v", s.ID, err)
 		}

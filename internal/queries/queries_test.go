@@ -1,6 +1,7 @@
 package queries
 
 import (
+	"context"
 	"testing"
 
 	"dualsim/internal/core"
@@ -130,14 +131,14 @@ func TestFig1aFixture(t *testing.T) {
 	if st.NumTriples() != 20 {
 		t.Fatalf("Fig1a = %d triples, want 20", st.NumTriples())
 	}
-	res, err := engine.NewHashJoin().Evaluate(st, sparql.MustParse(QueryX1))
+	res, err := engine.NewHashJoin().Evaluate(context.Background(), st, sparql.MustParse(QueryX1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Len() != 2 {
 		t.Fatalf("X1 on Fig1a = %d results, want 2", res.Len())
 	}
-	res2, err := engine.NewHashJoin().Evaluate(st, sparql.MustParse(QueryX2))
+	res2, err := engine.NewHashJoin().Evaluate(context.Background(), st, sparql.MustParse(QueryX2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +171,7 @@ func TestSpecsAgainstGenerators(t *testing.T) {
 	for _, s := range All() {
 		st := stores[s.Dataset]
 		q := s.Query()
-		res, err := eng.Evaluate(st, q)
+		res, err := eng.Evaluate(context.Background(), st, q)
 		if err != nil {
 			t.Fatalf("%s: %v", s.ID, err)
 		}
@@ -195,7 +196,7 @@ func TestSpecsAgainstGenerators(t *testing.T) {
 			continue
 		}
 		// Evaluating on the pruned store must preserve all results.
-		pres, err := eng.Evaluate(p.Store(), q)
+		pres, err := eng.Evaluate(context.Background(), p.Store(), q)
 		if err != nil {
 			t.Fatalf("%s: pruned eval: %v", s.ID, err)
 		}

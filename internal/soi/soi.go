@@ -23,8 +23,10 @@
 package soi
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"dualsim/internal/bitmat"
 	"dualsim/internal/bitvec"
@@ -78,6 +80,9 @@ type System struct {
 	ineqs   []Ineq
 	deps    [][]int // deps[v] = indices of inequalities with Y == v
 	reqVars []bool  // mandatory variables (empty ⇒ no query match exists)
+
+	finalize  sync.Once
+	finalized bool
 }
 
 // NewSystem returns an empty system over an n-node universe.
@@ -104,6 +109,7 @@ func (s *System) Ineqs() []Ineq { return s.ineqs }
 // mandatory flag. If init is nil the bound is the full vector 1
 // (inequality (12)). The bound is cloned by Solve, never mutated.
 func (s *System) AddVar(name string, init *bitvec.Vector, required bool) Var {
+	s.mustBeOpen()
 	if init != nil && init.Len() != s.n {
 		panic(fmt.Sprintf("soi: init length %d != dim %d", init.Len(), s.n))
 	}
@@ -118,6 +124,7 @@ func (s *System) AddVar(name string, init *bitvec.Vector, required bool) Var {
 // layer the summary-vector initialization (13) and constant bindings on
 // top of (12).
 func (s *System) ConstrainInit(v Var, extra *bitvec.Vector) {
+	s.mustBeOpen()
 	if extra.Len() != s.n {
 		panic("soi: bound length mismatch")
 	}
@@ -131,6 +138,7 @@ func (s *System) ConstrainInit(v Var, extra *bitvec.Vector) {
 // AddEdge installs the two inequalities (11) for a pattern edge
 // (from, label, to): to ≤ from ×b F_a and from ≤ to ×b B_a.
 func (s *System) AddEdge(from, to Var, mats bitmat.Pair, label string) {
+	s.mustBeOpen()
 	fwdEmptyCols := mats.F.Dim() - mats.B.NonEmptyRowCount()
 	bwdEmptyCols := mats.B.Dim() - mats.F.NonEmptyRowCount()
 	s.ineqs = append(s.ineqs,
@@ -141,7 +149,14 @@ func (s *System) AddEdge(from, to Var, mats bitmat.Pair, label string) {
 
 // AddCopy installs the inequality x ≤ y (inequalities (14)/(15)).
 func (s *System) AddCopy(x, y Var) {
+	s.mustBeOpen()
 	s.ineqs = append(s.ineqs, Ineq{Kind: Copy, X: x, Y: y})
+}
+
+func (s *System) mustBeOpen() {
+	if s.finalized {
+		panic("soi: system modified after Finalize")
+	}
 }
 
 // Order selects the processing order of unstable inequalities in a round.
@@ -174,6 +189,13 @@ type Options struct {
 	// order space the way the paper's §5.3 brute-force analysis does.
 	// Must be a permutation of [0, NumIneqs()).
 	Permutation []int
+	// Restrict, when non-nil, intersects the initial bound of variable v
+	// with Restrict[v] for every non-nil entry (entries beyond NumVars()
+	// are ignored). It tightens a single Solve call without mutating the
+	// system, so a finalized System stays safe for concurrent reuse; any
+	// superset of the largest solution (e.g. fingerprint-lifted candidate
+	// sets) leaves the fixpoint unchanged.
+	Restrict []*bitvec.Vector
 }
 
 // Stats reports solver effort, the quantities discussed in §5.2/§5.3.
@@ -207,9 +229,42 @@ func (sol *Solution) EmptyRequired(s *System) bool {
 	return false
 }
 
+// Finalize freezes the system for solving: the dependency lists used by
+// the worklist algorithm are built eagerly (exactly once, race-free).
+// After Finalize, SolveCtx and Solve perform no writes to the System,
+// making a prepared system safe for concurrent solving from multiple
+// goroutines. Adding variables or inequalities after Finalize panics.
+func (s *System) Finalize() {
+	s.finalize.Do(func() {
+		s.buildDeps()
+		s.finalized = true
+	})
+}
+
 // Solve computes the largest solution. The system itself is not modified
-// and may be solved repeatedly (e.g. with different options).
+// after its (lazily triggered) finalization and may be solved repeatedly,
+// e.g. with different options.
 func (s *System) Solve(opts Options) *Solution {
+	sol, _ := s.SolveCtx(context.Background(), opts)
+	return sol
+}
+
+// ctxCheckInterval bounds how many inequality evaluations may pass
+// between two cancellation checks. Each evaluation is a bit-matrix
+// multiplication over the full node universe, so checking every
+// evaluation is already cheap relative to the work it gates; the
+// interval exists only to keep the copy-inequality fast path tight.
+const ctxCheckInterval = 8
+
+// SolveCtx computes the largest solution, honouring cancellation and
+// deadlines: the round loop checks ctx between inequality evaluations
+// and returns (nil, ctx.Err()) without completing the fixpoint. The
+// system itself is not modified (Finalize is invoked on first use) and
+// may be solved repeatedly and concurrently.
+func (s *System) SolveCtx(ctx context.Context, opts Options) (*Solution, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	chi := make([]*bitvec.Vector, len(s.names))
 	for v := range chi {
 		if s.init[v] == nil {
@@ -218,7 +273,12 @@ func (s *System) Solve(opts Options) *Solution {
 			chi[v] = s.init[v].Clone()
 		}
 	}
-	s.buildDeps()
+	for v, r := range opts.Restrict {
+		if r != nil && v < len(chi) {
+			chi[v].And(r)
+		}
+	}
+	s.Finalize()
 
 	sol := &Solution{Chi: chi}
 	if opts.ShortCircuit {
@@ -227,7 +287,7 @@ func (s *System) Solve(opts Options) *Solution {
 		for v, req := range s.reqVars {
 			if req && chi[v].IsEmpty() {
 				sol.Stats.ShortCircuited = true
-				return sol
+				return sol, nil
 			}
 		}
 	}
@@ -254,10 +314,23 @@ func (s *System) Solve(opts Options) *Solution {
 		inQueue[i] = true
 	}
 
+	sinceCheck := 0
 	for len(current) > 0 {
 		sol.Stats.Rounds++
 		var next []int
 		for _, idx := range current {
+			// Edge inequalities are full bit-matrix multiplications; check
+			// for cancellation before each, and at least every
+			// ctxCheckInterval evaluations on copy-only stretches.
+			sinceCheck++
+			if s.ineqs[idx].Kind == Edge || sinceCheck >= ctxCheckInterval {
+				sinceCheck = 0
+				select {
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				default:
+				}
+			}
 			inQueue[idx] = false
 			iq := &s.ineqs[idx]
 			sol.Stats.Evaluations++
@@ -279,7 +352,7 @@ func (s *System) Solve(opts Options) *Solution {
 			sol.Stats.Updates++
 			if opts.ShortCircuit && s.reqVars[iq.X] && chi[iq.X].IsEmpty() {
 				sol.Stats.ShortCircuited = true
-				return sol
+				return sol, nil
 			}
 			// Re-enqueue every inequality whose right-hand side mentions
 			// the shrunken variable — including this one when X == Y
@@ -294,7 +367,7 @@ func (s *System) Solve(opts Options) *Solution {
 		reorder(next)
 		current = next
 	}
-	return sol
+	return sol, nil
 }
 
 func (s *System) buildDeps() {

@@ -1,0 +1,170 @@
+package dualsim
+
+import (
+	"fmt"
+
+	"dualsim/internal/core"
+)
+
+// Option configures a session opened with Open. Options replace the flat
+// Options struct of the one-shot API: the solver switches (strategy,
+// ordering, initialization, compression, parallelism) and the pipeline
+// composition (engine choice, pruning, fingerprint pre-filter) are all
+// fixed per session, so every query prepared on the session inherits
+// them.
+type Option func(*settings) error
+
+// settings is the resolved session configuration.
+type settings struct {
+	engine       EngineKind
+	strategy     Strategy
+	declOrder    bool
+	plainInit    bool
+	compressed   bool
+	shortCircuit bool
+	workers      int
+
+	pruning      bool
+	fingerprint  bool
+	fingerprintK int
+
+	stages []Stage // non-nil overrides the default pipeline composition
+}
+
+func defaultSettings() settings {
+	return settings{engine: HashJoin, pruning: true}
+}
+
+// coreConfig lowers the session settings to the solver configuration,
+// through the legacy Options mapping so the two paths cannot diverge.
+func (s settings) coreConfig() core.Config {
+	return Options{
+		Strategy:         s.strategy,
+		DeclarationOrder: s.declOrder,
+		PlainInit:        s.plainInit,
+		Compressed:       s.compressed,
+		ShortCircuit:     s.shortCircuit,
+		Workers:          s.workers,
+	}.config()
+}
+
+// WithEngine selects the evaluation engine of the pipeline's final stage
+// (default HashJoin).
+func WithEngine(k EngineKind) Option {
+	return func(s *settings) error {
+		switch k {
+		case HashJoin, IndexNL, Reference:
+			s.engine = k
+			return nil
+		default:
+			return fmt.Errorf("dualsim: unknown engine kind %d", k)
+		}
+	}
+}
+
+// WithStrategy selects the ×b evaluation strategy of the solver (default
+// AutoStrategy, the paper's popcount heuristic).
+func WithStrategy(st Strategy) Option {
+	return func(s *settings) error {
+		switch st {
+		case AutoStrategy, RowWiseStrategy, ColWiseStrategy:
+			s.strategy = st
+			return nil
+		default:
+			return fmt.Errorf("dualsim: unknown strategy %d", st)
+		}
+	}
+}
+
+// WithDeclarationOrder disables the sparsest-first inequality ordering
+// (ablation switch; the ordering itself is planned once per prepared
+// query).
+func WithDeclarationOrder() Option {
+	return func(s *settings) error { s.declOrder = true; return nil }
+}
+
+// WithPlainInit disables the summary-vector initialization (13).
+func WithPlainInit() Option {
+	return func(s *settings) error { s.plainInit = true; return nil }
+}
+
+// WithCompressed solves on gap-length encoded matrices (§5.1 storage
+// ablation).
+func WithCompressed() Option {
+	return func(s *settings) error { s.compressed = true; return nil }
+}
+
+// WithShortCircuit stops a solve as soon as the query is proven
+// unsatisfiable (an empty mandatory variable, Theorem 1).
+func WithShortCircuit() Option {
+	return func(s *settings) error { s.shortCircuit = true; return nil }
+}
+
+// WithWorkers parallelizes each bit-matrix multiplication over n
+// goroutines.
+func WithWorkers(n int) Option {
+	return func(s *settings) error {
+		if n < 0 {
+			return fmt.Errorf("dualsim: negative worker count %d", n)
+		}
+		s.workers = n
+		return nil
+	}
+}
+
+// WithPruning enables or disables the dual-simulation pruning stage of
+// the execution pipeline (default enabled — the paper's headline
+// application). With pruning disabled, Exec evaluates directly on the
+// session store.
+func WithPruning(enabled bool) Option {
+	return func(s *settings) error { s.pruning = enabled; return nil }
+}
+
+// WithFingerprint enables the fingerprint pre-filter stage: Open
+// refines the store into k-bounded bisimulation classes (k < 0 refines
+// to the fixpoint) and condenses it into a summary graph once; Prepare
+// then lifts summary-level candidates per query variable, and Exec
+// starts the exact solver from those tightened bounds. Sound: the
+// lifted sets over-approximate the largest dual simulation.
+// The pre-filter feeds the pruning stage and is ignored when pruning is
+// disabled.
+func WithFingerprint(k int) Option {
+	return func(s *settings) error {
+		s.fingerprint = true
+		s.fingerprintK = k
+		return nil
+	}
+}
+
+// WithStages overrides the default pipeline composition with an explicit
+// stage sequence (see FingerprintStage, PruneStage, EvaluateStage). The
+// default is equivalent to
+//
+//	WithStages(FingerprintStage(), PruneStage(), EvaluateStage())
+//
+// minus the stages the session configuration disables. A pipeline
+// without EvaluateStage yields Exec calls that return a nil Result —
+// useful for pruning-only services.
+func WithStages(stages ...Stage) Option {
+	return func(s *settings) error {
+		if len(stages) == 0 {
+			return fmt.Errorf("dualsim: WithStages requires at least one stage")
+		}
+		s.stages = append([]Stage(nil), stages...)
+		return nil
+	}
+}
+
+// WithOptions imports a legacy flat Options value into the session
+// configuration — the bridge for code migrating from the one-shot API.
+func WithOptions(o Options) Option {
+	return func(s *settings) error {
+		s.strategy = o.Strategy
+		s.declOrder = o.DeclarationOrder
+		s.plainInit = o.PlainInit
+		s.compressed = o.Compressed
+		s.shortCircuit = o.ShortCircuit
+		s.workers = o.Workers
+		return nil
+	}
+}

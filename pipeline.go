@@ -1,0 +1,179 @@
+package dualsim
+
+import (
+	"context"
+	"time"
+
+	"dualsim/internal/bitvec"
+	"dualsim/internal/core"
+	"dualsim/internal/prune"
+)
+
+// Stage is one step of a prepared query's execution pipeline. The three
+// built-in stages compose the paper's architecture — an optional
+// fingerprint pre-filter, the dual-simulation pruning, and the engine
+// evaluation — and WithStages rearranges or drops them per session.
+type Stage struct {
+	name string
+	run  func(ctx context.Context, x *execState, ss *StageStats) error
+}
+
+// Name identifies the stage in ExecStats.
+func (s Stage) Name() string { return s.name }
+
+// execState is the mutable state threaded through one Exec call. Every
+// Exec allocates its own, so concurrent executions of one PreparedQuery
+// never share mutable data.
+type execState struct {
+	pq       *PreparedQuery
+	restrict [][]*bitvec.Vector  // fingerprint-lifted solver bounds, per branch
+	rel      *core.QueryRelation // solved relation (pruning stage)
+	target   *Store              // evaluation target; nil means the session store
+	result   *Result
+	stats    *ExecStats
+}
+
+// FingerprintStage returns the pre-filter stage: it installs the
+// summary-lifted candidate bounds computed at Prepare time, tightening
+// the starting point of the downstream solve. The stage reports itself
+// skipped when the session has no fingerprint (or lifting restricted
+// nothing).
+func FingerprintStage() Stage {
+	return Stage{name: "fingerprint", run: func(ctx context.Context, x *execState, ss *StageStats) error {
+		n := x.pq.db.st.NumNodes()
+		ss.In, ss.Out = n, n
+		// Nothing to install, or the solve already ran (a WithStages
+		// composition placed this stage after the pruning stage): the
+		// pre-filter can constrain nothing — report it skipped rather
+		// than advertise a bound that was never applied.
+		if x.pq.restrict == nil || x.rel != nil {
+			ss.Skipped = true
+			return nil
+		}
+		x.restrict = x.pq.restrict
+		ss.Out = x.pq.fpTightest
+		return nil
+	}}
+}
+
+// PruneStage returns the dual-simulation stage: solve the prepared
+// system of inequalities (from the fingerprint-tightened bounds when
+// present), mark the certified triples and materialize the pruned store
+// for the downstream engine.
+func PruneStage() Stage {
+	return Stage{name: "prune", run: func(ctx context.Context, x *execState, ss *StageStats) error {
+		pq := x.pq
+		rel, err := pq.plan.SolveRestricted(ctx, pq.db.set.coreConfig(), x.restrict)
+		if err != nil {
+			return err
+		}
+		x.rel = rel
+		x.stats.Solver = Stats{
+			Rounds:      rel.Stats.Rounds,
+			Evaluations: rel.Stats.Evaluations,
+			Updates:     rel.Stats.Updates,
+		}
+		x.stats.Unsatisfiable = rel.Empty()
+		p, err := prune.PruneCtx(ctx, pq.db.st, rel)
+		if err != nil {
+			return err
+		}
+		x.stats.TriplesAfter = p.Kept
+		ss.In, ss.Out = p.Total, p.Kept
+		x.target = p.Store()
+		return nil
+	}}
+}
+
+// EvaluateStage returns the final stage: hand the (possibly pruned)
+// store to the session's engine and compute the solution mappings.
+func EvaluateStage() Stage {
+	return Stage{name: "evaluate", run: func(ctx context.Context, x *execState, ss *StageStats) error {
+		target := x.target
+		if target == nil {
+			target = x.pq.db.st
+		}
+		ss.In = target.NumTriples()
+		res, err := x.pq.db.eng.Evaluate(ctx, target, x.pq.q)
+		if err != nil {
+			return err
+		}
+		x.result = res
+		x.stats.Results = res.Len()
+		ss.Out = res.Len()
+		return nil
+	}}
+}
+
+// StageStats reports one pipeline stage of one execution.
+type StageStats struct {
+	// Name is the stage name ("fingerprint", "prune", "evaluate").
+	Name string
+	// Duration is the stage's wall-clock time.
+	Duration time.Duration
+	// In and Out are the stage's cardinality effect: nodes (tightest
+	// candidate bound) for the fingerprint stage, triples before/after
+	// for the pruning stage, triples in / result rows out for the
+	// evaluation stage.
+	In, Out int
+	// Skipped reports that the stage had nothing to do (e.g. the
+	// fingerprint stage on a session without a fingerprint).
+	Skipped bool
+}
+
+// ExecStats reports one execution of a prepared query, stage by stage.
+type ExecStats struct {
+	// Stages holds per-stage timings and cardinalities in pipeline order.
+	Stages []StageStats
+	// Solver is the solver effort of the pruning stage's dual-simulation
+	// solve (zero when the pipeline has no pruning stage).
+	Solver Stats
+	// TriplesBefore and TriplesAfter frame the pruning effect; they are
+	// equal when the pipeline does not prune.
+	TriplesBefore, TriplesAfter int
+	// Results is the number of solution mappings (0 when the pipeline
+	// has no evaluation stage).
+	Results int
+	// Unsatisfiable reports that the solve proved the query empty (every
+	// UNION branch has an empty mandatory variable, Theorem 1).
+	Unsatisfiable bool
+	// Duration is the end-to-end execution time.
+	Duration time.Duration
+}
+
+// Stage returns the stats of the named stage, or nil if the pipeline
+// did not run it.
+func (s *ExecStats) Stage(name string) *StageStats {
+	for i := range s.Stages {
+		if s.Stages[i].Name == name {
+			return &s.Stages[i]
+		}
+	}
+	return nil
+}
+
+// JoinTime returns the evaluation stage's duration — the paper's t_DB on
+// the pruned store.
+func (s *ExecStats) JoinTime() time.Duration {
+	if ss := s.Stage("evaluate"); ss != nil {
+		return ss.Duration
+	}
+	return 0
+}
+
+// PruneTime returns the pruning stage's duration — the paper's
+// t_SPARQLSIM.
+func (s *ExecStats) PruneTime() time.Duration {
+	if ss := s.Stage("prune"); ss != nil {
+		return ss.Duration
+	}
+	return 0
+}
+
+// PrunedRatio returns the pruned fraction in [0, 1].
+func (s *ExecStats) PrunedRatio() float64 {
+	if s.TriplesBefore == 0 {
+		return 0
+	}
+	return 1 - float64(s.TriplesAfter)/float64(s.TriplesBefore)
+}

@@ -1,6 +1,7 @@
 package dualsim
 
 import (
+	"context"
 	"io"
 
 	"dualsim/internal/core"
@@ -20,15 +21,19 @@ type Pruning struct {
 // Prune computes the pruned database for q: every triple not certified by
 // the largest dual simulation is removed. Evaluating q on Store() yields
 // every match the full store yields (Theorem 2).
+//
+// Deprecated: use a session — Open(st, WithOptions(opts)) followed by
+// db.Prune(ctx, q), or the full pipeline via Prepare/Exec — for
+// cancellation and plan reuse.
 func Prune(st *Store, q *Query, opts Options) (*Pruning, error) {
 	if err := requireStore(st); err != nil {
 		return nil, err
 	}
-	p, rel, err := prune.PruneQuery(st, q, opts.config())
+	db, err := Open(st, WithOptions(opts))
 	if err != nil {
 		return nil, err
 	}
-	return &Pruning{p: p, rel: rel}, nil
+	return db.Prune(context.Background(), q)
 }
 
 // Store materializes the pruned database. Node ids and dictionaries are
@@ -50,7 +55,7 @@ func RequiredTriples(st *Store, q *Query, kind EngineKind) (int, error) {
 	if err := requireStore(st); err != nil {
 		return 0, err
 	}
-	return prune.RequiredCount(st, q, kind.engine())
+	return prune.RequiredCount(context.Background(), st, q, kind.engine())
 }
 
 // ---------------------------------------------------------------------------
@@ -89,23 +94,31 @@ type PatternRelation struct {
 
 // SimulatePattern computes the largest dual simulation between the
 // pattern graph and the store.
+//
+// Deprecated: use a session — Open(st, WithOptions(opts)) followed by
+// db.SimulatePattern(ctx, p) — for cancellation and configuration reuse.
 func SimulatePattern(st *Store, p *Pattern, opts Options) (*PatternRelation, error) {
 	if err := requireStore(st); err != nil {
 		return nil, err
 	}
-	return &PatternRelation{rel: core.DualSimulation(st, p.p, opts.config()), st: st}, nil
+	db, err := Open(st, WithOptions(opts))
+	if err != nil {
+		return nil, err
+	}
+	return db.SimulatePattern(context.Background(), p)
 }
 
-// Candidates returns the simulating nodes of a pattern variable.
+// Candidates returns the simulating nodes of a pattern variable in
+// deterministic (ascending node id) order, or nil for an unknown
+// variable — mirroring VarIndex.
 func (r *PatternRelation) Candidates(varName string) []Term {
-	set := r.rel.Set(varName)
-	out := make([]Term, 0, len(set))
-	// Deterministic order: ascending node id.
 	i, ok := r.rel.Pattern.VarIndex(varName)
 	if !ok {
 		return nil
 	}
-	r.rel.Chi[i].ForEach(func(n int) bool {
+	chi := r.rel.Chi[i]
+	out := make([]Term, 0, chi.Count())
+	chi.ForEach(func(n int) bool {
 		out = append(out, r.st.Term(uint32(n)))
 		return true
 	})

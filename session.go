@@ -1,0 +1,334 @@
+package dualsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dualsim/internal/bitvec"
+	"dualsim/internal/core"
+	"dualsim/internal/engine"
+	"dualsim/internal/prune"
+)
+
+// ErrClosed is returned by session operations after Close.
+var ErrClosed = errors.New("dualsim: session is closed")
+
+// DB is a session over one graph database: a store plus a fixed
+// configuration (engine, solver switches, pipeline composition) under
+// which queries are prepared and executed, in the database/sql mould.
+// A DB is safe for concurrent use by multiple goroutines.
+//
+// Open cost is paid once per session — notably the fingerprint summary
+// when WithFingerprint is set — and Prepare cost once per query; Exec
+// then runs only the per-execution pipeline (solve, prune, evaluate)
+// and honours its context.
+type DB struct {
+	st  *Store
+	set settings
+	eng engine.Engine
+	fp  *Fingerprint // non-nil iff WithFingerprint was given
+
+	prepMu     sync.Mutex   // serializes planning (lazy matrix builds)
+	planBuilds atomic.Int64 // number of query plans built on this session
+	closed     atomic.Bool
+}
+
+// Open starts a session over the store. The store must be built (Add +
+// Build, or any of the constructors); it is shared, not copied, and must
+// not be mutated while the session is live.
+func Open(st *Store, opts ...Option) (*DB, error) {
+	if err := requireStore(st); err != nil {
+		return nil, err
+	}
+	set := defaultSettings()
+	for _, opt := range opts {
+		if err := opt(&set); err != nil {
+			return nil, err
+		}
+	}
+	db := &DB{st: st, set: set, eng: set.engine.engine()}
+	// The summary refinement is expensive; build it only when some
+	// pipeline can consume it — the default pruning pipeline, or an
+	// explicit stage list naming the fingerprint stage.
+	needFP := set.pruning
+	if set.stages != nil {
+		needFP = hasStage(set.stages, "fingerprint")
+	}
+	if set.fingerprint && needFP {
+		fp, err := BuildFingerprint(st, set.fingerprintK)
+		if err != nil {
+			return nil, fmt.Errorf("dualsim: building fingerprint: %w", err)
+		}
+		db.fp = fp
+	}
+	return db, nil
+}
+
+// Close releases the session. Prepared queries of a closed session fail
+// with ErrClosed; the underlying store is untouched.
+func (db *DB) Close() error {
+	db.closed.Store(true)
+	return nil
+}
+
+// Store returns the session's store.
+func (db *DB) Store() *Store { return db.st }
+
+// EngineName returns the report name of the session's evaluation engine.
+func (db *DB) EngineName() string { return db.eng.Name() }
+
+// Fingerprint returns the session's fingerprint summary, or nil when the
+// session was opened without WithFingerprint.
+func (db *DB) Fingerprint() *Fingerprint { return db.fp }
+
+// PlanBuilds returns how many query plans this session has built — one
+// per Prepare call, never per Exec. Exposed so services (and tests) can
+// assert that prepared queries reuse their plan.
+func (db *DB) PlanBuilds() int64 { return db.planBuilds.Load() }
+
+// stages resolves the session's pipeline composition.
+func (db *DB) stages() []Stage {
+	if db.set.stages != nil {
+		return db.set.stages
+	}
+	var out []Stage
+	if db.set.pruning {
+		// The fingerprint pre-filter only tightens the pruning solve; it
+		// has no consumer in a pipeline that does not prune.
+		if db.fp != nil {
+			out = append(out, FingerprintStage())
+		}
+		out = append(out, PruneStage())
+	}
+	return append(out, EvaluateStage())
+}
+
+// PrepareStats reports the one-time planning work of a Prepare call.
+type PrepareStats struct {
+	// PlanTime is the total planning duration: parsing (when Prepare was
+	// given source text), pattern extraction, SOI lowering with the
+	// inequality-ordering keys, and the fingerprint lookup.
+	PlanTime time.Duration
+	// Branches is the number of union-free branches of the plan.
+	Branches int
+	// Variables and Inequalities size the systems of inequalities,
+	// summed over branches.
+	Variables, Inequalities int
+	// RestrictedVars counts the solver variables the fingerprint lookup
+	// tightened (0 without WithFingerprint).
+	RestrictedVars int
+}
+
+// PreparedQuery is a query planned once against a session: parsed,
+// translated to per-branch systems of inequalities (with their
+// sparsest-first ordering keys), finalized for concurrent solving, and
+// — when the session has a fingerprint — pre-filtered to summary-lifted
+// candidate bounds. It is safe for concurrent use; every Exec runs the
+// pipeline on private state.
+type PreparedQuery struct {
+	db         *DB
+	q          *Query
+	plan       *core.QueryPlan
+	stages     []Stage
+	restrict   [][]*bitvec.Vector // per branch, indexed like Branch.Vars; nil when nothing restricted
+	fpTightest int                // smallest lifted candidate-set size (fingerprint stage's Out)
+	prep       PrepareStats
+}
+
+// Prepare parses the query source and plans it against the session
+// store. The returned PreparedQuery may be executed any number of times,
+// concurrently; all parse and planning work happens here, exactly once.
+func (db *DB) Prepare(src string) (*PreparedQuery, error) {
+	start := time.Now()
+	q, err := ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	return db.prepare(q, start)
+}
+
+// PrepareQuery plans an already-parsed query against the session store.
+func (db *DB) PrepareQuery(q *Query) (*PreparedQuery, error) {
+	return db.prepare(q, time.Now())
+}
+
+func (db *DB) prepare(q *Query, start time.Time) (*PreparedQuery, error) {
+	if db.closed.Load() {
+		return nil, ErrClosed
+	}
+	// Planning triggers the store's lazy per-predicate matrix builds and
+	// (with a fingerprint) a solve on the summary store; serialize it so
+	// concurrent Prepare calls stay race-free. Exec never takes this lock.
+	db.prepMu.Lock()
+	defer db.prepMu.Unlock()
+
+	plan, err := core.BuildQueryPlan(db.st, q, db.set.coreConfig())
+	if err != nil {
+		return nil, err
+	}
+	plan.Finalize()
+
+	pq := &PreparedQuery{db: db, q: q, plan: plan, stages: db.stages()}
+	pq.prep.Branches = len(plan.Branches)
+	for _, br := range plan.Branches {
+		pq.prep.Variables += br.Sys.NumVars()
+		pq.prep.Inequalities += br.Sys.NumIneqs()
+	}
+
+	if db.fp != nil && hasStage(pq.stages, "fingerprint") {
+		restrict := make([][]*bitvec.Vector, len(plan.Branches))
+		tightest := db.st.NumNodes()
+		restricted := 0
+		for i, br := range plan.Branches {
+			restrict[i] = db.fp.sum.LiftedVectors(db.st, br.PatternGraph())
+			for _, vec := range restrict[i] {
+				if vec == nil {
+					continue
+				}
+				restricted++
+				if c := vec.Count(); c < tightest {
+					tightest = c
+				}
+			}
+		}
+		if restricted > 0 {
+			pq.restrict = restrict
+			pq.fpTightest = tightest
+			pq.prep.RestrictedVars = restricted
+		}
+	}
+
+	pq.prep.PlanTime = time.Since(start)
+	db.planBuilds.Add(1)
+	return pq, nil
+}
+
+func hasStage(stages []Stage, name string) bool {
+	for _, s := range stages {
+		if s.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Query returns the parsed query.
+func (pq *PreparedQuery) Query() *Query { return pq.q }
+
+// PrepareStats returns the one-time planning statistics.
+func (pq *PreparedQuery) PrepareStats() PrepareStats { return pq.prep }
+
+// Exec runs the session's pipeline for this query — fingerprint
+// pre-filter, dual-simulation pruning and engine evaluation, as
+// composed at Open — and returns the solution mappings with per-stage
+// statistics. A nil ctx is treated as context.Background(). Exec
+// honours cancellation and deadlines: the solver aborts between
+// inequality evaluations and the engines between join row batches,
+// returning ctx.Err().
+func (pq *PreparedQuery) Exec(ctx context.Context) (*Result, *ExecStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if pq.db.closed.Load() {
+		return nil, nil, ErrClosed
+	}
+	stats := &ExecStats{
+		TriplesBefore: pq.db.st.NumTriples(),
+		TriplesAfter:  pq.db.st.NumTriples(),
+	}
+	x := &execState{pq: pq, stats: stats}
+	start := time.Now()
+	for _, stage := range pq.stages {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		ss := StageStats{Name: stage.name}
+		s0 := time.Now()
+		err := stage.run(ctx, x, &ss)
+		ss.Duration = time.Since(s0)
+		stats.Stages = append(stats.Stages, ss)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	stats.Duration = time.Since(start)
+	return x.result, stats, nil
+}
+
+// Exec is the one-shot convenience: Prepare + Exec. Prefer Prepare for
+// repeated queries — it performs the planning work exactly once.
+func (db *DB) Exec(ctx context.Context, src string) (*Result, *ExecStats, error) {
+	pq, err := db.Prepare(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pq.Exec(ctx)
+}
+
+// DualSimulate computes the largest dual simulation of q over the
+// session store, honouring ctx.
+func (db *DB) DualSimulate(ctx context.Context, q *Query) (*Relation, error) {
+	if db.closed.Load() {
+		return nil, ErrClosed
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	rel, err := core.QueryDualSimulationCtx(ctx, db.st, q, db.set.coreConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &Relation{rel: rel, st: db.st}, nil
+}
+
+// Prune computes the pruned database for q over the session store,
+// honouring ctx.
+func (db *DB) Prune(ctx context.Context, q *Query) (*Pruning, error) {
+	if db.closed.Load() {
+		return nil, ErrClosed
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p, rel, err := prune.PruneQueryCtx(ctx, db.st, q, db.set.coreConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &Pruning{p: p, rel: rel}, nil
+}
+
+// SimulatePattern computes the largest dual simulation between a
+// hand-built pattern graph and the session store, honouring ctx.
+func (db *DB) SimulatePattern(ctx context.Context, p *Pattern) (*PatternRelation, error) {
+	if db.closed.Load() {
+		return nil, ErrClosed
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	rel, err := core.DualSimulationCtx(ctx, db.st, p.p, db.set.coreConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &PatternRelation{rel: rel, st: db.st}, nil
+}
+
+// Evaluate runs the session engine over an explicit store — normally a
+// pruned store — honouring ctx. Exec composes this for you; Evaluate
+// exists for callers orchestrating the stages by hand.
+func (db *DB) Evaluate(ctx context.Context, st *Store, q *Query) (*Result, error) {
+	if db.closed.Load() {
+		return nil, ErrClosed
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := requireStore(st); err != nil {
+		return nil, err
+	}
+	return db.eng.Evaluate(ctx, st, q)
+}
