@@ -1,0 +1,165 @@
+package dualsim
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// BatchRequest is one query of an ExecBatch call.
+type BatchRequest struct {
+	// Src is the query text. It is resolved through the session's plan
+	// cache when one is configured (WithPlanCache), so repeated texts in
+	// and across batches plan once.
+	Src string
+	// Prepared, when non-nil, is executed directly and Src is ignored —
+	// the fast path for callers that manage prepared queries themselves.
+	Prepared *PreparedQuery
+}
+
+// BatchResult is the outcome of one BatchRequest, at the same index.
+type BatchResult struct {
+	// Result and Stats are the request's execution outcome, as from
+	// PreparedQuery.Exec; both are nil when Err is set.
+	Result *Result
+	Stats  *ExecStats
+	// Err is the request's failure: a parse/plan error, an execution
+	// error, or the batch context's error for requests cancelled (or
+	// never started) after the batch was aborted.
+	Err error
+}
+
+// BatchOption configures one ExecBatch call.
+type BatchOption func(*batchConfig)
+
+type batchConfig struct {
+	failFast bool
+	workers  int
+}
+
+// BatchFailFast aborts the batch on the first per-request error: the
+// remaining requests are cancelled, and ExecBatch returns that first
+// error. Without it ExecBatch collects — every request runs and reports
+// its own BatchResult.Err.
+func BatchFailFast() BatchOption {
+	return func(c *batchConfig) { c.failFast = true }
+}
+
+// BatchWorkers overrides the session's batch width (WithBatchWorkers)
+// for one call.
+func BatchWorkers(n int) BatchOption {
+	return func(c *batchConfig) { c.workers = n }
+}
+
+// errEmptyRequest reports a BatchRequest with neither Src nor Prepared.
+var errEmptyRequest = errors.New("dualsim: batch request has neither Src nor Prepared")
+
+// ExecBatch executes a slice of queries concurrently over the session's
+// worker pool (WithBatchWorkers, default GOMAXPROCS) and returns one
+// BatchResult per request, positionally. Request texts go through the
+// session's plan cache when one is configured.
+//
+// Error semantics are collect-by-default: each request carries its own
+// BatchResult.Err and ExecBatch returns a nil error unless the session
+// is closed or ctx is cancelled (then ctx.Err() is returned and
+// not-yet-started requests are marked with it). With BatchFailFast the
+// first per-request error additionally cancels the rest of the batch and
+// is returned as the call's error.
+func (db *DB) ExecBatch(ctx context.Context, reqs []BatchRequest, opts ...BatchOption) ([]BatchResult, error) {
+	if db.closed.Load() {
+		return nil, ErrClosed
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg := batchConfig{workers: db.set.batchWorkers}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.workers <= 0 {
+		cfg.workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.workers > len(reqs) {
+		cfg.workers = len(reqs)
+	}
+	out := make([]BatchResult, len(reqs))
+	if len(reqs) == 0 {
+		return out, nil
+	}
+
+	bctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	idx := make(chan int)
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = db.execOne(bctx, reqs[i])
+				if out[i].Err != nil {
+					err := out[i].Err
+					errOnce.Do(func() {
+						firstErr = err
+						if cfg.failFast {
+							cancel()
+						}
+					})
+				}
+			}
+		}()
+	}
+feed:
+	for i := range reqs {
+		select {
+		case idx <- i:
+		case <-bctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	// Requests the abort raced past never produced a result; mark them
+	// with the batch error instead of leaving silent zero values.
+	if err := bctx.Err(); err != nil {
+		for i := range out {
+			if out[i].Result == nil && out[i].Stats == nil && out[i].Err == nil {
+				out[i].Err = err
+			}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+	if cfg.failFast && firstErr != nil {
+		return out, firstErr
+	}
+	return out, nil
+}
+
+// execOne resolves and executes a single batch request.
+func (db *DB) execOne(ctx context.Context, req BatchRequest) BatchResult {
+	pq, hit := req.Prepared, false
+	if pq == nil {
+		if req.Src == "" {
+			return BatchResult{Err: errEmptyRequest}
+		}
+		var err error
+		pq, hit, err = db.prepareCached(req.Src)
+		if err != nil {
+			return BatchResult{Err: err}
+		}
+	}
+	res, stats, err := pq.Exec(ctx)
+	if err != nil {
+		return BatchResult{Err: err}
+	}
+	stats.CacheHit = hit
+	return BatchResult{Result: res, Stats: stats}
+}

@@ -19,6 +19,7 @@ import (
 	"sync"
 	"testing"
 
+	"dualsim"
 	"dualsim/internal/baseline"
 	"dualsim/internal/bench"
 	"dualsim/internal/bitmat"
@@ -327,6 +328,101 @@ func BenchmarkMicroBitvecAnd(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		z := x.Clone()
 		z.And(y)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Throughput layer: plan cache + batched execution + pooled solver state.
+
+// BenchmarkQueryCached contrasts the serving paths for a repeated query:
+// "replan" pays parse + SOI lowering + finalization on every call (the
+// pre-cache behavior), "cached" hits the session's plan cache and runs
+// only the execution pipeline on pooled solver state. allocs/op is the
+// headline: the cache-hit path allocates no new PreparedQuery and the
+// solver reuses its χ/scratch workspace.
+func BenchmarkQueryCached(b *testing.B) {
+	// L0: a query whose planning cost is a sizable share of the total
+	// (sub-100µs execution), so the cache's effect is visible in ns/op
+	// and not drowned by the join engine.
+	spec, err := queries.ByID("L0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := storeFor(b, spec)
+	b.Run("replan", func(b *testing.B) {
+		db, err := dualsim.Open(st)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := db.Exec(context.Background(), spec.Text); err != nil {
+			b.Fatal(err) // warm the lazy matrices outside the timed loop
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := db.Exec(context.Background(), spec.Text); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		db, err := dualsim.Open(st, dualsim.WithPlanCache(4))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := db.Query(context.Background(), spec.Text); err != nil {
+			b.Fatal(err) // warm the cache outside the timed loop
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := db.Query(context.Background(), spec.Text); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if db.PlanBuilds() != 1 {
+			b.Fatalf("cache-hit path rebuilt plans: %d builds", db.PlanBuilds())
+		}
+	})
+}
+
+// BenchmarkExecBatch measures batched concurrent execution through the
+// shared plan cache at several pool widths.
+func BenchmarkExecBatch(b *testing.B) {
+	var reqs []dualsim.BatchRequest
+	var st *storage.Store
+	for _, id := range []string{"L2", "L4", "L2", "L5", "L2", "L4", "L5", "L2"} {
+		spec, err := queries.ByID(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st = storeFor(b, spec) // all L queries share the LUBM store
+		reqs = append(reqs, dualsim.BatchRequest{Src: spec.Text})
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			db, err := dualsim.Open(st, dualsim.WithPlanCache(8), dualsim.WithBatchWorkers(workers))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := db.ExecBatch(context.Background(), reqs); err != nil {
+				b.Fatal(err) // warm cache and pools outside the timed loop
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, err := db.ExecBatch(context.Background(), reqs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j := range out {
+					if out[j].Err != nil {
+						b.Fatal(out[j].Err)
+					}
+				}
+			}
+		})
 	}
 }
 

@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "table to regenerate: 2, 3, 4, 5, iters, orders, all")
+	table := flag.String("table", "all", "table to regenerate: 2, 3, 4, 5, iters, orders, throughput, all")
 	universities := flag.Int("universities", 3, "LUBM-like scale (number of universities)")
 	kgScale := flag.Int("kgscale", 1, "DBpedia-like scale factor")
 	seed := flag.Int64("seed", 42, "generator seed")
@@ -90,6 +90,15 @@ func run(table string, universities, kgScale int, seed int64, repeats int) error
 			return err
 		}
 		bench.RenderIterations(os.Stdout, rows)
+		fmt.Println()
+	}
+	if want("throughput") {
+		fmt.Println("Throughput: cold vs. cached serving path (plan cache + pooled execution, seconds)")
+		rows, err := bench.Throughput(d, repeats)
+		if err != nil {
+			return err
+		}
+		bench.RenderThroughput(os.Stdout, rows)
 		fmt.Println()
 	}
 	if want("orders") {

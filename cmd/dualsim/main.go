@@ -6,6 +6,8 @@
 //	dualsim -data db.nt -q '…' -mode simulate                           # candidate sets
 //	dualsim -data db.nt -q '…' -engine index -limit 20                  # results via index-NL engine
 //	dualsim -data db.nt -q '…' -prune -fingerprint 2 -timeout 30s       # full pipeline, bounded
+//	dualsim -data db.nt -q '…' -repeat 100                              # serve repeats via the plan cache
+//	dualsim -data db.nt -query batch.rq -batch                          # batched concurrent execution
 //
 // Modes:
 //
@@ -13,6 +15,12 @@
 //	simulate  print per-variable dual simulation candidate counts
 //	prune     print pruning statistics; with -out, dump the pruned store
 //	analyze   print the query's structural analysis (no -data needed)
+//
+// -repeat n executes the query n times through the session's plan cache
+// (capacity -plancache) and reports steady-state serving latency plus
+// cache traffic. -batch treats the query input as several queries
+// separated by lines containing only ";" and fans them across the
+// session's batch worker pool.
 //
 // The command is a thin client of the session API: it opens a DB over
 // the loaded store, prepares the query once and executes the pipeline
@@ -26,6 +34,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"dualsim"
@@ -43,6 +52,10 @@ func main() {
 	fingerprintK := flag.Int("fingerprint", 0, "with -prune: pre-filter via a k-bounded bisimulation fingerprint (0 = off)")
 	workers := flag.Int("workers", 0, "parallelize bit-matrix multiplications over this many goroutines")
 	timeout := flag.Duration("timeout", 0, "abort the query after this duration (0 = no deadline)")
+	repeat := flag.Int("repeat", 1, "evaluate mode: execute the query this many times through the plan cache")
+	batch := flag.Bool("batch", false, "treat the query input as ';'-separated queries and execute them concurrently")
+	planCache := flag.Int("plancache", 64, "LRU plan cache capacity for -repeat/-batch (0 disables)")
+	batchWorkers := flag.Int("batchworkers", 0, "batch pool width (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -57,6 +70,8 @@ func main() {
 		data: *data, queryFile: *queryFile, queryText: *queryText,
 		mode: *mode, engine: *engineName, limit: *limit, out: *out,
 		prune: *doPrune, fingerprintK: *fingerprintK, workers: *workers,
+		repeat: *repeat, batch: *batch, planCache: *planCache,
+		batchWorkers: *batchWorkers,
 	}
 	if err := run(ctx, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "dualsim:", err)
@@ -73,6 +88,10 @@ type cliConfig struct {
 	prune                      bool
 	fingerprintK               int
 	workers                    int
+	repeat                     int
+	batch                      bool
+	planCache                  int
+	batchWorkers               int
 }
 
 func run(ctx context.Context, cfg cliConfig) error {
@@ -87,11 +106,21 @@ func run(ctx context.Context, cfg cliConfig) error {
 		}
 		src = string(b)
 	}
-	q, err := dualsim.ParseQuery(src)
-	if err != nil {
-		return err
+	// The batch and repeat paths hand raw text to the session (ExecBatch /
+	// the plan cache parse it there); every other path parses here.
+	repeatServe := cfg.mode == "evaluate" && cfg.repeat > 1
+	var q *dualsim.Query
+	if !cfg.batch && !repeatServe {
+		var err error
+		q, err = dualsim.ParseQuery(src)
+		if err != nil {
+			return err
+		}
 	}
 	if cfg.mode == "analyze" {
+		if cfg.batch {
+			return fmt.Errorf("-batch is an execution mode; analyze one query at a time")
+		}
 		return runAnalyze(q)
 	}
 
@@ -117,12 +146,21 @@ func run(ctx context.Context, cfg cliConfig) error {
 	}
 	defer db.Close()
 
+	if cfg.batch {
+		if cfg.mode != "evaluate" {
+			return fmt.Errorf("-batch requires the evaluate mode")
+		}
+		return runBatch(ctx, db, src, cfg.limit)
+	}
 	switch cfg.mode {
 	case "simulate":
 		return runSimulate(ctx, db, q)
 	case "prune":
 		return runPrune(ctx, db, q, cfg.out)
 	case "evaluate":
+		if repeatServe {
+			return runRepeat(ctx, db, src, cfg.repeat, cfg.limit)
+		}
 		return runEvaluate(ctx, db, q, cfg.limit)
 	default:
 		return fmt.Errorf("unknown mode %q", cfg.mode)
@@ -149,7 +187,111 @@ func openSession(st *dualsim.Store, cfg cliConfig) (*dualsim.DB, error) {
 		}
 		opts = append(opts, dualsim.WithFingerprint(cfg.fingerprintK))
 	}
+	if cfg.planCache > 0 {
+		opts = append(opts, dualsim.WithPlanCache(cfg.planCache))
+	}
+	if cfg.batchWorkers > 0 {
+		opts = append(opts, dualsim.WithBatchWorkers(cfg.batchWorkers))
+	}
 	return dualsim.Open(st, opts...)
+}
+
+// splitBatch splits a batch file into query texts at lines containing
+// only ";" (surrounding whitespace allowed).
+func splitBatch(src string) []string {
+	var out []string
+	var cur strings.Builder
+	flush := func() {
+		if s := strings.TrimSpace(cur.String()); s != "" {
+			out = append(out, s)
+		}
+		cur.Reset()
+	}
+	for _, line := range strings.Split(src, "\n") {
+		if strings.TrimSpace(line) == ";" {
+			flush()
+			continue
+		}
+		cur.WriteString(line)
+		cur.WriteByte('\n')
+	}
+	flush()
+	return out
+}
+
+// runBatch executes the ';'-separated queries of src concurrently over
+// the session's batch pool, collecting per-request outcomes.
+func runBatch(ctx context.Context, db *dualsim.DB, src string, limit int) error {
+	srcs := splitBatch(src)
+	if len(srcs) == 0 {
+		return fmt.Errorf("batch input contains no queries")
+	}
+	reqs := make([]dualsim.BatchRequest, len(srcs))
+	for i, s := range srcs {
+		reqs[i] = dualsim.BatchRequest{Src: s}
+	}
+	start := time.Now()
+	out, err := db.ExecBatch(ctx, reqs)
+	if err != nil {
+		return err
+	}
+	failed := 0
+	for i, r := range out {
+		if r.Err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "[%d] error: %v\n", i, r.Err)
+			continue
+		}
+		hit := ""
+		if r.Stats.CacheHit {
+			hit = " (cached plan)"
+		}
+		fmt.Fprintf(os.Stderr, "[%d] %d results in %v%s\n",
+			i, r.Result.Len(), r.Stats.Duration.Round(time.Microsecond), hit)
+		printRows(r.Result, db.Store(), limit)
+	}
+	fmt.Fprintf(os.Stderr, "batch: %d queries (%d failed) in %v\n",
+		len(out), failed, time.Since(start).Round(time.Microsecond))
+	if failed > 0 {
+		return fmt.Errorf("%d of %d batch queries failed", failed, len(out))
+	}
+	return nil
+}
+
+// runRepeat serves the query n times through the plan cache and reports
+// steady-state latency plus cache traffic.
+func runRepeat(ctx context.Context, db *dualsim.DB, src string, n, limit int) error {
+	var last *dualsim.Result
+	var total, best time.Duration
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		res, _, err := db.Query(ctx, src)
+		if err != nil {
+			return err
+		}
+		d := time.Since(start)
+		total += d
+		if i == 0 || d < best {
+			best = d
+		}
+		last = res
+	}
+	cs := db.CacheStats()
+	fmt.Fprintf(os.Stderr, "%d executions in %v (avg %v, best %v); plan cache: %d hits, %d misses, %d plans built\n",
+		n, total.Round(time.Microsecond), (total / time.Duration(n)).Round(time.Microsecond),
+		best.Round(time.Microsecond), cs.Hits, cs.Misses, db.PlanBuilds())
+	printRows(last, db.Store(), limit)
+	return nil
+}
+
+// printRows renders up to limit result rows (0 = all).
+func printRows(res *dualsim.Result, st *dualsim.Store, limit int) {
+	rows := res.Rows
+	if limit > 0 && len(rows) > limit {
+		rows = rows[:limit]
+	}
+	shown := &dualsim.Result{Vars: res.Vars, Rows: rows}
+	fmt.Print(shown.Format(st))
 }
 
 func runAnalyze(q *dualsim.Query) error {
@@ -231,11 +373,6 @@ func runEvaluate(ctx context.Context, db *dualsim.DB, q *dualsim.Query, limit in
 	}
 	fmt.Fprintf(os.Stderr, "%d results in %v (%s engine)\n",
 		res.Len(), stats.Duration.Round(time.Microsecond), db.EngineName())
-	rows := res.Rows
-	if limit > 0 && len(rows) > limit {
-		rows = rows[:limit]
-	}
-	shown := &dualsim.Result{Vars: res.Vars, Rows: rows}
-	fmt.Print(shown.Format(db.Store()))
+	printRows(res, db.Store(), limit)
 	return nil
 }

@@ -91,6 +91,57 @@ func TestRunQueryFromFile(t *testing.T) {
 	}
 }
 
+func TestRunRepeatMode(t *testing.T) {
+	data := fixture(t)
+	if err := do(t, cliConfig{data: data, queryText: queries.QueryX1, mode: "evaluate",
+		engine: "hash", repeat: 5, planCache: 4, limit: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Parse errors surface through the serving path too.
+	if err := do(t, cliConfig{data: data, queryText: "SELECT broken", mode: "evaluate",
+		engine: "hash", repeat: 3, planCache: 4}); err == nil {
+		t.Fatal("repeat mode accepted a broken query")
+	}
+}
+
+func TestRunBatchMode(t *testing.T) {
+	data := fixture(t)
+	qf := filepath.Join(t.TempDir(), "batch.rq")
+	batch := queries.QueryX1 + "\n;\n" + queries.QueryX2 + "\n;\n"
+	if err := os.WriteFile(qf, []byte(batch), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := do(t, cliConfig{data: data, queryFile: qf, mode: "evaluate",
+		engine: "hash", batch: true, planCache: 4, batchWorkers: 2, limit: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// A failing query inside the batch surfaces as an error after the
+	// rest completed.
+	bad := queries.QueryX1 + "\n;\nSELECT broken\n"
+	if err := os.WriteFile(qf, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := do(t, cliConfig{data: data, queryFile: qf, mode: "evaluate",
+		engine: "hash", batch: true}); err == nil {
+		t.Fatal("batch with a broken query reported success")
+	}
+	// Batch is evaluate-only.
+	if err := do(t, cliConfig{data: data, queryText: queries.QueryX1, mode: "prune",
+		engine: "hash", batch: true}); err == nil {
+		t.Fatal("batch accepted a non-evaluate mode")
+	}
+}
+
+func TestSplitBatch(t *testing.T) {
+	got := splitBatch("a\nb\n ; \nc\n;\n\n;\n")
+	if len(got) != 2 || got[0] != "a\nb" || got[1] != "c" {
+		t.Fatalf("splitBatch = %q", got)
+	}
+	if got := splitBatch("\n;\n \n"); len(got) != 0 {
+		t.Fatalf("empty batch = %q", got)
+	}
+}
+
 func TestRunAnalyzeMode(t *testing.T) {
 	// analyze needs no data file.
 	if err := do(t, cliConfig{queryText: queries.QueryX3, mode: "analyze", engine: "hash"}); err != nil {

@@ -29,7 +29,13 @@
 //     headline application), engine evaluation — returning the solution
 //     mappings plus per-stage ExecStats. Cancellation and deadlines on
 //     ctx interrupt the solver between inequality evaluations and the
-//     engines between join row batches.
+//     engines between join row batches;
+//   - serving: with WithPlanCache(n), db.Query(ctx, text) resolves
+//     repeated query text through an LRU plan cache, and
+//     db.ExecBatch(ctx, reqs) fans a slice of queries across a worker
+//     pool with per-request stats. Execution state (the solver's χ rows,
+//     scratch and the parallel-kernel accumulators) is pooled, so the
+//     steady-state hot path performs near-zero solver allocation.
 //
 // A minimal session:
 //

@@ -3,7 +3,10 @@
 // variant (X2). A session is opened over the store, each query is
 // prepared once, and Exec(ctx) runs the pruning pipeline — the
 // per-stage ExecStats expose the dual simulation's effect (16 of 20
-// triples disqualified) alongside the final solution mappings.
+// triples disqualified) alongside the final solution mappings. The final
+// step shows the serving path: db.Query resolves repeated query text
+// through the session's LRU plan cache, so only the first call pays
+// parse + planning.
 package main
 
 import (
@@ -60,8 +63,9 @@ func main() {
 
 	// --- Step 1: open a session ----------------------------------------
 	// The session fixes engine and pipeline for every query prepared on
-	// it; the default pipeline is dual-sim prune → evaluate.
-	db, err := dualsim.Open(st, dualsim.WithEngine(dualsim.HashJoin))
+	// it; the default pipeline is dual-sim prune → evaluate. The plan
+	// cache holds up to 8 prepared plans for the db.Query serving path.
+	db, err := dualsim.Open(st, dualsim.WithEngine(dualsim.HashJoin), dualsim.WithPlanCache(8))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -114,4 +118,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "unexpected result sizes")
 		os.Exit(1)
 	}
+
+	// --- Step 5: the cached serving path --------------------------------
+	// db.Query plans (X1) once and serves every repeat from the LRU plan
+	// cache; ExecStats.CacheHit and CacheStats expose the traffic.
+	for i := 0; i < 3; i++ {
+		if _, stats, err := db.Query(ctx, queryX1); err != nil {
+			log.Fatal(err)
+		} else if i > 0 && !stats.CacheHit {
+			fmt.Fprintln(os.Stderr, "expected a plan cache hit")
+			os.Exit(1)
+		}
+	}
+	cs := db.CacheStats()
+	fmt.Printf("\nserving (X1) three times: %d plan cache hit(s), %d miss(es), %d plan build(s) total\n",
+		cs.Hits, cs.Misses, db.PlanBuilds())
 }

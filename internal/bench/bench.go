@@ -13,6 +13,9 @@
 //	Iters   — per-query SOI rounds, the §5.3 convergence discussion
 //	          (L0 slow / L1 two-iteration shape).
 //
+// Beyond the paper, Throughput measures the serving layer (plan cache +
+// pooled execution) in the repeated-workload regime the ROADMAP targets.
+//
 // Absolute numbers differ from the paper (their testbed: 384 GB Xeon
 // server, billions of triples); the comparisons reproduce the paper's
 // qualitative shape. EXPERIMENTS.md records paper-vs-measured.
@@ -25,6 +28,7 @@ import (
 	"strings"
 	"time"
 
+	"dualsim"
 	"dualsim/internal/baseline"
 	"dualsim/internal/core"
 	"dualsim/internal/datagen"
@@ -278,6 +282,79 @@ func IterationShapes(d *Datasets) ([]IterRow, error) {
 		})
 	}
 	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// Throughput: the serving layer (plan cache + pooled execution)
+
+// ThroughputRow reports repeated-workload serving metrics for one query:
+// the cost of a cold Query (parse + plan + execute) versus the
+// steady-state cached path, the repeated-traffic regime the ROADMAP's
+// serving goal cares about.
+type ThroughputRow struct {
+	Query string
+	// TCold is the first Query on a fresh session: full planning plus
+	// execution.
+	TCold time.Duration
+	// THot is the steady-state cached Query (minimum over repeats): the
+	// plan comes from the LRU cache and the solver reuses pooled state.
+	THot time.Duration
+	// Hits is the cache hit count accumulated over the hot runs.
+	Hits int64
+}
+
+// Speedup returns TCold / THot.
+func (r ThroughputRow) Speedup() float64 {
+	if r.THot <= 0 {
+		return 0
+	}
+	return float64(r.TCold) / float64(r.THot)
+}
+
+// Throughput measures the cached serving path for a representative query
+// subset (one per convergence class, as in the ablations).
+func Throughput(d *Datasets, repeats int) ([]ThroughputRow, error) {
+	var rows []ThroughputRow
+	for _, id := range []string{"L0", "L2", "B14", "B17"} {
+		spec, err := queries.ByID(id)
+		if err != nil {
+			return nil, err
+		}
+		db, err := dualsim.Open(d.StoreFor(spec), dualsim.WithPlanCache(4))
+		if err != nil {
+			return nil, err
+		}
+		row := ThroughputRow{Query: spec.ID}
+		start := time.Now()
+		if _, _, err := db.Query(context.Background(), spec.Text); err != nil {
+			return nil, err
+		}
+		row.TCold = time.Since(start)
+		var hotErr error
+		row.THot = timeIt(repeats, func() {
+			if _, _, err := db.Query(context.Background(), spec.Text); err != nil {
+				hotErr = err
+			}
+		})
+		if hotErr != nil {
+			return nil, hotErr
+		}
+		row.Hits = db.CacheStats().Hits
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderThroughput formats the throughput rows.
+func RenderThroughput(w io.Writer, rows []ThroughputRow) {
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Query, Millis(r.TCold), Millis(r.THot),
+			fmt.Sprintf("%.1fx", r.Speedup()), fmt.Sprint(r.Hits),
+		})
+	}
+	WriteTable(w, []string{"Query", "t_cold", "t_hot_cached", "speedup", "cache_hits"}, cells)
 }
 
 // ---------------------------------------------------------------------------

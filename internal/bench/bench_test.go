@@ -189,6 +189,33 @@ func TestOrderSearchInvariants(t *testing.T) {
 	}
 }
 
+func TestThroughputInvariants(t *testing.T) {
+	d := tiny(t)
+	rows, err := Throughput(d, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.TCold <= 0 || r.THot <= 0 {
+			t.Fatalf("%s: non-positive timing %+v", r.Query, r)
+		}
+		if r.Hits != 3 {
+			t.Fatalf("%s: %d cache hits over 3 hot runs", r.Query, r.Hits)
+		}
+		if r.Speedup() <= 0 {
+			t.Fatalf("%s: speedup %f", r.Query, r.Speedup())
+		}
+	}
+	var buf bytes.Buffer
+	RenderThroughput(&buf, rows)
+	if !strings.Contains(buf.String(), "t_hot_cached") {
+		t.Fatal("render header missing")
+	}
+}
+
 func TestWriteTableAlignment(t *testing.T) {
 	var buf bytes.Buffer
 	WriteTable(&buf, []string{"a", "long-header"}, [][]string{{"xx", "y"}, {"z", "wwwwwwwwwwww"}})

@@ -12,6 +12,27 @@ import (
 // strategies partition their driving bit-vector into word ranges, fan the
 // ranges out to workers with worker-local accumulators, and OR-merge.
 // The results are bit-identical to the serial kernels (property-tested).
+//
+// The worker-local accumulators and per-range input slices are drawn from
+// a shared sync.Pool rather than allocated per call: the solver invokes
+// MultiplyParallel once per inequality evaluation, and a full n-bit
+// vector per worker per evaluation is exactly the steady-state churn the
+// bit-matrix design is meant to amortize.
+
+// vecPool recycles the kernel-local vectors. Vectors of any length live
+// in the same pool; Reset re-sizes a pooled vector to the current node
+// universe, reusing its backing array whenever it fits.
+var vecPool sync.Pool
+
+func getVec(n int) *bitvec.Vector {
+	if v, _ := vecPool.Get().(*bitvec.Vector); v != nil {
+		v.Reset(n)
+		return v
+	}
+	return bitvec.New(n)
+}
+
+func putVec(v *bitvec.Vector) { vecPool.Put(v) }
 
 // MultiplyParallel computes r = (x ×b A) ∧ cand into dst like Multiply,
 // distributing the work over the given number of goroutines. workers ≤ 1
@@ -45,7 +66,7 @@ func (p Pair) MultiplyParallel(dir Direction, x, cand, dst *bitvec.Vector, s Str
 }
 
 // parallelUnionRows distributes the set bits of x (by word ranges) over
-// workers, each unioning its rows into a private accumulator.
+// workers, each unioning its rows into a pooled private accumulator.
 func parallelUnionRows(a Mat, x, dst *bitvec.Vector, workers int) {
 	words := x.Words()
 	ranges := wordRanges(len(words), workers)
@@ -57,17 +78,22 @@ func parallelUnionRows(a Mat, x, dst *bitvec.Vector, workers int) {
 	var wg sync.WaitGroup
 	for ri, r := range ranges {
 		wg.Add(1)
-		go func(ri int, lo, hi int) {
+		go func(ri, lo, hi int) {
 			defer wg.Done()
-			local := bitvec.New(x.Len())
-			slice := sliceVector(x, lo, hi)
+			// Pool traffic (and the O(n)-bit zeroing it implies) stays on
+			// the worker, off the spawning goroutine's critical path.
+			local := getVec(x.Len())
+			slice := getVec(x.Len())
+			sliceInto(slice, x, lo, hi)
 			a.UnionRows(slice, local)
+			putVec(slice)
 			locals[ri] = local
 		}(ri, r[0], r[1])
 	}
 	wg.Wait()
 	for _, local := range locals {
 		dst.Or(local)
+		putVec(local)
 	}
 }
 
@@ -89,22 +115,25 @@ func parallelProbeColumns(at Mat, x, cand, dst *bitvec.Vector, workers int) {
 	var wg sync.WaitGroup
 	for ri, r := range ranges {
 		wg.Add(1)
-		go func(ri int, lo, hi int) {
+		go func(ri, lo, hi int) {
 			defer wg.Done()
-			local := bitvec.New(cand.Len())
-			slice := sliceVector(cand, lo, hi)
+			local := getVec(cand.Len())
+			slice := getVec(cand.Len())
+			sliceInto(slice, cand, lo, hi)
 			slice.ForEach(func(j int) bool {
 				if at.RowIntersects(j, x) {
 					local.Set(j)
 				}
 				return true
 			})
+			putVec(slice)
 			locals[ri] = local
 		}(ri, r[0], r[1])
 	}
 	wg.Wait()
 	for _, local := range locals {
 		dst.Or(local)
+		putVec(local)
 	}
 }
 
@@ -129,12 +158,9 @@ func wordRanges(n, workers int) [][2]int {
 	return out
 }
 
-// sliceVector returns a copy of v with only the words in [lo, hi) kept —
-// a cheap way to reuse the serial kernels per range.
-func sliceVector(v *bitvec.Vector, lo, hi int) *bitvec.Vector {
-	out := bitvec.New(v.Len())
-	src := v.Words()
-	dst := out.Words()
-	copy(dst[lo:hi], src[lo:hi])
-	return out
+// sliceInto overwrites dst (same length as v, already zeroed by getVec)
+// with only the words of v in [lo, hi) — a copy-free-enough way to reuse
+// the serial kernels per range with pooled inputs.
+func sliceInto(dst, v *bitvec.Vector, lo, hi int) {
+	copy(dst.Words()[lo:hi], v.Words()[lo:hi])
 }

@@ -65,14 +65,41 @@ func TestWordRanges(t *testing.T) {
 	}
 }
 
-func TestSliceVector(t *testing.T) {
+func TestSliceInto(t *testing.T) {
 	v := bitvec.New(200)
 	v.Set(1)
 	v.Set(70)
 	v.Set(130)
-	s := sliceVector(v, 1, 2) // keep only word 1 (bits 64..127)
+	s := bitvec.New(200)
+	sliceInto(s, v, 1, 2) // keep only word 1 (bits 64..127)
 	if s.Get(1) || !s.Get(70) || s.Get(130) {
 		t.Fatalf("slice = %v", s)
+	}
+}
+
+// TestMultiplyParallelAllocs: the pooled kernels must not allocate fresh
+// n-bit accumulators per call. The bound covers the per-call bookkeeping
+// (range table, locals table, one goroutine closure per worker); the
+// un-pooled kernels allocated four more vectors per worker (two Vector
+// headers plus two word arrays each) and blow well past it.
+func TestMultiplyParallelAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	r := rand.New(rand.NewSource(7))
+	const n = 1 << 14
+	const workers = 4
+	p := NewPair(n, randomCells(r, n, 4*n))
+	x := randomVec(r, n)
+	cand := randomVec(r, n)
+	dst := bitvec.New(n)
+	for _, s := range []Strategy{RowWise, ColWise} {
+		allocs := testing.AllocsPerRun(50, func() {
+			p.MultiplyParallel(Forward, x, cand, dst, s, workers)
+		})
+		if max := float64(3*workers + 4); allocs > max {
+			t.Errorf("strategy %v: %.1f allocs/op, want <= %.0f (accumulators not pooled?)", s, allocs, max)
+		}
 	}
 }
 

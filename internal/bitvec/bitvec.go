@@ -113,6 +113,23 @@ func (v *Vector) trim() {
 	}
 }
 
+// Reset reinitializes v to a zeroed vector of n bits, reusing the
+// backing array when it is large enough. It is the re-use hook for
+// pooled vectors (sync.Pool arenas hand out vectors of varying length).
+func (v *Vector) Reset(n int) {
+	if n < 0 {
+		panic("bitvec: negative length")
+	}
+	w := wordsFor(n)
+	if cap(v.words) < w {
+		v.words = make([]uint64, w)
+	} else {
+		v.words = v.words[:w]
+		clear(v.words)
+	}
+	v.n = n
+}
+
 // Clone returns a deep copy.
 func (v *Vector) Clone() *Vector {
 	w := &Vector{words: make([]uint64, len(v.words)), n: v.n}

@@ -335,3 +335,45 @@ func TestPropertySubsetIffAndFixed(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestReset: a reset vector is indistinguishable from a fresh New(n) —
+// zeroed, with the right logical length — whether it shrinks (backing
+// array reused, stale bits cleared) or grows.
+func TestReset(t *testing.T) {
+	v := New(200)
+	v.Fill()
+	words := &v.Words()[0]
+
+	v.Reset(70) // shrink: reuse backing array
+	if v.Len() != 70 || !v.IsEmpty() {
+		t.Fatalf("Reset(70): len=%d empty=%v", v.Len(), v.IsEmpty())
+	}
+	if &v.Words()[0] != words {
+		t.Fatal("shrinking Reset reallocated the backing array")
+	}
+	if !v.Equal(New(70)) {
+		t.Fatal("reset vector differs from a fresh one")
+	}
+	v.Set(69)
+	v.Reset(66) // shrink within the same word: stale bit 69 must go
+	v.Reset(70)
+	if !v.IsEmpty() {
+		t.Fatalf("stale bits survived Reset: %v", v)
+	}
+
+	v.Reset(1000) // grow: reallocate
+	if v.Len() != 1000 || !v.IsEmpty() {
+		t.Fatalf("Reset(1000): len=%d empty=%v", v.Len(), v.IsEmpty())
+	}
+	v.Set(999)
+	if v.Count() != 1 {
+		t.Fatal("grown vector unusable")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on negative Reset")
+		}
+	}()
+	v.Reset(-1)
+}

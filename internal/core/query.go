@@ -425,6 +425,17 @@ func (p *QueryPlan) SolveRestricted(ctx context.Context, cfg Config, restrict []
 	return rel, nil
 }
 
+// Release returns every branch solution's χ storage to the per-system
+// solver pools, making steady-state repeated solving of a prepared plan
+// allocation-free. The relation and its solutions must not be used
+// afterwards; Release is optional (skipping it just leaves the work to
+// the GC) and idempotent.
+func (r *QueryRelation) Release() {
+	for _, bs := range r.Branches {
+		bs.Sol.Release()
+	}
+}
+
 // VarSet returns the union over branches and renamed copies of the
 // candidate nodes for an original query variable — the paper's reading of
 // the extreme case: "every solution to x_P2 or x_P3 also is a solution to

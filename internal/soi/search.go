@@ -35,6 +35,7 @@ func (s *System) SearchOrders(trials int, seed int64, opts Options) OrderStats {
 	stats.HeuristicRounds = heur.Stats.Rounds
 	stats.BestRounds = heur.Stats.Rounds
 	stats.WorstRounds = heur.Stats.Rounds
+	heur.Release()
 
 	r := rand.New(rand.NewSource(seed))
 	perm := make([]int, s.NumIneqs())
@@ -47,6 +48,7 @@ func (s *System) SearchOrders(trials int, seed int64, opts Options) OrderStats {
 		o.Permutation = append([]int(nil), perm...)
 		sol := s.Solve(o)
 		rounds := sol.Stats.Rounds
+		sol.Release()
 		if rounds < stats.BestRounds {
 			stats.BestRounds = rounds
 			stats.BestPermutation = append([]int(nil), perm...)

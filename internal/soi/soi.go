@@ -83,6 +83,42 @@ type System struct {
 
 	finalize  sync.Once
 	finalized bool
+
+	// pool recycles per-solve workspaces (χ rows, scratch, worklists)
+	// between SolveCtx calls — a finalized system's dimensions are frozen,
+	// so a released workspace always fits the next solve exactly.
+	pool sync.Pool
+}
+
+// workspace is the mutable per-solve state. Every concurrent solve owns
+// one exclusively; Solution.Release returns it to the system's pool.
+type workspace struct {
+	chi     []*bitvec.Vector
+	scratch *bitvec.Vector
+	queueA  []int
+	queueB  []int
+	inQueue []bool
+}
+
+// acquire returns a ready workspace: pooled when available (with the
+// stale inQueue flags of an interrupted previous solve cleared),
+// freshly allocated otherwise. Must be called after Finalize.
+func (s *System) acquire() *workspace {
+	if w, _ := s.pool.Get().(*workspace); w != nil {
+		clear(w.inQueue)
+		return w
+	}
+	w := &workspace{
+		chi:     make([]*bitvec.Vector, len(s.names)),
+		scratch: bitvec.New(s.n),
+		queueA:  make([]int, 0, len(s.ineqs)),
+		queueB:  make([]int, 0, len(s.ineqs)),
+		inQueue: make([]bool, len(s.ineqs)),
+	}
+	for v := range w.chi {
+		w.chi[v] = bitvec.New(s.n)
+	}
+	return w
 }
 
 // NewSystem returns an empty system over an n-node universe.
@@ -190,11 +226,13 @@ type Options struct {
 	// Must be a permutation of [0, NumIneqs()).
 	Permutation []int
 	// Restrict, when non-nil, intersects the initial bound of variable v
-	// with Restrict[v] for every non-nil entry (entries beyond NumVars()
-	// are ignored). It tightens a single Solve call without mutating the
-	// system, so a finalized System stays safe for concurrent reuse; any
-	// superset of the largest solution (e.g. fingerprint-lifted candidate
-	// sets) leaves the fixpoint unchanged.
+	// with Restrict[v] for every non-nil entry. It tightens a single Solve
+	// call without mutating the system, so a finalized System stays safe
+	// for concurrent reuse; any superset of the largest solution (e.g.
+	// fingerprint-lifted candidate sets) leaves the fixpoint unchanged.
+	// SolveCtx rejects a Restrict with more entries than NumVars(), or a
+	// non-nil entry whose length differs from Dim(), with a descriptive
+	// error — a mis-sized restrict is a caller bug, not a no-op.
 	Restrict []*bitvec.Vector
 }
 
@@ -216,6 +254,22 @@ type Stats struct {
 type Solution struct {
 	Chi   []*bitvec.Vector
 	Stats Stats
+
+	sys *System    // owning system, for Release
+	ws  *workspace // backing storage of Chi; nil once released
+}
+
+// Release returns the solution's χ storage to the owning system's solver
+// pool, so the next SolveCtx reuses it instead of allocating fresh
+// vectors. The solution (and every Chi row) must not be used afterwards.
+// Release is optional — an unreleased solution is simply collected by the
+// GC — and idempotent.
+func (sol *Solution) Release() {
+	if sol == nil || sol.ws == nil {
+		return
+	}
+	sol.sys.pool.Put(sol.ws)
+	sol.ws, sol.sys, sol.Chi = nil, nil, nil
 }
 
 // EmptyRequired reports whether some required variable has an empty χS
@@ -261,26 +315,39 @@ const ctxCheckInterval = 8
 // and returns (nil, ctx.Err()) without completing the fixpoint. The
 // system itself is not modified (Finalize is invoked on first use) and
 // may be solved repeatedly and concurrently.
+//
+// The per-solve state (χ rows, scratch, worklists) comes from a
+// system-owned pool; call Solution.Release when done with the solution
+// to make steady-state solving allocation-free.
 func (s *System) SolveCtx(ctx context.Context, opts Options) (*Solution, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	chi := make([]*bitvec.Vector, len(s.names))
-	for v := range chi {
-		if s.init[v] == nil {
-			chi[v] = bitvec.NewFull(s.n)
-		} else {
-			chi[v] = s.init[v].Clone()
-		}
+	if len(opts.Restrict) > len(s.names) {
+		return nil, fmt.Errorf("soi: Restrict has %d entries for a system with %d variables", len(opts.Restrict), len(s.names))
 	}
 	for v, r := range opts.Restrict {
-		if r != nil && v < len(chi) {
-			chi[v].And(r)
+		if r != nil && r.Len() != s.n {
+			return nil, fmt.Errorf("soi: Restrict[%d] (variable %s) has length %d, want dimension %d", v, s.names[v], r.Len(), s.n)
 		}
 	}
 	s.Finalize()
+	w := s.acquire()
+	chi := w.chi
+	for v := range chi {
+		if s.init[v] == nil {
+			chi[v].Fill()
+		} else {
+			chi[v].CopyFrom(s.init[v])
+		}
+	}
+	for v, r := range opts.Restrict {
+		if r != nil {
+			chi[v].And(r)
+		}
+	}
 
-	sol := &Solution{Chi: chi}
+	sol := &Solution{Chi: chi, sys: s, ws: w}
 	if opts.ShortCircuit {
 		// The initialization (13) or a constant binding may already have
 		// emptied a required variable.
@@ -291,33 +358,42 @@ func (s *System) SolveCtx(ctx context.Context, opts Options) (*Solution, error) 
 			}
 		}
 	}
-	scratch := bitvec.New(s.n)
+	scratch := w.scratch
 
 	// current/next worklists of inequality indices; inQueue de-duplicates.
-	current := make([]int, len(s.ineqs))
-	for i := range current {
-		current[i] = i
+	current := w.queueA[:0]
+	for i := range s.ineqs {
+		current = append(current, i)
 	}
 	reorder := func(queue []int) {
 		switch {
 		case opts.Permutation != nil:
 			sortByPermutation(queue, opts.Permutation)
 		case opts.Order == SparsestFirst:
-			sort.SliceStable(queue, func(a, b int) bool {
-				return s.ineqs[queue[a]].emptyCols > s.ineqs[queue[b]].emptyCols
+			// Sparsest first (§3.3), ties broken by inequality index: the
+			// comparison is a total order, so the processing order — and
+			// with it the round count a plan reports — is reproducible
+			// run-to-run regardless of the arrival order of equal keys.
+			sort.Slice(queue, func(a, b int) bool {
+				ea, eb := s.ineqs[queue[a]].emptyCols, s.ineqs[queue[b]].emptyCols
+				if ea != eb {
+					return ea > eb
+				}
+				return queue[a] < queue[b]
 			})
 		}
 	}
 	reorder(current)
-	inQueue := make([]bool, len(s.ineqs))
+	inQueue := w.inQueue
 	for _, i := range current {
 		inQueue[i] = true
 	}
+	spare := w.queueB[:0]
 
 	sinceCheck := 0
 	for len(current) > 0 {
 		sol.Stats.Rounds++
-		var next []int
+		next := spare[:0]
 		for _, idx := range current {
 			// Edge inequalities are full bit-matrix multiplications; check
 			// for cancellation before each, and at least every
@@ -327,6 +403,8 @@ func (s *System) SolveCtx(ctx context.Context, opts Options) (*Solution, error) 
 				sinceCheck = 0
 				select {
 				case <-ctx.Done():
+					w.queueA, w.queueB = current[:0], next[:0]
+					s.pool.Put(w)
 					return nil, ctx.Err()
 				default:
 				}
@@ -352,6 +430,7 @@ func (s *System) SolveCtx(ctx context.Context, opts Options) (*Solution, error) 
 			sol.Stats.Updates++
 			if opts.ShortCircuit && s.reqVars[iq.X] && chi[iq.X].IsEmpty() {
 				sol.Stats.ShortCircuited = true
+				w.queueA, w.queueB = current[:0], next[:0]
 				return sol, nil
 			}
 			// Re-enqueue every inequality whose right-hand side mentions
@@ -365,8 +444,12 @@ func (s *System) SolveCtx(ctx context.Context, opts Options) (*Solution, error) 
 			}
 		}
 		reorder(next)
+		spare = current
 		current = next
 	}
+	// Hand the (possibly grown) worklists back so the next solve reuses
+	// their capacity.
+	w.queueA, w.queueB = current[:0], spare[:0]
 	return sol, nil
 }
 

@@ -1,6 +1,7 @@
 package soi
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -247,6 +248,95 @@ func TestConstrainInit(t *testing.T) {
 	sol := s.Solve(Options{})
 	if !sol.Chi[v].Equal(bitvec.FromBits(4, 1, 2)) {
 		t.Fatalf("χ(v) = %v", sol.Chi[v])
+	}
+}
+
+// TestRestrictValidation: a Restrict that does not fit the system is a
+// caller bug and must surface as a descriptive error, not be silently
+// dropped (the old behavior ignored entries beyond NumVars()).
+func TestRestrictValidation(t *testing.T) {
+	s, vars := fig3System()
+
+	// Too many entries: one per variable plus one.
+	over := make([]*bitvec.Vector, s.NumVars()+1)
+	over[s.NumVars()] = bitvec.NewFull(s.Dim())
+	if _, err := s.SolveCtx(context.Background(), Options{Restrict: over}); err == nil ||
+		!strings.Contains(err.Error(), "Restrict") {
+		t.Fatalf("oversized Restrict: err = %v, want descriptive error", err)
+	}
+
+	// Wrong vector length.
+	bad := make([]*bitvec.Vector, s.NumVars())
+	bad[vars["movie"]] = bitvec.NewFull(s.Dim() + 3)
+	if _, err := s.SolveCtx(context.Background(), Options{Restrict: bad}); err == nil ||
+		!strings.Contains(err.Error(), "length") {
+		t.Fatalf("mis-sized Restrict entry: err = %v, want descriptive error", err)
+	}
+
+	// A well-formed restrict (even shorter than NumVars) still works and
+	// tightens the solution.
+	ok := []*bitvec.Vector{bitvec.New(s.Dim())} // empty bound for "place"
+	sol, err := s.SolveCtx(context.Background(), Options{Restrict: ok})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Chi[vars["place"]].IsEmpty() {
+		t.Fatalf("χ(place) = %v, want empty under empty restrict", sol.Chi[vars["place"]])
+	}
+}
+
+// TestDeterministicOrdering: the sparsest-first comparison is a total
+// order (ties broken by inequality index), so repeated solves report
+// identical effort — plans and their ExecStats.Rounds are reproducible
+// run-to-run.
+func TestDeterministicOrdering(t *testing.T) {
+	ref, _ := fig3System()
+	want := ref.Solve(Options{})
+	for i := 0; i < 20; i++ {
+		s, _ := fig3System()
+		sol := s.Solve(Options{})
+		if sol.Stats != want.Stats {
+			t.Fatalf("solve %d effort drifted: %+v vs %+v", i, sol.Stats, want.Stats)
+		}
+	}
+}
+
+// TestSolutionRelease: Release is idempotent, nil-safe, and recycles the
+// χ storage — steady-state Solve+Release performs near-zero allocation.
+func TestSolutionRelease(t *testing.T) {
+	var nilSol *Solution
+	nilSol.Release() // must not panic
+
+	s, vars := fig3System()
+	sol := s.Solve(Options{})
+	if !sol.Chi[vars["movie"]].Equal(bitvec.FromBits(4, 3)) {
+		t.Fatalf("pre-release solution wrong: %v", sol.Chi[vars["movie"]])
+	}
+	sol.Release()
+	sol.Release() // idempotent
+	if sol.Chi != nil {
+		t.Fatal("Chi must be nil after Release")
+	}
+
+	// The next solve reuses the pooled workspace and computes the same
+	// fixpoint.
+	again := s.Solve(Options{})
+	if !again.Chi[vars["movie"]].Equal(bitvec.FromBits(4, 3)) {
+		t.Fatalf("post-release solution wrong: %v", again.Chi[vars["movie"]])
+	}
+	again.Release()
+
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		sol := s.Solve(Options{})
+		sol.Release()
+	})
+	// Steady state allocates only per-solve bookkeeping (the Solution
+	// header, the reorder closure) — not χ rows, scratch or worklists.
+	if allocs > 8 {
+		t.Errorf("Solve+Release steady state: %.1f allocs/op, want <= 8 (workspace not pooled?)", allocs)
 	}
 }
 

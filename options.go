@@ -28,6 +28,9 @@ type settings struct {
 	fingerprint  bool
 	fingerprintK int
 
+	planCache    int // > 0 enables the LRU plan cache with that capacity
+	batchWorkers int // > 0 fixes the ExecBatch pool width
+
 	stages []Stage // non-nil overrides the default pipeline composition
 }
 
@@ -132,6 +135,34 @@ func WithFingerprint(k int) Option {
 	return func(s *settings) error {
 		s.fingerprint = true
 		s.fingerprintK = k
+		return nil
+	}
+}
+
+// WithPlanCache equips the session with an LRU cache of up to n prepared
+// plans, keyed by whitespace-normalized query text. DB.Query (and
+// ExecBatch requests given as text) consult it: a hit skips parsing, SOI
+// lowering and fingerprint lifting and executes the cached PreparedQuery
+// directly; a miss plans once and caches. n = 0 (the default) disables
+// the cache. Inspect traffic with DB.CacheStats.
+func WithPlanCache(n int) Option {
+	return func(s *settings) error {
+		if n < 0 {
+			return fmt.Errorf("dualsim: negative plan cache capacity %d", n)
+		}
+		s.planCache = n
+		return nil
+	}
+}
+
+// WithBatchWorkers fixes the width of the session's ExecBatch worker
+// pool (default GOMAXPROCS). Per call, BatchWorkers overrides it.
+func WithBatchWorkers(n int) Option {
+	return func(s *settings) error {
+		if n < 0 {
+			return fmt.Errorf("dualsim: negative batch worker count %d", n)
+		}
+		s.batchWorkers = n
 		return nil
 	}
 }

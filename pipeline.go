@@ -33,6 +33,17 @@ type execState struct {
 	stats    *ExecStats
 }
 
+// releaseRelation returns the solved relation's χ storage to the plan's
+// per-system solver pools once an execution is over. No stage output
+// retains the vectors: the pruned store is materialized by PruneStage and
+// ExecStats carries scalars only.
+func (x *execState) releaseRelation() {
+	if x.rel != nil {
+		x.rel.Release()
+		x.rel = nil
+	}
+}
+
 // FingerprintStage returns the pre-filter stage: it installs the
 // summary-lifted candidate bounds computed at Prepare time, tightening
 // the starting point of the downstream solve. The stage reports itself
@@ -137,6 +148,10 @@ type ExecStats struct {
 	// Unsatisfiable reports that the solve proved the query empty (every
 	// UNION branch has an empty mandatory variable, Theorem 1).
 	Unsatisfiable bool
+	// CacheHit reports that the execution reused a plan from the
+	// session's plan cache (set by Query and ExecBatch; always false for
+	// Prepare/Exec, which bypass the cache).
+	CacheHit bool
 	// Duration is the end-to-end execution time.
 	Duration time.Duration
 }

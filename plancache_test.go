@@ -1,0 +1,72 @@
+package dualsim
+
+import "testing"
+
+// TestNormalizeQuery: the cache key collapses only whitespace the lexer
+// ignores — quoted literals and IRIs keep theirs, comments drop but
+// still separate tokens. Two texts share a key iff they lex identically.
+func TestNormalizeQuery(t *testing.T) {
+	same := [][2]string{
+		{"SELECT * WHERE { ?a <p> ?b . }", "  SELECT\n*\tWHERE  {\n?a <p> ?b\n.\n} "},
+		{"SELECT * WHERE { ?a <p> ?b . }", "SELECT * WHERE { # comment\n ?a <p> ?b . }"},
+		{"a b", "a#x\nb"}, // a comment separates tokens like whitespace
+	}
+	for _, c := range same {
+		if normalizeQuery(c[0]) != normalizeQuery(c[1]) {
+			t.Errorf("keys differ:\n  %q -> %q\n  %q -> %q", c[0], normalizeQuery(c[0]), c[1], normalizeQuery(c[1]))
+		}
+	}
+	distinct := [][2]string{
+		// Whitespace inside a literal is significant.
+		{`{ ?x <name> "a b" . }`, `{ ?x <name> "a  b" . }`},
+		{`{ ?x <name> "a b" . }`, `{ ?x <name> 'a  b' . }`},
+		// An escaped quote does not close the literal.
+		{`{ ?x <name> "a\" b" . }`, `{ ?x <name> "a\"  b" . }`},
+		// '#' inside an IRI is not a comment; IRI whitespace is kept.
+		{`{ ?x <http://e/p#a> ?y . }`, `{ ?x <http://e/p#b> ?y . }`},
+		{`{ ?x <p a> ?y . }`, `{ ?x <p  a> ?y . }`},
+		// A commented-out pattern is not an active one.
+		{"{ ?a <p> ?b . ?c <q> ?d . }", "{ ?a <p> ?b . # ?c <q> ?d .\n}"},
+	}
+	for _, c := range distinct {
+		if normalizeQuery(c[0]) == normalizeQuery(c[1]) {
+			t.Errorf("distinct queries collide on key %q:\n  %q\n  %q", normalizeQuery(c[0]), c[0], c[1])
+		}
+	}
+	// Unterminated trailing regions must not panic or loop.
+	for _, src := range []string{`{ "unterminated`, `{ <unterminated`, `x \`, "#only a comment", ""} {
+		_ = normalizeQuery(src)
+	}
+}
+
+// TestQueryLiteralWhitespaceDistinct: end-to-end guard for the key rule —
+// two queries differing only inside a string literal must not share a
+// cached plan.
+func TestQueryLiteralWhitespaceDistinct(t *testing.T) {
+	st, err := FromTriples([]Triple{
+		TL("s1", "name", "a b"),
+		TL("s2", "name", "a  b"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(st, WithPlanCache(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	r1, _, err := db.Query(nil, `SELECT * WHERE { ?x <name> "a b" . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, stats, err := db.Query(nil, `SELECT * WHERE { ?x <name> "a  b" . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheHit {
+		t.Fatal("literal-differing query served from the cache")
+	}
+	if r1.Len() != 1 || r2.Len() != 1 || r1.Equal(r2) {
+		t.Fatalf("results wrong: %v / %v", r1.Rows, r2.Rows)
+	}
+}

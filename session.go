@@ -27,10 +27,11 @@ var ErrClosed = errors.New("dualsim: session is closed")
 // then runs only the per-execution pipeline (solve, prune, evaluate)
 // and honours its context.
 type DB struct {
-	st  *Store
-	set settings
-	eng engine.Engine
-	fp  *Fingerprint // non-nil iff WithFingerprint was given
+	st    *Store
+	set   settings
+	eng   engine.Engine
+	fp    *Fingerprint // non-nil iff WithFingerprint was given
+	cache *planCache   // non-nil iff WithPlanCache was given
 
 	prepMu     sync.Mutex   // serializes planning (lazy matrix builds)
 	planBuilds atomic.Int64 // number of query plans built on this session
@@ -51,6 +52,9 @@ func Open(st *Store, opts ...Option) (*DB, error) {
 		}
 	}
 	db := &DB{st: st, set: set, eng: set.engine.engine()}
+	if set.planCache > 0 {
+		db.cache = newPlanCache(set.planCache)
+	}
 	// The summary refinement is expensive; build it only when some
 	// pipeline can consume it — the default pruning pipeline, or an
 	// explicit stage list naming the fingerprint stage.
@@ -241,6 +245,10 @@ func (pq *PreparedQuery) Exec(ctx context.Context) (*Result, *ExecStats, error) 
 		TriplesAfter:  pq.db.st.NumTriples(),
 	}
 	x := &execState{pq: pq, stats: stats}
+	// The solved relation's χ rows live in the plan's solver pool; once
+	// the pipeline is done with them (the pruned store is materialized,
+	// only scalar stats escape) they are recycled for the next Exec.
+	defer x.releaseRelation()
 	start := time.Now()
 	for _, stage := range pq.stages {
 		if err := ctx.Err(); err != nil {
@@ -260,13 +268,72 @@ func (pq *PreparedQuery) Exec(ctx context.Context) (*Result, *ExecStats, error) 
 }
 
 // Exec is the one-shot convenience: Prepare + Exec. Prefer Prepare for
-// repeated queries — it performs the planning work exactly once.
+// repeated queries — it performs the planning work exactly once — or
+// Query, which reuses plans through the session's cache.
 func (db *DB) Exec(ctx context.Context, src string) (*Result, *ExecStats, error) {
 	pq, err := db.Prepare(src)
 	if err != nil {
 		return nil, nil, err
 	}
 	return pq.Exec(ctx)
+}
+
+// Query is the one-shot serving entry point: it resolves src through the
+// session's plan cache (WithPlanCache) and executes the pipeline. A
+// cache hit skips parse, SOI lowering and fingerprint lifting entirely
+// and is reported in ExecStats.CacheHit; a miss plans once and caches the
+// prepared query for subsequent calls with the same (whitespace-
+// normalized) text. Without a configured cache, Query degrades to Exec.
+// Safe for concurrent use; concurrent misses of one text build its plan
+// once.
+func (db *DB) Query(ctx context.Context, src string) (*Result, *ExecStats, error) {
+	pq, hit, err := db.prepareCached(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, stats, err := pq.Exec(ctx)
+	if stats != nil {
+		stats.CacheHit = hit
+	}
+	return res, stats, err
+}
+
+// prepareCached resolves query text to a prepared query through the plan
+// cache, reporting whether it was a hit. Cache misses for the same key
+// are single-flighted: the plan is built once, concurrent callers block
+// on buildMu and pick up the freshly inserted entry.
+func (db *DB) prepareCached(src string) (*PreparedQuery, bool, error) {
+	if db.cache == nil {
+		pq, err := db.Prepare(src)
+		return pq, false, err
+	}
+	key := normalizeQuery(src)
+	if pq := db.cache.lookup(key, true); pq != nil {
+		return pq, true, nil
+	}
+	db.cache.buildMu.Lock()
+	defer db.cache.buildMu.Unlock()
+	if pq := db.cache.lookup(key, false); pq != nil {
+		// A concurrent caller built the plan while we waited: the recorded
+		// miss was in fact served from the cache.
+		db.cache.promoteMiss()
+		return pq, true, nil
+	}
+	pq, err := db.Prepare(src)
+	if err != nil {
+		return nil, false, err
+	}
+	db.cache.insert(key, pq)
+	return pq, false, nil
+}
+
+// CacheStats reports the plan cache's size and hit/miss/eviction
+// counters. Sessions opened without WithPlanCache report the zero value.
+func (db *DB) CacheStats() PlanCacheStats {
+	if db.cache == nil {
+		return PlanCacheStats{}
+	}
+	return db.cache.stats()
 }
 
 // DualSimulate computes the largest dual simulation of q over the
