@@ -143,7 +143,11 @@ feed:
 	return out, nil
 }
 
-// execOne resolves and executes a single batch request.
+// execOne resolves and executes a single batch request. Each request
+// resolves the session snapshot exactly once, at planning, so it is
+// answered from a single consistent epoch even when an Apply lands
+// mid-batch (requests of one batch may then span two epochs — each
+// reports its own in ExecStats.Epoch).
 func (db *DB) execOne(ctx context.Context, req BatchRequest) BatchResult {
 	pq, hit := req.Prepared, false
 	if pq == nil {
@@ -151,7 +155,7 @@ func (db *DB) execOne(ctx context.Context, req BatchRequest) BatchResult {
 			return BatchResult{Err: errEmptyRequest}
 		}
 		var err error
-		pq, hit, err = db.prepareCached(req.Src)
+		pq, hit, err = db.prepareCached(db.snap.Load(), req.Src, false)
 		if err != nil {
 			return BatchResult{Err: err}
 		}

@@ -438,3 +438,72 @@ func BenchmarkQueryParse(b *testing.B) {
 		}
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Live-update layer: delta overlay + epoch snapshots.
+
+// BenchmarkApply measures a small steady-state Apply (one add + one
+// delete on a dedicated predicate): ledger staging, per-predicate
+// incremental re-index, snapshot swap and cache invalidation.
+func BenchmarkApply(b *testing.B) {
+	spec, err := queries.ByID("L0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	db, err := dualsim.Open(storeFor(b, spec), dualsim.WithPlanCache(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := db.Apply(ctx, dualsim.Delta{
+		Adds: []dualsim.Triple{dualsim.T("upd:s0", "upd:edge", "upd:o0")},
+	}); err != nil {
+		b.Fatal(err) // intern the update predicate outside the timed loop
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := db.Apply(ctx, dualsim.Delta{
+			Adds: []dualsim.Triple{dualsim.T(fmt.Sprintf("upd:s%d", i+1), "upd:edge", fmt.Sprintf("upd:o%d", i+1))},
+			Dels: []dualsim.Triple{dualsim.T(fmt.Sprintf("upd:s%d", i), "upd:edge", fmt.Sprintf("upd:o%d", i))},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryAfterApply measures the post-update serving cost: every
+// iteration applies a delta and then queries, so each Query is an
+// epoch-keyed cache miss that re-plans against the new snapshot —
+// contrast with the cache-hit path of BenchmarkQueryCached.
+func BenchmarkQueryAfterApply(b *testing.B) {
+	spec, err := queries.ByID("L0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	db, err := dualsim.Open(storeFor(b, spec), dualsim.WithPlanCache(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, _, err := db.Query(ctx, spec.Text); err != nil {
+		b.Fatal(err) // warm matrices and pools outside the timed loop
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Apply(ctx, dualsim.Delta{
+			Adds: []dualsim.Triple{dualsim.T(fmt.Sprintf("upd:s%d", i), "upd:edge", fmt.Sprintf("upd:o%d", i))},
+		}); err != nil {
+			b.Fatal(err)
+		}
+		_, stats, err := db.Query(ctx, spec.Text)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.CacheHit {
+			b.Fatal("post-update query served a stale plan")
+		}
+	}
+}

@@ -6,36 +6,68 @@
 //	benchtables -table 4          # hash-join engine, full vs. pruned
 //	benchtables -table 5          # index-nested-loop engine
 //	benchtables -table iters      # SOI convergence shapes (§5.3)
+//	benchtables -table updates    # live-update layer (apply / re-query / compact)
 //	benchtables -table all
 //
 // Scale knobs: -universities (LUBM-like), -kgscale (DBpedia-like), -seed,
-// -repeats (timing repetitions, minimum is reported).
+// -repeats (timing repetitions, minimum is reported). -json FILE
+// additionally dumps every computed table as a JSON report (durations in
+// nanoseconds) — the machine-readable artifact CI archives per PR.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"dualsim/internal/bench"
 	"dualsim/internal/engine"
 )
 
 func main() {
-	table := flag.String("table", "all", "table to regenerate: 2, 3, 4, 5, iters, orders, throughput, all")
+	table := flag.String("table", "all", "comma-separated tables to regenerate: 2, 3, 4, 5, iters, orders, throughput, updates, all")
 	universities := flag.Int("universities", 3, "LUBM-like scale (number of universities)")
 	kgScale := flag.Int("kgscale", 1, "DBpedia-like scale factor")
 	seed := flag.Int64("seed", 42, "generator seed")
 	repeats := flag.Int("repeats", 3, "timing repetitions (minimum reported)")
+	jsonPath := flag.String("json", "", "write the computed tables as a JSON report to this file")
 	flag.Parse()
 
-	if err := run(*table, *universities, *kgScale, *seed, *repeats); err != nil {
+	if err := run(*table, *universities, *kgScale, *seed, *repeats, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "benchtables:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table string, universities, kgScale int, seed int64, repeats int) error {
+// report is the -json artifact: configuration plus every computed table,
+// keyed by table name.
+type report struct {
+	Universities int            `json:"universities"`
+	KGScale      int            `json:"kgscale"`
+	Seed         int64          `json:"seed"`
+	Repeats      int            `json:"repeats"`
+	Tables       map[string]any `json:"tables"`
+}
+
+func run(table string, universities, kgScale int, seed int64, repeats int, jsonPath string) error {
+	// Validate the table list before paying for dataset generation: a
+	// typo must fail loudly, not silently produce a partial report.
+	known := map[string]bool{
+		"all": true, "2": true, "3": true, "4": true, "5": true,
+		"iters": true, "orders": true, "throughput": true, "updates": true,
+	}
+	wanted := make(map[string]bool)
+	for _, t := range strings.Split(table, ",") {
+		name := strings.TrimSpace(t)
+		if !known[name] {
+			return fmt.Errorf("unknown table %q (want 2, 3, 4, 5, iters, orders, throughput, updates or all)", name)
+		}
+		wanted[name] = true
+	}
+	want := func(t string) bool { return wanted["all"] || wanted[t] }
+
 	fmt.Printf("generating datasets (universities=%d, kgscale=%d, seed=%d)…\n",
 		universities, kgScale, seed)
 	d, err := bench.Setup(universities, kgScale, seed)
@@ -45,7 +77,10 @@ func run(table string, universities, kgScale int, seed int64, repeats int) error
 	bench.DatasetSummary(os.Stdout, d)
 	fmt.Println()
 
-	want := func(t string) bool { return table == "all" || table == t }
+	rep := report{
+		Universities: universities, KGScale: kgScale, Seed: seed, Repeats: repeats,
+		Tables: make(map[string]any),
+	}
 
 	if want("2") {
 		fmt.Println("Table 2: dual simulation runtimes, OPTIONAL-stripped B queries (seconds)")
@@ -55,6 +90,7 @@ func run(table string, universities, kgScale int, seed int64, repeats int) error
 		}
 		bench.RenderTable2(os.Stdout, rows)
 		fmt.Println()
+		rep.Tables["table2"] = rows
 	}
 	if want("3") {
 		fmt.Println("Table 3: result sizes, required triples, SPARQLSIM runtime, triples after pruning")
@@ -64,6 +100,7 @@ func run(table string, universities, kgScale int, seed int64, repeats int) error
 		}
 		bench.RenderTable3(os.Stdout, rows)
 		fmt.Println()
+		rep.Tables["table3"] = rows
 	}
 	if want("4") {
 		fmt.Println("Table 4: hash-join engine (in-memory-store stand-in), full vs. pruned (seconds)")
@@ -73,6 +110,7 @@ func run(table string, universities, kgScale int, seed int64, repeats int) error
 		}
 		bench.RenderEngineTable(os.Stdout, rows)
 		fmt.Println()
+		rep.Tables["table4"] = rows
 	}
 	if want("5") {
 		fmt.Println("Table 5: index-nested-loop engine (relational-store stand-in), full vs. pruned (seconds)")
@@ -82,6 +120,7 @@ func run(table string, universities, kgScale int, seed int64, repeats int) error
 		}
 		bench.RenderEngineTable(os.Stdout, rows)
 		fmt.Println()
+		rep.Tables["table5"] = rows
 	}
 	if want("iters") {
 		fmt.Println("SOI convergence shapes (§5.3): rounds per query")
@@ -91,6 +130,7 @@ func run(table string, universities, kgScale int, seed int64, repeats int) error
 		}
 		bench.RenderIterations(os.Stdout, rows)
 		fmt.Println()
+		rep.Tables["iters"] = rows
 	}
 	if want("throughput") {
 		fmt.Println("Throughput: cold vs. cached serving path (plan cache + pooled execution, seconds)")
@@ -100,6 +140,17 @@ func run(table string, universities, kgScale int, seed int64, repeats int) error
 		}
 		bench.RenderThroughput(os.Stdout, rows)
 		fmt.Println()
+		rep.Tables["throughput"] = rows
+	}
+	if want("updates") {
+		fmt.Println("Updates: live-update layer (apply latency, epoch-miss re-query, compaction, seconds)")
+		rows, err := bench.Updates(d, repeats)
+		if err != nil {
+			return err
+		}
+		bench.RenderUpdates(os.Stdout, rows)
+		fmt.Println()
+		rep.Tables["updates"] = rows
 	}
 	if want("orders") {
 		fmt.Println("Order-space search (§5.3 brute-force analysis), 40 random orders")
@@ -109,6 +160,17 @@ func run(table string, universities, kgScale int, seed int64, repeats int) error
 		}
 		bench.RenderOrderSearch(os.Stdout, rows)
 		fmt.Println()
+		rep.Tables["orders"] = rows
+	}
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("JSON report written to %s\n", jsonPath)
 	}
 	return nil
 }

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 // TestRunAllTablesTinyScale executes the full harness on a minimal
 // dataset to guard the cmd wiring end to end.
@@ -8,13 +13,33 @@ func TestRunAllTablesTinyScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	if err := run("all", 1, 1, 7, 1); err != nil {
+	if err := run("all", 1, 1, 7, 1, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSingleTable(t *testing.T) {
-	if err := run("iters", 1, 1, 7, 1); err != nil {
+	if err := run("iters", 1, 1, 7, 1, ""); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunUpdatesTableJSON guards the live-update view and the JSON
+// report CI archives.
+func TestRunUpdatesTableJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := run("updates", 1, 1, 7, 1, path); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if _, ok := rep.Tables["updates"]; !ok {
+		t.Fatalf("report misses the updates table: %v", rep.Tables)
 	}
 }

@@ -8,6 +8,7 @@
 //	dualsim -data db.nt -q '…' -prune -fingerprint 2 -timeout 30s       # full pipeline, bounded
 //	dualsim -data db.nt -q '…' -repeat 100                              # serve repeats via the plan cache
 //	dualsim -data db.nt -query batch.rq -batch                          # batched concurrent execution
+//	dualsim -data db.nt -q '…' -apply new.nt -del gone.nt               # live update: query, apply, re-query
 //
 // Modes:
 //
@@ -21,6 +22,12 @@
 // cache traffic. -batch treats the query input as several queries
 // separated by lines containing only ";" and fans them across the
 // session's batch worker pool.
+//
+// -apply and -del read N-Triples files as a live delta: the query runs
+// once against the loaded store (epoch 0), the delta is applied —
+// deletes before adds, atomically, publishing epoch 1 — and the same
+// query runs again through the plan cache, whose epoch-scoped keys force
+// a re-plan on the new snapshot. Both runs report the epoch served.
 //
 // The command is a thin client of the session API: it opens a DB over
 // the loaded store, prepares the query once and executes the pipeline
@@ -56,6 +63,9 @@ func main() {
 	batch := flag.Bool("batch", false, "treat the query input as ';'-separated queries and execute them concurrently")
 	planCache := flag.Int("plancache", 64, "LRU plan cache capacity for -repeat/-batch (0 disables)")
 	batchWorkers := flag.Int("batchworkers", 0, "batch pool width (0 = GOMAXPROCS)")
+	applyFile := flag.String("apply", "", "N-Triples file of triples to add as a live delta after the first run")
+	delFile := flag.String("del", "", "N-Triples file of triples to delete as a live delta after the first run")
+	compactAt := flag.Int("compactat", 0, "auto-compact the update overlay at this ledger size (0 = manual)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -72,6 +82,7 @@ func main() {
 		prune: *doPrune, fingerprintK: *fingerprintK, workers: *workers,
 		repeat: *repeat, batch: *batch, planCache: *planCache,
 		batchWorkers: *batchWorkers,
+		applyFile: *applyFile, delFile: *delFile, compactAt: *compactAt,
 	}
 	if err := run(ctx, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "dualsim:", err)
@@ -92,6 +103,8 @@ type cliConfig struct {
 	batch                      bool
 	planCache                  int
 	batchWorkers               int
+	applyFile, delFile         string
+	compactAt                  int
 }
 
 func run(ctx context.Context, cfg cliConfig) error {
@@ -109,6 +122,10 @@ func run(ctx context.Context, cfg cliConfig) error {
 	// The batch and repeat paths hand raw text to the session (ExecBatch /
 	// the plan cache parse it there); every other path parses here.
 	repeatServe := cfg.mode == "evaluate" && cfg.repeat > 1
+	liveUpdate := cfg.applyFile != "" || cfg.delFile != ""
+	if liveUpdate && (cfg.batch || repeatServe || cfg.mode != "evaluate") {
+		return fmt.Errorf("-apply/-del run the query-update-requery flow; they require the plain evaluate mode (no -batch, no -repeat)")
+	}
 	var q *dualsim.Query
 	if !cfg.batch && !repeatServe {
 		var err error
@@ -158,6 +175,9 @@ func run(ctx context.Context, cfg cliConfig) error {
 	case "prune":
 		return runPrune(ctx, db, q, cfg.out)
 	case "evaluate":
+		if liveUpdate {
+			return runLiveUpdate(ctx, db, src, cfg)
+		}
 		if repeatServe {
 			return runRepeat(ctx, db, src, cfg.repeat, cfg.limit)
 		}
@@ -165,6 +185,64 @@ func run(ctx context.Context, cfg cliConfig) error {
 	default:
 		return fmt.Errorf("unknown mode %q", cfg.mode)
 	}
+}
+
+// loadTriples reads an optional N-Triples file ("" yields nil).
+func loadTriples(path string) ([]dualsim.Triple, error) {
+	if path == "" {
+		return nil, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dualsim.ReadNTriples(f)
+}
+
+// runLiveUpdate is the read/write walkthrough: query at the loaded
+// epoch, apply the -apply/-del delta, re-query — the epoch-scoped plan
+// cache re-plans on the new snapshot.
+func runLiveUpdate(ctx context.Context, db *dualsim.DB, src string, cfg cliConfig) error {
+	adds, err := loadTriples(cfg.applyFile)
+	if err != nil {
+		return err
+	}
+	dels, err := loadTriples(cfg.delFile)
+	if err != nil {
+		return err
+	}
+
+	res, stats, err := db.Query(ctx, src)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "epoch %d: %d results in %v\n",
+		stats.Epoch, res.Len(), stats.Duration.Round(time.Microsecond))
+	printRows(res, db.Store(), cfg.limit)
+
+	as, err := db.Apply(ctx, dualsim.Delta{Adds: adds, Dels: dels})
+	if err != nil {
+		return err
+	}
+	compacted := ""
+	if as.Compacted {
+		compacted = ", compacted"
+	}
+	fmt.Fprintf(os.Stderr, "applied delta in %v: epoch %d, +%d/−%d triples, overlay %d%s\n",
+		as.Duration.Round(time.Microsecond), as.Epoch, as.Added, as.Deleted, as.OverlaySize, compacted)
+
+	res, stats, err = db.Query(ctx, src)
+	if err != nil {
+		return err
+	}
+	if stats.CacheHit {
+		return fmt.Errorf("post-update query was served a pre-update plan (epoch %d)", stats.Epoch)
+	}
+	fmt.Fprintf(os.Stderr, "epoch %d: %d results in %v (plan re-built for the new epoch)\n",
+		stats.Epoch, res.Len(), stats.Duration.Round(time.Microsecond))
+	printRows(res, db.Store(), cfg.limit)
+	return nil
 }
 
 // openSession maps the flags onto session options.
@@ -192,6 +270,9 @@ func openSession(st *dualsim.Store, cfg cliConfig) (*dualsim.DB, error) {
 	}
 	if cfg.batchWorkers > 0 {
 		opts = append(opts, dualsim.WithBatchWorkers(cfg.batchWorkers))
+	}
+	if cfg.compactAt > 0 {
+		opts = append(opts, dualsim.WithCompactionThreshold(cfg.compactAt))
 	}
 	return dualsim.Open(st, opts...)
 }
@@ -371,8 +452,8 @@ func runEvaluate(ctx context.Context, db *dualsim.DB, q *dualsim.Query, limit in
 		}
 		fmt.Fprintf(os.Stderr, "%-11s %8v  %d -> %d\n", ss.Name, ss.Duration.Round(time.Microsecond), ss.In, ss.Out)
 	}
-	fmt.Fprintf(os.Stderr, "%d results in %v (%s engine)\n",
-		res.Len(), stats.Duration.Round(time.Microsecond), db.EngineName())
+	fmt.Fprintf(os.Stderr, "%d results in %v (%s engine, epoch %d)\n",
+		res.Len(), stats.Duration.Round(time.Microsecond), db.EngineName(), stats.Epoch)
 	printRows(res, db.Store(), limit)
 	return nil
 }

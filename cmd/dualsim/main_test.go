@@ -178,3 +178,44 @@ func TestRunErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestRunLiveUpdate(t *testing.T) {
+	data := fixture(t)
+	writeNT := func(name string, ts []dualsim.Triple) string {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		st, err := dualsim.FromTriples(ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dualsim.DumpNTriples(f, st); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	apply := writeNT("adds.nt", []dualsim.Triple{
+		dualsim.T("J._McTiernan", "directed", "Die_Hard"),
+		dualsim.T("J._McTiernan", "worked_with", "S._de_Souza"),
+	})
+	del := writeNT("dels.nt", []dualsim.Triple{
+		dualsim.T("G._Hamilton", "worked_with", "H._Saltzman"),
+	})
+	if err := do(t, cliConfig{
+		data: data, queryText: queries.QueryX1, mode: "evaluate", engine: "hash",
+		planCache: 8, applyFile: apply, delFile: del,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// -apply with -repeat is rejected.
+	if err := do(t, cliConfig{
+		data: data, queryText: queries.QueryX1, mode: "evaluate", engine: "hash",
+		planCache: 8, repeat: 3, applyFile: apply,
+	}); err == nil {
+		t.Fatal("-apply with -repeat was accepted")
+	}
+}

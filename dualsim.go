@@ -35,7 +35,15 @@
 //     db.ExecBatch(ctx, reqs) fans a slice of queries across a worker
 //     pool with per-request stats. Execution state (the solver's χ rows,
 //     scratch and the parallel-kernel accumulators) is pooled, so the
-//     steady-state hot path performs near-zero solver allocation.
+//     steady-state hot path performs near-zero solver allocation;
+//   - updates: the database is live. db.Apply(ctx, Delta{Adds, Dels})
+//     publishes a new epoch-numbered snapshot (MVCC-lite: in-flight
+//     executions finish on their epoch, plan cache keys carry the epoch,
+//     index maintenance is incremental in the touched predicates and a
+//     fingerprint's partition is advanced around the touched nodes),
+//     db.Snapshot() pins an epoch for repeatable reads, and
+//     WithCompactionThreshold/db.Compact consolidate the update overlay
+//     into a pristine store.
 //
 // A minimal session:
 //
@@ -99,6 +107,12 @@ func LoadNTriples(r io.Reader) (*Store, error) {
 		return nil, err
 	}
 	return storage.FromTriples(ts)
+}
+
+// ReadNTriples reads an N-Triples-style stream into a triple slice —
+// the raw form Delta and AddAll consume.
+func ReadNTriples(r io.Reader) ([]Triple, error) {
+	return rdf.ReadAll(r)
 }
 
 // DumpNTriples writes the store's triples to w.

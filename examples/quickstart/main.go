@@ -133,4 +133,31 @@ func main() {
 	cs := db.CacheStats()
 	fmt.Printf("\nserving (X1) three times: %d plan cache hit(s), %d miss(es), %d plan build(s) total\n",
 		cs.Hits, cs.Misses, db.PlanBuilds())
+
+	// --- Step 6: live updates -------------------------------------------
+	// Apply publishes a new epoch-numbered snapshot; the epoch-scoped
+	// plan cache re-plans, so the same text now returns the new answer,
+	// while a snapshot pinned beforehand keeps reading the old epoch.
+	pinned := db.Snapshot()
+	as, err := db.Apply(ctx, dualsim.Delta{Adds: []dualsim.Triple{
+		dualsim.T("J._McTiernan", "directed", "Die_Hard"),
+		dualsim.T("J._McTiernan", "worked_with", "S._de_Souza"),
+	}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	newRes, newStats, err := db.Query(ctx, queryX1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	oldRes, _, err := pinned.Query(ctx, queryX1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter Apply (+%d triples, epoch %d): (X1) has %d rows at epoch %d, still %d at pinned epoch %d\n",
+		as.Added, as.Epoch, newRes.Len(), newStats.Epoch, oldRes.Len(), pinned.Epoch())
+	if newRes.Len() != 3 || oldRes.Len() != 2 || newStats.CacheHit {
+		fmt.Fprintln(os.Stderr, "live update served inconsistent epochs")
+		os.Exit(1)
+	}
 }

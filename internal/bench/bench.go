@@ -358,6 +358,125 @@ func RenderThroughput(w io.Writer, rows []ThroughputRow) {
 }
 
 // ---------------------------------------------------------------------------
+// Updates: the live-update layer (delta overlay + epoch snapshots)
+
+// UpdateRow reports the read/write serving metrics for one query: the
+// cost of a small Apply, the first Query after it (an epoch-keyed cache
+// miss: re-plan + execute on the new snapshot), the steady-state cached
+// Query between updates, and an on-demand compaction of the final state.
+type UpdateRow struct {
+	Query string
+	// THot is the cached Query with no intervening update (minimum over
+	// repeats) — the baseline the update costs compare against.
+	THot time.Duration
+	// TApply is a two-triple Apply (one add, one delete), minimum over
+	// repeats: ledger staging plus per-predicate incremental re-indexing
+	// plus cache invalidation.
+	TApply time.Duration
+	// TRequery is the first Query after an Apply: the epoch-scoped plan
+	// cache misses and the query re-plans against the new snapshot.
+	TRequery time.Duration
+	// TCompact is the on-demand compaction after all applies.
+	TCompact time.Duration
+	// Applies is the number of updates performed; OverlaySize the ledger
+	// size just before compaction.
+	Applies, OverlaySize int
+}
+
+// Updates measures the live-update path for one query per dataset. The
+// applied triples use a dedicated upd: predicate, so query answers are
+// untouched while the maintenance machinery (dictionary growth,
+// predicate re-index, epoch swap, invalidation) runs at full cost.
+func Updates(d *Datasets, repeats int) ([]UpdateRow, error) {
+	ctx := context.Background()
+	var rows []UpdateRow
+	for _, id := range []string{"L0", "B14"} {
+		spec, err := queries.ByID(id)
+		if err != nil {
+			return nil, err
+		}
+		db, err := dualsim.Open(d.StoreFor(spec), dualsim.WithPlanCache(4))
+		if err != nil {
+			return nil, err
+		}
+		row := UpdateRow{Query: spec.ID}
+		if _, _, err := db.Query(ctx, spec.Text); err != nil {
+			return nil, err
+		}
+		var runErr error
+		row.THot = timeIt(repeats, func() {
+			if _, _, err := db.Query(ctx, spec.Text); err != nil {
+				runErr = err
+			}
+		})
+		seq := 0
+		nextDelta := func() dualsim.Delta {
+			seq++
+			return dualsim.Delta{
+				Adds: []dualsim.Triple{dualsim.T(fmt.Sprintf("upd:s%d", seq), "upd:edge", fmt.Sprintf("upd:o%d", seq))},
+				Dels: []dualsim.Triple{dualsim.T(fmt.Sprintf("upd:s%d", seq-1), "upd:edge", fmt.Sprintf("upd:o%d", seq-1))},
+			}
+		}
+		row.TApply = timeIt(repeats, func() {
+			if _, err := db.Apply(ctx, nextDelta()); err != nil {
+				runErr = err
+			}
+		})
+		// Each repeat applies first (untimed) so the timed Query is a
+		// guaranteed epoch-keyed cache miss; only the re-plan + execute
+		// is measured.
+		requeryReps := repeats
+		if requeryReps < 1 {
+			requeryReps = 1
+		}
+		for r := 0; r < requeryReps; r++ {
+			if _, err := db.Apply(ctx, nextDelta()); err != nil {
+				runErr = err
+				break
+			}
+			start := time.Now()
+			_, stats, err := db.Query(ctx, spec.Text)
+			elapsed := time.Since(start)
+			if err != nil {
+				runErr = err
+				break
+			}
+			if stats.CacheHit {
+				runErr = fmt.Errorf("bench: post-update query hit a stale plan (%s)", spec.ID)
+				break
+			}
+			if r == 0 || elapsed < row.TRequery {
+				row.TRequery = elapsed
+			}
+		}
+		row.Applies = seq
+		row.OverlaySize = db.OverlaySize()
+		start := time.Now()
+		if _, err := db.Compact(ctx); err != nil {
+			return nil, err
+		}
+		row.TCompact = time.Since(start)
+		if runErr != nil {
+			return nil, runErr
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderUpdates formats the update rows.
+func RenderUpdates(w io.Writer, rows []UpdateRow) {
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Query, Millis(r.THot), Millis(r.TApply), Millis(r.TRequery),
+			Millis(r.TCompact), fmt.Sprint(r.Applies), fmt.Sprint(r.OverlaySize),
+		})
+	}
+	WriteTable(w, []string{"Query", "t_hot_cached", "t_apply", "t_requery", "t_compact", "applies", "overlay"}, cells)
+}
+
+// ---------------------------------------------------------------------------
 // Order-space search (§5.3 brute-force analysis)
 
 // OrderRow reports the round-count spread over random inequality orders

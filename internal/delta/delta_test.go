@@ -1,0 +1,191 @@
+package delta
+
+import (
+	"reflect"
+	"testing"
+
+	"dualsim/internal/rdf"
+	"dualsim/internal/storage"
+)
+
+func baseStore(t *testing.T) *storage.Store {
+	t.Helper()
+	st, err := storage.FromTriples([]rdf.Triple{
+		rdf.T("a", "p", "b"),
+		rdf.T("b", "p", "c"),
+		rdf.T("c", "q", "a"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func set(st *storage.Store) map[string]bool {
+	out := make(map[string]bool)
+	for _, t := range st.Triples() {
+		out[t.S.Key()+"|"+t.P+"|"+t.O.Key()] = true
+	}
+	return out
+}
+
+func TestApplyPublishesEpochs(t *testing.T) {
+	o, err := New(baseStore(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, e := o.Current(); e != 0 {
+		t.Fatalf("fresh overlay at epoch %d", e)
+	}
+
+	st1, res, err := o.Apply(Delta{Adds: []rdf.Triple{rdf.T("d", "p", "a")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epoch != 1 || res.Added != 1 || res.Deleted != 0 || res.Compacted {
+		t.Fatalf("unexpected result %+v", res)
+	}
+	if res.OverlaySize != 1 {
+		t.Fatalf("OverlaySize = %d, want 1", res.OverlaySize)
+	}
+	if !set(st1)["i:d|p|i:a"] {
+		t.Fatal("added triple missing from the published snapshot")
+	}
+
+	st2, res, err := o.Apply(Delta{Dels: []rdf.Triple{rdf.T("a", "p", "b")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epoch != 2 || res.Deleted != 1 {
+		t.Fatalf("unexpected result %+v", res)
+	}
+	if set(st2)["i:a|p|i:b"] {
+		t.Fatal("deleted triple survived")
+	}
+	// The epoch-1 snapshot still serves its own state.
+	if !set(st1)["i:a|p|i:b"] {
+		t.Fatal("pinned snapshot lost a triple after a later delete")
+	}
+}
+
+func TestLedgerCancellation(t *testing.T) {
+	o, err := New(baseStore(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stage an add, then delete it: the ledger returns to empty.
+	if _, _, err := o.Apply(Delta{Adds: []rdf.Triple{rdf.T("x", "p", "y")}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := o.Apply(Delta{Dels: []rdf.Triple{rdf.T("x", "p", "y")}}); err != nil {
+		t.Fatal(err)
+	}
+	if s := o.Size(); s != 0 {
+		t.Fatalf("ledger size = %d after add+del cancel, want 0", s)
+	}
+	// Tombstone a base triple, then re-add it: also back to empty.
+	if _, _, err := o.Apply(Delta{Dels: []rdf.Triple{rdf.T("a", "p", "b")}}); err != nil {
+		t.Fatal(err)
+	}
+	if s := o.Size(); s != 1 {
+		t.Fatalf("ledger size = %d after tombstone, want 1", s)
+	}
+	if _, _, err := o.Apply(Delta{Adds: []rdf.Triple{rdf.T("a", "p", "b")}}); err != nil {
+		t.Fatal(err)
+	}
+	if s := o.Size(); s != 0 {
+		t.Fatalf("ledger size = %d after re-add, want 0", s)
+	}
+	cur, _ := o.Current()
+	if !reflect.DeepEqual(set(cur), set(baseStore(t))) {
+		t.Fatal("round-tripped overlay diverges from base")
+	}
+}
+
+func TestAutoCompaction(t *testing.T) {
+	o, err := New(baseStore(t), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, res, err := o.Apply(Delta{Adds: []rdf.Triple{rdf.T("x1", "p", "y1")}}); err != nil || res.Compacted {
+		t.Fatalf("below-threshold apply compacted: %+v err %v", res, err)
+	}
+	cur, res, err := o.Apply(Delta{Adds: []rdf.Triple{rdf.T("x2", "p", "y2")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Compacted || res.OverlaySize != 0 || res.Epoch != 2 {
+		t.Fatalf("threshold apply did not compact: %+v", res)
+	}
+	if o.Compactions() != 1 {
+		t.Fatalf("Compactions = %d, want 1", o.Compactions())
+	}
+	want := map[string]bool{
+		"i:a|p|i:b": true, "i:b|p|i:c": true, "i:c|q|i:a": true,
+		"i:x1|p|i:y1": true, "i:x2|p|i:y2": true,
+	}
+	if !reflect.DeepEqual(set(cur), want) {
+		t.Fatalf("compacted store wrong:\n got %v\nwant %v", set(cur), want)
+	}
+	// The compacted store carries a fresh dictionary: exactly the live
+	// terms, no tombstone garbage.
+	if cur.NumNodes() != 7 {
+		t.Fatalf("compacted NumNodes = %d, want 7", cur.NumNodes())
+	}
+}
+
+func TestExplicitCompactReclaimsDictionary(t *testing.T) {
+	o, err := New(baseStore(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := o.Apply(Delta{
+		Adds: []rdf.Triple{rdf.T("tmp", "p", "tmp2")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := o.Apply(Delta{
+		Dels: []rdf.Triple{rdf.T("tmp", "p", "tmp2")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// tmp and tmp2 stay interned until compaction.
+	before, _ := o.Current()
+	if before.NumNodes() != 5 {
+		t.Fatalf("pre-compaction NumNodes = %d, want 5 (a b c tmp tmp2)", before.NumNodes())
+	}
+	cur, res, err := o.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Compacted || res.Epoch != 3 {
+		t.Fatalf("unexpected compact result %+v", res)
+	}
+	if cur.NumNodes() != 3 {
+		t.Fatalf("post-compaction NumNodes = %d, want 3 (a b c)", cur.NumNodes())
+	}
+}
+
+func TestApplyAtomicOnError(t *testing.T) {
+	o, err := New(baseStore(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := Delta{Adds: []rdf.Triple{
+		rdf.T("ok", "p", "fine"),
+		{S: rdf.NewLiteral("nope"), P: "p", O: rdf.NewIRI("x")},
+	}}
+	if _, _, err := o.Apply(bad); err == nil {
+		t.Fatal("Apply accepted an invalid delta")
+	}
+	if e := o.Epoch(); e != 0 {
+		t.Fatalf("failed Apply advanced the epoch to %d", e)
+	}
+	if s := o.Size(); s != 0 {
+		t.Fatalf("failed Apply staged %d ledger entries", s)
+	}
+	cur, _ := o.Current()
+	if cur.NumNodes() != 3 {
+		t.Fatalf("failed Apply grew the dictionary to %d terms", cur.NumNodes())
+	}
+}

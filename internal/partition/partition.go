@@ -65,6 +65,44 @@ func Refine(st *storage.Store, k int) *Partition {
 	return p
 }
 
+// Advance maintains a partition across a store patch instead of
+// re-refining from scratch: prev was computed for an earlier snapshot of
+// the same dictionary lineage (node ids stable, universe only grown),
+// and touched lists the nodes an effective add or delete involved.
+//
+// The update splits every touched node — and every node the patch newly
+// interned — into a singleton block, and leaves all other assignments
+// alone. The result is no longer a bisimulation partition, but summary-
+// based pruning stays sound for ANY partition of the nodes: the quotient
+// map is a graph homomorphism that is surjective on edges, so the image
+// of the largest dual simulation on the store is a dual simulation on
+// the summary, and lifting the summary solution back over-approximates
+// the exact candidate sets. Precision decays only around the delta;
+// periodic compaction (which forces a fresh Refine) restores it.
+//
+// Advance must NOT be used across a compaction — node ids change there.
+func Advance(st *storage.Store, prev *Partition, touched []storage.NodeID) *Partition {
+	n := st.NumNodes()
+	p := &Partition{Block: make([]int, n), Blocks: prev.Blocks, Rounds: prev.Rounds}
+	copy(p.Block, prev.Block)
+	split := func(v int) {
+		p.Block[v] = p.Blocks
+		p.Blocks++
+	}
+	// Nodes beyond the previous universe are new; each becomes its own
+	// block (this also keeps the object/literal universes separate
+	// without consulting term kinds).
+	for v := len(prev.Block); v < n; v++ {
+		split(v)
+	}
+	for _, v := range touched {
+		if int(v) < len(prev.Block) {
+			split(int(v))
+		}
+	}
+	return p
+}
+
 func refineOnce(st *storage.Store, block []int) ([]int, int) {
 	n := len(block)
 	sigs := make([]string, n)

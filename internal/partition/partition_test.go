@@ -191,3 +191,59 @@ func randomPattern(r *rand.Rand) *core.Pattern {
 	}
 	return p
 }
+
+// TestPropertyAdvanceSoundAfterPatch is the live-update soundness claim:
+// after a store patch, the incrementally advanced partition (touched and
+// new nodes split into singleton blocks, everything else untouched)
+// still yields a summary whose lifted candidates contain the exact dual
+// simulation on the patched store.
+func TestPropertyAdvanceSoundAfterPatch(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		st := randomStore(r)
+		part := Refine(st, -1)
+
+		var adds, dels []rdf.Triple
+		for i := 0; i < r.Intn(4)+1; i++ {
+			adds = append(adds, rdf.T(
+				fmt.Sprintf("n%d", r.Intn(14)),
+				fmt.Sprintf("p%d", r.Intn(2)),
+				fmt.Sprintf("n%d", r.Intn(14))))
+		}
+		for _, old := range st.Triples() {
+			if r.Intn(3) == 0 {
+				dels = append(dels, old)
+			}
+		}
+		next, ps, err := st.Patch(adds, dels)
+		if err != nil {
+			return false
+		}
+
+		adv := Advance(next, part, ps.TouchedNodes)
+		if len(adv.Block) != next.NumNodes() {
+			t.Logf("seed %d: advanced partition covers %d of %d nodes", seed, len(adv.Block), next.NumNodes())
+			return false
+		}
+		sum, err := Fingerprint(next, adv)
+		if err != nil {
+			t.Logf("seed %d: fingerprint on advanced partition: %v", seed, err)
+			return false
+		}
+		pat := randomPattern(r)
+		lifted := sum.LiftedCandidates(next, pat)
+		exact := core.DualSimulation(next, pat, core.Config{}).Sets()
+		for i := range exact {
+			for n := range exact[i] {
+				if !lifted[i][n] {
+					t.Logf("seed %d: node %d var %d in exact but not lifted after patch", seed, n, i)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -38,13 +38,87 @@ type predIndex struct {
 	distinctO int
 }
 
-// Store is an immutable-after-Build triple store. The zero value is not
-// usable; call New.
-type Store struct {
+// dict is the shared, append-only term and predicate dictionary of a
+// store lineage. Snapshots derived from one another (Build, Restrict,
+// Patch) all point at the same dict, so a node or predicate id decodes
+// to the same term in every snapshot; each snapshot additionally records
+// how much of the dictionary it can see, so terms interned by a later
+// patch are invisible to (and unreachable from) earlier snapshots.
+//
+// Interning takes the write lock; lookups take the read lock. Slice
+// elements, once appended, are never mutated, so snapshots may keep
+// lock-free prefix views of terms and preds.
+type dict struct {
+	mu     sync.RWMutex
 	terms  []rdf.Term
 	termID map[string]NodeID
 	preds  []string
 	predID map[string]PredID
+}
+
+func newDict() *dict {
+	return &dict{
+		termID: make(map[string]NodeID),
+		predID: make(map[string]PredID),
+	}
+}
+
+func (d *dict) internTerm(t rdf.Term) NodeID {
+	key := t.Key()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok := d.termID[key]; ok {
+		return id
+	}
+	id := NodeID(len(d.terms))
+	d.terms = append(d.terms, t)
+	d.termID[key] = id
+	return id
+}
+
+func (d *dict) internPred(p string) PredID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok := d.predID[p]; ok {
+		return id
+	}
+	id := PredID(len(d.preds))
+	d.preds = append(d.preds, p)
+	d.predID[p] = id
+	return id
+}
+
+func (d *dict) lookupTerm(key string) (NodeID, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	id, ok := d.termID[key]
+	return id, ok
+}
+
+func (d *dict) lookupPred(p string) (PredID, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	id, ok := d.predID[p]
+	return id, ok
+}
+
+// views returns prefix snapshots of the term and predicate tables. The
+// returned slice headers are stable: later appends may grow the shared
+// backing array beyond their length but never touch the prefix.
+func (d *dict) views() ([]rdf.Term, []string) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.terms, d.preds
+}
+
+// Store is an immutable-after-Build triple store snapshot. The zero
+// value is not usable; call New. Snapshots derived via Restrict or Patch
+// share the receiver's dictionary (see dict); the snapshot itself never
+// changes after Build, so concurrent readers need no locking.
+type Store struct {
+	d     *dict
+	terms []rdf.Term // prefix view of d.terms visible to this snapshot
+	preds []string   // prefix view of d.preds visible to this snapshot
 
 	byPred []predIndex
 	nTrip  int
@@ -63,12 +137,11 @@ type tripleIDs struct {
 	o NodeID
 }
 
-// New returns an empty store.
+// New returns an empty store with a fresh dictionary.
 func New() *Store {
 	return &Store{
-		termID: make(map[string]NodeID),
-		predID: make(map[string]PredID),
-		mats:   make(map[PredID]bitmat.Pair),
+		d:    newDict(),
+		mats: make(map[PredID]bitmat.Pair),
 	}
 }
 
@@ -80,43 +153,40 @@ func (st *Store) Add(t rdf.Triple) error {
 	if err := t.Validate(); err != nil {
 		return err
 	}
-	st.staged = append(st.staged, tripleIDs{
-		s: st.internTerm(t.S),
-		p: st.internPred(t.P),
-		o: st.internTerm(t.O),
-	})
+	st.stage(t)
+	st.terms, st.preds = st.d.views()
 	return nil
 }
 
-// AddAll stages a batch of triples.
+// AddAll stages a batch of triples, atomically: the whole batch is
+// validated up front, and on error nothing is staged and no term of the
+// batch is interned — the store is exactly as it was before the call.
 func (st *Store) AddAll(ts []rdf.Triple) error {
-	for _, t := range ts {
-		if err := st.Add(t); err != nil {
-			return err
+	if st.built {
+		return fmt.Errorf("storage: Add after Build")
+	}
+	for i, t := range ts {
+		if err := t.Validate(); err != nil {
+			return fmt.Errorf("storage: triple %d of %d: %w", i, len(ts), err)
 		}
 	}
+	for _, t := range ts {
+		st.stage(t)
+	}
+	st.terms, st.preds = st.d.views()
 	return nil
 }
 
-func (st *Store) internTerm(t rdf.Term) NodeID {
-	key := t.Key()
-	if id, ok := st.termID[key]; ok {
-		return id
-	}
-	id := NodeID(len(st.terms))
-	st.terms = append(st.terms, t)
-	st.termID[key] = id
-	return id
-}
-
-func (st *Store) internPred(p string) PredID {
-	if id, ok := st.predID[p]; ok {
-		return id
-	}
-	id := PredID(len(st.preds))
-	st.preds = append(st.preds, p)
-	st.predID[p] = id
-	return id
+// stage interns a validated triple and appends it to the staging area.
+// Callers refresh the snapshot's dictionary views once per batch, not
+// per triple (staging is single-owner: the dict cannot be shared before
+// Build, so the views only serve the store's own pre-Build accessors).
+func (st *Store) stage(t rdf.Triple) {
+	st.staged = append(st.staged, tripleIDs{
+		s: st.d.internTerm(t.S),
+		p: st.d.internPred(t.P),
+		o: st.d.internTerm(t.O),
+	})
 }
 
 // Build finalizes the store: triples are deduplicated, both index orders
@@ -125,6 +195,7 @@ func (st *Store) Build() {
 	if st.built {
 		return
 	}
+	st.terms, st.preds = st.d.views()
 	st.byPred = make([]predIndex, len(st.preds))
 	perPred := make([][]pair, len(st.preds))
 	for _, t := range st.staged {
@@ -201,19 +272,28 @@ func (st *Store) NumPreds() int { return len(st.preds) }
 // Term decodes a node id.
 func (st *Store) Term(id NodeID) rdf.Term { return st.terms[id] }
 
-// TermID looks up a term.
+// TermID looks up a term. Terms interned into the shared dictionary
+// after this snapshot was taken (by a Patch on a derived store) are
+// reported as absent — they cannot occur in this snapshot's triples.
 func (st *Store) TermID(t rdf.Term) (NodeID, bool) {
-	id, ok := st.termID[t.Key()]
-	return id, ok
+	id, ok := st.d.lookupTerm(t.Key())
+	if !ok || int(id) >= len(st.terms) {
+		return 0, false
+	}
+	return id, true
 }
 
 // Pred decodes a predicate id.
 func (st *Store) Pred(id PredID) string { return st.preds[id] }
 
-// PredIDOf looks up a predicate by IRI.
+// PredIDOf looks up a predicate by IRI. Like TermID, predicates interned
+// after this snapshot was taken are reported as absent.
 func (st *Store) PredIDOf(p string) (PredID, bool) {
-	id, ok := st.predID[p]
-	return id, ok
+	id, ok := st.d.lookupPred(p)
+	if !ok || int(id) >= len(st.preds) {
+		return 0, false
+	}
+	return id, true
 }
 
 // PredCount returns the number of p-triples.
@@ -336,11 +416,10 @@ func (st *Store) Matrices(p PredID) bitmat.Pair {
 func (st *Store) Restrict(keep func(s NodeID, p PredID, o NodeID) bool) *Store {
 	st.mustBeBuilt()
 	out := &Store{
-		terms:  st.terms,
-		termID: st.termID,
-		preds:  st.preds,
-		predID: st.predID,
-		mats:   make(map[PredID]bitmat.Pair),
+		d:     st.d,
+		terms: st.terms,
+		preds: st.preds,
+		mats:  make(map[PredID]bitmat.Pair),
 	}
 	out.byPred = make([]predIndex, len(st.preds))
 	for p := range st.byPred {
@@ -396,11 +475,10 @@ func (st *Store) FindPair(p PredID, s, o NodeID) int {
 func (st *Store) RestrictByMask(masks []*bitvec.Vector) *Store {
 	st.mustBeBuilt()
 	out := &Store{
-		terms:  st.terms,
-		termID: st.termID,
-		preds:  st.preds,
-		predID: st.predID,
-		mats:   make(map[PredID]bitmat.Pair),
+		d:     st.d,
+		terms: st.terms,
+		preds: st.preds,
+		mats:  make(map[PredID]bitmat.Pair),
 	}
 	out.byPred = make([]predIndex, len(st.preds))
 	for p := range st.byPred {

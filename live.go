@@ -1,0 +1,246 @@
+package dualsim
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"dualsim/internal/delta"
+	"dualsim/internal/partition"
+	"dualsim/internal/storage"
+)
+
+// This file is the session surface of the live-update subsystem
+// (internal/delta): Apply mutates the database by publishing a new
+// epoch-numbered snapshot, Snapshot pins the current epoch for
+// repeatable reads, Compact consolidates the overlay on demand.
+//
+// Consistency model (MVCC-lite, single writer): snapshots are immutable
+// and swapped atomically. Every request — Exec, Query, each ExecBatch
+// request — resolves a snapshot exactly once, at planning, and answers
+// entirely from it; ExecStats.Epoch reports which. Applies are
+// serialized; readers are never blocked and never observe a half-applied
+// delta.
+
+// Delta is one batch of mutations for Apply. Dels are applied before
+// Adds: a triple occurring in both ends up present. Deleting an absent
+// triple and re-adding a present one are no-ops.
+type Delta struct {
+	Adds, Dels []Triple
+}
+
+// ApplyStats reports one Apply or Compact.
+type ApplyStats struct {
+	// Epoch is the epoch of the newly published snapshot.
+	Epoch uint64
+	// Added and Deleted count the effective triple changes, after no-op
+	// elimination.
+	Added, Deleted int
+	// OverlaySize is the overlay ledger size after the operation —
+	// staged adds plus tombstoned deletes relative to the last
+	// compacted base. Reaching WithCompactionThreshold resets it to 0.
+	OverlaySize int
+	// Compacted reports that the store was rebuilt from scratch (the
+	// threshold was crossed, or Compact was called).
+	Compacted bool
+	// TouchedPreds counts predicate indexes rebuilt incrementally and
+	// NewTerms the dictionary growth (both 0 when Compacted).
+	TouchedPreds, NewTerms int
+	// FingerprintRebuilt reports that the session's fingerprint summary
+	// was maintained across the update: the partition is advanced
+	// incrementally around the touched nodes (re-refined in full only
+	// after a compaction), but condensing it back into a summary graph
+	// re-scans the store — an O(|E_DB|) write amplification per Apply on
+	// fingerprinted sessions.
+	FingerprintRebuilt bool
+	// Duration is the end-to-end apply time, including index and
+	// fingerprint maintenance and cache invalidation.
+	Duration time.Duration
+}
+
+// Apply mutates the database: deletes d.Dels, then adds d.Adds, and
+// publishes the result as the next epoch's snapshot. The call is atomic
+// — an invalid triple fails the whole delta with nothing changed — and
+// serialized with other Apply/Compact calls; readers are never blocked.
+//
+// In-flight executions and PreparedQuery/Snapshot handles keep answering
+// from the epoch they pinned; new Exec/Query/ExecBatch calls see the new
+// snapshot. Plans of superseded epochs are dropped from the plan cache
+// (they could never be served anyway — cache keys carry the epoch).
+// Index maintenance is incremental: only predicates the delta touches
+// are re-indexed, and a session fingerprint is advanced around the
+// touched nodes rather than re-refined — until the overlay crosses
+// WithCompactionThreshold, when the whole store is consolidated.
+func (db *DB) Apply(ctx context.Context, d Delta) (ApplyStats, error) {
+	if db.closed.Load() {
+		return ApplyStats{}, ErrClosed
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return ApplyStats{}, err
+	}
+	start := time.Now()
+	db.applyMu.Lock()
+	defer db.applyMu.Unlock()
+
+	st, res, err := db.overlay.Apply(delta.Delta{Adds: d.Adds, Dels: d.Dels})
+	stats := ApplyStats{
+		Epoch:        res.Epoch,
+		Added:        res.Added,
+		Deleted:      res.Deleted,
+		OverlaySize:  res.OverlaySize,
+		Compacted:    res.Compacted,
+		TouchedPreds: res.Patch.TouchedPreds,
+		NewTerms:     res.Patch.NewTerms,
+	}
+	if err != nil {
+		return stats, err
+	}
+	err = db.publish(st, res, &stats)
+	stats.Duration = time.Since(start)
+	return stats, err
+}
+
+// Compact consolidates the live store on demand: the current snapshot is
+// rebuilt into a pristine store (fresh dictionary, reclaiming the space
+// of tombstoned triples and dead terms), the overlay ledger resets, and
+// the result is published as the next epoch. See
+// WithCompactionThreshold for the automatic variant.
+func (db *DB) Compact(ctx context.Context) (ApplyStats, error) {
+	if db.closed.Load() {
+		return ApplyStats{}, ErrClosed
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return ApplyStats{}, err
+	}
+	start := time.Now()
+	db.applyMu.Lock()
+	defer db.applyMu.Unlock()
+
+	st, res, err := db.overlay.Compact()
+	stats := ApplyStats{Epoch: res.Epoch, Compacted: true}
+	if err != nil {
+		return stats, err
+	}
+	err = db.publish(st, res, &stats)
+	stats.Duration = time.Since(start)
+	return stats, err
+}
+
+// publish maintains the fingerprint across the update, swaps in the new
+// snapshot and invalidates superseded plans. Called with applyMu held.
+func (db *DB) publish(st *storage.Store, res delta.Result, stats *ApplyStats) error {
+	snap := &dbSnapshot{st: st, epoch: res.Epoch}
+	var fpErr error
+	if db.wantFP {
+		snap.fp, fpErr = db.maintainFingerprint(st, res)
+		stats.FingerprintRebuilt = snap.fp != nil
+	}
+	db.snap.Store(snap)
+	if db.cache != nil {
+		db.cache.dropStaleEpochs(res.Epoch)
+	}
+	if fpErr != nil {
+		// The snapshot is live and correct — the fingerprint is purely an
+		// optimization — but the session degraded; surface it.
+		return fmt.Errorf("dualsim: fingerprint maintenance: %w (snapshot %d published without pre-filter)", fpErr, res.Epoch)
+	}
+	return nil
+}
+
+// maintainFingerprint carries the session fingerprint across an update.
+// Small incremental patches advance the previous epoch's partition
+// around the touched nodes (sound for any partition — see
+// partition.Advance), skipping the k refinement rounds; a compaction
+// renumbers every node, so the partition is re-refined from scratch
+// there, restoring full precision. Condensing the partition into the
+// summary graph is not incremental: partition.Fingerprint re-scans the
+// store, so fingerprinted sessions pay O(|E_DB|) per Apply.
+func (db *DB) maintainFingerprint(st *storage.Store, res delta.Result) (*Fingerprint, error) {
+	if res.Compacted || db.fpPart == nil {
+		fp, err := BuildFingerprint(st, db.set.fingerprintK)
+		if err != nil {
+			return nil, err
+		}
+		db.fpPart = fp.sum.Part
+		return fp, nil
+	}
+	part := partition.Advance(st, db.fpPart, res.Patch.TouchedNodes)
+	sum, err := partition.Fingerprint(st, part)
+	if err != nil {
+		return nil, err
+	}
+	db.fpPart = part
+	return &Fingerprint{sum: sum, st: st}, nil
+}
+
+// OverlaySize returns the live-update ledger size: staged adds plus
+// tombstoned deletes relative to the last compacted base.
+func (db *DB) OverlaySize() int { return db.overlay.Size() }
+
+// Compactions returns how many times the session's store has been
+// compacted (automatically or via Compact).
+func (db *DB) Compactions() int { return db.overlay.Compactions() }
+
+// Snapshot pins the session's current epoch for repeatable reads: every
+// query through the returned handle answers from exactly this snapshot,
+// regardless of later Apply calls. Snapshots are cheap (a pointer), safe
+// for concurrent use, and need no release — dropping the handle releases
+// the pin.
+func (db *DB) Snapshot() *Snapshot {
+	return &Snapshot{db: db, snap: db.snap.Load()}
+}
+
+// Snapshot is a read view pinned to one store epoch. It shares the
+// session's configuration, plan cache (keyed by its own epoch) and
+// execution pools.
+type Snapshot struct {
+	db   *DB
+	snap *dbSnapshot
+}
+
+// Epoch returns the pinned epoch.
+func (s *Snapshot) Epoch() uint64 { return s.snap.epoch }
+
+// Store returns the pinned store.
+func (s *Snapshot) Store() *Store { return s.snap.st }
+
+// Prepare plans a query against the pinned snapshot.
+func (s *Snapshot) Prepare(src string) (*PreparedQuery, error) {
+	start := time.Now()
+	q, err := ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	return s.db.prepare(s.snap, q, start)
+}
+
+// Exec is the one-shot pinned execution: Prepare + Exec on the pinned
+// snapshot.
+func (s *Snapshot) Exec(ctx context.Context, src string) (*Result, *ExecStats, error) {
+	pq, err := s.Prepare(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pq.Exec(ctx)
+}
+
+// Query resolves src through the session's plan cache — scoped to the
+// pinned epoch — and executes it on the pinned snapshot. Repeated pinned
+// reads of one text plan once, like live ones.
+func (s *Snapshot) Query(ctx context.Context, src string) (*Result, *ExecStats, error) {
+	pq, hit, err := s.db.prepareCached(s.snap, src, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, stats, err := pq.Exec(ctx)
+	if stats != nil {
+		stats.CacheHit = hit
+	}
+	return res, stats, err
+}

@@ -1,0 +1,546 @@
+package dualsim_test
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"dualsim"
+)
+
+// decodedRows renders a result as sorted decoded binding rows, so
+// results from sessions with different dictionaries (e.g. one compacted,
+// one not) compare by content.
+func decodedRows(st *dualsim.Store, res *dualsim.Result) []string {
+	rows := make([]string, 0, res.Len())
+	for _, row := range res.Rows {
+		parts := make([]string, len(row))
+		for j, v := range row {
+			if v == dualsim.Unbound {
+				parts[j] = "—"
+			} else {
+				parts[j] = st.Term(v).String()
+			}
+		}
+		rows = append(rows, strings.Join(parts, "\t"))
+	}
+	sort.Strings(rows)
+	return rows
+}
+
+// TestApplyInvalidatesCachedQuery is the headline live-update
+// acceptance path: after Apply of a delta that changes a query's
+// answer, a cached Query for the same text returns the new answer
+// (epoch-keyed cache miss), while a Snapshot pinned before the apply
+// still returns the old one.
+func TestApplyInvalidatesCachedQuery(t *testing.T) {
+	ctx := context.Background()
+	st := fig1a(t)
+	db, err := dualsim.Open(st, dualsim.WithPlanCache(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	const q = `SELECT * WHERE { ?d <directed> ?m . ?d <worked_with> ?c . }`
+	res, stats, err := db.Query(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Epoch != 0 {
+		t.Fatalf("fresh session served epoch %d", stats.Epoch)
+	}
+	before := res.Len()
+	if before != 2 {
+		t.Fatalf("baseline X1 results = %d, want 2", before)
+	}
+	if _, stats, err = db.Query(ctx, q); err != nil || !stats.CacheHit {
+		t.Fatalf("warm query not served from cache (err %v)", err)
+	}
+
+	pinned := db.Snapshot()
+	if pinned.Epoch() != 0 {
+		t.Fatalf("pinned epoch = %d, want 0", pinned.Epoch())
+	}
+
+	// A new director with a coworker: one more X1 match.
+	as, err := db.Apply(ctx, dualsim.Delta{Adds: []dualsim.Triple{
+		dualsim.T("J._McTiernan", "directed", "Die_Hard"),
+		dualsim.T("J._McTiernan", "worked_with", "S._de_Souza"),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if as.Epoch != 1 || as.Added != 2 || as.Deleted != 0 || as.Compacted {
+		t.Fatalf("ApplyStats = %+v", as)
+	}
+	if as.OverlaySize != 2 {
+		t.Fatalf("OverlaySize = %d, want 2", as.OverlaySize)
+	}
+	if db.Epoch() != 1 {
+		t.Fatalf("db.Epoch() = %d, want 1", db.Epoch())
+	}
+
+	// Same text, post-update: the epoch-keyed cache must miss, re-plan,
+	// and answer from the new snapshot.
+	res, stats, err = db.Query(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheHit {
+		t.Fatal("post-update query served a pre-update plan")
+	}
+	if stats.Epoch != 1 {
+		t.Fatalf("post-update query served epoch %d, want 1", stats.Epoch)
+	}
+	if res.Len() != before+1 {
+		t.Fatalf("post-update results = %d, want %d", res.Len(), before+1)
+	}
+
+	// The pinned snapshot keeps answering from epoch 0.
+	oldRes, oldStats, err := pinned.Query(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldStats.Epoch != 0 {
+		t.Fatalf("pinned query served epoch %d, want 0", oldStats.Epoch)
+	}
+	if oldRes.Len() != before {
+		t.Fatalf("pinned results = %d, want %d", oldRes.Len(), before)
+	}
+
+	// Deleting the new edges restores the old answer at epoch 2.
+	as, err = db.Apply(ctx, dualsim.Delta{Dels: []dualsim.Triple{
+		dualsim.T("J._McTiernan", "directed", "Die_Hard"),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if as.Deleted != 1 || as.OverlaySize != 1 {
+		t.Fatalf("delete ApplyStats = %+v", as)
+	}
+	res, stats, err = db.Query(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Epoch != 2 || res.Len() != before {
+		t.Fatalf("epoch %d results %d, want epoch 2 results %d", stats.Epoch, res.Len(), before)
+	}
+
+	if inv := db.CacheStats().Invalidations; inv < 1 {
+		t.Fatalf("Invalidations = %d, want ≥ 1", inv)
+	}
+}
+
+// TestPreparedQueryPinsEpoch: a PreparedQuery keeps answering from the
+// snapshot it was planned on, while fresh prepares see updates.
+func TestPreparedQueryPinsEpoch(t *testing.T) {
+	ctx := context.Background()
+	db, err := dualsim.Open(fig1a(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	const q = `SELECT * WHERE { ?m <genre> <Action> . }`
+	pq0, err := db.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res0, _, err := pq0.Exec(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := db.Apply(ctx, dualsim.Delta{Adds: []dualsim.Triple{
+		dualsim.T("Die_Hard", "genre", "Action"),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+
+	resOld, statsOld, err := pq0.Exec(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if statsOld.Epoch != 0 || resOld.Len() != res0.Len() {
+		t.Fatalf("pinned prepared query drifted: epoch %d, %d rows (want 0, %d)",
+			statsOld.Epoch, resOld.Len(), res0.Len())
+	}
+
+	pq1, err := db.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resNew, statsNew, err := pq1.Exec(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if statsNew.Epoch != 1 || resNew.Len() != res0.Len()+1 {
+		t.Fatalf("fresh prepare missed the update: epoch %d, %d rows", statsNew.Epoch, resNew.Len())
+	}
+}
+
+// TestApplyCompaction: crossing WithCompactionThreshold consolidates the
+// store mid-Apply; answers stay correct and the ledger resets.
+func TestApplyCompaction(t *testing.T) {
+	ctx := context.Background()
+	db, err := dualsim.Open(fig1a(t), dualsim.WithCompactionThreshold(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	if _, err := db.Apply(ctx, dualsim.Delta{Adds: []dualsim.Triple{
+		dualsim.T("A1", "directed", "M1"),
+		dualsim.T("A1", "worked_with", "C1"),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	as, err := db.Apply(ctx, dualsim.Delta{Adds: []dualsim.Triple{
+		dualsim.T("A2", "directed", "M2"),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !as.Compacted || as.OverlaySize != 0 || db.Compactions() != 1 {
+		t.Fatalf("threshold crossing did not compact: %+v (compactions %d)", as, db.Compactions())
+	}
+
+	res, stats, err := db.Exec(ctx, `SELECT * WHERE { ?d <directed> ?m . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Epoch != 2 {
+		t.Fatalf("epoch = %d, want 2", stats.Epoch)
+	}
+	if res.Len() != 6 { // 4 original directors' movies + M1 + M2
+		t.Fatalf("post-compaction results = %d, want 6", res.Len())
+	}
+
+	// Explicit Compact is a no-op data-wise but advances the epoch.
+	as, err = db.Compact(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !as.Compacted || as.Epoch != 3 {
+		t.Fatalf("Compact stats = %+v", as)
+	}
+}
+
+// TestApplyMaintainsFingerprint: a WithFingerprint session stays sound
+// across incremental applies (partition advanced around the touched
+// nodes) and across compaction (full re-refinement).
+func TestApplyMaintainsFingerprint(t *testing.T) {
+	ctx := context.Background()
+	db, err := dualsim.Open(fig1a(t), dualsim.WithFingerprint(2), dualsim.WithCompactionThreshold(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	// Reference session without a fingerprint, fed the same deltas.
+	ref, err := dualsim.Open(fig1a(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+
+	const q = `SELECT * WHERE { ?d <directed> ?m . ?d <worked_with> ?c . }`
+	deltas := []dualsim.Delta{
+		{Adds: []dualsim.Triple{
+			dualsim.T("J._McTiernan", "directed", "Die_Hard"),
+			dualsim.T("J._McTiernan", "worked_with", "S._de_Souza"),
+		}},
+		{Dels: []dualsim.Triple{dualsim.T("G._Hamilton", "worked_with", "H._Saltzman")}},
+		{Adds: []dualsim.Triple{dualsim.T("G._Hamilton", "worked_with", "R._Maibaum")}},
+	}
+	for i, d := range deltas {
+		as, err := db.Apply(ctx, d)
+		if err != nil {
+			t.Fatalf("delta %d: %v", i, err)
+		}
+		if !as.FingerprintRebuilt {
+			t.Fatalf("delta %d: fingerprint not maintained", i)
+		}
+		if _, err := ref.Apply(ctx, d); err != nil {
+			t.Fatalf("delta %d (ref): %v", i, err)
+		}
+		got, gotStats, err := db.Exec(ctx, q)
+		if err != nil {
+			t.Fatalf("delta %d: %v", i, err)
+		}
+		want, _, err := ref.Exec(ctx, q)
+		if err != nil {
+			t.Fatalf("delta %d (ref): %v", i, err)
+		}
+		// Compare decoded content: the fingerprinted session may have
+		// compacted (fresh dictionary), so node ids need not line up.
+		gotRows := decodedRows(db.Store(), got)
+		wantRows := decodedRows(ref.Store(), want)
+		if !reflect.DeepEqual(gotRows, wantRows) {
+			t.Fatalf("delta %d: fingerprinted session diverged at epoch %d:\n got %v\nwant %v",
+				i, gotStats.Epoch, gotRows, wantRows)
+		}
+	}
+	if db.Fingerprint() == nil {
+		t.Fatal("session lost its fingerprint")
+	}
+}
+
+// TestApplyAtomicDelta: an invalid triple anywhere in the delta fails
+// the whole Apply with nothing changed.
+func TestApplyAtomicDelta(t *testing.T) {
+	ctx := context.Background()
+	db, err := dualsim.Open(fig1a(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	bad := dualsim.Delta{Adds: []dualsim.Triple{
+		dualsim.T("fine", "p", "ok"),
+		{S: dualsim.Literal("bad"), P: "p", O: dualsim.IRI("x")},
+	}}
+	if _, err := db.Apply(ctx, bad); err == nil {
+		t.Fatal("Apply accepted an invalid delta")
+	}
+	if db.Epoch() != 0 || db.OverlaySize() != 0 {
+		t.Fatalf("failed Apply left state: epoch %d, overlay %d", db.Epoch(), db.OverlaySize())
+	}
+	if db.Store().NumTriples() != 20 {
+		t.Fatalf("failed Apply changed the store: %d triples", db.Store().NumTriples())
+	}
+}
+
+// The stress tests share one shape: the store holds exactly one
+// <counter> <value> ?v triple at any epoch, and apply k swaps v(k-1)
+// for v(k). A request is consistent iff its single row's ?v binding is
+// the value of the epoch its stats report — a mixed-epoch read (pruned
+// store from one epoch, evaluation on another) or a stale cached plan
+// surfaces as a value/epoch mismatch or a wrong row count.
+
+const stressQuery = `SELECT * WHERE { <counter> <value> ?v . }`
+
+func stressStore(t *testing.T) *dualsim.Store {
+	t.Helper()
+	st, err := dualsim.FromTriples([]dualsim.Triple{
+		dualsim.T("counter", "value", "v0"),
+		// Background triples so pruning has something to discard.
+		dualsim.T("a", "p", "b"),
+		dualsim.T("b", "p", "c"),
+		dualsim.T("c", "q", "a"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func stressDelta(k int) dualsim.Delta {
+	return dualsim.Delta{
+		Adds: []dualsim.Triple{
+			dualsim.T("counter", "value", fmt.Sprintf("v%d", k)),
+			// A persistent log edge per apply, so the overlay ledger
+			// actually grows (the value swap alone oscillates at size 2)
+			// and compaction thresholds are crossed.
+			dualsim.T("log", "entry", fmt.Sprintf("e%d", k)),
+		},
+		Dels: []dualsim.Triple{dualsim.T("counter", "value", fmt.Sprintf("v%d", k-1))},
+	}
+}
+
+// checkEpochRow asserts a stress result is internally consistent:
+// exactly one row, whose ?v binding (decoded against st) is the value
+// triple of the epoch the stats claim the request was answered from.
+func checkEpochRow(st *dualsim.Store, res *dualsim.Result, stats *dualsim.ExecStats) error {
+	if res.Len() != 1 {
+		return fmt.Errorf("epoch %d: %d rows, want 1", stats.Epoch, res.Len())
+	}
+	vi := res.VarIndex("v")
+	if vi < 0 {
+		return fmt.Errorf("epoch %d: variable v missing from %v", stats.Epoch, res.Vars)
+	}
+	want := fmt.Sprintf("v%d", stats.Epoch)
+	got := st.Term(res.Rows[0][vi]).Value
+	if got != want {
+		return fmt.Errorf("answer %q served with epoch %d stats (want %q): stale or mixed-epoch read", got, stats.Epoch, want)
+	}
+	return nil
+}
+
+// TestLiveStress interleaves Apply with concurrent Query and ExecBatch
+// under -race. No compaction here, so node ids are stable across the
+// whole lineage and any later snapshot decodes earlier results.
+func TestLiveStress(t *testing.T) {
+	ctx := context.Background()
+	db, err := dualsim.Open(stressStore(t), dualsim.WithPlanCache(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	const (
+		applies = 60
+		readers = 4
+	)
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+	errc := make(chan error, readers+1)
+
+	// Readers: single queries through the epoch-keyed plan cache.
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				res, stats, err := db.Query(ctx, stressQuery)
+				if err == nil {
+					err = checkEpochRow(db.Store(), res, stats)
+				}
+				if err != nil {
+					errc <- err
+					return
+				}
+			}
+		}()
+	}
+	// One batch reader: the same text fanned out; every request must be
+	// individually consistent even when an Apply lands mid-batch.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		reqs := make([]dualsim.BatchRequest, 4)
+		for i := range reqs {
+			reqs[i] = dualsim.BatchRequest{Src: stressQuery}
+		}
+		for !stop.Load() {
+			out, err := db.ExecBatch(ctx, reqs)
+			if err != nil {
+				errc <- err
+				return
+			}
+			for _, br := range out {
+				if br.Err != nil {
+					errc <- br.Err
+					return
+				}
+				if err := checkEpochRow(db.Store(), br.Result, br.Stats); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}
+	}()
+
+	// The single writer. The query between applies guarantees a cached
+	// plan exists at every epoch, so each following apply must invalidate
+	// it — and exercises the read-your-writes path.
+	for k := 1; k <= applies; k++ {
+		as, err := db.Apply(ctx, stressDelta(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if as.Epoch != uint64(k) {
+			t.Fatalf("apply %d landed at epoch %d", k, as.Epoch)
+		}
+		res, stats, err := db.Query(ctx, stressQuery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Epoch < uint64(k) {
+			t.Fatalf("read-your-writes violated: apply %d, query answered epoch %d", k, stats.Epoch)
+		}
+		if err := checkEpochRow(db.Store(), res, stats); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	// Post-update, the cache serves the final epoch's answer.
+	res, stats, err := db.Query(ctx, stressQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Epoch != uint64(applies) {
+		t.Fatalf("final query at epoch %d, want %d", stats.Epoch, applies)
+	}
+	if err := checkEpochRow(db.Store(), res, stats); err != nil {
+		t.Fatal(err)
+	}
+	if cs := db.CacheStats(); cs.Invalidations == 0 {
+		t.Fatalf("no stale plans invalidated across %d applies: %+v", applies, cs)
+	}
+}
+
+// TestLiveStressCompaction repeats the interleaving with compaction in
+// the writer loop. Compaction renumbers node ids, so readers pin a
+// Snapshot per request and decode against the pinned store — exactly
+// the repeatable-read pattern the API prescribes.
+func TestLiveStressCompaction(t *testing.T) {
+	ctx := context.Background()
+	db, err := dualsim.Open(stressStore(t), dualsim.WithPlanCache(4), dualsim.WithCompactionThreshold(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	const (
+		applies = 40
+		readers = 4
+	)
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+	errc := make(chan error, readers)
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				snap := db.Snapshot()
+				res, stats, err := snap.Query(ctx, stressQuery)
+				if err == nil && stats.Epoch != snap.Epoch() {
+					err = fmt.Errorf("pinned query answered epoch %d, pinned %d", stats.Epoch, snap.Epoch())
+				}
+				if err == nil {
+					err = checkEpochRow(snap.Store(), res, stats)
+				}
+				if err != nil {
+					errc <- err
+					return
+				}
+			}
+		}()
+	}
+
+	for k := 1; k <= applies; k++ {
+		if _, err := db.Apply(ctx, stressDelta(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if db.Compactions() == 0 {
+		t.Fatal("compaction threshold never crossed")
+	}
+	res, stats, err := db.Query(ctx, stressQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := checkEpochRow(db.Store(), res, stats); err != nil {
+		t.Fatal(err)
+	}
+}

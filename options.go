@@ -31,6 +31,8 @@ type settings struct {
 	planCache    int // > 0 enables the LRU plan cache with that capacity
 	batchWorkers int // > 0 fixes the ExecBatch pool width
 
+	compactThreshold int // > 0 arms automatic overlay compaction
+
 	stages []Stage // non-nil overrides the default pipeline composition
 }
 
@@ -151,6 +153,22 @@ func WithPlanCache(n int) Option {
 			return fmt.Errorf("dualsim: negative plan cache capacity %d", n)
 		}
 		s.planCache = n
+		return nil
+	}
+}
+
+// WithCompactionThreshold arms automatic compaction of the live-update
+// overlay: once the ledger of staged adds and tombstoned deletes (see
+// Apply) holds n or more entries, the next Apply compacts the store into
+// a pristine snapshot — fresh dictionary, no tombstone slack — as part
+// of the same epoch step. n = 0 (the default) leaves compaction to
+// explicit Compact calls. ApplyStats.Compacted reports when it ran.
+func WithCompactionThreshold(n int) Option {
+	return func(s *settings) error {
+		if n < 0 {
+			return fmt.Errorf("dualsim: negative compaction threshold %d", n)
+		}
+		s.compactThreshold = n
 		return nil
 	}
 }

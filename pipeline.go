@@ -51,7 +51,7 @@ func (x *execState) releaseRelation() {
 // nothing).
 func FingerprintStage() Stage {
 	return Stage{name: "fingerprint", run: func(ctx context.Context, x *execState, ss *StageStats) error {
-		n := x.pq.db.st.NumNodes()
+		n := x.pq.snap.st.NumNodes()
 		ss.In, ss.Out = n, n
 		// Nothing to install, or the solve already ran (a WithStages
 		// composition placed this stage after the pruning stage): the
@@ -85,7 +85,7 @@ func PruneStage() Stage {
 			Updates:     rel.Stats.Updates,
 		}
 		x.stats.Unsatisfiable = rel.Empty()
-		p, err := prune.PruneCtx(ctx, pq.db.st, rel)
+		p, err := prune.PruneCtx(ctx, pq.snap.st, rel)
 		if err != nil {
 			return err
 		}
@@ -102,7 +102,7 @@ func EvaluateStage() Stage {
 	return Stage{name: "evaluate", run: func(ctx context.Context, x *execState, ss *StageStats) error {
 		target := x.target
 		if target == nil {
-			target = x.pq.db.st
+			target = x.pq.snap.st
 		}
 		ss.In = target.NumTriples()
 		res, err := x.pq.db.eng.Evaluate(ctx, target, x.pq.q)
@@ -152,6 +152,11 @@ type ExecStats struct {
 	// session's plan cache (set by Query and ExecBatch; always false for
 	// Prepare/Exec, which bypass the cache).
 	CacheHit bool
+	// Epoch is the store epoch this execution answered from — the one
+	// its plan was prepared on. Requests issued after an Apply report
+	// the new epoch; executions of queries prepared (or pinned via
+	// Snapshot) earlier keep reporting theirs.
+	Epoch uint64
 	// Duration is the end-to-end execution time.
 	Duration time.Duration
 }

@@ -2,6 +2,7 @@ package dualsim
 
 import (
 	"container/list"
+	"strconv"
 	"strings"
 	"sync"
 	"unicode"
@@ -19,6 +20,18 @@ type PlanCacheStats struct {
 	Hits, Misses int64
 	// Evictions counts plans dropped by the LRU policy.
 	Evictions int64
+	// Invalidations counts plans of superseded store epochs dropped
+	// eagerly by Apply/Compact. (Stale plans can never be served either
+	// way — keys carry the epoch — the eager drop just frees their
+	// pinned snapshots.)
+	Invalidations int64
+}
+
+// cacheKey scopes a normalized query text to a store epoch, so a plan
+// built before an Apply structurally misses afterwards instead of
+// serving candidates of a superseded store.
+func cacheKey(epoch uint64, normalized string) string {
+	return strconv.FormatUint(epoch, 10) + "\x00" + normalized
 }
 
 // planCache is a mutex-guarded LRU of prepared queries keyed by
@@ -28,9 +41,15 @@ type planCache struct {
 	cap       int
 	ll        *list.List // front = most recently used; Value is *planEntry
 	items     map[string]*list.Element
-	hits      int64
-	misses    int64
-	evictions int64
+	hits          int64
+	misses        int64
+	evictions     int64
+	invalidations int64
+	// minEpoch is the fence dropStaleEpochs leaves behind: unpinned
+	// inserts below it are refused, so a plan built against a snapshot
+	// that was superseded mid-build cannot slip in after the sweep and
+	// keep the dead store alive. Guarded by mu, like the sweep itself.
+	minEpoch uint64
 
 	// buildMu serializes plan builds after a miss so concurrent Query
 	// calls for the same text plan it once (single-flight): the second
@@ -82,10 +101,16 @@ func (c *planCache) promoteMiss() {
 }
 
 // insert adds (or refreshes) a plan and evicts the least recently used
-// entries beyond capacity.
-func (c *planCache) insert(key string, pq *PreparedQuery) {
+// entries beyond capacity. Unpinned plans of epochs below the
+// invalidation fence are refused (see minEpoch); pinned inserts — from
+// Snapshot handles deliberately reading an old epoch — bypass the fence
+// and live until the next sweep or LRU eviction.
+func (c *planCache) insert(key string, pq *PreparedQuery, pinned bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if !pinned && pq.snap.epoch < c.minEpoch {
+		return
+	}
 	if el, ok := c.items[key]; ok {
 		el.Value.(*planEntry).pq = pq
 		c.ll.MoveToFront(el)
@@ -100,15 +125,35 @@ func (c *planCache) insert(key string, pq *PreparedQuery) {
 	}
 }
 
+// dropStaleEpochs removes every cached plan pinned to an epoch other
+// than cur, releasing the superseded snapshots those plans keep alive.
+// Called by Apply/Compact after the snapshot swap.
+func (c *planCache) dropStaleEpochs(cur uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.minEpoch = cur
+	var next *list.Element
+	for el := c.ll.Front(); el != nil; el = next {
+		next = el.Next()
+		entry := el.Value.(*planEntry)
+		if entry.pq.snap.epoch != cur {
+			c.ll.Remove(el)
+			delete(c.items, entry.key)
+			c.invalidations++
+		}
+	}
+}
+
 func (c *planCache) stats() PlanCacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return PlanCacheStats{
-		Capacity:  c.cap,
-		Size:      c.ll.Len(),
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
+		Capacity:      c.cap,
+		Size:          c.ll.Len(),
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
 	}
 }
 

@@ -10,12 +10,24 @@ import (
 
 	"dualsim/internal/bitvec"
 	"dualsim/internal/core"
+	"dualsim/internal/delta"
 	"dualsim/internal/engine"
+	"dualsim/internal/partition"
 	"dualsim/internal/prune"
 )
 
 // ErrClosed is returned by session operations after Close.
 var ErrClosed = errors.New("dualsim: session is closed")
+
+// dbSnapshot is one epoch of the session's graph database: an immutable
+// store, its epoch number, and the fingerprint summary built for it (nil
+// when the session has none). Snapshots are fully constructed before
+// publication and never mutated after, so readers need no locking.
+type dbSnapshot struct {
+	st    *Store
+	epoch uint64
+	fp    *Fingerprint
+}
 
 // DB is a session over one graph database: a store plus a fixed
 // configuration (engine, solver switches, pipeline composition) under
@@ -26,12 +38,26 @@ var ErrClosed = errors.New("dualsim: session is closed")
 // when WithFingerprint is set — and Prepare cost once per query; Exec
 // then runs only the per-execution pipeline (solve, prune, evaluate)
 // and honours its context.
+//
+// The database is live: Apply mutates it by publishing a new
+// epoch-numbered snapshot, with MVCC-lite read semantics — in-flight
+// executions (and explicitly pinned Snapshot handles) finish against the
+// epoch they started on, new calls see the new epoch, and the plan cache
+// keys on the epoch so a stale plan can never serve a post-update query.
+// See Apply, Snapshot and WithCompactionThreshold.
 type DB struct {
-	st    *Store
-	set   settings
-	eng   engine.Engine
-	fp    *Fingerprint // non-nil iff WithFingerprint was given
-	cache *planCache   // non-nil iff WithPlanCache was given
+	set     settings
+	eng     engine.Engine
+	cache   *planCache // non-nil iff WithPlanCache was given
+	wantFP  bool       // the pipeline composition consumes a fingerprint
+	overlay *delta.Overlay
+	snap    atomic.Pointer[dbSnapshot] // current epoch; swapped by Apply/Compact
+
+	applyMu sync.Mutex // serializes Apply/Compact (single writer)
+	// fpPart is the partition behind the current snapshot's fingerprint,
+	// kept for incremental advance across applies. Guarded by applyMu
+	// (written once more in Open, before any concurrency).
+	fpPart *partition.Partition
 
 	prepMu     sync.Mutex   // serializes planning (lazy matrix builds)
 	planBuilds atomic.Int64 // number of query plans built on this session
@@ -40,7 +66,8 @@ type DB struct {
 
 // Open starts a session over the store. The store must be built (Add +
 // Build, or any of the constructors); it is shared, not copied, and must
-// not be mutated while the session is live.
+// not be mutated directly while the session is live — use Apply, which
+// publishes immutable snapshots instead of touching the store.
 func Open(st *Store, opts ...Option) (*DB, error) {
 	if err := requireStore(st); err != nil {
 		return nil, err
@@ -51,10 +78,15 @@ func Open(st *Store, opts ...Option) (*DB, error) {
 			return nil, err
 		}
 	}
-	db := &DB{st: st, set: set, eng: set.engine.engine()}
+	db := &DB{set: set, eng: set.engine.engine()}
 	if set.planCache > 0 {
 		db.cache = newPlanCache(set.planCache)
 	}
+	overlay, err := delta.New(st, set.compactThreshold)
+	if err != nil {
+		return nil, fmt.Errorf("dualsim: %w", err)
+	}
+	db.overlay = overlay
 	// The summary refinement is expensive; build it only when some
 	// pipeline can consume it — the default pruning pipeline, or an
 	// explicit stage list naming the fingerprint stage.
@@ -62,13 +94,17 @@ func Open(st *Store, opts ...Option) (*DB, error) {
 	if set.stages != nil {
 		needFP = hasStage(set.stages, "fingerprint")
 	}
-	if set.fingerprint && needFP {
+	db.wantFP = set.fingerprint && needFP
+	snap := &dbSnapshot{st: st}
+	if db.wantFP {
 		fp, err := BuildFingerprint(st, set.fingerprintK)
 		if err != nil {
 			return nil, fmt.Errorf("dualsim: building fingerprint: %w", err)
 		}
-		db.fp = fp
+		snap.fp = fp
+		db.fpPart = fp.sum.Part
 	}
+	db.snap.Store(snap)
 	return db, nil
 }
 
@@ -79,23 +115,29 @@ func (db *DB) Close() error {
 	return nil
 }
 
-// Store returns the session's store.
-func (db *DB) Store() *Store { return db.st }
+// Store returns the session's current store snapshot. After an Apply it
+// returns the new epoch's store; handles obtained earlier keep reading
+// their own (immutable) snapshot.
+func (db *DB) Store() *Store { return db.snap.Load().st }
+
+// Epoch returns the current store epoch: 0 at Open, +1 per Apply or
+// Compact.
+func (db *DB) Epoch() uint64 { return db.snap.Load().epoch }
 
 // EngineName returns the report name of the session's evaluation engine.
 func (db *DB) EngineName() string { return db.eng.Name() }
 
-// Fingerprint returns the session's fingerprint summary, or nil when the
-// session was opened without WithFingerprint.
-func (db *DB) Fingerprint() *Fingerprint { return db.fp }
+// Fingerprint returns the current snapshot's fingerprint summary, or nil
+// when the session was opened without WithFingerprint.
+func (db *DB) Fingerprint() *Fingerprint { return db.snap.Load().fp }
 
 // PlanBuilds returns how many query plans this session has built — one
 // per Prepare call, never per Exec. Exposed so services (and tests) can
 // assert that prepared queries reuse their plan.
 func (db *DB) PlanBuilds() int64 { return db.planBuilds.Load() }
 
-// stages resolves the session's pipeline composition.
-func (db *DB) stages() []Stage {
+// stagesFor resolves the pipeline composition for one snapshot.
+func (db *DB) stagesFor(snap *dbSnapshot) []Stage {
 	if db.set.stages != nil {
 		return db.set.stages
 	}
@@ -103,7 +145,7 @@ func (db *DB) stages() []Stage {
 	if db.set.pruning {
 		// The fingerprint pre-filter only tightens the pruning solve; it
 		// has no consumer in a pipeline that does not prune.
-		if db.fp != nil {
+		if snap.fp != nil {
 			out = append(out, FingerprintStage())
 		}
 		out = append(out, PruneStage())
@@ -133,8 +175,15 @@ type PrepareStats struct {
 // — when the session has a fingerprint — pre-filtered to summary-lifted
 // candidate bounds. It is safe for concurrent use; every Exec runs the
 // pipeline on private state.
+//
+// A PreparedQuery is pinned to the store epoch it was planned on: its
+// executions keep answering from that (immutable) snapshot even after a
+// later Apply. Callers serving live traffic should route text through
+// Query/ExecBatch, whose epoch-keyed plan cache re-plans on the first
+// request after an update.
 type PreparedQuery struct {
 	db         *DB
+	snap       *dbSnapshot // pinned store + epoch + fingerprint
 	q          *Query
 	plan       *core.QueryPlan
 	stages     []Stage
@@ -143,24 +192,26 @@ type PreparedQuery struct {
 	prep       PrepareStats
 }
 
-// Prepare parses the query source and plans it against the session
-// store. The returned PreparedQuery may be executed any number of times,
-// concurrently; all parse and planning work happens here, exactly once.
+// Prepare parses the query source and plans it against the session's
+// current snapshot. The returned PreparedQuery may be executed any
+// number of times, concurrently; all parse and planning work happens
+// here, exactly once.
 func (db *DB) Prepare(src string) (*PreparedQuery, error) {
 	start := time.Now()
 	q, err := ParseQuery(src)
 	if err != nil {
 		return nil, err
 	}
-	return db.prepare(q, start)
+	return db.prepare(db.snap.Load(), q, start)
 }
 
-// PrepareQuery plans an already-parsed query against the session store.
+// PrepareQuery plans an already-parsed query against the session's
+// current snapshot.
 func (db *DB) PrepareQuery(q *Query) (*PreparedQuery, error) {
-	return db.prepare(q, time.Now())
+	return db.prepare(db.snap.Load(), q, time.Now())
 }
 
-func (db *DB) prepare(q *Query, start time.Time) (*PreparedQuery, error) {
+func (db *DB) prepare(snap *dbSnapshot, q *Query, start time.Time) (*PreparedQuery, error) {
 	if db.closed.Load() {
 		return nil, ErrClosed
 	}
@@ -170,25 +221,25 @@ func (db *DB) prepare(q *Query, start time.Time) (*PreparedQuery, error) {
 	db.prepMu.Lock()
 	defer db.prepMu.Unlock()
 
-	plan, err := core.BuildQueryPlan(db.st, q, db.set.coreConfig())
+	plan, err := core.BuildQueryPlan(snap.st, q, db.set.coreConfig())
 	if err != nil {
 		return nil, err
 	}
 	plan.Finalize()
 
-	pq := &PreparedQuery{db: db, q: q, plan: plan, stages: db.stages()}
+	pq := &PreparedQuery{db: db, snap: snap, q: q, plan: plan, stages: db.stagesFor(snap)}
 	pq.prep.Branches = len(plan.Branches)
 	for _, br := range plan.Branches {
 		pq.prep.Variables += br.Sys.NumVars()
 		pq.prep.Inequalities += br.Sys.NumIneqs()
 	}
 
-	if db.fp != nil && hasStage(pq.stages, "fingerprint") {
+	if snap.fp != nil && hasStage(pq.stages, "fingerprint") {
 		restrict := make([][]*bitvec.Vector, len(plan.Branches))
-		tightest := db.st.NumNodes()
+		tightest := snap.st.NumNodes()
 		restricted := 0
 		for i, br := range plan.Branches {
-			restrict[i] = db.fp.sum.LiftedVectors(db.st, br.PatternGraph())
+			restrict[i] = snap.fp.sum.LiftedVectors(snap.st, br.PatternGraph())
 			for _, vec := range restrict[i] {
 				if vec == nil {
 					continue
@@ -241,8 +292,9 @@ func (pq *PreparedQuery) Exec(ctx context.Context) (*Result, *ExecStats, error) 
 		return nil, nil, ErrClosed
 	}
 	stats := &ExecStats{
-		TriplesBefore: pq.db.st.NumTriples(),
-		TriplesAfter:  pq.db.st.NumTriples(),
+		Epoch:         pq.snap.epoch,
+		TriplesBefore: pq.snap.st.NumTriples(),
+		TriplesAfter:  pq.snap.st.NumTriples(),
 	}
 	x := &execState{pq: pq, stats: stats}
 	// The solved relation's χ rows live in the plan's solver pool; once
@@ -286,8 +338,12 @@ func (db *DB) Exec(ctx context.Context, src string) (*Result, *ExecStats, error)
 // normalized) text. Without a configured cache, Query degrades to Exec.
 // Safe for concurrent use; concurrent misses of one text build its plan
 // once.
+//
+// Cache keys carry the store epoch: the first Query after an Apply
+// misses and re-plans on the new snapshot, so a cached plan can never
+// answer from pre-update state.
 func (db *DB) Query(ctx context.Context, src string) (*Result, *ExecStats, error) {
-	pq, hit, err := db.prepareCached(src)
+	pq, hit, err := db.prepareCached(db.snap.Load(), src, false)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -298,16 +354,34 @@ func (db *DB) Query(ctx context.Context, src string) (*Result, *ExecStats, error
 	return res, stats, err
 }
 
-// prepareCached resolves query text to a prepared query through the plan
-// cache, reporting whether it was a hit. Cache misses for the same key
-// are single-flighted: the plan is built once, concurrent callers block
-// on buildMu and pick up the freshly inserted entry.
-func (db *DB) prepareCached(src string) (*PreparedQuery, bool, error) {
+// prepareSrc parses and plans query text against one snapshot.
+func (db *DB) prepareSrc(snap *dbSnapshot, src string) (*PreparedQuery, error) {
+	start := time.Now()
+	q, err := ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	return db.prepare(snap, q, start)
+}
+
+// prepareCached resolves query text to a prepared query for the given
+// snapshot through the plan cache, reporting whether it was a hit. Keys
+// combine the snapshot epoch with the normalized text, so plans of
+// superseded epochs structurally miss. Cache misses for the same key are
+// single-flighted: the plan is built once, concurrent callers block on
+// buildMu and pick up the freshly inserted entry.
+//
+// pinned distinguishes deliberate reads of an old epoch (Snapshot
+// handles) from live traffic: a live caller whose snapshot was
+// superseded mid-build still executes its plan but does not insert it —
+// a superseded entry could never be served to live queries and would
+// only keep the old store pinned past Apply's dropStaleEpochs sweep.
+func (db *DB) prepareCached(snap *dbSnapshot, src string, pinned bool) (*PreparedQuery, bool, error) {
 	if db.cache == nil {
-		pq, err := db.Prepare(src)
+		pq, err := db.prepareSrc(snap, src)
 		return pq, false, err
 	}
-	key := normalizeQuery(src)
+	key := cacheKey(snap.epoch, normalizeQuery(src))
 	if pq := db.cache.lookup(key, true); pq != nil {
 		return pq, true, nil
 	}
@@ -319,11 +393,11 @@ func (db *DB) prepareCached(src string) (*PreparedQuery, bool, error) {
 		db.cache.promoteMiss()
 		return pq, true, nil
 	}
-	pq, err := db.Prepare(src)
+	pq, err := db.prepareSrc(snap, src)
 	if err != nil {
 		return nil, false, err
 	}
-	db.cache.insert(key, pq)
+	db.cache.insert(key, pq, pinned)
 	return pq, false, nil
 }
 
@@ -337,7 +411,7 @@ func (db *DB) CacheStats() PlanCacheStats {
 }
 
 // DualSimulate computes the largest dual simulation of q over the
-// session store, honouring ctx.
+// session's current snapshot, honouring ctx.
 func (db *DB) DualSimulate(ctx context.Context, q *Query) (*Relation, error) {
 	if db.closed.Load() {
 		return nil, ErrClosed
@@ -345,15 +419,16 @@ func (db *DB) DualSimulate(ctx context.Context, q *Query) (*Relation, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	rel, err := core.QueryDualSimulationCtx(ctx, db.st, q, db.set.coreConfig())
+	st := db.snap.Load().st
+	rel, err := core.QueryDualSimulationCtx(ctx, st, q, db.set.coreConfig())
 	if err != nil {
 		return nil, err
 	}
-	return &Relation{rel: rel, st: db.st}, nil
+	return &Relation{rel: rel, st: st}, nil
 }
 
-// Prune computes the pruned database for q over the session store,
-// honouring ctx.
+// Prune computes the pruned database for q over the session's current
+// snapshot, honouring ctx.
 func (db *DB) Prune(ctx context.Context, q *Query) (*Pruning, error) {
 	if db.closed.Load() {
 		return nil, ErrClosed
@@ -361,7 +436,7 @@ func (db *DB) Prune(ctx context.Context, q *Query) (*Pruning, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	p, rel, err := prune.PruneQueryCtx(ctx, db.st, q, db.set.coreConfig())
+	p, rel, err := prune.PruneQueryCtx(ctx, db.snap.Load().st, q, db.set.coreConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -369,7 +444,8 @@ func (db *DB) Prune(ctx context.Context, q *Query) (*Pruning, error) {
 }
 
 // SimulatePattern computes the largest dual simulation between a
-// hand-built pattern graph and the session store, honouring ctx.
+// hand-built pattern graph and the session's current snapshot, honouring
+// ctx.
 func (db *DB) SimulatePattern(ctx context.Context, p *Pattern) (*PatternRelation, error) {
 	if db.closed.Load() {
 		return nil, ErrClosed
@@ -377,11 +453,12 @@ func (db *DB) SimulatePattern(ctx context.Context, p *Pattern) (*PatternRelation
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	rel, err := core.DualSimulationCtx(ctx, db.st, p.p, db.set.coreConfig())
+	st := db.snap.Load().st
+	rel, err := core.DualSimulationCtx(ctx, st, p.p, db.set.coreConfig())
 	if err != nil {
 		return nil, err
 	}
-	return &PatternRelation{rel: rel, st: db.st}, nil
+	return &PatternRelation{rel: rel, st: st}, nil
 }
 
 // Evaluate runs the session engine over an explicit store — normally a
