@@ -5,6 +5,7 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // BatchRequest is one query of an ExecBatch call.
@@ -24,10 +25,51 @@ type BatchResult struct {
 	// PreparedQuery.Exec; both are nil when Err is set.
 	Result *Result
 	Stats  *ExecStats
+	// Store is the snapshot the request answered from (the epoch in
+	// Stats.Epoch). Result rows must be decoded against this store, not
+	// the session's current one: requests of one batch may span two
+	// epochs when an Apply lands mid-batch, and a compaction renumbers
+	// every node id.
+	Store *Store
 	// Err is the request's failure: a parse/plan error, an execution
 	// error, or the batch context's error for requests cancelled (or
 	// never started) after the batch was aborted.
 	Err error
+}
+
+// BatchStats aggregates the outcome of one batch execution. JSON tags
+// are part of the serving wire format (see ExecStats).
+type BatchStats struct {
+	// Requests is the number of requests in the batch; Failed how many
+	// carried an error.
+	Requests int `json:"requests"`
+	Failed   int `json:"failed,omitempty"`
+	// CacheHits counts requests served from the plan cache.
+	CacheHits int `json:"cacheHits"`
+	// Results is the total number of solution mappings across the batch.
+	Results int `json:"results"`
+	// Duration is the caller-observed wall time of the whole batch (0
+	// when summarized without timing).
+	Duration time.Duration `json:"duration"`
+}
+
+// SummarizeBatch folds per-request batch results into a BatchStats.
+// elapsed is the caller-measured wall time of the ExecBatch call.
+func SummarizeBatch(out []BatchResult, elapsed time.Duration) BatchStats {
+	bs := BatchStats{Requests: len(out), Duration: elapsed}
+	for i := range out {
+		if out[i].Err != nil {
+			bs.Failed++
+			continue
+		}
+		if out[i].Stats != nil {
+			if out[i].Stats.CacheHit {
+				bs.CacheHits++
+			}
+			bs.Results += out[i].Stats.Results
+		}
+	}
+	return bs
 }
 
 // BatchOption configures one ExecBatch call.
@@ -165,5 +207,5 @@ func (db *DB) execOne(ctx context.Context, req BatchRequest) BatchResult {
 		return BatchResult{Err: err}
 	}
 	stats.CacheHit = hit
-	return BatchResult{Result: res, Stats: stats}
+	return BatchResult{Result: res, Stats: stats, Store: pq.snap.st}
 }

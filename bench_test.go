@@ -16,8 +16,10 @@ package dualsim_test
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"testing"
+	"time"
 
 	"dualsim"
 	"dualsim/internal/baseline"
@@ -422,6 +424,69 @@ func BenchmarkExecBatch(b *testing.B) {
 					}
 				}
 			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Serving layer: the dualsimd loopback hot path.
+
+// BenchmarkServeQuery measures the end-to-end network serving path: a
+// real HTTP server (internal/server) on 127.0.0.1 and the typed Go
+// client, per-op = serialize + loopback round-trip + plan-cache hit +
+// execute + decode. "buffered" returns one JSON envelope, "streamed"
+// decodes the NDJSON row stream. p50-latency and the plan-cache hit
+// rate are reported as benchmark metrics — the serving numbers the
+// bench.Serving table tracks across PRs.
+func BenchmarkServeQuery(b *testing.B) {
+	spec, err := queries.ByID("L0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := storeFor(b, spec)
+	for _, mode := range []string{"buffered", "streamed"} {
+		b.Run(mode, func(b *testing.B) {
+			db, err := dualsim.Open(st, dualsim.WithPlanCache(8))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			cl, shutdown, err := bench.Loopback(db)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer shutdown()
+			ctx := context.Background()
+			if _, err := cl.Query(ctx, spec.Text); err != nil {
+				b.Fatal(err) // warm matrices and the plan cache untimed
+			}
+			lat := make([]time.Duration, 0, b.N)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t0 := time.Now()
+				if mode == "buffered" {
+					if _, err := cl.Query(ctx, spec.Text); err != nil {
+						b.Fatal(err)
+					}
+				} else {
+					s, err := cl.QueryStream(ctx, spec.Text)
+					if err != nil {
+						b.Fatal(err)
+					}
+					for s.Next() {
+					}
+					if err := s.Err(); err != nil {
+						b.Fatal(err)
+					}
+					s.Close()
+				}
+				lat = append(lat, time.Since(t0))
+			}
+			b.StopTimer()
+			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+			b.ReportMetric(float64(bench.Quantile(lat, 0.50)), "p50-ns")
+			b.ReportMetric(db.CacheStats().HitRate(), "hit-rate")
 		})
 	}
 }

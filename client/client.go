@@ -1,0 +1,522 @@
+// Package client is the typed Go client of the dualsimd serving API
+// (internal/server, cmd/dualsimd): queries with buffered or streamed
+// (NDJSON) results, batches, live deltas, compaction, snapshot/health
+// introspection — with bounded retries that honour the server's
+// Retry-After shedding hints.
+//
+// Consistency: every response is epoch-tagged. A streamed result's
+// header and stats trailer carry the same epoch, and Stream.Epoch
+// exposes it, so callers interleaving reads with Apply can pin their
+// view the same way in-process sessions do.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"dualsim"
+	"dualsim/internal/wire"
+)
+
+// Triple is the wire form of one RDF triple (re-exported so callers
+// need not import internal packages).
+type Triple = wire.Triple
+
+// FromTriple converts an engine triple to wire form.
+func FromTriple(t dualsim.Triple) Triple { return wire.FromTriple(t) }
+
+// QueryResponse, BatchResponse, ApplyResponse, SnapshotResponse and
+// HealthResponse mirror the server's JSON bodies.
+type (
+	QueryResponse    = wire.QueryResponse
+	BatchItem        = wire.BatchItem
+	BatchResponse    = wire.BatchResponse
+	ApplyResponse    = wire.ApplyResponse
+	SnapshotResponse = wire.SnapshotResponse
+	HealthResponse   = wire.HealthResponse
+)
+
+// APIError is a non-2xx server reply.
+type APIError struct {
+	// StatusCode is the HTTP status.
+	StatusCode int
+	// Message is the server's error string.
+	Message string
+	// RetryAfter is the server's backoff hint (0 when absent).
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("dualsimd: %d %s: %s", e.StatusCode, http.StatusText(e.StatusCode), e.Message)
+}
+
+// IsOverloaded reports whether err is the server shedding load (429);
+// the request was never admitted, so retrying after the hint is safe
+// for every endpoint, writes included.
+func IsOverloaded(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.StatusCode == http.StatusTooManyRequests
+}
+
+// Option configures a Client.
+type Option func(*Client) error
+
+// WithHTTPClient substitutes the transport (default http.DefaultClient).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) error {
+		if hc == nil {
+			return fmt.Errorf("client: nil http client")
+		}
+		c.hc = hc
+		return nil
+	}
+}
+
+// WithRetries bounds how many times a retryable failure (429, 503, or a
+// transport error on an idempotent call) is retried (default 2; 0
+// disables).
+func WithRetries(n int) Option {
+	return func(c *Client) error {
+		if n < 0 {
+			return fmt.Errorf("client: negative retry count %d", n)
+		}
+		c.retries = n
+		return nil
+	}
+}
+
+// WithRetryBackoff sets the base backoff between retries when the
+// server sent no Retry-After hint (default 100ms, doubled per attempt
+// with jitter).
+func WithRetryBackoff(d time.Duration) Option {
+	return func(c *Client) error {
+		if d <= 0 {
+			return fmt.Errorf("client: retry backoff must be positive, got %v", d)
+		}
+		c.backoff = d
+		return nil
+	}
+}
+
+// Client talks to one dualsimd server. Safe for concurrent use.
+type Client struct {
+	base    string
+	hc      *http.Client
+	retries int
+	backoff time.Duration
+}
+
+// New returns a client for the server at baseURL (e.g.
+// "http://127.0.0.1:8321").
+func New(baseURL string, opts ...Option) (*Client, error) {
+	if baseURL == "" {
+		return nil, fmt.Errorf("client: empty base URL")
+	}
+	c := &Client{
+		base:    strings.TrimRight(baseURL, "/"),
+		hc:      http.DefaultClient,
+		retries: 2,
+		backoff: 100 * time.Millisecond,
+	}
+	for _, opt := range opts {
+		if err := opt(c); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Query executes one query and buffers the whole result. timeoutMs > 0
+// asks the server to bound the execution; pair it with a ctx deadline
+// for end-to-end bounds.
+func (c *Client) Query(ctx context.Context, src string, opts ...QueryOpt) (*QueryResponse, error) {
+	o := collect(opts)
+	req := wire.QueryRequest{Query: src, TimeoutMs: o.timeoutMs, Limit: o.limit}
+	var out QueryResponse
+	if err := c.doJSON(ctx, "POST", "/v1/query", &req, &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// reqOpts is the resolved form of a QueryOpt list.
+type reqOpts struct {
+	timeoutMs int64
+	limit     int
+	failFast  bool
+}
+
+func collect(opts []QueryOpt) reqOpts {
+	var o reqOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// QueryOpt tweaks one query (or a batch).
+type QueryOpt func(*reqOpts)
+
+// Timeout asks the server to abort the execution after d (rounded to
+// milliseconds, minimum 1ms).
+func Timeout(d time.Duration) QueryOpt {
+	return func(r *reqOpts) {
+		ms := d.Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		r.timeoutMs = ms
+	}
+}
+
+// Limit truncates the response to n rows (per batch member on Batch).
+func Limit(n int) QueryOpt {
+	return func(r *reqOpts) { r.limit = n }
+}
+
+// FailFast makes a Batch abort on its first failing query: the
+// remaining members are cancelled and report the cancellation in their
+// error slots. Ignored by Query/QueryStream.
+func FailFast() QueryOpt {
+	return func(r *reqOpts) { r.failFast = true }
+}
+
+// Batch executes queries concurrently on the server's batch pool and
+// returns positional results, each with its own error slot — a failing
+// query does not fail the batch (unless FailFast is given, which
+// cancels the rest after the first failure).
+func (c *Client) Batch(ctx context.Context, srcs []string, opts ...QueryOpt) (*BatchResponse, error) {
+	o := collect(opts)
+	req := wire.BatchRequest{Queries: srcs, TimeoutMs: o.timeoutMs, Limit: o.limit, FailFast: o.failFast}
+	var out BatchResponse
+	if err := c.doJSON(ctx, "POST", "/v1/batch", &req, &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Apply submits a live delta: dels before adds, atomic, publishing the
+// next epoch. Not retried on transport errors (the outcome would be
+// ambiguous); 429 shedding is retried — the server never admitted the
+// request.
+func (c *Client) Apply(ctx context.Context, adds, dels []Triple) (*ApplyResponse, error) {
+	req := wire.ApplyRequest{Adds: adds, Dels: dels}
+	var out ApplyResponse
+	if err := c.doJSON(ctx, "POST", "/v1/apply", &req, &out, false); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ApplyDelta is Apply for an engine-level Delta value.
+func (c *Client) ApplyDelta(ctx context.Context, d dualsim.Delta) (*ApplyResponse, error) {
+	adds := make([]Triple, len(d.Adds))
+	for i, t := range d.Adds {
+		adds[i] = wire.FromTriple(t)
+	}
+	dels := make([]Triple, len(d.Dels))
+	for i, t := range d.Dels {
+		dels[i] = wire.FromTriple(t)
+	}
+	return c.Apply(ctx, adds, dels)
+}
+
+// Compact asks the server to consolidate the live-update overlay.
+func (c *Client) Compact(ctx context.Context) (*ApplyResponse, error) {
+	var out ApplyResponse
+	if err := c.doJSON(ctx, "POST", "/v1/compact", nil, &out, false); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Snapshot reports the server's current epoch and store shape.
+func (c *Client) Snapshot(ctx context.Context) (*SnapshotResponse, error) {
+	var out SnapshotResponse
+	if err := c.doJSON(ctx, "GET", "/v1/snapshot", nil, &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Health probes /healthz. A draining server returns an *APIError with
+// StatusCode 503.
+func (c *Client) Health(ctx context.Context) (*HealthResponse, error) {
+	var out HealthResponse
+	if err := c.doJSON(ctx, "GET", "/healthz", nil, &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Metrics fetches the raw Prometheus-style metrics page.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	resp, err := c.do(ctx, "GET", "/metrics", nil, "", true)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(resp.Body)
+	return string(buf), err
+}
+
+// ---------------------------------------------------------------------------
+// Streaming
+
+// Row is one streamed solution mapping: decoded bindings positional
+// over Stream.Vars, nil for unbound variables.
+type Row []*string
+
+// Stream is an in-flight NDJSON query response. Iterate with Next until
+// it returns false, then check Err; Stats is available afterwards.
+// Close aborts early. A Stream is not safe for concurrent use.
+type Stream struct {
+	body   io.ReadCloser
+	sc     *bufio.Scanner
+	vars   []string
+	epoch  uint64
+	stats  *dualsim.ExecStats
+	rows   int
+	trunc  bool
+	cur    Row
+	err    error
+	closed bool
+}
+
+// Vars returns the result columns (available immediately: the header is
+// read during QueryStream).
+func (s *Stream) Vars() []string { return s.vars }
+
+// Epoch returns the store epoch the execution answers from.
+func (s *Stream) Epoch() uint64 { return s.epoch }
+
+// Next advances to the next row. It returns false at the end of the
+// stream or on error — check Err.
+func (s *Stream) Next() bool {
+	if s.err != nil || s.closed || s.stats != nil {
+		return false
+	}
+	for s.sc.Scan() {
+		var ev wire.Event
+		if err := json.Unmarshal(s.sc.Bytes(), &ev); err != nil {
+			s.err = fmt.Errorf("client: bad stream line: %w", err)
+			return false
+		}
+		switch ev.Kind {
+		case wire.EventRow:
+			if ev.Epoch != s.epoch {
+				s.err = fmt.Errorf("client: epoch tear: header %d, row %d", s.epoch, ev.Epoch)
+				return false
+			}
+			s.cur = Row(ev.Values)
+			return true
+		case wire.EventStats:
+			s.stats = ev.Stats
+			s.rows = ev.Rows
+			s.trunc = ev.Truncated
+			if s.stats != nil && s.stats.Epoch != s.epoch {
+				s.err = fmt.Errorf("client: epoch tear: header %d, stats %d", s.epoch, s.stats.Epoch)
+			}
+			return false
+		case wire.EventError:
+			s.err = fmt.Errorf("dualsimd: mid-stream: %s", ev.Error)
+			return false
+		default:
+			s.err = fmt.Errorf("client: unexpected stream event %q", ev.Kind)
+			return false
+		}
+	}
+	if err := s.sc.Err(); err != nil {
+		s.err = err
+	} else if s.stats == nil {
+		s.err = fmt.Errorf("client: stream ended without stats trailer")
+	}
+	return false
+}
+
+// Row returns the current row after a true Next.
+func (s *Stream) Row() Row { return s.cur }
+
+// Stats returns the execution statistics once the stream is drained
+// (nil before).
+func (s *Stream) Stats() *dualsim.ExecStats { return s.stats }
+
+// Rows returns the server-reported total row count (valid after the
+// stream is drained); Truncated whether a Limit cut it short.
+func (s *Stream) Rows() int       { return s.rows }
+func (s *Stream) Truncated() bool { return s.trunc }
+
+// Err returns the terminal error, nil on a clean end of stream.
+func (s *Stream) Err() error { return s.err }
+
+// Close releases the connection. Safe to call twice; Next returns false
+// afterwards.
+func (s *Stream) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.body.Close()
+}
+
+// QueryStream executes one query and decodes the result incrementally.
+// The returned Stream must be Closed (draining it fully also releases
+// the connection for reuse).
+func (c *Client) QueryStream(ctx context.Context, src string, opts ...QueryOpt) (*Stream, error) {
+	o := collect(opts)
+	req := wire.QueryRequest{Query: src, TimeoutMs: o.timeoutMs, Limit: o.limit, Stream: true}
+	body, err := json.Marshal(&req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(ctx, "POST", "/v1/query", body, wire.ContentTypeJSON, true)
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	st := &Stream{body: resp.Body, sc: sc}
+	// The header is always the first line; reading it here lets callers
+	// see Vars/Epoch before the first Next.
+	if !sc.Scan() {
+		resp.Body.Close()
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("client: empty stream")
+	}
+	var header wire.Event
+	if err := json.Unmarshal(sc.Bytes(), &header); err != nil || header.Kind != wire.EventHeader {
+		resp.Body.Close()
+		return nil, fmt.Errorf("client: stream did not start with a header (%v)", err)
+	}
+	st.vars, st.epoch = header.Vars, header.Epoch
+	return st, nil
+}
+
+// ---------------------------------------------------------------------------
+// Transport
+
+// doJSON runs one round-trip with retries and decodes the JSON reply.
+func (c *Client) doJSON(ctx context.Context, method, path string, in, out any, idempotent bool) error {
+	var body []byte
+	contentType := ""
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return err
+		}
+		contentType = wire.ContentTypeJSON
+	}
+	resp, err := c.do(ctx, method, path, body, contentType, idempotent)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// do performs the request, retrying shed (429) and unavailable (503)
+// replies — and transport errors when the call is idempotent — up to the
+// configured retry budget. Non-2xx replies come back as *APIError.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, contentType string, idempotent bool) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		resp, err := c.hc.Do(req)
+		switch {
+		case err != nil:
+			lastErr = err
+			if !idempotent || attempt >= c.retries {
+				return nil, lastErr
+			}
+		case resp.StatusCode < 300:
+			return resp, nil
+		default:
+			ae := readAPIError(resp)
+			lastErr = ae
+			// 429 (shed before admission) and 503 are transient — except
+			// on /healthz, where 503 IS the answer (the server is
+			// draining) and a probe must report it immediately.
+			retryable := resp.StatusCode == http.StatusTooManyRequests ||
+				(resp.StatusCode == http.StatusServiceUnavailable && path != "/healthz")
+			if !retryable || attempt >= c.retries {
+				return nil, lastErr
+			}
+		}
+		if err := c.sleep(ctx, attempt, lastErr); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// maxBackoff caps the exponential retry backoff — it also keeps the
+// shift below from overflowing time.Duration at high retry counts.
+const maxBackoff = 30 * time.Second
+
+// sleep waits out the backoff before the next attempt: the server's
+// Retry-After hint when present, else exponential with jitter.
+func (c *Client) sleep(ctx context.Context, attempt int, cause error) error {
+	d := c.backoff
+	for i := 0; i < attempt && d < maxBackoff; i++ {
+		d <<= 1
+	}
+	if d > maxBackoff {
+		d = maxBackoff
+	}
+	var ae *APIError
+	if errors.As(cause, &ae) && ae.RetryAfter > 0 {
+		// An explicit server hint is honoured as a lower bound — only a
+		// little extra jitter on top, never a shorter wait.
+		d = ae.RetryAfter + time.Duration(rand.Int63n(int64(ae.RetryAfter/4)+1))
+	} else {
+		// Full jitter halves the thundering-herd on synchronized retries.
+		d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// readAPIError drains a non-2xx body into an *APIError.
+func readAPIError(resp *http.Response) *APIError {
+	defer resp.Body.Close()
+	ae := &APIError{StatusCode: resp.StatusCode}
+	var wireErr wire.ErrorResponse
+	buf, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if json.Unmarshal(buf, &wireErr) == nil && wireErr.Error != "" {
+		ae.Message = wireErr.Error
+		if wireErr.RetryAfterMs > 0 {
+			ae.RetryAfter = time.Duration(wireErr.RetryAfterMs) * time.Millisecond
+		}
+	} else {
+		ae.Message = strings.TrimSpace(string(buf))
+	}
+	if ae.RetryAfter == 0 {
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			ae.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return ae
+}

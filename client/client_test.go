@@ -1,0 +1,289 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dualsim"
+	"dualsim/internal/queries"
+	"dualsim/internal/server"
+)
+
+const queryX1 = `SELECT * WHERE { ?d <directed> ?m . ?d <worked_with> ?c . }`
+
+func testClient(t *testing.T, opts ...Option) (*Client, *dualsim.DB) {
+	t.Helper()
+	st, err := dualsim.FromTriples(queries.Fig1aTriples())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := dualsim.Open(st, dualsim.WithPlanCache(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		hs.Close()
+		db.Close()
+	})
+	c, err := New(hs.URL, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, db
+}
+
+func TestClientQueryRoundTrip(t *testing.T) {
+	c, _ := testClient(t)
+	ctx := context.Background()
+
+	out, err := c.Query(ctx, queryX1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 2 || out.Epoch != 0 || out.Stats == nil {
+		t.Fatalf("query: %+v", out)
+	}
+
+	lim, err := c.Query(ctx, queryX1, Limit(1), Timeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lim.Rows) != 1 || !lim.Truncated {
+		t.Fatalf("limited query: %+v", lim)
+	}
+
+	if _, err := c.Query(ctx, "SELECT broken"); err == nil {
+		t.Fatal("broken query succeeded")
+	} else if IsOverloaded(err) {
+		t.Fatalf("parse error misclassified: %v", err)
+	}
+}
+
+func TestClientStreamDecode(t *testing.T) {
+	c, _ := testClient(t)
+	st, err := c.QueryStream(context.Background(), queryX1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if len(st.Vars()) != 3 || st.Epoch() != 0 {
+		t.Fatalf("header: vars %v epoch %d", st.Vars(), st.Epoch())
+	}
+	n := 0
+	for st.Next() {
+		row := st.Row()
+		if len(row) != len(st.Vars()) {
+			t.Fatalf("row arity %d", len(row))
+		}
+		for _, v := range row {
+			if v == nil {
+				t.Fatal("unexpected unbound binding in X1")
+			}
+		}
+		n++
+	}
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || st.Rows() != 2 || st.Stats() == nil || st.Stats().Epoch != 0 {
+		t.Fatalf("stream end: n=%d rows=%d stats=%+v", n, st.Rows(), st.Stats())
+	}
+}
+
+func TestClientApplyQueryEpochs(t *testing.T) {
+	c, db := testClient(t)
+	ctx := context.Background()
+
+	ar, err := c.ApplyDelta(ctx, dualsim.Delta{Adds: []dualsim.Triple{
+		dualsim.T("J._McTiernan", "directed", "Die_Hard"),
+		dualsim.T("J._McTiernan", "worked_with", "S._de_Souza"),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar.Stats.Epoch != 1 || ar.Stats.Added != 2 {
+		t.Fatalf("apply: %+v", ar.Stats)
+	}
+
+	out, err := c.Query(ctx, queryX1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 3 || out.Epoch != 1 {
+		t.Fatalf("post-apply query: %d rows, epoch %d", len(out.Rows), out.Epoch)
+	}
+
+	// Empty delta: no-op on the wire too.
+	ar, err = c.Apply(ctx, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ar.Stats.NoOp || ar.Stats.Epoch != 1 || db.Epoch() != 1 {
+		t.Fatalf("empty apply: %+v (session epoch %d)", ar.Stats, db.Epoch())
+	}
+
+	cr, err := c.Compact(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Stats.Epoch != 2 || !cr.Stats.Compacted {
+		t.Fatalf("compact: %+v", cr.Stats)
+	}
+
+	snap, err := c.Snapshot(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Epoch != 2 || snap.Compactions != 1 {
+		t.Fatalf("snapshot: %+v", snap)
+	}
+}
+
+func TestClientBatch(t *testing.T) {
+	c, _ := testClient(t)
+	out, err := c.Batch(context.Background(), []string{queryX1, queryX1, "SELECT broken"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Stats.Requests != 3 || out.Stats.Failed != 1 || out.Stats.CacheHits < 1 {
+		t.Fatalf("batch stats: %+v", out.Stats)
+	}
+	if len(out.Results[0].Rows) != 2 || out.Results[2].Error == "" {
+		t.Fatalf("batch items: %+v", out.Results)
+	}
+
+	// FailFast reaches the server: the broken first query aborts the
+	// batch, and the response still reports per-item outcomes.
+	ff, err := c.Batch(context.Background(), []string{"SELECT broken", queryX1}, FailFast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ff.Results[0].Error == "" || ff.Stats.Failed < 1 {
+		t.Fatalf("fail-fast batch: %+v", ff)
+	}
+}
+
+func TestClientHealthAndMetrics(t *testing.T) {
+	c, _ := testClient(t)
+	ctx := context.Background()
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("health: %+v", h)
+	}
+	if _, err := c.Query(ctx, queryX1); err != nil {
+		t.Fatal(err)
+	}
+	page, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page == "" || !containsLine(page, "dualsimd_queries_total 1") {
+		t.Fatalf("metrics page:\n%s", page)
+	}
+}
+
+func containsLine(page, line string) bool {
+	for len(page) > 0 {
+		i := 0
+		for i < len(page) && page[i] != '\n' {
+			i++
+		}
+		if page[:i] == line {
+			return true
+		}
+		if i == len(page) {
+			break
+		}
+		page = page[i+1:]
+	}
+	return false
+}
+
+// TestClientRetriesShedding points the client at a fake server that
+// sheds twice before answering, and asserts the retry loop honours the
+// Retry-After hint and eventually succeeds.
+func TestClientRetriesShedding(t *testing.T) {
+	var calls atomic.Int64
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"overloaded","retryAfterMs":1}`))
+			return
+		}
+		w.Write([]byte(`{"vars":["x"],"rows":[],"epoch":0}`))
+	}))
+	defer fake.Close()
+
+	c, err := New(fake.URL, WithRetries(3), WithRetryBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query(context.Background(), "SELECT * WHERE { ?x <p> ?y . }"); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+
+	// With the budget exhausted the 429 surfaces as an APIError.
+	calls.Store(-100)
+	c2, err := New(fake.URL, WithRetries(1), WithRetryBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c2.Query(context.Background(), "SELECT * WHERE { ?x <p> ?y . }")
+	if !IsOverloaded(err) {
+		t.Fatalf("want overload error, got %v", err)
+	}
+}
+
+// TestClientHealthNoRetryOnDrain: a 503 from /healthz is the answer
+// (the server is draining), not a transient failure — the probe must
+// report it on the first round-trip instead of burning the retry
+// budget.
+func TestClientHealthNoRetryOnDrain(t *testing.T) {
+	var calls atomic.Int64
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":"draining"}`))
+	}))
+	defer fake.Close()
+	c, err := New(fake.URL, WithRetries(3), WithRetryBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Health(context.Background())
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("health on draining server: %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("health probe retried: %d calls", got)
+	}
+}
+
+func TestClientOptionValidation(t *testing.T) {
+	if _, err := New(""); err == nil {
+		t.Fatal("empty base URL accepted")
+	}
+	for _, opt := range []Option{WithHTTPClient(nil), WithRetries(-1), WithRetryBackoff(0)} {
+		if _, err := New("http://x", opt); err == nil {
+			t.Fatal("invalid option accepted")
+		}
+	}
+}

@@ -24,6 +24,37 @@ func TestRunSingleTable(t *testing.T) {
 	}
 }
 
+// TestRunServingTableJSON guards the serving view (loopback HTTP load)
+// and its slot in the JSON report CI archives.
+func TestRunServingTableJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := run("serving", 1, 1, 7, 1, path); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	rows, ok := rep.Tables["serving"].([]any)
+	if !ok || len(rows) == 0 {
+		t.Fatalf("report misses the serving table: %v", rep.Tables)
+	}
+	row, ok := rows[0].(map[string]any)
+	if !ok {
+		t.Fatalf("serving row shape: %T", rows[0])
+	}
+	// The stable lowerCamel keys the artifact promises.
+	for _, key := range []string{"query", "p50", "p95", "cacheHitRate", "throughputRps", "shed"} {
+		if _, ok := row[key]; !ok {
+			t.Fatalf("serving row misses %q: %v", key, row)
+		}
+	}
+}
+
 // TestRunUpdatesTableJSON guards the live-update view and the JSON
 // report CI archives.
 func TestRunUpdatesTableJSON(t *testing.T) {

@@ -82,8 +82,11 @@ func main() {
 		prune: *doPrune, fingerprintK: *fingerprintK, workers: *workers,
 		repeat: *repeat, batch: *batch, planCache: *planCache,
 		batchWorkers: *batchWorkers,
-		applyFile: *applyFile, delFile: *delFile, compactAt: *compactAt,
+		applyFile:    *applyFile, delFile: *delFile, compactAt: *compactAt,
 	}
+	// Every failure — parse, exec, apply, I/O — exits non-zero with the
+	// error on stderr; a clean run exits 0. TestMainExitCodes pins this
+	// contract at the process level.
 	if err := run(ctx, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "dualsim:", err)
 		os.Exit(1)

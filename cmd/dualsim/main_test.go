@@ -4,12 +4,25 @@ import (
 	"context"
 	"errors"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"dualsim"
 	"dualsim/internal/queries"
 )
+
+// TestMain doubles the test binary as the dualsim CLI when re-executed
+// with DUALSIM_CLI_MAIN=1 — the hook TestMainExitCodes uses to assert
+// process-level exit codes without building the command separately.
+func TestMain(m *testing.M) {
+	if os.Getenv("DUALSIM_CLI_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
 
 func fixture(t *testing.T) string {
 	t.Helper()
@@ -175,6 +188,60 @@ func TestRunErrors(t *testing.T) {
 	for _, c := range cases {
 		if do(t, c.cfg) == nil {
 			t.Fatalf("%s: expected error", c.name)
+		}
+	}
+}
+
+// cli re-executes this test binary as the dualsim command (see
+// TestMain) and returns its exit code and stderr.
+func cli(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, args...)
+	cmd.Env = append(os.Environ(), "DUALSIM_CLI_MAIN=1")
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	err = cmd.Run()
+	code := 0
+	var ee *exec.ExitError
+	if errors.As(err, &ee) {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatal(err)
+	}
+	return code, stderr.String()
+}
+
+// TestMainExitCodes pins the process-level contract: parse, exec and
+// apply errors exit non-zero with the error on stderr; success exits 0.
+func TestMainExitCodes(t *testing.T) {
+	data := fixture(t)
+
+	code, stderr := cli(t, "-data", data, "-q", queries.QueryX1, "-limit", "1")
+	if code != 0 {
+		t.Fatalf("clean run exited %d, stderr:\n%s", code, stderr)
+	}
+
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"parse error", []string{"-data", data, "-q", "SELECT broken"}},
+		{"missing data", []string{"-q", queries.QueryX1}},
+		{"bad engine", []string{"-data", data, "-q", queries.QueryX1, "-engine", "nope"}},
+		{"apply error", []string{"-data", data, "-q", queries.QueryX1, "-apply", "/no/such.nt"}},
+		{"bad data path", []string{"-data", "/no/such.nt", "-q", queries.QueryX1}},
+	}
+	for _, c := range cases {
+		code, stderr := cli(t, c.args...)
+		if code == 0 {
+			t.Errorf("%s: exited 0", c.name)
+		}
+		if !strings.Contains(stderr, "dualsim:") {
+			t.Errorf("%s: error not printed to stderr, got %q", c.name, stderr)
 		}
 	}
 }

@@ -1,0 +1,197 @@
+// Command dualsimd serves a graph database over HTTP — the network
+// front end of the dual-simulation engine:
+//
+//	dualsimd -data db.nt -addr :8321
+//	dualsimd -data db.nt -addr 127.0.0.1:0 -plancache 256 -maxinflight 16
+//	dualsimd -data db.nt -prune=false -engine index
+//	dualsimd -data db.nt -compactat 4096 -fingerprint 2
+//
+// Endpoints (see internal/server for the wire format):
+//
+//	POST /v1/query     query via the plan cache; ?stream=1 for NDJSON rows
+//	POST /v1/batch     concurrent query batch
+//	POST /v1/apply     live delta (dels before adds, atomic, epoch++)
+//	POST /v1/compact   consolidate the update overlay
+//	GET  /v1/snapshot  epoch + store shape
+//	GET  /healthz      liveness (503 while draining)
+//	GET  /metrics      Prometheus-style metrics
+//
+// The daemon is a thin shell over the session layer: one dualsim.DB
+// with a plan cache serves every request; admission control
+// (-maxinflight, -queuedepth) sheds overload with 429 + Retry-After.
+// On SIGINT/SIGTERM it drains: /healthz flips to 503, in-flight queries
+// finish (bounded by -draintimeout), then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dualsim"
+	"dualsim/internal/server"
+)
+
+func main() {
+	cfg := parseFlags(os.Args[1:], flag.ExitOnError)
+	if err := run(context.Background(), cfg, os.Stderr, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "dualsimd:", err)
+		os.Exit(1)
+	}
+}
+
+// daemonConfig carries the parsed flags.
+type daemonConfig struct {
+	addr         string
+	data         string
+	engine       string
+	prune        bool
+	fingerprintK int
+	workers      int
+	planCache    int
+	batchWorkers int
+	compactAt    int
+	maxInFlight  int
+	queueDepth   int
+	timeout      time.Duration
+	drainTimeout time.Duration
+}
+
+func parseFlags(args []string, onError flag.ErrorHandling) daemonConfig {
+	fs := flag.NewFlagSet("dualsimd", onError)
+	cfg := daemonConfig{}
+	fs.StringVar(&cfg.addr, "addr", "127.0.0.1:8321", "listen address (host:port; port 0 picks a free one)")
+	fs.StringVar(&cfg.data, "data", "", "N-Triples database file (required)")
+	fs.StringVar(&cfg.engine, "engine", "hash", "evaluation engine: hash or index")
+	fs.BoolVar(&cfg.prune, "prune", true, "evaluate through the dual-simulation pruning pipeline")
+	fs.IntVar(&cfg.fingerprintK, "fingerprint", 0, "pre-filter via a k-bounded bisimulation fingerprint (0 = off)")
+	fs.IntVar(&cfg.workers, "workers", 0, "parallelize bit-matrix multiplications over this many goroutines")
+	fs.IntVar(&cfg.planCache, "plancache", 128, "LRU plan cache capacity (0 disables)")
+	fs.IntVar(&cfg.batchWorkers, "batchworkers", 0, "batch pool width (0 = GOMAXPROCS)")
+	fs.IntVar(&cfg.compactAt, "compactat", 0, "auto-compact the update overlay at this ledger size (0 = manual)")
+	fs.IntVar(&cfg.maxInFlight, "maxinflight", 0, "concurrently executing requests (0 = 2×GOMAXPROCS)")
+	fs.IntVar(&cfg.queueDepth, "queuedepth", 64, "requests waiting for a slot before shedding with 429")
+	fs.DurationVar(&cfg.timeout, "timeout", 0, "default per-request execution bound (0 = none; requests may set timeoutMs)")
+	fs.DurationVar(&cfg.drainTimeout, "draintimeout", 10*time.Second, "grace period for in-flight queries on shutdown")
+	fs.Parse(args) // ExitOnError in production; tests pass ContinueOnError configs directly
+	return cfg
+}
+
+// run loads the store, opens the session, serves until ctx is cancelled
+// or a termination signal arrives, then drains and exits. When ready is
+// non-nil, the bound address is sent on it once the listener is up (the
+// hook the tests and -addr :0 users rely on).
+func run(ctx context.Context, cfg daemonConfig, logw *os.File, ready chan<- string) error {
+	if cfg.data == "" {
+		return fmt.Errorf("-data is required")
+	}
+	f, err := os.Open(cfg.data)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	st, err := dualsim.LoadNTriples(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(logw, "loaded %d triples, %d nodes, %d predicates in %v\n",
+		st.NumTriples(), st.NumNodes(), st.NumPreds(), time.Since(start).Round(time.Millisecond))
+
+	db, err := openSession(st, cfg)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+
+	var srvOpts []server.Option
+	if cfg.maxInFlight > 0 {
+		srvOpts = append(srvOpts, server.WithMaxInFlight(cfg.maxInFlight))
+	}
+	// Always passed through: WithQueueDepth validates, so a negative
+	// flag value fails loudly instead of silently keeping the default.
+	srvOpts = append(srvOpts, server.WithQueueDepth(cfg.queueDepth))
+	if cfg.timeout > 0 {
+		srvOpts = append(srvOpts, server.WithDefaultTimeout(cfg.timeout))
+	}
+	srv, err := server.New(db, srvOpts...)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(logw, "dualsimd: listening on http://%s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	hs := &http.Server{Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sigctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err // Serve never returns nil
+	case <-sigctx.Done():
+	}
+
+	// Drain: flip health to 503 so load balancers stop routing here,
+	// then let http.Server.Shutdown wait out in-flight requests (bounded
+	// by the grace period).
+	fmt.Fprintf(logw, "dualsimd: draining (grace %v)\n", cfg.drainTimeout)
+	srv.StartDrain()
+	dctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintf(logw, "dualsimd: drained, bye\n")
+	return nil
+}
+
+// openSession maps the flags onto session options (mirrors cmd/dualsim).
+func openSession(st *dualsim.Store, cfg daemonConfig) (*dualsim.DB, error) {
+	opts := []dualsim.Option{dualsim.WithPruning(cfg.prune)}
+	switch cfg.engine {
+	case "hash":
+		opts = append(opts, dualsim.WithEngine(dualsim.HashJoin))
+	case "index":
+		opts = append(opts, dualsim.WithEngine(dualsim.IndexNL))
+	default:
+		return nil, fmt.Errorf("unknown engine %q (want hash or index)", cfg.engine)
+	}
+	if cfg.workers > 0 {
+		opts = append(opts, dualsim.WithWorkers(cfg.workers))
+	}
+	if cfg.fingerprintK != 0 {
+		if !cfg.prune {
+			return nil, fmt.Errorf("-fingerprint pre-filters the pruning solve; it requires -prune")
+		}
+		opts = append(opts, dualsim.WithFingerprint(cfg.fingerprintK))
+	}
+	if cfg.planCache > 0 {
+		opts = append(opts, dualsim.WithPlanCache(cfg.planCache))
+	}
+	if cfg.batchWorkers > 0 {
+		opts = append(opts, dualsim.WithBatchWorkers(cfg.batchWorkers))
+	}
+	if cfg.compactAt > 0 {
+		opts = append(opts, dualsim.WithCompactionThreshold(cfg.compactAt))
+	}
+	return dualsim.Open(st, opts...)
+}

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dualsim"
+	"dualsim/client"
+	"dualsim/internal/queries"
+)
+
+func fixture(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "fig1a.nt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	st, err := dualsim.FromTriples(queries.Fig1aTriples())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dualsim.DumpNTriples(f, st); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// startDaemon runs the daemon on a free loopback port and returns a
+// client plus a shutdown func that asserts a clean drain.
+func startDaemon(t *testing.T, cfg daemonConfig) (*client.Client, func()) {
+	t.Helper()
+	cfg.addr = "127.0.0.1:0"
+	if cfg.drainTimeout == 0 {
+		cfg.drainTimeout = 5 * time.Second
+	}
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- run(ctx, cfg, devnull, ready) }()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errc:
+		t.Fatalf("daemon died before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	c, err := client.New("http://" + addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, func() {
+		cancel() // run treats ctx cancellation like SIGTERM: drain + exit
+		select {
+		case err := <-errc:
+			if err != nil {
+				t.Fatalf("drain: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon did not drain")
+		}
+		devnull.Close()
+	}
+}
+
+const queryX1 = `SELECT * WHERE { ?d <directed> ?m . ?d <worked_with> ?c . }`
+
+func TestDaemonServesAndDrains(t *testing.T) {
+	c, shutdown := startDaemon(t, daemonConfig{
+		data: fixture(t), engine: "hash", prune: true, planCache: 16, queueDepth: 8,
+	})
+	ctx := context.Background()
+
+	h, err := c.Health(ctx)
+	if err != nil || h.Status != "ok" {
+		t.Fatalf("health: %+v, %v", h, err)
+	}
+	out, err := c.Query(ctx, queryX1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 2 || out.Epoch != 0 {
+		t.Fatalf("query: %d rows, epoch %d", len(out.Rows), out.Epoch)
+	}
+
+	// A live delta over the wire, then the streamed read of the result.
+	if _, err := c.ApplyDelta(ctx, dualsim.Delta{Adds: []dualsim.Triple{
+		dualsim.T("J._McTiernan", "directed", "Die_Hard"),
+		dualsim.T("J._McTiernan", "worked_with", "S._de_Souza"),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.QueryStream(ctx, queryX1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for st.Next() {
+		n++
+	}
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	if n != 3 || st.Epoch() != 1 {
+		t.Fatalf("streamed post-apply: %d rows, epoch %d", n, st.Epoch())
+	}
+
+	shutdown()
+}
+
+func TestDaemonConfigErrors(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	cases := []daemonConfig{
+		{},                             // missing -data
+		{data: "/no/such.nt"},          // unreadable store
+		{data: "fixture", engine: "x"}, // bad engine (data set below)
+		{data: "fixture", engine: "hash", fingerprintK: 2, prune: false}, // fingerprint without prune
+		{data: "fixture", engine: "hash", queueDepth: -1},                // negative queue depth fails loudly
+	}
+	fix := fixture(t)
+	for i := range cases {
+		if cases[i].data == "fixture" {
+			cases[i].data = fix
+		}
+		if err := run(context.Background(), cases[i], devnull, nil); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestParseFlagsDefaults(t *testing.T) {
+	cfg := parseFlags([]string{"-data", "x.nt", "-maxinflight", "4"}, flag.ContinueOnError)
+	if cfg.data != "x.nt" || cfg.maxInFlight != 4 || !cfg.prune || cfg.planCache != 128 {
+		t.Fatalf("parsed config: %+v", cfg)
+	}
+	if cfg.drainTimeout != 10*time.Second {
+		t.Fatalf("drain default: %v", cfg.drainTimeout)
+	}
+}

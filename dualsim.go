@@ -43,7 +43,11 @@
 //     fingerprint's partition is advanced around the touched nodes),
 //     db.Snapshot() pins an epoch for repeatable reads, and
 //     WithCompactionThreshold/db.Compact consolidate the update overlay
-//     into a pristine store.
+//     into a pristine store;
+//   - network serving: internal/server (behind cmd/dualsimd) exposes a
+//     session over HTTP/JSON with NDJSON row streaming, admission
+//     control and epoch-tagged responses; the client package is the
+//     typed Go client.
 //
 // A minimal session:
 //
@@ -237,14 +241,15 @@ func (o Options) config() core.Config {
 	return cfg
 }
 
-// Stats reports solver effort.
+// Stats reports solver effort. JSON tags are part of the serving wire
+// format (see ExecStats).
 type Stats struct {
 	// Rounds is the number of solver rounds ("iterations" in the paper).
-	Rounds int
+	Rounds int `json:"rounds"`
 	// Evaluations counts individual inequality evaluations.
-	Evaluations int
+	Evaluations int `json:"evaluations"`
 	// Updates counts evaluations that shrank a variable.
-	Updates int
+	Updates int `json:"updates"`
 }
 
 // Relation is the largest dual simulation of a query: per original query

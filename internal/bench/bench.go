@@ -92,13 +92,13 @@ func timeIt(repeats int, fn func()) time.Duration {
 // Table2Row compares the three dual simulation algorithms on one
 // OPTIONAL-stripped BGP.
 type Table2Row struct {
-	Query      string
-	TSOI       time.Duration
-	TMa        time.Duration
-	THHK       time.Duration
-	SOIRounds  int
-	MaIters    int
-	Candidates int // Σ |χS(v)| of the SOI solution
+	Query      string        `json:"query"`
+	TSOI       time.Duration `json:"tSOI"`
+	TMa        time.Duration `json:"tMa"`
+	THHK       time.Duration `json:"tHHK"`
+	SOIRounds  int           `json:"soiRounds"`
+	MaIters    int           `json:"maIters"`
+	Candidates int           `json:"candidates"` // Σ |χS(v)| of the SOI solution
 }
 
 // Table2 runs the B queries (OPTIONAL stripped, as in §5.2) through
@@ -142,13 +142,13 @@ func Table2(d *Datasets, repeats int) ([]Table2Row, error) {
 
 // Table3Row reports pruning effectiveness for one query.
 type Table3Row struct {
-	Query        string
-	Results      int
-	ReqTriples   int
-	TSOI         time.Duration
-	AfterPruning int
-	Total        int
-	Rounds       int
+	Query        string        `json:"query"`
+	Results      int           `json:"results"`
+	ReqTriples   int           `json:"reqTriples"`
+	TSOI         time.Duration `json:"tSOI"`
+	AfterPruning int           `json:"afterPruning"`
+	Total        int           `json:"total"`
+	Rounds       int           `json:"rounds"`
 }
 
 // PrunedFraction returns the share of removed triples.
@@ -201,11 +201,11 @@ func Table3(d *Datasets, repeats int) ([]Table3Row, error) {
 
 // EngineRow compares evaluation on the full vs. the pruned database.
 type EngineRow struct {
-	Query     string
-	TDB       time.Duration // evaluation on the full store
-	TDBPruned time.Duration // evaluation on the pruned store
-	TPrune    time.Duration // SPARQLSIM pruning time
-	Results   int
+	Query     string        `json:"query"`
+	TDB       time.Duration `json:"tDB"`       // evaluation on the full store
+	TDBPruned time.Duration `json:"tDBPruned"` // evaluation on the pruned store
+	TPrune    time.Duration `json:"tPrune"`    // SPARQLSIM pruning time
+	Results   int           `json:"results"`
 }
 
 // TotalPruned returns t_DB pruned + t_SPARQLSIM, the third column of
@@ -256,11 +256,11 @@ func EngineComparison(d *Datasets, eng engine.Engine, repeats int) ([]EngineRow,
 
 // IterRow reports SOI convergence effort for one query.
 type IterRow struct {
-	Query       string
-	Cyclic      bool
-	Rounds      int
-	Evaluations int
-	Updates     int
+	Query       string `json:"query"`
+	Cyclic      bool   `json:"cyclic"`
+	Rounds      int    `json:"rounds"`
+	Evaluations int    `json:"evaluations"`
+	Updates     int    `json:"updates"`
 }
 
 // IterationShapes reports the per-query round counts behind the paper's
@@ -292,15 +292,15 @@ func IterationShapes(d *Datasets) ([]IterRow, error) {
 // steady-state cached path, the repeated-traffic regime the ROADMAP's
 // serving goal cares about.
 type ThroughputRow struct {
-	Query string
+	Query string `json:"query"`
 	// TCold is the first Query on a fresh session: full planning plus
 	// execution.
-	TCold time.Duration
+	TCold time.Duration `json:"tCold"`
 	// THot is the steady-state cached Query (minimum over repeats): the
 	// plan comes from the LRU cache and the solver reuses pooled state.
-	THot time.Duration
+	THot time.Duration `json:"tHot"`
 	// Hits is the cache hit count accumulated over the hot runs.
-	Hits int64
+	Hits int64 `json:"hits"`
 }
 
 // Speedup returns TCold / THot.
@@ -365,22 +365,23 @@ func RenderThroughput(w io.Writer, rows []ThroughputRow) {
 // miss: re-plan + execute on the new snapshot), the steady-state cached
 // Query between updates, and an on-demand compaction of the final state.
 type UpdateRow struct {
-	Query string
+	Query string `json:"query"`
 	// THot is the cached Query with no intervening update (minimum over
 	// repeats) — the baseline the update costs compare against.
-	THot time.Duration
+	THot time.Duration `json:"tHot"`
 	// TApply is a two-triple Apply (one add, one delete), minimum over
 	// repeats: ledger staging plus per-predicate incremental re-indexing
 	// plus cache invalidation.
-	TApply time.Duration
+	TApply time.Duration `json:"tApply"`
 	// TRequery is the first Query after an Apply: the epoch-scoped plan
 	// cache misses and the query re-plans against the new snapshot.
-	TRequery time.Duration
+	TRequery time.Duration `json:"tRequery"`
 	// TCompact is the on-demand compaction after all applies.
-	TCompact time.Duration
+	TCompact time.Duration `json:"tCompact"`
 	// Applies is the number of updates performed; OverlaySize the ledger
 	// size just before compaction.
-	Applies, OverlaySize int
+	Applies     int `json:"applies"`
+	OverlaySize int `json:"overlaySize"`
 }
 
 // Updates measures the live-update path for one query per dataset. The
@@ -482,10 +483,10 @@ func RenderUpdates(w io.Writer, rows []UpdateRow) {
 // OrderRow reports the round-count spread over random inequality orders
 // for one query's mandatory core.
 type OrderRow struct {
-	Query           string
-	HeuristicRounds int
-	BestRounds      int
-	WorstRounds     int
+	Query           string `json:"query"`
+	HeuristicRounds int    `json:"heuristicRounds"`
+	BestRounds      int    `json:"bestRounds"`
+	WorstRounds     int    `json:"worstRounds"`
 }
 
 // OrderSearch reproduces the paper's §5.3 brute-force remark ("the

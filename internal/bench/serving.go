@@ -1,0 +1,231 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"dualsim"
+	"dualsim/client"
+	"dualsim/internal/queries"
+	"dualsim/internal/server"
+)
+
+// ServingRow reports the loopback serving benchmark for one query: a
+// real dualsimd-style HTTP server on 127.0.0.1, a fleet of concurrent
+// Go clients, and the latency/throughput/cache view of the hot path the
+// ROADMAP's "heavy traffic" goal targets. Writers interleave Apply
+// traffic so the numbers include epoch-keyed re-planning, exactly like
+// production. JSON tags are part of the benchtables -json artifact.
+type ServingRow struct {
+	Query string `json:"query"`
+	// Clients is the concurrent reader count, Requests the total reads
+	// that completed across all of them (shed requests excluded), and
+	// Applies the interleaved write load.
+	Clients  int `json:"clients"`
+	Requests int `json:"requests"`
+	Applies  int `json:"applies"`
+	// P50 and P95 are client-observed request latencies (serialize,
+	// loopback round-trip, execute, decode).
+	P50 time.Duration `json:"p50"`
+	P95 time.Duration `json:"p95"`
+	// Throughput is completed read requests per second over the run.
+	Throughput float64 `json:"throughputRps"`
+	// HitRate is the plan cache hit rate over the run in [0, 1] — with
+	// interleaved applies it stays below 1: the first query after each
+	// epoch bump re-plans.
+	HitRate float64 `json:"cacheHitRate"`
+	// Shed counts requests the admission controller answered with 429.
+	Shed int64 `json:"shed"`
+}
+
+// Loopback starts a serving stack (session + server + HTTP listener) on
+// 127.0.0.1 and returns its client and a shutdown func. Exported for
+// the root-level BenchmarkServeQuery.
+func Loopback(db *dualsim.DB, opts ...server.Option) (*client.Client, func() error, error) {
+	srv, err := server.New(db, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	hs := &http.Server{Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	c, err := client.New("http://"+ln.Addr().String(), client.WithRetries(0))
+	if err != nil {
+		ln.Close()
+		return nil, nil, err
+	}
+	shutdown := func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			return err
+		}
+		if err := <-errc; err != http.ErrServerClosed {
+			return err
+		}
+		return nil
+	}
+	return c, shutdown, nil
+}
+
+// ServeLoad drives one query through a loopback serving stack: clients
+// goroutines × perClient requests, with one writer interleaving applies
+// on a dedicated predicate (applies total, 0 disables). It returns the
+// sorted client-observed latencies plus the run duration, final cache
+// stats and shed count.
+func ServeLoad(db *dualsim.DB, src string, clients, perClient, applies int) (lat []time.Duration, elapsed time.Duration, shed int64, err error) {
+	c, shutdown, err := Loopback(db)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	defer func() {
+		if serr := shutdown(); err == nil && serr != nil {
+			err = serr
+		}
+	}()
+	ctx := context.Background()
+	// Warm lazy matrices and the plan cache outside the measured window.
+	if _, err := c.Query(ctx, src); err != nil {
+		return nil, 0, 0, err
+	}
+
+	var (
+		mu       sync.Mutex
+		all      = make([]time.Duration, 0, clients*perClient)
+		shedCnt  int64
+		wg       sync.WaitGroup
+		firstErr error
+	)
+	fail := func(e error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = e
+		}
+		mu.Unlock()
+	}
+	start := time.Now()
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]time.Duration, 0, perClient)
+			for i := 0; i < perClient; i++ {
+				t0 := time.Now()
+				_, qerr := c.Query(ctx, src)
+				d := time.Since(t0)
+				if qerr != nil {
+					if client.IsOverloaded(qerr) {
+						mu.Lock()
+						shedCnt++
+						mu.Unlock()
+						continue
+					}
+					fail(qerr)
+					return
+				}
+				local = append(local, d)
+			}
+			mu.Lock()
+			all = append(all, local...)
+			mu.Unlock()
+		}()
+	}
+	if applies > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < applies; i++ {
+				_, aerr := c.Apply(ctx, []client.Triple{
+					{S: fmt.Sprintf("upd:s%d", i), P: "upd:edge", O: fmt.Sprintf("upd:o%d", i)},
+				}, nil)
+				if aerr != nil && !client.IsOverloaded(aerr) {
+					fail(aerr)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed = time.Since(start)
+	if firstErr != nil {
+		return nil, 0, 0, firstErr
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return all, elapsed, shedCnt, nil
+}
+
+// Quantile picks the q-quantile (0 ≤ q ≤ 1) of sorted latencies.
+func Quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// Serving measures the end-to-end serving hot path for a representative
+// query per dataset under concurrent read load with interleaved writes.
+func Serving(d *Datasets, repeats int) ([]ServingRow, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	clients := 4
+	perClient := 25 * repeats
+	applies := 5 * repeats
+	var rows []ServingRow
+	for _, id := range []string{"L0", "B14"} {
+		spec, err := queries.ByID(id)
+		if err != nil {
+			return nil, err
+		}
+		db, err := dualsim.Open(d.StoreFor(spec), dualsim.WithPlanCache(16))
+		if err != nil {
+			return nil, err
+		}
+		lat, elapsed, shed, err := ServeLoad(db, spec.Text, clients, perClient, applies)
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		cs := db.CacheStats()
+		row := ServingRow{
+			Query:    spec.ID,
+			Clients:  clients,
+			Requests: len(lat),
+			Applies:  applies,
+			P50:      Quantile(lat, 0.50),
+			P95:      Quantile(lat, 0.95),
+			HitRate:  cs.HitRate(),
+			Shed:     shed,
+		}
+		if elapsed > 0 {
+			row.Throughput = float64(len(lat)) / elapsed.Seconds()
+		}
+		rows = append(rows, row)
+		db.Close()
+	}
+	return rows, nil
+}
+
+// RenderServing formats the serving rows.
+func RenderServing(w io.Writer, rows []ServingRow) {
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Query, fmt.Sprint(r.Clients), fmt.Sprint(r.Requests), fmt.Sprint(r.Applies),
+			Millis(r.P50), Millis(r.P95), fmt.Sprintf("%.0f", r.Throughput),
+			fmt.Sprintf("%.2f", r.HitRate), fmt.Sprint(r.Shed),
+		})
+	}
+	WriteTable(w, []string{"Query", "clients", "requests", "applies", "p50", "p95", "req/s", "hit_rate", "shed"}, cells)
+}

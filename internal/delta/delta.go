@@ -50,6 +50,9 @@ type Result struct {
 	// Compacted reports that the operation rebuilt the store from
 	// scratch (threshold crossed, or Compact was called).
 	Compacted bool
+	// NoOp reports that the delta was empty: the current snapshot was
+	// returned unchanged and the epoch did not advance.
+	NoOp bool
 	// Patch carries the storage-level maintenance statistics of the
 	// incremental path (zero value when the operation compacted).
 	Patch storage.PatchStats
@@ -133,6 +136,16 @@ func (o *Overlay) Compactions() int {
 func (o *Overlay) Apply(d Delta) (*storage.Store, Result, error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	// An empty delta is a no-op: publishing a fresh epoch for it would
+	// only invalidate cached plans and force re-planning for a snapshot
+	// that is bit-identical to the current one.
+	if len(d.Adds) == 0 && len(d.Dels) == 0 {
+		return o.cur, Result{
+			Epoch:       o.epoch,
+			OverlaySize: len(o.adds) + len(o.dels),
+			NoOp:        true,
+		}, nil
+	}
 	next, ps, err := o.cur.Patch(d.Adds, d.Dels)
 	if err != nil {
 		return nil, Result{Epoch: o.epoch, OverlaySize: len(o.adds) + len(o.dels)}, err

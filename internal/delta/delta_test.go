@@ -68,6 +68,36 @@ func TestApplyPublishesEpochs(t *testing.T) {
 	}
 }
 
+// TestApplyEmptyDeltaNoOp: an empty delta publishes nothing — same
+// store pointer, same epoch, ledger untouched.
+func TestApplyEmptyDeltaNoOp(t *testing.T) {
+	o, err := New(baseStore(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := o.Apply(Delta{Adds: []rdf.Triple{rdf.T("d", "p", "a")}}); err != nil {
+		t.Fatal(err)
+	}
+	before, epochBefore := o.Current()
+
+	st, res, err := o.Apply(Delta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.NoOp || res.Epoch != epochBefore || res.Added != 0 || res.Deleted != 0 {
+		t.Fatalf("empty apply result %+v (epoch before %d)", res, epochBefore)
+	}
+	if res.OverlaySize != 1 {
+		t.Fatalf("empty apply reported OverlaySize %d, want 1 (unchanged)", res.OverlaySize)
+	}
+	if st != before {
+		t.Fatal("empty apply published a new snapshot")
+	}
+	if _, e := o.Current(); e != epochBefore {
+		t.Fatalf("empty apply advanced the epoch to %d", e)
+	}
+}
+
 func TestLedgerCancellation(t *testing.T) {
 	o, err := New(baseStore(t), 0)
 	if err != nil {

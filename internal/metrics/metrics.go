@@ -1,0 +1,173 @@
+// Package metrics is a minimal process-local metrics registry for the
+// serving layer (and any engine component that wants live counters): a
+// flat namespace of named counters, gauges and computed gauges, rendered
+// on demand in a Prometheus-style text format.
+//
+// The registry is deliberately small — no labels, no histograms beyond
+// the caller-maintained quantile gauges — because its job is to expose
+// the handful of numbers the ROADMAP's serving goal cares about
+// (requests, shed, cache hit-rate, epoch, solver rounds) without pulling
+// a client library into the module. All operations are safe for
+// concurrent use and allocation-free on the hot path (Counter.Add /
+// Gauge.Set are single atomics).
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative n is ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an arbitrarily settable float64.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the gauge by d.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// metric is one registered series.
+type metric struct {
+	help  string
+	typ   string // "counter" or "gauge"
+	read  func() float64
+	owner any // the *Counter/*Gauge handed back on re-registration; nil for GaugeFunc
+}
+
+// Registry is a named collection of metrics. The zero value is not
+// usable; construct with NewRegistry. Safe for concurrent use.
+type Registry struct {
+	mu    sync.Mutex
+	items map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{items: make(map[string]*metric)}
+}
+
+// Counter registers (or returns the previously registered) counter under
+// name. Registering the same name as a different metric kind panics —
+// a programming error, not a runtime condition.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	got := r.register(name, help, "counter", func() float64 { return float64(c.Value()) }, c)
+	return got.(*Counter)
+}
+
+// Gauge registers (or returns) a settable gauge under name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	got := r.register(name, help, "gauge", func() float64 { return g.Value() }, g)
+	return got.(*Gauge)
+}
+
+// GaugeFunc registers a computed gauge: fn is evaluated at render time.
+// fn must be safe for concurrent use. Re-registering a name replaces the
+// function (convenient for tests); the kind must still match.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.items[name]; ok {
+		if m.typ != "gauge" {
+			panic(fmt.Sprintf("metrics: %s re-registered as gauge (was %s)", name, m.typ))
+		}
+		m.read = fn
+		return
+	}
+	r.items[name] = &metric{help: help, typ: "gauge", read: fn}
+}
+
+func (r *Registry) register(name, help, typ string, read func() float64, owner any) any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.items[name]; ok {
+		if m.typ != typ {
+			panic(fmt.Sprintf("metrics: %s re-registered as %s (was %s)", name, typ, m.typ))
+		}
+		if m.owner == nil {
+			// A GaugeFunc has no settable instance to hand back.
+			panic(fmt.Sprintf("metrics: %s is a computed gauge; it has no settable instance", name))
+		}
+		return m.owner
+	}
+	r.items[name] = &metric{help: help, typ: typ, read: read, owner: owner}
+	return owner
+}
+
+// Snapshot returns the current value of every registered metric, keyed
+// by name.
+func (r *Registry) Snapshot() map[string]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.items))
+	for name, m := range r.items {
+		out[name] = m.read()
+	}
+	return out
+}
+
+// WriteTo renders the registry in Prometheus text exposition format,
+// sorted by name for stable output.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.items))
+	for name := range r.items {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	type line struct {
+		name, help, typ string
+		value           float64
+	}
+	lines := make([]line, len(names))
+	for i, name := range names {
+		m := r.items[name]
+		lines[i] = line{name: name, help: m.help, typ: m.typ, value: m.read()}
+	}
+	r.mu.Unlock()
+
+	var n int64
+	for _, l := range lines {
+		k, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", l.name, l.help, l.name, l.typ, l.name, l.value)
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "requests")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters only go up
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("reqs_total", "requests"); again != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+
+	g := r.Gauge("depth", "queue depth")
+	g.Set(2.5)
+	g.Add(-0.5)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge = %v, want 2", got)
+	}
+
+	r.GaugeFunc("epoch", "store epoch", func() float64 { return 7 })
+	snap := r.Snapshot()
+	if snap["reqs_total"] != 5 || snap["depth"] != 2 || snap["epoch"] != 7 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}
+
+func TestWriteToFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "bees").Add(3)
+	r.GaugeFunc("a_gauge", "ays", func() float64 { return 1.5 })
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// Sorted by name, each with HELP/TYPE preamble.
+	wantOrder := strings.Index(out, "a_gauge")
+	if wantOrder < 0 || wantOrder > strings.Index(out, "b_total") {
+		t.Fatalf("names not sorted:\n%s", out)
+	}
+	for _, line := range []string{
+		"# TYPE a_gauge gauge", "a_gauge 1.5",
+		"# TYPE b_total counter", "b_total 3",
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Fatalf("output misses %q:\n%s", line, out)
+		}
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c", "").Inc()
+				r.Gauge("g", "").Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c", "").Value(); got != 8000 {
+		t.Fatalf("concurrent counter = %d, want 8000", got)
+	}
+	if got := r.Gauge("g", "").Value(); got != 8000 {
+		t.Fatalf("concurrent gauge = %v, want 8000", got)
+	}
+}

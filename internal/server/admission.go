@@ -1,0 +1,80 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrOverloaded is returned by the admission controller when both the
+// in-flight slots and the wait queue are full; the HTTP layer maps it to
+// 429 with a Retry-After hint.
+var ErrOverloaded = errors.New("server: overloaded, request shed")
+
+// admission is a semaphore-based admission controller with bounded
+// queueing: up to maxInFlight requests execute concurrently, up to
+// queueDepth more wait for a slot, and everything beyond is shed
+// immediately — the bounded-queue discipline that keeps an overloaded
+// server's latency finite instead of letting the accept backlog grow
+// without bound.
+type admission struct {
+	slots      chan struct{} // capacity = maxInFlight
+	queueDepth int64
+	queued     atomic.Int64
+	inFlight   atomic.Int64
+}
+
+func newAdmission(maxInFlight, queueDepth int) *admission {
+	a := &admission{
+		slots:      make(chan struct{}, maxInFlight),
+		queueDepth: int64(queueDepth),
+	}
+	for i := 0; i < maxInFlight; i++ {
+		a.slots <- struct{}{}
+	}
+	return a
+}
+
+// acquire claims an execution slot, waiting in the bounded queue when
+// all slots are busy. It returns ErrOverloaded when the queue is full,
+// or ctx.Err() when the caller gave up while queued. On success the
+// caller must invoke the returned release exactly once.
+func (a *admission) acquire(ctx context.Context) (release func(), err error) {
+	claim := func() func() {
+		a.inFlight.Add(1)
+		var done atomic.Bool
+		return func() {
+			if done.CompareAndSwap(false, true) {
+				a.inFlight.Add(-1)
+				a.slots <- struct{}{}
+			}
+		}
+	}
+	// Fast path: a slot is free.
+	select {
+	case <-a.slots:
+		return claim(), nil
+	default:
+	}
+	// Slow path: wait, but only if the queue has room. The counter is
+	// advisory — two racing requests may both enter a queue with one
+	// spot left — which bounds the queue at queueDepth + O(racers),
+	// exactly the property that matters (finite, near the target).
+	if a.queued.Load() >= a.queueDepth {
+		return nil, ErrOverloaded
+	}
+	a.queued.Add(1)
+	defer a.queued.Add(-1)
+	select {
+	case <-a.slots:
+		return claim(), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// InFlight returns the number of currently executing requests.
+func (a *admission) InFlight() int64 { return a.inFlight.Load() }
+
+// Queued returns the number of requests waiting for a slot.
+func (a *admission) Queued() int64 { return a.queued.Load() }

@@ -1,0 +1,634 @@
+// Package server exposes a dualsim session over HTTP/JSON — the serving
+// subsystem behind cmd/dualsimd. It is a thin, concurrency-hardened
+// front end over the session layer the earlier PRs built:
+//
+//	POST /v1/query     one query through the plan cache; buffered JSON
+//	                   or chunked NDJSON row streaming (?stream=1,
+//	                   Accept: application/x-ndjson, or "stream": true)
+//	POST /v1/batch     a query slice fanned over the session batch pool
+//	POST /v1/apply     a live delta (dels before adds, atomic, epoch++)
+//	POST /v1/compact   on-demand overlay compaction
+//	GET  /v1/snapshot  current epoch + store shape
+//	GET  /healthz      liveness (503 while draining)
+//	GET  /metrics      Prometheus-style text metrics
+//
+// Consistency: every query executes against a snapshot pinned for that
+// request (MVCC-lite), and every response is epoch-tagged — the NDJSON
+// header and the stats trailer carry the same epoch, results are decoded
+// against that epoch's dictionary, and the X-Dualsim-Epoch response
+// header repeats it. Concurrent /v1/apply traffic never tears a
+// response.
+//
+// Overload: a semaphore-based admission controller (WithMaxInFlight)
+// with a bounded wait queue (WithQueueDepth) sheds excess load with
+// 429 + Retry-After instead of queueing unboundedly; per-request
+// deadlines (timeoutMs) map onto the session's context-cancellation
+// plumbing and surface as 504.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"dualsim"
+	"dualsim/internal/metrics"
+	"dualsim/internal/storage"
+	"dualsim/internal/wire"
+)
+
+// maxParallelism sizes the default in-flight bound.
+func maxParallelism() int { return runtime.GOMAXPROCS(0) }
+
+// streamChunk is how many NDJSON row events are written between flushes:
+// large enough to amortize the chunked-encoding overhead, small enough
+// that a slow consumer sees steady progress.
+const streamChunk = 256
+
+// maxBodyBytes bounds request bodies (applies included); beyond it the
+// decoder fails with 400 rather than buffering an unbounded upload.
+const maxBodyBytes = 64 << 20
+
+// Option configures a Server.
+type Option func(*config) error
+
+type config struct {
+	maxInFlight    int
+	queueDepth     int
+	retryAfter     time.Duration
+	defaultTimeout time.Duration
+	registry       *metrics.Registry
+}
+
+// WithMaxInFlight bounds the number of concurrently executing requests
+// (default 2×GOMAXPROCS). Work beyond it waits in the bounded queue.
+func WithMaxInFlight(n int) Option {
+	return func(c *config) error {
+		if n <= 0 {
+			return fmt.Errorf("server: max in-flight must be positive, got %d", n)
+		}
+		c.maxInFlight = n
+		return nil
+	}
+}
+
+// WithQueueDepth bounds how many admitted-but-waiting requests may queue
+// for an execution slot (default 64). Requests beyond maxInFlight +
+// queueDepth are shed with 429 and a Retry-After hint. 0 disables
+// queueing entirely: every request beyond the in-flight bound sheds.
+func WithQueueDepth(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("server: negative queue depth %d", n)
+		}
+		c.queueDepth = n
+		return nil
+	}
+}
+
+// WithRetryAfter sets the Retry-After hint attached to shed responses
+// (default 1s).
+func WithRetryAfter(d time.Duration) Option {
+	return func(c *config) error {
+		if d <= 0 {
+			return fmt.Errorf("server: retry-after must be positive, got %v", d)
+		}
+		c.retryAfter = d
+		return nil
+	}
+}
+
+// WithDefaultTimeout bounds requests that do not carry their own
+// timeoutMs (default: unbounded).
+func WithDefaultTimeout(d time.Duration) Option {
+	return func(c *config) error {
+		if d < 0 {
+			return fmt.Errorf("server: negative default timeout %v", d)
+		}
+		c.defaultTimeout = d
+		return nil
+	}
+}
+
+// WithRegistry shares an existing metrics registry instead of creating a
+// private one — so engine-level series and serving series land on the
+// same /metrics page.
+func WithRegistry(r *metrics.Registry) Option {
+	return func(c *config) error {
+		if r == nil {
+			return fmt.Errorf("server: nil metrics registry")
+		}
+		c.registry = r
+		return nil
+	}
+}
+
+// Server serves one dualsim session over HTTP. Safe for concurrent use;
+// construct with New and mount Handler (or the Server itself, it
+// implements http.Handler).
+type Server struct {
+	db    *dualsim.DB
+	admit *admission
+	mux   *http.ServeMux
+	cfg   config
+	reg   *metrics.Registry
+
+	requests     *metrics.Counter
+	queries      *metrics.Counter
+	batches      *metrics.Counter
+	applies      *metrics.Counter
+	shed         *metrics.Counter
+	errors       *metrics.Counter
+	rows         *metrics.Counter
+	solverRounds *metrics.Counter
+	draining     *metrics.Gauge
+}
+
+// New builds a server over an open session. The session stays owned by
+// the caller (Close it after the HTTP server is down).
+func New(db *dualsim.DB, opts ...Option) (*Server, error) {
+	if db == nil {
+		return nil, fmt.Errorf("server: nil session")
+	}
+	cfg := config{
+		maxInFlight: 2 * maxParallelism(),
+		queueDepth:  64,
+		retryAfter:  time.Second,
+	}
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	reg := cfg.registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	s := &Server{
+		db:    db,
+		admit: newAdmission(cfg.maxInFlight, cfg.queueDepth),
+		mux:   http.NewServeMux(),
+		cfg:   cfg,
+		reg:   reg,
+
+		requests:     reg.Counter("dualsimd_requests_total", "HTTP requests received"),
+		queries:      reg.Counter("dualsimd_queries_total", "queries executed (incl. batch members)"),
+		batches:      reg.Counter("dualsimd_batches_total", "batch requests executed"),
+		applies:      reg.Counter("dualsimd_applies_total", "apply/compact operations"),
+		shed:         reg.Counter("dualsimd_shed_total", "requests shed with 429 by admission control"),
+		errors:       reg.Counter("dualsimd_errors_total", "requests answered with a non-2xx status"),
+		rows:         reg.Counter("dualsimd_rows_total", "result rows returned"),
+		solverRounds: reg.Counter("dualsimd_solver_rounds_total", "dual-simulation solver rounds executed"),
+		draining:     reg.Gauge("dualsimd_draining", "1 while the server is draining for shutdown"),
+	}
+	reg.GaugeFunc("dualsimd_in_flight", "requests currently executing", func() float64 {
+		return float64(s.admit.InFlight())
+	})
+	reg.GaugeFunc("dualsimd_queued", "requests waiting for an execution slot", func() float64 {
+		return float64(s.admit.Queued())
+	})
+	reg.GaugeFunc("dualsimd_epoch", "current store epoch", func() float64 {
+		return float64(db.Epoch())
+	})
+	// Computed from CacheStats at scrape time; named without the _total
+	// suffix OpenMetrics reserves for counters, since GaugeFunc is the
+	// registry's only computed hook.
+	reg.GaugeFunc("dualsimd_plan_cache_hits", "plan cache hits", func() float64 {
+		return float64(db.CacheStats().Hits)
+	})
+	reg.GaugeFunc("dualsimd_plan_cache_misses", "plan cache misses", func() float64 {
+		return float64(db.CacheStats().Misses)
+	})
+	reg.GaugeFunc("dualsimd_plan_cache_hit_rate", "plan cache hit rate in [0,1]", func() float64 {
+		return db.CacheStats().HitRate()
+	})
+	reg.GaugeFunc("dualsimd_overlay_size", "live-update overlay ledger size", func() float64 {
+		return float64(db.OverlaySize())
+	})
+	reg.GaugeFunc("dualsimd_triples", "triples in the current snapshot", func() float64 {
+		return float64(db.Store().NumTriples())
+	})
+
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/apply", s.handleApply)
+	s.mux.HandleFunc("POST /v1/compact", s.handleCompact)
+	s.mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s, nil
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s }
+
+// Registry returns the server's metrics registry (shared when
+// WithRegistry was given).
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// StartDrain flips the server into draining mode: /healthz answers 503
+// so load balancers stop routing here, while in-flight and follow-up
+// requests keep being served until the HTTP server shuts down. Called by
+// dualsimd when a termination signal arrives, before http.Server.
+// Shutdown drains the connections.
+func (s *Server) StartDrain() { s.draining.Set(1) }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	s.mux.ServeHTTP(w, r)
+}
+
+// ---------------------------------------------------------------------------
+// Handlers
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	// Admission runs before the body is even decoded: a shed request
+	// must cost near-nothing, and the slot covers all of the request's
+	// work (decode included), so overload cannot buy unbounded decode
+	// CPU either.
+	release, ok := s.admitOr429(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	var req wire.QueryRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		s.fail(w, http.StatusBadRequest, "empty query")
+		return
+	}
+	s.queries.Inc()
+
+	ctx, cancel := s.requestContext(r, req.TimeoutMs)
+	defer cancel()
+
+	// Pin the epoch for the whole request: execution answers from the
+	// pinned snapshot and the rows are decoded against the same
+	// dictionary, so a concurrent Apply (or even a compaction, which
+	// renumbers every node) cannot tear the response.
+	snap := s.db.Snapshot()
+	res, stats, err := snap.Query(ctx, req.Query)
+	if err != nil {
+		s.failExec(w, r, err)
+		return
+	}
+	s.solverRounds.Add(int64(stats.Solver.Rounds))
+	rows, truncated := res.Rows, false
+	if req.Limit > 0 && len(rows) > req.Limit {
+		rows, truncated = rows[:req.Limit], true
+	}
+	s.rows.Add(int64(len(rows)))
+
+	w.Header().Set("X-Dualsim-Epoch", strconv.FormatUint(stats.Epoch, 10))
+	if wantsStream(r, req) {
+		s.streamResult(w, snap.Store(), res.Vars, rows, stats, truncated)
+		return
+	}
+	out := &wire.QueryResponse{
+		Vars:      append([]string{}, res.Vars...),
+		Rows:      decodeRows(snap.Store(), rows),
+		Epoch:     stats.Epoch,
+		Truncated: truncated,
+		Stats:     stats,
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+// streamResult writes the NDJSON shape: header, row chunks with
+// incremental flushes, stats trailer.
+func (s *Server) streamResult(w http.ResponseWriter, st *dualsim.Store, vars []string, rows [][]storage.NodeID, stats *dualsim.ExecStats, truncated bool) {
+	w.Header().Set("Content-Type", wire.ContentTypeNDJSON)
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(wire.Event{Kind: wire.EventHeader, Vars: vars, Epoch: stats.Epoch}); err != nil {
+		return // client gone; nothing to salvage mid-stream
+	}
+	for i, row := range rows {
+		if err := enc.Encode(wire.Event{Kind: wire.EventRow, Values: decodeRow(st, row), Epoch: stats.Epoch}); err != nil {
+			return
+		}
+		if flusher != nil && (i+1)%streamChunk == 0 {
+			flusher.Flush()
+		}
+	}
+	_ = enc.Encode(wire.Event{Kind: wire.EventStats, Stats: stats, Rows: len(rows), Truncated: truncated, Epoch: stats.Epoch})
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	// One admission slot covers the whole batch (decode included): its
+	// internal fan-out runs on the session's own worker pool, and
+	// counting each member against maxInFlight would let one caller
+	// starve the server.
+	release, ok := s.admitOr429(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	var req wire.BatchRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Queries) == 0 {
+		s.fail(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	s.batches.Inc()
+	s.queries.Add(int64(len(req.Queries)))
+
+	ctx, cancel := s.requestContext(r, req.TimeoutMs)
+	defer cancel()
+
+	reqs := make([]dualsim.BatchRequest, len(req.Queries))
+	for i, src := range req.Queries {
+		reqs[i] = dualsim.BatchRequest{Src: src}
+	}
+	var opts []dualsim.BatchOption
+	if req.FailFast {
+		opts = append(opts, dualsim.BatchFailFast())
+	}
+	start := time.Now()
+	out, err := s.db.ExecBatch(ctx, reqs, opts...)
+	// A context failure (deadline, client gone, closed session) fails
+	// the call; a fail-fast first error is still reported per item, with
+	// the per-request outcomes that did complete.
+	if err != nil && (errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) || errors.Is(err, dualsim.ErrClosed)) {
+		s.failExec(w, r, err)
+		return
+	}
+	resp := &wire.BatchResponse{
+		Results: make([]wire.BatchItem, len(out)),
+		Stats:   dualsim.SummarizeBatch(out, time.Since(start)),
+	}
+	for i := range out {
+		if out[i].Err != nil {
+			// Reported in the item's error slot; the HTTP reply is still
+			// 200, so errors_total (non-2xx responses) does not move.
+			resp.Results[i] = wire.BatchItem{Error: out[i].Err.Error()}
+			continue
+		}
+		rows, truncated := out[i].Result.Rows, false
+		if req.Limit > 0 && len(rows) > req.Limit {
+			rows, truncated = rows[:req.Limit], true
+		}
+		s.rows.Add(int64(len(rows)))
+		s.solverRounds.Add(int64(out[i].Stats.Solver.Rounds))
+		resp.Results[i] = wire.BatchItem{
+			Vars:      append([]string{}, out[i].Result.Vars...),
+			Rows:      decodeRows(out[i].Store, rows),
+			Epoch:     out[i].Stats.Epoch,
+			Truncated: truncated,
+			Stats:     out[i].Stats,
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admitOr429(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	var req wire.ApplyRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	s.applies.Inc()
+
+	ctx, cancel := s.requestContext(r, 0)
+	defer cancel()
+
+	d := dualsim.Delta{}
+	for i, t := range req.Adds {
+		if err := t.Validate(); err != nil {
+			s.fail(w, http.StatusBadRequest, fmt.Sprintf("adds[%d]: %v", i, err))
+			return
+		}
+		d.Adds = append(d.Adds, t.ToTriple())
+	}
+	for i, t := range req.Dels {
+		if err := t.Validate(); err != nil {
+			s.fail(w, http.StatusBadRequest, fmt.Sprintf("dels[%d]: %v", i, err))
+			return
+		}
+		d.Dels = append(d.Dels, t.ToTriple())
+	}
+	stats, err := s.db.Apply(ctx, d)
+	if err != nil {
+		s.failExec(w, r, err)
+		return
+	}
+	w.Header().Set("X-Dualsim-Epoch", strconv.FormatUint(stats.Epoch, 10))
+	s.writeJSON(w, http.StatusOK, &wire.ApplyResponse{Stats: stats})
+}
+
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admitOr429(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	s.applies.Inc()
+
+	ctx, cancel := s.requestContext(r, 0)
+	defer cancel()
+	stats, err := s.db.Compact(ctx)
+	if err != nil {
+		s.failExec(w, r, err)
+		return
+	}
+	w.Header().Set("X-Dualsim-Epoch", strconv.FormatUint(stats.Epoch, 10))
+	s.writeJSON(w, http.StatusOK, &wire.ApplyResponse{Stats: stats})
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	// The store shape comes from a pinned snapshot; the overlay counters
+	// are live session reads. Re-read until the epoch is stable around
+	// them so a concurrent Apply/Compact cannot tear the response into a
+	// combination that never existed (e.g. the old epoch with the
+	// post-compaction overlay size).
+	var out wire.SnapshotResponse
+	for i := 0; i < 4; i++ {
+		snap := s.db.Snapshot()
+		st := snap.Store()
+		out = wire.SnapshotResponse{
+			Epoch:       snap.Epoch(),
+			Triples:     st.NumTriples(),
+			Nodes:       st.NumNodes(),
+			Predicates:  st.NumPreds(),
+			OverlaySize: s.db.OverlaySize(),
+			Compactions: s.db.Compactions(),
+		}
+		if s.db.Epoch() == snap.Epoch() {
+			break
+		}
+	}
+	w.Header().Set("X-Dualsim-Epoch", strconv.FormatUint(out.Epoch, 10))
+	s.writeJSON(w, http.StatusOK, &out)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Value() != 0 {
+		s.writeJSON(w, http.StatusServiceUnavailable, &wire.HealthResponse{Status: "draining", Epoch: s.db.Epoch()})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, &wire.HealthResponse{Status: "ok", Epoch: s.db.Epoch()})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_, _ = s.reg.WriteTo(w)
+}
+
+// ---------------------------------------------------------------------------
+// Plumbing
+
+// admitOr429 passes the request through admission control; on shedding
+// it writes the 429 (with Retry-After) or the client-abandonment status
+// and reports false.
+func (s *Server) admitOr429(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	release, err := s.admit.acquire(r.Context())
+	switch {
+	case err == nil:
+		return release, true
+	case errors.Is(err, ErrOverloaded):
+		s.shed.Inc()
+		s.errors.Inc()
+		secs := int64(s.cfg.retryAfter.Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		s.writeJSON(w, http.StatusTooManyRequests, &wire.ErrorResponse{
+			Error:        "overloaded: in-flight and queue limits reached",
+			RetryAfterMs: s.cfg.retryAfter.Milliseconds(),
+		})
+		return nil, false
+	default: // the client went away while queued; fail counts the error
+		s.fail(w, statusClientClosedRequest, "client cancelled while queued")
+		return nil, false
+	}
+}
+
+// statusClientClosedRequest is nginx's conventional status for a client
+// that disconnected before the response; no standard code exists.
+const statusClientClosedRequest = 499
+
+// requestContext derives the execution context: the HTTP request context
+// (client disconnect cancels it) bounded by the request's timeoutMs or
+// the server default.
+func (s *Server) requestContext(r *http.Request, timeoutMs int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.defaultTimeout
+	if timeoutMs > 0 {
+		d = time.Duration(timeoutMs) * time.Millisecond
+	}
+	if d > 0 {
+		return context.WithTimeout(r.Context(), d)
+	}
+	return context.WithCancel(r.Context())
+}
+
+// decodeBody decodes a JSON body, answering 400 on malformed input and
+// 413 when the body exceeds maxBodyBytes (so bulk-apply callers know to
+// chunk the delta rather than fix their JSON).
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.fail(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes; split the request", tooLarge.Limit))
+			return false
+		}
+		s.fail(w, http.StatusBadRequest, "malformed request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// failExec maps an execution error onto an HTTP status: deadline → 504,
+// client disconnect → 499, closed session → 503, anything else (parse,
+// plan, malformed delta — all induced by the request) → 400.
+func (s *Server) failExec(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.fail(w, http.StatusGatewayTimeout, "deadline exceeded: "+err.Error())
+	case errors.Is(err, context.Canceled):
+		s.errors.Inc()
+		// The client is gone; record the status for logs, skip the body.
+		w.WriteHeader(statusClientClosedRequest)
+	case errors.Is(err, dualsim.ErrClosed):
+		s.fail(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		s.fail(w, http.StatusBadRequest, err.Error())
+	}
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, msg string) {
+	if status >= 400 {
+		s.errors.Inc()
+	}
+	s.writeJSON(w, status, &wire.ErrorResponse{Error: msg})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, body any) {
+	buf, err := json.Marshal(body)
+	if err != nil { // a wire type failed to marshal: a programming error
+		http.Error(w, `{"error":"internal: response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
+	if w.Header().Get("Content-Type") == "" {
+		w.Header().Set("Content-Type", wire.ContentTypeJSON)
+	}
+	w.WriteHeader(status)
+	_, _ = w.Write(buf)
+	_, _ = io.WriteString(w, "\n")
+}
+
+// wantsStream resolves the three ways a client can request NDJSON.
+func wantsStream(r *http.Request, req wire.QueryRequest) bool {
+	if req.Stream {
+		return true
+	}
+	if v := r.URL.Query().Get("stream"); v == "1" || v == "true" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), wire.ContentTypeNDJSON)
+}
+
+// decodeRow renders one result row against the snapshot dictionary it
+// was computed on: N-Triples term rendering, nil for unbound positions.
+func decodeRow(st *dualsim.Store, row []storage.NodeID) []*string {
+	out := make([]*string, len(row))
+	for i, v := range row {
+		if v == dualsim.Unbound {
+			continue
+		}
+		s := st.Term(v).String()
+		out[i] = &s
+	}
+	return out
+}
+
+func decodeRows(st *dualsim.Store, rows [][]storage.NodeID) [][]*string {
+	out := make([][]*string, len(rows))
+	for i, row := range rows {
+		out[i] = decodeRow(st, row)
+	}
+	return out
+}

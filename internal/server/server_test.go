@@ -1,0 +1,534 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dualsim"
+	"dualsim/internal/queries"
+	"dualsim/internal/wire"
+)
+
+const queryX1 = `SELECT * WHERE { ?d <directed> ?m . ?d <worked_with> ?c . }`
+
+func newTestServer(t *testing.T, opts ...Option) (*Server, *httptest.Server, *dualsim.DB) {
+	t.Helper()
+	st, err := dualsim.FromTriples(queries.Fig1aTriples())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := dualsim.Open(st, dualsim.WithPlanCache(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(db, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		hs.Close()
+		db.Close()
+	})
+	return srv, hs, db
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, wire.ContentTypeJSON, bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decode[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var out T
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return out
+}
+
+func TestQueryBuffered(t *testing.T) {
+	_, hs, _ := newTestServer(t)
+	resp := postJSON(t, hs.URL+"/v1/query", wire.QueryRequest{Query: queryX1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Dualsim-Epoch"); got != "0" {
+		t.Fatalf("epoch header = %q, want 0", got)
+	}
+	out := decode[wire.QueryResponse](t, resp)
+	if len(out.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(out.Rows))
+	}
+	if out.Epoch != 0 || out.Stats == nil || out.Stats.Epoch != 0 {
+		t.Fatalf("epoch tagging inconsistent: %+v", out)
+	}
+	if len(out.Vars) != 3 {
+		t.Fatalf("vars = %v", out.Vars)
+	}
+	for _, row := range out.Rows {
+		for _, v := range row {
+			if v == nil || !strings.HasPrefix(*v, "<") {
+				t.Fatalf("binding not decoded: %v", row)
+			}
+		}
+	}
+}
+
+// readStream decodes an NDJSON response into its events.
+func readStream(t *testing.T, body io.Reader) (header wire.Event, rows []wire.Event, stats wire.Event) {
+	t.Helper()
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	first := true
+	for sc.Scan() {
+		var ev wire.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		switch ev.Kind {
+		case wire.EventHeader:
+			if !first {
+				t.Fatal("header event not first")
+			}
+			header = ev
+		case wire.EventRow:
+			rows = append(rows, ev)
+		case wire.EventStats:
+			stats = ev
+		case wire.EventError:
+			t.Fatalf("stream error: %s", ev.Error)
+		default:
+			t.Fatalf("unknown event kind %q", ev.Kind)
+		}
+		first = false
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if header.Kind == "" || stats.Kind == "" {
+		t.Fatalf("stream missing header/stats (header %q, stats %q)", header.Kind, stats.Kind)
+	}
+	return header, rows, stats
+}
+
+func TestQueryStreamed(t *testing.T) {
+	_, hs, _ := newTestServer(t)
+	resp := postJSON(t, hs.URL+"/v1/query?stream=1", wire.QueryRequest{Query: queryX1})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != wire.ContentTypeNDJSON {
+		t.Fatalf("content type = %q", ct)
+	}
+	header, rows, stats := readStream(t, resp.Body)
+	if len(header.Vars) != 3 || len(rows) != 2 {
+		t.Fatalf("header vars %v, %d rows", header.Vars, len(rows))
+	}
+	if stats.Rows != 2 || stats.Stats == nil {
+		t.Fatalf("stats trailer: %+v", stats)
+	}
+	if header.Epoch != stats.Stats.Epoch {
+		t.Fatalf("epoch mismatch: header %d, stats %d", header.Epoch, stats.Stats.Epoch)
+	}
+}
+
+func TestQueryLimitTruncates(t *testing.T) {
+	_, hs, _ := newTestServer(t)
+	resp := postJSON(t, hs.URL+"/v1/query", wire.QueryRequest{Query: queryX1, Limit: 1})
+	out := decode[wire.QueryResponse](t, resp)
+	if len(out.Rows) != 1 || !out.Truncated {
+		t.Fatalf("limit: %d rows, truncated %v", len(out.Rows), out.Truncated)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	_, hs, _ := newTestServer(t)
+	for _, tc := range []struct {
+		name string
+		body string
+		want int
+	}{
+		{"malformed json", `{`, http.StatusBadRequest},
+		{"unknown field", `{"nope": 1}`, http.StatusBadRequest},
+		{"empty query", `{"query": "  "}`, http.StatusBadRequest},
+		{"parse error", `{"query": "SELECT broken"}`, http.StatusBadRequest},
+	} {
+		resp, err := http.Post(hs.URL+"/v1/query", wire.ContentTypeJSON, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := decode[wire.ErrorResponse](t, resp)
+		if resp.StatusCode != tc.want || out.Error == "" {
+			t.Fatalf("%s: status %d (want %d), error %q", tc.name, resp.StatusCode, tc.want, out.Error)
+		}
+	}
+	// Wrong method.
+	resp, err := http.Get(hs.URL + "/v1/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/query = %d", resp.StatusCode)
+	}
+}
+
+func TestBatch(t *testing.T) {
+	_, hs, _ := newTestServer(t)
+	resp := postJSON(t, hs.URL+"/v1/batch", wire.BatchRequest{
+		Queries: []string{queryX1, "SELECT broken", queryX1},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	out := decode[wire.BatchResponse](t, resp)
+	if len(out.Results) != 3 {
+		t.Fatalf("results = %d", len(out.Results))
+	}
+	if len(out.Results[0].Rows) != 2 || out.Results[1].Error == "" || len(out.Results[2].Rows) != 2 {
+		t.Fatalf("batch items: %+v", out.Results)
+	}
+	if out.Stats.Requests != 3 || out.Stats.Failed != 1 || out.Stats.Results != 4 {
+		t.Fatalf("batch stats: %+v", out.Stats)
+	}
+	// The repeated text re-used the plan: one of the two X1 executions
+	// hit the cache.
+	if out.Stats.CacheHits < 1 {
+		t.Fatalf("batch stats report no cache hits: %+v", out.Stats)
+	}
+}
+
+func TestApplyCompactSnapshot(t *testing.T) {
+	_, hs, db := newTestServer(t)
+	resp := postJSON(t, hs.URL+"/v1/apply", wire.ApplyRequest{
+		Adds: []wire.Triple{
+			{S: "J._McTiernan", P: "directed", O: "Die_Hard"},
+			{S: "J._McTiernan", P: "worked_with", O: "S._de_Souza"},
+			{S: "Newark", P: "motto", Lit: "Liberty and Prosperity", IsLit: true},
+		},
+	})
+	out := decode[wire.ApplyResponse](t, resp)
+	if out.Stats.Epoch != 1 || out.Stats.Added != 3 {
+		t.Fatalf("apply stats: %+v", out.Stats)
+	}
+	if db.Epoch() != 1 {
+		t.Fatalf("session epoch = %d", db.Epoch())
+	}
+
+	// The new snapshot serves the extra match.
+	qr := decode[wire.QueryResponse](t, postJSON(t, hs.URL+"/v1/query", wire.QueryRequest{Query: queryX1}))
+	if len(qr.Rows) != 3 || qr.Epoch != 1 {
+		t.Fatalf("post-apply query: %d rows at epoch %d", len(qr.Rows), qr.Epoch)
+	}
+
+	// An empty delta is a no-op: same epoch, no invalidation.
+	out = decode[wire.ApplyResponse](t, postJSON(t, hs.URL+"/v1/apply", wire.ApplyRequest{}))
+	if !out.Stats.NoOp || out.Stats.Epoch != 1 {
+		t.Fatalf("empty apply: %+v", out.Stats)
+	}
+
+	cr := decode[wire.ApplyResponse](t, postJSON(t, hs.URL+"/v1/compact", nil))
+	if cr.Stats.Epoch != 2 || !cr.Stats.Compacted {
+		t.Fatalf("compact stats: %+v", cr.Stats)
+	}
+
+	resp, err := http.Get(hs.URL + "/v1/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := decode[wire.SnapshotResponse](t, resp)
+	if snap.Epoch != 2 || snap.Triples != 23 || snap.OverlaySize != 0 || snap.Compactions != 1 {
+		t.Fatalf("snapshot: %+v", snap)
+	}
+}
+
+func TestApplyMalformedTriple(t *testing.T) {
+	_, hs, db := newTestServer(t)
+	for name, bad := range map[string]wire.Triple{
+		"empty subject":    {S: "", P: "directed", O: "X"},
+		"ambiguous object": {S: "a", P: "p", O: "iri", Lit: "lit"},
+	} {
+		resp := postJSON(t, hs.URL+"/v1/apply", wire.ApplyRequest{Adds: []wire.Triple{bad}})
+		out := decode[wire.ErrorResponse](t, resp)
+		if resp.StatusCode != http.StatusBadRequest || out.Error == "" {
+			t.Fatalf("%s: status %d, error %q", name, resp.StatusCode, out.Error)
+		}
+	}
+	if db.Epoch() != 0 {
+		t.Fatal("failed apply advanced the epoch")
+	}
+}
+
+func TestHealthAndDrain(t *testing.T) {
+	srv, hs, _ := newTestServer(t)
+	resp, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := decode[wire.HealthResponse](t, resp)
+	if resp.StatusCode != http.StatusOK || h.Status != "ok" {
+		t.Fatalf("healthz: %d %+v", resp.StatusCode, h)
+	}
+	srv.StartDrain()
+	resp, err = http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h = decode[wire.HealthResponse](t, resp)
+	if resp.StatusCode != http.StatusServiceUnavailable || h.Status != "draining" {
+		t.Fatalf("draining healthz: %d %+v", resp.StatusCode, h)
+	}
+	// Draining only flips health: in-flight/new work is still served
+	// until the HTTP server itself shuts down.
+	qr := postJSON(t, hs.URL+"/v1/query", wire.QueryRequest{Query: queryX1})
+	if qr.StatusCode != http.StatusOK {
+		t.Fatalf("query while draining = %d", qr.StatusCode)
+	}
+	qr.Body.Close()
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, hs, _ := newTestServer(t)
+	postJSON(t, hs.URL+"/v1/query", wire.QueryRequest{Query: queryX1}).Body.Close()
+	postJSON(t, hs.URL+"/v1/query", wire.QueryRequest{Query: queryX1}).Body.Close()
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(buf)
+	for _, want := range []string{
+		"dualsimd_requests_total 3", // 2 queries + this scrape... no: scrape is the 3rd request
+		"dualsimd_queries_total 2",
+		"dualsimd_epoch 0",
+		"dualsimd_plan_cache_hits 1",
+		"dualsimd_plan_cache_hit_rate 0.5",
+		"dualsimd_rows_total 4",
+		"dualsimd_shed_total 0",
+	} {
+		if !strings.Contains(body, want+"\n") {
+			t.Fatalf("metrics miss %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestOverloadSheds deterministically fills every slot and the queue,
+// then asserts the next request is shed with 429 + Retry-After.
+func TestOverloadSheds(t *testing.T) {
+	srv, hs, _ := newTestServer(t, WithMaxInFlight(1), WithQueueDepth(1), WithRetryAfter(2*time.Second))
+	// Occupy the single execution slot and the single queue spot
+	// directly on the admission controller (white box — the HTTP path
+	// cannot hold a slot open deterministically with fast queries).
+	release, err := srv.admit.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	queued := make(chan struct{})
+	qctx, qcancel := context.WithCancel(context.Background())
+	defer qcancel()
+	go func() {
+		close(queued)
+		rel, err := srv.admit.acquire(qctx)
+		if err == nil {
+			rel()
+		}
+	}()
+	<-queued
+	// Wait until the queued goroutine is counted.
+	for i := 0; srv.admit.Queued() == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if srv.admit.Queued() == 0 {
+		t.Fatal("queue never filled")
+	}
+
+	resp := postJSON(t, hs.URL+"/v1/query", wire.QueryRequest{Query: queryX1})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overloaded status = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After = %q, want 2", ra)
+	}
+	out := decode[wire.ErrorResponse](t, resp)
+	if out.RetryAfterMs != 2000 {
+		t.Fatalf("retryAfterMs = %d", out.RetryAfterMs)
+	}
+	if srv.Registry().Snapshot()["dualsimd_shed_total"] != 1 {
+		t.Fatal("shed counter did not move")
+	}
+}
+
+func TestQueryDeadline(t *testing.T) {
+	_, hs, _ := newTestServer(t)
+	// A 1ns-equivalent deadline: timeoutMs must be > 0 to take effect,
+	// so use 1ms against a query that includes an artificial pause via
+	// admission? The engine is too fast on fig1a — instead rely on the
+	// context being expired before execution starts.
+	resp := postJSON(t, hs.URL+"/v1/query", wire.QueryRequest{Query: queryX1, TimeoutMs: 1})
+	// Either the query won the race (200) or the deadline fired (504);
+	// both are legal, but a 504 must carry the error shape.
+	switch resp.StatusCode {
+	case http.StatusOK:
+		resp.Body.Close()
+	case http.StatusGatewayTimeout:
+		out := decode[wire.ErrorResponse](t, resp)
+		if !strings.Contains(out.Error, "deadline") {
+			t.Fatalf("504 error = %q", out.Error)
+		}
+	default:
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+// TestConcurrentQueriesAndApplies is the end-to-end acceptance test: N
+// concurrent clients issue buffered and streamed queries while a writer
+// interleaves Apply/Compact. Every response must be internally
+// epoch-consistent (header epoch == stats epoch, bindings decodable) and
+// every status must be 200 or 429 — never a hang, tear or race (run
+// under -race).
+func TestConcurrentQueriesAndApplies(t *testing.T) {
+	_, hs, db := newTestServer(t, WithMaxInFlight(4), WithQueueDepth(2))
+	const (
+		clients   = 8
+		perClient = 25
+		applies   = 40
+	)
+	var wg sync.WaitGroup
+	errc := make(chan error, clients+1)
+
+	// Writer: live deltas on a dedicated predicate, with a compaction in
+	// the middle (which renumbers node ids — the decode-against-pinned-
+	// snapshot property under test).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < applies; i++ {
+			if i == applies/2 {
+				resp := postJSON(t, hs.URL+"/v1/compact", nil)
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				continue
+			}
+			resp := postJSON(t, hs.URL+"/v1/apply", wire.ApplyRequest{
+				Adds: []wire.Triple{{S: "upd:s" + strconv.Itoa(i), P: "upd:edge", O: "upd:o" + strconv.Itoa(i)}},
+			})
+			if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusTooManyRequests {
+				errc <- fmt.Errorf("apply %d: status %d", i, resp.StatusCode)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				if (c+i)%2 == 0 {
+					resp := postJSON(t, hs.URL+"/v1/query", wire.QueryRequest{Query: queryX1})
+					switch resp.StatusCode {
+					case http.StatusOK:
+						out := decode[wire.QueryResponse](t, resp)
+						if out.Stats == nil || out.Epoch != out.Stats.Epoch {
+							errc <- fmt.Errorf("buffered: inconsistent epochs %+v", out)
+						}
+						if len(out.Rows) < 2 {
+							errc <- fmt.Errorf("buffered: %d rows", len(out.Rows))
+						}
+					case http.StatusTooManyRequests:
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					default:
+						errc <- fmt.Errorf("buffered: status %d", resp.StatusCode)
+						resp.Body.Close()
+					}
+				} else {
+					resp := postJSON(t, hs.URL+"/v1/query?stream=1", wire.QueryRequest{Query: queryX1})
+					switch resp.StatusCode {
+					case http.StatusOK:
+						header, rows, stats := readStream(t, resp.Body)
+						resp.Body.Close()
+						if header.Epoch != stats.Stats.Epoch {
+							errc <- fmt.Errorf("stream: header epoch %d != stats epoch %d", header.Epoch, stats.Stats.Epoch)
+						}
+						if len(rows) < 2 {
+							errc <- fmt.Errorf("stream: %d rows", len(rows))
+						}
+						for _, ev := range rows {
+							for _, v := range ev.Values {
+								if v == nil || !strings.HasPrefix(*v, "<") {
+									errc <- fmt.Errorf("stream: undecodable binding %v at epoch %d", ev.Values, header.Epoch)
+								}
+							}
+						}
+					case http.StatusTooManyRequests:
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					default:
+						errc <- fmt.Errorf("stream: status %d", resp.StatusCode)
+						resp.Body.Close()
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if db.Epoch() == 0 {
+		t.Fatal("writer never advanced the epoch")
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	st, err := dualsim.FromTriples(queries.Fig1aTriples())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := dualsim.Open(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for _, opt := range []Option{
+		WithMaxInFlight(0), WithQueueDepth(-1), WithRetryAfter(0),
+		WithDefaultTimeout(-time.Second), WithRegistry(nil),
+	} {
+		if _, err := New(db, opt); err == nil {
+			t.Fatal("invalid option accepted")
+		}
+	}
+	if _, err := New(nil); err == nil {
+		t.Fatal("nil session accepted")
+	}
+}

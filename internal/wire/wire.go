@@ -1,0 +1,202 @@
+// Package wire defines the JSON protocol of the dualsimd serving
+// subsystem, shared by internal/server (the HTTP front end) and the
+// public client package so the two cannot drift.
+//
+// Two response shapes exist for queries:
+//
+//   - buffered: one Envelope object carrying vars, all rows and stats;
+//   - streamed (Content-Type application/x-ndjson): one Event object per
+//     line — a "header" first (vars + epoch), then one "row" per
+//     solution mapping in chunks, a final "stats" trailer, or an
+//     "error" if execution fails after the HTTP status was committed.
+//
+// Every response is epoch-tagged: the header/envelope carries the store
+// epoch the execution answered from, and the stats trailer repeats it,
+// so a client can verify MVCC consistency (header epoch == stats epoch)
+// across concurrent Apply traffic.
+package wire
+
+import (
+	"fmt"
+
+	"dualsim"
+)
+
+// Content types of the two query response shapes.
+const (
+	ContentTypeJSON   = "application/json"
+	ContentTypeNDJSON = "application/x-ndjson"
+)
+
+// QueryRequest is the body of POST /v1/query.
+type QueryRequest struct {
+	// Query is the SPARQL fragment source text.
+	Query string `json:"query"`
+	// TimeoutMs, when > 0, bounds the execution: the server derives a
+	// context deadline and aborts the solver/engines when it passes
+	// (HTTP 504).
+	TimeoutMs int64 `json:"timeoutMs,omitempty"`
+	// Limit, when > 0, truncates the response to that many rows (the
+	// execution itself is not bounded; dual simulation prunes globally).
+	Limit int `json:"limit,omitempty"`
+	// Stream requests the NDJSON row-stream shape. The ?stream=1 URL
+	// parameter and an Accept: application/x-ndjson header do the same.
+	Stream bool `json:"stream,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/batch.
+type BatchRequest struct {
+	// Queries are executed concurrently over the session's batch pool;
+	// results are positional.
+	Queries []string `json:"queries"`
+	// TimeoutMs bounds the whole batch.
+	TimeoutMs int64 `json:"timeoutMs,omitempty"`
+	// Limit truncates each result's rows.
+	Limit int `json:"limit,omitempty"`
+	// FailFast aborts the batch on the first per-query error.
+	FailFast bool `json:"failFast,omitempty"`
+}
+
+// Triple is the wire form of one RDF triple. O and Lit are mutually
+// exclusive object encodings: O an IRI, Lit a literal value.
+type Triple struct {
+	S   string `json:"s"`
+	P   string `json:"p"`
+	O   string `json:"o,omitempty"`
+	Lit string `json:"lit,omitempty"`
+	// IsLit disambiguates an empty-string literal from an IRI object.
+	IsLit bool `json:"isLit,omitempty"`
+}
+
+// FromTriple converts a decoded triple to wire form.
+func FromTriple(t dualsim.Triple) Triple {
+	w := Triple{S: t.S.Value, P: t.P}
+	if t.O.IsLiteral() {
+		w.Lit, w.IsLit = t.O.Value, true
+	} else {
+		w.O = t.O.Value
+	}
+	return w
+}
+
+// Validate rejects a triple that sets both object encodings — silently
+// preferring one would drop the other half of the caller's intent.
+// Deeper well-formedness (empty subject/predicate, …) is checked by the
+// engine's rdf.Triple.Validate at Apply time.
+func (w Triple) Validate() error {
+	if w.O != "" && (w.IsLit || w.Lit != "") {
+		return fmt.Errorf("wire: triple (%s, %s) sets both o and lit; the object encodings are mutually exclusive", w.S, w.P)
+	}
+	return nil
+}
+
+// ToTriple converts a wire triple back to the engine form (see Validate
+// for the ambiguous case).
+func (w Triple) ToTriple() dualsim.Triple {
+	if w.IsLit || w.Lit != "" {
+		return dualsim.TL(w.S, w.P, w.Lit)
+	}
+	return dualsim.T(w.S, w.P, w.O)
+}
+
+// ApplyRequest is the body of POST /v1/apply. Dels are applied before
+// Adds, atomically, exactly like dualsim.Delta.
+type ApplyRequest struct {
+	Adds []Triple `json:"adds,omitempty"`
+	Dels []Triple `json:"dels,omitempty"`
+}
+
+// Event is one NDJSON line of a streamed query response. Kind selects
+// which of the other fields are set.
+type Event struct {
+	// Kind is "header", "row", "stats" or "error".
+	Kind string `json:"kind"`
+	// Vars (header) are the result columns, in row order.
+	Vars []string `json:"vars,omitempty"`
+	// Epoch is the store epoch the execution answers from. Every event
+	// of one stream carries the same value (epoch 0 is meaningful, so
+	// the field is never omitted): a consumer can detect a torn stream
+	// from any single line.
+	Epoch uint64 `json:"epoch"`
+	// Values (row) are the decoded bindings positional over Vars, in
+	// N-Triples rendering (<iri> / "literal"); null marks an unbound
+	// variable (µ is partial).
+	Values []*string `json:"values,omitempty"`
+	// Stats (stats) is the execution's ExecStats; Rows the total row
+	// count, Truncated whether a Limit cut the stream short.
+	Stats     *dualsim.ExecStats `json:"stats,omitempty"`
+	Rows      int                `json:"rows,omitempty"`
+	Truncated bool               `json:"truncated,omitempty"`
+	// Error (error) is the failure message of a stream that died after
+	// the 200 status was committed. Reserved: today's server
+	// materializes the result before streaming, so the event is never
+	// emitted — but clients must handle it (client.Stream does) so an
+	// incremental execution path can be added without a protocol break.
+	Error string `json:"error,omitempty"`
+}
+
+// Event kinds.
+const (
+	EventHeader = "header"
+	EventRow    = "row"
+	EventStats  = "stats"
+	EventError  = "error"
+)
+
+// QueryResponse is the buffered query response envelope.
+type QueryResponse struct {
+	Vars []string `json:"vars"`
+	// Rows are decoded bindings, positional over Vars; null marks an
+	// unbound variable.
+	Rows [][]*string `json:"rows"`
+	// Epoch duplicates Stats.Epoch for cheap top-level access.
+	Epoch     uint64             `json:"epoch"`
+	Truncated bool               `json:"truncated,omitempty"`
+	Stats     *dualsim.ExecStats `json:"stats,omitempty"`
+}
+
+// BatchItem is one positional outcome of a batch response.
+type BatchItem struct {
+	// Error is set instead of the result fields when the query failed.
+	Error     string             `json:"error,omitempty"`
+	Vars      []string           `json:"vars,omitempty"`
+	Rows      [][]*string        `json:"rows,omitempty"`
+	Epoch     uint64             `json:"epoch"`
+	Truncated bool               `json:"truncated,omitempty"`
+	Stats     *dualsim.ExecStats `json:"stats,omitempty"`
+}
+
+// BatchResponse is the body of a POST /v1/batch reply.
+type BatchResponse struct {
+	Results []BatchItem        `json:"results"`
+	Stats   dualsim.BatchStats `json:"stats"`
+}
+
+// ApplyResponse is the body of a POST /v1/apply or /v1/compact reply.
+type ApplyResponse struct {
+	Stats dualsim.ApplyStats `json:"stats"`
+}
+
+// SnapshotResponse is the body of GET /v1/snapshot: the current epoch
+// and store shape, for clients tracking MVCC progress.
+type SnapshotResponse struct {
+	Epoch       uint64 `json:"epoch"`
+	Triples     int    `json:"triples"`
+	Nodes       int    `json:"nodes"`
+	Predicates  int    `json:"predicates"`
+	OverlaySize int    `json:"overlaySize"`
+	Compactions int    `json:"compactions"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status string `json:"status"`
+	Epoch  uint64 `json:"epoch"`
+}
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// RetryAfterMs mirrors the Retry-After header on 429 replies.
+	RetryAfterMs int64 `json:"retryAfterMs,omitempty"`
+}

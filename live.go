@@ -29,33 +29,40 @@ type Delta struct {
 	Adds, Dels []Triple
 }
 
-// ApplyStats reports one Apply or Compact.
+// ApplyStats reports one Apply or Compact. JSON tags are part of the
+// serving wire format (see ExecStats).
 type ApplyStats struct {
-	// Epoch is the epoch of the newly published snapshot.
-	Epoch uint64
+	// Epoch is the epoch of the newly published snapshot (or, for a
+	// no-op Apply of an empty Delta, the unchanged current epoch).
+	Epoch uint64 `json:"epoch"`
 	// Added and Deleted count the effective triple changes, after no-op
 	// elimination.
-	Added, Deleted int
+	Added   int `json:"added"`
+	Deleted int `json:"deleted"`
 	// OverlaySize is the overlay ledger size after the operation —
 	// staged adds plus tombstoned deletes relative to the last
 	// compacted base. Reaching WithCompactionThreshold resets it to 0.
-	OverlaySize int
+	OverlaySize int `json:"overlaySize"`
 	// Compacted reports that the store was rebuilt from scratch (the
 	// threshold was crossed, or Compact was called).
-	Compacted bool
+	Compacted bool `json:"compacted,omitempty"`
+	// NoOp reports that the delta was empty and nothing was published:
+	// no epoch bump, no snapshot swap, no plan-cache invalidation.
+	NoOp bool `json:"noOp,omitempty"`
 	// TouchedPreds counts predicate indexes rebuilt incrementally and
 	// NewTerms the dictionary growth (both 0 when Compacted).
-	TouchedPreds, NewTerms int
+	TouchedPreds int `json:"touchedPreds,omitempty"`
+	NewTerms     int `json:"newTerms,omitempty"`
 	// FingerprintRebuilt reports that the session's fingerprint summary
 	// was maintained across the update: the partition is advanced
 	// incrementally around the touched nodes (re-refined in full only
 	// after a compaction), but condensing it back into a summary graph
 	// re-scans the store — an O(|E_DB|) write amplification per Apply on
 	// fingerprinted sessions.
-	FingerprintRebuilt bool
+	FingerprintRebuilt bool `json:"fingerprintRebuilt,omitempty"`
 	// Duration is the end-to-end apply time, including index and
 	// fingerprint maintenance and cache invalidation.
-	Duration time.Duration
+	Duration time.Duration `json:"duration"`
 }
 
 // Apply mutates the database: deletes d.Dels, then adds d.Adds, and
@@ -71,6 +78,9 @@ type ApplyStats struct {
 // are re-indexed, and a session fingerprint is advanced around the
 // touched nodes rather than re-refined — until the overlay crosses
 // WithCompactionThreshold, when the whole store is consolidated.
+//
+// Applying an empty Delta is a no-op: no epoch bump, no snapshot swap,
+// no plan-cache invalidation — ApplyStats.NoOp reports it.
 func (db *DB) Apply(ctx context.Context, d Delta) (ApplyStats, error) {
 	if db.closed.Load() {
 		return ApplyStats{}, ErrClosed
@@ -92,11 +102,18 @@ func (db *DB) Apply(ctx context.Context, d Delta) (ApplyStats, error) {
 		Deleted:      res.Deleted,
 		OverlaySize:  res.OverlaySize,
 		Compacted:    res.Compacted,
+		NoOp:         res.NoOp,
 		TouchedPreds: res.Patch.TouchedPreds,
 		NewTerms:     res.Patch.NewTerms,
 	}
 	if err != nil {
 		return stats, err
+	}
+	if res.NoOp {
+		// Empty delta: nothing to publish — the current snapshot stays
+		// live, cached plans stay valid, the fingerprint is untouched.
+		stats.Duration = time.Since(start)
+		return stats, nil
 	}
 	err = db.publish(st, res, &stats)
 	stats.Duration = time.Since(start)

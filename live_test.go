@@ -139,6 +139,54 @@ func TestApplyInvalidatesCachedQuery(t *testing.T) {
 
 // TestPreparedQueryPinsEpoch: a PreparedQuery keeps answering from the
 // snapshot it was planned on, while fresh prepares see updates.
+// TestApplyEmptyDeltaNoOp is the session-level regression test for the
+// empty-Delta contract: no epoch bump, no snapshot swap, and — the
+// serving-relevant part — no plan-cache invalidation, so the next Query
+// still hits its cached plan.
+func TestApplyEmptyDeltaNoOp(t *testing.T) {
+	ctx := context.Background()
+	db, err := dualsim.Open(fig1a(t), dualsim.WithPlanCache(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	const q = `SELECT * WHERE { ?d <directed> ?m . ?d <worked_with> ?c . }`
+	if _, _, err := db.Query(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	storeBefore := db.Store()
+	csBefore := db.CacheStats()
+
+	as, err := db.Apply(ctx, dualsim.Delta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !as.NoOp || as.Epoch != 0 || as.Added != 0 || as.Deleted != 0 || as.Compacted {
+		t.Fatalf("empty apply stats: %+v", as)
+	}
+	if db.Epoch() != 0 {
+		t.Fatalf("empty apply bumped the epoch to %d", db.Epoch())
+	}
+	if db.Store() != storeBefore {
+		t.Fatal("empty apply swapped the snapshot")
+	}
+	if cs := db.CacheStats(); cs.Invalidations != csBefore.Invalidations {
+		t.Fatalf("empty apply invalidated cached plans: %+v", cs)
+	}
+
+	res, stats, err := db.Query(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.CacheHit || stats.Epoch != 0 {
+		t.Fatalf("post-no-op query re-planned: hit=%v epoch=%d", stats.CacheHit, stats.Epoch)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("post-no-op results = %d, want 2", res.Len())
+	}
+}
+
 func TestPreparedQueryPinsEpoch(t *testing.T) {
 	ctx := context.Background()
 	db, err := dualsim.Open(fig1a(t))

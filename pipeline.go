@@ -117,48 +117,56 @@ func EvaluateStage() Stage {
 }
 
 // StageStats reports one pipeline stage of one execution.
+//
+// The JSON encoding (lowerCamel tags, durations in nanoseconds) is the
+// stable wire form served by dualsimd and archived by benchtables -json;
+// it does not follow Go field renames.
 type StageStats struct {
 	// Name is the stage name ("fingerprint", "prune", "evaluate").
-	Name string
+	Name string `json:"name"`
 	// Duration is the stage's wall-clock time.
-	Duration time.Duration
+	Duration time.Duration `json:"duration"`
 	// In and Out are the stage's cardinality effect: nodes (tightest
 	// candidate bound) for the fingerprint stage, triples before/after
 	// for the pruning stage, triples in / result rows out for the
 	// evaluation stage.
-	In, Out int
+	In  int `json:"in"`
+	Out int `json:"out"`
 	// Skipped reports that the stage had nothing to do (e.g. the
 	// fingerprint stage on a session without a fingerprint).
-	Skipped bool
+	Skipped bool `json:"skipped,omitempty"`
 }
 
 // ExecStats reports one execution of a prepared query, stage by stage.
+//
+// JSON tags are part of the serving wire format (see StageStats).
 type ExecStats struct {
 	// Stages holds per-stage timings and cardinalities in pipeline order.
-	Stages []StageStats
+	Stages []StageStats `json:"stages,omitempty"`
 	// Solver is the solver effort of the pruning stage's dual-simulation
 	// solve (zero when the pipeline has no pruning stage).
-	Solver Stats
+	Solver Stats `json:"solver"`
 	// TriplesBefore and TriplesAfter frame the pruning effect; they are
 	// equal when the pipeline does not prune.
-	TriplesBefore, TriplesAfter int
+	TriplesBefore int `json:"triplesBefore"`
+	TriplesAfter  int `json:"triplesAfter"`
 	// Results is the number of solution mappings (0 when the pipeline
 	// has no evaluation stage).
-	Results int
+	Results int `json:"results"`
 	// Unsatisfiable reports that the solve proved the query empty (every
 	// UNION branch has an empty mandatory variable, Theorem 1).
-	Unsatisfiable bool
+	Unsatisfiable bool `json:"unsatisfiable,omitempty"`
 	// CacheHit reports that the execution reused a plan from the
 	// session's plan cache (set by Query and ExecBatch; always false for
 	// Prepare/Exec, which bypass the cache).
-	CacheHit bool
+	CacheHit bool `json:"cacheHit"`
 	// Epoch is the store epoch this execution answered from — the one
 	// its plan was prepared on. Requests issued after an Apply report
 	// the new epoch; executions of queries prepared (or pinned via
 	// Snapshot) earlier keep reporting theirs.
-	Epoch uint64
+	Epoch uint64 `json:"epoch"`
 	// Duration is the end-to-end execution time.
-	Duration time.Duration
+	Duration time.Duration `json:"duration"`
 }
 
 // Stage returns the stats of the named stage, or nil if the pipeline

@@ -10,21 +10,31 @@ import (
 
 // PlanCacheStats reports the state and traffic of a session's plan cache
 // (see WithPlanCache). The zero value is returned for sessions without a
-// cache.
+// cache. JSON tags are part of the serving wire format (see ExecStats).
 type PlanCacheStats struct {
 	// Capacity is the configured maximum number of cached plans.
-	Capacity int
+	Capacity int `json:"capacity"`
 	// Size is the current number of cached plans.
-	Size int
+	Size int `json:"size"`
 	// Hits and Misses count Query/ExecBatch lookups by outcome.
-	Hits, Misses int64
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
 	// Evictions counts plans dropped by the LRU policy.
-	Evictions int64
+	Evictions int64 `json:"evictions,omitempty"`
 	// Invalidations counts plans of superseded store epochs dropped
 	// eagerly by Apply/Compact. (Stale plans can never be served either
 	// way — keys carry the epoch — the eager drop just frees their
 	// pinned snapshots.)
-	Invalidations int64
+	Invalidations int64 `json:"invalidations,omitempty"`
+}
+
+// HitRate returns Hits / (Hits + Misses) in [0, 1], 0 with no traffic.
+func (s PlanCacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
 }
 
 // cacheKey scopes a normalized query text to a store epoch, so a plan
@@ -37,10 +47,10 @@ func cacheKey(epoch uint64, normalized string) string {
 // planCache is a mutex-guarded LRU of prepared queries keyed by
 // normalized query text.
 type planCache struct {
-	mu        sync.Mutex
-	cap       int
-	ll        *list.List // front = most recently used; Value is *planEntry
-	items     map[string]*list.Element
+	mu            sync.Mutex
+	cap           int
+	ll            *list.List // front = most recently used; Value is *planEntry
+	items         map[string]*list.Element
 	hits          int64
 	misses        int64
 	evictions     int64

@@ -154,19 +154,21 @@ func (db *DB) stagesFor(snap *dbSnapshot) []Stage {
 }
 
 // PrepareStats reports the one-time planning work of a Prepare call.
+// JSON tags are part of the serving wire format (see ExecStats).
 type PrepareStats struct {
 	// PlanTime is the total planning duration: parsing (when Prepare was
 	// given source text), pattern extraction, SOI lowering with the
 	// inequality-ordering keys, and the fingerprint lookup.
-	PlanTime time.Duration
+	PlanTime time.Duration `json:"planTime"`
 	// Branches is the number of union-free branches of the plan.
-	Branches int
+	Branches int `json:"branches"`
 	// Variables and Inequalities size the systems of inequalities,
 	// summed over branches.
-	Variables, Inequalities int
+	Variables    int `json:"variables"`
+	Inequalities int `json:"inequalities"`
 	// RestrictedVars counts the solver variables the fingerprint lookup
 	// tightened (0 without WithFingerprint).
-	RestrictedVars int
+	RestrictedVars int `json:"restrictedVars,omitempty"`
 }
 
 // PreparedQuery is a query planned once against a session: parsed,

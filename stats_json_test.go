@@ -1,0 +1,83 @@
+package dualsim_test
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"dualsim"
+)
+
+// TestStatsJSONFieldNames pins the wire-stable lowerCamel JSON keys of
+// the stats types served by dualsimd and archived by benchtables -json:
+// renaming a Go field must not silently rename the wire field.
+func TestStatsJSONFieldNames(t *testing.T) {
+	keysOf := func(v any) map[string]bool {
+		t.Helper()
+		buf, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m map[string]any
+		if err := json.Unmarshal(buf, &m); err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string]bool, len(m))
+		for k := range m {
+			out[k] = true
+		}
+		return out
+	}
+	requireKeys := func(name string, got map[string]bool, want ...string) {
+		t.Helper()
+		for _, k := range want {
+			if !got[k] {
+				t.Errorf("%s: JSON misses key %q (got %v)", name, k, got)
+			}
+		}
+	}
+
+	es := dualsim.ExecStats{
+		Stages:        []dualsim.StageStats{{Name: "prune", Duration: time.Millisecond, In: 10, Out: 4}},
+		Solver:        dualsim.Stats{Rounds: 2, Evaluations: 7, Updates: 3},
+		TriplesBefore: 10, TriplesAfter: 4, Results: 2, Epoch: 1, Duration: time.Millisecond,
+	}
+	requireKeys("ExecStats", keysOf(es),
+		"stages", "solver", "triplesBefore", "triplesAfter", "results", "cacheHit", "epoch", "duration")
+	requireKeys("StageStats", keysOf(es.Stages[0]), "name", "duration", "in", "out")
+	requireKeys("Stats", keysOf(es.Solver), "rounds", "evaluations", "updates")
+
+	requireKeys("PlanCacheStats", keysOf(dualsim.PlanCacheStats{Capacity: 4, Hits: 1, Misses: 1}),
+		"capacity", "size", "hits", "misses")
+
+	requireKeys("BatchStats", keysOf(dualsim.BatchStats{Requests: 2, CacheHits: 1, Results: 3, Duration: time.Second}),
+		"requests", "cacheHits", "results", "duration")
+
+	requireKeys("ApplyStats", keysOf(dualsim.ApplyStats{Epoch: 1, Added: 2, Deleted: 1, Duration: time.Second}),
+		"epoch", "added", "deleted", "overlaySize", "duration")
+
+	// omitempty drops flags whose zero value carries no information…
+	if keys := keysOf(dualsim.ApplyStats{}); keys["noOp"] || keys["compacted"] || keys["fingerprintRebuilt"] {
+		t.Errorf("ApplyStats zero flags not omitted: %v", keys)
+	}
+	// …but meaningful zeros stay (a false cacheHit is a miss, not absence).
+	if keys := keysOf(dualsim.ExecStats{}); !keys["cacheHit"] {
+		t.Errorf("ExecStats.cacheHit must serialize when false: %v", keys)
+	}
+}
+
+// TestBatchStatsSummarize covers the aggregate the /v1/batch endpoint
+// reports.
+func TestBatchStatsSummarize(t *testing.T) {
+	hit := &dualsim.ExecStats{CacheHit: true, Results: 3}
+	miss := &dualsim.ExecStats{Results: 1}
+	out := []dualsim.BatchResult{
+		{Stats: hit, Result: &dualsim.Result{}},
+		{Stats: miss, Result: &dualsim.Result{}},
+		{Err: dualsim.ErrClosed},
+	}
+	bs := dualsim.SummarizeBatch(out, 2*time.Second)
+	if bs.Requests != 3 || bs.Failed != 1 || bs.CacheHits != 1 || bs.Results != 4 || bs.Duration != 2*time.Second {
+		t.Fatalf("BatchStats = %+v", bs)
+	}
+}
