@@ -38,12 +38,13 @@ func FromTriple(t dualsim.Triple) Triple { return wire.FromTriple(t) }
 // QueryResponse, BatchResponse, ApplyResponse, SnapshotResponse and
 // HealthResponse mirror the server's JSON bodies.
 type (
-	QueryResponse    = wire.QueryResponse
-	BatchItem        = wire.BatchItem
-	BatchResponse    = wire.BatchResponse
-	ApplyResponse    = wire.ApplyResponse
-	SnapshotResponse = wire.SnapshotResponse
-	HealthResponse   = wire.HealthResponse
+	QueryResponse      = wire.QueryResponse
+	BatchItem          = wire.BatchItem
+	BatchResponse      = wire.BatchResponse
+	ApplyResponse      = wire.ApplyResponse
+	CheckpointResponse = wire.CheckpointResponse
+	SnapshotResponse   = wire.SnapshotResponse
+	HealthResponse     = wire.HealthResponse
 )
 
 // APIError is a non-2xx server reply.
@@ -240,6 +241,17 @@ func (c *Client) Compact(ctx context.Context) (*ApplyResponse, error) {
 	return &out, nil
 }
 
+// Checkpoint asks a durable server (dualsimd -data) to roll its WAL
+// into a fresh on-disk snapshot. A server without a data dir answers
+// 409.
+func (c *Client) Checkpoint(ctx context.Context) (*CheckpointResponse, error) {
+	var out CheckpointResponse
+	if err := c.doJSON(ctx, "POST", "/v1/checkpoint", nil, &out, false); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Snapshot reports the server's current epoch and store shape.
 func (c *Client) Snapshot(ctx context.Context) (*SnapshotResponse, error) {
 	var out SnapshotResponse
@@ -422,7 +434,15 @@ func (c *Client) doJSON(ctx context.Context, method, path string, in, out any, i
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
+	// Drain to EOF after decoding (the server appends a trailing newline
+	// the decoder may leave unread) so the connection goes back to the
+	// idle pool instead of being torn down by Close. Bounded like the
+	// error path: a hostile never-ending 2xx body must not hang the
+	// deferred drain — past the cap the connection is simply dropped.
+	defer func() {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, maxDrainBytes))
+		resp.Body.Close()
+	}()
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
@@ -470,9 +490,23 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, conte
 // shift below from overflowing time.Duration at high retry counts.
 const maxBackoff = 30 * time.Second
 
-// sleep waits out the backoff before the next attempt: the server's
-// Retry-After hint when present, else exponential with jitter.
+// sleep waits out the backoff before the next attempt.
 func (c *Client) sleep(ctx context.Context, attempt int, cause error) error {
+	t := time.NewTimer(c.backoffFor(attempt, cause))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// backoffFor computes the wait before the next attempt: the server's
+// Retry-After hint when present, else exponential with jitter. Every
+// wait — hint-derived included — is clamped to maxBackoff: a bogus or
+// hostile Retry-After header must not stall the client for hours.
+func (c *Client) backoffFor(attempt int, cause error) time.Duration {
 	d := c.backoff
 	for i := 0; i < attempt && d < maxBackoff; i++ {
 		d <<= 1
@@ -483,25 +517,38 @@ func (c *Client) sleep(ctx context.Context, attempt int, cause error) error {
 	var ae *APIError
 	if errors.As(cause, &ae) && ae.RetryAfter > 0 {
 		// An explicit server hint is honoured as a lower bound — only a
-		// little extra jitter on top, never a shorter wait.
-		d = ae.RetryAfter + time.Duration(rand.Int63n(int64(ae.RetryAfter/4)+1))
+		// little extra jitter on top, never a shorter wait — up to the
+		// same ceiling the exponential path respects.
+		hint := ae.RetryAfter
+		if hint > maxBackoff {
+			hint = maxBackoff
+		}
+		d = hint + time.Duration(rand.Int63n(int64(hint/4)+1))
 	} else {
 		// Full jitter halves the thundering-herd on synchronized retries.
 		d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
 	}
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-t.C:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
+	if d > maxBackoff {
+		d = maxBackoff
 	}
+	return d
 }
 
-// readAPIError drains a non-2xx body into an *APIError.
+// maxDrainBytes bounds how much of an unread response body is drained
+// for the sake of connection reuse; a body even larger than this is
+// hostile or broken and the connection is closed instead.
+const maxDrainBytes = 4 << 20
+
+// readAPIError drains a non-2xx body into an *APIError. The body is
+// read to EOF (bounded) before Close: a retryable 429/503 that left
+// unread bytes behind would force the transport to tear down the
+// connection, so every retry would pay a fresh dial instead of reusing
+// the idle connection.
 func readAPIError(resp *http.Response) *APIError {
-	defer resp.Body.Close()
+	defer func() {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, maxDrainBytes))
+		resp.Body.Close()
+	}()
 	ae := &APIError{StatusCode: resp.StatusCode}
 	var wireErr wire.ErrorResponse
 	buf, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))

@@ -3,8 +3,10 @@ package client
 import (
 	"context"
 	"errors"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -285,5 +287,85 @@ func TestClientOptionValidation(t *testing.T) {
 		if _, err := New("http://x", opt); err == nil {
 			t.Fatal("invalid option accepted")
 		}
+	}
+}
+
+// TestClientRetryReusesConnection is the leak regression for the retry
+// loop: a retryable 429/503 whose body is left partially unread forces
+// the transport to tear the connection down, so every retry pays a
+// fresh dial. The error bodies here exceed the 1 MB decode cap on
+// purpose — the drain (not the decode) is what must reach EOF.
+func TestClientRetryReusesConnection(t *testing.T) {
+	big := make([]byte, 2<<20) // > the 1 MB decode cap, < the drain cap
+	for i := range big {
+		big[i] = ' '
+	}
+	var calls atomic.Int64
+	fake := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Content-Length", strconv.Itoa(len(big)))
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write(big)
+			return
+		}
+		w.Write([]byte(`{"vars":["x"],"rows":[],"epoch":0}` + "\n"))
+	}))
+	var conns atomic.Int64
+	fake.Config.ConnState = func(c net.Conn, s http.ConnState) {
+		if s == http.StateNew {
+			conns.Add(1)
+		}
+	}
+	fake.Start()
+	defer fake.Close()
+
+	// A dedicated transport so the shared DefaultClient's idle pool
+	// cannot mask (or donate) connections.
+	hc := &http.Client{Transport: &http.Transport{}}
+	defer hc.CloseIdleConnections()
+	c, err := New(fake.URL, WithHTTPClient(hc), WithRetries(3), WithRetryBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query(context.Background(), "SELECT * WHERE { ?x <p> ?y . }"); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+	if got := conns.Load(); got != 1 {
+		t.Fatalf("retries dialed %d connections, want 1 (drained bodies reuse the conn)", got)
+	}
+	// A follow-up request keeps riding the same connection.
+	if _, err := c.Query(context.Background(), "SELECT * WHERE { ?x <p> ?y . }"); err != nil {
+		t.Fatal(err)
+	}
+	if got := conns.Load(); got != 1 {
+		t.Fatalf("follow-up request dialed a new connection (%d total)", got)
+	}
+}
+
+// TestClientBackoffClampsRetryAfter pins the hint cap: a bogus huge
+// Retry-After must not stall the client past maxBackoff.
+func TestClientBackoffClampsRetryAfter(t *testing.T) {
+	c, err := New("http://x", WithRetryBackoff(50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostile := &APIError{StatusCode: http.StatusTooManyRequests, RetryAfter: 12 * time.Hour}
+	for attempt := 0; attempt < 4; attempt++ {
+		if d := c.backoffFor(attempt, hostile); d > maxBackoff {
+			t.Fatalf("attempt %d: hint-derived backoff %v exceeds maxBackoff %v", attempt, d, maxBackoff)
+		}
+	}
+	// A sane hint is still honoured as a lower bound…
+	sane := &APIError{StatusCode: http.StatusTooManyRequests, RetryAfter: 2 * time.Second}
+	if d := c.backoffFor(0, sane); d < 2*time.Second || d > maxBackoff {
+		t.Fatalf("sane hint gave %v", d)
+	}
+	// …and the exponential path keeps its own cap at high attempt counts
+	// (the shift must not overflow time.Duration either).
+	if d := c.backoffFor(200, errors.New("transport")); d > maxBackoff {
+		t.Fatalf("exponential backoff %v exceeds maxBackoff", d)
 	}
 }

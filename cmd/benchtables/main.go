@@ -8,6 +8,7 @@
 //	benchtables -table iters      # SOI convergence shapes (§5.3)
 //	benchtables -table updates    # live-update layer (apply / re-query / compact)
 //	benchtables -table serving    # loopback HTTP serving (p50/p95, hit rate, shed)
+//	benchtables -table persist    # durability layer (snapshot MB/s, WAL replay, cold boot)
 //	benchtables -table all
 //
 // Scale knobs: -universities (LUBM-like), -kgscale (DBpedia-like), -seed,
@@ -28,7 +29,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "comma-separated tables to regenerate: 2, 3, 4, 5, iters, orders, throughput, updates, serving, all")
+	table := flag.String("table", "all", "comma-separated tables to regenerate: 2, 3, 4, 5, iters, orders, throughput, updates, serving, persist, all")
 	universities := flag.Int("universities", 3, "LUBM-like scale (number of universities)")
 	kgScale := flag.Int("kgscale", 1, "DBpedia-like scale factor")
 	seed := flag.Int64("seed", 42, "generator seed")
@@ -58,13 +59,13 @@ func run(table string, universities, kgScale int, seed int64, repeats int, jsonP
 	known := map[string]bool{
 		"all": true, "2": true, "3": true, "4": true, "5": true,
 		"iters": true, "orders": true, "throughput": true, "updates": true,
-		"serving": true,
+		"serving": true, "persist": true,
 	}
 	wanted := make(map[string]bool)
 	for _, t := range strings.Split(table, ",") {
 		name := strings.TrimSpace(t)
 		if !known[name] {
-			return fmt.Errorf("unknown table %q (want 2, 3, 4, 5, iters, orders, throughput, updates, serving or all)", name)
+			return fmt.Errorf("unknown table %q (want 2, 3, 4, 5, iters, orders, throughput, updates, serving, persist or all)", name)
 		}
 		wanted[name] = true
 	}
@@ -163,6 +164,16 @@ func run(table string, universities, kgScale int, seed int64, repeats int, jsonP
 		bench.RenderServing(os.Stdout, rows)
 		fmt.Println()
 		rep.Tables["serving"] = rows
+	}
+	if want("persist") {
+		fmt.Println("Persist: durability layer (snapshot save/load, cold boot vs. re-parse, WAL rates)")
+		rows, err := bench.Persist(d, repeats)
+		if err != nil {
+			return err
+		}
+		bench.RenderPersist(os.Stdout, rows)
+		fmt.Println()
+		rep.Tables["persist"] = rows
 	}
 	if want("orders") {
 		fmt.Println("Order-space search (§5.3 brute-force analysis), 40 random orders")

@@ -1,26 +1,39 @@
 // Command dualsimd serves a graph database over HTTP — the network
 // front end of the dual-simulation engine:
 //
-//	dualsimd -data db.nt -addr :8321
-//	dualsimd -data db.nt -addr 127.0.0.1:0 -plancache 256 -maxinflight 16
-//	dualsimd -data db.nt -prune=false -engine index
-//	dualsimd -data db.nt -compactat 4096 -fingerprint 2
+//	dualsimd -store db.nt -addr :8321
+//	dualsimd -store db.nt -data /var/lib/dualsim     # durable serving
+//	dualsimd -data /var/lib/dualsim                  # warm restart
+//	dualsimd -store db.nt -addr 127.0.0.1:0 -plancache 256 -maxinflight 16
+//	dualsimd -store db.nt -prune=false -engine index
+//	dualsimd -store db.nt -compactat 4096 -fingerprint 2
 //
 // Endpoints (see internal/server for the wire format):
 //
-//	POST /v1/query     query via the plan cache; ?stream=1 for NDJSON rows
-//	POST /v1/batch     concurrent query batch
-//	POST /v1/apply     live delta (dels before adds, atomic, epoch++)
-//	POST /v1/compact   consolidate the update overlay
-//	GET  /v1/snapshot  epoch + store shape
-//	GET  /healthz      liveness (503 while draining)
-//	GET  /metrics      Prometheus-style metrics
+//	POST /v1/query      query via the plan cache; ?stream=1 for NDJSON rows
+//	POST /v1/batch      concurrent query batch
+//	POST /v1/apply      live delta (dels before adds, atomic, epoch++)
+//	POST /v1/compact    consolidate the update overlay
+//	POST /v1/checkpoint roll the WAL into a fresh on-disk snapshot
+//	GET  /v1/snapshot   epoch + store shape
+//	GET  /healthz       liveness (503 while draining)
+//	GET  /metrics       Prometheus-style metrics
 //
 // The daemon is a thin shell over the session layer: one dualsim.DB
 // with a plan cache serves every request; admission control
 // (-maxinflight, -queuedepth) sheds overload with 429 + Retry-After.
+//
+// With -data the database is durable: every acknowledged apply is
+// WAL-logged (fsync'd) into the data dir, -checkpointevery rolls the
+// log into binary snapshots, and a restart against the same dir warm
+// starts — latest snapshot + WAL tail, same epoch sequence, no
+// re-parsing of the original N-Triples input (-store is then only
+// needed for the very first boot and is ignored once the dir holds
+// state).
+//
 // On SIGINT/SIGTERM it drains: /healthz flips to 503, in-flight queries
-// finish (bounded by -draintimeout), then the process exits 0.
+// finish (bounded by -draintimeout), a final checkpoint is written when
+// durable, then the process exits 0.
 package main
 
 import (
@@ -36,6 +49,7 @@ import (
 	"time"
 
 	"dualsim"
+	"dualsim/internal/persist"
 	"dualsim/internal/server"
 )
 
@@ -49,26 +63,29 @@ func main() {
 
 // daemonConfig carries the parsed flags.
 type daemonConfig struct {
-	addr         string
-	data         string
-	engine       string
-	prune        bool
-	fingerprintK int
-	workers      int
-	planCache    int
-	batchWorkers int
-	compactAt    int
-	maxInFlight  int
-	queueDepth   int
-	timeout      time.Duration
-	drainTimeout time.Duration
+	addr            string
+	store           string
+	data            string
+	engine          string
+	prune           bool
+	fingerprintK    int
+	workers         int
+	planCache       int
+	batchWorkers    int
+	compactAt       int
+	checkpointEvery int
+	maxInFlight     int
+	queueDepth      int
+	timeout         time.Duration
+	drainTimeout    time.Duration
 }
 
 func parseFlags(args []string, onError flag.ErrorHandling) daemonConfig {
 	fs := flag.NewFlagSet("dualsimd", onError)
 	cfg := daemonConfig{}
 	fs.StringVar(&cfg.addr, "addr", "127.0.0.1:8321", "listen address (host:port; port 0 picks a free one)")
-	fs.StringVar(&cfg.data, "data", "", "N-Triples database file (required)")
+	fs.StringVar(&cfg.store, "store", "", "N-Triples database file (required unless -data holds state)")
+	fs.StringVar(&cfg.data, "data", "", "durable data dir: snapshot + WAL; warm restart when it holds state")
 	fs.StringVar(&cfg.engine, "engine", "hash", "evaluation engine: hash or index")
 	fs.BoolVar(&cfg.prune, "prune", true, "evaluate through the dual-simulation pruning pipeline")
 	fs.IntVar(&cfg.fingerprintK, "fingerprint", 0, "pre-filter via a k-bounded bisimulation fingerprint (0 = off)")
@@ -76,6 +93,7 @@ func parseFlags(args []string, onError flag.ErrorHandling) daemonConfig {
 	fs.IntVar(&cfg.planCache, "plancache", 128, "LRU plan cache capacity (0 disables)")
 	fs.IntVar(&cfg.batchWorkers, "batchworkers", 0, "batch pool width (0 = GOMAXPROCS)")
 	fs.IntVar(&cfg.compactAt, "compactat", 0, "auto-compact the update overlay at this ledger size (0 = manual)")
+	fs.IntVar(&cfg.checkpointEvery, "checkpointevery", 1024, "with -data, checkpoint every n WAL records (0 = only on compact/demand)")
 	fs.IntVar(&cfg.maxInFlight, "maxinflight", 0, "concurrently executing requests (0 = 2×GOMAXPROCS)")
 	fs.IntVar(&cfg.queueDepth, "queuedepth", 64, "requests waiting for a slot before shedding with 429")
 	fs.DurationVar(&cfg.timeout, "timeout", 0, "default per-request execution bound (0 = none; requests may set timeoutMs)")
@@ -84,28 +102,12 @@ func parseFlags(args []string, onError flag.ErrorHandling) daemonConfig {
 	return cfg
 }
 
-// run loads the store, opens the session, serves until ctx is cancelled
-// or a termination signal arrives, then drains and exits. When ready is
-// non-nil, the bound address is sent on it once the listener is up (the
-// hook the tests and -addr :0 users rely on).
+// run opens the session (cold from -store, or warm from -data), serves
+// until ctx is cancelled or a termination signal arrives, then drains
+// and exits. When ready is non-nil, the bound address is sent on it once
+// the listener is up (the hook the tests and -addr :0 users rely on).
 func run(ctx context.Context, cfg daemonConfig, logw *os.File, ready chan<- string) error {
-	if cfg.data == "" {
-		return fmt.Errorf("-data is required")
-	}
-	f, err := os.Open(cfg.data)
-	if err != nil {
-		return err
-	}
-	start := time.Now()
-	st, err := dualsim.LoadNTriples(f)
-	f.Close()
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(logw, "loaded %d triples, %d nodes, %d predicates in %v\n",
-		st.NumTriples(), st.NumNodes(), st.NumPreds(), time.Since(start).Round(time.Millisecond))
-
-	db, err := openSession(st, cfg)
+	db, err := openSession(cfg, logw)
 	if err != nil {
 		return err
 	}
@@ -160,12 +162,72 @@ func run(ctx context.Context, cfg daemonConfig, logw *os.File, ready chan<- stri
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
+	// A final checkpoint after the last request finished: the next boot
+	// loads the snapshot directly with nothing to replay.
+	if db.Durable() {
+		cs, err := db.Checkpoint(context.Background())
+		if err != nil {
+			return fmt.Errorf("drain checkpoint: %w", err)
+		}
+		fmt.Fprintf(logw, "dualsimd: checkpointed epoch %d (%d bytes)\n", cs.Epoch, cs.SnapshotBytes)
+	}
 	fmt.Fprintf(logw, "dualsimd: drained, bye\n")
 	return nil
 }
 
-// openSession maps the flags onto session options (mirrors cmd/dualsim).
-func openSession(st *dualsim.Store, cfg daemonConfig) (*dualsim.DB, error) {
+// openSession boots the database. A -data dir that already holds state
+// wins over -store: the daemon warm starts from the latest snapshot
+// plus the WAL tail, preserving the epoch sequence, without re-parsing
+// the N-Triples input.
+func openSession(cfg daemonConfig, logw *os.File) (*dualsim.DB, error) {
+	opts, err := sessionOptions(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.data != "" && persist.HasState(cfg.data) {
+		start := time.Now()
+		db, err := dualsim.OpenDir(cfg.data, opts...)
+		if err != nil {
+			return nil, err
+		}
+		extra := ""
+		if cfg.store != "" {
+			extra = fmt.Sprintf(" (-store %s ignored)", cfg.store)
+		}
+		st := db.Store()
+		fmt.Fprintf(logw, "warm start from %s: epoch %d, %d triples, %d nodes, %d predicates in %v%s\n",
+			cfg.data, db.Epoch(), st.NumTriples(), st.NumNodes(), st.NumPreds(),
+			time.Since(start).Round(time.Millisecond), extra)
+		return db, nil
+	}
+	if cfg.store == "" {
+		if cfg.data != "" {
+			return nil, fmt.Errorf("-data %s holds no snapshot yet; a cold start needs -store", cfg.data)
+		}
+		return nil, fmt.Errorf("-store (or a -data dir with state) is required")
+	}
+	f, err := os.Open(cfg.store)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	st, err := dualsim.LoadNTriples(f)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(logw, "loaded %d triples, %d nodes, %d predicates in %v\n",
+		st.NumTriples(), st.NumNodes(), st.NumPreds(), time.Since(start).Round(time.Millisecond))
+	if cfg.data != "" {
+		opts = append(opts, dualsim.WithDataDir(cfg.data))
+		fmt.Fprintf(logw, "durable: data dir %s (checkpoint every %d applies)\n", cfg.data, cfg.checkpointEvery)
+	}
+	return dualsim.Open(st, opts...)
+}
+
+// sessionOptions maps the flags onto session options (mirrors
+// cmd/dualsim).
+func sessionOptions(cfg daemonConfig) ([]dualsim.Option, error) {
 	opts := []dualsim.Option{dualsim.WithPruning(cfg.prune)}
 	switch cfg.engine {
 	case "hash":
@@ -193,5 +255,11 @@ func openSession(st *dualsim.Store, cfg daemonConfig) (*dualsim.DB, error) {
 	if cfg.compactAt > 0 {
 		opts = append(opts, dualsim.WithCompactionThreshold(cfg.compactAt))
 	}
-	return dualsim.Open(st, opts...)
+	if cfg.checkpointEvery != 0 {
+		// Harmless on a non-durable session (the option only fires with a
+		// WAL); passed through even when negative so the option's
+		// validation fails loudly instead of silently ignoring the flag.
+		opts = append(opts, dualsim.WithCheckpointEvery(cfg.checkpointEvery))
+	}
+	return opts, nil
 }

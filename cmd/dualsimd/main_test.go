@@ -1,10 +1,15 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
+	"fmt"
+	"io"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -12,6 +17,17 @@ import (
 	"dualsim/client"
 	"dualsim/internal/queries"
 )
+
+// TestMain doubles the test binary as the dualsimd daemon when
+// re-executed with DUALSIMD_MAIN=1 — the hook the crash-recovery test
+// uses to run (and SIGKILL) a real daemon process.
+func TestMain(m *testing.M) {
+	if os.Getenv("DUALSIMD_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
 
 func fixture(t *testing.T) string {
 	t.Helper()
@@ -78,7 +94,7 @@ const queryX1 = `SELECT * WHERE { ?d <directed> ?m . ?d <worked_with> ?c . }`
 
 func TestDaemonServesAndDrains(t *testing.T) {
 	c, shutdown := startDaemon(t, daemonConfig{
-		data: fixture(t), engine: "hash", prune: true, planCache: 16, queueDepth: 8,
+		store: fixture(t), engine: "hash", prune: true, planCache: 16, queueDepth: 8,
 	})
 	ctx := context.Background()
 
@@ -120,23 +136,208 @@ func TestDaemonServesAndDrains(t *testing.T) {
 	shutdown()
 }
 
+// TestDaemonWarmRestart is the acceptance path: a durable daemon is
+// drained (writing its final checkpoint) and restarted against the same
+// -data dir with NO -store input — it must serve identical query
+// results at the same epoch.
+func TestDaemonWarmRestart(t *testing.T) {
+	dataDir := t.TempDir()
+	ctx := context.Background()
+
+	c, shutdown := startDaemon(t, daemonConfig{
+		store: fixture(t), data: dataDir, engine: "hash", prune: true,
+		planCache: 16, queueDepth: 8, checkpointEvery: 1024,
+	})
+	if _, err := c.ApplyDelta(ctx, dualsim.Delta{Adds: []dualsim.Triple{
+		dualsim.T("J._McTiernan", "directed", "Die_Hard"),
+		dualsim.T("J._McTiernan", "worked_with", "S._de_Souza"),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Query(ctx, queryX1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows, wantEpoch := len(out.Rows), out.Epoch
+	if wantEpoch != 1 {
+		t.Fatalf("pre-restart epoch %d, want 1", wantEpoch)
+	}
+	shutdown() // drains and writes the final checkpoint
+
+	// Second boot: no -store. The dir is the database now.
+	c2, shutdown2 := startDaemon(t, daemonConfig{
+		data: dataDir, engine: "hash", prune: true, planCache: 16, queueDepth: 8,
+	})
+	defer shutdown2()
+	snap, err := c2.Snapshot(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Epoch != wantEpoch {
+		t.Fatalf("epoch after warm restart: %d, want %d", snap.Epoch, wantEpoch)
+	}
+	out2, err := c2.Query(ctx, queryX1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out2.Rows) != wantRows || out2.Epoch != wantEpoch {
+		t.Fatalf("post-restart answers: %d rows at epoch %d, want %d at %d",
+			len(out2.Rows), out2.Epoch, wantRows, wantEpoch)
+	}
+	// The restarted daemon is still live and durable: apply + checkpoint.
+	ar, err := c2.ApplyDelta(ctx, dualsim.Delta{Adds: []dualsim.Triple{
+		dualsim.T("post:s", "post:p", "post:o"),
+	}})
+	if err != nil || ar.Stats.Epoch != wantEpoch+1 {
+		t.Fatalf("post-restart apply: %+v, %v", ar, err)
+	}
+	ck, err := c2.Checkpoint(ctx)
+	if err != nil || ck.Stats.Epoch != wantEpoch+1 {
+		t.Fatalf("post-restart checkpoint: %+v, %v", ck, err)
+	}
+}
+
+// spawnDaemon re-executes the test binary as a real dualsimd process
+// (see TestMain) and scrapes the bound address off its stderr. The
+// returned process is NOT drained — crash tests kill it.
+func spawnDaemon(t *testing.T, args ...string) (*client.Client, *exec.Cmd) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	cmd.Env = append(os.Environ(), "DUALSIMD_MAIN=1")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stderr)
+	var addr string
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "dualsimd: listening on http://"); ok {
+			addr = rest
+			break
+		}
+	}
+	if addr == "" {
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatalf("daemon process never reported its address (scan err: %v)", sc.Err())
+	}
+	// Keep draining stderr so the child never blocks on a full pipe.
+	go io.Copy(io.Discard, stderr)
+	c, err := client.New("http://" + addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, cmd
+}
+
+// TestDaemonCrashRecovery SIGKILLs a durable daemon process mid-apply
+// and asserts the warm restart replays the WAL to a consistent epoch:
+// every acknowledged apply survives, the store is intact (no torn
+// triples), and the epoch sequence continues where the log ended.
+func TestDaemonCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-level crash test")
+	}
+	dataDir := t.TempDir()
+	c, cmd := spawnDaemon(t,
+		"-store", fixture(t), "-data", dataDir,
+		"-plancache", "8", "-checkpointevery", "0") // keep everything in the WAL: recovery must replay, not cheat
+	ctx := context.Background()
+
+	// Apply continuously; fire the SIGKILL asynchronously after a few
+	// acknowledgements so the kill lands while applies are in flight.
+	const killAfter = 25
+	acked := 0
+	var lastEpoch uint64
+	for i := 0; ; i++ {
+		if i == killAfter {
+			go cmd.Process.Kill() // async: the next applies race the kill
+		}
+		resp, err := c.Apply(ctx, []client.Triple{
+			{S: fmt.Sprintf("crash:s%d", i), P: "crash:edge", O: fmt.Sprintf("crash:o%d", i)},
+		}, nil)
+		if err != nil {
+			break // the daemon is gone; everything acked so far must survive
+		}
+		acked++
+		lastEpoch = resp.Stats.Epoch
+		if i > killAfter+10000 {
+			t.Fatal("daemon refused to die")
+		}
+	}
+	cmd.Wait()
+	if acked < killAfter {
+		t.Fatalf("only %d applies acknowledged before the crash", acked)
+	}
+	if lastEpoch != uint64(acked) {
+		t.Fatalf("last acked epoch %d after %d applies", lastEpoch, acked)
+	}
+
+	// Warm restart in-process and audit the recovered state.
+	db, err := dualsim.OpenDir(dataDir)
+	if err != nil {
+		t.Fatalf("recovery after SIGKILL: %v", err)
+	}
+	defer db.Close()
+	if db.Epoch() < lastEpoch {
+		t.Fatalf("recovered epoch %d lost acknowledged epoch %d", db.Epoch(), lastEpoch)
+	}
+	st := db.Store()
+	p, ok := st.PredIDOf("crash:edge")
+	if !ok {
+		t.Fatal("recovered store lost the crash:edge predicate")
+	}
+	for i := 0; i < acked; i++ {
+		s, okS := st.TermID(dualsim.IRI(fmt.Sprintf("crash:s%d", i)))
+		o, okO := st.TermID(dualsim.IRI(fmt.Sprintf("crash:o%d", i)))
+		if !okS || !okO || !st.HasTriple(s, p, o) {
+			t.Fatalf("acknowledged triple %d missing after recovery (epoch %d, acked %d)", i, db.Epoch(), acked)
+		}
+	}
+	// No torn triples: every crash:edge triple is one of ours, fully
+	// formed (the kill may legitimately have persisted one unacked
+	// apply from the in-flight window — durability is about acks).
+	if n := st.PredCount(p); n < acked || n > acked+1 {
+		t.Fatalf("recovered %d crash:edge triples, want %d or %d", n, acked, acked+1)
+	}
+	// And the original store answers queries as before.
+	res, stats, err := db.Exec(ctx, queryX1)
+	if err != nil || res.Len() != 2 {
+		t.Fatalf("recovered query: %v rows, %v", res.Len(), err)
+	}
+	if stats.Epoch != db.Epoch() {
+		t.Fatalf("exec epoch %d vs db epoch %d", stats.Epoch, db.Epoch())
+	}
+}
+
 func TestDaemonConfigErrors(t *testing.T) {
 	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer devnull.Close()
+	emptyDir := t.TempDir()
 	cases := []daemonConfig{
-		{},                             // missing -data
-		{data: "/no/such.nt"},          // unreadable store
-		{data: "fixture", engine: "x"}, // bad engine (data set below)
-		{data: "fixture", engine: "hash", fingerprintK: 2, prune: false}, // fingerprint without prune
-		{data: "fixture", engine: "hash", queueDepth: -1},                // negative queue depth fails loudly
+		{},                              // missing -store and -data
+		{store: "/no/such.nt"},          // unreadable store
+		{store: "fixture", engine: "x"}, // bad engine (data set below)
+		{store: "fixture", engine: "hash", fingerprintK: 2, prune: false}, // fingerprint without prune
+		{store: "fixture", engine: "hash", queueDepth: -1},                // negative queue depth fails loudly
+		{store: "fixture", engine: "hash", checkpointEvery: -1},           // negative checkpoint interval fails loudly
+		{data: emptyDir, engine: "hash"},                                  // -data without state needs -store
 	}
 	fix := fixture(t)
 	for i := range cases {
-		if cases[i].data == "fixture" {
-			cases[i].data = fix
+		if cases[i].store == "fixture" {
+			cases[i].store = fix
 		}
 		if err := run(context.Background(), cases[i], devnull, nil); err == nil {
 			t.Fatalf("case %d: expected error", i)
@@ -145,11 +346,18 @@ func TestDaemonConfigErrors(t *testing.T) {
 }
 
 func TestParseFlagsDefaults(t *testing.T) {
-	cfg := parseFlags([]string{"-data", "x.nt", "-maxinflight", "4"}, flag.ContinueOnError)
-	if cfg.data != "x.nt" || cfg.maxInFlight != 4 || !cfg.prune || cfg.planCache != 128 {
+	cfg := parseFlags([]string{"-store", "x.nt", "-maxinflight", "4"}, flag.ContinueOnError)
+	if cfg.store != "x.nt" || cfg.maxInFlight != 4 || !cfg.prune || cfg.planCache != 128 {
 		t.Fatalf("parsed config: %+v", cfg)
 	}
 	if cfg.drainTimeout != 10*time.Second {
 		t.Fatalf("drain default: %v", cfg.drainTimeout)
+	}
+	if cfg.checkpointEvery != 1024 {
+		t.Fatalf("checkpointevery default: %d", cfg.checkpointEvery)
+	}
+	cfg = parseFlags([]string{"-data", "/var/lib/dualsim"}, flag.ContinueOnError)
+	if cfg.data != "/var/lib/dualsim" || cfg.store != "" {
+		t.Fatalf("warm-restart config: %+v", cfg)
 	}
 }

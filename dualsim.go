@@ -47,7 +47,13 @@
 //   - network serving: internal/server (behind cmd/dualsimd) exposes a
 //     session over HTTP/JSON with NDJSON row streaming, admission
 //     control and epoch-tagged responses; the client package is the
-//     typed Go client.
+//     typed Go client;
+//   - durability: with WithDataDir the database lives in a data
+//     directory — every Apply is recorded in an fsync'd write-ahead log
+//     before acknowledgement, Checkpoint (or WithCheckpointEvery) rolls
+//     the log into versioned binary snapshots, and OpenDir warm-starts
+//     a session from disk at the same epoch without re-ingesting RDF
+//     (see internal/persist for the format).
 //
 // A minimal session:
 //

@@ -8,7 +8,7 @@
 // The same flow works against a standalone daemon:
 //
 //	go run ./cmd/datagen -dataset kg -out kg.nt
-//	go run ./cmd/dualsimd -data kg.nt -addr 127.0.0.1:8321
+//	go run ./cmd/dualsimd -store kg.nt -addr 127.0.0.1:8321
 //	# then point client.New at http://127.0.0.1:8321
 package main
 

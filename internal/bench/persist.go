@@ -1,0 +1,204 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"dualsim"
+	"dualsim/internal/delta"
+	"dualsim/internal/persist"
+	"dualsim/internal/rdf"
+	"dualsim/internal/storage"
+)
+
+// This file measures the durability layer (internal/persist) against
+// the boot path it replaces: binary snapshot save/load bandwidth, WAL
+// append (fsync included) and replay rates, and the headline number —
+// cold boot from a snapshot versus re-parsing the N-Triples dump the
+// daemon would otherwise re-ingest on every restart.
+
+// persistWALRecords is the synthetic WAL tail length used for the
+// append/replay measurements.
+const persistWALRecords = 256
+
+// PersistRow reports the durability metrics for one dataset.
+type PersistRow struct {
+	Dataset string `json:"dataset"`
+	Triples int    `json:"triples"`
+	// SnapshotBytes and NTBytes compare the binary snapshot against the
+	// N-Triples text dump of the same store.
+	SnapshotBytes int64 `json:"snapshotBytes"`
+	NTBytes       int64 `json:"ntBytes"`
+	// TSave and TLoad are snapshot write/read times (minimum over
+	// repeats, real files in a temp dir).
+	TSave time.Duration `json:"tSave"`
+	TLoad time.Duration `json:"tLoad"`
+	// TReparse is the baseline the snapshot replaces: parsing and
+	// re-interning the N-Triples dump into a fresh store.
+	TReparse time.Duration `json:"tReparse"`
+	// TAppend is the mean WAL append latency, fsync included.
+	TAppend time.Duration `json:"tAppend"`
+	// WALRecords and TReplay measure recovery of a WAL tail: reading,
+	// CRC-checking and re-applying WALRecords single-triple deltas.
+	WALRecords int           `json:"walRecords"`
+	TReplay    time.Duration `json:"tReplay"`
+}
+
+// SaveMBps returns the snapshot write bandwidth.
+func (r PersistRow) SaveMBps() float64 { return mbps(r.SnapshotBytes, r.TSave) }
+
+// LoadMBps returns the snapshot read bandwidth.
+func (r PersistRow) LoadMBps() float64 { return mbps(r.SnapshotBytes, r.TLoad) }
+
+// ReplayRate returns WAL replay throughput in records per second.
+func (r PersistRow) ReplayRate() float64 {
+	if r.TReplay <= 0 {
+		return 0
+	}
+	return float64(r.WALRecords) / r.TReplay.Seconds()
+}
+
+// ColdBootSpeedup returns TReparse / TLoad — how much faster a restart
+// boots from the snapshot than from the original RDF input.
+func (r PersistRow) ColdBootSpeedup() float64 {
+	if r.TLoad <= 0 {
+		return 0
+	}
+	return float64(r.TReparse) / float64(r.TLoad)
+}
+
+func mbps(bytes int64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) / (1 << 20) / d.Seconds()
+}
+
+// Persist measures the durability layer on both datasets.
+func Persist(d *Datasets, repeats int) ([]PersistRow, error) {
+	var rows []PersistRow
+	for _, c := range []struct {
+		name string
+		st   *storage.Store
+	}{{"lubm", d.LUBM}, {"kg", d.KG}} {
+		row, err := persistOne(c.name, c.st, repeats)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func persistOne(name string, st *storage.Store, repeats int) (PersistRow, error) {
+	row := PersistRow{Dataset: name, Triples: st.NumTriples()}
+	dir, err := os.MkdirTemp("", "dualsim-bench-persist-*")
+	if err != nil {
+		return row, err
+	}
+	defer os.RemoveAll(dir)
+
+	// The text baseline: what the daemon re-parses without -data.
+	var nt bytes.Buffer
+	if err := dualsim.DumpNTriples(&nt, st); err != nil {
+		return row, err
+	}
+	row.NTBytes = int64(nt.Len())
+
+	var benchErr error
+	row.TSave = timeIt(repeats, func() {
+		n, err := persist.WriteSnapshot(dir, st, 0)
+		if err != nil {
+			benchErr = err
+			return
+		}
+		row.SnapshotBytes = n
+	})
+	if benchErr != nil {
+		return row, benchErr
+	}
+	row.TLoad = timeIt(repeats, func() {
+		if _, _, _, err := persist.ReadLatestSnapshot(dir); err != nil {
+			benchErr = err
+		}
+	})
+	row.TReparse = timeIt(repeats, func() {
+		if _, err := dualsim.LoadNTriples(bytes.NewReader(nt.Bytes())); err != nil {
+			benchErr = err
+		}
+	})
+	if benchErr != nil {
+		return row, benchErr
+	}
+
+	// WAL: append persistWALRecords single-triple deltas (each fsync'd,
+	// as in production), then time tail recovery — read, CRC-check,
+	// decode and re-apply through the overlay, the exact boot path.
+	wdir, err := os.MkdirTemp("", "dualsim-bench-wal-*")
+	if err != nil {
+		return row, err
+	}
+	defer os.RemoveAll(wdir)
+	lg, err := persist.Init(wdir, st, 0)
+	if err != nil {
+		return row, err
+	}
+	appendStart := time.Now()
+	for i := 1; i <= persistWALRecords; i++ {
+		adds := []rdf.Triple{rdf.T(fmt.Sprintf("wal:s%d", i), "wal:edge", fmt.Sprintf("wal:o%d", i))}
+		if _, err := lg.AppendApply(uint64(i), adds, nil); err != nil {
+			lg.Close()
+			return row, err
+		}
+	}
+	row.TAppend = time.Since(appendStart) / persistWALRecords
+	row.WALRecords = persistWALRecords
+	if err := lg.Close(); err != nil {
+		return row, err
+	}
+	row.TReplay = timeIt(repeats, func() {
+		tail, err := persist.ReadWALTail(wdir, 0)
+		if err != nil || len(tail) != persistWALRecords {
+			benchErr = fmt.Errorf("bench: WAL tail has %d records (%v)", len(tail), err)
+			return
+		}
+		ov, err := delta.NewAt(st, 0, 0)
+		if err != nil {
+			benchErr = err
+			return
+		}
+		for _, r := range tail {
+			if _, _, err := ov.Apply(delta.Delta{Adds: r.Adds, Dels: r.Dels}); err != nil {
+				benchErr = err
+				return
+			}
+		}
+	})
+	return row, benchErr
+}
+
+// RenderPersist formats the persistence rows.
+func RenderPersist(w io.Writer, rows []PersistRow) {
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Dataset,
+			fmt.Sprint(r.Triples),
+			fmt.Sprintf("%.2f", float64(r.SnapshotBytes)/(1<<20)),
+			fmt.Sprintf("%.0f", r.SaveMBps()),
+			fmt.Sprintf("%.0f", r.LoadMBps()),
+			Millis(r.TReparse),
+			Millis(r.TLoad),
+			fmt.Sprintf("%.1fx", r.ColdBootSpeedup()),
+			fmt.Sprintf("%.2f", float64(r.TAppend.Microseconds())/1000),
+			fmt.Sprintf("%.0f", r.ReplayRate()),
+		})
+	}
+	WriteTable(w, []string{
+		"Dataset", "triples", "snap_MB", "save_MB/s", "load_MB/s",
+		"t_reparse", "t_coldboot", "speedup", "wal_append_ms", "replay_rec/s",
+	}, cells)
+}

@@ -84,6 +84,14 @@ func keyOf(t rdf.Triple) tripleKey {
 // the ledger holds that many entries; threshold = 0 leaves compaction to
 // explicit Compact calls.
 func New(base *storage.Store, threshold int) (*Overlay, error) {
+	return NewAt(base, threshold, 0)
+}
+
+// NewAt is New with an explicit starting epoch — the warm-restart hook:
+// a store recovered from a durable snapshot resumes its epoch sequence
+// where the previous process left off instead of restarting from 0, so
+// clients tracking epochs never observe time moving backwards.
+func NewAt(base *storage.Store, threshold int, epoch uint64) (*Overlay, error) {
 	if base == nil {
 		return nil, fmt.Errorf("delta: nil base store")
 	}
@@ -93,6 +101,7 @@ func New(base *storage.Store, threshold int) (*Overlay, error) {
 	return &Overlay{
 		base:      base,
 		cur:       base,
+		epoch:     epoch,
 		adds:      make(map[tripleKey]bool),
 		dels:      make(map[tripleKey]bool),
 		threshold: threshold,

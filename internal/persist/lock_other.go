@@ -1,0 +1,10 @@
+//go:build !unix
+
+package persist
+
+import "os"
+
+// lockDir is a no-op on platforms without flock semantics: a second
+// live process on one data dir is not prevented there, only detected
+// after the fact by the WAL's CRC framing.
+func lockDir(dir string) (*os.File, error) { return nil, nil }

@@ -1,0 +1,28 @@
+//go:build unix
+
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir takes an exclusive advisory flock on dir/LOCK, guarding the
+// WAL and snapshot files against a second live process — a rolling
+// restart whose old daemon is still draining (its final checkpoint
+// would truncate the log under the new daemon's appends), or a plain
+// double start. The lock dies with the process, so a SIGKILL never
+// leaves a stale lock blocking recovery.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("persist: data dir %s is locked by another live process: %w", dir, err)
+	}
+	return f, nil
+}

@@ -35,39 +35,56 @@ func newAdmission(maxInFlight, queueDepth int) *admission {
 	return a
 }
 
+// claim books a just-received slot token and returns its idempotent
+// release.
+func (a *admission) claim() func() {
+	a.inFlight.Add(1)
+	var done atomic.Bool
+	return func() {
+		if done.CompareAndSwap(false, true) {
+			a.inFlight.Add(-1)
+			a.slots <- struct{}{}
+		}
+	}
+}
+
 // acquire claims an execution slot, waiting in the bounded queue when
 // all slots are busy. It returns ErrOverloaded when the queue is full,
 // or ctx.Err() when the caller gave up while queued. On success the
 // caller must invoke the returned release exactly once.
 func (a *admission) acquire(ctx context.Context) (release func(), err error) {
-	claim := func() func() {
-		a.inFlight.Add(1)
-		var done atomic.Bool
-		return func() {
-			if done.CompareAndSwap(false, true) {
-				a.inFlight.Add(-1)
-				a.slots <- struct{}{}
-			}
-		}
-	}
 	// Fast path: a slot is free.
 	select {
 	case <-a.slots:
-		return claim(), nil
+		return a.claim(), nil
 	default:
 	}
-	// Slow path: wait, but only if the queue has room. The counter is
-	// advisory — two racing requests may both enter a queue with one
-	// spot left — which bounds the queue at queueDepth + O(racers),
-	// exactly the property that matters (finite, near the target).
+	return a.admitQueued(ctx)
+}
+
+// admitQueued is the slow path, entered after a fast-path miss: wait,
+// but only if the queue has room. The counter is advisory — two racing
+// requests may both enter a queue with one spot left — which bounds the
+// queue at queueDepth + O(racers), exactly the property that matters
+// (finite, near the target).
+func (a *admission) admitQueued(ctx context.Context) (release func(), err error) {
 	if a.queued.Load() >= a.queueDepth {
-		return nil, ErrOverloaded
+		// A slot may have freed between the fast-path poll and this shed
+		// decision (release does not drain the queue counter for us);
+		// re-check non-blockingly so that window is not turned into a
+		// spurious 429 while capacity sits idle.
+		select {
+		case <-a.slots:
+			return a.claim(), nil
+		default:
+			return nil, ErrOverloaded
+		}
 	}
 	a.queued.Add(1)
 	defer a.queued.Add(-1)
 	select {
 	case <-a.slots:
-		return claim(), nil
+		return a.claim(), nil
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}

@@ -1,0 +1,128 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestAdmissionShedRechecksSlots is the white-box regression for the
+// fast-path race: a request that misses the fast-path select and finds
+// the queue counter full must re-check the slot channel before
+// shedding — a release landing between the two checks would otherwise
+// turn into a 429 while a slot sits free. The test pins the exact
+// interleaving by entering the slow path (admitQueued) directly: "the
+// fast path already missed" is the method's precondition, the release
+// lands before the shed decision.
+func TestAdmissionShedRechecksSlots(t *testing.T) {
+	a := newAdmission(1, 2)
+	release, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Saturate the queue counter as racing waiters would (it is
+	// advisory; poking it directly makes the schedule deterministic).
+	a.queued.Add(2)
+	release() // the slot frees after the fast-path miss, before the shed check
+
+	rel2, err := a.admitQueued(context.Background())
+	a.queued.Add(-2)
+	if err != nil {
+		t.Fatalf("slow path shed despite a free slot: %v", err)
+	}
+	rel2()
+	// With the slot genuinely busy and the queue full, shedding is the
+	// right answer.
+	rel3, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel3()
+	a.queued.Add(2)
+	_, err = a.admitQueued(context.Background())
+	a.queued.Add(-2)
+	if err != ErrOverloaded {
+		t.Fatalf("full queue with busy slot: %v, want ErrOverloaded", err)
+	}
+}
+
+// TestAdmissionAcquireReleaseHammer hammers acquire/release from many
+// goroutines (run under -race in CI): no slot may be lost or double
+// granted, and with queueing disabled every failure must be a shed, not
+// a stall.
+func TestAdmissionAcquireReleaseHammer(t *testing.T) {
+	const (
+		slots   = 4
+		workers = 32
+		rounds  = 500
+	)
+	a := newAdmission(slots, 0) // queueDepth 0: miss ⇒ shed path every time
+	var (
+		wg      sync.WaitGroup
+		held    atomic.Int64
+		granted atomic.Int64
+		shed    atomic.Int64
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				release, err := a.acquire(context.Background())
+				if err != nil {
+					if !errors.Is(err, ErrOverloaded) {
+						t.Errorf("unexpected acquire error: %v", err)
+						return
+					}
+					shed.Add(1)
+					continue
+				}
+				if h := held.Add(1); h > slots {
+					t.Errorf("%d requests hold slots concurrently (max %d)", h, slots)
+				}
+				granted.Add(1)
+				held.Add(-1)
+				release()
+			}
+		}()
+	}
+	wg.Wait()
+	if granted.Load() == 0 {
+		t.Fatal("no request was ever admitted")
+	}
+	// Every slot must be back: slots sequential acquires succeed
+	// immediately.
+	var rels []func()
+	for i := 0; i < slots; i++ {
+		release, err := a.acquire(context.Background())
+		if err != nil {
+			t.Fatalf("slot %d lost after the hammer: %v", i, err)
+		}
+		rels = append(rels, release)
+	}
+	for _, r := range rels {
+		r()
+	}
+	if a.InFlight() != 0 || a.Queued() != 0 {
+		t.Fatalf("counters did not settle: inFlight=%d queued=%d", a.InFlight(), a.Queued())
+	}
+}
+
+// TestAdmissionQueueTimeout keeps the existing slow-path contract: a
+// queued caller whose context dies gets ctx.Err, not a shed.
+func TestAdmissionQueueTimeout(t *testing.T) {
+	a := newAdmission(1, 4)
+	release, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := a.acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued acquire: %v", err)
+	}
+}

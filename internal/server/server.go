@@ -8,6 +8,7 @@
 //	POST /v1/batch     a query slice fanned over the session batch pool
 //	POST /v1/apply     a live delta (dels before adds, atomic, epoch++)
 //	POST /v1/compact   on-demand overlay compaction
+//	POST /v1/checkpoint roll the durable session's WAL into a snapshot
 //	GET  /v1/snapshot  current epoch + store shape
 //	GET  /healthz      liveness (503 while draining)
 //	GET  /metrics      Prometheus-style text metrics
@@ -148,6 +149,7 @@ type Server struct {
 	errors       *metrics.Counter
 	rows         *metrics.Counter
 	solverRounds *metrics.Counter
+	checkpoints  *metrics.Counter
 	draining     *metrics.Gauge
 }
 
@@ -186,6 +188,7 @@ func New(db *dualsim.DB, opts ...Option) (*Server, error) {
 		errors:       reg.Counter("dualsimd_errors_total", "requests answered with a non-2xx status"),
 		rows:         reg.Counter("dualsimd_rows_total", "result rows returned"),
 		solverRounds: reg.Counter("dualsimd_solver_rounds_total", "dual-simulation solver rounds executed"),
+		checkpoints:  reg.Counter("dualsimd_checkpoint_requests_total", "checkpoints completed via /v1/checkpoint"),
 		draining:     reg.Gauge("dualsimd_draining", "1 while the server is draining for shutdown"),
 	}
 	reg.GaugeFunc("dualsimd_in_flight", "requests currently executing", func() float64 {
@@ -215,11 +218,38 @@ func New(db *dualsim.DB, opts ...Option) (*Server, error) {
 	reg.GaugeFunc("dualsimd_triples", "triples in the current snapshot", func() float64 {
 		return float64(db.Store().NumTriples())
 	})
+	// Durability series: all read from PersistStats, all zero on a
+	// session without a data dir (dualsimd_durable tells the two apart).
+	reg.GaugeFunc("dualsimd_durable", "1 when the session persists to a data dir", func() float64 {
+		if db.Durable() {
+			return 1
+		}
+		return 0
+	})
+	reg.GaugeFunc("dualsimd_wal_bytes", "write-ahead log size in bytes (since the last checkpoint)", func() float64 {
+		return float64(db.PersistStats().WALBytes)
+	})
+	reg.GaugeFunc("dualsimd_wal_records", "write-ahead log records since the last checkpoint", func() float64 {
+		return float64(db.PersistStats().WALRecords)
+	})
+	reg.GaugeFunc("dualsimd_checkpoints", "completed checkpoints (including the initial one)", func() float64 {
+		return float64(db.PersistStats().Checkpoints)
+	})
+	reg.GaugeFunc("dualsimd_last_checkpoint_epoch", "epoch of the newest on-disk snapshot", func() float64 {
+		return float64(db.PersistStats().LastCheckpointEpoch)
+	})
+	reg.GaugeFunc("dualsimd_snapshot_bytes", "size of the newest on-disk snapshot", func() float64 {
+		return float64(db.PersistStats().SnapshotBytes)
+	})
+	reg.GaugeFunc("dualsimd_checkpoint_failures", "automatic checkpoints that failed (WAL keeps growing)", func() float64 {
+		return float64(db.PersistStats().CheckpointFailures)
+	})
 
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/apply", s.handleApply)
 	s.mux.HandleFunc("POST /v1/compact", s.handleCompact)
+	s.mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -453,6 +483,29 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("X-Dualsim-Epoch", strconv.FormatUint(stats.Epoch, 10))
 	s.writeJSON(w, http.StatusOK, &wire.ApplyResponse{Stats: stats})
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admitOr429(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := s.requestContext(r, 0)
+	defer cancel()
+	stats, err := s.db.Checkpoint(ctx)
+	if errors.Is(err, dualsim.ErrNotDurable) {
+		// Not a transient failure: the daemon was started without -data.
+		s.fail(w, http.StatusConflict, err.Error())
+		return
+	}
+	if err != nil {
+		s.failExec(w, r, err)
+		return
+	}
+	s.checkpoints.Inc()
+	w.Header().Set("X-Dualsim-Epoch", strconv.FormatUint(stats.Epoch, 10))
+	s.writeJSON(w, http.StatusOK, &wire.CheckpointResponse{Stats: stats})
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {

@@ -532,3 +532,83 @@ func TestOptionValidation(t *testing.T) {
 		t.Fatal("nil session accepted")
 	}
 }
+
+// TestCheckpointEndpoint covers /v1/checkpoint on a durable session:
+// applies accumulate WAL records, the endpoint rolls them into a
+// snapshot, and the persistence gauges move on /metrics.
+func TestCheckpointEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	st, err := dualsim.FromTriples(queries.Fig1aTriples())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := dualsim.Open(st, dualsim.WithPlanCache(16), dualsim.WithDataDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		hs.Close()
+		db.Close()
+	})
+
+	resp := postJSON(t, hs.URL+"/v1/apply", wire.ApplyRequest{Adds: []wire.Triple{
+		{S: "ck:s", P: "ck:p", O: "ck:o"},
+	}})
+	var ar wire.ApplyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ar.Stats.WALBytes <= 0 {
+		t.Fatalf("apply did not report WAL bytes: %+v", ar.Stats)
+	}
+
+	resp = postJSON(t, hs.URL+"/v1/checkpoint", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Dualsim-Epoch"); got != "1" {
+		t.Fatalf("checkpoint epoch header %q, want 1", got)
+	}
+	var cr wire.CheckpointResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if cr.Stats.Epoch != 1 || cr.Stats.SnapshotBytes <= 0 || cr.Stats.WALReclaimed <= 0 {
+		t.Fatalf("checkpoint stats: %+v", cr.Stats)
+	}
+
+	mresp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		"dualsimd_durable 1",
+		"dualsimd_wal_records 0", // just checkpointed
+		"dualsimd_last_checkpoint_epoch 1",
+		"dualsimd_checkpoint_requests_total 1",
+	} {
+		if !strings.Contains(string(page), want) {
+			t.Errorf("metrics page misses %q", want)
+		}
+	}
+}
+
+// TestCheckpointNotDurableIs409: a server without a data dir cannot
+// checkpoint, and says so with a non-retryable status.
+func TestCheckpointNotDurableIs409(t *testing.T) {
+	_, hs, _ := newTestServer(t)
+	resp := postJSON(t, hs.URL+"/v1/checkpoint", nil)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("checkpoint on non-durable server: status %d, want 409", resp.StatusCode)
+	}
+}

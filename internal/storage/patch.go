@@ -32,6 +32,24 @@ type PatchStats struct {
 	TouchedNodes []NodeID
 }
 
+// ValidateBatch checks every triple of a patch batch up front — the
+// shared gate of Patch's atomicity contract and of the WAL append that
+// precedes a durable apply (the log must never record a batch the
+// in-memory apply, or a later replay, would reject).
+func ValidateBatch(adds, dels []rdf.Triple) error {
+	for i, t := range adds {
+		if err := t.Validate(); err != nil {
+			return fmt.Errorf("storage: patch add %d of %d: %w", i, len(adds), err)
+		}
+	}
+	for i, t := range dels {
+		if err := t.Validate(); err != nil {
+			return fmt.Errorf("storage: patch del %d of %d: %w", i, len(dels), err)
+		}
+	}
+	return nil
+}
+
 // predChange accumulates one predicate's effective patch. addSet
 // mirrors adds for O(1) duplicate detection.
 type predChange struct {
@@ -60,15 +78,8 @@ type predChange struct {
 func (st *Store) Patch(adds, dels []rdf.Triple) (*Store, PatchStats, error) {
 	st.mustBeBuilt()
 	var stats PatchStats
-	for i, t := range adds {
-		if err := t.Validate(); err != nil {
-			return nil, stats, fmt.Errorf("storage: patch add %d of %d: %w", i, len(adds), err)
-		}
-	}
-	for i, t := range dels {
-		if err := t.Validate(); err != nil {
-			return nil, stats, fmt.Errorf("storage: patch del %d of %d: %w", i, len(dels), err)
-		}
+	if err := ValidateBatch(adds, dels); err != nil {
+		return nil, stats, err
 	}
 
 	oldTerms, oldPreds := len(st.terms), len(st.preds)

@@ -1,0 +1,85 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+
+	"dualsim/internal/rdf"
+)
+
+func TestSnapshotCodecRoundTrip(t *testing.T) {
+	st, err := FromTriples([]rdf.Triple{
+		rdf.T("a", "p", "b"),
+		rdf.T("b", "p", "c"),
+		rdf.T("a", "q", "c"),
+		rdf.TL("a", "label", "alpha"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := st.EncodeSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumTriples() != st.NumTriples() || got.NumNodes() != st.NumNodes() || got.NumPreds() != st.NumPreds() {
+		t.Fatalf("shape: %d/%d/%d vs %d/%d/%d",
+			got.NumTriples(), got.NumNodes(), got.NumPreds(),
+			st.NumTriples(), st.NumNodes(), st.NumPreds())
+	}
+	// Both index orders answer after the roundtrip.
+	a, _ := got.TermID(rdf.NewIRI("a"))
+	p, _ := got.PredIDOf("p")
+	c, _ := got.TermID(rdf.NewIRI("c"))
+	if objs := got.Objects(p, a); len(objs) != 1 {
+		t.Fatalf("Objects(p, a) = %v", objs)
+	}
+	if subs := got.Subjects(p, c); len(subs) != 1 {
+		t.Fatalf("Subjects(p, c) = %v", subs)
+	}
+	// Literal terms keep their kind (a "b"-IRI and a "b"-literal differ).
+	if id, ok := got.TermID(rdf.NewLiteral("alpha")); !ok {
+		t.Fatal("literal term lost")
+	} else if !got.Term(id).IsLiteral() {
+		t.Fatal("literal decoded as IRI")
+	}
+}
+
+func TestSnapshotCodecEmptyStore(t *testing.T) {
+	st := New()
+	st.Build()
+	var buf bytes.Buffer
+	if err := st.EncodeSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumTriples() != 0 || got.NumNodes() != 0 || got.NumPreds() != 0 {
+		t.Fatalf("empty roundtrip: %d/%d/%d", got.NumTriples(), got.NumNodes(), got.NumPreds())
+	}
+}
+
+func TestSnapshotCodecRejectsGarbage(t *testing.T) {
+	st, err := FromTriples([]rdf.Triple{rdf.T("a", "p", "b"), rdf.T("b", "p", "c")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := st.EncodeSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Truncations anywhere must error, never panic or mis-decode.
+	raw := buf.Bytes()
+	for cut := 0; cut < len(raw); cut++ {
+		if _, err := DecodeSnapshot(bytes.NewReader(raw[:cut])); err == nil {
+			// A prefix that happens to decode fully is only legal if it is
+			// the complete body.
+			t.Fatalf("truncation at %d of %d decoded without error", cut, len(raw))
+		}
+	}
+}

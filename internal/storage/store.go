@@ -11,7 +11,9 @@
 package storage
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
 
@@ -222,11 +224,11 @@ func (st *Store) Build() {
 }
 
 func sortPairs(ps []pair) {
-	sort.Slice(ps, func(i, j int) bool {
-		if ps[i].a != ps[j].a {
-			return ps[i].a < ps[j].a
+	slices.SortFunc(ps, func(x, y pair) int {
+		if c := cmp.Compare(x.a, y.a); c != 0 {
+			return c
 		}
-		return ps[i].b < ps[j].b
+		return cmp.Compare(x.b, y.b)
 	})
 }
 

@@ -177,6 +177,12 @@ type ApplyResponse struct {
 	Stats dualsim.ApplyStats `json:"stats"`
 }
 
+// CheckpointResponse is the body of a POST /v1/checkpoint reply: the
+// durable session rolled its WAL into a fresh on-disk snapshot.
+type CheckpointResponse struct {
+	Stats dualsim.CheckpointStats `json:"stats"`
+}
+
 // SnapshotResponse is the body of GET /v1/snapshot: the current epoch
 // and store shape, for clients tracking MVCC progress.
 type SnapshotResponse struct {

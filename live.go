@@ -2,13 +2,19 @@ package dualsim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
 	"dualsim/internal/delta"
 	"dualsim/internal/partition"
+	"dualsim/internal/persist"
 	"dualsim/internal/storage"
 )
+
+// ErrNotDurable is returned by Checkpoint on a session opened without a
+// data dir (WithDataDir/OpenDir).
+var ErrNotDurable = errors.New("dualsim: session has no data dir; open with WithDataDir or OpenDir")
 
 // This file is the session surface of the live-update subsystem
 // (internal/delta): Apply mutates the database by publishing a new
@@ -53,6 +59,16 @@ type ApplyStats struct {
 	// NewTerms the dictionary growth (both 0 when Compacted).
 	TouchedPreds int `json:"touchedPreds,omitempty"`
 	NewTerms     int `json:"newTerms,omitempty"`
+	// WALBytes is the framed size of the write-ahead log record this
+	// operation appended, and FsyncLatency the time the fsync making it
+	// durable took — both 0 on a session without a data dir. The WAL
+	// write happens before the delta is applied or acknowledged.
+	WALBytes     int64         `json:"walBytes,omitempty"`
+	FsyncLatency time.Duration `json:"fsyncLatency,omitempty"`
+	// Checkpointed reports that the operation rolled the WAL into a
+	// fresh snapshot afterwards (Compact always does on a durable
+	// session; Apply does when WithCheckpointEvery triggered).
+	Checkpointed bool `json:"checkpointed,omitempty"`
 	// FingerprintRebuilt reports that the session's fingerprint summary
 	// was maintained across the update: the partition is advanced
 	// incrementally around the touched nodes (re-refined in full only
@@ -95,6 +111,27 @@ func (db *DB) Apply(ctx context.Context, d Delta) (ApplyStats, error) {
 	db.applyMu.Lock()
 	defer db.applyMu.Unlock()
 
+	// Durability comes first: the delta is validated (so the log never
+	// holds a record the replay would reject) and WAL-appended with an
+	// fsync before it is applied — an acknowledged Apply survives a
+	// crash, an unacknowledged one is at worst a torn tail record that
+	// recovery truncates away. Empty deltas are no-ops and are not
+	// logged (they would not advance the epoch on replay either).
+	var walStats persist.AppendStats
+	if db.pers != nil && (len(d.Adds) > 0 || len(d.Dels) > 0) {
+		// Pre-validate with the exact check the apply (and any later
+		// replay) performs, so the WAL never records a rejectable batch.
+		if err := storage.ValidateBatch(d.Adds, d.Dels); err != nil {
+			return ApplyStats{Epoch: db.overlay.Epoch(), OverlaySize: db.overlay.Size()}, err
+		}
+		ws, err := db.pers.AppendApply(db.overlay.Epoch()+1, d.Adds, d.Dels)
+		if err != nil {
+			return ApplyStats{Epoch: db.overlay.Epoch(), OverlaySize: db.overlay.Size()},
+				fmt.Errorf("dualsim: WAL append: %w", err)
+		}
+		walStats = ws
+	}
+
 	st, res, err := db.overlay.Apply(delta.Delta{Adds: d.Adds, Dels: d.Dels})
 	stats := ApplyStats{
 		Epoch:        res.Epoch,
@@ -105,6 +142,8 @@ func (db *DB) Apply(ctx context.Context, d Delta) (ApplyStats, error) {
 		NoOp:         res.NoOp,
 		TouchedPreds: res.Patch.TouchedPreds,
 		NewTerms:     res.Patch.NewTerms,
+		WALBytes:     walStats.Bytes,
+		FsyncLatency: walStats.FsyncLatency,
 	}
 	if err != nil {
 		return stats, err
@@ -116,6 +155,20 @@ func (db *DB) Apply(ctx context.Context, d Delta) (ApplyStats, error) {
 		return stats, nil
 	}
 	err = db.publish(st, res, &stats)
+	if err == nil && db.pers != nil && db.set.checkpointEvery > 0 &&
+		db.pers.RecordsSinceCheckpoint() >= int64(db.set.checkpointEvery) {
+		// A checkpoint failure must not fail the Apply: the delta is
+		// already WAL-acked, applied and published — durability holds,
+		// recovery just replays a longer log. Count the degradation
+		// (PersistStats.CheckpointFailures, a dualsimd gauge) instead of
+		// turning a healthy write into a caller-visible error on every
+		// subsequent Apply.
+		if _, cerr := db.pers.Checkpoint(st, res.Epoch); cerr != nil {
+			db.ckptFails.Add(1)
+		} else {
+			stats.Checkpointed = true
+		}
+	}
 	stats.Duration = time.Since(start)
 	return stats, err
 }
@@ -139,14 +192,128 @@ func (db *DB) Compact(ctx context.Context) (ApplyStats, error) {
 	db.applyMu.Lock()
 	defer db.applyMu.Unlock()
 
+	var walStats persist.AppendStats
+	if db.pers != nil {
+		ws, err := db.pers.AppendCompact(db.overlay.Epoch() + 1)
+		if err != nil {
+			return ApplyStats{Epoch: db.overlay.Epoch()}, fmt.Errorf("dualsim: WAL append: %w", err)
+		}
+		walStats = ws
+	}
 	st, res, err := db.overlay.Compact()
-	stats := ApplyStats{Epoch: res.Epoch, Compacted: true}
+	stats := ApplyStats{
+		Epoch:        res.Epoch,
+		Compacted:    true,
+		WALBytes:     walStats.Bytes,
+		FsyncLatency: walStats.FsyncLatency,
+	}
 	if err != nil {
 		return stats, err
 	}
 	err = db.publish(st, res, &stats)
+	if err == nil && db.pers != nil {
+		// A compaction already rebuilt the whole store — the natural
+		// moment to checkpoint: the fresh snapshot makes every WAL record
+		// redundant, and the next boot loads it directly instead of
+		// replaying the log and re-compacting. Like the auto-checkpoint in
+		// Apply, a failure here is degradation, not an error: the compact
+		// record is WAL-acked, so recovery replays it.
+		if _, cerr := db.pers.Checkpoint(st, res.Epoch); cerr != nil {
+			db.ckptFails.Add(1)
+		} else {
+			stats.Checkpointed = true
+		}
+	}
 	stats.Duration = time.Since(start)
 	return stats, err
+}
+
+// CheckpointStats reports one Checkpoint. JSON tags are part of the
+// serving wire format (see ExecStats).
+type CheckpointStats struct {
+	// Epoch is the checkpointed store epoch.
+	Epoch uint64 `json:"epoch"`
+	// SnapshotBytes is the size of the written snapshot file.
+	SnapshotBytes int64 `json:"snapshotBytes"`
+	// WALReclaimed is how many write-ahead-log bytes the post-snapshot
+	// truncation released.
+	WALReclaimed int64 `json:"walReclaimed"`
+	// Duration is the end-to-end checkpoint time.
+	Duration time.Duration `json:"duration"`
+}
+
+// Checkpoint rolls the durable session's state forward on disk: the
+// current snapshot is written as a checkpoint file (atomically: temp
+// file, fsync, rename) and the write-ahead log is truncated — the next
+// OpenDir boots from the snapshot with nothing to replay. Serialized
+// with Apply/Compact; readers are never blocked. Returns ErrNotDurable
+// on a session without a data dir.
+func (db *DB) Checkpoint(ctx context.Context) (CheckpointStats, error) {
+	if db.closed.Load() {
+		return CheckpointStats{}, ErrClosed
+	}
+	if db.pers == nil {
+		return CheckpointStats{}, ErrNotDurable
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return CheckpointStats{}, err
+	}
+	db.applyMu.Lock()
+	defer db.applyMu.Unlock()
+	snap := db.snap.Load()
+	cs, err := db.pers.Checkpoint(snap.st, snap.epoch)
+	if err != nil {
+		return CheckpointStats{}, err
+	}
+	return CheckpointStats{
+		Epoch:         cs.Epoch,
+		SnapshotBytes: cs.SnapshotBytes,
+		WALReclaimed:  cs.WALReclaimed,
+		Duration:      cs.Duration,
+	}, nil
+}
+
+// Durable reports whether the session persists to a data dir.
+func (db *DB) Durable() bool { return db.pers != nil }
+
+// PersistStats is the durable session's cumulative persistence
+// bookkeeping (zero value on a non-durable session). JSON tags follow
+// the serving wire format.
+type PersistStats struct {
+	Durable             bool   `json:"durable"`
+	WALBytes            int64  `json:"walBytes"`
+	WALRecords          int64  `json:"walRecords"`
+	Checkpoints         int64  `json:"checkpoints"`
+	LastCheckpointEpoch uint64 `json:"lastCheckpointEpoch"`
+	SnapshotBytes       int64  `json:"snapshotBytes"`
+	// CheckpointFailures counts automatic checkpoints (WithCheckpointEvery,
+	// checkpoint-on-Compact) that failed. The writes they followed are
+	// still durable — recovery just replays a longer WAL — but a growing
+	// count means snapshots are not being written (e.g. disk full) and
+	// recovery time is no longer bounded.
+	CheckpointFailures int64 `json:"checkpointFailures"`
+}
+
+// PersistStats returns the session's persistence counters — WAL size
+// and record count, completed checkpoints, the last checkpointed epoch
+// and the snapshot file size. dualsimd exposes them as /metrics gauges.
+func (db *DB) PersistStats() PersistStats {
+	if db.pers == nil {
+		return PersistStats{}
+	}
+	s := db.pers.Stats()
+	return PersistStats{
+		Durable:             true,
+		WALBytes:            s.WALBytes,
+		WALRecords:          s.WALRecords,
+		Checkpoints:         s.Checkpoints,
+		LastCheckpointEpoch: s.LastCheckpointEpoch,
+		SnapshotBytes:       s.SnapshotBytes,
+		CheckpointFailures:  db.ckptFails.Load(),
+	}
 }
 
 // publish maintains the fingerprint across the update, swaps in the new

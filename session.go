@@ -13,6 +13,7 @@ import (
 	"dualsim/internal/delta"
 	"dualsim/internal/engine"
 	"dualsim/internal/partition"
+	"dualsim/internal/persist"
 	"dualsim/internal/prune"
 )
 
@@ -48,12 +49,14 @@ type dbSnapshot struct {
 type DB struct {
 	set     settings
 	eng     engine.Engine
-	cache   *planCache // non-nil iff WithPlanCache was given
-	wantFP  bool       // the pipeline composition consumes a fingerprint
+	cache   *planCache   // non-nil iff WithPlanCache was given
+	wantFP  bool         // the pipeline composition consumes a fingerprint
+	pers    *persist.Log // non-nil iff the session is durable (WithDataDir/OpenDir)
 	overlay *delta.Overlay
 	snap    atomic.Pointer[dbSnapshot] // current epoch; swapped by Apply/Compact
 
-	applyMu sync.Mutex // serializes Apply/Compact (single writer)
+	applyMu   sync.Mutex   // serializes Apply/Compact (single writer)
+	ckptFails atomic.Int64 // automatic checkpoints that failed (see PersistStats)
 	// fpPart is the partition behind the current snapshot's fingerprint,
 	// kept for incremental advance across applies. Guarded by applyMu
 	// (written once more in Open, before any concurrency).
@@ -68,25 +71,107 @@ type DB struct {
 // Build, or any of the constructors); it is shared, not copied, and must
 // not be mutated directly while the session is live — use Apply, which
 // publishes immutable snapshots instead of touching the store.
+//
+// With WithDataDir the session is durable from epoch 0: Open writes an
+// initial checkpoint into the (empty) data dir and every later Apply is
+// WAL-logged before it is acknowledged. A dir that already holds a
+// durable store is refused — restart from it with OpenDir instead.
 func Open(st *Store, opts ...Option) (*DB, error) {
 	if err := requireStore(st); err != nil {
 		return nil, err
 	}
+	set, err := resolveSettings(opts)
+	if err != nil {
+		return nil, err
+	}
+	var lg *persist.Log
+	if set.dataDir != "" {
+		if persist.HasState(set.dataDir) {
+			return nil, fmt.Errorf("dualsim: data dir %s already holds a durable store; warm-start from it with OpenDir", set.dataDir)
+		}
+		if lg, err = persist.Init(set.dataDir, st, 0); err != nil {
+			return nil, fmt.Errorf("dualsim: initializing data dir: %w", err)
+		}
+	}
+	db, err := openAt(st, 0, nil, lg, set)
+	if err != nil && lg != nil {
+		lg.Close()
+	}
+	return db, err
+}
+
+// OpenDir starts a session from a durable data directory written by a
+// previous WithDataDir session: boot = load the latest snapshot +
+// replay the WAL tail, preserving epoch continuity — no re-ingestion of
+// the original RDF input. The recovered session keeps appending to the
+// same directory.
+func OpenDir(dir string, opts ...Option) (*DB, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("dualsim: empty data dir")
+	}
+	set, err := resolveSettings(opts)
+	if err != nil {
+		return nil, err
+	}
+	if set.dataDir != "" && set.dataDir != dir {
+		return nil, fmt.Errorf("dualsim: OpenDir(%s) conflicts with WithDataDir(%s)", dir, set.dataDir)
+	}
+	set.dataDir = dir
+	lg, rec, err := persist.Open(dir)
+	if err != nil {
+		return nil, fmt.Errorf("dualsim: opening data dir: %w", err)
+	}
+	db, err := openAt(rec.Store, rec.SnapshotEpoch, rec.Tail, lg, set)
+	if err != nil {
+		lg.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+func resolveSettings(opts []Option) (settings, error) {
 	set := defaultSettings()
 	for _, opt := range opts {
 		if err := opt(&set); err != nil {
-			return nil, err
+			return set, err
 		}
 	}
-	db := &DB{set: set, eng: set.engine.engine()}
+	return set, nil
+}
+
+// openAt wires a session over the store at the given epoch, replaying a
+// recovered WAL tail first (both zero for a plain Open). Each replayed
+// record must land exactly on its stamped epoch — a divergence means
+// the log is missing or reordering records and the boot is refused
+// rather than silently serving a wrong epoch.
+func openAt(st *Store, epoch uint64, tail []persist.Record, lg *persist.Log, set settings) (*DB, error) {
+	db := &DB{set: set, eng: set.engine.engine(), pers: lg}
 	if set.planCache > 0 {
 		db.cache = newPlanCache(set.planCache)
 	}
-	overlay, err := delta.New(st, set.compactThreshold)
+	overlay, err := delta.NewAt(st, set.compactThreshold, epoch)
 	if err != nil {
 		return nil, fmt.Errorf("dualsim: %w", err)
 	}
+	for _, r := range tail {
+		var res delta.Result
+		switch r.Kind {
+		case persist.RecordApply:
+			_, res, err = overlay.Apply(delta.Delta{Adds: r.Adds, Dels: r.Dels})
+		case persist.RecordCompact:
+			_, res, err = overlay.Compact()
+		default:
+			err = fmt.Errorf("unknown WAL record kind %d", r.Kind)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dualsim: replaying WAL record for epoch %d: %w", r.Epoch, err)
+		}
+		if res.Epoch != r.Epoch {
+			return nil, fmt.Errorf("dualsim: WAL replay diverged: record stamped epoch %d, replay reached epoch %d (missing or reordered records)", r.Epoch, res.Epoch)
+		}
+	}
 	db.overlay = overlay
+	cur, curEpoch := overlay.Current()
 	// The summary refinement is expensive; build it only when some
 	// pipeline can consume it — the default pruning pipeline, or an
 	// explicit stage list naming the fingerprint stage.
@@ -95,9 +180,9 @@ func Open(st *Store, opts ...Option) (*DB, error) {
 		needFP = hasStage(set.stages, "fingerprint")
 	}
 	db.wantFP = set.fingerprint && needFP
-	snap := &dbSnapshot{st: st}
+	snap := &dbSnapshot{st: cur, epoch: curEpoch}
 	if db.wantFP {
-		fp, err := BuildFingerprint(st, set.fingerprintK)
+		fp, err := BuildFingerprint(cur, set.fingerprintK)
 		if err != nil {
 			return nil, fmt.Errorf("dualsim: building fingerprint: %w", err)
 		}
@@ -109,9 +194,17 @@ func Open(st *Store, opts ...Option) (*DB, error) {
 }
 
 // Close releases the session. Prepared queries of a closed session fail
-// with ErrClosed; the underlying store is untouched.
+// with ErrClosed; the underlying store is untouched. On a durable
+// session Close releases the WAL file handle — every acknowledged Apply
+// was already fsync'd, so nothing is lost (checkpoint first via
+// Checkpoint if you want the next boot to skip the replay).
 func (db *DB) Close() error {
-	db.closed.Store(true)
+	if db.closed.Swap(true) {
+		return nil
+	}
+	if db.pers != nil {
+		return db.pers.Close()
+	}
 	return nil
 }
 

@@ -55,9 +55,21 @@ func TestStatsJSONFieldNames(t *testing.T) {
 
 	requireKeys("ApplyStats", keysOf(dualsim.ApplyStats{Epoch: 1, Added: 2, Deleted: 1, Duration: time.Second}),
 		"epoch", "added", "deleted", "overlaySize", "duration")
+	requireKeys("ApplyStats(durable)",
+		keysOf(dualsim.ApplyStats{WALBytes: 64, FsyncLatency: time.Millisecond, Checkpointed: true}),
+		"walBytes", "fsyncLatency", "checkpointed")
+
+	requireKeys("CheckpointStats",
+		keysOf(dualsim.CheckpointStats{Epoch: 3, SnapshotBytes: 1024, WALReclaimed: 128, Duration: time.Second}),
+		"epoch", "snapshotBytes", "walReclaimed", "duration")
+
+	requireKeys("PersistStats", keysOf(dualsim.PersistStats{Durable: true, WALBytes: 1, Checkpoints: 1}),
+		"durable", "walBytes", "walRecords", "checkpoints", "lastCheckpointEpoch", "snapshotBytes",
+		"checkpointFailures")
 
 	// omitempty drops flags whose zero value carries no information…
-	if keys := keysOf(dualsim.ApplyStats{}); keys["noOp"] || keys["compacted"] || keys["fingerprintRebuilt"] {
+	if keys := keysOf(dualsim.ApplyStats{}); keys["noOp"] || keys["compacted"] || keys["fingerprintRebuilt"] ||
+		keys["walBytes"] || keys["fsyncLatency"] || keys["checkpointed"] {
 		t.Errorf("ApplyStats zero flags not omitted: %v", keys)
 	}
 	// …but meaningful zeros stay (a false cacheHit is a miss, not absence).
