@@ -20,11 +20,14 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"dualsim"
+	"dualsim/internal/persist"
 	"dualsim/internal/wire"
 )
 
@@ -45,6 +48,8 @@ type (
 	CheckpointResponse = wire.CheckpointResponse
 	SnapshotResponse   = wire.SnapshotResponse
 	HealthResponse     = wire.HealthResponse
+	ExportResponse     = wire.ExportResponse
+	WALEvent           = wire.WALEvent
 )
 
 // APIError is a non-2xx server reply.
@@ -136,6 +141,9 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 	}
 	return c, nil
 }
+
+// BaseURL returns the normalized server URL the client talks to.
+func (c *Client) BaseURL() string { return c.base }
 
 // Query executes one query and buffers the whole result. timeoutMs > 0
 // asks the server to bound the execution; pair it with a ctx deadline
@@ -271,6 +279,164 @@ func (c *Client) Health(ctx context.Context) (*HealthResponse, error) {
 	return &out, nil
 }
 
+// Ready probes /readyz — the routing decision, as opposed to Health's
+// liveness. A draining, bootstrapping or lagging server returns an
+// *APIError with StatusCode 503 immediately (no retries: not-ready IS
+// the answer a prober needs).
+func (c *Client) Ready(ctx context.Context) (*HealthResponse, error) {
+	var out HealthResponse
+	if err := c.doJSON(ctx, "GET", "/readyz", nil, &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Export fetches every triple of the named predicates at one pinned
+// epoch (GET /v1/export) — the cluster router's cross-shard gather path.
+func (c *Client) Export(ctx context.Context, preds []string) (*ExportResponse, error) {
+	if len(preds) == 0 {
+		return nil, fmt.Errorf("client: export needs at least one predicate")
+	}
+	q := url.Values{"pred": preds}
+	var out ExportResponse
+	if err := c.doJSON(ctx, "GET", "/v1/export?"+q.Encode(), nil, &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// BootstrapSnapshot downloads the server's streamed bootstrap snapshot
+// (GET /v1/wal/snapshot) and decodes it: the store state and the epoch
+// it represents. A replica opens a session at that epoch and tails the
+// WAL from there.
+func (c *Client) BootstrapSnapshot(ctx context.Context) (*dualsim.Store, uint64, error) {
+	resp, err := c.do(ctx, "GET", "/v1/wal/snapshot", nil, "", true)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	return persist.DecodeSnapshot(blob)
+}
+
+// ErrWALGap reports a 410 from GET /v1/wal: the records after the
+// requested epoch were checkpointed away, so tailing cannot continue —
+// the replica must re-bootstrap from BootstrapSnapshot.
+var ErrWALGap = errors.New("client: requested WAL epochs were checkpointed away; re-bootstrap from a snapshot")
+
+// TailWAL opens the replication tail: every WAL record with epoch >
+// fromEpoch as a WALStream. wait > 0 asks the server to long-poll an
+// empty tail for that long before answering, so an idle primary does
+// not force tight client-side polling. Returns ErrWALGap (wrapped) when
+// the range is gone, and an *APIError with StatusCode 409 when the
+// server has no WAL at all (not durable).
+func (c *Client) TailWAL(ctx context.Context, fromEpoch uint64, wait time.Duration) (*WALStream, error) {
+	path := fmt.Sprintf("/v1/wal?fromEpoch=%d", fromEpoch)
+	if wait > 0 {
+		path += fmt.Sprintf("&waitMs=%d", wait.Milliseconds())
+	}
+	resp, err := c.do(ctx, "GET", path, nil, "", true)
+	if err != nil {
+		var ae *APIError
+		if errors.As(err, &ae) && ae.StatusCode == http.StatusGone {
+			return nil, fmt.Errorf("%w: %s", ErrWALGap, ae.Message)
+		}
+		return nil, err
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 256<<20)
+	ws := &WALStream{body: resp.Body, sc: sc}
+	if !sc.Scan() {
+		resp.Body.Close()
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("client: empty WAL stream")
+	}
+	var header wire.WALEvent
+	if err := json.Unmarshal(sc.Bytes(), &header); err != nil || header.Kind != wire.WALHeader {
+		resp.Body.Close()
+		return nil, fmt.Errorf("client: WAL stream did not start with a header (%v)", err)
+	}
+	ws.primaryEpoch, ws.ckptEpoch = header.Epoch, header.CheckpointEpoch
+	return ws, nil
+}
+
+// WALStream is an in-flight replication tail. Iterate with Next until
+// false, then check Err; Close releases the connection. Not safe for
+// concurrent use.
+type WALStream struct {
+	body   io.ReadCloser
+	sc     *bufio.Scanner
+	cur    wire.WALEvent
+	err    error
+	done   bool
+	closed bool
+
+	primaryEpoch uint64
+	ckptEpoch    uint64
+}
+
+// PrimaryEpoch is the primary's current epoch when the tail was cut —
+// the catch-up target (available immediately from the header).
+func (s *WALStream) PrimaryEpoch() uint64 { return s.primaryEpoch }
+
+// CheckpointEpoch is the primary's last checkpoint epoch: the oldest
+// epoch a fresh bootstrap snapshot can start from.
+func (s *WALStream) CheckpointEpoch() uint64 { return s.ckptEpoch }
+
+// Next advances to the next WAL record event ("apply" or "compact").
+// It returns false at the end trailer or on error — check Err.
+func (s *WALStream) Next() bool {
+	if s.err != nil || s.closed || s.done {
+		return false
+	}
+	for s.sc.Scan() {
+		var ev wire.WALEvent
+		if err := json.Unmarshal(s.sc.Bytes(), &ev); err != nil {
+			s.err = fmt.Errorf("client: bad WAL stream line: %w", err)
+			return false
+		}
+		switch ev.Kind {
+		case wire.WALApply, wire.WALCompact:
+			s.cur = ev
+			return true
+		case wire.WALEnd:
+			s.done = true
+			return false
+		default:
+			s.err = fmt.Errorf("client: unexpected WAL stream event %q", ev.Kind)
+			return false
+		}
+	}
+	if err := s.sc.Err(); err != nil {
+		s.err = err
+	} else {
+		// A tail that just stops is torn — the primary always writes the
+		// end trailer; applying a possibly-truncated tail could diverge.
+		s.err = fmt.Errorf("client: WAL stream ended without end trailer")
+	}
+	return false
+}
+
+// Event returns the current record event after a true Next.
+func (s *WALStream) Event() WALEvent { return s.cur }
+
+// Err returns the terminal error, nil on a clean end of stream.
+func (s *WALStream) Err() error { return s.err }
+
+// Close releases the connection. Safe to call twice.
+func (s *WALStream) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.body.Close()
+}
+
 // Metrics fetches the raw Prometheus-style metrics page.
 func (c *Client) Metrics(ctx context.Context) (string, error) {
 	resp, err := c.do(ctx, "GET", "/metrics", nil, "", true)
@@ -303,6 +469,12 @@ type Stream struct {
 	cur    Row
 	err    error
 	closed bool
+
+	// ctx is the QueryStream context; a watcher goroutine closes body
+	// when it cancels so a Next blocked on a stalled server returns
+	// promptly. stopWatch retires the watcher (idempotent).
+	ctx       context.Context
+	stopWatch func()
 }
 
 // Vars returns the result columns (available immediately: the header is
@@ -349,7 +521,14 @@ func (s *Stream) Next() bool {
 		}
 	}
 	if err := s.sc.Err(); err != nil {
+		// A cancelled context closes the body out from under the scanner;
+		// report the cancellation, not the induced read error.
+		if s.ctx != nil && s.ctx.Err() != nil {
+			err = s.ctx.Err()
+		}
 		s.err = err
+	} else if s.ctx != nil && s.ctx.Err() != nil {
+		s.err = s.ctx.Err()
 	} else if s.stats == nil {
 		s.err = fmt.Errorf("client: stream ended without stats trailer")
 	}
@@ -378,6 +557,9 @@ func (s *Stream) Close() error {
 		return nil
 	}
 	s.closed = true
+	if s.stopWatch != nil {
+		s.stopWatch()
+	}
 	return s.body.Close()
 }
 
@@ -397,20 +579,41 @@ func (c *Client) QueryStream(ctx context.Context, src string, opts ...QueryOpt) 
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 64<<10), 16<<20)
-	st := &Stream{body: resp.Body, sc: sc}
+	st := &Stream{body: resp.Body, sc: sc, ctx: ctx}
+	// Watch the context for the stream's whole lifetime — started before
+	// the header read, because a server can stall before the first line
+	// just as well as between rows. Closing the body is the only reliable
+	// way to unblock a Read pinned inside the scanner; without it a
+	// cancelled caller would hang until the server deigns to write.
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	st.stopWatch = func() { stopOnce.Do(func() { close(stop) }) }
+	go func() {
+		select {
+		case <-ctx.Done():
+			resp.Body.Close()
+		case <-stop:
+		}
+	}()
+	fail := func(err error) (*Stream, error) {
+		st.stopWatch()
+		resp.Body.Close()
+		return nil, err
+	}
 	// The header is always the first line; reading it here lets callers
 	// see Vars/Epoch before the first Next.
 	if !sc.Scan() {
-		resp.Body.Close()
-		if err := sc.Err(); err != nil {
-			return nil, err
+		if err := ctx.Err(); err != nil {
+			return fail(err)
 		}
-		return nil, fmt.Errorf("client: empty stream")
+		if err := sc.Err(); err != nil {
+			return fail(err)
+		}
+		return fail(fmt.Errorf("client: empty stream"))
 	}
 	var header wire.Event
 	if err := json.Unmarshal(sc.Bytes(), &header); err != nil || header.Kind != wire.EventHeader {
-		resp.Body.Close()
-		return nil, fmt.Errorf("client: stream did not start with a header (%v)", err)
+		return fail(fmt.Errorf("client: stream did not start with a header (%v)", err))
 	}
 	st.vars, st.epoch = header.Vars, header.Epoch
 	return st, nil
@@ -472,10 +675,10 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, conte
 			ae := readAPIError(resp)
 			lastErr = ae
 			// 429 (shed before admission) and 503 are transient — except
-			// on /healthz, where 503 IS the answer (the server is
-			// draining) and a probe must report it immediately.
+			// on the probe endpoints, where 503 IS the answer (draining,
+			// bootstrapping, lagging) and must be reported immediately.
 			retryable := resp.StatusCode == http.StatusTooManyRequests ||
-				(resp.StatusCode == http.StatusServiceUnavailable && path != "/healthz")
+				(resp.StatusCode == http.StatusServiceUnavailable && path != "/healthz" && path != "/readyz")
 			if !retryable || attempt >= c.retries {
 				return nil, lastErr
 			}

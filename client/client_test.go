@@ -3,6 +3,7 @@ package client
 import (
 	"context"
 	"errors"
+	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -367,5 +368,164 @@ func TestClientBackoffClampsRetryAfter(t *testing.T) {
 	// (the shift must not overflow time.Duration either).
 	if d := c.backoffFor(200, errors.New("transport")); d > maxBackoff {
 		t.Fatalf("exponential backoff %v exceeds maxBackoff", d)
+	}
+}
+
+// TestClientReadyNoRetryOnNotReady mirrors the /healthz rule for the
+// readiness probe: 503 is the answer, not a transient failure.
+func TestClientReadyNoRetryOnNotReady(t *testing.T) {
+	var calls atomic.Int64
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":"notready"}`))
+	}))
+	defer fake.Close()
+	c, err := New(fake.URL, WithRetries(3), WithRetryBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Ready(context.Background())
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("ready on not-ready server: %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("ready probe retried: %d calls", got)
+	}
+}
+
+// TestQueryStreamCtxCancelMidStream is the regression for a caller
+// cancelling while the server stalls between NDJSON rows: Next must
+// return promptly with the context error instead of hanging on a read
+// the server never finishes.
+func TestQueryStreamCtxCancelMidStream(t *testing.T) {
+	unblock := make(chan struct{})
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		fl := w.(http.Flusher)
+		io.WriteString(w, `{"kind":"header","vars":["x"],"epoch":0}`+"\n")
+		io.WriteString(w, `{"kind":"row","values":["<a>"],"epoch":0}`+"\n")
+		fl.Flush()
+		<-unblock // stall mid-stream: no further bytes, no trailer
+	}))
+	t.Cleanup(func() {
+		close(unblock)
+		fake.Close()
+	})
+	c, err := New(fake.URL, WithRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	st, err := c.QueryStream(ctx, queryX1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if !st.Next() {
+		t.Fatalf("first row missing: %v", st.Err())
+	}
+	done := make(chan struct{})
+	go func() {
+		for st.Next() {
+		}
+		close(done)
+	}()
+	time.Sleep(20 * time.Millisecond) // let the reader block on the stalled body
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Next hung after ctx cancel while the server stalled")
+	}
+	if !errors.Is(st.Err(), context.Canceled) {
+		t.Fatalf("stream err = %v, want context.Canceled", st.Err())
+	}
+}
+
+// TestClientReplication drives the replica-facing client surface
+// against a durable server: readiness, bootstrap snapshot, WAL tail,
+// predicate export, and the gap signal after a checkpoint.
+func TestClientReplication(t *testing.T) {
+	st, err := dualsim.FromTriples(queries.Fig1aTriples())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := dualsim.Open(st, dualsim.WithDataDir(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		hs.Close()
+		db.Close()
+	})
+	c, err := New(hs.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	ready, err := c.Ready(ctx)
+	if err != nil || ready.Status != "ready" {
+		t.Fatalf("ready: %+v, %v", ready, err)
+	}
+
+	if _, err := db.Apply(ctx, dualsim.Delta{Adds: []dualsim.Triple{dualsim.T("n1", "directed", "m1")}}); err != nil {
+		t.Fatal(err)
+	}
+
+	bst, epoch, err := c.BootstrapSnapshot(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 1 || bst.NumTriples() != db.Store().NumTriples() {
+		t.Fatalf("bootstrap: epoch %d, %d triples", epoch, bst.NumTriples())
+	}
+
+	ws, err := c.TailWAL(ctx, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ws.Close()
+	if ws.PrimaryEpoch() != 1 {
+		t.Fatalf("primary epoch = %d", ws.PrimaryEpoch())
+	}
+	var got []WALEvent
+	for ws.Next() {
+		got = append(got, ws.Event())
+	}
+	if err := ws.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Epoch != 1 || len(got[0].Adds) != 1 {
+		t.Fatalf("tail events = %+v", got)
+	}
+
+	ex, err := c.Export(ctx, []string{"directed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Epoch != 1 || len(ex.Triples) == 0 {
+		t.Fatalf("export: %+v", ex)
+	}
+	for _, tr := range ex.Triples {
+		if tr.P != "directed" {
+			t.Fatalf("export leaked predicate %q", tr.P)
+		}
+	}
+
+	if _, err := db.Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.TailWAL(ctx, 0, 0); !errors.Is(err, ErrWALGap) {
+		t.Fatalf("tail across checkpoint = %v, want ErrWALGap", err)
 	}
 }

@@ -9,6 +9,7 @@
 //	benchtables -table updates    # live-update layer (apply / re-query / compact)
 //	benchtables -table serving    # loopback HTTP serving (p50/p95, hit rate, shed)
 //	benchtables -table persist    # durability layer (snapshot MB/s, WAL replay, cold boot)
+//	benchtables -table cluster    # scale-out (router fan-out p50/p95, replica catch-up)
 //	benchtables -table all
 //
 // Scale knobs: -universities (LUBM-like), -kgscale (DBpedia-like), -seed,
@@ -29,7 +30,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "comma-separated tables to regenerate: 2, 3, 4, 5, iters, orders, throughput, updates, serving, persist, all")
+	table := flag.String("table", "all", "comma-separated tables to regenerate: 2, 3, 4, 5, iters, orders, throughput, updates, serving, persist, cluster, all")
 	universities := flag.Int("universities", 3, "LUBM-like scale (number of universities)")
 	kgScale := flag.Int("kgscale", 1, "DBpedia-like scale factor")
 	seed := flag.Int64("seed", 42, "generator seed")
@@ -59,13 +60,13 @@ func run(table string, universities, kgScale int, seed int64, repeats int, jsonP
 	known := map[string]bool{
 		"all": true, "2": true, "3": true, "4": true, "5": true,
 		"iters": true, "orders": true, "throughput": true, "updates": true,
-		"serving": true, "persist": true,
+		"serving": true, "persist": true, "cluster": true,
 	}
 	wanted := make(map[string]bool)
 	for _, t := range strings.Split(table, ",") {
 		name := strings.TrimSpace(t)
 		if !known[name] {
-			return fmt.Errorf("unknown table %q (want 2, 3, 4, 5, iters, orders, throughput, updates, serving, persist or all)", name)
+			return fmt.Errorf("unknown table %q (want 2, 3, 4, 5, iters, orders, throughput, updates, serving, persist, cluster or all)", name)
 		}
 		wanted[name] = true
 	}
@@ -174,6 +175,16 @@ func run(table string, universities, kgScale int, seed int64, repeats int, jsonP
 		bench.RenderPersist(os.Stdout, rows)
 		fmt.Println()
 		rep.Tables["persist"] = rows
+	}
+	if want("cluster") {
+		fmt.Println("Cluster: scatter-gather router over 2 shards + replica WAL catch-up")
+		rows, err := bench.Cluster(d, repeats)
+		if err != nil {
+			return err
+		}
+		bench.RenderCluster(os.Stdout, rows)
+		fmt.Println()
+		rep.Tables["cluster"] = rows
 	}
 	if want("orders") {
 		fmt.Println("Order-space search (§5.3 brute-force analysis), 40 random orders")

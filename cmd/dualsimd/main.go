@@ -4,20 +4,26 @@
 //	dualsimd -store db.nt -addr :8321
 //	dualsimd -store db.nt -data /var/lib/dualsim     # durable serving
 //	dualsimd -data /var/lib/dualsim                  # warm restart
+//	dualsimd -store db.nt -shard 0/2                 # serve one cluster shard
+//	dualsimd -follow http://primary:8321 -maxlag 2   # WAL-streaming read replica
 //	dualsimd -store db.nt -addr 127.0.0.1:0 -plancache 256 -maxinflight 16
 //	dualsimd -store db.nt -prune=false -engine index
 //	dualsimd -store db.nt -compactat 4096 -fingerprint 2
 //
 // Endpoints (see internal/server for the wire format):
 //
-//	POST /v1/query      query via the plan cache; ?stream=1 for NDJSON rows
-//	POST /v1/batch      concurrent query batch
-//	POST /v1/apply      live delta (dels before adds, atomic, epoch++)
-//	POST /v1/compact    consolidate the update overlay
-//	POST /v1/checkpoint roll the WAL into a fresh on-disk snapshot
-//	GET  /v1/snapshot   epoch + store shape
-//	GET  /healthz       liveness (503 while draining)
-//	GET  /metrics       Prometheus-style metrics
+//	POST /v1/query        query via the plan cache; ?stream=1 for NDJSON rows
+//	POST /v1/batch        concurrent query batch
+//	POST /v1/apply        live delta (dels before adds, atomic, epoch++)
+//	POST /v1/compact      consolidate the update overlay
+//	POST /v1/checkpoint   roll the WAL into a fresh on-disk snapshot
+//	GET  /v1/snapshot     epoch + store shape
+//	GET  /v1/export       predicate slices (the router's gather path)
+//	GET  /v1/wal          WAL tail from an epoch (replica streaming; durable only)
+//	GET  /v1/wal/snapshot binary snapshot (replica bootstrap)
+//	GET  /healthz         liveness (always 200 while the process runs)
+//	GET  /readyz          readiness (503 while draining, bootstrapping or lagging)
+//	GET  /metrics         Prometheus-style metrics
 //
 // The daemon is a thin shell over the session layer: one dualsim.DB
 // with a plan cache serves every request; admission control
@@ -31,8 +37,21 @@
 // needed for the very first boot and is ignored once the dir holds
 // state).
 //
-// On SIGINT/SIGTERM it drains: /healthz flips to 503, in-flight queries
-// finish (bounded by -draintimeout), a final checkpoint is written when
+// With -shard i/N the daemon serves shard i of an N-way predicate-hash
+// partitioning: the -store input is filtered to the triples whose
+// predicates place on this shard (see internal/cluster), and
+// cmd/dualsimrouter fans queries over the N daemons. A durable shard
+// persists its filtered state, so a warm restart needs no -shard.
+//
+// With -follow the daemon is a read replica: it bootstraps a session
+// from the primary's streamed snapshot, tails GET /v1/wal, replays
+// every record, and serves reads only (mutations answer 403). /readyz
+// stays 503 until the first bootstrap completes and whenever the
+// replica lags the primary by more than -maxlag epochs.
+//
+// On SIGINT/SIGTERM it drains: /readyz flips to 503 so load balancers
+// stop routing here (liveness stays green), in-flight queries finish
+// (bounded by -draintimeout), a final checkpoint is written when
 // durable, then the process exits 0.
 package main
 
@@ -49,6 +68,8 @@ import (
 	"time"
 
 	"dualsim"
+	"dualsim/internal/cluster"
+	"dualsim/internal/metrics"
 	"dualsim/internal/persist"
 	"dualsim/internal/server"
 )
@@ -78,6 +99,9 @@ type daemonConfig struct {
 	queueDepth      int
 	timeout         time.Duration
 	drainTimeout    time.Duration
+	shard           string
+	follow          string
+	maxLag          uint64
 }
 
 func parseFlags(args []string, onError flag.ErrorHandling) daemonConfig {
@@ -98,6 +122,9 @@ func parseFlags(args []string, onError flag.ErrorHandling) daemonConfig {
 	fs.IntVar(&cfg.queueDepth, "queuedepth", 64, "requests waiting for a slot before shedding with 429")
 	fs.DurationVar(&cfg.timeout, "timeout", 0, "default per-request execution bound (0 = none; requests may set timeoutMs)")
 	fs.DurationVar(&cfg.drainTimeout, "draintimeout", 10*time.Second, "grace period for in-flight queries on shutdown")
+	fs.StringVar(&cfg.shard, "shard", "", "serve shard i of an N-way predicate partitioning (\"i/N\"; filters -store)")
+	fs.StringVar(&cfg.follow, "follow", "", "run as a read replica of the primary dualsimd at this URL")
+	fs.Uint64Var(&cfg.maxLag, "maxlag", 0, "with -follow, epochs of staleness before /readyz flips to 503")
 	fs.Parse(args) // ExitOnError in production; tests pass ContinueOnError configs directly
 	return cfg
 }
@@ -107,27 +134,141 @@ func parseFlags(args []string, onError flag.ErrorHandling) daemonConfig {
 // and exits. When ready is non-nil, the bound address is sent on it once
 // the listener is up (the hook the tests and -addr :0 users rely on).
 func run(ctx context.Context, cfg daemonConfig, logw *os.File, ready chan<- string) error {
+	if cfg.follow != "" {
+		if cfg.store != "" || cfg.data != "" || cfg.shard != "" {
+			return fmt.Errorf("-follow runs a read replica fed by the primary's WAL; it conflicts with -store, -data and -shard")
+		}
+		return runFollower(ctx, cfg, logw, ready)
+	}
+	if cfg.maxLag != 0 {
+		return fmt.Errorf("-maxlag is a replica staleness bound; it requires -follow")
+	}
 	db, err := openSession(cfg, logw)
 	if err != nil {
 		return err
 	}
 	defer db.Close()
 
-	var srvOpts []server.Option
-	if cfg.maxInFlight > 0 {
-		srvOpts = append(srvOpts, server.WithMaxInFlight(cfg.maxInFlight))
-	}
-	// Always passed through: WithQueueDepth validates, so a negative
-	// flag value fails loudly instead of silently keeping the default.
-	srvOpts = append(srvOpts, server.WithQueueDepth(cfg.queueDepth))
-	if cfg.timeout > 0 {
-		srvOpts = append(srvOpts, server.WithDefaultTimeout(cfg.timeout))
-	}
-	srv, err := server.New(db, srvOpts...)
+	srv, err := server.New(db, serverOptions(cfg)...)
 	if err != nil {
 		return err
 	}
+	return serveAndDrain(ctx, cfg, srv, logw, ready, func() error {
+		// A final checkpoint after the last request finished: the next
+		// boot loads the snapshot directly with nothing to replay.
+		if !db.Durable() {
+			return nil
+		}
+		cs, err := db.Checkpoint(context.Background())
+		if err != nil {
+			return fmt.Errorf("drain checkpoint: %w", err)
+		}
+		fmt.Fprintf(logw, "dualsimd: checkpointed epoch %d (%d bytes)\n", cs.Epoch, cs.SnapshotBytes)
+		return nil
+	})
+}
 
+// runFollower serves a WAL-streaming read replica: an empty placeholder
+// session goes live immediately (reporting not-ready), the replication
+// loop bootstraps from the primary and hot-swaps sessions in as it
+// catches up. No final checkpoint on shutdown — the replica's
+// durability IS the primary's WAL.
+func runFollower(ctx context.Context, cfg daemonConfig, logw *os.File, ready chan<- string) error {
+	sessOpts, err := sessionOptions(cfg)
+	if err != nil {
+		return err
+	}
+	empty, err := dualsim.FromTriples(nil)
+	if err != nil {
+		return err
+	}
+	placeholder, err := dualsim.Open(empty, sessOpts...)
+	if err != nil {
+		return err
+	}
+	defer placeholder.Close()
+
+	// The follower and the server need each other (readiness hook one
+	// way, session hot-swap the other); the closure breaks the cycle.
+	var f *cluster.Follower
+	reg := metrics.NewRegistry()
+	srvOpts := append(serverOptions(cfg),
+		server.WithRegistry(reg),
+		server.WithReadOnly(),
+		server.WithReadiness(func() error {
+			if f == nil {
+				return errors.New("replica starting")
+			}
+			return f.Ready()
+		}),
+	)
+	srv, err := server.New(placeholder, srvOpts...)
+	if err != nil {
+		return err
+	}
+	f, err = cluster.Follow(cfg.follow,
+		cluster.WithMaxLag(cfg.maxLag),
+		cluster.WithSessionOptions(sessOpts...),
+		cluster.WithOnSwap(srv.SwapDB),
+		cluster.WithLogf(func(format string, args ...any) {
+			fmt.Fprintf(logw, "dualsimd: "+format+"\n", args...)
+		}),
+	)
+	if err != nil {
+		return err
+	}
+	reg.GaugeFunc("dualsimd_replica_lag", "epochs behind the primary", func() float64 {
+		return float64(f.Stats().Lag)
+	})
+	reg.GaugeFunc("dualsimd_replica_primary_epoch", "primary epoch at the last tail header", func() float64 {
+		return float64(f.Stats().PrimaryEpoch)
+	})
+	reg.GaugeFunc("dualsimd_replica_bootstraps_total", "snapshot bootstraps (>1 means epoch gaps)", func() float64 {
+		return float64(f.Stats().Bootstraps)
+	})
+	reg.GaugeFunc("dualsimd_replica_applied_total", "WAL records replayed into the session", func() float64 {
+		return float64(f.Stats().Applied)
+	})
+	reg.GaugeFunc("dualsimd_replica_gaps_total", "epoch gaps that forced a re-bootstrap", func() float64 {
+		return float64(f.Stats().Gaps)
+	})
+
+	fctx, stopFollowing := context.WithCancel(ctx)
+	defer stopFollowing()
+	followErr := make(chan error, 1)
+	go func() { followErr <- f.Run(fctx) }()
+	fmt.Fprintf(logw, "dualsimd: replica of %s (maxlag %d)\n", cfg.follow, cfg.maxLag)
+
+	err = serveAndDrain(ctx, cfg, srv, logw, ready, func() error {
+		stopFollowing()
+		<-followErr // replication has stopped; sessions are non-durable
+		if db := f.DB(); db != nil {
+			return db.Close()
+		}
+		return nil
+	})
+	return err
+}
+
+// serverOptions maps the serving flags onto server options.
+func serverOptions(cfg daemonConfig) []server.Option {
+	var opts []server.Option
+	if cfg.maxInFlight > 0 {
+		opts = append(opts, server.WithMaxInFlight(cfg.maxInFlight))
+	}
+	// Always passed through: WithQueueDepth validates, so a negative
+	// flag value fails loudly instead of silently keeping the default.
+	opts = append(opts, server.WithQueueDepth(cfg.queueDepth))
+	if cfg.timeout > 0 {
+		opts = append(opts, server.WithDefaultTimeout(cfg.timeout))
+	}
+	return opts
+}
+
+// serveAndDrain listens, serves until ctx cancels or a termination
+// signal arrives, then drains and runs the final hook (checkpoint for a
+// durable primary, replication stop for a replica).
+func serveAndDrain(ctx context.Context, cfg daemonConfig, srv *server.Server, logw *os.File, ready chan<- string, final func() error) error {
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
@@ -149,9 +290,9 @@ func run(ctx context.Context, cfg daemonConfig, logw *os.File, ready chan<- stri
 	case <-sigctx.Done():
 	}
 
-	// Drain: flip health to 503 so load balancers stop routing here,
+	// Drain: flip /readyz to 503 so load balancers stop routing here,
 	// then let http.Server.Shutdown wait out in-flight requests (bounded
-	// by the grace period).
+	// by the grace period). Liveness stays green the whole way down.
 	fmt.Fprintf(logw, "dualsimd: draining (grace %v)\n", cfg.drainTimeout)
 	srv.StartDrain()
 	dctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
@@ -162,14 +303,10 @@ func run(ctx context.Context, cfg daemonConfig, logw *os.File, ready chan<- stri
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	// A final checkpoint after the last request finished: the next boot
-	// loads the snapshot directly with nothing to replay.
-	if db.Durable() {
-		cs, err := db.Checkpoint(context.Background())
-		if err != nil {
-			return fmt.Errorf("drain checkpoint: %w", err)
+	if final != nil {
+		if err := final(); err != nil {
+			return err
 		}
-		fmt.Fprintf(logw, "dualsimd: checkpointed epoch %d (%d bytes)\n", cs.Epoch, cs.SnapshotBytes)
 	}
 	fmt.Fprintf(logw, "dualsimd: drained, bye\n")
 	return nil
@@ -215,6 +352,18 @@ func openSession(cfg daemonConfig, logw *os.File) (*dualsim.DB, error) {
 	f.Close()
 	if err != nil {
 		return nil, err
+	}
+	if cfg.shard != "" {
+		spec, err := cluster.ParseShardSpec(cfg.shard)
+		if err != nil {
+			return nil, err
+		}
+		full := st.NumTriples()
+		if st, err = cluster.ShardStore(st, spec); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(logw, "shard %s: kept %d of %d triples (%d predicates)\n",
+			spec, st.NumTriples(), full, st.NumPreds())
 	}
 	fmt.Fprintf(logw, "loaded %d triples, %d nodes, %d predicates in %v\n",
 		st.NumTriples(), st.NumNodes(), st.NumPreds(), time.Since(start).Round(time.Millisecond))

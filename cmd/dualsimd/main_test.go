@@ -15,6 +15,7 @@ import (
 
 	"dualsim"
 	"dualsim/client"
+	"dualsim/internal/cluster"
 	"dualsim/internal/queries"
 )
 
@@ -318,6 +319,126 @@ func TestDaemonCrashRecovery(t *testing.T) {
 	}
 }
 
+// TestDaemonShard boots one daemon per shard of a 2-way partitioning
+// and checks the split: disjoint triple counts covering the input, and
+// each predicate answered by exactly its owning shard.
+func TestDaemonShard(t *testing.T) {
+	fix := fixture(t)
+	base := daemonConfig{store: fix, engine: "hash", prune: true, planCache: 16, queueDepth: 8}
+	ctx := context.Background()
+
+	cfg0, cfg1 := base, base
+	cfg0.shard, cfg1.shard = "0/2", "1/2"
+	c0, shutdown0 := startDaemon(t, cfg0)
+	defer shutdown0()
+	c1, shutdown1 := startDaemon(t, cfg1)
+	defer shutdown1()
+
+	s0, err := c0.Snapshot(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := c1.Snapshot(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := len(queries.Fig1aTriples())
+	if s0.Triples+s1.Triples != full || s0.Triples == 0 || s1.Triples == 0 {
+		t.Fatalf("shards hold %d + %d triples, input has %d", s0.Triples, s1.Triples, full)
+	}
+
+	// Every predicate lives wholly on its ShardOf shard.
+	shardClients := []*client.Client{c0, c1}
+	for _, pred := range []string{"directed", "worked_with", "genre", "population"} {
+		owner := cluster.ShardOf(pred, 2)
+		src := fmt.Sprintf(`SELECT * WHERE { ?s <%s> ?o . }`, pred)
+		for i, c := range shardClients {
+			out, err := c.Query(ctx, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if (len(out.Rows) > 0) != (i == owner) {
+				t.Errorf("predicate %q: shard %d answered %d rows, owner is %d", pred, i, len(out.Rows), owner)
+			}
+		}
+	}
+}
+
+// TestDaemonFollower boots a durable primary and a -follow replica:
+// the replica must report not-ready until it catches up, serve the
+// primary's data read-only, and track live applies.
+func TestDaemonFollower(t *testing.T) {
+	ctx := context.Background()
+	pc, shutdownPrimary := startDaemon(t, daemonConfig{
+		store: fixture(t), data: t.TempDir(), engine: "hash", prune: true,
+		planCache: 16, queueDepth: 8, checkpointEvery: 1024,
+	})
+	defer shutdownPrimary()
+	if _, err := pc.ApplyDelta(ctx, dualsim.Delta{Adds: []dualsim.Triple{
+		dualsim.T("J._McTiernan", "directed", "Die_Hard"),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	// The replica needs the primary's URL; recover it from the client.
+	purl := pc.BaseURL()
+
+	rc, shutdownReplica := startDaemon(t, daemonConfig{
+		follow: purl, engine: "hash", prune: true, planCache: 16, queueDepth: 8,
+	})
+	defer shutdownReplica()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := rc.Ready(ctx); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("replica never became ready")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	out, err := rc.Query(ctx, queryX1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := pc.Query(ctx, queryX1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != len(want.Rows) || out.Epoch != want.Epoch {
+		t.Fatalf("replica: %d rows at epoch %d; primary: %d at %d",
+			len(out.Rows), out.Epoch, len(want.Rows), want.Epoch)
+	}
+
+	// A replica is read-only: mutations answer 403.
+	if _, err := rc.ApplyDelta(ctx, dualsim.Delta{Adds: []dualsim.Triple{
+		dualsim.T("x", "y", "z"),
+	}}); err == nil {
+		t.Fatal("replica accepted a write")
+	}
+
+	// Live catch-up of a post-bootstrap apply.
+	if _, err := pc.ApplyDelta(ctx, dualsim.Delta{Adds: []dualsim.Triple{
+		dualsim.T("J._McTiernan", "worked_with", "S._de_Souza"),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		out, err := rc.Query(ctx, queryX1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Epoch == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica stuck at epoch %d", out.Epoch)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
 func TestDaemonConfigErrors(t *testing.T) {
 	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
 	if err != nil {
@@ -333,6 +454,10 @@ func TestDaemonConfigErrors(t *testing.T) {
 		{store: "fixture", engine: "hash", queueDepth: -1},                // negative queue depth fails loudly
 		{store: "fixture", engine: "hash", checkpointEvery: -1},           // negative checkpoint interval fails loudly
 		{data: emptyDir, engine: "hash"},                                  // -data without state needs -store
+		{store: "fixture", engine: "hash", shard: "2/2"},                  // shard index out of range
+		{store: "fixture", engine: "hash", shard: "nope"},                 // malformed shard spec
+		{store: "fixture", engine: "hash", follow: "http://x"},            // -follow conflicts with -store
+		{engine: "hash", maxLag: 3},                                       // -maxlag requires -follow
 	}
 	fix := fixture(t)
 	for i := range cases {

@@ -1,0 +1,298 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"dualsim"
+	"dualsim/client"
+	"dualsim/internal/cluster"
+	"dualsim/internal/cluster/router"
+	"dualsim/internal/queries"
+)
+
+// ClusterRow reports the scale-out benchmark: queries fanned through a
+// real dualsimrouter-style scatter-gather router over in-process shard
+// servers (p50/p95 as a router client observes them), plus one row for
+// the replica catch-up rate — how fast a WAL-streaming follower replays
+// a primary's backlog. JSON tags are part of the benchtables -json
+// artifact.
+type ClusterRow struct {
+	Query  string `json:"query"`
+	Shards int    `json:"shards"`
+	// Requests is the completed read count across all router clients
+	// (0 for the catch-up row).
+	Requests int `json:"requests"`
+	// P50 and P95 are client-observed router round-trips: scatter,
+	// shard execution, merge, decode.
+	P50 time.Duration `json:"p50"`
+	P95 time.Duration `json:"p95"`
+	// Throughput is completed requests per second over the run.
+	Throughput float64 `json:"throughputRps"`
+	// CatchUpRecords and CatchUpRate are set on the replica row only:
+	// WAL records in the backlog and records replayed per second from
+	// bootstrap to convergence.
+	CatchUpRecords int     `json:"catchupRecords,omitempty"`
+	CatchUpRate    float64 `json:"catchupRecsPerSec,omitempty"`
+}
+
+// routedCluster is an in-process cluster: shard daemons on loopback
+// listeners plus a router in front, torn down back-to-front.
+type routedCluster struct {
+	c        *client.Client
+	shutdown []func() error
+}
+
+func (rc *routedCluster) Close() error {
+	var first error
+	for i := len(rc.shutdown) - 1; i >= 0; i-- {
+		if err := rc.shutdown[i](); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// startCluster partitions st over n shard servers and fronts them with
+// a probed router.
+func startCluster(st *dualsim.Store, n int) (*routedCluster, error) {
+	rc := &routedCluster{}
+	var endpoints [][]string
+	for i := 0; i < n; i++ {
+		shard, err := cluster.ShardStore(st, cluster.ShardSpec{Index: i, N: n})
+		if err != nil {
+			rc.Close()
+			return nil, err
+		}
+		db, err := dualsim.Open(shard, dualsim.WithPlanCache(16))
+		if err != nil {
+			rc.Close()
+			return nil, err
+		}
+		c, shutdown, err := Loopback(db)
+		if err != nil {
+			db.Close()
+			rc.Close()
+			return nil, err
+		}
+		rc.shutdown = append(rc.shutdown, func() error {
+			serr := shutdown()
+			db.Close()
+			return serr
+		})
+		endpoints = append(endpoints, []string{c.BaseURL()})
+	}
+	rt, err := router.New(endpoints)
+	if err != nil {
+		rc.Close()
+		return nil, err
+	}
+	rt.Probe(context.Background())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		rc.Close()
+		return nil, err
+	}
+	hs := &http.Server{Handler: rt.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	rc.shutdown = append(rc.shutdown, func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			return err
+		}
+		if err := <-errc; err != http.ErrServerClosed {
+			return err
+		}
+		return nil
+	})
+	rc.c, err = client.New("http://"+ln.Addr().String(), client.WithRetries(0))
+	if err != nil {
+		rc.Close()
+		return nil, err
+	}
+	return rc, nil
+}
+
+// routerLoad drives one query through the router: clients goroutines ×
+// perClient requests, returning sorted latencies and the run duration.
+func routerLoad(rc *routedCluster, src string, clients, perClient int) ([]time.Duration, time.Duration, error) {
+	ctx := context.Background()
+	// Warm shard matrices and plan caches outside the measured window.
+	if _, err := rc.c.Query(ctx, src); err != nil {
+		return nil, 0, err
+	}
+	var (
+		mu       sync.Mutex
+		all      = make([]time.Duration, 0, clients*perClient)
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]time.Duration, 0, perClient)
+			for i := 0; i < perClient; i++ {
+				t0 := time.Now()
+				if _, err := rc.c.Query(ctx, src); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				local = append(local, time.Since(t0))
+			}
+			mu.Lock()
+			all = append(all, local...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return nil, 0, firstErr
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return all, elapsed, nil
+}
+
+// replicaCatchUp measures the WAL replay rate: a durable primary builds
+// a backlog of records AFTER the replica bootstrapped, then the
+// replication loop starts and the time to convergence is taken.
+func replicaCatchUp(records int) (ClusterRow, error) {
+	row := ClusterRow{Query: "replica catch-up", Shards: 1, CatchUpRecords: records}
+	st, err := dualsim.FromTriples(queries.Fig1aTriples())
+	if err != nil {
+		return row, err
+	}
+	dir, err := os.MkdirTemp("", "dualsim-bench-replica-*")
+	if err != nil {
+		return row, err
+	}
+	defer os.RemoveAll(dir)
+	// The backlog must stay in the WAL: an auto-checkpoint would
+	// truncate it and the replica would re-bootstrap instead of replay.
+	db, err := dualsim.Open(st, dualsim.WithDataDir(dir), dualsim.WithCheckpointEvery(records*10))
+	if err != nil {
+		return row, err
+	}
+	defer db.Close()
+	c, shutdown, err := Loopback(db)
+	if err != nil {
+		return row, err
+	}
+	defer shutdown()
+
+	f, err := cluster.Follow(c.BaseURL(), cluster.WithPollWait(100*time.Millisecond))
+	if err != nil {
+		return row, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := f.Bootstrap(ctx); err != nil {
+		return row, err
+	}
+	for i := 0; i < records; i++ {
+		if _, err := db.Apply(ctx, dualsim.Delta{Adds: []dualsim.Triple{
+			dualsim.T(fmt.Sprintf("repl:s%d", i), "repl:edge", fmt.Sprintf("repl:o%d", i)),
+		}}); err != nil {
+			return row, err
+		}
+	}
+	backlog := db.Epoch()
+	start := time.Now()
+	done := make(chan error, 1)
+	go func() { done <- f.Run(ctx) }()
+	for f.DB().Epoch() < backlog {
+		select {
+		case err := <-done:
+			return row, fmt.Errorf("replication loop exited during catch-up: %v", err)
+		default:
+		}
+		time.Sleep(time.Millisecond)
+	}
+	elapsed := time.Since(start)
+	cancel()
+	<-done
+	if elapsed > 0 {
+		row.CatchUpRate = float64(records) / elapsed.Seconds()
+	}
+	return row, nil
+}
+
+// Cluster measures the scale-out layer: representative queries fanned
+// through the router over a 2-way partitioning (push-down and gather
+// paths both exercised), plus the replica WAL catch-up rate.
+func Cluster(d *Datasets, repeats int) ([]ClusterRow, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	const shards = 2
+	clients := 4
+	perClient := 10 * repeats
+	var rows []ClusterRow
+	for _, id := range []string{"L0", "B14"} {
+		spec, err := queries.ByID(id)
+		if err != nil {
+			return nil, err
+		}
+		rc, err := startCluster(d.StoreFor(spec), shards)
+		if err != nil {
+			return nil, err
+		}
+		lat, elapsed, err := routerLoad(rc, spec.Text, clients, perClient)
+		if cerr := rc.Close(); err == nil && cerr != nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, err
+		}
+		row := ClusterRow{
+			Query:    spec.ID,
+			Shards:   shards,
+			Requests: len(lat),
+			P50:      Quantile(lat, 0.50),
+			P95:      Quantile(lat, 0.95),
+		}
+		if elapsed > 0 {
+			row.Throughput = float64(len(lat)) / elapsed.Seconds()
+		}
+		rows = append(rows, row)
+	}
+	catch, err := replicaCatchUp(100 * repeats)
+	if err != nil {
+		return nil, err
+	}
+	return append(rows, catch), nil
+}
+
+// RenderCluster formats the cluster rows.
+func RenderCluster(w io.Writer, rows []ClusterRow) {
+	var cells [][]string
+	for _, r := range rows {
+		if r.CatchUpRecords > 0 {
+			cells = append(cells, []string{
+				r.Query, fmt.Sprint(r.Shards), fmt.Sprint(r.CatchUpRecords), "-", "-", "-",
+				fmt.Sprintf("%.0f rec/s", r.CatchUpRate),
+			})
+			continue
+		}
+		cells = append(cells, []string{
+			r.Query, fmt.Sprint(r.Shards), fmt.Sprint(r.Requests),
+			Millis(r.P50), Millis(r.P95), fmt.Sprintf("%.0f", r.Throughput), "-",
+		})
+	}
+	WriteTable(w, []string{"Query", "shards", "requests", "p50", "p95", "req/s", "catch-up"}, cells)
+}

@@ -1,0 +1,151 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"testing"
+
+	"dualsim"
+	"dualsim/internal/queries"
+)
+
+// ShardOf is hand-rolled so router and daemons share one obviously
+// identical function; pin it to the stdlib FNV-1a it claims to be.
+func TestShardOfMatchesFNV1a(t *testing.T) {
+	preds := []string{"directed", "worked_with", "genre", "population", "", "ub:advisor", "a", "b"}
+	for _, p := range preds {
+		h := fnv.New32a()
+		_, _ = h.Write([]byte(p))
+		for _, n := range []int{1, 2, 3, 7, 16} {
+			want := int(h.Sum32() % uint32(n))
+			if got := ShardOf(p, n); got != want {
+				t.Errorf("ShardOf(%q, %d) = %d, stdlib FNV-1a says %d", p, n, got, want)
+			}
+		}
+	}
+}
+
+func TestShardOfRangeAndDeterminism(t *testing.T) {
+	for _, tr := range queries.Fig1aTriples() {
+		for n := 1; n <= 5; n++ {
+			i := ShardOf(tr.P, n)
+			if i < 0 || i >= n {
+				t.Fatalf("ShardOf(%q, %d) = %d out of range", tr.P, n, i)
+			}
+			if j := ShardOf(tr.P, n); j != i {
+				t.Fatalf("ShardOf(%q, %d) not deterministic: %d then %d", tr.P, n, i, j)
+			}
+		}
+	}
+}
+
+func TestParseShardSpec(t *testing.T) {
+	good := map[string]ShardSpec{
+		"0/1":   {Index: 0, N: 1},
+		"1/3":   {Index: 1, N: 3},
+		" 2/4 ": {Index: 2, N: 4},
+	}
+	for in, want := range good {
+		got, err := ParseShardSpec(in)
+		if err != nil {
+			t.Errorf("ParseShardSpec(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseShardSpec(%q) = %+v, want %+v", in, got, want)
+		}
+	}
+	for _, in := range []string{"", "1", "3/3", "-1/3", "1/0", "x/3", "1/y", "1/2/3"} {
+		if _, err := ParseShardSpec(in); err == nil {
+			t.Errorf("ParseShardSpec(%q) accepted", in)
+		}
+	}
+	if s := (ShardSpec{Index: 1, N: 3}).String(); s != "1/3" {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+// Partitioning must be a disjoint cover that keeps whole predicates
+// together, and ShardStore must agree with PartitionTriples.
+func TestPartitionAndShardStore(t *testing.T) {
+	ts := queries.Fig1aTriples()
+	const n = 3
+	parts, err := PartitionTriples(ts, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i, part := range parts {
+		total += len(part)
+		for _, tr := range part {
+			if ShardOf(tr.P, n) != i {
+				t.Errorf("triple with predicate %q landed on shard %d, places on %d", tr.P, i, ShardOf(tr.P, n))
+			}
+		}
+	}
+	if total != len(ts) {
+		t.Fatalf("partition covers %d of %d triples", total, len(ts))
+	}
+
+	full, err := dualsim.FromTriples(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		st, err := ShardStore(full, ShardSpec{Index: i, N: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := st.Triples()
+		if len(got) != len(parts[i]) {
+			t.Fatalf("shard %d store has %d triples, partition has %d", i, len(got), len(parts[i]))
+		}
+		want := make(map[dualsim.Triple]bool, len(parts[i]))
+		for _, tr := range parts[i] {
+			want[tr] = true
+		}
+		for _, tr := range got {
+			if !want[tr] {
+				t.Errorf("shard %d store holds unexpected triple %v", i, tr)
+			}
+		}
+	}
+
+	if _, err := PartitionTriples(ts, 0); err == nil {
+		t.Error("PartitionTriples with 0 shards accepted")
+	}
+}
+
+func TestSplitDelta(t *testing.T) {
+	ts := queries.Fig1aTriples()
+	adds := ts[:5]
+	dels := ts[5:8]
+	const n = 2
+	deltas, err := SplitDelta(adds, dels, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != n {
+		t.Fatalf("got %d deltas, want %d", len(deltas), n)
+	}
+	seenAdds, seenDels := 0, 0
+	for i, d := range deltas {
+		for _, tr := range d.Adds {
+			seenAdds++
+			if ShardOf(tr.P, n) != i {
+				t.Errorf("add %v on shard %d, places on %d", tr, i, ShardOf(tr.P, n))
+			}
+		}
+		for _, tr := range d.Dels {
+			seenDels++
+			if ShardOf(tr.P, n) != i {
+				t.Errorf("del %v on shard %d, places on %d", tr, i, ShardOf(tr.P, n))
+			}
+		}
+	}
+	if seenAdds != len(adds) || seenDels != len(dels) {
+		t.Fatalf("split lost triples: %d/%d adds, %d/%d dels", seenAdds, len(adds), seenDels, len(dels))
+	}
+	if _, err := SplitDelta(adds, dels, 0); err == nil {
+		t.Error("SplitDelta with 0 shards accepted")
+	}
+}

@@ -1,0 +1,1095 @@
+// Package router implements the scatter-gather front end of a sharded
+// dualsimd cluster (cmd/dualsimrouter). It speaks the same wire
+// protocol as a single dualsimd, so clients cannot tell a cluster from
+// one node:
+//
+//	POST /v1/query    scatter to the owning shards, merge, answer
+//	POST /v1/batch    each member routed independently
+//	POST /v1/apply    delta split by predicate placement, applied per shard
+//	GET  /v1/snapshot aggregated epoch + store shape
+//	GET  /v1/cluster  per-shard endpoint health, epochs, latencies
+//	GET  /healthz     router liveness
+//	GET  /readyz      503 until every shard has a routable endpoint
+//	GET  /metrics     router + per-endpoint series
+//
+// # Routing correctness
+//
+// The query decomposes at TOP-LEVEL UNIONs only (topBranches). For each
+// branch the router collects the predicates its patterns mention:
+//
+//   - all on one shard → push-down: the branch is sent verbatim to that
+//     shard. Exact, because a shard holds EVERY triple of its
+//     predicates and a dual-simulation answer depends only on the
+//     triples of the mentioned predicates — the shard sees the same
+//     effective store a single node would.
+//
+//   - spread over several shards → data-gather: the router exports the
+//     predicate slices (GET /v1/export), assembles a scratch store and
+//     evaluates the branch locally with the ordinary dualsim pipeline.
+//     Shipping partial RESULTS instead would be wrong: a cross-shard
+//     join cannot be merged row-wise, and OPTIONAL over partial data
+//     manufactures spurious unextended rows.
+//
+// Deeper UNIONs stay inside their branch and are evaluated natively by
+// whichever engine runs the branch. Branch results merge exactly like
+// the engine's union operator: columns fold left-to-right (left vars,
+// then unseen right vars), rows are padded to the merged schema and
+// deduplicated (set semantics). The merged epoch is the maximum over
+// the shard epochs that answered — per-shard reads are individually
+// epoch-consistent, and X-Dualsim-Epoch reports the freshest of them.
+//
+// # Replica routing
+//
+// Reads load-balance round-robin over a shard's caught-up endpoints:
+// up, ready (200 on /readyz), and within the staleness bound of the
+// shard's freshest known epoch. Writes always go to the primary. A
+// failed read fails over to the next candidate once, marking the dead
+// endpoint down until a probe revives it.
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"dualsim"
+	"dualsim/client"
+	"dualsim/internal/cluster"
+	"dualsim/internal/metrics"
+	"dualsim/internal/sparql"
+	"dualsim/internal/storage"
+	"dualsim/internal/wire"
+)
+
+// maxBodyBytes mirrors the dualsimd request-body bound.
+const maxBodyBytes = 64 << 20
+
+// Option configures a Router.
+type Option func(*config) error
+
+type config struct {
+	maxLag         uint64
+	probeEvery     time.Duration
+	probeTimeout   time.Duration
+	defaultTimeout time.Duration
+	registry       *metrics.Registry
+	clientOpts     []client.Option
+}
+
+// WithMaxLag sets the bounded-staleness routing threshold: a replica
+// whose last probed epoch is more than n behind the shard's freshest
+// known epoch is skipped (default 0 — only fully caught-up endpoints
+// serve reads).
+func WithMaxLag(n uint64) Option {
+	return func(c *config) error {
+		c.maxLag = n
+		return nil
+	}
+}
+
+// WithProbeEvery sets the health-probe period (default 1s).
+func WithProbeEvery(d time.Duration) Option {
+	return func(c *config) error {
+		if d <= 0 {
+			return fmt.Errorf("router: probe period must be positive, got %v", d)
+		}
+		c.probeEvery = d
+		return nil
+	}
+}
+
+// WithProbeTimeout bounds one /readyz probe round-trip (default 2s).
+func WithProbeTimeout(d time.Duration) Option {
+	return func(c *config) error {
+		if d <= 0 {
+			return fmt.Errorf("router: probe timeout must be positive, got %v", d)
+		}
+		c.probeTimeout = d
+		return nil
+	}
+}
+
+// WithDefaultTimeout bounds requests without their own timeoutMs
+// (default: unbounded).
+func WithDefaultTimeout(d time.Duration) Option {
+	return func(c *config) error {
+		if d < 0 {
+			return fmt.Errorf("router: negative default timeout %v", d)
+		}
+		c.defaultTimeout = d
+		return nil
+	}
+}
+
+// WithRegistry shares a metrics registry instead of creating one.
+func WithRegistry(r *metrics.Registry) Option {
+	return func(c *config) error {
+		if r == nil {
+			return fmt.Errorf("router: nil metrics registry")
+		}
+		c.registry = r
+		return nil
+	}
+}
+
+// WithClientOptions forwards options to every shard connection.
+func WithClientOptions(opts ...client.Option) Option {
+	return func(c *config) error {
+		c.clientOpts = append(c.clientOpts, opts...)
+		return nil
+	}
+}
+
+// endpoint is the router's live view of one shard daemon.
+type endpoint struct {
+	url  string
+	role string // "primary" or "replica"
+	c    *client.Client
+
+	mu        sync.Mutex
+	up        bool
+	ready     bool
+	epoch     uint64
+	latencyMs float64
+	lastErr   string
+	probed    bool
+}
+
+func (e *endpoint) status() wire.EndpointStatus {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return wire.EndpointStatus{
+		URL: e.url, Role: e.role,
+		Up: e.up, Ready: e.ready, Epoch: e.epoch,
+		LatencyMs: e.latencyMs, Error: e.lastErr,
+	}
+}
+
+// markDown records a request-path failure so routing skips the
+// endpoint until the next successful probe.
+func (e *endpoint) markDown(err error) {
+	e.mu.Lock()
+	e.up, e.ready, e.lastErr = false, false, err.Error()
+	e.mu.Unlock()
+}
+
+// shard is one partition's endpoint group: the primary first, then
+// replicas; rr drives round-robin read balancing.
+type shard struct {
+	eps []*endpoint
+	mu  sync.Mutex
+	rr  int
+}
+
+func (s *shard) primary() *endpoint { return s.eps[0] }
+
+// maxEpoch is the freshest epoch any endpoint of the shard has shown —
+// the reference point of the staleness bound.
+func (s *shard) maxEpoch() uint64 {
+	var m uint64
+	for _, e := range s.eps {
+		e.mu.Lock()
+		if e.epoch > m {
+			m = e.epoch
+		}
+		e.mu.Unlock()
+	}
+	return m
+}
+
+// pick returns read candidates in routing order: caught-up ready
+// endpoints round-robin first, then (when none) the primary if it is
+// at least up, then any up endpoint — a degraded read beats no read.
+func (s *shard) pick(maxLag uint64) []*endpoint {
+	fresh := s.maxEpoch()
+	var ready, up []*endpoint
+	for _, e := range s.eps {
+		e.mu.Lock()
+		switch {
+		case e.up && e.ready && e.epoch+maxLag >= fresh:
+			ready = append(ready, e)
+		case e.up:
+			up = append(up, e)
+		}
+		e.mu.Unlock()
+	}
+	if len(ready) > 1 {
+		s.mu.Lock()
+		s.rr++
+		off := s.rr % len(ready)
+		s.mu.Unlock()
+		ready = append(ready[off:], ready[:off]...)
+	}
+	if len(ready) > 0 {
+		return append(ready, up...)
+	}
+	return up
+}
+
+// Router fans queries over the shards of one cluster. Construct with
+// New, start Probes (Run) and mount it as an http.Handler.
+type Router struct {
+	shards []*shard
+	cfg    config
+	mux    *http.ServeMux
+	reg    *metrics.Registry
+
+	requests  *metrics.Counter
+	queries   *metrics.Counter
+	batches   *metrics.Counter
+	applies   *metrics.Counter
+	errors    *metrics.Counter
+	rows      *metrics.Counter
+	pushdowns *metrics.Counter
+	gathers   *metrics.Counter
+	failovers *metrics.Counter
+	draining  *metrics.Gauge
+	latency   *metrics.Histogram
+}
+
+// New builds a router over shardEndpoints: element i lists shard i's
+// daemons, primary first, then read replicas. Shard count is fixed at
+// construction — it must match the partitioning the daemons serve.
+func New(shardEndpoints [][]string, opts ...Option) (*Router, error) {
+	if len(shardEndpoints) == 0 {
+		return nil, fmt.Errorf("router: no shards")
+	}
+	cfg := config{
+		probeEvery:   time.Second,
+		probeTimeout: 2 * time.Second,
+	}
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	reg := cfg.registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	r := &Router{
+		cfg: cfg,
+		mux: http.NewServeMux(),
+		reg: reg,
+
+		requests:  reg.Counter("dualsimrouter_requests_total", "HTTP requests received"),
+		queries:   reg.Counter("dualsimrouter_queries_total", "queries routed (incl. batch members)"),
+		batches:   reg.Counter("dualsimrouter_batches_total", "batch requests routed"),
+		applies:   reg.Counter("dualsimrouter_applies_total", "apply requests split over shards"),
+		errors:    reg.Counter("dualsimrouter_errors_total", "requests answered with a non-2xx status"),
+		rows:      reg.Counter("dualsimrouter_rows_total", "merged result rows returned"),
+		pushdowns: reg.Counter("dualsimrouter_pushdowns_total", "single-shard branches pushed down verbatim"),
+		gathers:   reg.Counter("dualsimrouter_gathers_total", "cross-shard branches evaluated via data gather"),
+		failovers: reg.Counter("dualsimrouter_failovers_total", "reads failed over to another endpoint"),
+		draining:  reg.Gauge("dualsimrouter_draining", "1 while the router is draining for shutdown"),
+		latency:   reg.Histogram("dualsimrouter_request_seconds", "request latency", metrics.DefLatencyBuckets),
+	}
+	for si, urls := range shardEndpoints {
+		if len(urls) == 0 {
+			return nil, fmt.Errorf("router: shard %d has no endpoints", si)
+		}
+		sh := &shard{}
+		for ei, u := range urls {
+			c, err := client.New(u, cfg.clientOpts...)
+			if err != nil {
+				return nil, fmt.Errorf("router: shard %d endpoint %q: %w", si, u, err)
+			}
+			role := "replica"
+			if ei == 0 {
+				role = "primary"
+			}
+			ep := &endpoint{url: strings.TrimRight(u, "/"), role: role, c: c}
+			sh.eps = append(sh.eps, ep)
+			registerEndpointGauges(reg, si, ei, role, ep)
+		}
+		r.shards = append(r.shards, sh)
+	}
+	reg.GaugeFunc("dualsimrouter_shards", "shards this router fans over", func() float64 {
+		return float64(len(r.shards))
+	})
+
+	r.mux.HandleFunc("POST /v1/query", r.handleQuery)
+	r.mux.HandleFunc("POST /v1/batch", r.handleBatch)
+	r.mux.HandleFunc("POST /v1/apply", r.handleApply)
+	r.mux.HandleFunc("GET /v1/snapshot", r.handleSnapshot)
+	r.mux.HandleFunc("GET /v1/cluster", r.handleCluster)
+	r.mux.HandleFunc("GET /healthz", r.handleHealth)
+	r.mux.HandleFunc("GET /readyz", r.handleReady)
+	r.mux.HandleFunc("GET /metrics", r.handleMetrics)
+	return r, nil
+}
+
+// registerEndpointGauges exposes one endpoint's probe state as flat
+// per-endpoint series (the registry is label-free; the name carries the
+// shard index and role).
+func registerEndpointGauges(reg *metrics.Registry, si, ei int, role string, ep *endpoint) {
+	prefix := fmt.Sprintf("dualsimrouter_shard%d_%s", si, role)
+	if role == "replica" && ei > 1 {
+		prefix = fmt.Sprintf("%s%d", prefix, ei-1)
+	}
+	reg.GaugeFunc(prefix+"_up", "endpoint answered its last probe", func() float64 {
+		if ep.status().Up {
+			return 1
+		}
+		return 0
+	})
+	reg.GaugeFunc(prefix+"_ready", "endpoint is routable (200 on /readyz)", func() float64 {
+		if ep.status().Ready {
+			return 1
+		}
+		return 0
+	})
+	reg.GaugeFunc(prefix+"_epoch", "endpoint epoch at the last probe", func() float64 {
+		return float64(ep.status().Epoch)
+	})
+	reg.GaugeFunc(prefix+"_probe_latency_ms", "last probe round-trip in milliseconds", func() float64 {
+		return ep.status().LatencyMs
+	})
+}
+
+// Handler returns the HTTP handler tree.
+func (r *Router) Handler() http.Handler { return r }
+
+// Registry returns the router's metrics registry.
+func (r *Router) Registry() *metrics.Registry { return r.reg }
+
+// StartDrain flips /readyz to 503 while requests keep being served —
+// the shutdown half of the readiness split, mirroring dualsimd.
+func (r *Router) StartDrain() { r.draining.Set(1) }
+
+// ServeHTTP implements http.Handler.
+func (r *Router) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	r.requests.Inc()
+	start := time.Now()
+	r.mux.ServeHTTP(w, req)
+	r.latency.Observe(time.Since(start).Seconds())
+}
+
+// ---------------------------------------------------------------------------
+// Probing
+
+// Probe probes every endpoint once, concurrently. Exposed for tests
+// and for a synchronous first probe before serving.
+func (r *Router) Probe(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, sh := range r.shards {
+		for _, ep := range sh.eps {
+			wg.Add(1)
+			go func(ep *endpoint) {
+				defer wg.Done()
+				r.probeOne(ctx, ep)
+			}(ep)
+		}
+	}
+	wg.Wait()
+}
+
+func (r *Router) probeOne(ctx context.Context, ep *endpoint) {
+	pctx, cancel := context.WithTimeout(ctx, r.cfg.probeTimeout)
+	defer cancel()
+	start := time.Now()
+	resp, err := ep.c.Ready(pctx)
+	lat := float64(time.Since(start).Microseconds()) / 1000
+
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	ep.probed, ep.latencyMs = true, lat
+	switch {
+	case err == nil:
+		ep.up, ep.ready, ep.epoch, ep.lastErr = true, true, resp.Epoch, ""
+	default:
+		var ae *client.APIError
+		if errors.As(err, &ae) && ae.StatusCode == http.StatusServiceUnavailable {
+			// The process answered: alive but declining traffic
+			// (draining, bootstrapping, lagging).
+			ep.up, ep.ready, ep.lastErr = true, false, ae.Message
+		} else {
+			ep.up, ep.ready, ep.lastErr = false, false, err.Error()
+		}
+	}
+}
+
+// Run probes all endpoints on the configured period until ctx cancels
+// (first round immediately).
+func (r *Router) Run(ctx context.Context) error {
+	t := time.NewTicker(r.cfg.probeEvery)
+	defer t.Stop()
+	for {
+		r.Probe(ctx)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Query execution
+
+// topBranches splits the expression at top-level UNIONs only, in
+// left-to-right order. Unlike sparql.UnionFreeBranches it never
+// rewrites below other operators: that rewriting over-approximates for
+// UNION under OPTIONAL, which is fine for pruning but not for routing —
+// the router needs branches whose results merge EXACTLY via the union
+// operator.
+func topBranches(e sparql.Expr) []sparql.Expr {
+	if u, ok := e.(sparql.Union); ok {
+		return append(topBranches(u.L), topBranches(u.R)...)
+	}
+	return []sparql.Expr{e}
+}
+
+// branchPreds returns the distinct predicates a branch mentions, in
+// first-appearance order, and whether any predicate position holds a
+// variable (unroutable — and rejected by the solver core anyway).
+func branchPreds(e sparql.Expr) (preds []string, hasVarPred bool) {
+	seen := make(map[string]bool)
+	for _, tp := range sparql.Triples(e) {
+		if tp.P.IsVar() || tp.P.Const == nil {
+			return nil, true
+		}
+		if p := tp.P.Const.Value; !seen[p] {
+			seen[p] = true
+			preds = append(preds, p)
+		}
+	}
+	return preds, false
+}
+
+// branchResult is one branch's decoded result, ready to merge.
+type branchResult struct {
+	vars  []string
+	rows  [][]*string
+	epoch uint64
+}
+
+// routedError carries an HTTP status through the execution path.
+type routedError struct {
+	status int
+	msg    string
+}
+
+func (e *routedError) Error() string { return e.msg }
+
+func failWith(status int, format string, args ...any) error {
+	return &routedError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+// execQuery routes one query end-to-end: decompose, execute each branch
+// (push-down or gather), merge with union semantics.
+func (r *Router) execQuery(ctx context.Context, src string) (*branchResult, error) {
+	q, err := dualsim.ParseQuery(src)
+	if err != nil {
+		return nil, failWith(http.StatusBadRequest, "%v", err)
+	}
+	branches := topBranches(q.Expr)
+	results := make([]*branchResult, len(branches))
+	errs := make([]error, len(branches))
+	var wg sync.WaitGroup
+	for i, b := range branches {
+		wg.Add(1)
+		go func(i int, b sparql.Expr) {
+			defer wg.Done()
+			results[i], errs[i] = r.execBranch(ctx, b)
+		}(i, b)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Fold with the engine's union: left vars first, then unseen right
+	// vars; rows padded to the merged schema; full-row set dedup.
+	merged := results[0]
+	for _, br := range results[1:] {
+		merged = mergeUnion(merged, br)
+	}
+	return merged, nil
+}
+
+func (r *Router) execBranch(ctx context.Context, b sparql.Expr) (*branchResult, error) {
+	preds, hasVarPred := branchPreds(b)
+	if hasVarPred {
+		return nil, failWith(http.StatusBadRequest, "variable predicates are not supported")
+	}
+	src := "SELECT * WHERE " + b.String()
+	if len(preds) == 0 {
+		// A constant-free pattern touches no shard; evaluate over an
+		// empty scratch store for exact (usually empty) semantics.
+		return evalLocal(ctx, nil, src, 0)
+	}
+	owners := make(map[int][]string) // shard index → its preds
+	for _, p := range preds {
+		i := cluster.ShardOf(p, len(r.shards))
+		owners[i] = append(owners[i], p)
+	}
+	if len(owners) == 1 {
+		for si := range owners {
+			r.pushdowns.Inc()
+			return r.pushDown(ctx, si, src)
+		}
+	}
+	r.gathers.Inc()
+	return r.gather(ctx, owners, src)
+}
+
+// pushDown sends the branch verbatim to the single shard owning all its
+// predicates, failing over across the shard's endpoints.
+func (r *Router) pushDown(ctx context.Context, si int, src string) (*branchResult, error) {
+	var lastErr error
+	for attempt, ep := range r.shards[si].pick(r.cfg.maxLag) {
+		if attempt > 1 { // primary + one failover is enough
+			break
+		}
+		if attempt > 0 {
+			r.failovers.Inc()
+		}
+		out, err := ep.c.Query(ctx, src)
+		if err == nil {
+			return &branchResult{vars: out.Vars, rows: out.Rows, epoch: out.Epoch}, nil
+		}
+		lastErr = err
+		if !routableFailure(ctx, err) {
+			break
+		}
+		ep.markDown(err)
+	}
+	return nil, shardFailure(si, lastErr)
+}
+
+// gather exports each owning shard's predicate slices, assembles a
+// scratch store and evaluates the branch locally — the exact path for
+// branches whose predicates span shards.
+func (r *Router) gather(ctx context.Context, owners map[int][]string, src string) (*branchResult, error) {
+	type slice struct {
+		triples []dualsim.Triple
+		epoch   uint64
+	}
+	idxs := make([]int, 0, len(owners))
+	for si := range owners {
+		idxs = append(idxs, si)
+	}
+	sort.Ints(idxs)
+	slices := make([]slice, len(idxs))
+	errs := make([]error, len(idxs))
+	var wg sync.WaitGroup
+	for k, si := range idxs {
+		wg.Add(1)
+		go func(k, si int) {
+			defer wg.Done()
+			out, err := r.exportFrom(ctx, si, owners[si])
+			if err != nil {
+				errs[k] = err
+				return
+			}
+			ts := make([]dualsim.Triple, len(out.Triples))
+			for i, t := range out.Triples {
+				ts[i] = t.ToTriple()
+			}
+			slices[k] = slice{triples: ts, epoch: out.Epoch}
+		}(k, si)
+	}
+	wg.Wait()
+	var all []dualsim.Triple
+	var epoch uint64
+	for k, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, slices[k].triples...)
+		if slices[k].epoch > epoch {
+			epoch = slices[k].epoch
+		}
+	}
+	return evalLocal(ctx, all, src, epoch)
+}
+
+// exportFrom fetches predicate slices from shard si with one failover.
+func (r *Router) exportFrom(ctx context.Context, si int, preds []string) (*wire.ExportResponse, error) {
+	var lastErr error
+	for attempt, ep := range r.shards[si].pick(r.cfg.maxLag) {
+		if attempt > 1 {
+			break
+		}
+		if attempt > 0 {
+			r.failovers.Inc()
+		}
+		out, err := ep.c.Export(ctx, preds)
+		if err == nil {
+			return out, nil
+		}
+		lastErr = err
+		if !routableFailure(ctx, err) {
+			break
+		}
+		ep.markDown(err)
+	}
+	return nil, shardFailure(si, lastErr)
+}
+
+// routableFailure reports whether a shard call failed in a way another
+// endpoint could fix (transport error, 5xx) — as opposed to a request
+// the whole cluster would reject (4xx) or our own context expiring.
+func routableFailure(ctx context.Context, err error) bool {
+	if ctx.Err() != nil {
+		return false
+	}
+	var ae *client.APIError
+	if errors.As(err, &ae) {
+		return ae.StatusCode >= 500
+	}
+	return true // transport-level: the endpoint, not the request
+}
+
+// shardFailure maps a shard's terminal error onto the router's reply.
+func shardFailure(si int, err error) error {
+	if err == nil {
+		return failWith(http.StatusServiceUnavailable, "shard %d has no live endpoint", si)
+	}
+	var ae *client.APIError
+	if errors.As(err, &ae) && ae.StatusCode < 500 {
+		// The shard judged the request itself; relay its verdict.
+		return failWith(ae.StatusCode, "shard %d: %s", si, ae.Message)
+	}
+	return failWith(http.StatusBadGateway, "shard %d: %v", si, err)
+}
+
+// evalLocal runs a branch over a scratch store through the ordinary
+// dualsim pipeline and decodes rows into wire form.
+func evalLocal(ctx context.Context, ts []dualsim.Triple, src string, epoch uint64) (*branchResult, error) {
+	st, err := dualsim.FromTriples(ts)
+	if err != nil {
+		return nil, failWith(http.StatusBadGateway, "assembling gather store: %v", err)
+	}
+	db, err := dualsim.Open(st)
+	if err != nil {
+		return nil, failWith(http.StatusBadGateway, "opening gather session: %v", err)
+	}
+	defer db.Close()
+	res, _, err := db.Snapshot().Query(ctx, src)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			return nil, err
+		}
+		return nil, failWith(http.StatusBadRequest, "%v", err)
+	}
+	rows := make([][]*string, len(res.Rows))
+	for i, row := range res.Rows {
+		rows[i] = decodeRow(st, row)
+	}
+	return &branchResult{vars: append([]string{}, res.Vars...), rows: rows, epoch: epoch}, nil
+}
+
+func decodeRow(st *dualsim.Store, row []storage.NodeID) []*string {
+	out := make([]*string, len(row))
+	for i, v := range row {
+		if v == dualsim.Unbound {
+			continue
+		}
+		s := st.Term(v).String()
+		out[i] = &s
+	}
+	return out
+}
+
+// mergeUnion folds two branch results with the engine's union operator
+// semantics: unionVars column order, padded projection, set dedup.
+func mergeUnion(l, r *branchResult) *branchResult {
+	vars := append([]string{}, l.vars...)
+	idx := make(map[string]int, len(vars))
+	for i, v := range vars {
+		idx[v] = i
+	}
+	for _, v := range r.vars {
+		if _, ok := idx[v]; !ok {
+			idx[v] = len(vars)
+			vars = append(vars, v)
+		}
+	}
+	project := func(rows [][]*string, rowVars []string) [][]*string {
+		cols := make([]int, len(rowVars))
+		for i, v := range rowVars {
+			cols[i] = idx[v]
+		}
+		out := make([][]*string, len(rows))
+		for i, row := range rows {
+			p := make([]*string, len(vars))
+			for j, v := range row {
+				p[cols[j]] = v
+			}
+			out[i] = p
+		}
+		return out
+	}
+	merged := project(l.rows, l.vars)
+	merged = append(merged, project(r.rows, r.vars)...)
+
+	seen := make(map[string]bool, len(merged))
+	dedup := merged[:0]
+	var sb strings.Builder
+	for _, row := range merged {
+		sb.Reset()
+		for _, v := range row {
+			if v == nil {
+				sb.WriteString("N")
+			} else {
+				sb.WriteString("V")
+				sb.WriteString(strconv.Quote(*v))
+			}
+			sb.WriteByte('\x1f')
+		}
+		if k := sb.String(); !seen[k] {
+			seen[k] = true
+			dedup = append(dedup, row)
+		}
+	}
+	epoch := l.epoch
+	if r.epoch > epoch {
+		epoch = r.epoch
+	}
+	return &branchResult{vars: vars, rows: dedup, epoch: epoch}
+}
+
+// ---------------------------------------------------------------------------
+// Handlers
+
+func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
+	var qr wire.QueryRequest
+	if !r.decodeBody(w, req, &qr) {
+		return
+	}
+	if strings.TrimSpace(qr.Query) == "" {
+		r.fail(w, http.StatusBadRequest, "empty query")
+		return
+	}
+	r.queries.Inc()
+	ctx, cancel := r.requestContext(req, qr.TimeoutMs)
+	defer cancel()
+
+	start := time.Now()
+	res, err := r.execQuery(ctx, qr.Query)
+	if err != nil {
+		r.failExec(w, err)
+		return
+	}
+	rows, truncated := res.rows, false
+	if qr.Limit > 0 && len(rows) > qr.Limit {
+		// Applied post-merge only: a pushed-down limit would cut rows a
+		// sibling branch's dedup or this merge still needed.
+		rows, truncated = rows[:qr.Limit], true
+	}
+	r.rows.Add(int64(len(rows)))
+	// The stats trailer is synthesized — there is no single execution
+	// behind a scattered query. Epoch/Duration/Results are the merge's.
+	stats := &dualsim.ExecStats{Epoch: res.epoch, Duration: time.Since(start), Results: len(rows)}
+
+	w.Header().Set("X-Dualsim-Epoch", strconv.FormatUint(res.epoch, 10))
+	if wantsStream(req, qr) {
+		r.streamResult(w, res.vars, rows, stats, truncated)
+		return
+	}
+	r.writeJSON(w, http.StatusOK, &wire.QueryResponse{
+		Vars: res.vars, Rows: rows, Epoch: res.epoch, Truncated: truncated, Stats: stats,
+	})
+}
+
+func (r *Router) streamResult(w http.ResponseWriter, vars []string, rows [][]*string, stats *dualsim.ExecStats, truncated bool) {
+	w.Header().Set("Content-Type", wire.ContentTypeNDJSON)
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(wire.Event{Kind: wire.EventHeader, Vars: vars, Epoch: stats.Epoch}); err != nil {
+		return
+	}
+	for i, row := range rows {
+		if err := enc.Encode(wire.Event{Kind: wire.EventRow, Values: row, Epoch: stats.Epoch}); err != nil {
+			return
+		}
+		if flusher != nil && (i+1)%256 == 0 {
+			flusher.Flush()
+		}
+	}
+	_ = enc.Encode(wire.Event{Kind: wire.EventStats, Stats: stats, Rows: len(rows), Truncated: truncated, Epoch: stats.Epoch})
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+func (r *Router) handleBatch(w http.ResponseWriter, req *http.Request) {
+	var br wire.BatchRequest
+	if !r.decodeBody(w, req, &br) {
+		return
+	}
+	if len(br.Queries) == 0 {
+		r.fail(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	r.batches.Inc()
+	r.queries.Add(int64(len(br.Queries)))
+	ctx, cancel := r.requestContext(req, br.TimeoutMs)
+	defer cancel()
+
+	start := time.Now()
+	items := make([]wire.BatchItem, len(br.Queries))
+	var wg sync.WaitGroup
+	for i, src := range br.Queries {
+		wg.Add(1)
+		go func(i int, src string) {
+			defer wg.Done()
+			qstart := time.Now()
+			res, err := r.execQuery(ctx, src)
+			if err != nil {
+				items[i] = wire.BatchItem{Error: err.Error()}
+				return
+			}
+			rows, truncated := res.rows, false
+			if br.Limit > 0 && len(rows) > br.Limit {
+				rows, truncated = rows[:br.Limit], true
+			}
+			r.rows.Add(int64(len(rows)))
+			items[i] = wire.BatchItem{
+				Vars: res.vars, Rows: rows, Epoch: res.epoch, Truncated: truncated,
+				Stats: &dualsim.ExecStats{Epoch: res.epoch, Duration: time.Since(qstart), Results: len(rows)},
+			}
+		}(i, src)
+	}
+	wg.Wait()
+	stats := dualsim.BatchStats{Requests: len(items), Duration: time.Since(start)}
+	for _, it := range items {
+		if it.Error != "" {
+			stats.Failed++
+			continue
+		}
+		stats.Results += len(it.Rows)
+	}
+	r.writeJSON(w, http.StatusOK, &wire.BatchResponse{Results: items, Stats: stats})
+}
+
+func (r *Router) handleApply(w http.ResponseWriter, req *http.Request) {
+	var ar wire.ApplyRequest
+	if !r.decodeBody(w, req, &ar) {
+		return
+	}
+	r.applies.Inc()
+	ctx, cancel := r.requestContext(req, 0)
+	defer cancel()
+
+	toTriples := func(ws []wire.Triple, slot string) ([]dualsim.Triple, bool) {
+		out := make([]dualsim.Triple, len(ws))
+		for i, t := range ws {
+			if err := t.Validate(); err != nil {
+				r.fail(w, http.StatusBadRequest, fmt.Sprintf("%s[%d]: %v", slot, i, err))
+				return nil, false
+			}
+			out[i] = t.ToTriple()
+		}
+		return out, true
+	}
+	adds, ok := toTriples(ar.Adds, "adds")
+	if !ok {
+		return
+	}
+	dels, ok := toTriples(ar.Dels, "dels")
+	if !ok {
+		return
+	}
+	deltas, err := cluster.SplitDelta(adds, dels, len(r.shards))
+	if err != nil {
+		r.fail(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Writes go to primaries only, and the split is NOT atomic across
+	// shards: each slice is atomic on its own shard. A mid-apply reader
+	// can see shard A's new epoch with shard B's old one — the same
+	// boundary the per-branch routing already exposes, and why the
+	// response reports every slice's outcome individually.
+	out := wire.ClusterApplyResponse{}
+	for si, d := range deltas {
+		if len(d.Adds) == 0 && len(d.Dels) == 0 {
+			continue
+		}
+		resp, err := r.shards[si].primary().c.ApplyDelta(ctx, d)
+		if err != nil {
+			r.failExec(w, shardFailure(si, err))
+			return
+		}
+		out.Results = append(out.Results, wire.ShardApply{Shard: si, Stats: resp.Stats})
+	}
+	r.writeJSON(w, http.StatusOK, &out)
+}
+
+func (r *Router) handleSnapshot(w http.ResponseWriter, req *http.Request) {
+	ctx, cancel := r.requestContext(req, 0)
+	defer cancel()
+	var out wire.SnapshotResponse
+	for si := range r.shards {
+		var snap *wire.SnapshotResponse
+		var lastErr error
+		for attempt, ep := range r.shards[si].pick(r.cfg.maxLag) {
+			if attempt > 1 {
+				break
+			}
+			s, err := ep.c.Snapshot(ctx)
+			if err == nil {
+				snap = s
+				break
+			}
+			lastErr = err
+			if !routableFailure(ctx, err) {
+				break
+			}
+			ep.markDown(err)
+		}
+		if snap == nil {
+			r.failExec(w, shardFailure(si, lastErr))
+			return
+		}
+		if snap.Epoch > out.Epoch {
+			out.Epoch = snap.Epoch
+		}
+		out.Triples += snap.Triples
+		out.Nodes += snap.Nodes
+		out.Predicates += snap.Predicates
+		out.OverlaySize += snap.OverlaySize
+		out.Compactions += snap.Compactions
+	}
+	w.Header().Set("X-Dualsim-Epoch", strconv.FormatUint(out.Epoch, 10))
+	r.writeJSON(w, http.StatusOK, &out)
+}
+
+func (r *Router) handleCluster(w http.ResponseWriter, req *http.Request) {
+	out := wire.ClusterStatusResponse{Shards: len(r.shards)}
+	for si, sh := range r.shards {
+		st := wire.ShardStatus{Shard: si}
+		for _, ep := range sh.eps {
+			st.Endpoints = append(st.Endpoints, ep.status())
+		}
+		out.Status = append(out.Status, st)
+	}
+	r.writeJSON(w, http.StatusOK, &out)
+}
+
+func (r *Router) handleHealth(w http.ResponseWriter, req *http.Request) {
+	status := "ok"
+	if r.draining.Value() != 0 {
+		status = "draining"
+	}
+	r.writeJSON(w, http.StatusOK, &wire.HealthResponse{Status: status})
+}
+
+// readyErr: the router is routable when it is not draining and every
+// shard has at least one routable endpoint.
+func (r *Router) readyErr() error {
+	if r.draining.Value() != 0 {
+		return errors.New("draining")
+	}
+	for si, sh := range r.shards {
+		if len(sh.pick(r.cfg.maxLag)) == 0 {
+			return fmt.Errorf("shard %d has no routable endpoint", si)
+		}
+	}
+	return nil
+}
+
+func (r *Router) handleReady(w http.ResponseWriter, req *http.Request) {
+	if err := r.readyErr(); err != nil {
+		status := "notready"
+		if err.Error() == "draining" {
+			status = "draining"
+		}
+		r.writeJSON(w, http.StatusServiceUnavailable, &wire.HealthResponse{Status: status, Reason: err.Error()})
+		return
+	}
+	r.writeJSON(w, http.StatusOK, &wire.HealthResponse{Status: "ready"})
+}
+
+func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_, _ = r.reg.WriteTo(w)
+}
+
+// ---------------------------------------------------------------------------
+// Plumbing (mirrors internal/server)
+
+func (r *Router) requestContext(req *http.Request, timeoutMs int64) (context.Context, context.CancelFunc) {
+	d := r.cfg.defaultTimeout
+	if timeoutMs > 0 {
+		d = time.Duration(timeoutMs) * time.Millisecond
+	}
+	if d > 0 {
+		return context.WithTimeout(req.Context(), d)
+	}
+	return context.WithCancel(req.Context())
+}
+
+func (r *Router) decodeBody(w http.ResponseWriter, req *http.Request, into any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			r.fail(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes; split the request", tooLarge.Limit))
+			return false
+		}
+		r.fail(w, http.StatusBadRequest, "malformed request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func (r *Router) failExec(w http.ResponseWriter, err error) {
+	var re *routedError
+	switch {
+	case errors.As(err, &re):
+		r.fail(w, re.status, re.msg)
+	case errors.Is(err, context.DeadlineExceeded):
+		r.fail(w, http.StatusGatewayTimeout, "deadline exceeded: "+err.Error())
+	case errors.Is(err, context.Canceled):
+		r.errors.Inc()
+		w.WriteHeader(499)
+	default:
+		r.fail(w, http.StatusBadGateway, err.Error())
+	}
+}
+
+func (r *Router) fail(w http.ResponseWriter, status int, msg string) {
+	if status >= 400 {
+		r.errors.Inc()
+	}
+	r.writeJSON(w, status, &wire.ErrorResponse{Error: msg})
+}
+
+func (r *Router) writeJSON(w http.ResponseWriter, status int, body any) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		http.Error(w, `{"error":"internal: response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
+	if w.Header().Get("Content-Type") == "" {
+		w.Header().Set("Content-Type", wire.ContentTypeJSON)
+	}
+	w.WriteHeader(status)
+	_, _ = w.Write(buf)
+	_, _ = io.WriteString(w, "\n")
+}
+
+func wantsStream(req *http.Request, qr wire.QueryRequest) bool {
+	if qr.Stream {
+		return true
+	}
+	if v := req.URL.Query().Get("stream"); v == "1" || v == "true" {
+		return true
+	}
+	return strings.Contains(req.Header.Get("Accept"), wire.ContentTypeNDJSON)
+}

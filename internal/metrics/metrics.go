@@ -1,15 +1,17 @@
 // Package metrics is a minimal process-local metrics registry for the
 // serving layer (and any engine component that wants live counters): a
-// flat namespace of named counters, gauges and computed gauges, rendered
-// on demand in a Prometheus-style text format.
+// flat namespace of named counters, gauges, computed gauges and
+// fixed-bucket histograms, rendered on demand in a Prometheus-style
+// text format.
 //
-// The registry is deliberately small — no labels, no histograms beyond
-// the caller-maintained quantile gauges — because its job is to expose
-// the handful of numbers the ROADMAP's serving goal cares about
-// (requests, shed, cache hit-rate, epoch, solver rounds) without pulling
-// a client library into the module. All operations are safe for
-// concurrent use and allocation-free on the hot path (Counter.Add /
-// Gauge.Set are single atomics).
+// The registry is deliberately small — no labels, no dynamic bucket
+// layouts — because its job is to expose the handful of numbers the
+// ROADMAP's serving goal cares about (requests, shed, cache hit-rate,
+// epoch, solver rounds, request latency) without pulling a client
+// library into the module. All operations are safe for concurrent use
+// and allocation-free on the hot path (Counter.Add / Gauge.Set are
+// single atomics; Histogram.Observe is a bucket increment plus a CAS
+// add).
 package metrics
 
 import (
@@ -60,12 +62,70 @@ func (g *Gauge) Add(d float64) {
 // Value returns the current gauge value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
+// Histogram is a fixed-bucket cumulative histogram: Observe counts the
+// value into every bucket whose upper bound it does not exceed, plus the
+// implicit +Inf bucket, and tracks the running sum. The bucket bounds
+// are fixed at registration — no dynamic rebinning — which keeps Observe
+// a handful of atomics and the rendered series mergeable across
+// processes the way Prometheus histograms are.
+type Histogram struct {
+	bounds []float64      // ascending upper bounds; +Inf is implicit
+	counts []atomic.Int64 // len(bounds)+1, last is +Inf
+	sum    Gauge          // CAS-add float accumulator
+	n      atomic.Int64
+}
+
+// DefLatencyBuckets is the default request-latency bucket layout
+// (seconds): 0.5ms up to 10s, roughly ×2.5 per step — wide enough for
+// both an in-memory point lookup and a cold multi-shard fan-out.
+var DefLatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Linear scan: bucket counts are small (≤ ~20) and the branch
+	// predicts well; a binary search buys nothing at this size.
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	h.counts[len(h.bounds)].Add(1) // +Inf counts everything
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// Count returns how many values were observed, Sum their total.
+func (h *Histogram) Count() int64 { return h.n.Load() }
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// Buckets returns the upper bounds and the cumulative count at each
+// (the +Inf bucket is the final entry, with bound +Inf).
+func (h *Histogram) Buckets() ([]float64, []int64) {
+	bounds := make([]float64, len(h.bounds)+1)
+	copy(bounds, h.bounds)
+	bounds[len(h.bounds)] = math.Inf(1)
+	counts := make([]int64, len(h.counts))
+	cum := int64(0)
+	for i := 0; i < len(h.bounds); i++ {
+		cum += h.counts[i].Load()
+		counts[i] = cum
+	}
+	// The +Inf slot is incremented on every Observe, so it is already
+	// the total (not a residual to accumulate).
+	counts[len(h.bounds)] = h.counts[len(h.bounds)].Load()
+	return bounds, counts
+}
+
 // metric is one registered series.
 type metric struct {
 	help  string
-	typ   string // "counter" or "gauge"
+	typ   string // "counter", "gauge" or "histogram"
 	read  func() float64
-	owner any // the *Counter/*Gauge handed back on re-registration; nil for GaugeFunc
+	owner any // the *Counter/*Gauge/*Histogram handed back on re-registration; nil for GaugeFunc
+	hist  *Histogram
 }
 
 // Registry is a named collection of metrics. The zero value is not
@@ -112,6 +172,31 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	r.items[name] = &metric{help: help, typ: "gauge", read: fn}
 }
 
+// Histogram registers (or returns) a fixed-bucket histogram under name.
+// bounds are ascending upper bounds in the observed unit (use
+// DefLatencyBuckets for request latency in seconds); they are fixed for
+// the registry's lifetime.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic(fmt.Sprintf("metrics: histogram %s registered without buckets", name))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram %s buckets not strictly ascending at %v", name, bounds[i]))
+		}
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	got := r.register(name, help, "histogram", func() float64 { return float64(h.Count()) }, h)
+	hist := got.(*Histogram)
+	r.mu.Lock()
+	r.items[name].hist = hist
+	r.mu.Unlock()
+	return hist
+}
+
 func (r *Registry) register(name, help, typ string, read func() float64, owner any) any {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -136,6 +221,13 @@ func (r *Registry) Snapshot() map[string]float64 {
 	defer r.mu.Unlock()
 	out := make(map[string]float64, len(r.items))
 	for name, m := range r.items {
+		if m.hist != nil {
+			// A histogram has no single value; expose its scalar summaries
+			// under the conventional suffixes.
+			out[name+"_count"] = float64(m.hist.Count())
+			out[name+"_sum"] = m.hist.Sum()
+			continue
+		}
 		out[name] = m.read()
 	}
 	return out
@@ -153,21 +245,65 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 	type line struct {
 		name, help, typ string
 		value           float64
+		hist            *Histogram
 	}
 	lines := make([]line, len(names))
 	for i, name := range names {
 		m := r.items[name]
-		lines[i] = line{name: name, help: m.help, typ: m.typ, value: m.read()}
+		l := line{name: name, help: m.help, typ: m.typ, hist: m.hist}
+		if m.hist == nil {
+			l.value = m.read()
+		}
+		lines[i] = l
 	}
 	r.mu.Unlock()
 
 	var n int64
 	for _, l := range lines {
-		k, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", l.name, l.help, l.name, l.typ, l.name, l.value)
+		k, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", l.name, l.help, l.name, l.typ)
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+		if l.hist != nil {
+			k, err := writeHistogram(w, l.name, l.hist)
+			n += k
+			if err != nil {
+				return n, err
+			}
+			continue
+		}
+		k, err = fmt.Fprintf(w, "%s %v\n", l.name, l.value)
 		n += int64(k)
 		if err != nil {
 			return n, err
 		}
 	}
 	return n, nil
+}
+
+// writeHistogram renders the Prometheus histogram triplet: cumulative
+// _bucket{le=...} series (with +Inf), _sum and _count.
+func writeHistogram(w io.Writer, name string, h *Histogram) (int64, error) {
+	bounds, counts := h.Buckets()
+	var n int64
+	for i, b := range bounds {
+		le := "+Inf"
+		if !math.IsInf(b, 1) {
+			le = fmt.Sprintf("%v", b)
+		}
+		k, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, counts[i])
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+	}
+	k, err := fmt.Fprintf(w, "%s_sum %v\n", name, h.Sum())
+	n += int64(k)
+	if err != nil {
+		return n, err
+	}
+	k, err = fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+	n += int64(k)
+	return n, err
 }

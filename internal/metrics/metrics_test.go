@@ -89,3 +89,88 @@ func TestConcurrentUse(t *testing.T) {
 		t.Fatalf("concurrent gauge = %v, want 8000", got)
 	}
 }
+
+func TestHistogramBucketsAndRender(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("req_seconds", "request latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 0.005+0.05+0.05+0.5+5; got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	bounds, counts := h.Buckets()
+	if len(bounds) != 4 || len(counts) != 4 {
+		t.Fatalf("bucket shape = %d/%d, want 4/4", len(bounds), len(counts))
+	}
+	// Cumulative: ≤0.01 → 1, ≤0.1 → 3, ≤1 → 4, +Inf → 5.
+	for i, want := range []int64{1, 3, 4, 5} {
+		if counts[i] != want {
+			t.Fatalf("bucket[%d] = %d, want %d", i, counts[i], want)
+		}
+	}
+
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE req_seconds histogram",
+		`req_seconds_bucket{le="0.01"} 1`,
+		`req_seconds_bucket{le="0.1"} 3`,
+		`req_seconds_bucket{le="1"} 4`,
+		`req_seconds_bucket{le="+Inf"} 5`,
+		"req_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Re-registration hands back the same histogram; snapshot exposes
+	// the scalar summaries.
+	if again := r.Histogram("req_seconds", "request latency", []float64{0.01, 0.1, 1}); again != h {
+		t.Fatal("re-registration returned a different histogram")
+	}
+	snap := r.Snapshot()
+	if snap["req_seconds_count"] != 5 {
+		t.Fatalf("snapshot count = %v, want 5", snap["req_seconds_count"])
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "x", DefLatencyBuckets)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(0.003)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+	_, counts := h.Buckets()
+	if counts[len(counts)-1] != 8000 {
+		t.Fatalf("+Inf bucket = %d, want 8000", counts[len(counts)-1])
+	}
+}
+
+func TestHistogramBadBucketsPanic(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-ascending buckets did not panic")
+		}
+	}()
+	r.Histogram("bad", "x", []float64{1, 1})
+}

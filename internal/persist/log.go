@@ -277,6 +277,39 @@ func (l *Log) Checkpoint(st *storage.Store, epoch uint64) (CheckpointStats, erro
 	}, nil
 }
 
+// TailSince returns the WAL records with epochs beyond afterEpoch, in
+// replay order, together with the last checkpoint epoch — the primary
+// side of WAL-streaming replication. The read runs under the log mutex,
+// so it can never observe a half-appended frame or race a checkpoint's
+// truncation (unlike ReadWALTail, which reads the file cold).
+//
+// When afterEpoch predates the last checkpoint, the records bridging
+// the gap were truncated away and the caller cannot catch up from the
+// log alone: TailSince returns ErrEpochGap (plus the checkpoint epoch),
+// and a replica must re-bootstrap from a snapshot instead.
+func (l *Log) TailSince(afterEpoch uint64) ([]Record, uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.wal == nil {
+		return nil, 0, fmt.Errorf("persist: log is closed")
+	}
+	if afterEpoch < l.ckptEpoch {
+		return nil, l.ckptEpoch, fmt.Errorf("%w: epochs (%d, %d] were checkpointed away; bootstrap from the snapshot of epoch %d",
+			ErrEpochGap, afterEpoch, l.ckptEpoch, l.ckptEpoch)
+	}
+	recs, _, _, err := scanWAL(filepath.Join(l.dir, walName))
+	if err != nil {
+		return nil, l.ckptEpoch, err
+	}
+	var out []Record
+	for _, r := range recs {
+		if r.Epoch > afterEpoch {
+			out = append(out, r)
+		}
+	}
+	return out, l.ckptEpoch, nil
+}
+
 // RecordsSinceCheckpoint returns how many WAL records the next
 // checkpoint would make redundant — the WithCheckpointEvery trigger.
 func (l *Log) RecordsSinceCheckpoint() int64 {

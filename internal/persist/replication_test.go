@@ -1,0 +1,152 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"dualsim/internal/rdf"
+)
+
+// TestTailSinceReturnsRecordsBeyondEpoch exercises the primary side of
+// replication: records appended after the requested epoch come back in
+// replay order, records at or below it are filtered out.
+func TestTailSinceReturnsRecordsBeyondEpoch(t *testing.T) {
+	dir := t.TempDir()
+	lg, err := Init(dir, testStore(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lg.Close()
+	for i := 1; i <= 4; i++ {
+		if _, err := lg.AppendApply(uint64(i), []rdf.Triple{rdf.T(fmt.Sprintf("s%d", i), "p", "o")}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, ckpt, err := lg.TailSince(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckpt != 0 {
+		t.Fatalf("checkpoint epoch = %d, want 0", ckpt)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("TailSince(0) returned %d records, want 4", len(recs))
+	}
+	if err := VerifyTail(0, recs); err != nil {
+		t.Fatalf("full tail should be contiguous: %v", err)
+	}
+	recs, _, err = lg.TailSince(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Epoch != 3 || recs[1].Epoch != 4 {
+		t.Fatalf("TailSince(2) = %v records starting at %d, want [3 4]", len(recs), recs[0].Epoch)
+	}
+	if err := VerifyTail(2, recs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTailSinceEpochGapAfterCheckpoint is the epoch-gap scenario of the
+// replication protocol: a checkpoint truncates the WAL, so a consumer
+// that last saw an epoch below the checkpoint can no longer catch up
+// from the log — TailSince must answer ErrEpochGap (and the checkpoint
+// epoch to re-bootstrap from), never a silently-holey tail.
+func TestTailSinceEpochGapAfterCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	st := testStore(t)
+	lg, err := Init(dir, st, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lg.Close()
+	for i := 1; i <= 3; i++ {
+		if _, err := lg.AppendApply(uint64(i), []rdf.Triple{rdf.T(fmt.Sprintf("s%d", i), "p", "o")}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := lg.Checkpoint(st, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lg.AppendApply(4, []rdf.Triple{rdf.T("s4", "p", "o")}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// A consumer at epoch 1 missed the truncation: epochs 2 and 3 are gone.
+	_, ckpt, err := lg.TailSince(1)
+	if !errors.Is(err, ErrEpochGap) {
+		t.Fatalf("TailSince(1) after checkpoint(3) = %v, want ErrEpochGap", err)
+	}
+	if ckpt != 3 {
+		t.Fatalf("gap reported checkpoint epoch %d, want 3", ckpt)
+	}
+
+	// A consumer exactly at the checkpoint epoch needs nothing but the
+	// surviving tail.
+	recs, _, err := lg.TailSince(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Epoch != 4 {
+		t.Fatalf("TailSince(3) = %+v, want the single epoch-4 record", recs)
+	}
+}
+
+// TestVerifyTailDetectsSkips is the replica-side check: a record whose
+// epoch skips ahead of the replay position must be refused as a gap
+// (the replica re-bootstraps), and a stale or reordered record as
+// disorder — applying either would diverge from the primary.
+func TestVerifyTailDetectsSkips(t *testing.T) {
+	rec := func(e uint64) Record { return Record{Kind: RecordApply, Epoch: e} }
+	if err := VerifyTail(5, []Record{rec(6), rec(7), rec(8)}); err != nil {
+		t.Fatalf("contiguous tail rejected: %v", err)
+	}
+	if err := VerifyTail(5, nil); err != nil {
+		t.Fatalf("empty tail rejected: %v", err)
+	}
+	err := VerifyTail(5, []Record{rec(6), rec(8)})
+	if !errors.Is(err, ErrEpochGap) {
+		t.Fatalf("skip 6→8 = %v, want ErrEpochGap", err)
+	}
+	err = VerifyTail(5, []Record{rec(9)})
+	if !errors.Is(err, ErrEpochGap) {
+		t.Fatalf("jump past replay position = %v, want ErrEpochGap", err)
+	}
+	if err := VerifyTail(5, []Record{rec(6), rec(6)}); err == nil || errors.Is(err, ErrEpochGap) {
+		t.Fatalf("duplicate epoch = %v, want a disorder error (not a gap)", err)
+	}
+	if err := VerifyTail(5, []Record{rec(4)}); err == nil || errors.Is(err, ErrEpochGap) {
+		t.Fatalf("stale record = %v, want a disorder error (not a gap)", err)
+	}
+}
+
+// TestEncodeSnapshotToMatchesFileFormat pins the bootstrap stream to the
+// on-disk container: the bytes EncodeSnapshotTo produces decode through
+// DecodeSnapshot (the replica path) into the same store and epoch.
+func TestEncodeSnapshotToMatchesFileFormat(t *testing.T) {
+	st := testStore(t)
+	var buf bytes.Buffer
+	if err := EncodeSnapshotTo(&buf, st, 7); err != nil {
+		t.Fatal(err)
+	}
+	got, epoch, err := DecodeSnapshot(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 7 {
+		t.Fatalf("epoch = %d, want 7", epoch)
+	}
+	if got.NumTriples() != st.NumTriples() || got.NumNodes() != st.NumNodes() || got.NumPreds() != st.NumPreds() {
+		t.Fatalf("decoded shape (%d,%d,%d) != original (%d,%d,%d)",
+			got.NumTriples(), got.NumNodes(), got.NumPreds(),
+			st.NumTriples(), st.NumNodes(), st.NumPreds())
+	}
+	// A flipped byte anywhere in the CRC-covered region must be caught.
+	raw := buf.Bytes()
+	raw[len(raw)/2] ^= 0xff
+	if _, _, err := DecodeSnapshot(raw); err == nil {
+		t.Fatal("corrupted container decoded without error")
+	}
+}

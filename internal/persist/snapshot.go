@@ -86,6 +86,64 @@ func HasState(dir string) bool {
 	return err == nil && len(names) > 0
 }
 
+// EncodeSnapshotTo writes the DSIMSNP1 snapshot container — magic,
+// CRC-covered version/epoch header and store body, trailing checksum —
+// to an arbitrary writer, computing the CRC on the fly. Checkpoints
+// write files through it; the serving layer streams the same container
+// over HTTP for replica bootstrap, so a replica's decoder and the
+// crash-recovery reader exercise one format.
+func EncodeSnapshotTo(w io.Writer, st *storage.Store, epoch uint64) error {
+	crc := crc32.NewIEEE()
+	cw := io.MultiWriter(w, crc) // everything after the magic is checksummed
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], Version)
+	binary.LittleEndian.PutUint64(hdr[4:12], epoch)
+	if _, err := io.WriteString(w, snapMagic); err != nil {
+		return fmt.Errorf("persist: snapshot header: %w", err)
+	}
+	if _, err := cw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("persist: snapshot header: %w", err)
+	}
+	if err := st.EncodeSnapshot(cw); err != nil {
+		return fmt.Errorf("persist: snapshot body: %w", err)
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	if _, err := w.Write(sum[:]); err != nil {
+		return fmt.Errorf("persist: snapshot checksum: %w", err)
+	}
+	return nil
+}
+
+// DecodeSnapshot parses one DSIMSNP1 container from memory, verifying
+// magic, version and checksum before decoding the store body. It is
+// ReadSnapshot without the file I/O — the entry point for a replica
+// decoding a bootstrap snapshot it fetched over the network.
+func DecodeSnapshot(buf []byte) (*storage.Store, uint64, error) {
+	const minLen = len(snapMagic) + 12 + 4
+	if len(buf) < minLen {
+		return nil, 0, fmt.Errorf("persist: snapshot truncated (%d bytes)", len(buf))
+	}
+	if string(buf[:len(snapMagic)]) != snapMagic {
+		return nil, 0, fmt.Errorf("persist: not a dualsim snapshot (bad magic)")
+	}
+	body := buf[len(snapMagic) : len(buf)-4]
+	want := binary.LittleEndian.Uint32(buf[len(buf)-4:])
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return nil, 0, fmt.Errorf("persist: snapshot checksum mismatch (corrupt or torn write)")
+	}
+	version := binary.LittleEndian.Uint32(body[0:4])
+	if version != Version {
+		return nil, 0, fmt.Errorf("persist: snapshot has unsupported format version %d (reader supports %d)", version, Version)
+	}
+	epoch := binary.LittleEndian.Uint64(body[4:12])
+	st, err := storage.DecodeSnapshotBytes(body[12:])
+	if err != nil {
+		return nil, 0, err
+	}
+	return st, epoch, nil
+}
+
 // WriteSnapshot atomically writes the store as the checkpoint of the
 // given epoch and returns the file size. The write goes to a temp file
 // that is fsync'd, renamed into place, and made durable with a
@@ -103,28 +161,9 @@ func WriteSnapshot(dir string, st *storage.Store, epoch uint64) (int64, error) {
 	}
 	defer os.Remove(tmp) // no-op after the rename
 
-	crc := crc32.NewIEEE()
-	w := io.MultiWriter(f, crc) // everything after the magic is checksummed
-	var hdr [12]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], Version)
-	binary.LittleEndian.PutUint64(hdr[4:12], epoch)
-	if _, err := f.WriteString(snapMagic); err != nil {
+	if err := EncodeSnapshotTo(f, st, epoch); err != nil {
 		f.Close()
-		return 0, fmt.Errorf("persist: snapshot header: %w", err)
-	}
-	if _, err := w.Write(hdr[:]); err != nil {
-		f.Close()
-		return 0, fmt.Errorf("persist: snapshot header: %w", err)
-	}
-	if err := st.EncodeSnapshot(w); err != nil {
-		f.Close()
-		return 0, fmt.Errorf("persist: snapshot body: %w", err)
-	}
-	var sum [4]byte
-	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
-	if _, err := f.Write(sum[:]); err != nil {
-		f.Close()
-		return 0, fmt.Errorf("persist: snapshot checksum: %w", err)
+		return 0, err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
@@ -154,26 +193,9 @@ func ReadSnapshot(path string) (*storage.Store, uint64, int64, error) {
 	if err != nil {
 		return nil, 0, 0, fmt.Errorf("persist: %w", err)
 	}
-	const minLen = len(snapMagic) + 12 + 4
-	if len(buf) < minLen {
-		return nil, 0, 0, fmt.Errorf("persist: snapshot %s truncated (%d bytes)", path, len(buf))
-	}
-	if string(buf[:len(snapMagic)]) != snapMagic {
-		return nil, 0, 0, fmt.Errorf("persist: %s is not a dualsim snapshot (bad magic)", path)
-	}
-	body := buf[len(snapMagic) : len(buf)-4]
-	want := binary.LittleEndian.Uint32(buf[len(buf)-4:])
-	if got := crc32.ChecksumIEEE(body); got != want {
-		return nil, 0, 0, fmt.Errorf("persist: snapshot %s checksum mismatch (corrupt or torn write)", path)
-	}
-	version := binary.LittleEndian.Uint32(body[0:4])
-	if version != Version {
-		return nil, 0, 0, fmt.Errorf("persist: snapshot %s has unsupported format version %d (reader supports %d)", path, version, Version)
-	}
-	epoch := binary.LittleEndian.Uint64(body[4:12])
-	st, err := storage.DecodeSnapshotBytes(body[12:])
+	st, epoch, err := DecodeSnapshot(buf)
 	if err != nil {
-		return nil, 0, 0, fmt.Errorf("persist: snapshot %s: %w", path, err)
+		return nil, 0, 0, fmt.Errorf("%w (%s)", err, path)
 	}
 	return st, epoch, int64(len(buf)), nil
 }

@@ -10,7 +10,11 @@
 //	POST /v1/compact   on-demand overlay compaction
 //	POST /v1/checkpoint roll the durable session's WAL into a snapshot
 //	GET  /v1/snapshot  current epoch + store shape
-//	GET  /healthz      liveness (503 while draining)
+//	GET  /v1/export    predicate slices at a pinned epoch (router gather)
+//	GET  /v1/wal       replication tail: WAL records after an epoch (NDJSON)
+//	GET  /v1/wal/snapshot  streamed DSIMSNP1 bootstrap snapshot
+//	GET  /healthz      liveness (200 as long as the process serves)
+//	GET  /readyz       readiness (503 while draining or not ready)
 //	GET  /metrics      Prometheus-style text metrics
 //
 // Consistency: every query executes against a snapshot pinned for that
@@ -37,10 +41,12 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"dualsim"
 	"dualsim/internal/metrics"
+	"dualsim/internal/persist"
 	"dualsim/internal/storage"
 	"dualsim/internal/wire"
 )
@@ -66,6 +72,8 @@ type config struct {
 	retryAfter     time.Duration
 	defaultTimeout time.Duration
 	registry       *metrics.Registry
+	readiness      func() error
+	readOnly       bool
 }
 
 // WithMaxInFlight bounds the number of concurrently executing requests
@@ -131,11 +139,37 @@ func WithRegistry(r *metrics.Registry) Option {
 	}
 }
 
+// WithReadiness installs a readiness hook consulted by GET /readyz: a
+// non-nil error makes the endpoint answer 503 with the error as the
+// reason. A replica daemon wires its bootstrap/lag state through this,
+// so the router (and load balancers) stop routing to an instance that
+// would serve stale or no data — while /healthz keeps reporting the
+// process alive.
+func WithReadiness(fn func() error) Option {
+	return func(c *config) error {
+		if fn == nil {
+			return fmt.Errorf("server: nil readiness hook")
+		}
+		c.readiness = fn
+		return nil
+	}
+}
+
+// WithReadOnly refuses the mutating endpoints (/v1/apply, /v1/compact,
+// /v1/checkpoint) with 403 — the serving mode of a WAL-following
+// replica, whose state must change only through the replication stream.
+func WithReadOnly() Option {
+	return func(c *config) error {
+		c.readOnly = true
+		return nil
+	}
+}
+
 // Server serves one dualsim session over HTTP. Safe for concurrent use;
 // construct with New and mount Handler (or the Server itself, it
 // implements http.Handler).
 type Server struct {
-	db    *dualsim.DB
+	db    atomic.Pointer[dualsim.DB] // swappable: a replica re-bootstrap replaces the session
 	admit *admission
 	mux   *http.ServeMux
 	cfg   config
@@ -150,7 +184,27 @@ type Server struct {
 	rows         *metrics.Counter
 	solverRounds *metrics.Counter
 	checkpoints  *metrics.Counter
+	walStreams   *metrics.Counter
+	exports      *metrics.Counter
 	draining     *metrics.Gauge
+	latency      *metrics.Histogram
+}
+
+// session returns the server's current session. Handlers resolve it
+// once per request; a concurrent SwapDB affects only later requests.
+func (s *Server) session() *dualsim.DB { return s.db.Load() }
+
+// SwapDB atomically replaces the served session — the replica
+// re-bootstrap path: a follower that hit a WAL epoch gap builds a fresh
+// session from a new snapshot and swaps it in while reads keep flowing.
+// In-flight requests finish on the session they resolved; the old
+// session is NOT closed here (its pinned snapshots may still be
+// serving) — a non-durable replica session holds no resources beyond
+// memory, which the GC reclaims once the last pin drops.
+func (s *Server) SwapDB(db *dualsim.DB) {
+	if db != nil {
+		s.db.Store(db)
+	}
 }
 
 // New builds a server over an open session. The session stays owned by
@@ -174,7 +228,6 @@ func New(db *dualsim.DB, opts ...Option) (*Server, error) {
 		reg = metrics.NewRegistry()
 	}
 	s := &Server{
-		db:    db,
 		admit: newAdmission(cfg.maxInFlight, cfg.queueDepth),
 		mux:   http.NewServeMux(),
 		cfg:   cfg,
@@ -189,8 +242,12 @@ func New(db *dualsim.DB, opts ...Option) (*Server, error) {
 		rows:         reg.Counter("dualsimd_rows_total", "result rows returned"),
 		solverRounds: reg.Counter("dualsimd_solver_rounds_total", "dual-simulation solver rounds executed"),
 		checkpoints:  reg.Counter("dualsimd_checkpoint_requests_total", "checkpoints completed via /v1/checkpoint"),
+		walStreams:   reg.Counter("dualsimd_wal_streams_total", "WAL tail requests served to replicas"),
+		exports:      reg.Counter("dualsimd_exports_total", "predicate-slice exports served to routers"),
 		draining:     reg.Gauge("dualsimd_draining", "1 while the server is draining for shutdown"),
+		latency:      reg.Histogram("dualsimd_request_seconds", "request latency", metrics.DefLatencyBuckets),
 	}
+	s.db.Store(db)
 	reg.GaugeFunc("dualsimd_in_flight", "requests currently executing", func() float64 {
 		return float64(s.admit.InFlight())
 	})
@@ -198,51 +255,57 @@ func New(db *dualsim.DB, opts ...Option) (*Server, error) {
 		return float64(s.admit.Queued())
 	})
 	reg.GaugeFunc("dualsimd_epoch", "current store epoch", func() float64 {
-		return float64(db.Epoch())
+		return float64(s.session().Epoch())
 	})
 	// Computed from CacheStats at scrape time; named without the _total
 	// suffix OpenMetrics reserves for counters, since GaugeFunc is the
 	// registry's only computed hook.
 	reg.GaugeFunc("dualsimd_plan_cache_hits", "plan cache hits", func() float64 {
-		return float64(db.CacheStats().Hits)
+		return float64(s.session().CacheStats().Hits)
 	})
 	reg.GaugeFunc("dualsimd_plan_cache_misses", "plan cache misses", func() float64 {
-		return float64(db.CacheStats().Misses)
+		return float64(s.session().CacheStats().Misses)
 	})
 	reg.GaugeFunc("dualsimd_plan_cache_hit_rate", "plan cache hit rate in [0,1]", func() float64 {
-		return db.CacheStats().HitRate()
+		return s.session().CacheStats().HitRate()
 	})
 	reg.GaugeFunc("dualsimd_overlay_size", "live-update overlay ledger size", func() float64 {
-		return float64(db.OverlaySize())
+		return float64(s.session().OverlaySize())
 	})
 	reg.GaugeFunc("dualsimd_triples", "triples in the current snapshot", func() float64 {
-		return float64(db.Store().NumTriples())
+		return float64(s.session().Store().NumTriples())
 	})
 	// Durability series: all read from PersistStats, all zero on a
 	// session without a data dir (dualsimd_durable tells the two apart).
 	reg.GaugeFunc("dualsimd_durable", "1 when the session persists to a data dir", func() float64 {
-		if db.Durable() {
+		if s.session().Durable() {
 			return 1
 		}
 		return 0
 	})
 	reg.GaugeFunc("dualsimd_wal_bytes", "write-ahead log size in bytes (since the last checkpoint)", func() float64 {
-		return float64(db.PersistStats().WALBytes)
+		return float64(s.session().PersistStats().WALBytes)
 	})
 	reg.GaugeFunc("dualsimd_wal_records", "write-ahead log records since the last checkpoint", func() float64 {
-		return float64(db.PersistStats().WALRecords)
+		return float64(s.session().PersistStats().WALRecords)
 	})
 	reg.GaugeFunc("dualsimd_checkpoints", "completed checkpoints (including the initial one)", func() float64 {
-		return float64(db.PersistStats().Checkpoints)
+		return float64(s.session().PersistStats().Checkpoints)
 	})
 	reg.GaugeFunc("dualsimd_last_checkpoint_epoch", "epoch of the newest on-disk snapshot", func() float64 {
-		return float64(db.PersistStats().LastCheckpointEpoch)
+		return float64(s.session().PersistStats().LastCheckpointEpoch)
 	})
 	reg.GaugeFunc("dualsimd_snapshot_bytes", "size of the newest on-disk snapshot", func() float64 {
-		return float64(db.PersistStats().SnapshotBytes)
+		return float64(s.session().PersistStats().SnapshotBytes)
 	})
 	reg.GaugeFunc("dualsimd_checkpoint_failures", "automatic checkpoints that failed (WAL keeps growing)", func() float64 {
-		return float64(db.PersistStats().CheckpointFailures)
+		return float64(s.session().PersistStats().CheckpointFailures)
+	})
+	reg.GaugeFunc("dualsimd_ready", "1 when /readyz answers 200", func() float64 {
+		if s.readyErr() == nil {
+			return 1
+		}
+		return 0
 	})
 
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
@@ -251,7 +314,11 @@ func New(db *dualsim.DB, opts ...Option) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/compact", s.handleCompact)
 	s.mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("GET /v1/export", s.handleExport)
+	s.mux.HandleFunc("GET /v1/wal", s.handleWAL)
+	s.mux.HandleFunc("GET /v1/wal/snapshot", s.handleWALSnapshot)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s, nil
 }
@@ -263,9 +330,11 @@ func (s *Server) Handler() http.Handler { return s }
 // WithRegistry was given).
 func (s *Server) Registry() *metrics.Registry { return s.reg }
 
-// StartDrain flips the server into draining mode: /healthz answers 503
-// so load balancers stop routing here, while in-flight and follow-up
-// requests keep being served until the HTTP server shuts down. Called by
+// StartDrain flips the server into draining mode: /readyz answers 503
+// so load balancers and the cluster router stop routing here, while
+// in-flight and follow-up requests keep being served until the HTTP
+// server shuts down — /healthz stays 200 the whole time, because the
+// process is alive and draining is healthy behaviour. Called by
 // dualsimd when a termination signal arrives, before http.Server.
 // Shutdown drains the connections.
 func (s *Server) StartDrain() { s.draining.Set(1) }
@@ -273,7 +342,9 @@ func (s *Server) StartDrain() { s.draining.Set(1) }
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Inc()
+	start := time.Now()
 	s.mux.ServeHTTP(w, r)
+	s.latency.Observe(time.Since(start).Seconds())
 }
 
 // ---------------------------------------------------------------------------
@@ -306,7 +377,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// pinned snapshot and the rows are decoded against the same
 	// dictionary, so a concurrent Apply (or even a compaction, which
 	// renumbers every node) cannot tear the response.
-	snap := s.db.Snapshot()
+	snap := s.session().Snapshot()
 	res, stats, err := snap.Query(ctx, req.Query)
 	if err != nil {
 		s.failExec(w, r, err)
@@ -391,7 +462,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		opts = append(opts, dualsim.BatchFailFast())
 	}
 	start := time.Now()
-	out, err := s.db.ExecBatch(ctx, reqs, opts...)
+	out, err := s.session().ExecBatch(ctx, reqs, opts...)
 	// A context failure (deadline, client gone, closed session) fails
 	// the call; a fail-fast first error is still reported per item, with
 	// the per-request outcomes that did complete.
@@ -428,6 +499,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
+	if !s.allowWrite(w) {
+		return
+	}
 	release, ok := s.admitOr429(w, r)
 	if !ok {
 		return
@@ -457,7 +531,7 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 		}
 		d.Dels = append(d.Dels, t.ToTriple())
 	}
-	stats, err := s.db.Apply(ctx, d)
+	stats, err := s.session().Apply(ctx, d)
 	if err != nil {
 		s.failExec(w, r, err)
 		return
@@ -467,6 +541,9 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if !s.allowWrite(w) {
+		return
+	}
 	release, ok := s.admitOr429(w, r)
 	if !ok {
 		return
@@ -476,7 +553,7 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := s.requestContext(r, 0)
 	defer cancel()
-	stats, err := s.db.Compact(ctx)
+	stats, err := s.session().Compact(ctx)
 	if err != nil {
 		s.failExec(w, r, err)
 		return
@@ -486,6 +563,9 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if !s.allowWrite(w) {
+		return
+	}
 	release, ok := s.admitOr429(w, r)
 	if !ok {
 		return
@@ -493,7 +573,7 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	ctx, cancel := s.requestContext(r, 0)
 	defer cancel()
-	stats, err := s.db.Checkpoint(ctx)
+	stats, err := s.session().Checkpoint(ctx)
 	if errors.Is(err, dualsim.ErrNotDurable) {
 		// Not a transient failure: the daemon was started without -data.
 		s.fail(w, http.StatusConflict, err.Error())
@@ -515,18 +595,19 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	// combination that never existed (e.g. the old epoch with the
 	// post-compaction overlay size).
 	var out wire.SnapshotResponse
+	db := s.session()
 	for i := 0; i < 4; i++ {
-		snap := s.db.Snapshot()
+		snap := db.Snapshot()
 		st := snap.Store()
 		out = wire.SnapshotResponse{
 			Epoch:       snap.Epoch(),
 			Triples:     st.NumTriples(),
 			Nodes:       st.NumNodes(),
 			Predicates:  st.NumPreds(),
-			OverlaySize: s.db.OverlaySize(),
-			Compactions: s.db.Compactions(),
+			OverlaySize: db.OverlaySize(),
+			Compactions: db.Compactions(),
 		}
-		if s.db.Epoch() == snap.Epoch() {
+		if db.Epoch() == snap.Epoch() {
 			break
 		}
 	}
@@ -534,12 +615,204 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, &out)
 }
 
+// handleHealth is pure liveness: it answers 200 as long as the process
+// can serve at all, draining included. Use /readyz to decide whether to
+// route work here.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
 	if s.draining.Value() != 0 {
-		s.writeJSON(w, http.StatusServiceUnavailable, &wire.HealthResponse{Status: "draining", Epoch: s.db.Epoch()})
+		status = "draining"
+	}
+	s.writeJSON(w, http.StatusOK, &wire.HealthResponse{Status: status, Epoch: s.session().Epoch()})
+}
+
+// readyErr resolves the readiness state: draining wins (the instance is
+// leaving), then the configured readiness hook (a replica's
+// bootstrap/lag check).
+func (s *Server) readyErr() error {
+	if s.draining.Value() != 0 {
+		return errDraining
+	}
+	if s.cfg.readiness != nil {
+		return s.cfg.readiness()
+	}
+	return nil
+}
+
+var errDraining = errors.New("draining")
+
+// handleReady is the routing decision: 200 only when the instance wants
+// traffic. Draining flips it to 503 before connections close, giving
+// load balancers a window to move on; a replica's readiness hook keeps
+// it 503 while bootstrapping or lagging beyond its staleness bound.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if err := s.readyErr(); err != nil {
+		status := "notready"
+		if errors.Is(err, errDraining) {
+			status = "draining"
+		}
+		// Not counted in errors_total: a not-ready probe answer is the
+		// endpoint working as designed, not a failed request.
+		s.writeJSON(w, http.StatusServiceUnavailable, &wire.HealthResponse{
+			Status: status, Epoch: s.session().Epoch(), Reason: err.Error(),
+		})
 		return
 	}
-	s.writeJSON(w, http.StatusOK, &wire.HealthResponse{Status: "ok", Epoch: s.db.Epoch()})
+	s.writeJSON(w, http.StatusOK, &wire.HealthResponse{Status: "ready", Epoch: s.session().Epoch()})
+}
+
+// handleWALSnapshot streams the live pinned snapshot in the on-disk
+// DSIMSNP1 container — the bootstrap half of replication. A replica
+// decodes it with persist.DecodeSnapshot and starts tailing from the
+// epoch in the X-Dualsim-Epoch header (repeated inside the container).
+// No admission slot: replication must not be shed behind query load, or
+// an overloaded primary could starve its own replicas into staleness.
+func (s *Server) handleWALSnapshot(w http.ResponseWriter, r *http.Request) {
+	snap := s.session().Snapshot()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Dualsim-Epoch", strconv.FormatUint(snap.Epoch(), 10))
+	w.WriteHeader(http.StatusOK)
+	// A write failure mid-stream means the replica went away; the torn
+	// container fails its CRC on the other side, so nothing to clean up.
+	_ = persist.EncodeSnapshotTo(w, snap.Store(), snap.Epoch())
+}
+
+// walPollInterval paces the long-poll loop of GET /v1/wal?waitMs=…: how
+// often a parked tail request re-checks the log for fresh records.
+const walPollInterval = 25 * time.Millisecond
+
+// handleWAL serves the replication tail: every WAL record with epoch >
+// fromEpoch, as NDJSON WALEvents (header, apply/compact records in
+// replay order, end). waitMs long-polls an empty tail so an idle
+// primary does not force replicas into tight polling. 409 on a
+// non-durable session; 410 (with X-Dualsim-Checkpoint-Epoch) when a
+// checkpoint truncated the requested range — the replica must
+// re-bootstrap from /v1/wal/snapshot.
+func (s *Server) handleWAL(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var from uint64
+	if v := q.Get("fromEpoch"); v != "" {
+		p, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "malformed fromEpoch: "+err.Error())
+			return
+		}
+		from = p
+	}
+	var wait time.Duration
+	if v := q.Get("waitMs"); v != "" {
+		ms, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || ms < 0 {
+			s.fail(w, http.StatusBadRequest, "malformed waitMs")
+			return
+		}
+		wait = time.Duration(ms) * time.Millisecond
+	}
+
+	db := s.session()
+	deadline := time.Now().Add(wait)
+	recs, ckpt, err := db.WALTail(from)
+	for err == nil && len(recs) == 0 && time.Now().Before(deadline) {
+		select {
+		case <-r.Context().Done():
+			return // replica gone; nothing useful to write
+		case <-time.After(walPollInterval):
+		}
+		// Re-resolve the session each round: a SwapDB mid-poll (this
+		// server is itself a re-bootstrapping replica) must not leave the
+		// poll parked on the abandoned session's log.
+		db = s.session()
+		recs, ckpt, err = db.WALTail(from)
+	}
+	switch {
+	case err == nil:
+	case errors.Is(err, dualsim.ErrNotDurable):
+		// Permanent for this process: no WAL exists without -data.
+		s.fail(w, http.StatusConflict, err.Error())
+		return
+	case errors.Is(err, persist.ErrEpochGap):
+		// Tell the replica where bootstrapping can restart from.
+		w.Header().Set("X-Dualsim-Checkpoint-Epoch", strconv.FormatUint(ckpt, 10))
+		s.fail(w, http.StatusGone, err.Error())
+		return
+	default:
+		s.failExec(w, r, err)
+		return
+	}
+	s.walStreams.Inc()
+
+	cur := db.Epoch()
+	w.Header().Set("Content-Type", wire.ContentTypeNDJSON)
+	w.Header().Set("X-Dualsim-Epoch", strconv.FormatUint(cur, 10))
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(wire.WALEvent{Kind: wire.WALHeader, Epoch: cur, CheckpointEpoch: ckpt}); err != nil {
+		return
+	}
+	for _, rec := range recs {
+		ev := wire.WALEvent{Epoch: rec.Epoch}
+		switch rec.Kind {
+		case persist.RecordApply:
+			ev.Kind = wire.WALApply
+			ev.Adds = toWireTriples(rec.Adds)
+			ev.Dels = toWireTriples(rec.Dels)
+		case persist.RecordCompact:
+			ev.Kind = wire.WALCompact
+		default:
+			// Unknown kinds cannot be skipped: the replica's contiguity
+			// check would (correctly) flag the hole. Fail the stream.
+			_ = enc.Encode(wire.WALEvent{Kind: wire.WALEnd, Epoch: rec.Epoch - 1})
+			return
+		}
+		if err := enc.Encode(ev); err != nil {
+			return
+		}
+	}
+	_ = enc.Encode(wire.WALEvent{Kind: wire.WALEnd, Epoch: cur})
+}
+
+func toWireTriples(ts []dualsim.Triple) []wire.Triple {
+	if len(ts) == 0 {
+		return nil
+	}
+	out := make([]wire.Triple, len(ts))
+	for i, t := range ts {
+		out[i] = wire.FromTriple(t)
+	}
+	return out
+}
+
+// handleExport serves every triple of the requested predicates
+// (?pred=…, repeatable) at one pinned epoch — the router's cross-shard
+// gather path. Predicates this shard does not hold export as nothing,
+// which is exactly right: the router unions slices across shards. Like
+// the WAL endpoints it skips admission: a gather is part of an
+// already-admitted query on the router, and shedding it would deadlock
+// the fan-out under load.
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	preds := r.URL.Query()["pred"]
+	if len(preds) == 0 {
+		s.fail(w, http.StatusBadRequest, "export needs at least one pred parameter")
+		return
+	}
+	s.exports.Inc()
+	snap := s.session().Snapshot()
+	st := snap.Store()
+	out := wire.ExportResponse{Epoch: snap.Epoch()}
+	for _, p := range preds {
+		pid, ok := st.PredIDOf(p)
+		if !ok {
+			continue // not on this shard (or not in the data): empty slice
+		}
+		st.ForEachPair(pid, func(sub, obj storage.NodeID) bool {
+			out.Triples = append(out.Triples, wire.FromTriple(dualsim.Triple{
+				S: st.Term(sub), P: p, O: st.Term(obj),
+			}))
+			return true
+		})
+	}
+	w.Header().Set("X-Dualsim-Epoch", strconv.FormatUint(out.Epoch, 10))
+	s.writeJSON(w, http.StatusOK, &out)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -549,6 +822,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // ---------------------------------------------------------------------------
 // Plumbing
+
+// allowWrite refuses mutating endpoints on a read-only (replica)
+// server with 403 and reports false. Runs before admission: the refusal
+// must not consume an execution slot.
+func (s *Server) allowWrite(w http.ResponseWriter) bool {
+	if s.cfg.readOnly {
+		s.fail(w, http.StatusForbidden, "read-only replica: writes go to the primary (or arrive via the replication stream)")
+		return false
+	}
+	return true
+}
 
 // admitOr429 passes the request through admission control; on shedding
 // it writes the 429 (with Retry-After) or the client-abandonment status

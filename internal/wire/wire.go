@@ -194,10 +194,95 @@ type SnapshotResponse struct {
 	Compactions int    `json:"compactions"`
 }
 
-// HealthResponse is the body of GET /healthz.
+// HealthResponse is the body of GET /healthz (liveness) and
+// GET /readyz (readiness). Status is "ok"/"ready" on 200; on a 503
+// readiness reply it names why the instance should not be routed to
+// ("draining", "notready"), with Reason carrying detail.
 type HealthResponse struct {
 	Status string `json:"status"`
 	Epoch  uint64 `json:"epoch"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// WALEvent is one NDJSON line of GET /v1/wal — the replication tail
+// stream. The shape mirrors the query stream: a "header" first (the
+// primary's current epoch plus its last checkpoint epoch), then one
+// "apply"/"compact" event per WAL record in replay order, and an "end"
+// trailer repeating the primary epoch so a replica can compute its lag
+// without a second round-trip.
+type WALEvent struct {
+	// Kind is "header", "apply", "compact" or "end".
+	Kind string `json:"kind"`
+	// Epoch: on header/end, the primary's current epoch; on
+	// apply/compact, the record's post-operation epoch (replaying it
+	// onto epoch N-1 must yield exactly N).
+	Epoch uint64 `json:"epoch"`
+	// CheckpointEpoch (header) is the primary's last checkpoint epoch —
+	// the oldest state a fresh bootstrap snapshot can start from.
+	CheckpointEpoch uint64 `json:"checkpointEpoch,omitempty"`
+	// Adds and Dels (apply) are the record's delta; dels before adds.
+	Adds []Triple `json:"adds,omitempty"`
+	Dels []Triple `json:"dels,omitempty"`
+}
+
+// WALEvent kinds.
+const (
+	WALHeader  = "header"
+	WALApply   = "apply"
+	WALCompact = "compact"
+	WALEnd     = "end"
+)
+
+// ExportResponse is the body of GET /v1/export?pred=…: every triple of
+// the requested predicates at one pinned epoch. The router's
+// cross-shard gather path uses it to assemble a scratch store when a
+// query's predicates span shards. The response is buffered JSON —
+// acceptable because a gather only ships the slices a query mentions,
+// and bounded by the predicates' cardinality, not the store size.
+type ExportResponse struct {
+	Epoch   uint64   `json:"epoch"`
+	Triples []Triple `json:"triples"`
+}
+
+// EndpointStatus is the router's live view of one shard endpoint.
+type EndpointStatus struct {
+	URL  string `json:"url"`
+	Role string `json:"role"` // "primary" or "replica"
+	// Up reports the endpoint answered its last probe at all; Ready
+	// that it answered 200 on /readyz (bootstrapped, within the
+	// staleness bound, not draining).
+	Up    bool   `json:"up"`
+	Ready bool   `json:"ready"`
+	Epoch uint64 `json:"epoch"`
+	// LatencyMs is the last probe's round-trip time.
+	LatencyMs float64 `json:"latencyMs"`
+	Error     string  `json:"error,omitempty"`
+}
+
+// ShardStatus groups a shard's endpoints (primary first).
+type ShardStatus struct {
+	Shard     int              `json:"shard"`
+	Endpoints []EndpointStatus `json:"endpoints"`
+}
+
+// ClusterStatusResponse is the body of the router's GET /v1/cluster.
+type ClusterStatusResponse struct {
+	Shards int           `json:"shards"`
+	Status []ShardStatus `json:"status"`
+}
+
+// ShardApply is one shard's slice of a routed apply.
+type ShardApply struct {
+	Shard int                `json:"shard"`
+	Stats dualsim.ApplyStats `json:"stats"`
+}
+
+// ClusterApplyResponse is the body of the router's POST /v1/apply: the
+// delta was split by predicate placement and applied per shard. The
+// split is NOT atomic across shards — each shard's slice is atomic and
+// epoch-bumped on its own counter; Results reports every slice.
+type ClusterApplyResponse struct {
+	Results []ShardApply `json:"results"`
 }
 
 // ErrorResponse is the body of every non-2xx reply.

@@ -279,6 +279,22 @@ func (db *DB) Checkpoint(ctx context.Context) (CheckpointStats, error) {
 // Durable reports whether the session persists to a data dir.
 func (db *DB) Durable() bool { return db.pers != nil }
 
+// WALTail returns the durable session's WAL records with epochs beyond
+// afterEpoch, in replay order, plus the last checkpoint epoch — the
+// primary side of WAL-streaming replication (dualsimd's GET /v1/wal).
+// Returns ErrNotDurable without a data dir, and persist.ErrEpochGap
+// when a checkpoint already truncated the requested range (the caller
+// must re-bootstrap from a snapshot instead of tailing).
+func (db *DB) WALTail(afterEpoch uint64) ([]persist.Record, uint64, error) {
+	if db.closed.Load() {
+		return nil, 0, ErrClosed
+	}
+	if db.pers == nil {
+		return nil, 0, ErrNotDurable
+	}
+	return db.pers.TailSince(afterEpoch)
+}
+
 // PersistStats is the durable session's cumulative persistence
 // bookkeeping (zero value on a non-durable session). JSON tags follow
 // the serving wire format.

@@ -129,6 +129,30 @@ func OpenDir(dir string, opts ...Option) (*DB, error) {
 	return db, nil
 }
 
+// OpenAt starts a session over the store at a given epoch — the
+// replication bootstrap entry point. A replica that decoded a primary
+// snapshot stamped with epoch E opens its session here and then applies
+// the primary's WAL records E+1, E+2, … through Apply, each landing on
+// exactly its stamped epoch (Apply bumps by one, and the primary never
+// logs empty deltas).
+//
+// Durability options are refused: a replica's store of record is its
+// primary — on divergence or a WAL gap it re-bootstraps from a fresh
+// snapshot instead of recovering local state.
+func OpenAt(st *Store, epoch uint64, opts ...Option) (*DB, error) {
+	if err := requireStore(st); err != nil {
+		return nil, err
+	}
+	set, err := resolveSettings(opts)
+	if err != nil {
+		return nil, err
+	}
+	if set.dataDir != "" {
+		return nil, fmt.Errorf("dualsim: OpenAt is for replicas, which re-bootstrap rather than recover; WithDataDir is not supported")
+	}
+	return openAt(st, epoch, nil, nil, set)
+}
+
 func resolveSettings(opts []Option) (settings, error) {
 	set := defaultSettings()
 	for _, opt := range opts {
