@@ -10,6 +10,7 @@
 //	benchtables -table serving    # loopback HTTP serving (p50/p95, hit rate, shed)
 //	benchtables -table persist    # durability layer (snapshot MB/s, WAL replay, cold boot)
 //	benchtables -table cluster    # scale-out (router fan-out p50/p95, replica catch-up)
+//	benchtables -table planner    # cost-based planner ablations + streamed first-row p50
 //	benchtables -table all
 //
 // Scale knobs: -universities (LUBM-like), -kgscale (DBpedia-like), -seed,
@@ -30,7 +31,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "comma-separated tables to regenerate: 2, 3, 4, 5, iters, orders, throughput, updates, serving, persist, cluster, all")
+	table := flag.String("table", "all", "comma-separated tables to regenerate: 2, 3, 4, 5, iters, orders, throughput, updates, serving, persist, cluster, planner, all")
 	universities := flag.Int("universities", 3, "LUBM-like scale (number of universities)")
 	kgScale := flag.Int("kgscale", 1, "DBpedia-like scale factor")
 	seed := flag.Int64("seed", 42, "generator seed")
@@ -60,13 +61,13 @@ func run(table string, universities, kgScale int, seed int64, repeats int, jsonP
 	known := map[string]bool{
 		"all": true, "2": true, "3": true, "4": true, "5": true,
 		"iters": true, "orders": true, "throughput": true, "updates": true,
-		"serving": true, "persist": true, "cluster": true,
+		"serving": true, "persist": true, "cluster": true, "planner": true,
 	}
 	wanted := make(map[string]bool)
 	for _, t := range strings.Split(table, ",") {
 		name := strings.TrimSpace(t)
 		if !known[name] {
-			return fmt.Errorf("unknown table %q (want 2, 3, 4, 5, iters, orders, throughput, updates, serving, persist, cluster or all)", name)
+			return fmt.Errorf("unknown table %q (want 2, 3, 4, 5, iters, orders, throughput, updates, serving, persist, cluster, planner or all)", name)
 		}
 		wanted[name] = true
 	}
@@ -185,6 +186,16 @@ func run(table string, universities, kgScale int, seed int64, repeats int, jsonP
 		bench.RenderCluster(os.Stdout, rows)
 		fmt.Println()
 		rep.Tables["cluster"] = rows
+	}
+	if want("planner") {
+		fmt.Println("Planner: cost-based ablations (reorder, pushdown) + streamed first-row p50 (seconds)")
+		rows, err := bench.Planner(d, repeats)
+		if err != nil {
+			return err
+		}
+		bench.RenderPlanner(os.Stdout, rows)
+		fmt.Println()
+		rep.Tables["planner"] = rows
 	}
 	if want("orders") {
 		fmt.Println("Order-space search (§5.3 brute-force analysis), 40 random orders")

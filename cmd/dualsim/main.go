@@ -52,7 +52,7 @@ func main() {
 	queryFile := flag.String("query", "", "query file")
 	queryText := flag.String("q", "", "inline query text")
 	mode := flag.String("mode", "evaluate", "evaluate, simulate, prune or analyze")
-	engineName := flag.String("engine", "hash", "hash or index")
+	engineName := flag.String("engine", "volcano", "volcano, hash or index")
 	limit := flag.Int("limit", 0, "print at most this many result rows (0 = all)")
 	out := flag.String("out", "", "prune mode: write the pruned store here")
 	doPrune := flag.Bool("prune", false, "evaluate through the pruning pipeline instead of directly")
@@ -252,12 +252,14 @@ func runLiveUpdate(ctx context.Context, db *dualsim.DB, src string, cfg cliConfi
 func openSession(st *dualsim.Store, cfg cliConfig) (*dualsim.DB, error) {
 	opts := []dualsim.Option{dualsim.WithPruning(cfg.prune || cfg.mode == "prune")}
 	switch cfg.engine {
+	case "volcano":
+		opts = append(opts, dualsim.WithEngine(dualsim.Volcano))
 	case "hash":
 		opts = append(opts, dualsim.WithEngine(dualsim.HashJoin))
 	case "index":
 		opts = append(opts, dualsim.WithEngine(dualsim.IndexNL))
 	default:
-		return nil, fmt.Errorf("unknown engine %q (want hash or index)", cfg.engine)
+		return nil, fmt.Errorf("unknown engine %q (want volcano, hash or index)", cfg.engine)
 	}
 	if cfg.workers > 0 {
 		opts = append(opts, dualsim.WithWorkers(cfg.workers))

@@ -110,7 +110,7 @@ func parseFlags(args []string, onError flag.ErrorHandling) daemonConfig {
 	fs.StringVar(&cfg.addr, "addr", "127.0.0.1:8321", "listen address (host:port; port 0 picks a free one)")
 	fs.StringVar(&cfg.store, "store", "", "N-Triples database file (required unless -data holds state)")
 	fs.StringVar(&cfg.data, "data", "", "durable data dir: snapshot + WAL; warm restart when it holds state")
-	fs.StringVar(&cfg.engine, "engine", "hash", "evaluation engine: hash or index")
+	fs.StringVar(&cfg.engine, "engine", "volcano", "evaluation engine: volcano, hash or index")
 	fs.BoolVar(&cfg.prune, "prune", true, "evaluate through the dual-simulation pruning pipeline")
 	fs.IntVar(&cfg.fingerprintK, "fingerprint", 0, "pre-filter via a k-bounded bisimulation fingerprint (0 = off)")
 	fs.IntVar(&cfg.workers, "workers", 0, "parallelize bit-matrix multiplications over this many goroutines")
@@ -379,12 +379,14 @@ func openSession(cfg daemonConfig, logw *os.File) (*dualsim.DB, error) {
 func sessionOptions(cfg daemonConfig) ([]dualsim.Option, error) {
 	opts := []dualsim.Option{dualsim.WithPruning(cfg.prune)}
 	switch cfg.engine {
+	case "volcano":
+		opts = append(opts, dualsim.WithEngine(dualsim.Volcano))
 	case "hash":
 		opts = append(opts, dualsim.WithEngine(dualsim.HashJoin))
 	case "index":
 		opts = append(opts, dualsim.WithEngine(dualsim.IndexNL))
 	default:
-		return nil, fmt.Errorf("unknown engine %q (want hash or index)", cfg.engine)
+		return nil, fmt.Errorf("unknown engine %q (want volcano, hash or index)", cfg.engine)
 	}
 	if cfg.workers > 0 {
 		opts = append(opts, dualsim.WithWorkers(cfg.workers))

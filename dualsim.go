@@ -160,16 +160,22 @@ const (
 	// Reference is the executable denotational semantics — exponential,
 	// only for tiny stores and testing.
 	Reference
+	// Volcano streams rows through an Open/Next/Close iterator tree over
+	// a cost-based plan (join reordering, filter and LIMIT pushdown). The
+	// session default, and the engine behind the incremental exec path.
+	Volcano
 )
 
 func (k EngineKind) engine() engine.Engine {
 	switch k {
+	case HashJoin:
+		return engine.NewHashJoin()
 	case IndexNL:
 		return engine.NewIndexNL()
 	case Reference:
 		return engine.NewReference()
 	default:
-		return engine.NewHashJoin()
+		return engine.NewVolcano()
 	}
 }
 

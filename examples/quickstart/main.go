@@ -10,9 +10,11 @@
 // snapshots, the session is served over HTTP — the dualsimd subsystem —
 // through the typed Go client, the database is made durable (a
 // WAL-logged apply survives Close and OpenDir warm-restarts it from
-// disk at the same epoch), and the final step scales out: the store
-// partitioned over two predicate-hash shards with a scatter-gather
-// router answering (X1) exactly like the single node.
+// disk at the same epoch), the store scales out — partitioned over two
+// predicate-hash shards with a scatter-gather router answering (X1)
+// exactly like the single node — and step 10 runs a FILTER + LIMIT
+// query through the streaming Volcano executor, printing the cost-based
+// planner's decisions and per-operator row counters from ExecStats.
 package main
 
 import (
@@ -312,6 +314,55 @@ func main() {
 	fmt.Printf("\nscatter-gather (X1) through the router: %d rows over 2 shards\n", len(routed.Rows))
 	if len(routed.Rows) != 2 { // the original Fig. 1(a) store: De Palma and Hamilton
 		fmt.Fprintln(os.Stderr, "router answers diverge from the single node")
+		os.Exit(1)
+	}
+
+	// --- Step 10: filters, cost-based planning, streaming ---------------
+	// The default session engine is the streaming Volcano executor behind
+	// the cost-based planner: FILTER and LIMIT/OFFSET are part of the
+	// query surface, the planner orders joins sparsest-first and sinks
+	// filter conjuncts below the joins that bind their variables, and
+	// ExecStats documents each decision plus per-operator row counters.
+	// pq.Stream returns a cursor — the first row is available before the
+	// last one is computed; dualsimd's ?stream=1 path pulls from the same
+	// iterator. See examples/filters for the full query-language surface.
+	vdb, err := dualsim.Open(st)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer vdb.Close()
+	fpq, err := vdb.Prepare(`
+SELECT * WHERE {
+  ?director <directed> ?movie .
+  ?director <born_in> ?city .
+  ?city <population> ?pop .
+  FILTER(?pop > 100000 && ?director != <G._Hamilton>) } LIMIT 3`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows, err := fpq.Stream(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	filtered := 0
+	for rows.Next() {
+		filtered++
+	}
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
+	}
+	rows.Close()
+	fstats := rows.Stats()
+	fmt.Printf("\nfiltered (X1 + population filter) streams %d row(s)\nplanner decisions:\n", filtered)
+	for _, d := range fstats.PlanDecisions {
+		fmt.Printf("  %s\n", d)
+	}
+	fmt.Println("operator tree (execution order, with row counters):")
+	for _, op := range fstats.Operators {
+		fmt.Printf("  %-9s %-32s rows=%d\n", op.Op, op.Detail, op.Rows)
+	}
+	if filtered != 1 { // only De Palma: Hamilton is filtered out, the rest lack born_in
+		fmt.Fprintln(os.Stderr, "expected exactly B. De Palma through the filter")
 		os.Exit(1)
 	}
 }

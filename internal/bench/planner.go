@@ -1,0 +1,187 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"dualsim"
+	"dualsim/internal/engine"
+	"dualsim/internal/plan"
+	"dualsim/internal/rdf"
+	"dualsim/internal/sparql"
+	"dualsim/internal/storage"
+)
+
+// PlannerRow is one planner/executor measurement: a baseline strategy
+// (declared pattern order, filter at the root, or full materialization)
+// against the optimized one (cost-based reorder, pushdown, or the
+// streaming cursor's first row).
+type PlannerRow struct {
+	Case      string        `json:"case"`
+	Baseline  time.Duration `json:"baseline"`
+	Optimized time.Duration `json:"optimized"`
+	Speedup   float64       `json:"speedup"`
+	Rows      int           `json:"rows"`
+}
+
+// plannerSkewStore builds a store with two-orders-of-magnitude predicate
+// skew: p:dense carries denseN triples over denseN subjects, p:sparse
+// only sparseN, all landing on a shared hub. A join written dense-first
+// forces the declared-order plan through the large relation before the
+// sparse one can restrict it.
+func plannerSkewStore(denseN, sparseN int) (*storage.Store, error) {
+	ts := make([]rdf.Triple, 0, denseN+sparseN)
+	for i := 0; i < denseN; i++ {
+		ts = append(ts, rdf.T(fmt.Sprintf("s%d", i), "p:dense", fmt.Sprintf("o%d", i%97)))
+	}
+	for i := 0; i < sparseN; i++ {
+		ts = append(ts, rdf.T(fmt.Sprintf("s%d", i), "p:sparse", "hub"))
+	}
+	return storage.FromTriples(ts)
+}
+
+// Planner measures what the cost-based planner and the streaming
+// executor buy over the ablated paths: greedy join reordering and filter
+// pushdown on a predicate-skewed store, and time-to-first-row of the
+// cursor against full materialization on the LUBM store.
+func Planner(d *Datasets, repeats int) ([]PlannerRow, error) {
+	st, err := plannerSkewStore(40_000, 40)
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+
+	// run times Compile+Drain under the given planner options.
+	run := func(q *sparql.Query, opts plan.Options) (time.Duration, int, error) {
+		var n int
+		var evalErr error
+		dur := timeIt(repeats, func() {
+			ex, err := engine.Compile(st, q, opts)
+			if err != nil {
+				evalErr = err
+				return
+			}
+			res, err := engine.Drain(ctx, ex)
+			if err != nil {
+				evalErr = err
+				return
+			}
+			n = res.Len()
+		})
+		return dur, n, evalErr
+	}
+
+	row := func(name, src string, ablation plan.Options) (PlannerRow, error) {
+		q, err := sparql.Parse(src)
+		if err != nil {
+			return PlannerRow{}, err
+		}
+		base, n, err := run(q, ablation)
+		if err != nil {
+			return PlannerRow{}, err
+		}
+		opt, _, err := run(q, plan.Options{})
+		if err != nil {
+			return PlannerRow{}, err
+		}
+		return PlannerRow{Case: name, Baseline: base, Optimized: opt, Speedup: speedup(base, opt), Rows: n}, nil
+	}
+
+	var rows []PlannerRow
+	r, err := row("join reorder, skewed store",
+		`SELECT * WHERE { ?s <p:dense> ?o . ?s <p:sparse> ?h . }`,
+		plan.Options{DisableReorder: true})
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, r)
+
+	r, err = row("filter pushdown, skewed store",
+		`SELECT * WHERE { ?s <p:dense> ?o . ?s <p:sparse> ?h . FILTER(?o = <o13>) }`,
+		plan.Options{DisablePushdown: true, DisableReorder: true})
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, r)
+
+	r, err = firstRowRow(st, repeats)
+	if err != nil {
+		return nil, err
+	}
+	return append(rows, r), nil
+}
+
+// firstRowRow compares how long a caller waits for the first answer:
+// the materializing Exec path (baseline) against the cursor's first
+// Next (optimized), p50 over repeated runs of a dense scan whose full
+// answer is large enough that materialization dominates.
+func firstRowRow(st *storage.Store, repeats int) (PlannerRow, error) {
+	db, err := dualsim.Open(st)
+	if err != nil {
+		return PlannerRow{}, err
+	}
+	defer db.Close()
+	pq, err := db.Prepare(`SELECT * WHERE { ?s <p:dense> ?o . }`)
+	if err != nil {
+		return PlannerRow{}, err
+	}
+	ctx := context.Background()
+
+	samples := repeats * 5
+	if samples < 15 {
+		samples = 15
+	}
+	full := make([]time.Duration, 0, samples)
+	first := make([]time.Duration, 0, samples)
+	var n int
+	for i := 0; i < samples; i++ {
+		start := time.Now()
+		res, _, err := pq.Exec(ctx)
+		if err != nil {
+			return PlannerRow{}, err
+		}
+		full = append(full, time.Since(start))
+		n = res.Len()
+
+		start = time.Now()
+		cur, err := pq.Stream(ctx)
+		if err != nil {
+			return PlannerRow{}, err
+		}
+		cur.Next()
+		first = append(first, time.Since(start))
+		if err := cur.Close(); err != nil {
+			return PlannerRow{}, err
+		}
+	}
+	sort.Slice(full, func(i, j int) bool { return full[i] < full[j] })
+	sort.Slice(first, func(i, j int) bool { return first[i] < first[j] })
+	p50Full, p50First := Quantile(full, 0.5), Quantile(first, 0.5)
+	return PlannerRow{
+		Case: "first row p50, stream vs exec", Baseline: p50Full, Optimized: p50First,
+		Speedup: speedup(p50Full, p50First), Rows: n,
+	}, nil
+}
+
+func speedup(base, opt time.Duration) float64 {
+	if opt <= 0 {
+		return 0
+	}
+	return float64(base) / float64(opt)
+}
+
+// RenderPlanner prints the planner table.
+func RenderPlanner(w io.Writer, rows []PlannerRow) {
+	header := []string{"case", "baseline", "optimized", "speedup", "rows"}
+	cells := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Case, Millis(r.Baseline), Millis(r.Optimized),
+			fmt.Sprintf("%.1fx", r.Speedup), fmt.Sprintf("%d", r.Rows),
+		})
+	}
+	WriteTable(w, header, cells)
+}

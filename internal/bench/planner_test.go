@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPlannerInvariants(t *testing.T) {
+	d := tiny(t)
+	rows, err := Planner(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.Baseline <= 0 || r.Optimized <= 0 {
+			t.Fatalf("%s: non-positive timing %+v", r.Case, r)
+		}
+		if r.Speedup <= 0 {
+			t.Fatalf("%s: speedup %f", r.Case, r.Speedup)
+		}
+		if r.Rows <= 0 {
+			t.Fatalf("%s: empty result", r.Case)
+		}
+	}
+	// The acceptance property of the cost-based planner: on the skewed
+	// store the reordered plan beats the declared order outright.
+	if rows[0].Optimized >= rows[0].Baseline {
+		t.Fatalf("reorder: optimized %v not faster than declared order %v",
+			rows[0].Optimized, rows[0].Baseline)
+	}
+	var buf bytes.Buffer
+	RenderPlanner(&buf, rows)
+	out := buf.String()
+	for _, want := range []string{"case", "speedup", "join reorder", "first row"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table misses %q:\n%s", want, out)
+		}
+	}
+}

@@ -472,6 +472,42 @@ type branchResult struct {
 	epoch uint64
 }
 
+// applyLimit slices the deduplicated merge to the query's LIMIT/OFFSET
+// window. Rows are ordered canonically first (nil-first, then decoded
+// term text), so the window is deterministic across routings — set
+// semantics fixes no order, but a repeated query should not flap.
+func (b *branchResult) applyLimit(limit, offset int) {
+	if limit == 0 && offset == 0 {
+		return
+	}
+	sort.Slice(b.rows, func(i, j int) bool {
+		ri, rj := b.rows[i], b.rows[j]
+		for k := range ri {
+			li, lj := ri[k], rj[k]
+			switch {
+			case li == nil && lj == nil:
+				continue
+			case li == nil:
+				return true
+			case lj == nil:
+				return false
+			case *li != *lj:
+				return *li < *lj
+			}
+		}
+		return false
+	})
+	lo := offset
+	if lo > len(b.rows) {
+		lo = len(b.rows)
+	}
+	hi := len(b.rows)
+	if limit > 0 && lo+limit < hi {
+		hi = lo + limit
+	}
+	b.rows = b.rows[lo:hi]
+}
+
 // routedError carries an HTTP status through the execution path.
 type routedError struct {
 	status int
@@ -485,11 +521,19 @@ func failWith(status int, format string, args ...any) error {
 }
 
 // execQuery routes one query end-to-end: decompose, execute each branch
-// (push-down or gather), merge with union semantics.
+// (push-down or gather), merge with union semantics. A LIMIT travels
+// with each branch — truncating a branch to limit+offset distinct rows
+// cannot starve the merged answer, because the post-merge dedup only
+// shrinks row counts — and is re-applied (with the OFFSET) over the
+// deduplicated merge.
 func (r *Router) execQuery(ctx context.Context, src string) (*branchResult, error) {
 	q, err := dualsim.ParseQuery(src)
 	if err != nil {
 		return nil, failWith(http.StatusBadRequest, "%v", err)
+	}
+	pushLimit := 0
+	if q.Limit > 0 {
+		pushLimit = q.Limit + q.Offset
 	}
 	branches := topBranches(q.Expr)
 	results := make([]*branchResult, len(branches))
@@ -499,7 +543,7 @@ func (r *Router) execQuery(ctx context.Context, src string) (*branchResult, erro
 		wg.Add(1)
 		go func(i int, b sparql.Expr) {
 			defer wg.Done()
-			results[i], errs[i] = r.execBranch(ctx, b)
+			results[i], errs[i] = r.execBranch(ctx, b, pushLimit)
 		}(i, b)
 	}
 	wg.Wait()
@@ -514,15 +558,22 @@ func (r *Router) execQuery(ctx context.Context, src string) (*branchResult, erro
 	for _, br := range results[1:] {
 		merged = mergeUnion(merged, br)
 	}
+	merged.applyLimit(q.Limit, q.Offset)
 	return merged, nil
 }
 
-func (r *Router) execBranch(ctx context.Context, b sparql.Expr) (*branchResult, error) {
+func (r *Router) execBranch(ctx context.Context, b sparql.Expr, pushLimit int) (*branchResult, error) {
 	preds, hasVarPred := branchPreds(b)
 	if hasVarPred {
 		return nil, failWith(http.StatusBadRequest, "variable predicates are not supported")
 	}
 	src := "SELECT * WHERE " + b.String()
+	if pushLimit > 0 {
+		// Single-shard branches carry the bound all the way to the
+		// shard's own executor (which pushes it further down its plan);
+		// gather branches bound the local evaluation the same way.
+		src += fmt.Sprintf(" LIMIT %d", pushLimit)
+	}
 	if len(preds) == 0 {
 		// A constant-free pattern touches no shard; evaluate over an
 		// empty scratch store for exact (usually empty) semantics.

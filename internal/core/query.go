@@ -158,6 +158,12 @@ func (b *builder) build(e sparql.Expr) (*fragment, error) {
 			return nil, err
 		}
 		return b.combine(l, r, true), nil
+	case sparql.Filter:
+		// The pattern graph over-approximates the filtered pattern: every
+		// match of FILTER(Q, C) is a match of Q, so pruning against Q's
+		// pattern graph never loses a filtered answer. The condition is
+		// re-applied by the evaluation engines.
+		return b.build(x.Inner)
 	case sparql.Union:
 		return nil, fmt.Errorf("core: UNION must be split into branches before SOI construction")
 	default:

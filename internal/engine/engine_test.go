@@ -44,11 +44,11 @@ func fig1a(t *testing.T) *storage.Store {
 }
 
 func engines() []Engine {
-	return []Engine{NewHashJoin(), NewIndexNL(), NewReference()}
+	return []Engine{NewHashJoin(), NewIndexNL(), NewVolcano(), NewReference()}
 }
 
 func fastEngines() []Engine {
-	return []Engine{NewHashJoin(), NewIndexNL()}
+	return []Engine{NewHashJoin(), NewIndexNL(), NewVolcano()}
 }
 
 const queryX1 = `

@@ -30,7 +30,11 @@ func NewHashJoin() Engine { return hashJoinEngine{} }
 func (hashJoinEngine) Name() string { return "hashjoin" }
 
 func (hashJoinEngine) Evaluate(ctx context.Context, st *storage.Store, q *sparql.Query) (*Result, error) {
-	return evalExpr(ctx, st, q.Expr, hashJoinBGP)
+	res, err := evalExpr(ctx, st, q.Expr, hashJoinBGP)
+	if err != nil {
+		return nil, err
+	}
+	return applyLimit(res, q), nil
 }
 
 func hashJoinBGP(ctx context.Context, st *storage.Store, b sparql.BGP) (*Result, error) {
@@ -83,7 +87,11 @@ func NewIndexNL() Engine { return indexNLEngine{} }
 func (indexNLEngine) Name() string { return "indexnl" }
 
 func (indexNLEngine) Evaluate(ctx context.Context, st *storage.Store, q *sparql.Query) (*Result, error) {
-	return evalExpr(ctx, st, q.Expr, indexNLBGP)
+	res, err := evalExpr(ctx, st, q.Expr, indexNLBGP)
+	if err != nil {
+		return nil, err
+	}
+	return applyLimit(res, q), nil
 }
 
 func indexNLBGP(ctx context.Context, st *storage.Store, b sparql.BGP) (*Result, error) {
@@ -245,7 +253,11 @@ func NewReference() Engine { return referenceEngine{} }
 func (referenceEngine) Name() string { return "reference" }
 
 func (referenceEngine) Evaluate(ctx context.Context, st *storage.Store, q *sparql.Query) (*Result, error) {
-	return evalExpr(ctx, st, q.Expr, referenceBGP)
+	res, err := evalExpr(ctx, st, q.Expr, referenceBGP)
+	if err != nil {
+		return nil, err
+	}
+	return applyLimit(res, q), nil
 }
 
 func referenceBGP(ctx context.Context, st *storage.Store, b sparql.BGP) (*Result, error) {

@@ -54,6 +54,12 @@ func evalExpr(ctx context.Context, st *storage.Store, e sparql.Expr, bgp func(co
 			return nil, err
 		}
 		return union(l, r), nil
+	case sparql.Filter:
+		inner, err := evalExpr(ctx, st, x.Inner, bgp)
+		if err != nil {
+			return nil, err
+		}
+		return applyFilter(st, x.Cond, inner), nil
 	default:
 		return nil, fmt.Errorf("engine: unknown expression %T", e)
 	}

@@ -378,6 +378,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// dictionary, so a concurrent Apply (or even a compaction, which
 	// renumbers every node) cannot tear the response.
 	snap := s.session().Snapshot()
+
+	if wantsStream(r, req) {
+		// Incremental path: rows come straight off the executor's
+		// iterator tree — the header (and the first rows) are on the
+		// wire while later rows are still being computed.
+		rows, err := snap.QueryStream(ctx, req.Query)
+		if err != nil {
+			s.failExec(w, r, err)
+			return
+		}
+		defer rows.Close()
+		w.Header().Set("X-Dualsim-Epoch", strconv.FormatUint(rows.Stats().Epoch, 10))
+		s.streamRows(w, snap.Store(), rows, req.Limit)
+		return
+	}
+
 	res, stats, err := snap.Query(ctx, req.Query)
 	if err != nil {
 		s.failExec(w, r, err)
@@ -391,10 +407,6 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.rows.Add(int64(len(rows)))
 
 	w.Header().Set("X-Dualsim-Epoch", strconv.FormatUint(stats.Epoch, 10))
-	if wantsStream(r, req) {
-		s.streamResult(w, snap.Store(), res.Vars, rows, stats, truncated)
-		return
-	}
 	out := &wire.QueryResponse{
 		Vars:      append([]string{}, res.Vars...),
 		Rows:      decodeRows(snap.Store(), rows),
@@ -405,28 +417,54 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, out)
 }
 
-// streamResult writes the NDJSON shape: header, row chunks with
-// incremental flushes, stats trailer.
-func (s *Server) streamResult(w http.ResponseWriter, st *dualsim.Store, vars []string, rows [][]storage.NodeID, stats *dualsim.ExecStats, truncated bool) {
+// streamRows writes the NDJSON shape off a live cursor: header first
+// (flushed before any row is computed), then row events with incremental
+// flushes, then the stats trailer — or an error event if the execution
+// dies mid-stream, after the 200 was committed.
+func (s *Server) streamRows(w http.ResponseWriter, st *dualsim.Store, rows *dualsim.Rows, limit int) {
+	epoch := rows.Stats().Epoch
 	w.Header().Set("Content-Type", wire.ContentTypeNDJSON)
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
-	if err := enc.Encode(wire.Event{Kind: wire.EventHeader, Vars: vars, Epoch: stats.Epoch}); err != nil {
-		return // client gone; nothing to salvage mid-stream
-	}
-	for i, row := range rows {
-		if err := enc.Encode(wire.Event{Kind: wire.EventRow, Values: decodeRow(st, row), Epoch: stats.Epoch}); err != nil {
-			return
-		}
-		if flusher != nil && (i+1)%streamChunk == 0 {
+	flush := func() {
+		if flusher != nil {
 			flusher.Flush()
 		}
 	}
-	_ = enc.Encode(wire.Event{Kind: wire.EventStats, Stats: stats, Rows: len(rows), Truncated: truncated, Epoch: stats.Epoch})
-	if flusher != nil {
-		flusher.Flush()
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(wire.Event{Kind: wire.EventHeader, Vars: rows.Vars(), Epoch: epoch}); err != nil {
+		return // client gone; nothing to salvage mid-stream
 	}
+	flush()
+	n, truncated := 0, false
+	for rows.Next() {
+		if limit > 0 && n >= limit {
+			// The peek past the limit proves more rows exist; the row
+			// itself is dropped.
+			truncated = true
+			break
+		}
+		if err := enc.Encode(wire.Event{Kind: wire.EventRow, Values: decodeRow(st, rows.Row()), Epoch: epoch}); err != nil {
+			return
+		}
+		n++
+		if n == 1 || n%streamChunk == 0 {
+			flush()
+		}
+	}
+	if err := rows.Err(); err != nil {
+		// The status line is long gone; the in-band error event is the
+		// only way to tell the client the stream is dead, not complete.
+		_ = enc.Encode(wire.Event{Kind: wire.EventError, Error: err.Error(), Epoch: epoch})
+		flush()
+		return
+	}
+	rows.Close()
+	stats := rows.Stats()
+	s.solverRounds.Add(int64(stats.Solver.Rounds))
+	s.rows.Add(int64(n))
+	_ = enc.Encode(wire.Event{Kind: wire.EventStats, Stats: stats, Rows: n, Truncated: truncated, Epoch: epoch})
+	flush()
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {

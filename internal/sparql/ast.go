@@ -59,7 +59,8 @@ func (tp TriplePattern) String() string {
 	return fmt.Sprintf("%s %s %s .", tp.S, tp.P, tp.O)
 }
 
-// Expr is a graph pattern expression: BGP, And, Optional or Union.
+// Expr is a graph pattern expression: BGP, And, Optional, Union or
+// Filter.
 type Expr interface {
 	isExpr()
 	String() string
@@ -77,10 +78,18 @@ type Optional struct{ L, R Expr }
 // Union is Q1 UNION Q2.
 type Union struct{ L, R Expr }
 
+// Filter is Q FILTER(C): the mappings of Q whose condition evaluates to
+// true (errors — e.g. comparisons on unbound variables — drop the row).
+type Filter struct {
+	Inner Expr
+	Cond  Condition
+}
+
 func (BGP) isExpr()      {}
 func (And) isExpr()      {}
 func (Optional) isExpr() {}
 func (Union) isExpr()    {}
+func (Filter) isExpr()   {}
 
 // String renders every expression in re-parseable concrete syntax, so
 // Parse(q.String()) reproduces the query.
@@ -113,13 +122,28 @@ func (u Union) String() string {
 	return "{ " + u.L.String() + " UNION " + u.R.String() + " }"
 }
 
-// Query is a SELECT * query over one graph pattern.
+func (f Filter) String() string {
+	return "{ " + f.Inner.String() + " FILTER(" + f.Cond.String() + ") }"
+}
+
+// Query is a SELECT * query over one graph pattern, optionally truncated
+// by a LIMIT/OFFSET solution-set modifier. Limit 0 means "no limit" (the
+// parser rejects a literal LIMIT 0), Offset 0 means "no offset".
 type Query struct {
-	Expr Expr
+	Expr   Expr
+	Limit  int
+	Offset int
 }
 
 func (q *Query) String() string {
-	return "SELECT * WHERE " + q.Expr.String()
+	s := "SELECT * WHERE " + q.Expr.String()
+	if q.Limit > 0 {
+		s += fmt.Sprintf(" LIMIT %d", q.Limit)
+	}
+	if q.Offset > 0 {
+		s += fmt.Sprintf(" OFFSET %d", q.Offset)
+	}
+	return s
 }
 
 // Vars returns vars(e): every variable occurring in e, sorted.
@@ -160,6 +184,9 @@ func collectVars(e Expr, set map[string]bool) {
 	case Union:
 		collectVars(x.L, set)
 		collectVars(x.R, set)
+	case Filter:
+		collectVars(x.Inner, set)
+		CondVars(x.Cond, set)
 	}
 }
 
@@ -190,6 +217,10 @@ func Mand(e Expr) map[string]bool {
 			}
 		}
 		return out
+	case Filter:
+		// A filter only removes rows; the surviving rows bind at least
+		// the mandatory variables of the inner pattern.
+		return Mand(x.Inner)
 	}
 	return nil
 }
@@ -212,6 +243,8 @@ func wellDesignedRec(e Expr, total map[string]int) bool {
 		return wellDesignedRec(x.L, total) && wellDesignedRec(x.R, total)
 	case Union:
 		return wellDesignedRec(x.L, total) && wellDesignedRec(x.R, total)
+	case Filter:
+		return wellDesignedRec(x.Inner, total)
 	case Optional:
 		// Occurrences inside this whole optional pattern.
 		inside := make(map[string]int)
@@ -246,6 +279,15 @@ func countVarOccurrences(e Expr, counts map[string]int) {
 	case Union:
 		countVarOccurrences(x.L, counts)
 		countVarOccurrences(x.R, counts)
+	case Filter:
+		countVarOccurrences(x.Inner, counts)
+		// Condition variables count as occurrences: a filter mentioning an
+		// optional variable outside its OPTIONAL breaks well-designedness.
+		set := make(map[string]bool)
+		CondVars(x.Cond, set)
+		for v := range set {
+			counts[v]++
+		}
 	}
 }
 
@@ -260,6 +302,8 @@ func HasUnion(e Expr) bool {
 		return HasUnion(x.L) || HasUnion(x.R)
 	case Union:
 		return true
+	case Filter:
+		return HasUnion(x.Inner)
 	}
 	return false
 }
@@ -300,6 +344,14 @@ func UnionFreeBranches(e Expr) []Expr {
 			}
 		}
 		return out
+	case Filter:
+		// FILTER distributes exactly over UNION:
+		// (P1 UNION P2) FILTER C ≡ (P1 FILTER C) UNION (P2 FILTER C).
+		var out []Expr
+		for _, b := range UnionFreeBranches(x.Inner) {
+			out = append(out, Filter{Inner: b, Cond: x.Cond})
+		}
+		return out
 	}
 	return nil
 }
@@ -321,6 +373,8 @@ func Triples(e Expr) []TriplePattern {
 		case Union:
 			rec(x.L)
 			rec(x.R)
+		case Filter:
+			rec(x.Inner)
 		}
 	}
 	rec(e)

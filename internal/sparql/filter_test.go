@@ -1,0 +1,201 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseFilterComparison(t *testing.T) {
+	q := MustParse(`SELECT * WHERE { ?m <budget> ?b . FILTER(?b < "100") }`)
+	f, ok := q.Expr.(Filter)
+	if !ok {
+		t.Fatalf("Expr = %T, want Filter", q.Expr)
+	}
+	if _, ok := f.Inner.(BGP); !ok {
+		t.Fatalf("Inner = %T, want BGP", f.Inner)
+	}
+	cmp, ok := f.Cond.(Comparison)
+	if !ok {
+		t.Fatalf("Cond = %T, want Comparison", f.Cond)
+	}
+	if cmp.Op != OpLt || !cmp.L.IsVar() || cmp.L.Var != "b" {
+		t.Fatalf("cond = %v", cmp)
+	}
+	if cmp.R.IsVar() || cmp.R.Const == nil || cmp.R.Const.Value != "100" {
+		t.Fatalf("right operand = %v", cmp.R)
+	}
+}
+
+func TestParseFilterConnectives(t *testing.T) {
+	q := MustParse(`SELECT * WHERE {
+		?m <dir> ?d . OPTIONAL { ?m <seq> ?s . }
+		FILTER(bound(?s) || (!(?d = <kubrick>) && ?m != ?d)) }`)
+	f, ok := q.Expr.(Filter)
+	if !ok {
+		t.Fatalf("Expr = %T, want Filter", q.Expr)
+	}
+	or, ok := f.Cond.(CondOr)
+	if !ok {
+		t.Fatalf("Cond = %T, want CondOr", f.Cond)
+	}
+	if _, ok := or.L.(Bound); !ok {
+		t.Fatalf("or.L = %T, want Bound", or.L)
+	}
+	and, ok := or.R.(CondAnd)
+	if !ok {
+		t.Fatalf("or.R = %T, want CondAnd", or.R)
+	}
+	if _, ok := and.L.(CondNot); !ok {
+		t.Fatalf("and.L = %T, want CondNot", and.L)
+	}
+}
+
+func TestFilterVars(t *testing.T) {
+	q := MustParse(`SELECT * WHERE { ?m <dir> ?d . FILTER(?d != <x> && bound(?other)) }`)
+	vars := Vars(q.Expr)
+	want := map[string]bool{"m": true, "d": true, "other": true}
+	if len(vars) != len(want) {
+		t.Fatalf("Vars() = %v, want %v", vars, want)
+	}
+	for _, v := range vars {
+		if !want[v] {
+			t.Fatalf("unexpected var %q in %v", v, vars)
+		}
+	}
+}
+
+func TestMultipleFiltersConjoin(t *testing.T) {
+	q := MustParse(`SELECT * WHERE { ?m <dir> ?d . FILTER(?d != <a>) FILTER(?d != <b>) }`)
+	f, ok := q.Expr.(Filter)
+	if !ok {
+		t.Fatalf("Expr = %T, want Filter", q.Expr)
+	}
+	if _, ok := f.Cond.(CondAnd); !ok {
+		t.Fatalf("Cond = %T, want the two FILTERs conjoined as CondAnd", f.Cond)
+	}
+	if got := len(Conjuncts(f.Cond)); got != 2 {
+		t.Fatalf("Conjuncts = %d, want 2", got)
+	}
+}
+
+func TestParseLimitOffset(t *testing.T) {
+	q := MustParse(`SELECT * WHERE { ?s <p> ?o . } LIMIT 10 OFFSET 5`)
+	if q.Limit != 10 || q.Offset != 5 {
+		t.Fatalf("limit/offset = %d/%d, want 10/5", q.Limit, q.Offset)
+	}
+	// Either order is accepted.
+	q = MustParse(`SELECT * WHERE { ?s <p> ?o . } OFFSET 5 LIMIT 10`)
+	if q.Limit != 10 || q.Offset != 5 {
+		t.Fatalf("limit/offset = %d/%d, want 10/5", q.Limit, q.Offset)
+	}
+	// OFFSET 0 is legal and normalizes away.
+	q = MustParse(`SELECT * WHERE { ?s <p> ?o . } OFFSET 0`)
+	if q.Limit != 0 || q.Offset != 0 {
+		t.Fatalf("limit/offset = %d/%d, want 0/0", q.Limit, q.Offset)
+	}
+	if strings.Contains(q.String(), "OFFSET") {
+		t.Fatalf("OFFSET 0 survived printing: %s", q.String())
+	}
+}
+
+func TestParseLimitErrors(t *testing.T) {
+	for _, src := range []string{
+		`SELECT * WHERE { ?s <p> ?o . } LIMIT 0`,
+		`SELECT * WHERE { ?s <p> ?o . } LIMIT -3`,
+		`SELECT * WHERE { ?s <p> ?o . } LIMIT 5 LIMIT 6`,
+		`SELECT * WHERE { ?s <p> ?o . } OFFSET 1 OFFSET 2`,
+		`SELECT * WHERE { ?s <p> ?o . } OFFSET -1`,
+		`SELECT * WHERE { ?s <p> ?o . } LIMIT ?x`,
+		`SELECT * WHERE { ?s <p> ?o . } LIMIT`,
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseFilterErrors(t *testing.T) {
+	for _, src := range []string{
+		`SELECT * WHERE { ?s <p> ?o . FILTER ?s = <x> }`,     // missing parens
+		`SELECT * WHERE { ?s <p> ?o . FILTER(?s = ) }`,       // missing operand
+		`SELECT * WHERE { ?s <p> ?o . FILTER(?s) }`,          // bare operand
+		`SELECT * WHERE { ?s <p> ?o . FILTER(?s == ?o) }`,    // not an operator
+		`SELECT * WHERE { ?s <p> ?o . FILTER(?s = ?o }`,      // unclosed paren
+		`SELECT * WHERE { ?s <p> ?o . FILTER(bound(<x>)) }`,  // bound wants a var
+		`SELECT * WHERE { ?s <p> ?o . FILTER(?s & ?o) }`,     // lone &
+		`SELECT * WHERE { FILTER(?s = ?o) . ?s <p> FILTER }`, // keyword as term
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestLessThanVersusIRI(t *testing.T) {
+	// `<` immediately followed by a `>`-terminated word is an IRI…
+	q := MustParse(`SELECT * WHERE { ?s <p> ?o . FILTER(?o = <iri>) }`)
+	cmp := q.Expr.(Filter).Cond.(Comparison)
+	if cmp.R.Const == nil || cmp.R.Const.Value != "iri" {
+		t.Fatalf("right operand = %v, want IRI iri", cmp.R)
+	}
+	// …while `<` followed by whitespace is the comparison operator.
+	q = MustParse(`SELECT * WHERE { ?s <p> ?o . FILTER(?o < ?s) }`)
+	if op := q.Expr.(Filter).Cond.(Comparison).Op; op != OpLt {
+		t.Fatalf("op = %q, want <", op)
+	}
+	// `<=` is never an IRI opener.
+	q = MustParse(`SELECT * WHERE { ?s <p> ?o . FILTER(?o <= ?s) }`)
+	if op := q.Expr.(Filter).Cond.(Comparison).Op; op != OpLe {
+		t.Fatalf("op = %q, want <=", op)
+	}
+}
+
+func TestFilterStringRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		`SELECT * WHERE { ?m <dir> ?d . FILTER(?d != <kubrick>) }`,
+		`SELECT * WHERE { ?m <dir> ?d . FILTER((?d != <a> && bound(?d)) || !(?m = ?d)) }`,
+		`SELECT * WHERE { { ?m <dir> ?d . FILTER(?d = "x") } UNION { ?m <prod> ?d . } } LIMIT 3 OFFSET 1`,
+		`SELECT * WHERE { ?m <budget> ?b . FILTER(?b >= 100) } LIMIT 7`,
+	} {
+		q1 := MustParse(src)
+		printed := q1.String()
+		q2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("reparse of %q failed: %v", printed, err)
+		}
+		if got := q2.String(); got != printed {
+			t.Fatalf("print→parse→print not a fixpoint:\n  first  %q\n  second %q", printed, got)
+		}
+	}
+}
+
+func TestErrorsCarryLineColumn(t *testing.T) {
+	_, err := Parse("SELECT * WHERE {\n  ?s <p> ?o .\n  FILTER(?s == ?o)\n}")
+	if err == nil {
+		t.Fatal("Parse succeeded, want error")
+	}
+	if !strings.Contains(err.Error(), "line 3:") {
+		t.Fatalf("err = %v, want a line 3 location", err)
+	}
+	if !strings.Contains(err.Error(), "offset ") {
+		t.Fatalf("err = %v, want byte offset alongside line:column", err)
+	}
+}
+
+func TestLocCountsLinesAndColumns(t *testing.T) {
+	input := "ab\ncd\nef"
+	for _, tc := range []struct {
+		off  int
+		want string
+	}{
+		{0, "line 1:1 (offset 0)"},
+		{2, "line 1:3 (offset 2)"},
+		{3, "line 2:1 (offset 3)"},
+		{7, "line 3:2 (offset 7)"},
+		{99, "line 3:3 (offset 8)"}, // clamped to len(input)
+	} {
+		if got := Loc(input, tc.off); got != tc.want {
+			t.Errorf("Loc(%d) = %q, want %q", tc.off, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package sparql
+
+import "testing"
+
+// FuzzParse drives the parser with arbitrary input. Two properties are
+// enforced: Parse never panics (errors are fine), and any accepted query
+// prints to a form the parser accepts again with an identical second
+// printing — print→parse→print is a fixpoint, the invariant the planner,
+// the plan cache's normalization and the cluster router's branch
+// re-parsing all lean on.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		`SELECT * WHERE { ?s <p> ?o . }`,
+		`SELECT * WHERE { ?d directed ?m . ?d worked_with ?c . }`,
+		`SELECT * WHERE { ?d directed ?m . OPTIONAL { ?d worked_with ?c . } }`,
+		`SELECT * WHERE { { ?a <p> ?b . } UNION { ?a <q> ?b . } }`,
+		`SELECT * WHERE { ?m <dir> ?d . FILTER(?d != <kubrick>) }`,
+		`SELECT * WHERE { ?m <b> ?x . FILTER((?x >= 100 && bound(?x)) || !(?m = ?x)) }`,
+		`SELECT * WHERE { ?s <p> "lit with \"escape\"" . } LIMIT 10 OFFSET 2`,
+		`SELECT * WHERE { ?s ?p ?o }`,
+		`SELECT * WHERE { }`,
+		"SELECT * WHERE {\n # comment\n ?s <p> ?o . } LIMIT 3",
+		`select * where { ?s <p> 'single' . FILTER(?s < 5) } limit 1 offset 1`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		printed := q.String()
+		q2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its printing %q: %v", src, printed, err)
+		}
+		if again := q2.String(); again != printed {
+			t.Fatalf("print→parse→print not a fixpoint:\n  input  %q\n  first  %q\n  second %q", src, printed, again)
+		}
+	})
+}

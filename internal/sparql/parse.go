@@ -2,30 +2,35 @@ package sparql
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"unicode"
 )
 
 // Parse parses the concrete syntax
 //
-//	SELECT * WHERE { pattern }
+//	SELECT * WHERE { pattern } [LIMIT n] [OFFSET n]
 //
 // where pattern is a sequence of triple patterns separated by optional
-// dots, sub-groups `{ … }`, `OPTIONAL { … }` clauses and `{…} UNION {…}`
-// alternations. Terms are variables (?name), IRIs (<iri> or bare words)
-// and literals ("text", object position only). Comment lines start with
+// dots, sub-groups `{ … }`, `OPTIONAL { … }` clauses, `{…} UNION {…}`
+// alternations and `FILTER( condition )` constraints. Terms are variables
+// (?name), IRIs (<iri> or bare words) and literals ("text", object
+// position only). Conditions combine comparisons (= != < <= > >=) and
+// bound(?v) with && / || / ! and parentheses. Comment lines start with
 // '#'.
 //
 // Juxtaposition inside a group denotes conjunction: triple patterns
 // accumulate into one BGP, sub-groups and OPTIONAL clauses combine with
-// the accumulated pattern via AND and OPTIONAL, exactly the standard
-// SPARQL-algebra group translation.
+// the accumulated pattern via AND and OPTIONAL, and FILTERs constrain the
+// whole group — exactly the standard SPARQL-algebra group translation.
+//
+// Errors carry the position as line:column plus the byte offset.
 func Parse(input string) (*Query, error) {
 	toks, err := lex(input)
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks}
+	p := &parser{input: input, toks: toks}
 	if err := p.keyword("SELECT"); err != nil {
 		return nil, err
 	}
@@ -39,10 +44,43 @@ func Parse(input string) (*Query, error) {
 	if err != nil {
 		return nil, err
 	}
-	if !p.eof() {
-		return nil, fmt.Errorf("sparql: trailing input at %q", p.peek().text)
+	q := &Query{Expr: expr}
+	seenLimit, seenOffset := false, false
+	for !p.eof() {
+		switch {
+		case p.isWord("LIMIT"):
+			if seenLimit {
+				return nil, p.errf(p.peek().pos, "duplicate LIMIT")
+			}
+			p.next()
+			n, err := p.intWord()
+			if err != nil {
+				return nil, err
+			}
+			if n <= 0 {
+				return nil, p.errf(p.peek().pos, "LIMIT must be positive, got %d", n)
+			}
+			q.Limit = n
+			seenLimit = true
+		case p.isWord("OFFSET"):
+			if seenOffset {
+				return nil, p.errf(p.peek().pos, "duplicate OFFSET")
+			}
+			p.next()
+			n, err := p.intWord()
+			if err != nil {
+				return nil, err
+			}
+			if n < 0 {
+				return nil, p.errf(p.peek().pos, "OFFSET must be non-negative, got %d", n)
+			}
+			q.Offset = n
+			seenOffset = true
+		default:
+			return nil, p.errf(p.peek().pos, "trailing input at %q", p.peek().text)
+		}
 	}
-	return &Query{Expr: expr}, nil
+	return q, nil
 }
 
 // MustParse is Parse for tests and fixtures; it panics on error.
@@ -52,6 +90,25 @@ func MustParse(input string) *Query {
 		panic(err)
 	}
 	return q
+}
+
+// Loc renders a byte offset into input as "line L:C (offset N)", counting
+// lines from 1 and columns in bytes from 1 — the location format every
+// parse error carries.
+func Loc(input string, off int) string {
+	if off > len(input) {
+		off = len(input)
+	}
+	line, col := 1, 1
+	for i := 0; i < off; i++ {
+		if input[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return fmt.Sprintf("line %d:%d (offset %d)", line, col, off)
 }
 
 type tokKind uint8
@@ -64,8 +121,11 @@ const (
 	tokWord // bare word or keyword
 	tokLBrace
 	tokRBrace
+	tokLParen
+	tokRParen
 	tokDot
 	tokStar
+	tokOp // comparison or boolean operator: = != < <= > >= && || !
 )
 
 type token struct {
@@ -76,6 +136,9 @@ type token struct {
 
 func lex(input string) ([]token, error) {
 	var toks []token
+	errf := func(off int, format string, args ...any) error {
+		return fmt.Errorf("sparql: "+format+" at %s", append(args, Loc(input, off))...)
+	}
 	i := 0
 	n := len(input)
 	for i < n {
@@ -93,12 +156,51 @@ func lex(input string) ([]token, error) {
 		case c == '}':
 			toks = append(toks, token{tokRBrace, "}", i})
 			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
 		case c == '.':
 			toks = append(toks, token{tokDot, ".", i})
 			i++
 		case c == '*':
 			toks = append(toks, token{tokStar, "*", i})
 			i++
+		case c == '=':
+			toks = append(toks, token{tokOp, "=", i})
+			i++
+		case c == '!':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, token{tokOp, "!=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokOp, "!", i})
+				i++
+			}
+		case c == '&':
+			if i+1 < n && input[i+1] == '&' {
+				toks = append(toks, token{tokOp, "&&", i})
+				i += 2
+			} else {
+				return nil, errf(i, "unexpected character %q (want &&)", c)
+			}
+		case c == '|':
+			if i+1 < n && input[i+1] == '|' {
+				toks = append(toks, token{tokOp, "||", i})
+				i += 2
+			} else {
+				return nil, errf(i, "unexpected character %q (want ||)", c)
+			}
+		case c == '>':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, token{tokOp, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokOp, ">", i})
+				i++
+			}
 		case c == '?' || c == '$':
 			start := i + 1
 			i++
@@ -106,16 +208,29 @@ func lex(input string) ([]token, error) {
 				i++
 			}
 			if i == start {
-				return nil, fmt.Errorf("sparql: empty variable name at offset %d", start-1)
+				return nil, errf(start-1, "empty variable name")
 			}
 			toks = append(toks, token{tokVar, input[start:i], start})
 		case c == '<':
-			end := strings.IndexByte(input[i:], '>')
-			if end < 0 {
-				return nil, fmt.Errorf("sparql: unterminated IRI at offset %d", i)
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, token{tokOp, "<=", i})
+				i += 2
+				break
 			}
-			toks = append(toks, token{tokIRI, input[i+1 : i+end], i})
-			i += end + 1
+			// `<` opens an IRI iff a matching `>` appears before any
+			// whitespace; otherwise it is the less-than operator (so
+			// `FILTER(?x < ?y)` and `<iri>` coexist).
+			j := i + 1
+			for j < n && input[j] != '>' && !unicode.IsSpace(rune(input[j])) {
+				j++
+			}
+			if j < n && input[j] == '>' {
+				toks = append(toks, token{tokIRI, input[i+1 : j], i})
+				i = j + 1
+			} else {
+				toks = append(toks, token{tokOp, "<", i})
+				i++
+			}
 		case c == '"' || c == '\'':
 			quote := c
 			j := i + 1
@@ -128,10 +243,12 @@ func lex(input string) ([]token, error) {
 						sb.WriteByte('\n')
 					case 't':
 						sb.WriteByte('\t')
+					case 'r':
+						sb.WriteByte('\r')
 					case '\\', '"', '\'':
 						sb.WriteByte(input[j])
 					default:
-						return nil, fmt.Errorf("sparql: unknown escape \\%c at offset %d", input[j], j)
+						return nil, errf(j, "unknown escape \\%c", input[j])
 					}
 				} else {
 					sb.WriteByte(input[j])
@@ -139,7 +256,7 @@ func lex(input string) ([]token, error) {
 				j++
 			}
 			if j >= n {
-				return nil, fmt.Errorf("sparql: unterminated literal at offset %d", i)
+				return nil, errf(i, "unterminated literal")
 			}
 			toks = append(toks, token{tokLiteral, sb.String(), i})
 			i = j + 1
@@ -150,7 +267,7 @@ func lex(input string) ([]token, error) {
 			}
 			toks = append(toks, token{tokWord, input[start:i], start})
 		default:
-			return nil, fmt.Errorf("sparql: unexpected character %q at offset %d", c, i)
+			return nil, errf(i, "unexpected character %q", c)
 		}
 	}
 	toks = append(toks, token{tokEOF, "", n})
@@ -163,8 +280,9 @@ func isNameByte(c byte) bool {
 }
 
 type parser struct {
-	toks []token
-	i    int
+	input string
+	toks  []token
+	i     int
 }
 
 func (p *parser) peek() token { return p.toks[p.i] }
@@ -175,9 +293,20 @@ func (p *parser) isWord(w string) bool {
 	return t.kind == tokWord && strings.EqualFold(t.text, w)
 }
 
+func (p *parser) isOp(op string) bool {
+	t := p.peek()
+	return t.kind == tokOp && t.text == op
+}
+
+// errf builds a parse error carrying the line:column (and byte offset)
+// location of the offending token.
+func (p *parser) errf(off int, format string, args ...any) error {
+	return fmt.Errorf("sparql: "+format+" at %s", append(args, Loc(p.input, off))...)
+}
+
 func (p *parser) keyword(w string) error {
 	if !p.isWord(w) {
-		return fmt.Errorf("sparql: expected %s, got %q", w, p.peek().text)
+		return p.errf(p.peek().pos, "expected %s, got %q", w, p.peek().text)
 	}
 	p.next()
 	return nil
@@ -185,10 +314,24 @@ func (p *parser) keyword(w string) error {
 
 func (p *parser) expect(k tokKind) error {
 	if p.peek().kind != k {
-		return fmt.Errorf("sparql: unexpected token %q", p.peek().text)
+		return p.errf(p.peek().pos, "unexpected token %q", p.peek().text)
 	}
 	p.next()
 	return nil
+}
+
+// intWord consumes a bare integer (LIMIT/OFFSET argument).
+func (p *parser) intWord() (int, error) {
+	t := p.peek()
+	if t.kind != tokWord {
+		return 0, p.errf(t.pos, "expected integer, got %q", t.text)
+	}
+	n, err := strconv.Atoi(t.text)
+	if err != nil {
+		return 0, p.errf(t.pos, "expected integer, got %q", t.text)
+	}
+	p.next()
+	return n, nil
 }
 
 // group parses `{ … }` and returns its algebra translation.
@@ -198,6 +341,7 @@ func (p *parser) group() (Expr, error) {
 	}
 	var acc Expr
 	var bgp BGP
+	var conds []Condition
 
 	flushBGP := func() {
 		if bgp != nil {
@@ -215,11 +359,27 @@ func (p *parser) group() (Expr, error) {
 			if acc == nil {
 				acc = BGP{}
 			}
+			// FILTERs constrain the whole group, wherever they were
+			// written inside it (standard SPARQL group semantics).
+			if len(conds) > 0 {
+				c := conds[0]
+				for _, more := range conds[1:] {
+					c = CondAnd{L: c, R: more}
+				}
+				acc = Filter{Inner: acc, Cond: c}
+			}
 			return acc, nil
 		case t.kind == tokEOF:
-			return nil, fmt.Errorf("sparql: unterminated group")
+			return nil, p.errf(t.pos, "unterminated group")
 		case t.kind == tokDot:
 			p.next() // separator
+		case p.isWord("FILTER"):
+			p.next()
+			c, err := p.filterCond()
+			if err != nil {
+				return nil, err
+			}
+			conds = append(conds, c)
 		case p.isWord("OPTIONAL"):
 			p.next()
 			sub, err := p.groupOrUnion()
@@ -278,6 +438,156 @@ func joinExpr(acc, e Expr) Expr {
 	return And{L: acc, R: e}
 }
 
+// filterCond parses the parenthesized condition of a FILTER clause.
+func (p *parser) filterCond() (Condition, error) {
+	if p.peek().kind != tokLParen {
+		return nil, p.errf(p.peek().pos, "expected ( after FILTER, got %q", p.peek().text)
+	}
+	p.next()
+	c, err := p.orCond()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokRParen {
+		return nil, p.errf(p.peek().pos, "expected ) to close FILTER, got %q", p.peek().text)
+	}
+	p.next()
+	return c, nil
+}
+
+// orCond := andCond ( "||" andCond )*
+func (p *parser) orCond() (Condition, error) {
+	l, err := p.andCond()
+	if err != nil {
+		return nil, err
+	}
+	for p.isOp("||") {
+		p.next()
+		r, err := p.andCond()
+		if err != nil {
+			return nil, err
+		}
+		l = CondOr{L: l, R: r}
+	}
+	return l, nil
+}
+
+// andCond := unaryCond ( "&&" unaryCond )*
+func (p *parser) andCond() (Condition, error) {
+	l, err := p.unaryCond()
+	if err != nil {
+		return nil, err
+	}
+	for p.isOp("&&") {
+		p.next()
+		r, err := p.unaryCond()
+		if err != nil {
+			return nil, err
+		}
+		l = CondAnd{L: l, R: r}
+	}
+	return l, nil
+}
+
+// unaryCond := "!" unaryCond | primaryCond
+func (p *parser) unaryCond() (Condition, error) {
+	if p.isOp("!") {
+		p.next()
+		c, err := p.unaryCond()
+		if err != nil {
+			return nil, err
+		}
+		return CondNot{C: c}, nil
+	}
+	return p.primaryCond()
+}
+
+// primaryCond := "(" orCond ")" | "bound" "(" var ")" | operand cmp operand
+func (p *parser) primaryCond() (Condition, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokLParen:
+		p.next()
+		c, err := p.orCond()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().kind != tokRParen {
+			return nil, p.errf(p.peek().pos, "expected ), got %q", p.peek().text)
+		}
+		p.next()
+		return c, nil
+	case p.isWord("bound"):
+		p.next()
+		if p.peek().kind != tokLParen {
+			return nil, p.errf(p.peek().pos, "expected ( after bound, got %q", p.peek().text)
+		}
+		p.next()
+		v := p.peek()
+		if v.kind != tokVar {
+			return nil, p.errf(v.pos, "expected variable in bound(), got %q", v.text)
+		}
+		p.next()
+		if p.peek().kind != tokRParen {
+			return nil, p.errf(p.peek().pos, "expected ) to close bound(), got %q", p.peek().text)
+		}
+		p.next()
+		return Bound{Var: v.text}, nil
+	default:
+		l, err := p.condOperand()
+		if err != nil {
+			return nil, err
+		}
+		op := p.peek()
+		if op.kind != tokOp || !isCmpOp(op.text) {
+			return nil, p.errf(op.pos, "expected comparison operator, got %q", op.text)
+		}
+		p.next()
+		r, err := p.condOperand()
+		if err != nil {
+			return nil, err
+		}
+		return Comparison{Op: op.text, L: l, R: r}, nil
+	}
+}
+
+func isCmpOp(op string) bool {
+	switch op {
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		return true
+	}
+	return false
+}
+
+// condOperand parses a comparison operand: a variable, IRI, literal, or a
+// bare word (integers become literals, other words IRIs, matching the
+// triple-pattern term shorthand).
+func (p *parser) condOperand() (Term, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokVar:
+		p.next()
+		return V(t.text), nil
+	case tokIRI:
+		p.next()
+		return C(t.text), nil
+	case tokLiteral:
+		p.next()
+		return CL(t.text), nil
+	case tokWord:
+		if strings.EqualFold(t.text, "OPTIONAL") || strings.EqualFold(t.text, "UNION") || strings.EqualFold(t.text, "FILTER") {
+			return Term{}, p.errf(t.pos, "keyword %q in condition operand position", t.text)
+		}
+		p.next()
+		if _, err := strconv.Atoi(t.text); err == nil {
+			return CL(t.text), nil
+		}
+		return C(t.text), nil
+	default:
+		return Term{}, p.errf(t.pos, "unexpected token %q in condition", t.text)
+	}
+}
+
 func (p *parser) triplePattern() (TriplePattern, error) {
 	s, err := p.term(false)
 	if err != nil {
@@ -292,10 +602,10 @@ func (p *parser) triplePattern() (TriplePattern, error) {
 		return TriplePattern{}, err
 	}
 	if s.Const != nil && s.Const.IsLiteral() {
-		return TriplePattern{}, fmt.Errorf("sparql: literal in subject position")
+		return TriplePattern{}, p.errf(p.peek().pos, "literal in subject position")
 	}
 	if pr.Const != nil && pr.Const.IsLiteral() {
-		return TriplePattern{}, fmt.Errorf("sparql: literal in predicate position")
+		return TriplePattern{}, p.errf(p.peek().pos, "literal in predicate position")
 	}
 	return TriplePattern{S: s, P: pr, O: o}, nil
 }
@@ -310,18 +620,18 @@ func (p *parser) term(allowLiteral bool) (Term, error) {
 		p.next()
 		return C(t.text), nil
 	case tokWord:
-		if strings.EqualFold(t.text, "OPTIONAL") || strings.EqualFold(t.text, "UNION") {
-			return Term{}, fmt.Errorf("sparql: keyword %q in term position", t.text)
+		if strings.EqualFold(t.text, "OPTIONAL") || strings.EqualFold(t.text, "UNION") || strings.EqualFold(t.text, "FILTER") {
+			return Term{}, p.errf(t.pos, "keyword %q in term position", t.text)
 		}
 		p.next()
 		return C(t.text), nil
 	case tokLiteral:
 		if !allowLiteral {
-			return Term{}, fmt.Errorf("sparql: literal %q outside object position", t.text)
+			return Term{}, p.errf(t.pos, "literal %q outside object position", t.text)
 		}
 		p.next()
 		return CL(t.text), nil
 	default:
-		return Term{}, fmt.Errorf("sparql: unexpected token %q in triple pattern", t.text)
+		return Term{}, p.errf(t.pos, "unexpected token %q in triple pattern", t.text)
 	}
 }

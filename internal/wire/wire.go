@@ -128,10 +128,10 @@ type Event struct {
 	Rows      int                `json:"rows,omitempty"`
 	Truncated bool               `json:"truncated,omitempty"`
 	// Error (error) is the failure message of a stream that died after
-	// the 200 status was committed. Reserved: today's server
-	// materializes the result before streaming, so the event is never
-	// emitted — but clients must handle it (client.Stream does) so an
-	// incremental execution path can be added without a protocol break.
+	// the 200 status was committed: rows are computed incrementally off
+	// the executor's iterator tree, so a timeout or cancellation can
+	// strike mid-stream — the error event replaces the stats trailer
+	// and tells the client the stream is dead, not complete.
 	Error string `json:"error,omitempty"`
 }
 

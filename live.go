@@ -444,3 +444,22 @@ func (s *Snapshot) Query(ctx context.Context, src string) (*Result, *ExecStats, 
 	}
 	return res, stats, err
 }
+
+// QueryStream resolves src through the session's plan cache (scoped to
+// the pinned epoch) and returns a streaming cursor over the pinned
+// snapshot: pruning runs eagerly, rows are computed as the caller pulls
+// them. The cache hit is reported in the cursor's Stats. The serving
+// layer's NDJSON streams are built on this — the first row can be on
+// the wire before the last one is computed.
+func (s *Snapshot) QueryStream(ctx context.Context, src string) (*Rows, error) {
+	pq, hit, err := s.db.prepareCached(s.snap, src, true)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := pq.Stream(ctx)
+	if err != nil {
+		return nil, err
+	}
+	rows.stats.CacheHit = hit
+	return rows, nil
+}

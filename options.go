@@ -40,7 +40,7 @@ type settings struct {
 }
 
 func defaultSettings() settings {
-	return settings{engine: HashJoin, pruning: true}
+	return settings{engine: Volcano, pruning: true}
 }
 
 // coreConfig lowers the session settings to the solver configuration,
@@ -57,11 +57,11 @@ func (s settings) coreConfig() core.Config {
 }
 
 // WithEngine selects the evaluation engine of the pipeline's final stage
-// (default HashJoin).
+// (default Volcano).
 func WithEngine(k EngineKind) Option {
 	return func(s *settings) error {
 		switch k {
-		case HashJoin, IndexNL, Reference:
+		case HashJoin, IndexNL, Reference, Volcano:
 			s.engine = k
 			return nil
 		default:

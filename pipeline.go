@@ -6,8 +6,26 @@ import (
 
 	"dualsim/internal/bitvec"
 	"dualsim/internal/core"
+	"dualsim/internal/engine"
 	"dualsim/internal/prune"
+	"dualsim/internal/sparql"
+	"dualsim/internal/storage"
 )
+
+// OperatorStats is the per-operator counter set of a streaming
+// execution: which physical operator ran (scan, extend, hashjoin,
+// filter, union, limit, distinct, …), over what pattern or condition,
+// the planner's cardinality estimate where one exists, and the rows it
+// actually produced. Reported in ExecStats.Operators when the session
+// engine is Volcano.
+type OperatorStats = engine.OperatorStats
+
+// streamEngine is the capability the Volcano engine adds over the plain
+// Engine interface: compiling a query to a streaming iterator tree whose
+// operator counters and planner decisions outlive the execution.
+type streamEngine interface {
+	Compile(st *storage.Store, q *sparql.Query) (*engine.Exec, error)
+}
 
 // Stage is one step of a prepared query's execution pipeline. The three
 // built-in stages compose the paper's architecture — an optional
@@ -105,9 +123,28 @@ func EvaluateStage() Stage {
 			target = x.pq.snap.st
 		}
 		ss.In = target.NumTriples()
-		res, err := x.pq.db.eng.Evaluate(ctx, target, x.pq.q)
-		if err != nil {
-			return err
+		var res *Result
+		if se, ok := x.pq.db.eng.(streamEngine); ok {
+			// Streaming engine: compile to the iterator tree so the
+			// per-operator counters and the optimizer's decision log
+			// survive into ExecStats, then drain it to keep the
+			// materializing contract of Exec.
+			ex, err := se.Compile(target, x.pq.q)
+			if err != nil {
+				return err
+			}
+			res, err = engine.Drain(ctx, ex)
+			x.stats.Operators = ex.Operators()
+			x.stats.PlanDecisions = ex.Decisions()
+			if err != nil {
+				return err
+			}
+		} else {
+			var err error
+			res, err = x.pq.db.eng.Evaluate(ctx, target, x.pq.q)
+			if err != nil {
+				return err
+			}
 		}
 		x.result = res
 		x.stats.Results = res.Len()
@@ -153,6 +190,14 @@ type ExecStats struct {
 	// Results is the number of solution mappings (0 when the pipeline
 	// has no evaluation stage).
 	Results int `json:"results"`
+	// Operators holds the streaming executor's per-operator counters,
+	// outermost operator first (only when the session engine is Volcano;
+	// empty for the materializing engines).
+	Operators []OperatorStats `json:"operators,omitempty"`
+	// PlanDecisions is the cost-based optimizer's decision log — one
+	// line per join reordering, filter pushdown or LIMIT pushdown it
+	// applied (only when the session engine is Volcano).
+	PlanDecisions []string `json:"planDecisions,omitempty"`
 	// Unsatisfiable reports that the solve proved the query empty (every
 	// UNION branch has an empty mandatory variable, Theorem 1).
 	Unsatisfiable bool `json:"unsatisfiable,omitempty"`

@@ -41,11 +41,29 @@ func TestStatsJSONFieldNames(t *testing.T) {
 		Stages:        []dualsim.StageStats{{Name: "prune", Duration: time.Millisecond, In: 10, Out: 4}},
 		Solver:        dualsim.Stats{Rounds: 2, Evaluations: 7, Updates: 3},
 		TriplesBefore: 10, TriplesAfter: 4, Results: 2, Epoch: 1, Duration: time.Millisecond,
+		Operators:     []dualsim.OperatorStats{{Op: "scan", Detail: "?s <p> ?o", EstRows: 4, Rows: 4}},
+		PlanDecisions: []string{"bgp: reordered 2 patterns sparsest-first"},
 	}
 	requireKeys("ExecStats", keysOf(es),
-		"stages", "solver", "triplesBefore", "triplesAfter", "results", "cacheHit", "epoch", "duration")
+		"stages", "solver", "triplesBefore", "triplesAfter", "results", "cacheHit", "epoch", "duration",
+		"operators", "planDecisions")
 	requireKeys("StageStats", keysOf(es.Stages[0]), "name", "duration", "in", "out")
 	requireKeys("Stats", keysOf(es.Solver), "rounds", "evaluations", "updates")
+	requireKeys("OperatorStats", keysOf(es.Operators[0]), "op", "detail", "estRows", "rows")
+	// A materializing engine reports no operator tree: both fields drop
+	// out of the wire form entirely rather than serializing as null.
+	if keys := keysOf(dualsim.ExecStats{}); keys["operators"] || keys["planDecisions"] {
+		t.Errorf("empty operators/planDecisions not omitted: %v", keys)
+	}
+	// An operator with no estimate or detail (e.g. a hash join) keeps
+	// its mandatory keys and drops the optional ones.
+	opKeys := keysOf(dualsim.OperatorStats{Op: "hashjoin"})
+	if !opKeys["op"] || !opKeys["rows"] {
+		t.Errorf("OperatorStats mandatory keys missing: %v", opKeys)
+	}
+	if opKeys["detail"] || opKeys["estRows"] {
+		t.Errorf("OperatorStats optional zero keys not omitted: %v", opKeys)
+	}
 
 	requireKeys("PlanCacheStats", keysOf(dualsim.PlanCacheStats{Capacity: 4, Hits: 1, Misses: 1}),
 		"capacity", "size", "hits", "misses")

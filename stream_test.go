@@ -1,0 +1,207 @@
+package dualsim_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"dualsim"
+	"dualsim/internal/queries"
+)
+
+// drainRows pulls every row off the cursor into a Result for set
+// comparison against the materializing path.
+func drainRows(t *testing.T, rows *dualsim.Rows) *dualsim.Result {
+	t.Helper()
+	out := &dualsim.Result{Vars: append([]string{}, rows.Vars()...)}
+	for rows.Next() {
+		out.Rows = append(out.Rows, rows.Row())
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestStreamMatchesExec: the cursor path delivers exactly the mapping
+// set of the materializing Exec path, and its finalized stats carry the
+// streaming executor's operator counters.
+func TestStreamMatchesExec(t *testing.T) {
+	st := fig1a(t)
+	db, err := dualsim.Open(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	pq, err := db.Prepare(queries.QueryX1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want, _, err := pq.Exec(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := pq.Stream(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	got := drainRows(t, rows)
+	if !got.Equal(want) {
+		t.Fatalf("stream rows != exec rows: %d vs %d", got.Len(), want.Len())
+	}
+
+	stats := rows.Stats()
+	if stats.Results != want.Len() {
+		t.Fatalf("stats.Results = %d, want %d", stats.Results, want.Len())
+	}
+	if es := stats.Stage("evaluate"); es == nil || es.Out != want.Len() {
+		t.Fatalf("evaluate stage = %+v, want Out %d", es, want.Len())
+	}
+	if ps := stats.Stage("prune"); ps == nil || ps.In != 20 || ps.Out != 4 {
+		t.Fatalf("prune stage = %+v, want 20 -> 4", ps)
+	}
+	if len(stats.Operators) == 0 {
+		t.Fatal("stats.Operators empty — streaming executor counters missing")
+	}
+	var sawScan bool
+	var produced int64
+	for _, op := range stats.Operators {
+		if op.Op == "scan" || op.Op == "extend" {
+			sawScan = true
+		}
+		produced += op.Rows
+	}
+	if !sawScan {
+		t.Fatalf("no scan/extend operator in %+v", stats.Operators)
+	}
+	if produced == 0 {
+		t.Fatal("operator row counters all zero after a non-empty stream")
+	}
+	if stats.Duration == 0 {
+		t.Fatal("stats.Duration not finalized")
+	}
+}
+
+// TestStreamEarlyClose: closing a cursor mid-stream finalizes stats at
+// the rows delivered so far and is idempotent.
+func TestStreamEarlyClose(t *testing.T) {
+	st := fig1a(t)
+	db, err := dualsim.Open(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	pq, err := db.Prepare(queries.QueryX1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := pq.Stream(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows.Next() {
+		t.Fatalf("no first row: %v", rows.Err())
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if rows.Next() {
+		t.Fatal("Next after Close returned a row")
+	}
+	if stats := rows.Stats(); stats.Results != 1 {
+		t.Fatalf("stats.Results = %d, want the 1 row pulled before Close", stats.Results)
+	}
+}
+
+// TestStreamCancellation: a cancelled context surfaces through Err, not
+// as a silent end of stream.
+func TestStreamCancellation(t *testing.T) {
+	st := fig1a(t)
+	db, err := dualsim.Open(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	pq, err := db.Prepare(queries.QueryX1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := pq.Stream(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Stream(cancelled) err = %v, want context.Canceled", err)
+	}
+}
+
+// TestStreamLimitPushdown: a LIMIT query streams exactly the window and
+// the executor records the limit operator.
+func TestStreamLimitPushdown(t *testing.T) {
+	st := fig1a(t)
+	db, err := dualsim.Open(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	pq, err := db.Prepare(`SELECT * WHERE { ?d <directed> ?m . } LIMIT 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := pq.Stream(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	got := drainRows(t, rows)
+	if got.Len() != 1 {
+		t.Fatalf("rows = %d, want 1", got.Len())
+	}
+	var sawLimit bool
+	for _, op := range rows.Stats().Operators {
+		if op.Op == "limit" {
+			sawLimit = true
+		}
+	}
+	if !sawLimit {
+		t.Fatalf("no limit operator in %+v", rows.Stats().Operators)
+	}
+}
+
+// TestSnapshotQueryStream: the pinned streaming entry point reports plan
+// cache traffic and answers from the pinned epoch.
+func TestSnapshotQueryStream(t *testing.T) {
+	st := fig1a(t)
+	db, err := dualsim.Open(st, dualsim.WithPlanCache(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	snap := db.Snapshot()
+	rows1, err := snap.QueryStream(context.Background(), queries.QueryX1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1 := drainRows(t, rows1).Len()
+	rows1.Close()
+	if rows1.Stats().CacheHit {
+		t.Fatal("first QueryStream reported a cache hit")
+	}
+	rows2, err := snap.QueryStream(context.Background(), queries.QueryX1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows2.Close()
+	if n2 := drainRows(t, rows2).Len(); n2 != n1 {
+		t.Fatalf("second stream %d rows, first %d", n2, n1)
+	}
+	if !rows2.Stats().CacheHit {
+		t.Fatal("second QueryStream missed the plan cache")
+	}
+	if rows2.Stats().Epoch != snap.Epoch() {
+		t.Fatalf("stream epoch %d, snapshot %d", rows2.Stats().Epoch, snap.Epoch())
+	}
+}
