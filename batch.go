@@ -4,8 +4,11 @@ import (
 	"context"
 	"errors"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
+
+	"dualsim/internal/trace"
 )
 
 // BatchRequest is one query of an ExecBatch call.
@@ -51,6 +54,10 @@ type BatchStats struct {
 	// Duration is the caller-observed wall time of the whole batch (0
 	// when summarized without timing).
 	Duration time.Duration `json:"duration"`
+	// Trace is the batch's span tree when tracing was enabled on the
+	// serving request: one child per batch query, each carrying its
+	// pipeline and operator spans. Nil by default.
+	Trace *trace.Span `json:"trace,omitempty"`
 }
 
 // SummarizeBatch folds per-request batch results into a BatchStats.
@@ -137,13 +144,21 @@ func (db *DB) ExecBatch(ctx context.Context, reqs []BatchRequest, opts ...BatchO
 		errOnce  sync.Once
 		firstErr error
 	)
+	parent := trace.SpanFromContext(ctx)
 	idx := make(chan int)
 	for w := 0; w < cfg.workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				out[i] = db.execOne(bctx, reqs[i])
+				sctx := bctx
+				sp := parent.StartChild("batch.query")
+				if sp != nil {
+					sp.SetAttr("index", strconv.Itoa(i))
+					sctx = trace.ContextWithSpan(bctx, sp)
+				}
+				out[i] = db.execOne(sctx, reqs[i])
+				sp.End()
 				if out[i].Err != nil {
 					err := out[i].Err
 					errOnce.Do(func() {
@@ -202,6 +217,7 @@ func (db *DB) execOne(ctx context.Context, req BatchRequest) BatchResult {
 			return BatchResult{Err: err}
 		}
 	}
+	recordPrepareSpans(ctx, pq, hit)
 	res, stats, err := pq.Exec(ctx)
 	if err != nil {
 		return BatchResult{Err: err}

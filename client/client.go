@@ -50,6 +50,8 @@ type (
 	HealthResponse     = wire.HealthResponse
 	ExportResponse     = wire.ExportResponse
 	WALEvent           = wire.WALEvent
+	ExplainResponse    = wire.ExplainResponse
+	SlowLogResponse    = wire.SlowLogResponse
 )
 
 // APIError is a non-2xx server reply.
@@ -150,9 +152,33 @@ func (c *Client) BaseURL() string { return c.base }
 // for end-to-end bounds.
 func (c *Client) Query(ctx context.Context, src string, opts ...QueryOpt) (*QueryResponse, error) {
 	o := collect(opts)
-	req := wire.QueryRequest{Query: src, TimeoutMs: o.timeoutMs, Limit: o.limit}
+	req := wire.QueryRequest{Query: src, TimeoutMs: o.timeoutMs, Limit: o.limit, Trace: o.trace}
 	var out QueryResponse
-	if err := c.doJSON(ctx, "POST", "/v1/query", &req, &out, true); err != nil {
+	if err := c.doJSONHdr(ctx, "POST", "/v1/query", &req, &out, true, o.header()); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Explain asks the server for the compiled plan of src without
+// executing it (mode "plan"), or with an instrumented execution behind
+// it (mode "analyze") — the serving form of EXPLAIN / EXPLAIN ANALYZE.
+func (c *Client) Explain(ctx context.Context, src, mode string, opts ...QueryOpt) (*ExplainResponse, error) {
+	o := collect(opts)
+	req := wire.QueryRequest{Query: src, TimeoutMs: o.timeoutMs, Explain: mode}
+	var out ExplainResponse
+	if err := c.doJSONHdr(ctx, "POST", "/v1/query", &req, &out, true, o.header()); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// SlowQueries fetches the server's slow-query ring (GET /v1/debug/slow),
+// newest first. A server without -slowlog answers with an empty ring and
+// threshold 0.
+func (c *Client) SlowQueries(ctx context.Context) (*SlowLogResponse, error) {
+	var out SlowLogResponse
+	if err := c.doJSON(ctx, "GET", "/v1/debug/slow", nil, &out, true); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -160,9 +186,19 @@ func (c *Client) Query(ctx context.Context, src string, opts ...QueryOpt) (*Quer
 
 // reqOpts is the resolved form of a QueryOpt list.
 type reqOpts struct {
-	timeoutMs int64
-	limit     int
-	failFast  bool
+	timeoutMs   int64
+	limit       int
+	failFast    bool
+	trace       bool
+	traceparent string
+}
+
+// header renders the option set's extra request headers (nil when none).
+func (o reqOpts) header() http.Header {
+	if o.traceparent == "" {
+		return nil
+	}
+	return http.Header{"Traceparent": []string{o.traceparent}}
 }
 
 func collect(opts []QueryOpt) reqOpts {
@@ -200,15 +236,29 @@ func FailFast() QueryOpt {
 	return func(r *reqOpts) { r.failFast = true }
 }
 
+// Trace asks the server for the request's span tree, returned in the
+// response stats (ExecStats.Trace) alongside the X-Dualsim-Trace
+// response header.
+func Trace() QueryOpt {
+	return func(r *reqOpts) { r.trace = true }
+}
+
+// Traceparent propagates an existing W3C trace context: the header is
+// sent verbatim, the server adopts its trace ID and returns the span
+// tree (a valid traceparent implies Trace).
+func Traceparent(tp string) QueryOpt {
+	return func(r *reqOpts) { r.traceparent = tp }
+}
+
 // Batch executes queries concurrently on the server's batch pool and
 // returns positional results, each with its own error slot — a failing
 // query does not fail the batch (unless FailFast is given, which
 // cancels the rest after the first failure).
 func (c *Client) Batch(ctx context.Context, srcs []string, opts ...QueryOpt) (*BatchResponse, error) {
 	o := collect(opts)
-	req := wire.BatchRequest{Queries: srcs, TimeoutMs: o.timeoutMs, Limit: o.limit, FailFast: o.failFast}
+	req := wire.BatchRequest{Queries: srcs, TimeoutMs: o.timeoutMs, Limit: o.limit, FailFast: o.failFast, Trace: o.trace}
 	var out BatchResponse
-	if err := c.doJSON(ctx, "POST", "/v1/batch", &req, &out, true); err != nil {
+	if err := c.doJSONHdr(ctx, "POST", "/v1/batch", &req, &out, true, o.header()); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -568,12 +618,12 @@ func (s *Stream) Close() error {
 // the connection for reuse).
 func (c *Client) QueryStream(ctx context.Context, src string, opts ...QueryOpt) (*Stream, error) {
 	o := collect(opts)
-	req := wire.QueryRequest{Query: src, TimeoutMs: o.timeoutMs, Limit: o.limit, Stream: true}
+	req := wire.QueryRequest{Query: src, TimeoutMs: o.timeoutMs, Limit: o.limit, Stream: true, Trace: o.trace}
 	body, err := json.Marshal(&req)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.do(ctx, "POST", "/v1/query", body, wire.ContentTypeJSON, true)
+	resp, err := c.doHdr(ctx, "POST", "/v1/query", body, wire.ContentTypeJSON, true, o.header())
 	if err != nil {
 		return nil, err
 	}
@@ -624,6 +674,12 @@ func (c *Client) QueryStream(ctx context.Context, src string, opts ...QueryOpt) 
 
 // doJSON runs one round-trip with retries and decodes the JSON reply.
 func (c *Client) doJSON(ctx context.Context, method, path string, in, out any, idempotent bool) error {
+	return c.doJSONHdr(ctx, method, path, in, out, idempotent, nil)
+}
+
+// doJSONHdr is doJSON with extra request headers (the trace-context
+// propagation path).
+func (c *Client) doJSONHdr(ctx context.Context, method, path string, in, out any, idempotent bool, hdr http.Header) error {
 	var body []byte
 	contentType := ""
 	if in != nil {
@@ -633,7 +689,7 @@ func (c *Client) doJSON(ctx context.Context, method, path string, in, out any, i
 		}
 		contentType = wire.ContentTypeJSON
 	}
-	resp, err := c.do(ctx, method, path, body, contentType, idempotent)
+	resp, err := c.doHdr(ctx, method, path, body, contentType, idempotent, hdr)
 	if err != nil {
 		return err
 	}
@@ -653,6 +709,11 @@ func (c *Client) doJSON(ctx context.Context, method, path string, in, out any, i
 // replies — and transport errors when the call is idempotent — up to the
 // configured retry budget. Non-2xx replies come back as *APIError.
 func (c *Client) do(ctx context.Context, method, path string, body []byte, contentType string, idempotent bool) (*http.Response, error) {
+	return c.doHdr(ctx, method, path, body, contentType, idempotent, nil)
+}
+
+// doHdr is do with extra request headers.
+func (c *Client) doHdr(ctx context.Context, method, path string, body []byte, contentType string, idempotent bool, hdr http.Header) (*http.Response, error) {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		req, err := http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(body))
@@ -661,6 +722,11 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, conte
 		}
 		if contentType != "" {
 			req.Header.Set("Content-Type", contentType)
+		}
+		for k, vs := range hdr {
+			for _, v := range vs {
+				req.Header.Set(k, v)
+			}
 		}
 		resp, err := c.hc.Do(req)
 		switch {

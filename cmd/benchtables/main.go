@@ -11,6 +11,7 @@
 //	benchtables -table persist    # durability layer (snapshot MB/s, WAL replay, cold boot)
 //	benchtables -table cluster    # scale-out (router fan-out p50/p95, replica catch-up)
 //	benchtables -table planner    # cost-based planner ablations + streamed first-row p50
+//	benchtables -table trace      # tracing overhead (untraced vs ?trace=1 p50/p95)
 //	benchtables -table all
 //
 // Scale knobs: -universities (LUBM-like), -kgscale (DBpedia-like), -seed,
@@ -31,7 +32,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "comma-separated tables to regenerate: 2, 3, 4, 5, iters, orders, throughput, updates, serving, persist, cluster, planner, all")
+	table := flag.String("table", "all", "comma-separated tables to regenerate: 2, 3, 4, 5, iters, orders, throughput, updates, serving, persist, cluster, planner, trace, all")
 	universities := flag.Int("universities", 3, "LUBM-like scale (number of universities)")
 	kgScale := flag.Int("kgscale", 1, "DBpedia-like scale factor")
 	seed := flag.Int64("seed", 42, "generator seed")
@@ -62,12 +63,13 @@ func run(table string, universities, kgScale int, seed int64, repeats int, jsonP
 		"all": true, "2": true, "3": true, "4": true, "5": true,
 		"iters": true, "orders": true, "throughput": true, "updates": true,
 		"serving": true, "persist": true, "cluster": true, "planner": true,
+		"trace": true,
 	}
 	wanted := make(map[string]bool)
 	for _, t := range strings.Split(table, ",") {
 		name := strings.TrimSpace(t)
 		if !known[name] {
-			return fmt.Errorf("unknown table %q (want 2, 3, 4, 5, iters, orders, throughput, updates, serving, persist, cluster, planner or all)", name)
+			return fmt.Errorf("unknown table %q (want 2, 3, 4, 5, iters, orders, throughput, updates, serving, persist, cluster, planner, trace or all)", name)
 		}
 		wanted[name] = true
 	}
@@ -166,6 +168,16 @@ func run(table string, universities, kgScale int, seed int64, repeats int, jsonP
 		bench.RenderServing(os.Stdout, rows)
 		fmt.Println()
 		rep.Tables["serving"] = rows
+	}
+	if want("trace") {
+		fmt.Println("Trace: tracing overhead on the serving path (untraced vs ?trace=1 p50/p95)")
+		rows, err := bench.Trace(d, repeats)
+		if err != nil {
+			return err
+		}
+		bench.RenderTrace(os.Stdout, rows)
+		fmt.Println()
+		rep.Tables["trace"] = rows
 	}
 	if want("persist") {
 		fmt.Println("Persist: durability layer (snapshot save/load, cold boot vs. re-parse, WAL rates)")

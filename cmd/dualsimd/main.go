@@ -68,7 +68,10 @@ import (
 	"time"
 
 	"dualsim"
+	"dualsim/internal/buildinfo"
 	"dualsim/internal/cluster"
+	"dualsim/internal/debugserver"
+	"dualsim/internal/httplog"
 	"dualsim/internal/metrics"
 	"dualsim/internal/persist"
 	"dualsim/internal/server"
@@ -76,6 +79,10 @@ import (
 
 func main() {
 	cfg := parseFlags(os.Args[1:], flag.ExitOnError)
+	if cfg.version {
+		fmt.Println(buildinfo.String("dualsimd"))
+		return
+	}
 	if err := run(context.Background(), cfg, os.Stderr, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "dualsimd:", err)
 		os.Exit(1)
@@ -102,6 +109,11 @@ type daemonConfig struct {
 	shard           string
 	follow          string
 	maxLag          uint64
+	debugAddr       string
+	accessLog       string
+	slowLog         int
+	slowThreshold   time.Duration
+	version         bool
 }
 
 func parseFlags(args []string, onError flag.ErrorHandling) daemonConfig {
@@ -125,6 +137,11 @@ func parseFlags(args []string, onError flag.ErrorHandling) daemonConfig {
 	fs.StringVar(&cfg.shard, "shard", "", "serve shard i of an N-way predicate partitioning (\"i/N\"; filters -store)")
 	fs.StringVar(&cfg.follow, "follow", "", "run as a read replica of the primary dualsimd at this URL")
 	fs.Uint64Var(&cfg.maxLag, "maxlag", 0, "with -follow, epochs of staleness before /readyz flips to 503")
+	fs.StringVar(&cfg.debugAddr, "debugaddr", "", "serve pprof + /v1/debug/slow on this extra address (off the serving listener)")
+	fs.StringVar(&cfg.accessLog, "accesslog", "", "write a JSON access log to this file (\"-\" for stdout)")
+	fs.IntVar(&cfg.slowLog, "slowlog", 0, "keep this many slow queries at GET /v1/debug/slow (0 disables)")
+	fs.DurationVar(&cfg.slowThreshold, "slowthreshold", 0, "with -slowlog, only record queries at least this slow (0 = all)")
+	fs.BoolVar(&cfg.version, "version", false, "print build version and exit")
 	fs.Parse(args) // ExitOnError in production; tests pass ContinueOnError configs directly
 	return cfg
 }
@@ -262,7 +279,23 @@ func serverOptions(cfg daemonConfig) []server.Option {
 	if cfg.timeout > 0 {
 		opts = append(opts, server.WithDefaultTimeout(cfg.timeout))
 	}
+	if cfg.slowLog > 0 {
+		opts = append(opts, server.WithSlowQueryLog(cfg.slowLog, cfg.slowThreshold))
+	}
 	return opts
+}
+
+// openAccessLog resolves the -accesslog flag ("-" means stdout). The
+// returned closer is a no-op for stdout.
+func openAccessLog(path string) (*os.File, func(), error) {
+	if path == "-" {
+		return os.Stdout, func() {}, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() { f.Close() }, nil
 }
 
 // serveAndDrain listens, serves until ctx cancels or a termination
@@ -274,11 +307,33 @@ func serveAndDrain(ctx context.Context, cfg daemonConfig, srv *server.Server, lo
 		return err
 	}
 	fmt.Fprintf(logw, "dualsimd: listening on http://%s\n", ln.Addr())
+
+	// The debug surface (pprof, slow-query log) binds its own listener so
+	// it is never routable from the serving address.
+	if cfg.debugAddr != "" {
+		dln, err := net.Listen("tcp", cfg.debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		dbg := &http.Server{Handler: debugserver.Mux(map[string]http.Handler{"/v1/debug/slow": srv})}
+		go dbg.Serve(dln)
+		defer dbg.Close()
+		fmt.Fprintf(logw, "dualsimd: debug surface on http://%s\n", dln.Addr())
+	}
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
 
-	hs := &http.Server{Handler: srv}
+	var handler http.Handler = srv
+	if cfg.accessLog != "" {
+		w, closeLog, err := openAccessLog(cfg.accessLog)
+		if err != nil {
+			return fmt.Errorf("access log: %w", err)
+		}
+		defer closeLog()
+		handler = httplog.New(w).Wrap(srv)
+	}
+	hs := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 

@@ -42,7 +42,10 @@ import (
 	"syscall"
 	"time"
 
+	"dualsim/internal/buildinfo"
 	"dualsim/internal/cluster/router"
+	"dualsim/internal/debugserver"
+	"dualsim/internal/httplog"
 )
 
 func main() {
@@ -50,6 +53,10 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dualsimrouter:", err)
 		os.Exit(2)
+	}
+	if cfg.version {
+		fmt.Println(buildinfo.String("dualsimrouter"))
+		return
 	}
 	if err := run(context.Background(), cfg, os.Stderr, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "dualsimrouter:", err)
@@ -59,12 +66,17 @@ func main() {
 
 // routerConfig carries the parsed flags.
 type routerConfig struct {
-	addr         string
-	shards       [][]string
-	maxLag       uint64
-	probeEvery   time.Duration
-	timeout      time.Duration
-	drainTimeout time.Duration
+	addr          string
+	shards        [][]string
+	maxLag        uint64
+	probeEvery    time.Duration
+	timeout       time.Duration
+	drainTimeout  time.Duration
+	debugAddr     string
+	accessLog     string
+	slowLog       int
+	slowThreshold time.Duration
+	version       bool
 }
 
 // shardList collects repeated -shard flags, each a comma-separated
@@ -96,10 +108,18 @@ func parseFlags(args []string, onError flag.ErrorHandling) (routerConfig, error)
 	fs.DurationVar(&cfg.probeEvery, "probeevery", time.Second, "health-probe period for shard endpoints")
 	fs.DurationVar(&cfg.timeout, "timeout", 0, "default per-request bound (0 = none; requests may set timeoutMs)")
 	fs.DurationVar(&cfg.drainTimeout, "draintimeout", 10*time.Second, "grace period for in-flight requests on shutdown")
+	fs.StringVar(&cfg.debugAddr, "debugaddr", "", "serve pprof + /v1/debug/slow on this extra address (off the serving listener)")
+	fs.StringVar(&cfg.accessLog, "accesslog", "", "write a JSON access log to this file (\"-\" for stdout)")
+	fs.IntVar(&cfg.slowLog, "slowlog", 0, "keep this many slow queries at GET /v1/debug/slow (0 disables)")
+	fs.DurationVar(&cfg.slowThreshold, "slowthreshold", 0, "with -slowlog, only record queries at least this slow (0 = all)")
+	fs.BoolVar(&cfg.version, "version", false, "print build version and exit")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}
 	cfg.shards = shards
+	if cfg.version {
+		return cfg, nil
+	}
 	if len(cfg.shards) == 0 {
 		return cfg, fmt.Errorf("at least one -shard is required")
 	}
@@ -116,6 +136,9 @@ func run(ctx context.Context, cfg routerConfig, logw *os.File, ready chan<- stri
 	}
 	if cfg.timeout > 0 {
 		opts = append(opts, router.WithDefaultTimeout(cfg.timeout))
+	}
+	if cfg.slowLog > 0 {
+		opts = append(opts, router.WithSlowQueryLog(cfg.slowLog, cfg.slowThreshold))
 	}
 	rt, err := router.New(cfg.shards, opts...)
 	if err != nil {
@@ -135,11 +158,32 @@ func run(ctx context.Context, cfg routerConfig, logw *os.File, ready chan<- stri
 		return err
 	}
 	fmt.Fprintf(logw, "dualsimrouter: listening on http://%s\n", ln.Addr())
+
+	// Debug surface on its own listener, mirroring dualsimd.
+	if cfg.debugAddr != "" {
+		dln, err := net.Listen("tcp", cfg.debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		dbg := &http.Server{Handler: debugserver.Mux(map[string]http.Handler{"/v1/debug/slow": rt.Handler()})}
+		go dbg.Serve(dln)
+		defer dbg.Close()
+		fmt.Fprintf(logw, "dualsimrouter: debug surface on http://%s\n", dln.Addr())
+	}
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
 
-	hs := &http.Server{Handler: rt.Handler()}
+	var handler http.Handler = rt.Handler()
+	if cfg.accessLog != "" {
+		w, closeLog, err := openAccessLog(cfg.accessLog)
+		if err != nil {
+			return fmt.Errorf("access log: %w", err)
+		}
+		defer closeLog()
+		handler = httplog.New(w).Wrap(handler)
+	}
+	hs := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 
@@ -163,4 +207,17 @@ func run(ctx context.Context, cfg routerConfig, logw *os.File, ready chan<- stri
 	}
 	fmt.Fprintf(logw, "dualsimrouter: drained, bye\n")
 	return nil
+}
+
+// openAccessLog resolves the -accesslog flag ("-" means stdout). The
+// returned closer is a no-op for stdout.
+func openAccessLog(path string) (*os.File, func(), error) {
+	if path == "-" {
+		return os.Stdout, func() {}, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() { f.Close() }, nil
 }

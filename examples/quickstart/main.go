@@ -12,9 +12,11 @@
 // WAL-logged apply survives Close and OpenDir warm-restarts it from
 // disk at the same epoch), the store scales out — partitioned over two
 // predicate-hash shards with a scatter-gather router answering (X1)
-// exactly like the single node — and step 10 runs a FILTER + LIMIT
+// exactly like the single node — step 10 runs a FILTER + LIMIT
 // query through the streaming Volcano executor, printing the cost-based
-// planner's decisions and per-operator row counters from ExecStats.
+// planner's decisions and per-operator row counters from ExecStats, and
+// step 11 explains a plan without executing it (EXPLAIN) and with real
+// executed counters and the request's span tree (EXPLAIN ANALYZE).
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"time"
 
 	"dualsim"
 	"dualsim/client"
@@ -364,5 +367,27 @@ SELECT * WHERE {
 	if filtered != 1 { // only De Palma: Hamilton is filtered out, the rest lack born_in
 		fmt.Fprintln(os.Stderr, "expected exactly B. De Palma through the filter")
 		os.Exit(1)
+	}
+
+	// --- Step 11: observability — EXPLAIN and tracing -------------------
+	// db.Explain compiles a query's plan without executing it; the render
+	// is deterministic, so the same text against the same epoch always
+	// explains identically. ExplainAnalyze executes with per-operator
+	// clocks on and reports real row counts plus the request's span tree
+	// — the same tree dualsimd returns for `?trace=1` and the router
+	// stitches across shards. See examples/tracing for the distributed
+	// version.
+	exp, err := vdb.Explain(ctx, queryX1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nEXPLAIN (X1):\n%s", exp.Text())
+	an, err := vdb.ExplainAnalyze(ctx, queryX1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("EXPLAIN ANALYZE (X1):\n%s", an.Text())
+	if ev := an.Stats.Trace.Find("evaluate"); ev != nil {
+		fmt.Printf("evaluate stage: %v for %d row(s)\n", ev.Duration.Round(time.Microsecond), ev.Counters["out"])
 	}
 }

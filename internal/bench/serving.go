@@ -80,10 +80,11 @@ func Loopback(db *dualsim.DB, opts ...server.Option) (*client.Client, func() err
 
 // ServeLoad drives one query through a loopback serving stack: clients
 // goroutines × perClient requests, with one writer interleaving applies
-// on a dedicated predicate (applies total, 0 disables). It returns the
-// sorted client-observed latencies plus the run duration, final cache
-// stats and shed count.
-func ServeLoad(db *dualsim.DB, src string, clients, perClient, applies int) (lat []time.Duration, elapsed time.Duration, shed int64, err error) {
+// on a dedicated predicate (applies total, 0 disables). Extra query
+// options apply to every read (e.g. client.Trace() for the tracing
+// overhead bench). It returns the sorted client-observed latencies plus
+// the run duration, final cache stats and shed count.
+func ServeLoad(db *dualsim.DB, src string, clients, perClient, applies int, qopts ...client.QueryOpt) (lat []time.Duration, elapsed time.Duration, shed int64, err error) {
 	c, shutdown, err := Loopback(db)
 	if err != nil {
 		return nil, 0, 0, err
@@ -121,7 +122,7 @@ func ServeLoad(db *dualsim.DB, src string, clients, perClient, applies int) (lat
 			local := make([]time.Duration, 0, perClient)
 			for i := 0; i < perClient; i++ {
 				t0 := time.Now()
-				_, qerr := c.Query(ctx, src)
+				_, qerr := c.Query(ctx, src, qopts...)
 				d := time.Since(t0)
 				if qerr != nil {
 					if client.IsOverloaded(qerr) {

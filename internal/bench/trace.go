@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"dualsim"
+	"dualsim/client"
+	"dualsim/internal/queries"
+)
+
+// TraceRow reports the cost of end-to-end tracing on the serving hot
+// path: the same loopback load run twice, once untraced (the default
+// path, which must stay allocation-free) and once with ?trace=1 (span
+// tree built, serialized and shipped in the stats trailer). The
+// acceptance bar is overhead under a few percent at p50. JSON tags are
+// part of the benchtables -json artifact.
+type TraceRow struct {
+	Query    string `json:"query"`
+	Clients  int    `json:"clients"`
+	Requests int    `json:"requests"`
+	// P50Untraced/P95Untraced are client-observed latencies with tracing
+	// off; P50Traced/P95Traced with a trace requested on every read.
+	P50Untraced time.Duration `json:"p50Untraced"`
+	P95Untraced time.Duration `json:"p95Untraced"`
+	P50Traced   time.Duration `json:"p50Traced"`
+	P95Traced   time.Duration `json:"p95Traced"`
+	// OverheadPct is the traced p50's relative cost over the untraced
+	// p50, in percent (negative when noise favors the traced run).
+	OverheadPct float64 `json:"overheadPct"`
+}
+
+// Trace measures the tracing overhead per dataset on the serving path.
+func Trace(d *Datasets, repeats int) ([]TraceRow, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	clients := 4
+	perClient := 25 * repeats
+	var rows []TraceRow
+	for _, id := range []string{"L0", "B14"} {
+		spec, err := queries.ByID(id)
+		if err != nil {
+			return nil, err
+		}
+		db, err := dualsim.Open(d.StoreFor(spec), dualsim.WithPlanCache(16))
+		if err != nil {
+			return nil, err
+		}
+		// Interleave the two modes through one session so both see the
+		// same warmed plan cache and matrices.
+		off, _, _, err := ServeLoad(db, spec.Text, clients, perClient, 0)
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		on, _, _, err := ServeLoad(db, spec.Text, clients, perClient, 0, client.Trace())
+		db.Close()
+		if err != nil {
+			return nil, err
+		}
+		row := TraceRow{
+			Query:       spec.ID,
+			Clients:     clients,
+			Requests:    len(off),
+			P50Untraced: Quantile(off, 0.50),
+			P95Untraced: Quantile(off, 0.95),
+			P50Traced:   Quantile(on, 0.50),
+			P95Traced:   Quantile(on, 0.95),
+		}
+		if row.P50Untraced > 0 {
+			row.OverheadPct = 100 * (float64(row.P50Traced) - float64(row.P50Untraced)) / float64(row.P50Untraced)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderTrace formats the tracing overhead rows.
+func RenderTrace(w io.Writer, rows []TraceRow) {
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Query, fmt.Sprint(r.Clients), fmt.Sprint(r.Requests),
+			Millis(r.P50Untraced), Millis(r.P50Traced),
+			Millis(r.P95Untraced), Millis(r.P95Traced),
+			fmt.Sprintf("%+.1f%%", r.OverheadPct),
+		})
+	}
+	WriteTable(w, []string{"Query", "clients", "requests", "p50_off", "p50_on", "p95_off", "p95_on", "p50_overhead"}, cells)
+}

@@ -1,0 +1,71 @@
+// Package buildinfo reads the binary's embedded module version and VCS
+// revision (runtime/debug.ReadBuildInfo) once and serves it to the
+// `-version` flags, the /healthz JSON and the dualsim_build_info metric.
+package buildinfo
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// Info is the build identity of the running binary.
+type Info struct {
+	// Version is the main module's version ("(devel)" outside a tagged
+	// module build).
+	Version string
+	// Revision is the VCS commit the binary was built from, suffixed
+	// with "+dirty" when the working tree had local modifications.
+	Revision string
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string
+}
+
+var (
+	once sync.Once
+	info Info
+)
+
+// Get returns the build identity, computed once per process.
+func Get() Info {
+	once.Do(func() {
+		info = Info{Version: "unknown", Revision: "unknown"}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		info.GoVersion = bi.GoVersion
+		if bi.Main.Version != "" {
+			info.Version = bi.Main.Version
+		}
+		var rev string
+		dirty := false
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			if dirty {
+				rev += "+dirty"
+			}
+			info.Revision = rev
+		}
+	})
+	return info
+}
+
+// String renders "name version (revision, goversion)" for -version flags.
+func String(name string) string {
+	i := Get()
+	s := name + " " + i.Version + " (" + i.Revision
+	if i.GoVersion != "" {
+		s += ", " + i.GoVersion
+	}
+	return s + ")"
+}

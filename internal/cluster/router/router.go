@@ -62,10 +62,12 @@ import (
 
 	"dualsim"
 	"dualsim/client"
+	"dualsim/internal/buildinfo"
 	"dualsim/internal/cluster"
 	"dualsim/internal/metrics"
 	"dualsim/internal/sparql"
 	"dualsim/internal/storage"
+	"dualsim/internal/trace"
 	"dualsim/internal/wire"
 )
 
@@ -82,6 +84,8 @@ type config struct {
 	defaultTimeout time.Duration
 	registry       *metrics.Registry
 	clientOpts     []client.Option
+	slowLogSize    int
+	slowThreshold  time.Duration
 }
 
 // WithMaxLag sets the bounded-staleness routing threshold: a replica
@@ -136,6 +140,24 @@ func WithRegistry(r *metrics.Registry) Option {
 			return fmt.Errorf("router: nil metrics registry")
 		}
 		c.registry = r
+		return nil
+	}
+}
+
+// WithSlowQueryLog keeps the n most recent routed queries slower than
+// threshold in a ring served at GET /v1/debug/slow. Enabling the log
+// traces every query internally (so a slow entry carries its full
+// fan-out span tree), but the trace is only returned to callers that
+// asked for one. Default: off.
+func WithSlowQueryLog(n int, threshold time.Duration) Option {
+	return func(c *config) error {
+		if n <= 0 {
+			return fmt.Errorf("router: slow-query log size must be positive, got %d", n)
+		}
+		if threshold < 0 {
+			return fmt.Errorf("router: negative slow-query threshold %v", threshold)
+		}
+		c.slowLogSize, c.slowThreshold = n, threshold
 		return nil
 	}
 }
@@ -241,6 +263,7 @@ type Router struct {
 	cfg    config
 	mux    *http.ServeMux
 	reg    *metrics.Registry
+	slow   *trace.SlowLog
 
 	requests  *metrics.Counter
 	queries   *metrics.Counter
@@ -315,12 +338,18 @@ func New(shardEndpoints [][]string, opts ...Option) (*Router, error) {
 	reg.GaugeFunc("dualsimrouter_shards", "shards this router fans over", func() float64 {
 		return float64(len(r.shards))
 	})
+	r.slow = trace.NewSlowLog(cfg.slowLogSize, cfg.slowThreshold)
+	bi := buildinfo.Get()
+	reg.InfoGauge("dualsim_build_info", "build identity of this binary (constant 1)", map[string]string{
+		"version": bi.Version, "revision": bi.Revision, "goversion": bi.GoVersion,
+	})
 
 	r.mux.HandleFunc("POST /v1/query", r.handleQuery)
 	r.mux.HandleFunc("POST /v1/batch", r.handleBatch)
 	r.mux.HandleFunc("POST /v1/apply", r.handleApply)
 	r.mux.HandleFunc("GET /v1/snapshot", r.handleSnapshot)
 	r.mux.HandleFunc("GET /v1/cluster", r.handleCluster)
+	r.mux.HandleFunc("GET /v1/debug/slow", r.handleSlow)
 	r.mux.HandleFunc("GET /healthz", r.handleHealth)
 	r.mux.HandleFunc("GET /readyz", r.handleReady)
 	r.mux.HandleFunc("GET /metrics", r.handleMetrics)
@@ -538,12 +567,20 @@ func (r *Router) execQuery(ctx context.Context, src string) (*branchResult, erro
 	branches := topBranches(q.Expr)
 	results := make([]*branchResult, len(branches))
 	errs := make([]error, len(branches))
+	parent := trace.SpanFromContext(ctx)
 	var wg sync.WaitGroup
 	for i, b := range branches {
 		wg.Add(1)
 		go func(i int, b sparql.Expr) {
 			defer wg.Done()
-			results[i], errs[i] = r.execBranch(ctx, b, pushLimit)
+			bctx := ctx
+			sp := parent.StartChild("branch")
+			if sp != nil {
+				sp.SetAttr("branch", strconv.Itoa(i))
+				bctx = trace.ContextWithSpan(ctx, sp)
+			}
+			results[i], errs[i] = r.execBranch(bctx, b, pushLimit)
+			sp.End()
 		}(i, b)
 	}
 	wg.Wait()
@@ -584,19 +621,34 @@ func (r *Router) execBranch(ctx context.Context, b sparql.Expr, pushLimit int) (
 		i := cluster.ShardOf(p, len(r.shards))
 		owners[i] = append(owners[i], p)
 	}
+	sp := trace.SpanFromContext(ctx)
 	if len(owners) == 1 {
 		for si := range owners {
 			r.pushdowns.Inc()
+			if sp != nil {
+				sp.SetAttr("mode", "pushdown")
+				sp.SetAttr("shard", strconv.Itoa(si))
+			}
 			return r.pushDown(ctx, si, src)
 		}
 	}
 	r.gathers.Inc()
+	sp.SetAttr("mode", "gather")
 	return r.gather(ctx, owners, src)
 }
 
 // pushDown sends the branch verbatim to the single shard owning all its
 // predicates, failing over across the shard's endpoints.
 func (r *Router) pushDown(ctx context.Context, si int, src string) (*branchResult, error) {
+	// A traced fan-out propagates its identity on the wire: the shard
+	// Continues the trace under the same ID and ships its pipeline +
+	// operator subtree back in the stats trailer, which stitches under
+	// this branch's span — one tree shows the whole cluster request.
+	sp := trace.SpanFromContext(ctx)
+	var qopts []client.QueryOpt
+	if tp := sp.Traceparent(); tp != "" {
+		qopts = append(qopts, client.Trace(), client.Traceparent(tp))
+	}
 	var lastErr error
 	for attempt, ep := range r.shards[si].pick(r.cfg.maxLag) {
 		if attempt > 1 { // primary + one failover is enough
@@ -605,8 +657,14 @@ func (r *Router) pushDown(ctx context.Context, si int, src string) (*branchResul
 		if attempt > 0 {
 			r.failovers.Inc()
 		}
-		out, err := ep.c.Query(ctx, src)
+		out, err := ep.c.Query(ctx, src, qopts...)
 		if err == nil {
+			if sp != nil {
+				sp.SetAttr("endpoint", ep.url)
+				if out.Stats != nil {
+					sp.Attach(out.Stats.Trace)
+				}
+			}
 			return &branchResult{vars: out.Vars, rows: out.Rows, epoch: out.Epoch}, nil
 		}
 		lastErr = err
@@ -633,15 +691,21 @@ func (r *Router) gather(ctx context.Context, owners map[int][]string, src string
 	sort.Ints(idxs)
 	slices := make([]slice, len(idxs))
 	errs := make([]error, len(idxs))
+	sp := trace.SpanFromContext(ctx)
 	var wg sync.WaitGroup
 	for k, si := range idxs {
 		wg.Add(1)
 		go func(k, si int) {
 			defer wg.Done()
+			e0 := time.Now()
 			out, err := r.exportFrom(ctx, si, owners[si])
 			if err != nil {
 				errs[k] = err
 				return
+			}
+			if es := sp.Record("export", time.Since(e0)); es != nil {
+				es.SetAttr("shard", strconv.Itoa(si))
+				es.Add("triples", int64(len(out.Triples)))
 			}
 			ts := make([]dualsim.Triple, len(out.Triples))
 			for i, t := range out.Triples {
@@ -827,6 +891,22 @@ func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
 	ctx, cancel := r.requestContext(req, qr.TimeoutMs)
 	defer cancel()
 
+	// A traced request gets a "router.fanout" root span; each branch
+	// hangs under it with its mode and, for push-downs, the shard's own
+	// subtree Continued under the same trace ID. The slow-query log
+	// force-traces internally, but only explicit requests get the tree.
+	wantTrace, tp := traceWanted(req, qr.Trace)
+	var tr *trace.Trace
+	if wantTrace || r.slow.Enabled() {
+		if tp != "" {
+			tr = trace.Continue(tp, "router.fanout")
+		} else {
+			tr = trace.New("router.fanout")
+		}
+		ctx = trace.ContextWithSpan(ctx, tr.Root())
+		w.Header().Set("X-Dualsim-Trace", tr.ID())
+	}
+
 	start := time.Now()
 	res, err := r.execQuery(ctx, qr.Query)
 	if err != nil {
@@ -843,6 +923,17 @@ func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
 	// The stats trailer is synthesized — there is no single execution
 	// behind a scattered query. Epoch/Duration/Results are the merge's.
 	stats := &dualsim.ExecStats{Epoch: res.epoch, Duration: time.Since(start), Results: len(rows)}
+	if tr != nil {
+		tr.Root().End()
+		if wantTrace {
+			stats.Trace = tr.Root()
+		}
+		r.slow.Observe(trace.Entry{
+			Time: time.Now(), TraceID: tr.ID(), Query: qr.Query,
+			Duration: stats.Duration, Epoch: res.epoch, Status: http.StatusOK,
+			Trace: tr.Root(),
+		})
+	}
 
 	w.Header().Set("X-Dualsim-Epoch", strconv.FormatUint(res.epoch, 10))
 	if wantsStream(req, qr) {
@@ -1035,7 +1126,21 @@ func (r *Router) handleHealth(w http.ResponseWriter, req *http.Request) {
 	if r.draining.Value() != 0 {
 		status = "draining"
 	}
-	r.writeJSON(w, http.StatusOK, &wire.HealthResponse{Status: status})
+	bi := buildinfo.Get()
+	r.writeJSON(w, http.StatusOK, &wire.HealthResponse{
+		Status: status, Version: bi.Version, Revision: bi.Revision,
+	})
+}
+
+// handleSlow serves the slow-query ring, newest first. An empty ring
+// (or a router built without WithSlowQueryLog) answers with an empty
+// entry list rather than an error — the surface is for poking at.
+func (r *Router) handleSlow(w http.ResponseWriter, req *http.Request) {
+	r.writeJSON(w, http.StatusOK, &wire.SlowLogResponse{
+		ThresholdMs: float64(r.slow.Threshold()) / float64(time.Millisecond),
+		Total:       r.slow.Total(),
+		Entries:     r.slow.Entries(),
+	})
 }
 
 // readyErr: the router is routable when it is not draining and every
@@ -1133,6 +1238,23 @@ func (r *Router) writeJSON(w http.ResponseWriter, status int, body any) {
 	w.WriteHeader(status)
 	_, _ = w.Write(buf)
 	_, _ = io.WriteString(w, "\n")
+}
+
+// traceWanted mirrors the daemon's detection: a valid traceparent
+// header, the request body's trace flag, or ?trace=1.
+func traceWanted(req *http.Request, reqFlag bool) (want bool, tp string) {
+	if h := req.Header.Get("traceparent"); h != "" {
+		if _, ok := trace.ParseTraceparent(h); ok {
+			return true, h
+		}
+	}
+	if reqFlag {
+		return true, ""
+	}
+	if v := req.URL.Query().Get("trace"); v == "1" || v == "true" {
+		return true, ""
+	}
+	return false, ""
 }
 
 func wantsStream(req *http.Request, qr wire.QueryRequest) bool {

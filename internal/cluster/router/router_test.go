@@ -395,3 +395,93 @@ func TestRouterWithLiveReplica(t *testing.T) {
 		t.Fatalf("replica-served query: %d rows, want %d", got, want)
 	}
 }
+
+// The distributed tracing acceptance bar: a traced routed query returns
+// ONE span tree rooted at the router's fan-out span, with every shard's
+// pipeline subtree stitched under its branch span carrying the SAME
+// trace ID — the W3C traceparent the router injected.
+func TestRouterTraceStitching(t *testing.T) {
+	_, rs, _ := startCluster(t, 2)
+	c, err := client.New(rs.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two single-predicate branches: each pushes down to the shard that
+	// owns its predicate, so each branch carries a shard subtree back.
+	src := `SELECT * WHERE { { ?s <genre> ?g . } UNION { ?p <population> ?n . } }`
+	out, err := c.Query(context.Background(), src, client.Trace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := out.Stats.Trace
+	if root == nil {
+		t.Fatal("traced routed query returned no span tree")
+	}
+	if root.Name != "router.fanout" {
+		t.Fatalf("root span %q, want router.fanout", root.Name)
+	}
+	if len(root.TraceID) != 32 {
+		t.Fatalf("root TraceID %q, want 32 hex chars", root.TraceID)
+	}
+
+	var branches, stitched int
+	for _, br := range root.Children {
+		if br.Name != "branch" {
+			continue
+		}
+		branches++
+		if br.Attrs["mode"] != "pushdown" {
+			t.Errorf("branch %s: mode %q, want pushdown", br.Attrs["branch"], br.Attrs["mode"])
+		}
+		sub := br.Find("query") // the shard daemon's root span
+		if sub == nil {
+			t.Errorf("branch %s: no shard subtree stitched", br.Attrs["branch"])
+			continue
+		}
+		stitched++
+		if sub.TraceID != root.TraceID {
+			t.Errorf("branch %s: shard subtree trace ID %q, router %q",
+				br.Attrs["branch"], sub.TraceID, root.TraceID)
+		}
+		if sub.Find("evaluate") == nil {
+			t.Errorf("branch %s: shard subtree misses the evaluate stage span", br.Attrs["branch"])
+		}
+	}
+	if branches != 2 || stitched != 2 {
+		t.Fatalf("stitched %d subtrees under %d branch spans, want 2/2", stitched, branches)
+	}
+
+	// Untraced control: same query, no trace in the trailer.
+	plain, err := c.Query(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Stats.Trace != nil {
+		t.Fatalf("untraced routed query leaked a trace")
+	}
+}
+
+// The router's slow-query log records routed queries with their fan-out
+// trace even when the client asked for none.
+func TestRouterSlowQueryLog(t *testing.T) {
+	_, rs, _ := startCluster(t, 2, WithSlowQueryLog(4, 0))
+	src := `SELECT * WHERE { ?s <genre> ?g . }`
+	if got := queryVia(t, rs.URL, src); got.Stats.Trace != nil {
+		t.Fatalf("slow-log tracing leaked into an untraced response")
+	}
+	c, err := client.New(rs.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := c.SlowQueries(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Total != 1 || len(slow.Entries) != 1 {
+		t.Fatalf("slow log: total %d, %d entries, want 1/1", slow.Total, len(slow.Entries))
+	}
+	e := slow.Entries[0]
+	if e.Query != src || e.TraceID == "" || e.Trace == nil || e.Trace.Name != "router.fanout" {
+		t.Fatalf("slow entry = %+v", e)
+	}
+}

@@ -1,0 +1,28 @@
+// Package debugserver mounts the operator debug surface — net/http/pprof
+// plus any extra routes the daemon wants reachable there (e.g. the
+// slow-query log) — behind the daemons' -debugaddr flag. The surface
+// lives on its own listener, deliberately OFF the serving address:
+// profiling endpoints never contend with query traffic for the
+// admission controller, and a serving port exposed to clients never
+// leaks heap dumps.
+package debugserver
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// Mux builds the debug handler tree: the standard pprof index
+// (/debug/pprof/...) plus every extra route, verbatim.
+func Mux(extra map[string]http.Handler) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for route, h := range extra {
+		mux.Handle(route, h)
+	}
+	return mux
+}

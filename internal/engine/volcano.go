@@ -48,6 +48,18 @@ type OperatorStats struct {
 	Detail  string  `json:"detail,omitempty"`
 	EstRows float64 `json:"estRows,omitempty"`
 	Rows    int64   `json:"rows"`
+	// NextCalls counts Next invocations on the operator, including the
+	// final end-of-stream one — rows plus the pull overhead.
+	NextCalls int64 `json:"nextCalls,omitempty"`
+	// Time is wall-clock time spent inside the operator's subtree
+	// (inclusive of children), collected only when the execution was
+	// compiled with timing enabled (tracing / EXPLAIN ANALYZE); 0
+	// otherwise, so the untraced hot path never reads the clock per row.
+	Time time.Duration `json:"time,omitempty"`
+	// Depth is the operator's depth in the plan tree (root = 0): with
+	// the post-order operator list it reconstructs the tree shape for
+	// EXPLAIN rendering and per-operator trace spans.
+	Depth int `json:"depth,omitempty"`
 }
 
 // Exec is a compiled streaming execution: the iterator tree of an
@@ -58,6 +70,7 @@ type OperatorStats struct {
 type Exec struct {
 	root      Iterator
 	ops       []*OperatorStats
+	its       []*countedIter
 	decisions []string
 }
 
@@ -66,14 +79,26 @@ func (e *Exec) Next() ([]storage.NodeID, bool, error) { return e.root.Next() }
 func (e *Exec) Close() error                          { return e.root.Close() }
 func (e *Exec) Vars() []string                        { return e.root.Vars() }
 
-// Operators returns a snapshot of the per-operator counters, outermost
-// operator first.
+// Operators returns a snapshot of the per-operator counters in
+// registration order — post-order over the plan tree (children before
+// their parent, the outermost operator last). Together with each entry's
+// Depth this is enough to rebuild the tree shape.
 func (e *Exec) Operators() []OperatorStats {
 	out := make([]OperatorStats, len(e.ops))
 	for i, op := range e.ops {
 		out[i] = *op
 	}
 	return out
+}
+
+// EnableTiming turns on per-operator wall-clock collection for this
+// execution (OperatorStats.Time). Call before Open: timing costs two
+// monotonic clock reads per Next per operator, so it is opt-in — the
+// tracer and EXPLAIN ANALYZE enable it, the default path does not.
+func (e *Exec) EnableTiming() {
+	for _, it := range e.its {
+		it.timed = true
+	}
 }
 
 // Decisions returns the planner's decision log.
@@ -85,33 +110,52 @@ func (e *Exec) Decisions() []string { return e.decisions }
 func Compile(st *storage.Store, q *sparql.Query, opt plan.Options) (*Exec, error) {
 	pl := plan.Build(st, q, opt)
 	c := &compiler{st: st}
+	// Top-level set semantics: joins and unions may produce duplicate
+	// mappings. A Limit root already deduplicates (it counts distinct
+	// rows); anything else gets an explicit distinct, which then is the
+	// real tree root — the plan root compiles one level deeper.
+	_, limitRoot := pl.Root.(plan.Limit)
+	if !limitRoot {
+		c.depth = 1
+	}
 	root, err := c.compile(pl.Root)
 	if err != nil {
 		return nil, err
 	}
-	// Top-level set semantics: joins and unions may produce duplicate
-	// mappings. A Limit root already deduplicates (it counts distinct
-	// rows); anything else gets an explicit distinct.
-	if _, ok := pl.Root.(plan.Limit); !ok {
+	if !limitRoot {
+		c.depth = 0
 		root = c.counted("distinct", "", 0, &distinctIter{in: root})
 	}
-	return &Exec{root: root, ops: c.ops, decisions: pl.Decisions}, nil
+	return &Exec{root: root, ops: c.ops, its: c.its, decisions: pl.Decisions}, nil
 }
 
 // ---------------------------------------------------------------------------
 // Compiler.
 
 type compiler struct {
-	st  *storage.Store
-	ops []*OperatorStats
+	st    *storage.Store
+	ops   []*OperatorStats
+	its   []*countedIter
+	depth int // plan-tree depth of the node currently being compiled
 }
 
-// counted registers an operator's stats slot and wraps it with the
-// row-counting shim. Registration order is outermost-first.
+// counted registers an operator's stats slot (tagged with the current
+// tree depth) and wraps it with the row-counting shim. Registration
+// order is post-order: children before their parent.
 func (c *compiler) counted(op, detail string, est float64, it Iterator) Iterator {
-	st := &OperatorStats{Op: op, Detail: detail, EstRows: est}
+	st := &OperatorStats{Op: op, Detail: detail, EstRows: est, Depth: c.depth}
 	c.ops = append(c.ops, st)
-	return &countedIter{in: it, stats: st}
+	ci := &countedIter{in: it, stats: st}
+	c.its = append(c.its, ci)
+	return ci
+}
+
+// child compiles n one tree level below the current node.
+func (c *compiler) child(n plan.Node) (Iterator, error) {
+	c.depth++
+	it, err := c.compile(n)
+	c.depth--
+	return it, err
 }
 
 func (c *compiler) compile(n plan.Node) (Iterator, error) {
@@ -129,23 +173,23 @@ func (c *compiler) compile(n plan.Node) (Iterator, error) {
 	case plan.LeftJoin:
 		return c.compileJoin(x.L, x.R, true)
 	case plan.Union:
-		l, err := c.compile(x.L)
+		l, err := c.child(x.L)
 		if err != nil {
 			return nil, err
 		}
-		r, err := c.compile(x.R)
+		r, err := c.child(x.R)
 		if err != nil {
 			return nil, err
 		}
 		return c.counted("union", "", 0, newUnionIter(l, r)), nil
 	case plan.Filter:
-		in, err := c.compile(x.Input)
+		in, err := c.child(x.Input)
 		if err != nil {
 			return nil, err
 		}
 		return c.counted("filter", x.Cond.String(), 0, newFilterIter(c.st, in, x.Cond)), nil
 	case plan.Limit:
-		in, err := c.compile(x.Input)
+		in, err := c.child(x.Input)
 		if err != nil {
 			return nil, err
 		}
@@ -161,10 +205,6 @@ func (c *compiler) compile(n plan.Node) (Iterator, error) {
 // filters — the streaming fast path: no materialization on either side),
 // and a hash join that drains only the right side otherwise.
 func (c *compiler) compileJoin(ln, rn plan.Node, leftOuter bool) (Iterator, error) {
-	l, err := c.compile(ln)
-	if err != nil {
-		return nil, err
-	}
 	// Peel pushed-down filters off a scan right side: for an inner join,
 	// filtering the extensions after the merge is equivalent to filtering
 	// the scan (the scan binds every variable the condition may name).
@@ -183,6 +223,15 @@ func (c *compiler) compileJoin(ln, rn plan.Node, leftOuter bool) (Iterator, erro
 		}
 	}
 	if sc, ok := rs.(plan.Scan); ok {
+		// The compiled shape is filter(…filter(extend(l)))— the peeled
+		// filters stack above the extend, the left input hangs below it.
+		base := c.depth
+		c.depth = base + len(conds) + 1
+		l, err := c.compile(ln)
+		c.depth = base
+		if err != nil {
+			return nil, err
+		}
 		r, err := resolve(c.st, sc.TP)
 		if err != nil {
 			return nil, err
@@ -191,14 +240,21 @@ func (c *compiler) compileJoin(ln, rn plan.Node, leftOuter bool) (Iterator, erro
 		if leftOuter {
 			op = "extendleft"
 		}
+		c.depth = base + len(conds)
 		var it Iterator = newExtendIter(c.st, l, r, leftOuter)
 		it = c.counted(op, sc.TP.String(), sc.Est, it)
 		for i := len(conds) - 1; i >= 0; i-- {
+			c.depth--
 			it = c.counted("filter", conds[i].String(), 0, newFilterIter(c.st, it, conds[i]))
 		}
+		c.depth = base
 		return it, nil
 	}
-	r, err := c.compile(rn)
+	l, err := c.child(ln)
+	if err != nil {
+		return nil, err
+	}
+	r, err := c.child(rn)
 	if err != nil {
 		return nil, err
 	}
@@ -288,12 +344,14 @@ func Drain(ctx context.Context, ex *Exec) (*Result, error) {
 
 // countedIter bumps its operator's row counter on every emitted row and
 // polls ctx every rowCheckInterval rows, so cancellation reaches every
-// operator boundary of the tree.
+// operator boundary of the tree. With timed set (tracing/EXPLAIN
+// ANALYZE) it additionally accumulates inclusive wall-clock time.
 type countedIter struct {
 	in    Iterator
 	stats *OperatorStats
 	ctx   context.Context
 	n     int
+	timed bool
 }
 
 func (c *countedIter) Open(ctx context.Context) error { c.ctx = ctx; return c.in.Open(ctx) }
@@ -305,6 +363,16 @@ func (c *countedIter) Next() ([]storage.NodeID, bool, error) {
 		if err := ctxErr(c.ctx); err != nil {
 			return nil, false, err
 		}
+	}
+	c.stats.NextCalls++
+	if c.timed {
+		t0 := time.Now()
+		row, ok, err := c.in.Next()
+		c.stats.Time += time.Since(t0)
+		if ok {
+			c.stats.Rows++
+		}
+		return row, ok, err
 	}
 	row, ok, err := c.in.Next()
 	if ok {

@@ -121,11 +121,12 @@ func (h *Histogram) Buckets() ([]float64, []int64) {
 
 // metric is one registered series.
 type metric struct {
-	help  string
-	typ   string // "counter", "gauge" or "histogram"
-	read  func() float64
-	owner any // the *Counter/*Gauge/*Histogram handed back on re-registration; nil for GaugeFunc
-	hist  *Histogram
+	help   string
+	typ    string // "counter", "gauge" or "histogram"
+	read   func() float64
+	owner  any // the *Counter/*Gauge/*Histogram handed back on re-registration; nil for GaugeFunc
+	hist   *Histogram
+	labels string // pre-rendered {k="v",...} for info gauges; "" otherwise
 }
 
 // Registry is a named collection of metrics. The zero value is not
@@ -170,6 +171,36 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 		return
 	}
 	r.items[name] = &metric{help: help, typ: "gauge", read: fn}
+}
+
+// InfoGauge registers a constant-1 gauge whose labels carry identity
+// metadata — the Prometheus build_info convention (name{k="v"} 1). The
+// registry is otherwise label-free; this is the one deliberate
+// exception, because a version string has no numeric encoding. Labels
+// are rendered sorted by key; re-registering a name replaces them.
+func (r *Registry) InfoGauge(name, help string, labels map[string]string) {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	rendered := ""
+	for _, k := range keys {
+		if rendered != "" {
+			rendered += ","
+		}
+		rendered += fmt.Sprintf("%s=%q", k, labels[k])
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.items[name]; ok {
+		if m.typ != "gauge" {
+			panic(fmt.Sprintf("metrics: %s re-registered as gauge (was %s)", name, m.typ))
+		}
+		m.labels = rendered
+		return
+	}
+	r.items[name] = &metric{help: help, typ: "gauge", read: func() float64 { return 1 }, labels: rendered}
 }
 
 // Histogram registers (or returns) a fixed-bucket histogram under name.
@@ -243,14 +274,14 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 	}
 	sort.Strings(names)
 	type line struct {
-		name, help, typ string
-		value           float64
-		hist            *Histogram
+		name, help, typ, labels string
+		value                   float64
+		hist                    *Histogram
 	}
 	lines := make([]line, len(names))
 	for i, name := range names {
 		m := r.items[name]
-		l := line{name: name, help: m.help, typ: m.typ, hist: m.hist}
+		l := line{name: name, help: m.help, typ: m.typ, labels: m.labels, hist: m.hist}
 		if m.hist == nil {
 			l.value = m.read()
 		}
@@ -273,7 +304,11 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 			}
 			continue
 		}
-		k, err = fmt.Fprintf(w, "%s %v\n", l.name, l.value)
+		series := l.name
+		if l.labels != "" {
+			series += "{" + l.labels + "}"
+		}
+		k, err = fmt.Fprintf(w, "%s %v\n", series, l.value)
 		n += int64(k)
 		if err != nil {
 			return n, err

@@ -50,16 +50,19 @@ func (a *admission) claim() func() {
 
 // acquire claims an execution slot, waiting in the bounded queue when
 // all slots are busy. It returns ErrOverloaded when the queue is full,
-// or ctx.Err() when the caller gave up while queued. On success the
-// caller must invoke the returned release exactly once.
-func (a *admission) acquire(ctx context.Context) (release func(), err error) {
+// or ctx.Err() when the caller gave up while queued; queued reports the
+// request took the slow path (surfaced as X-Dualsim-Queued and in the
+// access log). On success the caller must invoke the returned release
+// exactly once.
+func (a *admission) acquire(ctx context.Context) (release func(), queued bool, err error) {
 	// Fast path: a slot is free.
 	select {
 	case <-a.slots:
-		return a.claim(), nil
+		return a.claim(), false, nil
 	default:
 	}
-	return a.admitQueued(ctx)
+	release, err = a.admitQueued(ctx)
+	return release, true, err
 }
 
 // admitQueued is the slow path, entered after a fast-path miss: wait,

@@ -19,7 +19,7 @@ import (
 // lands before the shed decision.
 func TestAdmissionShedRechecksSlots(t *testing.T) {
 	a := newAdmission(1, 2)
-	release, err := a.acquire(context.Background())
+	release, _, err := a.acquire(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +36,7 @@ func TestAdmissionShedRechecksSlots(t *testing.T) {
 	rel2()
 	// With the slot genuinely busy and the queue full, shedding is the
 	// right answer.
-	rel3, err := a.acquire(context.Background())
+	rel3, _, err := a.acquire(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +71,7 @@ func TestAdmissionAcquireReleaseHammer(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < rounds; i++ {
-				release, err := a.acquire(context.Background())
+				release, _, err := a.acquire(context.Background())
 				if err != nil {
 					if !errors.Is(err, ErrOverloaded) {
 						t.Errorf("unexpected acquire error: %v", err)
@@ -97,7 +97,7 @@ func TestAdmissionAcquireReleaseHammer(t *testing.T) {
 	// immediately.
 	var rels []func()
 	for i := 0; i < slots; i++ {
-		release, err := a.acquire(context.Background())
+		release, _, err := a.acquire(context.Background())
 		if err != nil {
 			t.Fatalf("slot %d lost after the hammer: %v", i, err)
 		}
@@ -115,14 +115,14 @@ func TestAdmissionAcquireReleaseHammer(t *testing.T) {
 // queued caller whose context dies gets ctx.Err, not a shed.
 func TestAdmissionQueueTimeout(t *testing.T) {
 	a := newAdmission(1, 4)
-	release, err := a.acquire(context.Background())
+	release, _, err := a.acquire(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer release()
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel()
-	if _, err := a.acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+	if _, _, err := a.acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("queued acquire: %v", err)
 	}
 }

@@ -45,9 +45,11 @@ import (
 	"time"
 
 	"dualsim"
+	"dualsim/internal/buildinfo"
 	"dualsim/internal/metrics"
 	"dualsim/internal/persist"
 	"dualsim/internal/storage"
+	"dualsim/internal/trace"
 	"dualsim/internal/wire"
 )
 
@@ -74,6 +76,8 @@ type config struct {
 	registry       *metrics.Registry
 	readiness      func() error
 	readOnly       bool
+	slowLogSize    int
+	slowThreshold  time.Duration
 }
 
 // WithMaxInFlight bounds the number of concurrently executing requests
@@ -165,6 +169,25 @@ func WithReadOnly() Option {
 	}
 }
 
+// WithSlowQueryLog keeps the n most recent queries that took at least
+// threshold in a bounded in-memory ring, served at GET /v1/debug/slow.
+// Enabling it traces every query internally (so slow entries carry a
+// full span tree); the trace is still only returned to clients that
+// asked for one. Default off — the untraced hot path stays
+// allocation-free.
+func WithSlowQueryLog(n int, threshold time.Duration) Option {
+	return func(c *config) error {
+		if n <= 0 {
+			return fmt.Errorf("server: slow-query log size must be positive, got %d", n)
+		}
+		if threshold < 0 {
+			return fmt.Errorf("server: negative slow-query threshold %v", threshold)
+		}
+		c.slowLogSize, c.slowThreshold = n, threshold
+		return nil
+	}
+}
+
 // Server serves one dualsim session over HTTP. Safe for concurrent use;
 // construct with New and mount Handler (or the Server itself, it
 // implements http.Handler).
@@ -174,6 +197,11 @@ type Server struct {
 	mux   *http.ServeMux
 	cfg   config
 	reg   *metrics.Registry
+	slow  *trace.SlowLog // nil unless WithSlowQueryLog
+
+	// stageSeconds are the per-pipeline-stage latency histograms, keyed
+	// by stage name; fixed at construction so Observe stays lock-free.
+	stageSeconds map[string]*metrics.Histogram
 
 	requests     *metrics.Counter
 	queries      *metrics.Counter
@@ -247,6 +275,16 @@ func New(db *dualsim.DB, opts ...Option) (*Server, error) {
 		draining:     reg.Gauge("dualsimd_draining", "1 while the server is draining for shutdown"),
 		latency:      reg.Histogram("dualsimd_request_seconds", "request latency", metrics.DefLatencyBuckets),
 	}
+	s.slow = trace.NewSlowLog(cfg.slowLogSize, cfg.slowThreshold)
+	s.stageSeconds = map[string]*metrics.Histogram{
+		"fingerprint": reg.Histogram("dualsimd_stage_fingerprint_seconds", "fingerprint pre-filter stage latency", metrics.DefLatencyBuckets),
+		"prune":       reg.Histogram("dualsimd_stage_prune_seconds", "dual-simulation pruning stage latency", metrics.DefLatencyBuckets),
+		"evaluate":    reg.Histogram("dualsimd_stage_evaluate_seconds", "engine evaluation stage latency", metrics.DefLatencyBuckets),
+	}
+	bi := buildinfo.Get()
+	reg.InfoGauge("dualsim_build_info", "build metadata of the serving binary", map[string]string{
+		"version": bi.Version, "revision": bi.Revision, "goversion": bi.GoVersion,
+	})
 	s.db.Store(db)
 	reg.GaugeFunc("dualsimd_in_flight", "requests currently executing", func() float64 {
 		return float64(s.admit.InFlight())
@@ -320,6 +358,7 @@ func New(db *dualsim.DB, opts ...Option) (*Server, error) {
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/debug/slow", s.handleSlow)
 	return s, nil
 }
 
@@ -373,6 +412,27 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestContext(r, req.TimeoutMs)
 	defer cancel()
 
+	if mode := explainMode(r, req); mode != "" {
+		s.handleExplain(w, r, ctx, req.Query, mode)
+		return
+	}
+
+	// Tracing: explicit requests get the span tree back; an enabled
+	// slow-query log traces every request internally so slow entries
+	// carry one, but only explicit requests see it in the response.
+	wantTrace, tp := traceRequested(r, req.Trace)
+	var tr *trace.Trace
+	if wantTrace || s.slow.Enabled() {
+		if tp != "" {
+			tr = trace.Continue(tp, "query")
+		} else {
+			tr = trace.New("query")
+		}
+		ctx = trace.ContextWithSpan(ctx, tr.Root())
+		w.Header().Set("X-Dualsim-Trace", tr.ID())
+	}
+	start := time.Now()
+
 	// Pin the epoch for the whole request: execution answers from the
 	// pinned snapshot and the rows are decoded against the same
 	// dictionary, so a concurrent Apply (or even a compaction, which
@@ -390,7 +450,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		defer rows.Close()
 		w.Header().Set("X-Dualsim-Epoch", strconv.FormatUint(rows.Stats().Epoch, 10))
-		s.streamRows(w, snap.Store(), rows, req.Limit)
+		s.streamRows(w, snap.Store(), rows, req.Limit, tr, wantTrace, req.Query, start)
 		return
 	}
 
@@ -399,6 +459,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.failExec(w, r, err)
 		return
 	}
+	s.finishTrace(tr, wantTrace, stats, req.Query, time.Since(start), http.StatusOK)
+	s.observeStages(stats)
 	s.solverRounds.Add(int64(stats.Solver.Rounds))
 	rows, truncated := res.Rows, false
 	if req.Limit > 0 && len(rows) > req.Limit {
@@ -417,11 +479,78 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, out)
 }
 
+// handleExplain answers an EXPLAIN / EXPLAIN ANALYZE request: the
+// compiled plan tree (with the executed counters when analyzing)
+// instead of the result rows.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, ctx context.Context, src, mode string) {
+	var (
+		ex  *dualsim.Explain
+		err error
+	)
+	switch mode {
+	case "plan":
+		ex, err = s.session().Explain(ctx, src)
+	case "analyze":
+		ex, err = s.session().ExplainAnalyze(ctx, src)
+	default:
+		s.fail(w, http.StatusBadRequest, fmt.Sprintf("unknown explain mode %q (want plan or analyze)", mode))
+		return
+	}
+	if err != nil {
+		s.failExec(w, r, err)
+		return
+	}
+	w.Header().Set("X-Dualsim-Epoch", strconv.FormatUint(ex.Epoch, 10))
+	s.writeJSON(w, http.StatusOK, &wire.ExplainResponse{Explain: ex, Text: ex.Text()})
+}
+
+// finishTrace seals a request's trace: ends the root span, attaches the
+// tree to the response stats when the client asked for it, and feeds
+// the slow-query log.
+func (s *Server) finishTrace(tr *trace.Trace, wantTrace bool, stats *dualsim.ExecStats, query string, d time.Duration, status int) {
+	if tr == nil {
+		return
+	}
+	tr.Root().End()
+	var decisions []string
+	var epoch uint64
+	if stats != nil {
+		decisions, epoch = stats.PlanDecisions, stats.Epoch
+		if wantTrace {
+			stats.Trace = tr.Root()
+		}
+	}
+	s.slow.Observe(trace.Entry{
+		Time:          time.Now(),
+		TraceID:       tr.ID(),
+		Query:         query,
+		Duration:      d,
+		Epoch:         epoch,
+		Status:        status,
+		PlanDecisions: decisions,
+		Trace:         tr.Root(),
+	})
+}
+
+// observeStages feeds the per-stage latency histograms from one
+// execution's stage stats.
+func (s *Server) observeStages(stats *dualsim.ExecStats) {
+	if stats == nil {
+		return
+	}
+	for i := range stats.Stages {
+		if h := s.stageSeconds[stats.Stages[i].Name]; h != nil {
+			h.Observe(stats.Stages[i].Duration.Seconds())
+		}
+	}
+}
+
 // streamRows writes the NDJSON shape off a live cursor: header first
 // (flushed before any row is computed), then row events with incremental
 // flushes, then the stats trailer — or an error event if the execution
-// dies mid-stream, after the 200 was committed.
-func (s *Server) streamRows(w http.ResponseWriter, st *dualsim.Store, rows *dualsim.Rows, limit int) {
+// dies mid-stream, after the 200 was committed. tr (with wantTrace,
+// query and start) seals the request's trace into the trailer.
+func (s *Server) streamRows(w http.ResponseWriter, st *dualsim.Store, rows *dualsim.Rows, limit int, tr *trace.Trace, wantTrace bool, query string, start time.Time) {
 	epoch := rows.Stats().Epoch
 	w.Header().Set("Content-Type", wire.ContentTypeNDJSON)
 	w.WriteHeader(http.StatusOK)
@@ -461,6 +590,8 @@ func (s *Server) streamRows(w http.ResponseWriter, st *dualsim.Store, rows *dual
 	}
 	rows.Close()
 	stats := rows.Stats()
+	s.finishTrace(tr, wantTrace, stats, query, time.Since(start), http.StatusOK)
+	s.observeStages(stats)
 	s.solverRounds.Add(int64(stats.Solver.Rounds))
 	s.rows.Add(int64(n))
 	_ = enc.Encode(wire.Event{Kind: wire.EventStats, Stats: stats, Rows: n, Truncated: truncated, Epoch: epoch})
@@ -491,6 +622,18 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestContext(r, req.TimeoutMs)
 	defer cancel()
 
+	wantTrace, tp := traceRequested(r, req.Trace)
+	var tr *trace.Trace
+	if wantTrace {
+		if tp != "" {
+			tr = trace.Continue(tp, "batch")
+		} else {
+			tr = trace.New("batch")
+		}
+		ctx = trace.ContextWithSpan(ctx, tr.Root())
+		w.Header().Set("X-Dualsim-Trace", tr.ID())
+	}
+
 	reqs := make([]dualsim.BatchRequest, len(req.Queries))
 	for i, src := range req.Queries {
 		reqs[i] = dualsim.BatchRequest{Src: src}
@@ -512,7 +655,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		Results: make([]wire.BatchItem, len(out)),
 		Stats:   dualsim.SummarizeBatch(out, time.Since(start)),
 	}
+	if tr != nil {
+		tr.Root().End()
+		resp.Stats.Trace = tr.Root()
+	}
 	for i := range out {
+		s.observeStages(out[i].Stats)
 		if out[i].Err != nil {
 			// Reported in the item's error slot; the HTTP reply is still
 			// 200, so errors_total (non-2xx responses) does not move.
@@ -569,10 +717,25 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 		}
 		d.Dels = append(d.Dels, t.ToTriple())
 	}
+	wantTrace, tp := traceRequested(r, false)
+	var tr *trace.Trace
+	if wantTrace {
+		if tp != "" {
+			tr = trace.Continue(tp, "apply")
+		} else {
+			tr = trace.New("apply")
+		}
+		ctx = trace.ContextWithSpan(ctx, tr.Root())
+		w.Header().Set("X-Dualsim-Trace", tr.ID())
+	}
 	stats, err := s.session().Apply(ctx, d)
 	if err != nil {
 		s.failExec(w, r, err)
 		return
+	}
+	if tr != nil {
+		tr.Root().End()
+		stats.Trace = tr.Root()
 	}
 	w.Header().Set("X-Dualsim-Epoch", strconv.FormatUint(stats.Epoch, 10))
 	s.writeJSON(w, http.StatusOK, &wire.ApplyResponse{Stats: stats})
@@ -661,7 +824,21 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Value() != 0 {
 		status = "draining"
 	}
-	s.writeJSON(w, http.StatusOK, &wire.HealthResponse{Status: status, Epoch: s.session().Epoch()})
+	bi := buildinfo.Get()
+	s.writeJSON(w, http.StatusOK, &wire.HealthResponse{
+		Status: status, Epoch: s.session().Epoch(),
+		Version: bi.Version, Revision: bi.Revision,
+	})
+}
+
+// handleSlow serves the slow-query ring, newest first. An empty body
+// with threshold 0 means the log is disabled (-slowlog 0, the default).
+func (s *Server) handleSlow(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, &wire.SlowLogResponse{
+		ThresholdMs: float64(s.slow.Threshold()) / float64(time.Millisecond),
+		Total:       s.slow.Total(),
+		Entries:     s.slow.Entries(),
+	})
 }
 
 // readyErr resolves the readiness state: draining wins (the instance is
@@ -876,9 +1053,14 @@ func (s *Server) allowWrite(w http.ResponseWriter) bool {
 // it writes the 429 (with Retry-After) or the client-abandonment status
 // and reports false.
 func (s *Server) admitOr429(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
-	release, err := s.admit.acquire(r.Context())
+	release, queued, err := s.admit.acquire(r.Context())
 	switch {
 	case err == nil:
+		if queued {
+			// Surfaced for the access log and latency forensics: the
+			// request waited for an execution slot before running.
+			w.Header().Set("X-Dualsim-Queued", "1")
+		}
 		return release, true
 	case errors.Is(err, ErrOverloaded):
 		s.shed.Inc()
@@ -984,6 +1166,38 @@ func wantsStream(r *http.Request, req wire.QueryRequest) bool {
 		return true
 	}
 	return strings.Contains(r.Header.Get("Accept"), wire.ContentTypeNDJSON)
+}
+
+// traceRequested resolves the three ways a client can request a trace:
+// the request body's trace flag, the ?trace=1 URL parameter, or a valid
+// W3C traceparent header. tp is the traceparent to continue from, empty
+// when the trace should mint a fresh ID.
+func traceRequested(r *http.Request, reqFlag bool) (want bool, tp string) {
+	if h := r.Header.Get("traceparent"); h != "" {
+		if _, ok := trace.ParseTraceparent(h); ok {
+			return true, h
+		}
+	}
+	if reqFlag {
+		return true, ""
+	}
+	if v := r.URL.Query().Get("trace"); v == "1" || v == "true" {
+		return true, ""
+	}
+	return false, ""
+}
+
+// explainMode resolves an EXPLAIN request: the body's explain field or
+// the ?explain=plan|analyze URL parameter ("1"/"true" mean "plan").
+func explainMode(r *http.Request, req wire.QueryRequest) string {
+	mode := req.Explain
+	if v := r.URL.Query().Get("explain"); v != "" {
+		mode = v
+	}
+	if mode == "1" || mode == "true" {
+		mode = "plan"
+	}
+	return mode
 }
 
 // decodeRow renders one result row against the snapshot dictionary it

@@ -409,7 +409,7 @@ func TestOverloadSheds(t *testing.T) {
 	// Occupy the single execution slot and the single queue spot
 	// directly on the admission controller (white box — the HTTP path
 	// cannot hold a slot open deterministically with fast queries).
-	release, err := srv.admit.acquire(context.Background())
+	release, _, err := srv.admit.acquire(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -419,7 +419,7 @@ func TestOverloadSheds(t *testing.T) {
 	defer qcancel()
 	go func() {
 		close(queued)
-		rel, err := srv.admit.acquire(qctx)
+		rel, _, err := srv.admit.acquire(qctx)
 		if err == nil {
 			rel()
 		}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"dualsim"
+	"dualsim/internal/trace"
 )
 
 // Content types of the two query response shapes.
@@ -42,6 +43,15 @@ type QueryRequest struct {
 	// Stream requests the NDJSON row-stream shape. The ?stream=1 URL
 	// parameter and an Accept: application/x-ndjson header do the same.
 	Stream bool `json:"stream,omitempty"`
+	// Trace requests the execution's span tree in the stats trailer
+	// (ExecStats.Trace). The ?trace=1 URL parameter and a W3C
+	// traceparent header do the same; a traceparent additionally makes
+	// the server adopt the caller's trace ID.
+	Trace bool `json:"trace,omitempty"`
+	// Explain, instead of executing, returns the compiled plan
+	// (ExplainResponse): "plan" renders without executing, "analyze"
+	// executes with per-operator timing.
+	Explain string `json:"explain,omitempty"`
 }
 
 // BatchRequest is the body of POST /v1/batch.
@@ -55,6 +65,9 @@ type BatchRequest struct {
 	Limit int `json:"limit,omitempty"`
 	// FailFast aborts the batch on the first per-query error.
 	FailFast bool `json:"failFast,omitempty"`
+	// Trace requests the batch's span tree in the response stats (see
+	// QueryRequest.Trace).
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Triple is the wire form of one RDF triple. O and Lit are mutually
@@ -202,6 +215,10 @@ type HealthResponse struct {
 	Status string `json:"status"`
 	Epoch  uint64 `json:"epoch"`
 	Reason string `json:"reason,omitempty"`
+	// Version and Revision identify the build (module version and VCS
+	// revision), from runtime/debug.ReadBuildInfo.
+	Version  string `json:"version,omitempty"`
+	Revision string `json:"revision,omitempty"`
 }
 
 // WALEvent is one NDJSON line of GET /v1/wal — the replication tail
@@ -283,6 +300,26 @@ type ShardApply struct {
 // epoch-bumped on its own counter; Results reports every slice.
 type ClusterApplyResponse struct {
 	Results []ShardApply `json:"results"`
+}
+
+// ExplainResponse is the body of a query request with Explain set (or
+// GET-style ?explain=plan|analyze): the compiled plan, optionally
+// executed.
+type ExplainResponse struct {
+	Explain *dualsim.Explain `json:"explain"`
+	// Text is the deterministic indented render of the plan tree.
+	Text string `json:"text"`
+}
+
+// SlowLogResponse is the body of GET /v1/debug/slow: the retained
+// slow-query entries, newest first.
+type SlowLogResponse struct {
+	// ThresholdMs is the configured slow threshold.
+	ThresholdMs float64 `json:"thresholdMs"`
+	// Total counts every request that crossed the threshold since boot
+	// (entries beyond the ring capacity are dropped oldest-first).
+	Total   int64         `json:"total"`
+	Entries []trace.Entry `json:"entries"`
 }
 
 // ErrorResponse is the body of every non-2xx reply.

@@ -10,6 +10,7 @@ import (
 	"dualsim/internal/partition"
 	"dualsim/internal/persist"
 	"dualsim/internal/storage"
+	"dualsim/internal/trace"
 )
 
 // ErrNotDurable is returned by Checkpoint on a session opened without a
@@ -79,6 +80,11 @@ type ApplyStats struct {
 	// Duration is the end-to-end apply time, including index and
 	// fingerprint maintenance and cache invalidation.
 	Duration time.Duration `json:"duration"`
+	// Trace is the operation's span tree when tracing was enabled on the
+	// serving request: wal.append (fsync latency, framed bytes), patch
+	// (index maintenance), publish (snapshot swap and fingerprint) and
+	// checkpoint. Nil by default.
+	Trace *trace.Span `json:"trace,omitempty"`
 }
 
 // Apply mutates the database: deletes d.Dels, then adds d.Adds, and
@@ -107,6 +113,7 @@ func (db *DB) Apply(ctx context.Context, d Delta) (ApplyStats, error) {
 	if err := ctx.Err(); err != nil {
 		return ApplyStats{}, err
 	}
+	sp := trace.SpanFromContext(ctx)
 	start := time.Now()
 	db.applyMu.Lock()
 	defer db.applyMu.Unlock()
@@ -130,9 +137,15 @@ func (db *DB) Apply(ctx context.Context, d Delta) (ApplyStats, error) {
 				fmt.Errorf("dualsim: WAL append: %w", err)
 		}
 		walStats = ws
+		sp.Record("wal.append", walStats.FsyncLatency).Add("walBytes", walStats.Bytes)
 	}
 
+	p0 := time.Now()
 	st, res, err := db.overlay.Apply(delta.Delta{Adds: d.Adds, Dels: d.Dels})
+	if ps := sp.Record("patch", time.Since(p0)); ps != nil {
+		ps.Add("touchedPreds", int64(res.Patch.TouchedPreds))
+		ps.Add("newTerms", int64(res.Patch.NewTerms))
+	}
 	stats := ApplyStats{
 		Epoch:        res.Epoch,
 		Added:        res.Added,
@@ -154,7 +167,11 @@ func (db *DB) Apply(ctx context.Context, d Delta) (ApplyStats, error) {
 		stats.Duration = time.Since(start)
 		return stats, nil
 	}
+	pb0 := time.Now()
 	err = db.publish(st, res, &stats)
+	if fsp := sp.Record("publish", time.Since(pb0)); fsp != nil && stats.FingerprintRebuilt {
+		fsp.SetAttr("fingerprint", "rebuilt")
+	}
 	if err == nil && db.pers != nil && db.set.checkpointEvery > 0 &&
 		db.pers.RecordsSinceCheckpoint() >= int64(db.set.checkpointEvery) {
 		// A checkpoint failure must not fail the Apply: the delta is
@@ -163,10 +180,12 @@ func (db *DB) Apply(ctx context.Context, d Delta) (ApplyStats, error) {
 		// (PersistStats.CheckpointFailures, a dualsimd gauge) instead of
 		// turning a healthy write into a caller-visible error on every
 		// subsequent Apply.
+		c0 := time.Now()
 		if _, cerr := db.pers.Checkpoint(st, res.Epoch); cerr != nil {
 			db.ckptFails.Add(1)
 		} else {
 			stats.Checkpointed = true
+			sp.Record("checkpoint", time.Since(c0))
 		}
 	}
 	stats.Duration = time.Since(start)
@@ -188,6 +207,7 @@ func (db *DB) Compact(ctx context.Context) (ApplyStats, error) {
 	if err := ctx.Err(); err != nil {
 		return ApplyStats{}, err
 	}
+	sp := trace.SpanFromContext(ctx)
 	start := time.Now()
 	db.applyMu.Lock()
 	defer db.applyMu.Unlock()
@@ -199,8 +219,11 @@ func (db *DB) Compact(ctx context.Context) (ApplyStats, error) {
 			return ApplyStats{Epoch: db.overlay.Epoch()}, fmt.Errorf("dualsim: WAL append: %w", err)
 		}
 		walStats = ws
+		sp.Record("wal.append", walStats.FsyncLatency).Add("walBytes", walStats.Bytes)
 	}
+	p0 := time.Now()
 	st, res, err := db.overlay.Compact()
+	sp.Record("compact", time.Since(p0))
 	stats := ApplyStats{
 		Epoch:        res.Epoch,
 		Compacted:    true,
@@ -210,7 +233,11 @@ func (db *DB) Compact(ctx context.Context) (ApplyStats, error) {
 	if err != nil {
 		return stats, err
 	}
+	pb0 := time.Now()
 	err = db.publish(st, res, &stats)
+	if fsp := sp.Record("publish", time.Since(pb0)); fsp != nil && stats.FingerprintRebuilt {
+		fsp.SetAttr("fingerprint", "rebuilt")
+	}
 	if err == nil && db.pers != nil {
 		// A compaction already rebuilt the whole store — the natural
 		// moment to checkpoint: the fresh snapshot makes every WAL record
@@ -218,10 +245,12 @@ func (db *DB) Compact(ctx context.Context) (ApplyStats, error) {
 		// replaying the log and re-compacting. Like the auto-checkpoint in
 		// Apply, a failure here is degradation, not an error: the compact
 		// record is WAL-acked, so recovery replays it.
+		c0 := time.Now()
 		if _, cerr := db.pers.Checkpoint(st, res.Epoch); cerr != nil {
 			db.ckptFails.Add(1)
 		} else {
 			stats.Checkpointed = true
+			sp.Record("checkpoint", time.Since(c0))
 		}
 	}
 	stats.Duration = time.Since(start)
@@ -427,6 +456,7 @@ func (s *Snapshot) Exec(ctx context.Context, src string) (*Result, *ExecStats, e
 	if err != nil {
 		return nil, nil, err
 	}
+	recordPrepareSpans(ctx, pq, false)
 	return pq.Exec(ctx)
 }
 
@@ -438,6 +468,7 @@ func (s *Snapshot) Query(ctx context.Context, src string) (*Result, *ExecStats, 
 	if err != nil {
 		return nil, nil, err
 	}
+	recordPrepareSpans(ctx, pq, hit)
 	res, stats, err := pq.Exec(ctx)
 	if stats != nil {
 		stats.CacheHit = hit
@@ -456,6 +487,7 @@ func (s *Snapshot) QueryStream(ctx context.Context, src string) (*Rows, error) {
 	if err != nil {
 		return nil, err
 	}
+	recordPrepareSpans(ctx, pq, hit)
 	rows, err := pq.Stream(ctx)
 	if err != nil {
 		return nil, err

@@ -10,6 +10,7 @@ import (
 	"dualsim/internal/prune"
 	"dualsim/internal/sparql"
 	"dualsim/internal/storage"
+	"dualsim/internal/trace"
 )
 
 // OperatorStats is the per-operator counter set of a streaming
@@ -123,6 +124,7 @@ func EvaluateStage() Stage {
 			target = x.pq.snap.st
 		}
 		ss.In = target.NumTriples()
+		sp := trace.SpanFromContext(ctx)
 		var res *Result
 		if se, ok := x.pq.db.eng.(streamEngine); ok {
 			// Streaming engine: compile to the iterator tree so the
@@ -133,9 +135,15 @@ func EvaluateStage() Stage {
 			if err != nil {
 				return err
 			}
+			if sp != nil {
+				// A traced execution pays for per-operator clocks; the
+				// default path never reads the clock per row.
+				ex.EnableTiming()
+			}
 			res, err = engine.Drain(ctx, ex)
 			x.stats.Operators = ex.Operators()
 			x.stats.PlanDecisions = ex.Decisions()
+			attachOperatorSpans(sp, x.stats.Operators)
 			if err != nil {
 				return err
 			}
@@ -151,6 +159,35 @@ func EvaluateStage() Stage {
 		ss.Out = res.Len()
 		return nil
 	}}
+}
+
+// attachOperatorSpans grafts the executor's per-operator counters as a
+// span tree under the evaluate span, rebuilding the plan-tree shape from
+// the post-order operator list and each entry's Depth. No-op when sp is
+// nil (tracing disabled).
+func attachOperatorSpans(sp *trace.Span, ops []OperatorStats) {
+	if sp == nil || len(ops) == 0 {
+		return
+	}
+	// In a post-order walk, a node's children are exactly the pending
+	// subtrees one level deeper when the node appears.
+	pending := make(map[int][]*trace.Span)
+	for _, op := range ops {
+		s := &trace.Span{Name: "op." + op.Op, Duration: op.Time}
+		if op.Detail != "" {
+			s.Attrs = map[string]string{"detail": op.Detail}
+		}
+		s.Counters = map[string]int64{"rows": op.Rows, "nextCalls": op.NextCalls}
+		if op.EstRows > 0 {
+			s.Counters["estRows"] = int64(op.EstRows)
+		}
+		s.Children = pending[op.Depth+1]
+		delete(pending, op.Depth+1)
+		pending[op.Depth] = append(pending[op.Depth], s)
+	}
+	for _, s := range pending[0] {
+		sp.Attach(s)
+	}
 }
 
 // StageStats reports one pipeline stage of one execution.
@@ -212,6 +249,11 @@ type ExecStats struct {
 	Epoch uint64 `json:"epoch"`
 	// Duration is the end-to-end execution time.
 	Duration time.Duration `json:"duration"`
+	// Trace is the request's span tree when tracing was enabled
+	// (?trace=1 / a traceparent header / the slow-query log): pipeline
+	// stages, per-operator spans, and — on a routed query — the stitched
+	// subtrees of every contacted shard. Nil by default.
+	Trace *trace.Span `json:"trace,omitempty"`
 }
 
 // Stage returns the stats of the named stage, or nil if the pipeline

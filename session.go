@@ -15,6 +15,7 @@ import (
 	"dualsim/internal/partition"
 	"dualsim/internal/persist"
 	"dualsim/internal/prune"
+	"dualsim/internal/trace"
 )
 
 // ErrClosed is returned by session operations after Close.
@@ -277,6 +278,10 @@ type PrepareStats struct {
 	// given source text), pattern extraction, SOI lowering with the
 	// inequality-ordering keys, and the fingerprint lookup.
 	PlanTime time.Duration `json:"planTime"`
+	// ParseTime is the slice of PlanTime spent parsing the source text
+	// (0 when the query arrived pre-parsed). Split out so the tracer's
+	// parse/plan spans report honest per-phase costs.
+	ParseTime time.Duration `json:"parseTime,omitempty"`
 	// Branches is the number of union-free branches of the plan.
 	Branches int `json:"branches"`
 	// Variables and Inequalities size the systems of inequalities,
@@ -321,7 +326,7 @@ func (db *DB) Prepare(src string) (*PreparedQuery, error) {
 	if err != nil {
 		return nil, err
 	}
-	return db.prepare(db.snap.Load(), q, start)
+	return db.prepareParsed(db.snap.Load(), q, start, time.Since(start))
 }
 
 // PrepareQuery plans an already-parsed query against the session's
@@ -331,6 +336,13 @@ func (db *DB) PrepareQuery(q *Query) (*PreparedQuery, error) {
 }
 
 func (db *DB) prepare(snap *dbSnapshot, q *Query, start time.Time) (*PreparedQuery, error) {
+	return db.prepareParsed(snap, q, start, 0)
+}
+
+// prepareParsed is prepare with the parse slice of the planning time
+// already measured, so PrepareStats (and trace spans) can report parse
+// and plan separately.
+func (db *DB) prepareParsed(snap *dbSnapshot, q *Query, start time.Time, parse time.Duration) (*PreparedQuery, error) {
 	if db.closed.Load() {
 		return nil, ErrClosed
 	}
@@ -377,6 +389,7 @@ func (db *DB) prepare(snap *dbSnapshot, q *Query, start time.Time) (*PreparedQue
 	}
 
 	pq.prep.PlanTime = time.Since(start)
+	pq.prep.ParseTime = parse
 	db.planBuilds.Add(1)
 	return pq, nil
 }
@@ -420,15 +433,32 @@ func (pq *PreparedQuery) Exec(ctx context.Context) (*Result, *ExecStats, error) 
 	// the pipeline is done with them (the pruned store is materialized,
 	// only scalar stats escape) they are recycled for the next Exec.
 	defer x.releaseRelation()
+	// parent is nil unless the request installed a trace span in ctx —
+	// every trace call below is a nil-receiver no-op then, so the
+	// untraced hot path stays allocation-free.
+	parent := trace.SpanFromContext(ctx)
 	start := time.Now()
 	for _, stage := range pq.stages {
 		if err := ctx.Err(); err != nil {
 			return nil, nil, err
 		}
 		ss := StageStats{Name: stage.name}
+		sctx := ctx
+		sp := parent.StartChild(stage.name)
+		if sp != nil {
+			sctx = trace.ContextWithSpan(ctx, sp)
+		}
 		s0 := time.Now()
-		err := stage.run(ctx, x, &ss)
+		err := stage.run(sctx, x, &ss)
 		ss.Duration = time.Since(s0)
+		sp.End()
+		if sp != nil {
+			sp.Add("in", int64(ss.In))
+			sp.Add("out", int64(ss.Out))
+			if ss.Skipped {
+				sp.SetAttr("skipped", "true")
+			}
+		}
 		stats.Stages = append(stats.Stages, ss)
 		if err != nil {
 			return nil, nil, err
@@ -436,6 +466,32 @@ func (pq *PreparedQuery) Exec(ctx context.Context) (*Result, *ExecStats, error) 
 	}
 	stats.Duration = time.Since(start)
 	return x.result, stats, nil
+}
+
+// recordPrepareSpans grafts parse/plan spans for this request's
+// planning work under the context's trace span. A cache hit records a
+// zero-length plan span tagged cached, so the trace still shows where
+// the plan came from without inflating the request's apparent time.
+func recordPrepareSpans(ctx context.Context, pq *PreparedQuery, cached bool) {
+	if ctx == nil {
+		return
+	}
+	sp := trace.SpanFromContext(ctx)
+	if sp == nil {
+		return
+	}
+	if cached {
+		pl := sp.Record("plan", 0)
+		pl.SetAttr("cached", "true")
+		return
+	}
+	if pq.prep.ParseTime > 0 {
+		sp.Record("parse", pq.prep.ParseTime)
+	}
+	pl := sp.Record("plan", pq.prep.PlanTime-pq.prep.ParseTime)
+	pl.Add("branches", int64(pq.prep.Branches))
+	pl.Add("variables", int64(pq.prep.Variables))
+	pl.Add("inequalities", int64(pq.prep.Inequalities))
 }
 
 // Exec is the one-shot convenience: Prepare + Exec. Prefer Prepare for
@@ -446,6 +502,7 @@ func (db *DB) Exec(ctx context.Context, src string) (*Result, *ExecStats, error)
 	if err != nil {
 		return nil, nil, err
 	}
+	recordPrepareSpans(ctx, pq, false)
 	return pq.Exec(ctx)
 }
 
@@ -466,6 +523,7 @@ func (db *DB) Query(ctx context.Context, src string) (*Result, *ExecStats, error
 	if err != nil {
 		return nil, nil, err
 	}
+	recordPrepareSpans(ctx, pq, hit)
 	res, stats, err := pq.Exec(ctx)
 	if stats != nil {
 		stats.CacheHit = hit
@@ -480,7 +538,7 @@ func (db *DB) prepareSrc(snap *dbSnapshot, src string) (*PreparedQuery, error) {
 	if err != nil {
 		return nil, err
 	}
-	return db.prepare(snap, q, start)
+	return db.prepareParsed(snap, q, start, time.Since(start))
 }
 
 // prepareCached resolves query text to a prepared query for the given

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"dualsim"
+	"dualsim/internal/trace"
 )
 
 // TestStatsJSONFieldNames pins the wire-stable lowerCamel JSON keys of
@@ -50,6 +51,36 @@ func TestStatsJSONFieldNames(t *testing.T) {
 	requireKeys("StageStats", keysOf(es.Stages[0]), "name", "duration", "in", "out")
 	requireKeys("Stats", keysOf(es.Solver), "rounds", "evaluations", "updates")
 	requireKeys("OperatorStats", keysOf(es.Operators[0]), "op", "detail", "estRows", "rows")
+	requireKeys("OperatorStats(analyzed)",
+		keysOf(dualsim.OperatorStats{Op: "scan", NextCalls: 2, Time: time.Millisecond, Depth: 1}),
+		"nextCalls", "time", "depth")
+
+	// The trace subtree rides inside the stats trailer under "trace" —
+	// on ExecStats, ApplyStats and BatchStats alike — and drops out
+	// entirely when the request was untraced.
+	tr := trace.New("query")
+	requireKeys("ExecStats(traced)", keysOf(dualsim.ExecStats{Trace: tr.Root()}), "trace")
+	requireKeys("ApplyStats(traced)", keysOf(dualsim.ApplyStats{Trace: tr.Root()}), "trace")
+	requireKeys("BatchStats(traced)", keysOf(dualsim.BatchStats{Trace: tr.Root()}), "trace")
+	requireKeys("trace.Span", keysOf(trace.Span{TraceID: "x", Name: "query", Duration: time.Millisecond,
+		Attrs: map[string]string{"k": "v"}, Counters: map[string]int64{"rows": 1},
+		Children: []*trace.Span{{Name: "c"}}}),
+		"traceID", "name", "duration", "attrs", "counters", "children")
+	for _, name := range []string{"ExecStats", "ApplyStats", "BatchStats"} {
+		keys := map[string]map[string]bool{
+			"ExecStats":  keysOf(dualsim.ExecStats{}),
+			"ApplyStats": keysOf(dualsim.ApplyStats{}),
+			"BatchStats": keysOf(dualsim.BatchStats{}),
+		}[name]
+		if keys["trace"] {
+			t.Errorf("%s: untraced stats serialize a trace key", name)
+		}
+	}
+
+	requireKeys("Explain", keysOf(dualsim.Explain{Query: "q", Operators: []dualsim.OperatorStats{{Op: "scan"}}}),
+		"query", "epoch", "operators")
+	requireKeys("PrepareStats", keysOf(dualsim.PrepareStats{PlanTime: time.Millisecond, ParseTime: time.Microsecond}),
+		"planTime", "parseTime")
 	// A materializing engine reports no operator tree: both fields drop
 	// out of the wire form entirely rather than serializing as null.
 	if keys := keysOf(dualsim.ExecStats{}); keys["operators"] || keys["planDecisions"] {

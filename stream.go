@@ -7,6 +7,7 @@ import (
 	"dualsim/internal/engine"
 	"dualsim/internal/plan"
 	"dualsim/internal/storage"
+	"dualsim/internal/trace"
 )
 
 // Rows is a streaming result cursor: the rows of one execution delivered
@@ -26,6 +27,7 @@ type Rows struct {
 	begin time.Time // Stream entry, for the end-to-end duration
 	eval  time.Time // evaluate-stage start, for its StageStats
 	in    int       // evaluate-stage input cardinality
+	sp    *trace.Span // evaluate span of a traced stream; nil otherwise
 	row   []storage.NodeID
 	n     int
 	err   error
@@ -56,6 +58,7 @@ func (pq *PreparedQuery) Stream(ctx context.Context) (*Rows, error) {
 		TriplesAfter:  pq.snap.st.NumTriples(),
 	}
 	x := &execState{pq: pq, stats: stats}
+	parent := trace.SpanFromContext(ctx)
 	begin := time.Now()
 	for _, stage := range pq.stages {
 		if stage.name == "evaluate" {
@@ -68,9 +71,22 @@ func (pq *PreparedQuery) Stream(ctx context.Context) (*Rows, error) {
 			return nil, err
 		}
 		ss := StageStats{Name: stage.name}
+		sctx := ctx
+		sp := parent.StartChild(stage.name)
+		if sp != nil {
+			sctx = trace.ContextWithSpan(ctx, sp)
+		}
 		s0 := time.Now()
-		err := stage.run(ctx, x, &ss)
+		err := stage.run(sctx, x, &ss)
 		ss.Duration = time.Since(s0)
+		sp.End()
+		if sp != nil {
+			sp.Add("in", int64(ss.In))
+			sp.Add("out", int64(ss.Out))
+			if ss.Skipped {
+				sp.SetAttr("skipped", "true")
+			}
+		}
 		stats.Stages = append(stats.Stages, ss)
 		if err != nil {
 			x.releaseRelation()
@@ -88,6 +104,10 @@ func (pq *PreparedQuery) Stream(ctx context.Context) (*Rows, error) {
 	if err != nil {
 		return nil, err
 	}
+	if parent != nil {
+		// A traced stream pays for per-operator clocks, like Exec.
+		ex.EnableTiming()
+	}
 	stats.PlanDecisions = ex.Decisions()
 	if err := ex.Open(ctx); err != nil {
 		ex.Close()
@@ -100,6 +120,7 @@ func (pq *PreparedQuery) Stream(ctx context.Context) (*Rows, error) {
 		begin: begin,
 		eval:  time.Now(),
 		in:    target.NumTriples(),
+		sp:    parent.StartChild("evaluate"),
 	}, nil
 }
 
@@ -172,4 +193,11 @@ func (r *Rows) finish() {
 	r.stats.Results = r.n
 	r.stats.Operators = r.ex.Operators()
 	r.stats.Duration = time.Since(r.begin)
+	r.sp.End()
+	if r.sp != nil {
+		r.sp.Add("in", int64(r.in))
+		r.sp.Add("out", int64(r.n))
+		attachOperatorSpans(r.sp, r.stats.Operators)
+		r.sp = nil
+	}
 }
