@@ -52,6 +52,7 @@ type (
 	WALEvent           = wire.WALEvent
 	ExplainResponse    = wire.ExplainResponse
 	SlowLogResponse    = wire.SlowLogResponse
+	StatementsResponse = wire.StatementsResponse
 )
 
 // APIError is a non-2xx server reply.
@@ -179,6 +180,32 @@ func (c *Client) Explain(ctx context.Context, src, mode string, opts ...QueryOpt
 func (c *Client) SlowQueries(ctx context.Context) (*SlowLogResponse, error) {
 	var out SlowLogResponse
 	if err := c.doJSON(ctx, "GET", "/v1/debug/slow", nil, &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Statements fetches the server's workload statistics table
+// (GET /v1/debug/statements): per-normalized-statement aggregates,
+// ordered by total execution time descending. Against a router, the
+// rows are the fingerprint-keyed merge across every shard.
+func (c *Client) Statements(ctx context.Context) (*StatementsResponse, error) {
+	return c.statements(ctx, false)
+}
+
+// StatementsReset fetches the workload statistics table and then resets
+// it — the returned snapshot is the last view of the cleared counters.
+func (c *Client) StatementsReset(ctx context.Context) (*StatementsResponse, error) {
+	return c.statements(ctx, true)
+}
+
+func (c *Client) statements(ctx context.Context, reset bool) (*StatementsResponse, error) {
+	path := "/v1/debug/statements"
+	if reset {
+		path += "?reset=1"
+	}
+	var out StatementsResponse
+	if err := c.doJSON(ctx, "GET", path, nil, &out, true); err != nil {
 		return nil, err
 	}
 	return &out, nil

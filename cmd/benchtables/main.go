@@ -12,6 +12,7 @@
 //	benchtables -table cluster    # scale-out (router fan-out p50/p95, replica catch-up)
 //	benchtables -table planner    # cost-based planner ablations + streamed first-row p50
 //	benchtables -table trace      # tracing overhead (untraced vs ?trace=1 p50/p95)
+//	benchtables -table stats      # workload statistics overhead (accounting off vs on, scrape cost)
 //	benchtables -table all
 //
 // Scale knobs: -universities (LUBM-like), -kgscale (DBpedia-like), -seed,
@@ -32,7 +33,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "comma-separated tables to regenerate: 2, 3, 4, 5, iters, orders, throughput, updates, serving, persist, cluster, planner, trace, all")
+	table := flag.String("table", "all", "comma-separated tables to regenerate: 2, 3, 4, 5, iters, orders, throughput, updates, serving, persist, cluster, planner, trace, stats, all")
 	universities := flag.Int("universities", 3, "LUBM-like scale (number of universities)")
 	kgScale := flag.Int("kgscale", 1, "DBpedia-like scale factor")
 	seed := flag.Int64("seed", 42, "generator seed")
@@ -63,13 +64,13 @@ func run(table string, universities, kgScale int, seed int64, repeats int, jsonP
 		"all": true, "2": true, "3": true, "4": true, "5": true,
 		"iters": true, "orders": true, "throughput": true, "updates": true,
 		"serving": true, "persist": true, "cluster": true, "planner": true,
-		"trace": true,
+		"trace": true, "stats": true,
 	}
 	wanted := make(map[string]bool)
 	for _, t := range strings.Split(table, ",") {
 		name := strings.TrimSpace(t)
 		if !known[name] {
-			return fmt.Errorf("unknown table %q (want 2, 3, 4, 5, iters, orders, throughput, updates, serving, persist, cluster, planner, trace or all)", name)
+			return fmt.Errorf("unknown table %q (want 2, 3, 4, 5, iters, orders, throughput, updates, serving, persist, cluster, planner, trace, stats or all)", name)
 		}
 		wanted[name] = true
 	}
@@ -178,6 +179,16 @@ func run(table string, universities, kgScale int, seed int64, repeats int, jsonP
 		bench.RenderTrace(os.Stdout, rows)
 		fmt.Println()
 		rep.Tables["trace"] = rows
+	}
+	if want("stats") {
+		fmt.Println("Stats: workload statistics overhead on the serving path (accounting off vs on p50/p95)")
+		rows, err := bench.Stats(d, repeats)
+		if err != nil {
+			return err
+		}
+		bench.RenderStats(os.Stdout, rows)
+		fmt.Println()
+		rep.Tables["stats"] = rows
 	}
 	if want("persist") {
 		fmt.Println("Persist: durability layer (snapshot save/load, cold boot vs. re-parse, WAL rates)")

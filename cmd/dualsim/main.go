@@ -9,6 +9,7 @@
 //	dualsim -data db.nt -q '…' -repeat 100                              # serve repeats via the plan cache
 //	dualsim -data db.nt -query batch.rq -batch                          # batched concurrent execution
 //	dualsim -data db.nt -q '…' -apply new.nt -del gone.nt               # live update: query, apply, re-query
+//	dualsim -top -server http://localhost:8080 -interval 2s             # live workload statistics view
 //
 // Modes:
 //
@@ -67,6 +68,9 @@ func main() {
 	applyFile := flag.String("apply", "", "N-Triples file of triples to add as a live delta after the first run")
 	delFile := flag.String("del", "", "N-Triples file of triples to delete as a live delta after the first run")
 	compactAt := flag.Int("compactat", 0, "auto-compact the update overlay at this ledger size (0 = manual)")
+	top := flag.Bool("top", false, "show a server's workload statistics table (GET /v1/debug/statements) instead of running a query")
+	serverURL := flag.String("server", "http://localhost:8080", "with -top: daemon or router base URL")
+	interval := flag.Duration("interval", 0, "with -top: refresh period (0 = print once and exit)")
 	version := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
 	if *version {
@@ -80,6 +84,14 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *top {
+		if err := runTop(ctx, *serverURL, *interval, *limit, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "dualsim:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	cfg := cliConfig{

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"dualsim/client"
+)
+
+// runTop renders a server's workload statistics table — the
+// pg_stat_statements-style view at GET /v1/debug/statements — ordered
+// by total execution time descending. With interval == 0 it prints one
+// snapshot and returns; otherwise it refreshes in place until the
+// context is cancelled (Ctrl-C).
+func runTop(ctx context.Context, serverURL string, interval time.Duration, limit int, w io.Writer) error {
+	c, err := client.New(serverURL)
+	if err != nil {
+		return err
+	}
+	for {
+		resp, err := c.Statements(ctx)
+		if err != nil {
+			return err
+		}
+		if interval > 0 {
+			// Clear the screen and home the cursor between refreshes so
+			// the table redraws in place, top(1)-style.
+			fmt.Fprint(w, "\x1b[2J\x1b[H")
+		}
+		renderStatements(w, resp, serverURL, limit)
+		if interval <= 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(interval):
+		}
+	}
+}
+
+// renderStatements prints one statements snapshot as a fixed-width
+// table plus a summary line.
+func renderStatements(w io.Writer, resp *client.StatementsResponse, serverURL string, limit int) {
+	rows := resp.Statements
+	if limit > 0 && len(rows) > limit {
+		rows = rows[:limit]
+	}
+	scope := ""
+	if resp.Shards > 0 {
+		scope = fmt.Sprintf(", merged across %d shards", resp.Shards)
+	}
+	fmt.Fprintf(w, "%s — %d statements tracked, %d evicted%s\n\n",
+		serverURL, resp.Tracked, resp.Evicted, scope)
+	fmt.Fprintf(w, "%-16s %8s %6s %5s %10s %10s %10s %10s %9s %6s  %s\n",
+		"FINGERPRINT", "CALLS", "ERRS", "SHED", "ROWS", "TOTAL", "P50", "P95", "MEM", "HIT%", "STATEMENT")
+	for i := range rows {
+		st := &rows[i]
+		hit := 0.0
+		if st.Calls > 0 {
+			hit = 100 * float64(st.CacheHits) / float64(st.Calls)
+		}
+		fmt.Fprintf(w, "%-16s %8d %6d %5d %10d %10s %10s %10s %9s %5.1f%%  %s\n",
+			st.Fingerprint, st.Calls, st.Errors, st.Shed, st.Rows,
+			shortDuration(st.TotalTime), shortDuration(st.P50), shortDuration(st.P95),
+			shortBytes(st.MaxMemBytes), hit, oneLine(st.Query, 60))
+	}
+}
+
+// shortDuration rounds a duration to a 4-significant-digit-ish display.
+func shortDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	default:
+		return d.String()
+	}
+}
+
+// shortBytes renders a byte count with a binary unit suffix.
+func shortBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// oneLine collapses a statement onto one truncated line.
+func oneLine(s string, max int) string {
+	s = strings.Join(strings.Fields(s), " ")
+	if len(s) > max {
+		s = s[:max-1] + "…"
+	}
+	return s
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestRunTopOneShot pins the -top one-shot path: a single GET against
+// /v1/debug/statements rendered as a table.
+func TestRunTopOneShot(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/debug/statements" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"statements":[{"fingerprint":"deadbeefcafef00d","query":"SELECT * WHERE { ?v0 \u003cdirected\u003e ?v1 }","calls":7,"rows":21,"cacheHits":6,"totalTime":3500000,"meanTime":500000,"p50":400000,"p95":900000,"p99":950000,"maxMemBytes":2048}],"tracked":1}`))
+	}))
+	defer srv.Close()
+
+	var out strings.Builder
+	if err := runTop(context.Background(), srv.URL, 0, 0, &out); err != nil {
+		t.Fatalf("runTop: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"deadbeefcafef00d", "FINGERPRINT", "1 statements tracked", "2.0KiB", "<directed>"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunTopLimit pins -limit truncation of the rendered table.
+func TestRunTopLimit(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"statements":[{"fingerprint":"aaaaaaaaaaaaaaaa","query":"A","calls":2},{"fingerprint":"bbbbbbbbbbbbbbbb","query":"B","calls":1}],"tracked":2}`))
+	}))
+	defer srv.Close()
+
+	var out strings.Builder
+	if err := runTop(context.Background(), srv.URL, 0, 1, &out); err != nil {
+		t.Fatalf("runTop: %v", err)
+	}
+	if !strings.Contains(out.String(), "aaaaaaaaaaaaaaaa") || strings.Contains(out.String(), "bbbbbbbbbbbbbbbb") {
+		t.Errorf("limit 1 should keep only the top row:\n%s", out.String())
+	}
+}

@@ -24,6 +24,7 @@
 //	GET  /healthz         liveness (always 200 while the process runs)
 //	GET  /readyz          readiness (503 while draining, bootstrapping or lagging)
 //	GET  /metrics         Prometheus-style metrics
+//	GET  /v1/debug/statements  per-statement workload statistics (?reset=1)
 //
 // The daemon is a thin shell over the session layer: one dualsim.DB
 // with a plan cache serves every request; admission control
@@ -106,6 +107,8 @@ type daemonConfig struct {
 	queueDepth      int
 	timeout         time.Duration
 	drainTimeout    time.Duration
+	maxQueryMem     int64
+	stmtStats       int
 	shard           string
 	follow          string
 	maxLag          uint64
@@ -134,6 +137,8 @@ func parseFlags(args []string, onError flag.ErrorHandling) daemonConfig {
 	fs.IntVar(&cfg.queueDepth, "queuedepth", 64, "requests waiting for a slot before shedding with 429")
 	fs.DurationVar(&cfg.timeout, "timeout", 0, "default per-request execution bound (0 = none; requests may set timeoutMs)")
 	fs.DurationVar(&cfg.drainTimeout, "draintimeout", 10*time.Second, "grace period for in-flight queries on shutdown")
+	fs.Int64Var(&cfg.maxQueryMem, "maxquerymem", 0, "per-query memory budget in bytes for executor buffering (0 = unbudgeted; exceeded → 413)")
+	fs.IntVar(&cfg.stmtStats, "stmtstats", -1, "workload statistics capacity at GET /v1/debug/statements (-1 = default 256, 0 disables)")
 	fs.StringVar(&cfg.shard, "shard", "", "serve shard i of an N-way predicate partitioning (\"i/N\"; filters -store)")
 	fs.StringVar(&cfg.follow, "follow", "", "run as a read replica of the primary dualsimd at this URL")
 	fs.Uint64Var(&cfg.maxLag, "maxlag", 0, "with -follow, epochs of staleness before /readyz flips to 503")
@@ -282,6 +287,9 @@ func serverOptions(cfg daemonConfig) []server.Option {
 	if cfg.slowLog > 0 {
 		opts = append(opts, server.WithSlowQueryLog(cfg.slowLog, cfg.slowThreshold))
 	}
+	if cfg.stmtStats >= 0 {
+		opts = append(opts, server.WithStatementStats(cfg.stmtStats))
+	}
 	return opts
 }
 
@@ -315,7 +323,10 @@ func serveAndDrain(ctx context.Context, cfg daemonConfig, srv *server.Server, lo
 		if err != nil {
 			return fmt.Errorf("debug listener: %w", err)
 		}
-		dbg := &http.Server{Handler: debugserver.Mux(map[string]http.Handler{"/v1/debug/slow": srv})}
+		dbg := &http.Server{Handler: debugserver.Mux(map[string]http.Handler{
+			"/v1/debug/slow":       srv,
+			"/v1/debug/statements": srv,
+		})}
 		go dbg.Serve(dln)
 		defer dbg.Close()
 		fmt.Fprintf(logw, "dualsimd: debug surface on http://%s\n", dln.Addr())
@@ -466,6 +477,10 @@ func sessionOptions(cfg daemonConfig) ([]dualsim.Option, error) {
 		// WAL); passed through even when negative so the option's
 		// validation fails loudly instead of silently ignoring the flag.
 		opts = append(opts, dualsim.WithCheckpointEvery(cfg.checkpointEvery))
+	}
+	if cfg.maxQueryMem != 0 {
+		// Passed through even when negative for loud validation.
+		opts = append(opts, dualsim.WithMaxQueryMemory(cfg.maxQueryMem))
 	}
 	return opts, nil
 }

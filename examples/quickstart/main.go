@@ -16,7 +16,9 @@
 // query through the streaming Volcano executor, printing the cost-based
 // planner's decisions and per-operator row counters from ExecStats, and
 // step 11 explains a plan without executing it (EXPLAIN) and with real
-// executed counters and the request's span tree (EXPLAIN ANALYZE).
+// executed counters and the request's span tree (EXPLAIN ANALYZE), and
+// step 12 reads the server's always-on workload statistics — three
+// spellings of (X1) folding into one normalized fingerprint.
 package main
 
 import (
@@ -389,5 +391,57 @@ SELECT * WHERE {
 	fmt.Printf("EXPLAIN ANALYZE (X1):\n%s", an.Text())
 	if ev := an.Stats.Trace.Find("evaluate"); ev != nil {
 		fmt.Printf("evaluate stage: %v for %d row(s)\n", ev.Duration.Round(time.Microsecond), ev.Counters["out"])
+	}
+
+	// --- Step 12: workload statistics ------------------------------------
+	// Every dualsimd aggregates per-statement workload statistics —
+	// pg_stat_statements for dualsim: executions are keyed by a
+	// normalized fingerprint (whitespace, literal values and variable
+	// names do not matter), each key accumulating calls, errors, rows,
+	// cache hits, latency quantiles and peak buffered memory. The table
+	// is always on (the record path is allocation-free) and served at
+	// GET /v1/debug/statements; the router merges it across shards;
+	// `dualsim -top` renders it live. A per-query memory budget
+	// (-maxquerymem / WithMaxQueryMemory) turns the same accounting into
+	// an enforcement point: a query whose buffered state outgrows the
+	// budget fails with 413 while the daemon keeps serving.
+	ssrv, err := server.New(vdb)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	shs := &http.Server{Handler: ssrv}
+	go shs.Serve(sln)
+	scl, err := client.New("http://" + sln.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The same statement three ways: verbatim, re-whitespaced, renamed
+	// variables — one fingerprint, three calls.
+	for _, q := range []string{
+		queryX1,
+		"SELECT * WHERE {?d <directed> ?m.\n\t?d <worked_with> ?c.}",
+		`SELECT * WHERE { ?who <directed> ?film . ?who <worked_with> ?with . }`,
+	} {
+		if _, err := scl.Query(ctx, q); err != nil {
+			log.Fatal(err)
+		}
+	}
+	stmts, err := scl.Statements(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nworkload statistics (%d statement(s) tracked):\n", stmts.Tracked)
+	for _, s := range stmts.Statements {
+		fmt.Printf("  %s calls=%d rows=%d cached=%d p95=%v  %s\n",
+			s.Fingerprint, s.Calls, s.Rows, s.CacheHits, s.P95.Round(time.Microsecond), s.Query)
+	}
+	shs.Close()
+	if stmts.Tracked != 1 || stmts.Statements[0].Calls != 3 {
+		fmt.Fprintln(os.Stderr, "expected the three spellings to share one fingerprint")
+		os.Exit(1)
 	}
 }

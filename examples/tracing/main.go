@@ -139,11 +139,30 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nslow-query log: %d entr(ies), newest %q in %v\n",
-		slow.Total, slow.Entries[0].Query, slow.Entries[0].Duration.Round(time.Microsecond))
+	fmt.Printf("\nslow-query log: %d entr(ies), newest %q in %v (statement %s)\n",
+		slow.Total, slow.Entries[0].Query, slow.Entries[0].Duration.Round(time.Microsecond),
+		slow.Entries[0].Fingerprint)
+
+	// The cluster-wide workload statistics: the router scrapes every
+	// shard's /v1/debug/statements and merges by normalized statement
+	// fingerprint — here, the two UNION branches the fan-out pushed down,
+	// one recorded per owning shard. `dualsim -top -server <router>`
+	// renders the same view live.
+	stmts, err := c.Statements(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nworkload statistics, merged across %d shard(s):\n", stmts.Shards)
+	for _, s := range stmts.Statements {
+		fmt.Printf("  %s calls=%d rows=%d  %s\n", s.Fingerprint, s.Calls, s.Rows, s.Query)
+	}
 
 	if root.Name != "router.fanout" || root.Find("evaluate") == nil {
 		fmt.Fprintln(os.Stderr, "span tree misses the fan-out root or a shard's evaluate stage")
+		os.Exit(1)
+	}
+	if slow.Entries[0].Fingerprint == "" || stmts.Shards != 2 || len(stmts.Statements) == 0 {
+		fmt.Fprintln(os.Stderr, "workload statistics missing: fingerprint, shard count or merged rows")
 		os.Exit(1)
 	}
 }

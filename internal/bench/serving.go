@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"sort"
@@ -12,6 +13,7 @@ import (
 
 	"dualsim"
 	"dualsim/client"
+	"dualsim/internal/metrics"
 	"dualsim/internal/queries"
 	"dualsim/internal/server"
 )
@@ -85,7 +87,14 @@ func Loopback(db *dualsim.DB, opts ...server.Option) (*client.Client, func() err
 // overhead bench). It returns the sorted client-observed latencies plus
 // the run duration, final cache stats and shed count.
 func ServeLoad(db *dualsim.DB, src string, clients, perClient, applies int, qopts ...client.QueryOpt) (lat []time.Duration, elapsed time.Duration, shed int64, err error) {
-	c, shutdown, err := Loopback(db)
+	return ServeLoadOpts(db, src, clients, perClient, applies, nil, qopts...)
+}
+
+// ServeLoadOpts is ServeLoad with explicit server options, so benches
+// can toggle server-side features (e.g. statement statistics off) while
+// keeping the same load shape.
+func ServeLoadOpts(db *dualsim.DB, src string, clients, perClient, applies int, sopts []server.Option, qopts ...client.QueryOpt) (lat []time.Duration, elapsed time.Duration, shed int64, err error) {
+	c, shutdown, err := Loopback(db, sopts...)
 	if err != nil {
 		return nil, 0, 0, err
 	}
@@ -165,13 +174,33 @@ func ServeLoad(db *dualsim.DB, src string, clients, perClient, applies int, qopt
 	return all, elapsed, shedCnt, nil
 }
 
-// Quantile picks the q-quantile (0 ≤ q ≤ 1) of sorted latencies.
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of sorted latencies
+// through the same interpolating estimator the workload statistics
+// table uses (metrics.BucketQuantile). Every distinct sample becomes a
+// bucket upper bound, so the estimate is near-exact while the math is
+// shared with the per-statement histograms.
 func Quantile(sorted []time.Duration, q float64) time.Duration {
 	if len(sorted) == 0 {
 		return 0
 	}
-	i := int(q * float64(len(sorted)-1))
-	return sorted[i]
+	bounds := make([]float64, 0, len(sorted)+1)
+	cum := make([]int64, 0, len(sorted)+1)
+	for _, d := range sorted {
+		v := d.Seconds()
+		if n := len(bounds); n > 0 && bounds[n-1] == v {
+			cum[n-1]++
+			continue
+		}
+		c := int64(1)
+		if n := len(cum); n > 0 {
+			c += cum[n-1]
+		}
+		bounds = append(bounds, v)
+		cum = append(cum, c)
+	}
+	bounds = append(bounds, math.Inf(1))
+	cum = append(cum, cum[len(cum)-1])
+	return time.Duration(metrics.BucketQuantile(bounds, cum, q) * float64(time.Second))
 }
 
 // Serving measures the end-to-end serving hot path for a representative

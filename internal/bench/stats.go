@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"dualsim"
+	"dualsim/internal/queries"
+	"dualsim/internal/server"
+)
+
+// StatsRow reports the cost of always-on workload statistics on the
+// serving hot path: the same loopback load run twice, once with the
+// statement store disabled (WithStatementStats(0)) and once with the
+// default always-on accounting, plus the cost of one
+// GET /v1/debug/statements scrape. The acceptance bar is overhead
+// within a few percent at p50 — cheap enough to leave on by default.
+// JSON tags are part of the benchtables -json artifact.
+type StatsRow struct {
+	Query    string `json:"query"`
+	Clients  int    `json:"clients"`
+	Requests int    `json:"requests"`
+	// P50Off/P95Off are client-observed latencies with statement
+	// statistics disabled; P50On/P95On with the default accounting.
+	P50Off time.Duration `json:"p50Off"`
+	P95Off time.Duration `json:"p95Off"`
+	P50On  time.Duration `json:"p50On"`
+	P95On  time.Duration `json:"p95On"`
+	// OverheadPct is the accounting-on p50's relative cost over the
+	// accounting-off p50, in percent (negative when noise favors on).
+	OverheadPct float64 `json:"overheadPct"`
+	// Scrape is the client-observed cost of one statements scrape and
+	// Tracked how many statements the scraped table held.
+	Scrape  time.Duration `json:"scrape"`
+	Tracked int           `json:"tracked"`
+}
+
+// Stats measures the workload statistics overhead per dataset on the
+// serving path.
+func Stats(d *Datasets, repeats int) ([]StatsRow, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	clients := 4
+	perClient := 25 * repeats
+	var rows []StatsRow
+	for _, id := range []string{"L0", "B14"} {
+		spec, err := queries.ByID(id)
+		if err != nil {
+			return nil, err
+		}
+		db, err := dualsim.Open(d.StoreFor(spec), dualsim.WithPlanCache(16))
+		if err != nil {
+			return nil, err
+		}
+		// Interleave the two modes through one session so both see the
+		// same warmed plan cache and matrices.
+		off, _, _, err := ServeLoadOpts(db, spec.Text, clients, perClient, 0,
+			[]server.Option{server.WithStatementStats(0)})
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		on, _, _, err := ServeLoadOpts(db, spec.Text, clients, perClient, 0, nil)
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		scrape, tracked, err := scrapeCost(db, spec.Text)
+		db.Close()
+		if err != nil {
+			return nil, err
+		}
+		row := StatsRow{
+			Query:    spec.ID,
+			Clients:  clients,
+			Requests: len(off),
+			P50Off:   Quantile(off, 0.50),
+			P95Off:   Quantile(off, 0.95),
+			P50On:    Quantile(on, 0.50),
+			P95On:    Quantile(on, 0.95),
+			Scrape:   scrape,
+			Tracked:  tracked,
+		}
+		if row.P50Off > 0 {
+			row.OverheadPct = 100 * (float64(row.P50On) - float64(row.P50Off)) / float64(row.P50Off)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// scrapeCost stands up a default (accounting-on) loopback stack, folds
+// a few executions into the statement store and times one
+// GET /v1/debug/statements round trip.
+func scrapeCost(db *dualsim.DB, src string) (d time.Duration, tracked int, err error) {
+	c, shutdown, err := Loopback(db)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer func() {
+		if serr := shutdown(); err == nil && serr != nil {
+			err = serr
+		}
+	}()
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if _, qerr := c.Query(ctx, src); qerr != nil {
+			return 0, 0, qerr
+		}
+	}
+	t0 := time.Now()
+	resp, err := c.Statements(ctx)
+	if err != nil {
+		return 0, 0, err
+	}
+	return time.Since(t0), resp.Tracked, nil
+}
+
+// RenderStats formats the workload statistics overhead rows.
+func RenderStats(w io.Writer, rows []StatsRow) {
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Query, fmt.Sprint(r.Clients), fmt.Sprint(r.Requests),
+			Millis(r.P50Off), Millis(r.P50On),
+			Millis(r.P95Off), Millis(r.P95On),
+			fmt.Sprintf("%+.1f%%", r.OverheadPct),
+			Millis(r.Scrape), fmt.Sprint(r.Tracked),
+		})
+	}
+	WriteTable(w, []string{"Query", "clients", "requests", "p50_off", "p50_on", "p95_off", "p95_on", "p50_overhead", "scrape", "tracked"}, cells)
+}

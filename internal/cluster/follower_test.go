@@ -144,7 +144,7 @@ func TestFollowerEpochGapRebootstraps(t *testing.T) {
 
 	// The primary moves on and checkpoints: the WAL records between
 	// epoch 1 and now are truncated away.
-	applyOne(t, db, "N._Roeg", "awarded", "BAFTA_Awards")   // epoch 2
+	applyOne(t, db, "N._Roeg", "awarded", "BAFTA_Awards")    // epoch 2
 	applyOne(t, db, "S._Kubrick", "directed", "The_Shining") // epoch 3
 	if _, err := db.Checkpoint(context.Background()); err != nil {
 		t.Fatal(err)

@@ -66,6 +66,7 @@ import (
 	"dualsim/internal/cluster"
 	"dualsim/internal/metrics"
 	"dualsim/internal/sparql"
+	qstats "dualsim/internal/stats"
 	"dualsim/internal/storage"
 	"dualsim/internal/trace"
 	"dualsim/internal/wire"
@@ -350,6 +351,7 @@ func New(shardEndpoints [][]string, opts ...Option) (*Router, error) {
 	r.mux.HandleFunc("GET /v1/snapshot", r.handleSnapshot)
 	r.mux.HandleFunc("GET /v1/cluster", r.handleCluster)
 	r.mux.HandleFunc("GET /v1/debug/slow", r.handleSlow)
+	r.mux.HandleFunc("GET /v1/debug/statements", r.handleStatements)
 	r.mux.HandleFunc("GET /healthz", r.handleHealth)
 	r.mux.HandleFunc("GET /readyz", r.handleReady)
 	r.mux.HandleFunc("GET /metrics", r.handleMetrics)
@@ -922,7 +924,14 @@ func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
 	r.rows.Add(int64(len(rows)))
 	// The stats trailer is synthesized — there is no single execution
 	// behind a scattered query. Epoch/Duration/Results are the merge's.
-	stats := &dualsim.ExecStats{Epoch: res.epoch, Duration: time.Since(start), Results: len(rows)}
+	// The fingerprint is the same normalized identity the shards
+	// computed, so the trailer cross-references the merged
+	// /v1/debug/statements view.
+	fprint := qstats.OfSource(qr.Query)
+	stats := &dualsim.ExecStats{
+		Epoch: res.epoch, Duration: time.Since(start), Results: len(rows),
+		Fingerprint: fprint.ID,
+	}
 	if tr != nil {
 		tr.Root().End()
 		if wantTrace {
@@ -930,7 +939,8 @@ func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
 		}
 		r.slow.Observe(trace.Entry{
 			Time: time.Now(), TraceID: tr.ID(), Query: qr.Query,
-			Duration: stats.Duration, Epoch: res.epoch, Status: http.StatusOK,
+			Fingerprint: fprint.ID,
+			Duration:    stats.Duration, Epoch: res.epoch, Status: http.StatusOK,
 			Trace: tr.Root(),
 		})
 	}
@@ -1001,7 +1011,10 @@ func (r *Router) handleBatch(w http.ResponseWriter, req *http.Request) {
 			r.rows.Add(int64(len(rows)))
 			items[i] = wire.BatchItem{
 				Vars: res.vars, Rows: rows, Epoch: res.epoch, Truncated: truncated,
-				Stats: &dualsim.ExecStats{Epoch: res.epoch, Duration: time.Since(qstart), Results: len(rows)},
+				Stats: &dualsim.ExecStats{
+					Epoch: res.epoch, Duration: time.Since(qstart), Results: len(rows),
+					Fingerprint: qstats.OfSource(src).ID,
+				},
 			}
 		}(i, src)
 	}
@@ -1140,6 +1153,61 @@ func (r *Router) handleSlow(w http.ResponseWriter, req *http.Request) {
 		ThresholdMs: float64(r.slow.Threshold()) / float64(time.Millisecond),
 		Total:       r.slow.Total(),
 		Entries:     r.slow.Entries(),
+	})
+}
+
+// handleStatements serves the cluster-wide workload statistics view:
+// every shard's /v1/debug/statements table, merged by normalized
+// statement fingerprint — calls, rows and bucketed latencies sum across
+// shards, memory peaks take the max, quantiles re-interpolate from the
+// merged buckets. ?reset=1 is forwarded, clearing every shard's table
+// after this snapshot. One shard with no reachable endpoint fails the
+// view (a partial merge would silently under-count).
+func (r *Router) handleStatements(w http.ResponseWriter, req *http.Request) {
+	ctx, cancel := r.requestContext(req, 0)
+	defer cancel()
+	reset := req.URL.Query().Get("reset") == "1" || req.URL.Query().Get("reset") == "true"
+	groups := make([][]qstats.Statement, 0, len(r.shards))
+	var evicted int64
+	for si := range r.shards {
+		var resp *wire.StatementsResponse
+		var lastErr error
+		for attempt, ep := range r.shards[si].pick(r.cfg.maxLag) {
+			if attempt > 1 {
+				break
+			}
+			var err error
+			if reset {
+				resp, err = ep.c.StatementsReset(ctx)
+			} else {
+				resp, err = ep.c.Statements(ctx)
+			}
+			if err == nil {
+				break
+			}
+			resp, lastErr = nil, err
+			if !routableFailure(ctx, err) {
+				break
+			}
+			ep.markDown(err)
+		}
+		if resp == nil {
+			r.failExec(w, shardFailure(si, lastErr))
+			return
+		}
+		groups = append(groups, resp.Statements)
+		evicted += resp.Evicted
+	}
+	merged := qstats.Merge(groups...)
+	if merged == nil {
+		merged = []qstats.Statement{}
+	}
+	r.writeJSON(w, http.StatusOK, &wire.StatementsResponse{
+		Statements:    merged,
+		Tracked:       len(merged),
+		Evicted:       evicted,
+		LatencyBounds: qstats.LatencyBounds,
+		Shards:        len(groups),
 	})
 }
 

@@ -485,3 +485,97 @@ func TestRouterSlowQueryLog(t *testing.T) {
 		t.Fatalf("slow entry = %+v", e)
 	}
 }
+
+// TestRouterStatementsMerged pins the cluster-wide workload statistics
+// view: the router scrapes every shard's /v1/debug/statements and
+// merges by fingerprint — calls sum across shards, so the router-level
+// count for any fingerprint equals the sum of the per-shard counts.
+// Push-down routing records on the owning shard; a statement executed
+// on both shards (here: posted to each directly, as replicated clients
+// do) aggregates across them.
+func TestRouterStatementsMerged(t *testing.T) {
+	full, err := dualsim.FromTriples(queries.Fig1aTriples())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var endpoints [][]string
+	var shards []*httptest.Server
+	for i := 0; i < 2; i++ {
+		st, err := cluster.ShardStore(full, cluster.ShardSpec{Index: i, N: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := startShard(t, st)
+		shards = append(shards, hs)
+		endpoints = append(endpoints, []string{hs.URL})
+	}
+	rt, err := New(endpoints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Probe(context.Background())
+	rs := httptest.NewServer(rt.Handler())
+	t.Cleanup(rs.Close)
+
+	// Single-predicate scans push down to the owning shard, recording
+	// there; run one twice so aggregation is visible.
+	src := `SELECT * WHERE { ?s <genre> ?g . }`
+	queryVia(t, rs.URL, src)
+	queryVia(t, rs.URL, src)
+	// The same statement executed on both shards directly must merge
+	// into one row whose calls are the cross-shard sum.
+	shared := `SELECT * WHERE { ?d <directed> ?m . }`
+	queryVia(t, shards[0].URL, shared)
+	queryVia(t, shards[1].URL, shared)
+
+	statements := func(url string) map[string]int64 {
+		c, err := client.New(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := c.Statements(context.Background())
+		if err != nil {
+			t.Fatalf("statements via %s: %v", url, err)
+		}
+		calls := make(map[string]int64)
+		for i := range resp.Statements {
+			calls[resp.Statements[i].Fingerprint] += resp.Statements[i].Calls
+		}
+		return calls
+	}
+	merged := statements(rs.URL)
+	if len(merged) == 0 {
+		t.Fatal("router merged view is empty")
+	}
+	perShard := []map[string]int64{statements(shards[0].URL), statements(shards[1].URL)}
+	crossShard := 0
+	for f, callsMerged := range merged {
+		sum := perShard[0][f] + perShard[1][f]
+		if callsMerged != sum {
+			t.Errorf("fingerprint %s: merged calls %d, shard sum %d", f, callsMerged, sum)
+		}
+		if perShard[0][f] > 0 && perShard[1][f] > 0 {
+			if callsMerged != 2 {
+				t.Errorf("cross-shard fingerprint %s: merged calls %d, want 2", f, callsMerged)
+			}
+			crossShard++
+		}
+	}
+	if crossShard == 0 {
+		t.Fatalf("no fingerprint aggregated across both shards: %v vs %v", perShard[0], perShard[1])
+	}
+
+	// ?reset=1 through the router clears every shard.
+	c, err := client.New(rs.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.StatementsReset(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for i, hs := range shards {
+		if got := statements(hs.URL); len(got) != 0 {
+			t.Errorf("shard %d not reset: %v", i, got)
+		}
+	}
+}

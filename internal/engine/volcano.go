@@ -2,9 +2,11 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"time"
+	"unsafe"
 
 	"dualsim/internal/plan"
 	"dualsim/internal/sparql"
@@ -48,6 +50,11 @@ type OperatorStats struct {
 	Detail  string  `json:"detail,omitempty"`
 	EstRows float64 `json:"estRows,omitempty"`
 	Rows    int64   `json:"rows"`
+	// MemBytes and RowsBuffered estimate the operator's build-side
+	// footprint: hash-join right sides and distinct/limit seen-sets are
+	// the buffering points of the tree; streaming operators stay 0.
+	MemBytes     int64 `json:"memBytes,omitempty"`
+	RowsBuffered int64 `json:"rowsBuffered,omitempty"`
 	// NextCalls counts Next invocations on the operator, including the
 	// final end-of-stream one — rows plus the pull overhead.
 	NextCalls int64 `json:"nextCalls,omitempty"`
@@ -72,6 +79,7 @@ type Exec struct {
 	ops       []*OperatorStats
 	its       []*countedIter
 	decisions []string
+	acct      *account
 }
 
 func (e *Exec) Open(ctx context.Context) error        { return e.root.Open(ctx) }
@@ -104,12 +112,90 @@ func (e *Exec) EnableTiming() {
 // Decisions returns the planner's decision log.
 func (e *Exec) Decisions() []string { return e.decisions }
 
+// ErrQueryMemoryExceeded reports that an execution's buffered state
+// outgrew its per-query memory budget (SetMaxMemory). The query fails
+// cleanly; the session stays usable.
+var ErrQueryMemoryExceeded = errors.New("engine: query memory budget exceeded")
+
+// Resources is the per-query resource accounting summary: the peak
+// estimated memory held by buffering operators (hash-join build sides,
+// distinct/limit seen-sets) and the total rows they buffered. Always
+// collected — the estimates are integer arithmetic on the paths that
+// already touch the buffered rows.
+type Resources struct {
+	// PeakBytes is the high-water estimate of buffered bytes across the
+	// whole tree; LimitBytes echoes the budget when one was set.
+	PeakBytes    int64 `json:"peakBytes"`
+	RowsBuffered int64 `json:"rowsBuffered,omitempty"`
+	LimitBytes   int64 `json:"limitBytes,omitempty"`
+}
+
+// SetMaxMemory bounds the execution's buffered-memory estimate: once
+// exceeded, the stream fails with ErrQueryMemoryExceeded. Call before
+// Open; n <= 0 means unlimited (accounting still runs).
+func (e *Exec) SetMaxMemory(n int64) { e.acct.limit = n }
+
+// Resources reads the accounting accumulated so far; like Operators it
+// is meaningful both mid-stream and after exhaustion.
+func (e *Exec) Resources() Resources {
+	return Resources{PeakBytes: e.acct.peak, RowsBuffered: e.acct.rows, LimitBytes: e.acct.limit}
+}
+
+// account tracks the execution-wide buffered-memory estimate. Volcano
+// pulls are single-threaded, so plain fields suffice — charging is two
+// integer adds and a compare on the paths that already append a row or
+// insert a key.
+type account struct {
+	cur, peak int64
+	rows      int64
+	limit     int64 // 0 = unlimited
+}
+
+// charge books bytes (and rows) against the budget, also attributing
+// them to the operator's own counters.
+func (a *account) charge(st *OperatorStats, rows, bytes int64) error {
+	st.MemBytes += bytes
+	st.RowsBuffered += rows
+	a.rows += rows
+	a.cur += bytes
+	if a.cur > a.peak {
+		a.peak = a.cur
+	}
+	if a.limit > 0 && a.cur > a.limit {
+		return fmt.Errorf("%w: %d bytes buffered, budget %d", ErrQueryMemoryExceeded, a.cur, a.limit)
+	}
+	return nil
+}
+
+// release returns an operator's booked bytes to the pool (on re-Open).
+func (a *account) release(st *OperatorStats) {
+	a.cur -= st.MemBytes
+	a.rows -= st.RowsBuffered
+	st.MemBytes = 0
+	st.RowsBuffered = 0
+}
+
+// Buffered-row cost model: a []NodeID row plus slice/bucket overhead,
+// and a seen-set key plus map-entry overhead. Estimates, not exact heap
+// sizes — stable across runs, cheap to maintain, good enough to rank
+// statements and to bound runaway queries.
+const (
+	rowOverheadBytes = 48
+	keyOverheadBytes = 48
+)
+
+func rowCostBytes(row []storage.NodeID) int64 {
+	return rowOverheadBytes + int64(len(row))*int64(unsafe.Sizeof(storage.NodeID(0)))
+}
+
+func keyCostBytes(k string) int64 { return keyOverheadBytes + int64(len(k)) }
+
 // Compile lowers and optimizes q against st and compiles the plan to an
 // iterator tree. The result streams distinct rows (set semantics) and
 // honours the query's LIMIT/OFFSET.
 func Compile(st *storage.Store, q *sparql.Query, opt plan.Options) (*Exec, error) {
 	pl := plan.Build(st, q, opt)
-	c := &compiler{st: st}
+	c := &compiler{st: st, acct: &account{}}
 	// Top-level set semantics: joins and unions may produce duplicate
 	// mappings. A Limit root already deduplicates (it counts distinct
 	// rows); anything else gets an explicit distinct, which then is the
@@ -124,9 +210,11 @@ func Compile(st *storage.Store, q *sparql.Query, opt plan.Options) (*Exec, error
 	}
 	if !limitRoot {
 		c.depth = 0
-		root = c.counted("distinct", "", 0, &distinctIter{in: root})
+		d := &distinctIter{in: root, acct: c.acct}
+		root = c.counted("distinct", "", 0, d)
+		d.stats = c.lastStats()
 	}
-	return &Exec{root: root, ops: c.ops, its: c.its, decisions: pl.Decisions}, nil
+	return &Exec{root: root, ops: c.ops, its: c.its, decisions: pl.Decisions, acct: c.acct}, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -137,7 +225,12 @@ type compiler struct {
 	ops   []*OperatorStats
 	its   []*countedIter
 	depth int // plan-tree depth of the node currently being compiled
+	acct  *account
 }
+
+// lastStats returns the stats slot counted just registered — the hook
+// buffering iterators use to attribute their memory charges.
+func (c *compiler) lastStats() *OperatorStats { return c.ops[len(c.ops)-1] }
 
 // counted registers an operator's stats slot (tagged with the current
 // tree depth) and wraps it with the row-counting shim. Registration
@@ -194,7 +287,10 @@ func (c *compiler) compile(n plan.Node) (Iterator, error) {
 			return nil, err
 		}
 		detail := limitDetail(x)
-		return c.counted("limit", detail, 0, &limitIter{in: in, limit: x.Limit, offset: x.Offset}), nil
+		li := &limitIter{in: in, limit: x.Limit, offset: x.Offset, acct: c.acct}
+		it := c.counted("limit", detail, 0, li)
+		li.stats = c.lastStats()
+		return it, nil
 	default:
 		return nil, fmt.Errorf("engine: unknown plan node %T", n)
 	}
@@ -262,7 +358,11 @@ func (c *compiler) compileJoin(ln, rn plan.Node, leftOuter bool) (Iterator, erro
 	if leftOuter {
 		op = "leftjoin"
 	}
-	return c.counted(op, "", 0, newHashJoinIter(l, r, leftOuter)), nil
+	h := newHashJoinIter(l, r, leftOuter)
+	h.acct = c.acct
+	it := c.counted(op, "", 0, h)
+	h.stats = c.lastStats()
+	return it, nil
 }
 
 func limitDetail(x plan.Limit) string {
@@ -675,6 +775,11 @@ type hashJoinIter struct {
 	pending []storage.NodeID // left-outer padded row to emit
 	n       int
 	ctx     context.Context
+
+	// resource accounting: the drained right side is the build-side
+	// buffer this operator charges against the execution's budget.
+	acct  *account
+	stats *OperatorStats
 }
 
 func newHashJoinIter(l, r Iterator, leftOuter bool) *hashJoinIter {
@@ -706,6 +811,9 @@ func (h *hashJoinIter) Open(ctx context.Context) error {
 	h.rres.Rows = h.rres.Rows[:0]
 	h.buckets = make(map[string][]int)
 	h.wildcards = nil
+	if h.acct != nil {
+		h.acct.release(h.stats)
+	}
 	if err := h.l.Open(ctx); err != nil {
 		return err
 	}
@@ -727,6 +835,11 @@ func (h *hashJoinIter) Open(ctx context.Context) error {
 			h.buckets[k] = append(h.buckets[k], i)
 		} else {
 			h.wildcards = append(h.wildcards, i)
+		}
+		if h.acct != nil {
+			if err := h.acct.charge(h.stats, 1, rowCostBytes(row)); err != nil {
+				return err
+			}
 		}
 		if i%rowCheckInterval == 0 {
 			if err := ctxErr(ctx); err != nil {
@@ -926,10 +1039,13 @@ func (u *unionIter) Next() ([]storage.NodeID, bool, error) {
 	return u.project(row, u.rMap), true, nil
 }
 
-// distinctIter drops rows already seen (set semantics).
+// distinctIter drops rows already seen (set semantics). Its seen-set is
+// a buffering point: every distinct row charges the execution account.
 type distinctIter struct {
-	in   Iterator
-	seen map[string]bool
+	in    Iterator
+	seen  map[string]bool
+	acct  *account
+	stats *OperatorStats
 }
 
 func (d *distinctIter) Vars() []string { return d.in.Vars() }
@@ -937,6 +1053,9 @@ func (d *distinctIter) Close() error   { return d.in.Close() }
 
 func (d *distinctIter) Open(ctx context.Context) error {
 	d.seen = make(map[string]bool)
+	if d.acct != nil {
+		d.acct.release(d.stats)
+	}
 	return d.in.Open(ctx)
 }
 
@@ -951,6 +1070,11 @@ func (d *distinctIter) Next() ([]storage.NodeID, bool, error) {
 			continue
 		}
 		d.seen[k] = true
+		if d.acct != nil {
+			if err := d.acct.charge(d.stats, 1, keyCostBytes(k)); err != nil {
+				return nil, false, err
+			}
+		}
 		return row, true, nil
 	}
 }
@@ -967,6 +1091,8 @@ type limitIter struct {
 	seen    map[string]bool
 	skipped int
 	emitted int
+	acct    *account
+	stats   *OperatorStats
 }
 
 func (l *limitIter) Vars() []string { return l.in.Vars() }
@@ -976,6 +1102,9 @@ func (l *limitIter) Open(ctx context.Context) error {
 	l.seen = make(map[string]bool)
 	l.skipped = 0
 	l.emitted = 0
+	if l.acct != nil {
+		l.acct.release(l.stats)
+	}
 	return l.in.Open(ctx)
 }
 
@@ -993,6 +1122,11 @@ func (l *limitIter) Next() ([]storage.NodeID, bool, error) {
 			continue
 		}
 		l.seen[k] = true
+		if l.acct != nil {
+			if err := l.acct.charge(l.stats, 1, keyCostBytes(k)); err != nil {
+				return nil, false, err
+			}
+		}
 		if l.skipped < l.offset {
 			l.skipped++
 			continue

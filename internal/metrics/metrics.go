@@ -119,6 +119,79 @@ func (h *Histogram) Buckets() ([]float64, []int64) {
 	return bounds, counts
 }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observed values
+// by linear interpolation inside the winning bucket. An empty histogram
+// reports 0; a quantile landing in the +Inf bucket reports the last
+// finite bound (there is no upper edge to interpolate toward).
+func (h *Histogram) Quantile(q float64) float64 {
+	bounds, cum := h.Buckets()
+	return BucketQuantile(bounds, cum, q)
+}
+
+// BucketQuantile estimates the q-quantile from a cumulative bucket
+// rendering as returned by Buckets (ascending upper bounds with +Inf
+// last, cumulative counts). It exists separately from Histogram.Quantile
+// so merged bucket counts — e.g. statement histograms summed across
+// shards — can be interrogated without rebuilding a live histogram.
+func BucketQuantile(bounds []float64, cum []int64, q float64) float64 {
+	if len(bounds) == 0 || len(cum) != len(bounds) {
+		return 0
+	}
+	total := cum[len(cum)-1]
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// The rank is the 1-based index of the observation the quantile
+	// falls on; ceil keeps q=1 inside the last occupied bucket.
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	for i, c := range cum {
+		if c < rank {
+			continue
+		}
+		hi := bounds[i]
+		if math.IsInf(hi, 1) {
+			// No finite upper edge: report the largest finite bound
+			// (or 0 when +Inf is the only bucket).
+			if i == 0 {
+				return 0
+			}
+			return bounds[i-1]
+		}
+		lo := 0.0
+		prev := int64(0)
+		if i > 0 {
+			lo = bounds[i-1]
+			prev = cum[i-1]
+		}
+		in := c - prev
+		if in <= 0 {
+			return hi
+		}
+		return lo + (hi-lo)*float64(rank-prev)/float64(in)
+	}
+	return bounds[len(bounds)-1]
+}
+
+// NewHistogram returns an unregistered fixed-bucket histogram over the
+// ascending upper bounds — for callers that keep many short-lived
+// histograms (e.g. per-statement latency in the workload statistics
+// store) without flooding a registry's namespace.
+func NewHistogram(bounds []float64) *Histogram {
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
 // metric is one registered series.
 type metric struct {
 	help   string
@@ -216,10 +289,7 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 			panic(fmt.Sprintf("metrics: histogram %s buckets not strictly ascending at %v", name, bounds[i]))
 		}
 	}
-	h := &Histogram{
-		bounds: append([]float64(nil), bounds...),
-		counts: make([]atomic.Int64, len(bounds)+1),
-	}
+	h := NewHistogram(bounds)
 	got := r.register(name, help, "histogram", func() float64 { return float64(h.Count()) }, h)
 	hist := got.(*Histogram)
 	r.mu.Lock()

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -173,4 +174,87 @@ func TestHistogramBadBucketsPanic(t *testing.T) {
 		}
 	}()
 	r.Histogram("bad", "x", []float64{1, 1})
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "x", []float64{0.01, 0.1, 1})
+
+	// Degenerate: nothing observed yet.
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram p50 = %v, want 0", got)
+	}
+
+	// 8 values in (0.01, 0.1], 2 in (0.1, 1]: p50 interpolates inside
+	// the second bucket, p95 inside the third.
+	for i := 0; i < 8; i++ {
+		h.Observe(0.05)
+	}
+	h.Observe(0.5)
+	h.Observe(0.5)
+	p50 := h.Quantile(0.50)
+	if p50 <= 0.01 || p50 > 0.1 {
+		t.Fatalf("p50 = %v, want inside (0.01, 0.1]", p50)
+	}
+	// rank 5 of 8 in-bucket observations: 0.01 + 0.09*5/8.
+	if want := 0.01 + 0.09*5/8; math.Abs(p50-want) > 1e-9 {
+		t.Fatalf("p50 = %v, want %v", p50, want)
+	}
+	p95 := h.Quantile(0.95)
+	if p95 <= 0.1 || p95 > 1 {
+		t.Fatalf("p95 = %v, want inside (0.1, 1]", p95)
+	}
+	// q clamps to [0, 1] and the extremes stay inside the layout.
+	if got := h.Quantile(-1); got <= 0 || got > 0.1 {
+		t.Fatalf("q<0 = %v, want first occupied bucket", got)
+	}
+	if got := h.Quantile(2); got <= 0.1 || got > 1 {
+		t.Fatalf("q>1 = %v, want last occupied bucket", got)
+	}
+}
+
+func TestHistogramQuantileSingleBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("one", "x", []float64{1})
+	h.Observe(0.2)
+	h.Observe(0.4)
+	// Interpolation starts from 0 for the first bucket: rank 1 of 2.
+	if got, want := h.Quantile(0.5), 0.5; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("single-bucket p50 = %v, want %v", got, want)
+	}
+	if got := h.Quantile(1); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("single-bucket p100 = %v, want 1", got)
+	}
+}
+
+func TestHistogramQuantileInfBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("inf", "x", []float64{0.01, 0.1})
+	h.Observe(50) // lands in +Inf
+	// No finite upper edge: the quantile reports the last finite bound.
+	if got := h.Quantile(0.99); got != 0.1 {
+		t.Fatalf("+Inf-bucket quantile = %v, want last finite bound 0.1", got)
+	}
+}
+
+func TestBucketQuantileMerged(t *testing.T) {
+	// Two shards' cumulative renderings of the same layout merge by
+	// summing position-wise; the quantile then reads the merged view.
+	bounds := []float64{0.01, 0.1, 1, math.Inf(1)}
+	a := []int64{4, 6, 6, 6}
+	b := []int64{0, 2, 4, 4}
+	merged := make([]int64, len(a))
+	for i := range a {
+		merged[i] = a[i] + b[i]
+	}
+	// 10 observations: 4 ≤0.01, 4 in (0.01,0.1], 2 in (0.1,1].
+	if got := BucketQuantile(bounds, merged, 0.5); got <= 0.01 || got > 0.1 {
+		t.Fatalf("merged p50 = %v, want inside (0.01, 0.1]", got)
+	}
+	if got := BucketQuantile(bounds, merged, 1); got <= 0.1 || got > 1 {
+		t.Fatalf("merged p100 = %v, want inside (0.1, 1]", got)
+	}
+	if got := BucketQuantile(nil, nil, 0.5); got != 0 {
+		t.Fatalf("nil buckets quantile = %v, want 0", got)
+	}
 }

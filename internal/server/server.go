@@ -78,6 +78,8 @@ type config struct {
 	readOnly       bool
 	slowLogSize    int
 	slowThreshold  time.Duration
+	stmtCapacity   int  // statement statistics store capacity (see stmtSet)
+	stmtSet        bool // WithStatementStats was given (0 then means disabled)
 }
 
 // WithMaxInFlight bounds the number of concurrently executing requests
@@ -199,6 +201,13 @@ type Server struct {
 	reg   *metrics.Registry
 	slow  *trace.SlowLog // nil unless WithSlowQueryLog
 
+	// stmts is the workload statistics store behind
+	// GET /v1/debug/statements; nil when WithStatementStats(0) disabled
+	// it (all methods are nil-safe no-ops then). topStmts memoizes its
+	// sorted snapshot for the top-rank /metrics gauges.
+	stmts    *statementStore
+	topStmts topCache
+
 	// stageSeconds are the per-pipeline-stage latency histograms, keyed
 	// by stage name; fixed at construction so Observe stays lock-free.
 	stageSeconds map[string]*metrics.Histogram
@@ -276,6 +285,8 @@ func New(db *dualsim.DB, opts ...Option) (*Server, error) {
 		latency:      reg.Histogram("dualsimd_request_seconds", "request latency", metrics.DefLatencyBuckets),
 	}
 	s.slow = trace.NewSlowLog(cfg.slowLogSize, cfg.slowThreshold)
+	s.stmts = newStatementStore(cfg)
+	s.registerStatementMetrics(reg)
 	s.stageSeconds = map[string]*metrics.Histogram{
 		"fingerprint": reg.Histogram("dualsimd_stage_fingerprint_seconds", "fingerprint pre-filter stage latency", metrics.DefLatencyBuckets),
 		"prune":       reg.Histogram("dualsimd_stage_prune_seconds", "dual-simulation pruning stage latency", metrics.DefLatencyBuckets),
@@ -359,6 +370,7 @@ func New(db *dualsim.DB, opts ...Option) (*Server, error) {
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/debug/slow", s.handleSlow)
+	s.mux.HandleFunc("GET /v1/debug/statements", s.handleStatements)
 	return s, nil
 }
 
@@ -396,6 +408,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// CPU either.
 	release, ok := s.admitOr429(w, r)
 	if !ok {
+		// Attribute the rejection to its statement: admission protects
+		// execution capacity, and the statistics table should show who
+		// is being shed.
+		s.recordShedStatement(r)
 		return
 	}
 	defer release()
@@ -445,6 +461,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// wire while later rows are still being computed.
 		rows, err := snap.QueryStream(ctx, req.Query)
 		if err != nil {
+			s.recordStatement(req.Query, nil, time.Since(start), err)
 			s.failExec(w, r, err)
 			return
 		}
@@ -455,6 +472,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	res, stats, err := snap.Query(ctx, req.Query)
+	s.recordStatement(req.Query, stats, time.Since(start), err)
 	if err != nil {
 		s.failExec(w, r, err)
 		return
@@ -514,22 +532,29 @@ func (s *Server) finishTrace(tr *trace.Trace, wantTrace bool, stats *dualsim.Exe
 	tr.Root().End()
 	var decisions []string
 	var epoch uint64
+	var fprint string
 	if stats != nil {
-		decisions, epoch = stats.PlanDecisions, stats.Epoch
+		decisions, epoch, fprint = stats.PlanDecisions, stats.Epoch, stats.Fingerprint
 		if wantTrace {
 			stats.Trace = tr.Root()
 		}
 	}
-	s.slow.Observe(trace.Entry{
+	recorded := s.slow.Observe(trace.Entry{
 		Time:          time.Now(),
 		TraceID:       tr.ID(),
 		Query:         query,
+		Fingerprint:   fprint,
 		Duration:      d,
 		Epoch:         epoch,
 		Status:        status,
 		PlanDecisions: decisions,
 		Trace:         tr.Root(),
 	})
+	if recorded && fprint != "" {
+		// Cross-link the statements table to the freshest slow capture of
+		// this statement (the slow entry carries the fingerprint back).
+		s.stmts.SetLastSlow(fprint, tr.ID())
+	}
 }
 
 // observeStages feeds the per-stage latency histograms from one
@@ -584,12 +609,14 @@ func (s *Server) streamRows(w http.ResponseWriter, st *dualsim.Store, rows *dual
 	if err := rows.Err(); err != nil {
 		// The status line is long gone; the in-band error event is the
 		// only way to tell the client the stream is dead, not complete.
+		s.recordStatement(query, rows.Stats(), time.Since(start), err)
 		_ = enc.Encode(wire.Event{Kind: wire.EventError, Error: err.Error(), Epoch: epoch})
 		flush()
 		return
 	}
 	rows.Close()
 	stats := rows.Stats()
+	s.recordStatement(query, stats, time.Since(start), nil)
 	s.finishTrace(tr, wantTrace, stats, query, time.Since(start), http.StatusOK)
 	s.observeStages(stats)
 	s.solverRounds.Add(int64(stats.Solver.Rounds))
@@ -661,6 +688,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	for i := range out {
 		s.observeStages(out[i].Stats)
+		var d time.Duration
+		if out[i].Stats != nil {
+			d = out[i].Stats.Duration
+		}
+		s.recordStatement(req.Queries[i], out[i].Stats, d, out[i].Err)
 		if out[i].Err != nil {
 			// Reported in the item's error slot; the HTTP reply is still
 			// 200, so errors_total (non-2xx responses) does not move.
@@ -1131,6 +1163,11 @@ func (s *Server) failExec(w http.ResponseWriter, r *http.Request, err error) {
 		w.WriteHeader(statusClientClosedRequest)
 	case errors.Is(err, dualsim.ErrClosed):
 		s.fail(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, dualsim.ErrQueryMemoryExceeded):
+		// The query's buffered state outgrew the session's memory budget
+		// (-maxquerymem): the payload the server would have to hold is too
+		// large, the 413 of executions. The daemon keeps serving.
+		s.fail(w, http.StatusRequestEntityTooLarge, err.Error())
 	default:
 		s.fail(w, http.StatusBadRequest, err.Error())
 	}

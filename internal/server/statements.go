@@ -1,0 +1,201 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"dualsim"
+	"dualsim/internal/metrics"
+	qstats "dualsim/internal/stats"
+	"dualsim/internal/wire"
+)
+
+// statementStore aliases the workload statistics store so the Server
+// struct (declared in server.go, where many locals are named stats) can
+// hold one without importing the package there.
+type statementStore = qstats.Store
+
+// topStatements is how many ranks of the by-total-time statement table
+// are exported as /metrics gauges.
+const topStatements = 5
+
+// topCacheTTL bounds how often a /metrics scrape re-sorts the statement
+// table: the top-rank gauges all read one memoized snapshot, so a scrape
+// costs one Statements() call per TTL window, not one per gauge.
+const topCacheTTL = time.Second
+
+// topCache memoizes the sorted statement snapshot across the top-rank
+// gauge reads of one (or several back-to-back) /metrics scrapes.
+type topCache struct {
+	mu   sync.Mutex
+	at   time.Time
+	rows []qstats.Statement
+}
+
+// WithStatementStats sizes the workload statistics store: per-statement
+// aggregates (calls, errors, rows, latency quantiles, resource peaks)
+// keyed by normalized statement fingerprint, served at
+// GET /v1/debug/statements — pg_stat_statements for dualsim. The store
+// holds up to n distinct statements, evicting least-recently-executed
+// ones beyond that. Statistics are on by default (capacity 256, cheap:
+// the per-execution record path is allocation-free); n = 0 disables
+// them entirely.
+func WithStatementStats(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("server: negative statement stats capacity %d", n)
+		}
+		c.stmtCapacity, c.stmtSet = n, true
+		return nil
+	}
+}
+
+// newStatementStore resolves the configured store: default capacity
+// unless WithStatementStats chose one, nil (disabled, all methods
+// no-ops) for an explicit 0.
+func newStatementStore(cfg config) *statementStore {
+	n := cfg.stmtCapacity
+	if !cfg.stmtSet {
+		n = qstats.DefaultCapacity
+	}
+	if n <= 0 {
+		return nil
+	}
+	return qstats.NewStore(n)
+}
+
+// recordStatement folds one query execution into the workload
+// statistics. st may be nil (error paths return no ExecStats): the
+// fingerprint is then re-derived from the source text — off the hot
+// path, which always has the prepared fingerprint in st.
+func (s *Server) recordStatement(src string, st *dualsim.ExecStats, d time.Duration, execErr error) {
+	if s.stmts == nil {
+		return
+	}
+	var f qstats.Fingerprint
+	if st != nil && st.Fingerprint != "" {
+		f = qstats.Fingerprint{ID: st.Fingerprint, Text: st.StatementText}
+	} else {
+		f = qstats.OfSource(src)
+	}
+	obs := qstats.Observation{
+		Duration: d,
+		Error:    execErr != nil,
+		Timeout:  errors.Is(execErr, context.DeadlineExceeded),
+	}
+	if st != nil {
+		obs.Rows = int64(st.Results)
+		obs.CacheHit = st.CacheHit
+		for i := range st.Operators {
+			if est := st.Operators[i].EstRows; est > 0 {
+				diff := int64(est) - st.Operators[i].Rows
+				if diff < 0 {
+					diff = -diff
+				}
+				obs.EstErrRows += diff
+			}
+		}
+		if st.Resources != nil {
+			obs.MemPeakBytes = st.Resources.PeakBytes
+			obs.RowsBuffered = st.Resources.RowsBuffered
+		}
+	}
+	s.stmts.Record(f, obs)
+}
+
+// recordShedStatement attributes an admission-control rejection to its
+// statement. The 429 was already written; reading the (bounded) body
+// here costs only the shed path, never an admitted request. Admission
+// protects execution capacity, not parsing — fingerprinting the query
+// that was refused is exactly the accounting pg_stat_statements-style
+// tables need to show who is being shed.
+func (s *Server) recordShedStatement(r *http.Request) {
+	if s.stmts == nil {
+		return
+	}
+	var req wire.QueryRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	if dec.Decode(&req) != nil || strings.TrimSpace(req.Query) == "" {
+		return
+	}
+	s.stmts.RecordShed(qstats.OfSource(req.Query))
+}
+
+// handleStatements serves the workload statistics table, ordered by
+// total execution time descending. ?reset=1 returns the snapshot and
+// then clears the store (so the caller sees what was discarded).
+func (s *Server) handleStatements(w http.ResponseWriter, r *http.Request) {
+	rows := s.stmts.Statements()
+	if rows == nil {
+		rows = []qstats.Statement{}
+	}
+	out := &wire.StatementsResponse{
+		Statements:    rows,
+		Tracked:       s.stmts.Len(),
+		Evicted:       s.stmts.Evicted(),
+		LatencyBounds: qstats.LatencyBounds,
+	}
+	if v := r.URL.Query().Get("reset"); v == "1" || v == "true" {
+		s.stmts.Reset()
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+// registerStatementMetrics exports the store's shape and its top ranks
+// by total time as gauges. The registry is label-free, so the ranks are
+// separate series (dualsimd_statement_top1_seconds, …); statement
+// identity lives at /v1/debug/statements.
+func (s *Server) registerStatementMetrics(reg *metrics.Registry) {
+	reg.GaugeFunc("dualsimd_statements_tracked", "distinct statements in the workload statistics store", func() float64 {
+		return float64(s.stmts.Len())
+	})
+	reg.GaugeFunc("dualsimd_statements_evicted", "statements LRU-evicted from the workload statistics store", func() float64 {
+		return float64(s.stmts.Evicted())
+	})
+	for rank := 1; rank <= topStatements; rank++ {
+		rank := rank
+		reg.GaugeFunc(
+			fmt.Sprintf("dualsimd_statement_top%d_seconds", rank),
+			fmt.Sprintf("total execution time of the rank-%d statement by total time", rank),
+			func() float64 {
+				rows := s.topRows()
+				if rank > len(rows) {
+					return 0
+				}
+				return rows[rank-1].TotalTime.Seconds()
+			})
+		reg.GaugeFunc(
+			fmt.Sprintf("dualsimd_statement_top%d_calls", rank),
+			fmt.Sprintf("call count of the rank-%d statement by total time", rank),
+			func() float64 {
+				rows := s.topRows()
+				if rank > len(rows) {
+					return 0
+				}
+				return float64(rows[rank-1].Calls)
+			})
+	}
+}
+
+// topRows returns the memoized sorted statement snapshot for the
+// top-rank gauges, refreshing it at most once per topCacheTTL.
+func (s *Server) topRows() []qstats.Statement {
+	c := &s.topStmts
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rows == nil || time.Since(c.at) > topCacheTTL {
+		c.rows = s.stmts.Statements()
+		if c.rows == nil {
+			c.rows = []qstats.Statement{}
+		}
+		c.at = time.Now()
+	}
+	return c.rows
+}

@@ -1,0 +1,135 @@
+// Package stats is the workload statistics layer: pg_stat_statements
+// for dualsim. Queries are keyed by a normalized statement fingerprint —
+// a hash of the canonical AST print with variables renamed positionally
+// and literal values masked — so executions of the same query *shape*
+// aggregate together regardless of whitespace, literal constants or
+// variable names. A bounded LRU of per-statement entries accumulates
+// calls, errors, rows, cache hits, shed/timeout counts, fixed-bucket
+// latency histograms and resource-accounting aggregates, cheaply enough
+// to stay on for every request (the record path is lock-cheap and
+// allocation-free once a statement is known; TestRecordAllocs pins
+// that).
+package stats
+
+import (
+	"hash/fnv"
+	"strconv"
+	"strings"
+
+	"dualsim/internal/sparql"
+)
+
+// Fingerprint identifies one statement shape.
+type Fingerprint struct {
+	// ID is the 16-hex-digit rendering of Hash — the wire and map key.
+	ID string
+	// Hash is the FNV-64a hash of Text.
+	Hash uint64
+	// Text is the canonical statement print: variables renamed ?v0, ?v1,
+	// … in first-occurrence order, literals masked to "?", IRIs kept
+	// verbatim (predicates and constants are structure, not parameters).
+	Text string
+}
+
+// Zero reports whether f carries no fingerprint.
+func (f Fingerprint) Zero() bool { return f.ID == "" }
+
+// Of fingerprints a parsed query. Two queries differing only in
+// whitespace, literal values or variable names share a fingerprint;
+// queries differing in structure (operators, predicates, IRIs, solution
+// modifiers) do not.
+func Of(q *sparql.Query) Fingerprint {
+	c := canonicalizer{names: make(map[string]string)}
+	canon := &sparql.Query{Expr: c.expr(q.Expr), Limit: q.Limit, Offset: q.Offset}
+	return fromText(canon.String())
+}
+
+// OfSource fingerprints raw query text, parsing it first. Unparseable
+// text falls back to a whitespace-insensitive hash of the source so
+// that even malformed statements aggregate stably.
+func OfSource(src string) Fingerprint {
+	q, err := sparql.Parse(src)
+	if err != nil {
+		return fromText("!parse " + strings.Join(strings.Fields(src), " "))
+	}
+	return Of(q)
+}
+
+func fromText(text string) Fingerprint {
+	h := fnv.New64a()
+	h.Write([]byte(text))
+	sum := h.Sum64()
+	return Fingerprint{ID: formatID(sum), Hash: sum, Text: text}
+}
+
+func formatID(sum uint64) string {
+	const hexdigits = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hexdigits[sum&0xf]
+		sum >>= 4
+	}
+	return string(b[:])
+}
+
+// canonicalizer rewrites an expression tree into its normal form:
+// variables renamed positionally, literals masked.
+type canonicalizer struct {
+	names map[string]string
+	next  int
+}
+
+func (c *canonicalizer) term(t sparql.Term) sparql.Term {
+	if t.IsVar() {
+		name, ok := c.names[t.Var]
+		if !ok {
+			name = "v" + strconv.Itoa(c.next)
+			c.next++
+			c.names[t.Var] = name
+		}
+		return sparql.V(name)
+	}
+	if t.Const != nil && t.Const.IsLiteral() {
+		return sparql.CL("?")
+	}
+	return t
+}
+
+func (c *canonicalizer) expr(e sparql.Expr) sparql.Expr {
+	switch x := e.(type) {
+	case sparql.BGP:
+		out := make(sparql.BGP, len(x))
+		for i, tp := range x {
+			out[i] = sparql.TriplePattern{S: c.term(tp.S), P: c.term(tp.P), O: c.term(tp.O)}
+		}
+		return out
+	case sparql.And:
+		return sparql.And{L: c.expr(x.L), R: c.expr(x.R)}
+	case sparql.Optional:
+		return sparql.Optional{L: c.expr(x.L), R: c.expr(x.R)}
+	case sparql.Union:
+		return sparql.Union{L: c.expr(x.L), R: c.expr(x.R)}
+	case sparql.Filter:
+		return sparql.Filter{Inner: c.expr(x.Inner), Cond: c.cond(x.Cond)}
+	default:
+		return e
+	}
+}
+
+func (c *canonicalizer) cond(cond sparql.Condition) sparql.Condition {
+	switch x := cond.(type) {
+	case sparql.Comparison:
+		return sparql.Comparison{Op: x.Op, L: c.term(x.L), R: c.term(x.R)}
+	case sparql.CondAnd:
+		return sparql.CondAnd{L: c.cond(x.L), R: c.cond(x.R)}
+	case sparql.CondOr:
+		return sparql.CondOr{L: c.cond(x.L), R: c.cond(x.R)}
+	case sparql.CondNot:
+		return sparql.CondNot{C: c.cond(x.C)}
+	case sparql.Bound:
+		t := c.term(sparql.V(x.Var))
+		return sparql.Bound{Var: t.Var}
+	default:
+		return cond
+	}
+}

@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dualsim/internal/sparql"
+)
+
+func TestFingerprintNormalizesParameters(t *testing.T) {
+	base := OfSource(`SELECT * WHERE { ?x <knows> "a" . }`)
+	same := []string{
+		`SELECT * WHERE { ?x <knows> "b" . }`,          // literal value
+		`SELECT * WHERE { ?who <knows> "zzz" . }`,      // variable name
+		"SELECT *\n\tWHERE {\n  ?x <knows> \"a\" .\n}", // whitespace
+	}
+	for _, src := range same {
+		if got := OfSource(src); got.ID != base.ID {
+			t.Errorf("%q fingerprints to %s, want %s (%q vs %q)", src, got.ID, base.ID, got.Text, base.Text)
+		}
+	}
+	different := []string{
+		`SELECT * WHERE { ?x <likes> "a" . }`,         // predicate
+		`SELECT * WHERE { ?x <knows> <a> . }`,         // IRI constant, not literal
+		`SELECT * WHERE { ?x <knows> ?y . }`,          // variable, not literal
+		`SELECT * WHERE { ?x <knows> "a" . } LIMIT 5`, // modifier
+	}
+	for _, src := range different {
+		if got := OfSource(src); got.ID == base.ID {
+			t.Errorf("%q collides with base fingerprint %s", src, base.ID)
+		}
+	}
+}
+
+func TestFingerprintOfMatchesOfSource(t *testing.T) {
+	src := `SELECT * WHERE { ?m <budget> ?b . FILTER(?b < "100") } LIMIT 3`
+	q, err := sparql.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Of(q).ID != OfSource(src).ID {
+		t.Fatal("Of(parsed) and OfSource(text) disagree")
+	}
+	f := Of(q)
+	if len(f.ID) != 16 || f.Hash == 0 || f.Text == "" {
+		t.Fatalf("fingerprint shape = %+v", f)
+	}
+	// The canonical text is itself parseable and a fixpoint.
+	if again := OfSource(f.Text); again.ID != f.ID {
+		t.Fatalf("canonical text %q re-fingerprints to %s, want %s", f.Text, again.ID, f.ID)
+	}
+}
+
+func TestFingerprintUnparseableFallback(t *testing.T) {
+	a := OfSource(`SELECT * WHERE { broken`)
+	b := OfSource("SELECT  *  WHERE  {\tbroken")
+	if a.Zero() || a.ID != b.ID {
+		t.Fatalf("unparseable fallback unstable: %s vs %s", a.ID, b.ID)
+	}
+	ok := OfSource(`SELECT * WHERE { ?s <p> ?o . }`)
+	if a.ID == ok.ID {
+		t.Fatal("fallback collides with a parsed fingerprint")
+	}
+}
+
+// corpus is a set of pairwise structurally distinct query templates.
+// `?A ?B ?C` are variable slots and %L literal slots: filling them with
+// arbitrary names/values — plus arbitrary token whitespace — must not
+// change the fingerprint, while no two templates may ever share one.
+var corpus = []string{
+	`SELECT * WHERE { ?A <knows> ?B . }`,
+	`SELECT * WHERE { ?A <likes> ?B . }`,
+	`SELECT * WHERE { ?A <knows> ?B . ?B <knows> ?C . }`,
+	`SELECT * WHERE { ?A <knows> "%L" . }`,
+	`SELECT * WHERE { ?A <knows> <alice> . }`,
+	`SELECT * WHERE { { ?A <knows> ?B . } UNION { ?A <likes> ?B . } }`,
+	`SELECT * WHERE { { ?A <knows> ?B . } OPTIONAL { ?A <likes> ?C . } }`,
+	`SELECT * WHERE { ?A <budget> ?B . FILTER(?B < "%L") }`,
+	`SELECT * WHERE { ?A <budget> ?B . FILTER(?B > "%L") }`,
+	`SELECT * WHERE { ?A <budget> ?B . FILTER(?B < "%L" && bound(?C)) ?A <has> ?C . }`,
+	`SELECT * WHERE { ?A <knows> ?B . } LIMIT 10`,
+	`SELECT * WHERE { ?A <knows> ?B . } LIMIT 20`,
+	`SELECT * WHERE { ?A <knows> ?B . } LIMIT 10 OFFSET 5`,
+}
+
+// render fills a template's slots with randomized names, literal values
+// and inter-token whitespace — cosmetically different, structurally
+// identical.
+func render(rng *rand.Rand, tmpl string) string {
+	for slot, name := range map[string]string{
+		"?A": "?" + fmt.Sprintf("a%d", rng.Intn(1000)),
+		"?B": "?" + fmt.Sprintf("b%d", rng.Intn(1000)),
+		"?C": "?" + fmt.Sprintf("c%d", rng.Intn(1000)),
+	} {
+		tmpl = strings.ReplaceAll(tmpl, slot, name)
+	}
+	for strings.Contains(tmpl, "%L") {
+		tmpl = strings.Replace(tmpl, "%L", fmt.Sprintf("lit%d", rng.Intn(100000)), 1)
+	}
+	// Re-space: each single space becomes 1–3 random whitespace runes.
+	ws := []string{" ", "  ", "\t", "\n", " \t "}
+	var b strings.Builder
+	for _, tok := range strings.Split(tmpl, " ") {
+		if tok == "" {
+			continue
+		}
+		b.WriteString(tok)
+		b.WriteString(ws[rng.Intn(len(ws))])
+	}
+	return b.String()
+}
+
+// TestFingerprintDifferential is the normalization property test:
+// cosmetic variants of one template always agree, and distinct
+// templates never collide across the whole randomized corpus.
+func TestFingerprintDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	byTemplate := make([]string, len(corpus))
+	seen := make(map[string]int) // fingerprint -> template index
+	for i, tmpl := range corpus {
+		for v := 0; v < 25; v++ {
+			src := render(rng, tmpl)
+			q, err := sparql.Parse(src)
+			if err != nil {
+				t.Fatalf("template %d variant %q does not parse: %v", i, src, err)
+			}
+			f := Of(q)
+			if v == 0 {
+				byTemplate[i] = f.ID
+				if prev, dup := seen[f.ID]; dup {
+					t.Fatalf("templates %d and %d collide on %s:\n  %s\n  %s", prev, i, f.ID, corpus[prev], tmpl)
+				}
+				seen[f.ID] = i
+				continue
+			}
+			if f.ID != byTemplate[i] {
+				t.Fatalf("template %d variant %q fingerprints to %s, want %s (canonical %q)",
+					i, src, f.ID, byTemplate[i], f.Text)
+			}
+		}
+	}
+	if len(seen) != len(corpus) {
+		t.Fatalf("expected %d distinct fingerprints, got %d", len(corpus), len(seen))
+	}
+}

@@ -1,0 +1,365 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dualsim/internal/metrics"
+)
+
+// LatencyBounds is the per-statement latency bucket layout (seconds).
+// It is fixed across every process of a cluster, which is what makes
+// statement rows mergeable across shards: position-wise bucket sums are
+// a valid histogram of the union workload.
+var LatencyBounds = metrics.DefLatencyBuckets
+
+// DefaultCapacity bounds the statement LRU when no capacity is given.
+const DefaultCapacity = 256
+
+// Observation is one query execution's contribution to its statement.
+type Observation struct {
+	Duration time.Duration
+	Rows     int64
+	CacheHit bool
+	// Error marks any failed execution; Timeout the deadline-exceeded
+	// subset (both are set for a timeout).
+	Error   bool
+	Timeout bool
+	// EstErrRows is the planner's cumulative |estimated − actual| row
+	// error over the operators of this execution.
+	EstErrRows int64
+	// MemPeakBytes and RowsBuffered mirror ExecStats.resources.
+	MemPeakBytes int64
+	RowsBuffered int64
+}
+
+// Statement is the aggregate view of one fingerprint — the row shape of
+// GET /v1/debug/statements. JSON tags are wire-stable lowerCamel.
+type Statement struct {
+	Fingerprint string `json:"fingerprint"`
+	// Query is the canonical normalized statement text (variables
+	// renamed, literals masked) — representative, not any one source.
+	Query     string        `json:"query"`
+	Calls     int64         `json:"calls"`
+	Errors    int64         `json:"errors,omitempty"`
+	Timeouts  int64         `json:"timeouts,omitempty"`
+	Shed      int64         `json:"shed,omitempty"`
+	Rows      int64         `json:"rows"`
+	CacheHits int64         `json:"cacheHits"`
+	TotalTime time.Duration `json:"totalTime"`
+	MeanTime  time.Duration `json:"meanTime"`
+	P50       time.Duration `json:"p50"`
+	P95       time.Duration `json:"p95"`
+	P99       time.Duration `json:"p99"`
+	// MaxMemBytes is the largest per-query memory peak seen;
+	// RowsBuffered and EstErrorRows accumulate across calls.
+	MaxMemBytes  int64 `json:"maxMemBytes,omitempty"`
+	RowsBuffered int64 `json:"rowsBuffered,omitempty"`
+	EstErrorRows int64 `json:"estErrorRows,omitempty"`
+	// LastSlowTraceID cross-links to /v1/debug/slow: the trace ID of
+	// this statement's most recent slow-log entry.
+	LastSlowTraceID string `json:"lastSlowTraceID,omitempty"`
+	// LatencyBuckets is the cumulative per-bucket call count over
+	// LatencyBounds plus the +Inf bucket — the mergeable histogram the
+	// quantiles above are interpolated from.
+	LatencyBuckets []int64 `json:"latencyBuckets,omitempty"`
+}
+
+// entry is the live aggregate for one fingerprint. All counters are
+// atomics so the record path takes no lock beyond the store's read
+// lock for the map lookup.
+type entry struct {
+	id, text string
+
+	lastUsed atomic.Int64 // recency clock value; drives LRU eviction
+
+	calls, errors, timeouts, shed atomic.Int64
+	rows, cacheHits               atomic.Int64
+	totalNs                       atomic.Int64
+	estErrRows                    atomic.Int64
+	maxMem                        atomic.Int64
+	rowsBuffered                  atomic.Int64
+	lastSlow                      atomic.Pointer[string]
+
+	hist *metrics.Histogram
+}
+
+func (e *entry) touch(clock *atomic.Int64) { e.lastUsed.Store(clock.Add(1)) }
+
+// Store is the bounded per-statement aggregate map. The zero value is
+// not usable; construct with NewStore. A nil *Store is a valid no-op
+// sink (recording disabled), mirroring trace.SlowLog.
+type Store struct {
+	mu      sync.RWMutex
+	cap     int
+	entries map[string]*entry
+	clock   atomic.Int64
+	evicted atomic.Int64
+}
+
+// NewStore returns a store keeping at most capacity statements
+// (DefaultCapacity when capacity <= 0); least-recently-recorded
+// statements are evicted first.
+func NewStore(capacity int) *Store {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Store{cap: capacity, entries: make(map[string]*entry, capacity)}
+}
+
+// Enabled reports whether the store records anything.
+func (s *Store) Enabled() bool { return s != nil }
+
+// lookup returns the live entry for fp, creating (and possibly
+// evicting) under the write lock only on first sight of a fingerprint.
+func (s *Store) lookup(fp Fingerprint) *entry {
+	s.mu.RLock()
+	e := s.entries[fp.ID]
+	s.mu.RUnlock()
+	if e != nil {
+		return e
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e = s.entries[fp.ID]; e != nil {
+		return e
+	}
+	if len(s.entries) >= s.cap {
+		s.evictLocked()
+	}
+	e = &entry{id: fp.ID, text: fp.Text, hist: metrics.NewHistogram(LatencyBounds)}
+	s.entries[fp.ID] = e
+	return e
+}
+
+// evictLocked drops the least-recently-used entry. Capacity is small
+// and inserts are rare (one per new statement shape), so a linear scan
+// beats maintaining a list on the hot path.
+func (s *Store) evictLocked() {
+	var victim string
+	oldest := int64(math.MaxInt64)
+	for id, e := range s.entries {
+		if u := e.lastUsed.Load(); u < oldest {
+			oldest, victim = u, id
+		}
+	}
+	if victim != "" {
+		delete(s.entries, victim)
+		s.evicted.Add(1)
+	}
+}
+
+// Record folds one execution into its statement aggregate. It is safe
+// for concurrent use and allocation-free once the statement exists.
+func (s *Store) Record(fp Fingerprint, obs Observation) {
+	if s == nil || fp.Zero() {
+		return
+	}
+	e := s.lookup(fp)
+	e.touch(&s.clock)
+	e.calls.Add(1)
+	e.totalNs.Add(int64(obs.Duration))
+	e.hist.Observe(obs.Duration.Seconds())
+	if obs.Rows != 0 {
+		e.rows.Add(obs.Rows)
+	}
+	if obs.CacheHit {
+		e.cacheHits.Add(1)
+	}
+	if obs.Error {
+		e.errors.Add(1)
+	}
+	if obs.Timeout {
+		e.timeouts.Add(1)
+	}
+	if obs.EstErrRows != 0 {
+		e.estErrRows.Add(obs.EstErrRows)
+	}
+	if obs.RowsBuffered != 0 {
+		e.rowsBuffered.Add(obs.RowsBuffered)
+	}
+	if m := obs.MemPeakBytes; m > 0 {
+		for {
+			cur := e.maxMem.Load()
+			if m <= cur || e.maxMem.CompareAndSwap(cur, m) {
+				break
+			}
+		}
+	}
+}
+
+// RecordShed counts an admission-shed request against its statement
+// (shed requests never execute, so they are not calls).
+func (s *Store) RecordShed(fp Fingerprint) {
+	if s == nil || fp.Zero() {
+		return
+	}
+	e := s.lookup(fp)
+	e.touch(&s.clock)
+	e.shed.Add(1)
+}
+
+// SetLastSlow cross-links the statement to its most recent slow-log
+// entry. A no-op for unknown fingerprints.
+func (s *Store) SetLastSlow(fingerprintID, traceID string) {
+	if s == nil || fingerprintID == "" || traceID == "" {
+		return
+	}
+	s.mu.RLock()
+	e := s.entries[fingerprintID]
+	s.mu.RUnlock()
+	if e != nil {
+		e.lastSlow.Store(&traceID)
+	}
+}
+
+// Len reports how many statements are tracked, Evicted how many the
+// LRU bound has dropped.
+func (s *Store) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.entries)
+}
+
+func (s *Store) Evicted() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.evicted.Load()
+}
+
+// Reset drops every statement (the ?reset=1 surface).
+func (s *Store) Reset() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.entries = make(map[string]*entry, s.cap)
+	s.mu.Unlock()
+}
+
+// Statements snapshots every aggregate, sorted by total time
+// descending (the pg_stat_statements default ordering).
+func (s *Store) Statements() []Statement {
+	if s == nil {
+		return nil
+	}
+	s.mu.RLock()
+	live := make([]*entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		live = append(live, e)
+	}
+	s.mu.RUnlock()
+
+	out := make([]Statement, 0, len(live))
+	for _, e := range live {
+		st := Statement{
+			Fingerprint:  e.id,
+			Query:        e.text,
+			Calls:        e.calls.Load(),
+			Errors:       e.errors.Load(),
+			Timeouts:     e.timeouts.Load(),
+			Shed:         e.shed.Load(),
+			Rows:         e.rows.Load(),
+			CacheHits:    e.cacheHits.Load(),
+			TotalTime:    time.Duration(e.totalNs.Load()),
+			MaxMemBytes:  e.maxMem.Load(),
+			RowsBuffered: e.rowsBuffered.Load(),
+			EstErrorRows: e.estErrRows.Load(),
+		}
+		if p := e.lastSlow.Load(); p != nil {
+			st.LastSlowTraceID = *p
+		}
+		bounds, cum := e.hist.Buckets()
+		st.LatencyBuckets = cum
+		st.P50 = secondsToDuration(metrics.BucketQuantile(bounds, cum, 0.50))
+		st.P95 = secondsToDuration(metrics.BucketQuantile(bounds, cum, 0.95))
+		st.P99 = secondsToDuration(metrics.BucketQuantile(bounds, cum, 0.99))
+		if st.Calls > 0 {
+			st.MeanTime = st.TotalTime / time.Duration(st.Calls)
+		}
+		out = append(out, st)
+	}
+	sortByTotalTime(out)
+	return out
+}
+
+// Merge folds statement rows — typically one slice per shard — into a
+// cluster-wide view keyed by fingerprint: counters and histogram
+// buckets sum position-wise, memory peaks take the max, and the
+// quantiles are re-interpolated from the merged buckets. The result is
+// sorted by total time descending.
+func Merge(groups ...[]Statement) []Statement {
+	merged := make(map[string]*Statement)
+	var order []string
+	for _, rows := range groups {
+		for i := range rows {
+			r := rows[i]
+			m, ok := merged[r.Fingerprint]
+			if !ok {
+				cp := r
+				cp.LatencyBuckets = append([]int64(nil), r.LatencyBuckets...)
+				merged[r.Fingerprint] = &cp
+				order = append(order, r.Fingerprint)
+				continue
+			}
+			m.Calls += r.Calls
+			m.Errors += r.Errors
+			m.Timeouts += r.Timeouts
+			m.Shed += r.Shed
+			m.Rows += r.Rows
+			m.CacheHits += r.CacheHits
+			m.TotalTime += r.TotalTime
+			m.RowsBuffered += r.RowsBuffered
+			m.EstErrorRows += r.EstErrorRows
+			if r.MaxMemBytes > m.MaxMemBytes {
+				m.MaxMemBytes = r.MaxMemBytes
+			}
+			if m.LastSlowTraceID == "" {
+				m.LastSlowTraceID = r.LastSlowTraceID
+			}
+			if len(m.LatencyBuckets) == len(r.LatencyBuckets) {
+				for i := range m.LatencyBuckets {
+					m.LatencyBuckets[i] += r.LatencyBuckets[i]
+				}
+			}
+		}
+	}
+	bounds := make([]float64, len(LatencyBounds)+1)
+	copy(bounds, LatencyBounds)
+	bounds[len(LatencyBounds)] = math.Inf(1)
+	out := make([]Statement, 0, len(merged))
+	for _, id := range order {
+		m := merged[id]
+		if len(m.LatencyBuckets) == len(bounds) {
+			m.P50 = secondsToDuration(metrics.BucketQuantile(bounds, m.LatencyBuckets, 0.50))
+			m.P95 = secondsToDuration(metrics.BucketQuantile(bounds, m.LatencyBuckets, 0.95))
+			m.P99 = secondsToDuration(metrics.BucketQuantile(bounds, m.LatencyBuckets, 0.99))
+		}
+		if m.Calls > 0 {
+			m.MeanTime = m.TotalTime / time.Duration(m.Calls)
+		}
+		out = append(out, *m)
+	}
+	sortByTotalTime(out)
+	return out
+}
+
+func sortByTotalTime(rows []Statement) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].TotalTime != rows[j].TotalTime {
+			return rows[i].TotalTime > rows[j].TotalTime
+		}
+		return rows[i].Fingerprint < rows[j].Fingerprint
+	})
+}
+
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}

@@ -1,0 +1,201 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+func fp(t *testing.T, src string) Fingerprint {
+	t.Helper()
+	f := OfSource(src)
+	if f.Zero() {
+		t.Fatalf("no fingerprint for %q", src)
+	}
+	return f
+}
+
+func TestStoreRecordAggregates(t *testing.T) {
+	s := NewStore(8)
+	f := fp(t, `SELECT * WHERE { ?x <knows> ?y . }`)
+
+	s.Record(f, Observation{Duration: 2 * time.Millisecond, Rows: 3, CacheHit: false, EstErrRows: 2, MemPeakBytes: 100, RowsBuffered: 3})
+	s.Record(f, Observation{Duration: 4 * time.Millisecond, Rows: 3, CacheHit: true, MemPeakBytes: 50, RowsBuffered: 3})
+	s.Record(f, Observation{Duration: 100 * time.Millisecond, Error: true, Timeout: true})
+	s.RecordShed(f)
+
+	rows := s.Statements()
+	if len(rows) != 1 {
+		t.Fatalf("statements = %d, want 1", len(rows))
+	}
+	st := rows[0]
+	if st.Fingerprint != f.ID || st.Query != f.Text {
+		t.Fatalf("identity = %q/%q, want %q/%q", st.Fingerprint, st.Query, f.ID, f.Text)
+	}
+	if st.Calls != 3 || st.Rows != 6 || st.CacheHits != 1 || st.Errors != 1 || st.Timeouts != 1 || st.Shed != 1 {
+		t.Fatalf("counters = %+v", st)
+	}
+	if st.TotalTime != 106*time.Millisecond {
+		t.Fatalf("totalTime = %v", st.TotalTime)
+	}
+	if st.MeanTime != st.TotalTime/3 {
+		t.Fatalf("meanTime = %v", st.MeanTime)
+	}
+	if st.MaxMemBytes != 100 || st.RowsBuffered != 6 || st.EstErrorRows != 2 {
+		t.Fatalf("resources = mem %d buffered %d estErr %d", st.MaxMemBytes, st.RowsBuffered, st.EstErrorRows)
+	}
+	// p50 falls with the two fast calls, p99 with the slow one.
+	if st.P50 <= 0 || st.P50 > 10*time.Millisecond {
+		t.Fatalf("p50 = %v", st.P50)
+	}
+	if st.P99 <= 25*time.Millisecond {
+		t.Fatalf("p99 = %v", st.P99)
+	}
+	if len(st.LatencyBuckets) != len(LatencyBounds)+1 {
+		t.Fatalf("latencyBuckets = %d, want %d", len(st.LatencyBuckets), len(LatencyBounds)+1)
+	}
+	if st.LatencyBuckets[len(st.LatencyBuckets)-1] != 3 {
+		t.Fatalf("+Inf bucket = %d, want 3", st.LatencyBuckets[len(st.LatencyBuckets)-1])
+	}
+}
+
+func TestStoreSortedByTotalTime(t *testing.T) {
+	s := NewStore(8)
+	cheap := fp(t, `SELECT * WHERE { ?x <a> ?y . }`)
+	costly := fp(t, `SELECT * WHERE { ?x <b> ?y . }`)
+	s.Record(cheap, Observation{Duration: time.Millisecond})
+	s.Record(costly, Observation{Duration: time.Second})
+	rows := s.Statements()
+	if len(rows) != 2 || rows[0].Fingerprint != costly.ID {
+		t.Fatalf("order = %+v, want %s first", rows, costly.ID)
+	}
+}
+
+func TestStoreLRUEviction(t *testing.T) {
+	s := NewStore(2)
+	a := fp(t, `SELECT * WHERE { ?x <a> ?y . }`)
+	b := fp(t, `SELECT * WHERE { ?x <b> ?y . }`)
+	c := fp(t, `SELECT * WHERE { ?x <c> ?y . }`)
+	s.Record(a, Observation{})
+	s.Record(b, Observation{})
+	s.Record(a, Observation{}) // refresh a: b is now the LRU victim
+	s.Record(c, Observation{})
+	if s.Len() != 2 || s.Evicted() != 1 {
+		t.Fatalf("len = %d evicted = %d, want 2/1", s.Len(), s.Evicted())
+	}
+	ids := map[string]bool{}
+	for _, st := range s.Statements() {
+		ids[st.Fingerprint] = true
+	}
+	if !ids[a.ID] || !ids[c.ID] || ids[b.ID] {
+		t.Fatalf("survivors = %v, want a and c", ids)
+	}
+}
+
+func TestStoreReset(t *testing.T) {
+	s := NewStore(8)
+	s.Record(fp(t, `SELECT * WHERE { ?x <a> ?y . }`), Observation{})
+	s.Reset()
+	if s.Len() != 0 || len(s.Statements()) != 0 {
+		t.Fatalf("reset left %d statements", s.Len())
+	}
+}
+
+func TestStoreSlowLogCrossLink(t *testing.T) {
+	s := NewStore(8)
+	f := fp(t, `SELECT * WHERE { ?x <a> ?y . }`)
+	s.SetLastSlow(f.ID, "ffff") // unknown statement: dropped
+	s.Record(f, Observation{})
+	s.SetLastSlow(f.ID, "abcd1234")
+	if got := s.Statements()[0].LastSlowTraceID; got != "abcd1234" {
+		t.Fatalf("lastSlowTraceID = %q", got)
+	}
+}
+
+func TestNilStoreIsNoop(t *testing.T) {
+	var s *Store
+	if s.Enabled() {
+		t.Fatal("nil store claims enabled")
+	}
+	s.Record(Fingerprint{ID: "x"}, Observation{})
+	s.RecordShed(Fingerprint{ID: "x"})
+	s.SetLastSlow("x", "y")
+	s.Reset()
+	if s.Len() != 0 || s.Statements() != nil || s.Evicted() != 0 {
+		t.Fatal("nil store not a no-op")
+	}
+}
+
+func TestMergeAcrossShards(t *testing.T) {
+	s0, s1 := NewStore(8), NewStore(8)
+	f := fp(t, `SELECT * WHERE { ?x <knows> ?y . }`)
+	other := fp(t, `SELECT * WHERE { ?x <likes> ?y . }`)
+	s0.Record(f, Observation{Duration: 2 * time.Millisecond, Rows: 1, MemPeakBytes: 10})
+	s0.Record(f, Observation{Duration: 2 * time.Millisecond, Rows: 1})
+	s1.Record(f, Observation{Duration: 8 * time.Millisecond, Rows: 4, MemPeakBytes: 99})
+	s1.Record(other, Observation{Duration: time.Millisecond})
+
+	merged := Merge(s0.Statements(), s1.Statements())
+	if len(merged) != 2 {
+		t.Fatalf("merged = %d statements, want 2", len(merged))
+	}
+	var m *Statement
+	for i := range merged {
+		if merged[i].Fingerprint == f.ID {
+			m = &merged[i]
+		}
+	}
+	if m == nil {
+		t.Fatalf("fingerprint %s lost in merge", f.ID)
+	}
+	// The cluster-wide call count is the sum over shards — the invariant
+	// the routed CI run asserts.
+	if m.Calls != 3 || m.Rows != 6 || m.TotalTime != 12*time.Millisecond {
+		t.Fatalf("merged = %+v", m)
+	}
+	if m.MaxMemBytes != 99 {
+		t.Fatalf("merged maxMem = %d, want 99", m.MaxMemBytes)
+	}
+	if m.MeanTime != 4*time.Millisecond {
+		t.Fatalf("merged mean = %v", m.MeanTime)
+	}
+	if m.P50 <= 0 || m.P99 < m.P50 {
+		t.Fatalf("merged quantiles p50 %v p99 %v", m.P50, m.P99)
+	}
+	inf := m.LatencyBuckets[len(m.LatencyBuckets)-1]
+	if inf != 3 {
+		t.Fatalf("merged +Inf bucket = %d, want 3", inf)
+	}
+}
+
+// TestRecordAllocs pins the always-on accounting contract: once a
+// statement is known, folding an execution into it allocates nothing —
+// the record path rides on every cache-hit query.
+func TestRecordAllocs(t *testing.T) {
+	s := NewStore(8)
+	f := fp(t, `SELECT * WHERE { ?x <knows> ?y . }`)
+	obs := Observation{Duration: time.Millisecond, Rows: 2, CacheHit: true, MemPeakBytes: 64, RowsBuffered: 2}
+	s.Record(f, obs)
+	if n := testing.AllocsPerRun(200, func() { s.Record(f, obs) }); n != 0 {
+		t.Fatalf("Record allocates %.1f times per call, want 0", n)
+	}
+}
+
+func TestStoreConcurrentRecord(t *testing.T) {
+	s := NewStore(4)
+	f := fp(t, `SELECT * WHERE { ?x <knows> ?y . }`)
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 500; j++ {
+				s.Record(f, Observation{Duration: time.Microsecond, Rows: 1})
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if got := s.Statements()[0].Calls; got != 4000 {
+		t.Fatalf("calls = %d, want 4000", got)
+	}
+}

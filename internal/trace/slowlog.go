@@ -15,6 +15,11 @@ type Entry struct {
 	TraceID string `json:"traceID,omitempty"`
 	// Query is the SPARQL source text as received.
 	Query string `json:"query"`
+	// Fingerprint is the statement's normalized fingerprint — the key
+	// under which /v1/debug/statements aggregates its workload row, so a
+	// slow capture can be cross-referenced with its statement statistics
+	// (and vice versa: the statements row lists its last slow TraceID).
+	Fingerprint string `json:"fingerprint,omitempty"`
 	// Duration is the end-to-end server-side request time.
 	Duration time.Duration `json:"duration"`
 	// Epoch is the store epoch the request answered from.

@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"dualsim"
+	"dualsim/internal/stats"
 	"dualsim/internal/trace"
 )
 
@@ -320,6 +321,27 @@ type SlowLogResponse struct {
 	// (entries beyond the ring capacity are dropped oldest-first).
 	Total   int64         `json:"total"`
 	Entries []trace.Entry `json:"entries"`
+}
+
+// StatementsResponse is the body of GET /v1/debug/statements: the
+// workload statistics rows, ordered by total execution time descending —
+// pg_stat_statements for dualsim. On the router the rows are the
+// fingerprint-keyed merge of every shard's table and Shards counts the
+// sources; on a daemon Shards is 0.
+type StatementsResponse struct {
+	// Statements are the per-normalized-statement aggregates.
+	Statements []stats.Statement `json:"statements"`
+	// Tracked and Evicted size the store: distinct statements currently
+	// held, and how many were LRU-evicted since boot (or the last reset).
+	Tracked int   `json:"tracked"`
+	Evicted int64 `json:"evicted,omitempty"`
+	// LatencyBounds are the histogram bucket upper bounds (seconds)
+	// behind each row's latencyBuckets counts (which carry one extra
+	// +Inf bucket).
+	LatencyBounds []float64 `json:"latencyBounds,omitempty"`
+	// Shards is the number of shard tables merged into this view (router
+	// only).
+	Shards int `json:"shards,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx reply.

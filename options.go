@@ -36,6 +36,8 @@ type settings struct {
 	dataDir         string // non-empty makes the session durable (snapshot + WAL)
 	checkpointEvery int    // > 0 checkpoints automatically every n WAL records
 
+	maxQueryMemory int64 // > 0 caps per-query buffered bytes in the Volcano executor
+
 	stages []Stage // non-nil overrides the default pipeline composition
 }
 
@@ -207,6 +209,25 @@ func WithCheckpointEvery(n int) Option {
 			return fmt.Errorf("dualsim: negative checkpoint interval %d", n)
 		}
 		s.checkpointEvery = n
+		return nil
+	}
+}
+
+// WithMaxQueryMemory caps the memory one execution may buffer inside the
+// streaming Volcano executor — hash-join build sides, DISTINCT and
+// LIMIT/OFFSET seen-sets — at n bytes (estimated; see
+// ExecStats.Resources for the cost model's per-operator attribution).
+// An execution that exceeds the budget fails with ErrQueryMemoryExceeded
+// instead of growing without bound; dualsimd maps the error to HTTP 413.
+// n = 0 (the default) leaves queries unbudgeted. The budget applies to
+// the Volcano engine's buffering only — the materializing engines and
+// the solver are not metered.
+func WithMaxQueryMemory(n int64) Option {
+	return func(s *settings) error {
+		if n < 0 {
+			return fmt.Errorf("dualsim: negative query memory budget %d", n)
+		}
+		s.maxQueryMemory = n
 		return nil
 	}
 }

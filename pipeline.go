@@ -13,6 +13,17 @@ import (
 	"dualsim/internal/trace"
 )
 
+// ErrQueryMemoryExceeded is returned by an execution whose buffered
+// state (hash-join build sides, DISTINCT/OFFSET seen-sets) outgrew the
+// session's WithMaxQueryMemory budget. Served as HTTP 413 by dualsimd.
+var ErrQueryMemoryExceeded = engine.ErrQueryMemoryExceeded
+
+// Resources is the per-query resource accounting of a streaming
+// execution: estimated peak buffered bytes and rows across all
+// buffering operators, plus the budget in force. See
+// ExecStats.Resources.
+type Resources = engine.Resources
+
 // OperatorStats is the per-operator counter set of a streaming
 // execution: which physical operator ran (scan, extend, hashjoin,
 // filter, union, limit, distinct, …), over what pattern or condition,
@@ -135,6 +146,9 @@ func EvaluateStage() Stage {
 			if err != nil {
 				return err
 			}
+			if n := x.pq.db.set.maxQueryMemory; n > 0 {
+				ex.SetMaxMemory(n)
+			}
 			if sp != nil {
 				// A traced execution pays for per-operator clocks; the
 				// default path never reads the clock per row.
@@ -143,6 +157,8 @@ func EvaluateStage() Stage {
 			res, err = engine.Drain(ctx, ex)
 			x.stats.Operators = ex.Operators()
 			x.stats.PlanDecisions = ex.Decisions()
+			r := ex.Resources()
+			x.stats.Resources = &r
 			attachOperatorSpans(sp, x.stats.Operators)
 			if err != nil {
 				return err
@@ -235,6 +251,22 @@ type ExecStats struct {
 	// line per join reordering, filter pushdown or LIMIT pushdown it
 	// applied (only when the session engine is Volcano).
 	PlanDecisions []string `json:"planDecisions,omitempty"`
+	// Resources is the execution's resource accounting: estimated peak
+	// buffered bytes and rows across the streaming executor's buffering
+	// operators (hash-join build sides, DISTINCT/OFFSET seen-sets), and
+	// the WithMaxQueryMemory budget in force. Nil for the materializing
+	// engines, which do not meter.
+	Resources *Resources `json:"resources,omitempty"`
+	// Fingerprint identifies the statement's normalized shape — the hash
+	// of the canonical query text with literals masked and variables
+	// renamed positionally. It keys the workload statistics store
+	// (/v1/debug/statements) and the slow-query log cross-link.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// StatementText is the canonical (normalized) statement text behind
+	// Fingerprint. It is carried for the serving layer's statistics
+	// store, not serialized per response — the statements endpoint
+	// reports it once per statement instead.
+	StatementText string `json:"-"`
 	// Unsatisfiable reports that the solve proved the query empty (every
 	// UNION branch has an empty mandatory variable, Theorem 1).
 	Unsatisfiable bool `json:"unsatisfiable,omitempty"`

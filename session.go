@@ -15,6 +15,7 @@ import (
 	"dualsim/internal/partition"
 	"dualsim/internal/persist"
 	"dualsim/internal/prune"
+	"dualsim/internal/stats"
 	"dualsim/internal/trace"
 )
 
@@ -313,8 +314,15 @@ type PreparedQuery struct {
 	stages     []Stage
 	restrict   [][]*bitvec.Vector // per branch, indexed like Branch.Vars; nil when nothing restricted
 	fpTightest int                // smallest lifted candidate-set size (fingerprint stage's Out)
+	fprint     stats.Fingerprint  // normalized statement identity, computed once at Prepare
 	prep       PrepareStats
 }
+
+// Fingerprint returns the query's normalized statement fingerprint: the
+// stable identity under which the serving layer aggregates workload
+// statistics. Cosmetic variants of one statement — whitespace, literal
+// values, variable names — share it; structural changes never do.
+func (pq *PreparedQuery) Fingerprint() string { return pq.fprint.ID }
 
 // Prepare parses the query source and plans it against the session's
 // current snapshot. The returned PreparedQuery may be executed any
@@ -358,7 +366,7 @@ func (db *DB) prepareParsed(snap *dbSnapshot, q *Query, start time.Time, parse t
 	}
 	plan.Finalize()
 
-	pq := &PreparedQuery{db: db, snap: snap, q: q, plan: plan, stages: db.stagesFor(snap)}
+	pq := &PreparedQuery{db: db, snap: snap, q: q, plan: plan, stages: db.stagesFor(snap), fprint: stats.Of(q)}
 	pq.prep.Branches = len(plan.Branches)
 	for _, br := range plan.Branches {
 		pq.prep.Variables += br.Sys.NumVars()
@@ -427,6 +435,8 @@ func (pq *PreparedQuery) Exec(ctx context.Context) (*Result, *ExecStats, error) 
 		Epoch:         pq.snap.epoch,
 		TriplesBefore: pq.snap.st.NumTriples(),
 		TriplesAfter:  pq.snap.st.NumTriples(),
+		Fingerprint:   pq.fprint.ID,
+		StatementText: pq.fprint.Text,
 	}
 	x := &execState{pq: pq, stats: stats}
 	// The solved relation's χ rows live in the plan's solver pool; once

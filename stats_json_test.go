@@ -6,7 +6,9 @@ import (
 	"time"
 
 	"dualsim"
+	"dualsim/internal/stats"
 	"dualsim/internal/trace"
+	"dualsim/internal/wire"
 )
 
 // TestStatsJSONFieldNames pins the wire-stable lowerCamel JSON keys of
@@ -94,6 +96,51 @@ func TestStatsJSONFieldNames(t *testing.T) {
 	}
 	if opKeys["detail"] || opKeys["estRows"] {
 		t.Errorf("OperatorStats optional zero keys not omitted: %v", opKeys)
+	}
+
+	// Resource accounting and the statement fingerprint ride inside the
+	// stats trailer; the internal StatementText carrier must never leak
+	// onto the wire.
+	requireKeys("ExecStats(resources)",
+		keysOf(dualsim.ExecStats{
+			Resources:   &dualsim.Resources{PeakBytes: 64, RowsBuffered: 2},
+			Fingerprint: "deadbeefcafef00d", StatementText: "internal",
+		}),
+		"resources", "fingerprint")
+	requireKeys("Resources", keysOf(dualsim.Resources{PeakBytes: 64, RowsBuffered: 2}),
+		"peakBytes", "rowsBuffered")
+	{
+		keys := keysOf(dualsim.ExecStats{StatementText: "internal"})
+		if keys["resources"] || keys["fingerprint"] {
+			t.Errorf("empty resources/fingerprint not omitted: %v", keys)
+		}
+		if keys["statementText"] || keys["StatementText"] {
+			t.Errorf("StatementText leaked onto the wire: %v", keys)
+		}
+	}
+	requireKeys("stats.Statement", keysOf(stats.Statement{
+		Fingerprint: "deadbeefcafef00d", Query: "SELECT * WHERE { ?v0 <p> ?v1 }",
+		Calls: 3, Errors: 1, Timeouts: 1, Shed: 1, Rows: 6, CacheHits: 2,
+		TotalTime: time.Second, MeanTime: time.Second / 3,
+		P50: time.Millisecond, P95: time.Millisecond, P99: time.Millisecond,
+		MaxMemBytes: 64, RowsBuffered: 2, EstErrorRows: 1,
+		LastSlowTraceID: "t1", LatencyBuckets: []int64{1, 2, 3},
+	}),
+		"fingerprint", "query", "calls", "errors", "timeouts", "shed", "rows", "cacheHits",
+		"totalTime", "meanTime", "p50", "p95", "p99",
+		"maxMemBytes", "rowsBuffered", "estErrorRows", "lastSlowTraceID", "latencyBuckets")
+	requireKeys("StatementsResponse", keysOf(wire.StatementsResponse{
+		Statements: []stats.Statement{}, Tracked: 1, Evicted: 2,
+		LatencyBounds: []float64{0.001}, Shards: 2,
+	}),
+		"statements", "tracked", "evicted", "latencyBounds", "shards")
+	// A never-slow, never-failing statement keeps its mandatory counters
+	// and sheds the optional zeros.
+	if keys := keysOf(stats.Statement{Fingerprint: "f", Query: "q", Calls: 1}); keys["errors"] ||
+		keys["shed"] || keys["maxMemBytes"] || keys["lastSlowTraceID"] {
+		t.Errorf("Statement zero counters not omitted: %v", keys)
+	} else if !keys["rows"] || !keys["cacheHits"] {
+		t.Errorf("Statement mandatory keys missing: %v", keys)
 	}
 
 	requireKeys("PlanCacheStats", keysOf(dualsim.PlanCacheStats{Capacity: 4, Hits: 1, Misses: 1}),

@@ -24,9 +24,9 @@ type Rows struct {
 	ex    *engine.Exec
 	st    *Store // decode dictionary of the pinned snapshot
 	stats *ExecStats
-	begin time.Time // Stream entry, for the end-to-end duration
-	eval  time.Time // evaluate-stage start, for its StageStats
-	in    int       // evaluate-stage input cardinality
+	begin time.Time   // Stream entry, for the end-to-end duration
+	eval  time.Time   // evaluate-stage start, for its StageStats
+	in    int         // evaluate-stage input cardinality
 	sp    *trace.Span // evaluate span of a traced stream; nil otherwise
 	row   []storage.NodeID
 	n     int
@@ -56,6 +56,8 @@ func (pq *PreparedQuery) Stream(ctx context.Context) (*Rows, error) {
 		Epoch:         pq.snap.epoch,
 		TriplesBefore: pq.snap.st.NumTriples(),
 		TriplesAfter:  pq.snap.st.NumTriples(),
+		Fingerprint:   pq.fprint.ID,
+		StatementText: pq.fprint.Text,
 	}
 	x := &execState{pq: pq, stats: stats}
 	parent := trace.SpanFromContext(ctx)
@@ -103,6 +105,9 @@ func (pq *PreparedQuery) Stream(ctx context.Context) (*Rows, error) {
 	ex, err := engine.Compile(target, pq.q, plan.Options{})
 	if err != nil {
 		return nil, err
+	}
+	if n := pq.db.set.maxQueryMemory; n > 0 {
+		ex.SetMaxMemory(n)
 	}
 	if parent != nil {
 		// A traced stream pays for per-operator clocks, like Exec.
@@ -192,6 +197,8 @@ func (r *Rows) finish() {
 	})
 	r.stats.Results = r.n
 	r.stats.Operators = r.ex.Operators()
+	res := r.ex.Resources()
+	r.stats.Resources = &res
 	r.stats.Duration = time.Since(r.begin)
 	r.sp.End()
 	if r.sp != nil {
