@@ -42,6 +42,8 @@ type BatchResult struct {
 
 // BatchStats aggregates the outcome of one batch execution. JSON tags
 // are part of the serving wire format (see ExecStats).
+//
+//dualsim:wire
 type BatchStats struct {
 	// Requests is the number of requests in the batch; Failed how many
 	// carried an error.

@@ -49,6 +49,8 @@ func main() {
 
 // report is the -json artifact: configuration plus every computed table,
 // keyed by table name.
+//
+//dualsim:wire
 type report struct {
 	Universities int            `json:"universities"`
 	KGScale      int            `json:"kgscale"`

@@ -155,7 +155,7 @@ func parseFlags(args []string, onError flag.ErrorHandling) daemonConfig {
 // until ctx is cancelled or a termination signal arrives, then drains
 // and exits. When ready is non-nil, the bound address is sent on it once
 // the listener is up (the hook the tests and -addr :0 users rely on).
-func run(ctx context.Context, cfg daemonConfig, logw *os.File, ready chan<- string) error {
+func run(ctx context.Context, cfg daemonConfig, logw *os.File, ready chan<- string) (err error) {
 	if cfg.follow != "" {
 		if cfg.store != "" || cfg.data != "" || cfg.shard != "" {
 			return fmt.Errorf("-follow runs a read replica fed by the primary's WAL; it conflicts with -store, -data and -shard")
@@ -169,7 +169,9 @@ func run(ctx context.Context, cfg daemonConfig, logw *os.File, ready chan<- stri
 	if err != nil {
 		return err
 	}
-	defer db.Close()
+	// A durable session's Close releases the WAL and the data-dir lock;
+	// a failure there must reach the exit status, not vanish.
+	defer func() { err = errors.Join(err, db.Close()) }()
 
 	srv, err := server.New(db, serverOptions(cfg)...)
 	if err != nil {
@@ -195,7 +197,7 @@ func run(ctx context.Context, cfg daemonConfig, logw *os.File, ready chan<- stri
 // loop bootstraps from the primary and hot-swaps sessions in as it
 // catches up. No final checkpoint on shutdown — the replica's
 // durability IS the primary's WAL.
-func runFollower(ctx context.Context, cfg daemonConfig, logw *os.File, ready chan<- string) error {
+func runFollower(ctx context.Context, cfg daemonConfig, logw *os.File, ready chan<- string) (err error) {
 	sessOpts, err := sessionOptions(cfg)
 	if err != nil {
 		return err
@@ -208,7 +210,7 @@ func runFollower(ctx context.Context, cfg daemonConfig, logw *os.File, ready cha
 	if err != nil {
 		return err
 	}
-	defer placeholder.Close()
+	defer func() { err = errors.Join(err, placeholder.Close()) }()
 
 	// The follower and the server need each other (readiness hook one
 	// way, session hot-swap the other); the closure breaks the cycle.
@@ -303,7 +305,7 @@ func openAccessLog(path string) (*os.File, func(), error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return f, func() { f.Close() }, nil
+	return f, func() { _ = f.Close() }, nil // shutdown-path close; nothing left to ack
 }
 
 // serveAndDrain listens, serves until ctx cancels or a termination
@@ -328,7 +330,7 @@ func serveAndDrain(ctx context.Context, cfg daemonConfig, srv *server.Server, lo
 			"/v1/debug/statements": srv,
 		})}
 		go dbg.Serve(dln)
-		defer dbg.Close()
+		defer func() { _ = dbg.Close() }() // debug surface only; serving drain is handled below
 		fmt.Fprintf(logw, "dualsimd: debug surface on http://%s\n", dln.Addr())
 	}
 	if ready != nil {
@@ -415,7 +417,9 @@ func openSession(cfg daemonConfig, logw *os.File) (*dualsim.DB, error) {
 	}
 	start := time.Now()
 	st, err := dualsim.LoadNTriples(f)
-	f.Close()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return nil, err
 	}

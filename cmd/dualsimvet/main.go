@@ -1,0 +1,25 @@
+// Command dualsimvet runs the dualsim invariant suite (internal/lint):
+// custom static analyzers enforcing the engine's correctness contracts
+// — context threading, wire-stable JSON tags, lock discipline,
+// allocation-free hot paths and checked durability errors.
+//
+// Usage:
+//
+//	dualsimvet ./...                     # standalone (re-execs go vet)
+//	go vet -vettool=$(which dualsimvet) ./...
+//	dualsimvet -errsync -ctxflow ./...   # run a subset
+//
+// Exit status is 0 when the tree is clean, 2 when any analyzer reports
+// a diagnostic, 1 on operational errors.
+package main
+
+import (
+	"os"
+
+	"dualsim/internal/lint"
+	"dualsim/internal/lint/vetdriver"
+)
+
+func main() {
+	os.Exit(vetdriver.Main("dualsimvet", os.Args[1:], lint.Analyzers()))
+}

@@ -255,6 +255,8 @@ func (o Options) config() core.Config {
 
 // Stats reports solver effort. JSON tags are part of the serving wire
 // format (see ExecStats).
+//
+//dualsim:wire
 type Stats struct {
 	// Rounds is the number of solver rounds ("iterations" in the paper).
 	Rounds int `json:"rounds"`

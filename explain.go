@@ -18,6 +18,8 @@ import (
 //
 // JSON tags are part of the serving wire format (see ExecStats); Text
 // renders the deterministic human-readable tree.
+//
+//dualsim:wire
 type Explain struct {
 	// Query is the normalized query text the plan was built from.
 	Query string `json:"query"`

@@ -91,6 +91,8 @@ func timeIt(repeats int, fn func()) time.Duration {
 
 // Table2Row compares the three dual simulation algorithms on one
 // OPTIONAL-stripped BGP.
+//
+//dualsim:wire
 type Table2Row struct {
 	Query      string        `json:"query"`
 	TSOI       time.Duration `json:"tSOI"`
@@ -141,6 +143,8 @@ func Table2(d *Datasets, repeats int) ([]Table2Row, error) {
 // Table 3
 
 // Table3Row reports pruning effectiveness for one query.
+//
+//dualsim:wire
 type Table3Row struct {
 	Query        string        `json:"query"`
 	Results      int           `json:"results"`
@@ -200,6 +204,8 @@ func Table3(d *Datasets, repeats int) ([]Table3Row, error) {
 // Tables 4 and 5
 
 // EngineRow compares evaluation on the full vs. the pruned database.
+//
+//dualsim:wire
 type EngineRow struct {
 	Query     string        `json:"query"`
 	TDB       time.Duration `json:"tDB"`       // evaluation on the full store
@@ -255,6 +261,8 @@ func EngineComparison(d *Datasets, eng engine.Engine, repeats int) ([]EngineRow,
 // Iteration shapes (§5.3)
 
 // IterRow reports SOI convergence effort for one query.
+//
+//dualsim:wire
 type IterRow struct {
 	Query       string `json:"query"`
 	Cyclic      bool   `json:"cyclic"`
@@ -291,6 +299,8 @@ func IterationShapes(d *Datasets) ([]IterRow, error) {
 // the cost of a cold Query (parse + plan + execute) versus the
 // steady-state cached path, the repeated-traffic regime the ROADMAP's
 // serving goal cares about.
+//
+//dualsim:wire
 type ThroughputRow struct {
 	Query string `json:"query"`
 	// TCold is the first Query on a fresh session: full planning plus
@@ -364,6 +374,8 @@ func RenderThroughput(w io.Writer, rows []ThroughputRow) {
 // cost of a small Apply, the first Query after it (an epoch-keyed cache
 // miss: re-plan + execute on the new snapshot), the steady-state cached
 // Query between updates, and an on-demand compaction of the final state.
+//
+//dualsim:wire
 type UpdateRow struct {
 	Query string `json:"query"`
 	// THot is the cached Query with no intervening update (minimum over
@@ -482,6 +494,8 @@ func RenderUpdates(w io.Writer, rows []UpdateRow) {
 
 // OrderRow reports the round-count spread over random inequality orders
 // for one query's mandatory core.
+//
+//dualsim:wire
 type OrderRow struct {
 	Query           string `json:"query"`
 	HeuristicRounds int    `json:"heuristicRounds"`
@@ -507,7 +521,7 @@ func OrderSearch(d *Datasets, trials int, seed int64) ([]OrderRow, error) {
 			return nil, err
 		}
 		sys := core.BuildSystem(st, pat, core.Config{})
-		stats := sys.SearchOrders(trials, seed, soi.Options{})
+		stats := sys.SearchOrders(context.Background(), trials, seed, soi.Options{})
 		rows = append(rows, OrderRow{
 			Query:           spec.ID,
 			HeuristicRounds: stats.HeuristicRounds,

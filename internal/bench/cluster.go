@@ -24,6 +24,8 @@ import (
 // the replica catch-up rate — how fast a WAL-streaming follower replays
 // a primary's backlog. JSON tags are part of the benchtables -json
 // artifact.
+//
+//dualsim:wire
 type ClusterRow struct {
 	Query  string `json:"query"`
 	Shards int    `json:"shards"`

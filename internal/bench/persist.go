@@ -25,6 +25,8 @@ import (
 const persistWALRecords = 256
 
 // PersistRow reports the durability metrics for one dataset.
+//
+//dualsim:wire
 type PersistRow struct {
 	Dataset string `json:"dataset"`
 	Triples int    `json:"triples"`

@@ -19,6 +19,8 @@ import (
 // (declared pattern order, filter at the root, or full materialization)
 // against the optimized one (cost-based reorder, pushdown, or the
 // streaming cursor's first row).
+//
+//dualsim:wire
 type PlannerRow struct {
 	Case      string        `json:"case"`
 	Baseline  time.Duration `json:"baseline"`

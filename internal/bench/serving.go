@@ -24,6 +24,8 @@ import (
 // ROADMAP's "heavy traffic" goal targets. Writers interleave Apply
 // traffic so the numbers include epoch-keyed re-planning, exactly like
 // production. JSON tags are part of the benchtables -json artifact.
+//
+//dualsim:wire
 type ServingRow struct {
 	Query string `json:"query"`
 	// Clients is the concurrent reader count, Requests the total reads

@@ -18,6 +18,8 @@ import (
 // GET /v1/debug/statements scrape. The acceptance bar is overhead
 // within a few percent at p50 — cheap enough to leave on by default.
 // JSON tags are part of the benchtables -json artifact.
+//
+//dualsim:wire
 type StatsRow struct {
 	Query    string `json:"query"`
 	Clients  int    `json:"clients"`

@@ -16,6 +16,8 @@ import (
 // tree built, serialized and shipped in the stats trailer). The
 // acceptance bar is overhead under a few percent at p50. JSON tags are
 // part of the benchtables -json artifact.
+//
+//dualsim:wire
 type TraceRow struct {
 	Query    string `json:"query"`
 	Clients  int    `json:"clients"`

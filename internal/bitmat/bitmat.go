@@ -118,6 +118,8 @@ func (m *CSR) NNZ() int { return len(m.cols) }
 func (m *CSR) Row(i int) []uint32 { return m.cols[m.ptr[i]:m.ptr[i+1]] }
 
 // UnionRows implements Mat.
+//
+//dualsim:hotpath
 func (m *CSR) UnionRows(x, dst *bitvec.Vector) {
 	x.ForEach(func(i int) bool {
 		for _, j := range m.Row(i) {
@@ -128,6 +130,8 @@ func (m *CSR) UnionRows(x, dst *bitvec.Vector) {
 }
 
 // RowIntersects implements Mat.
+//
+//dualsim:hotpath
 func (m *CSR) RowIntersects(i int, x *bitvec.Vector) bool {
 	for _, j := range m.Row(i) {
 		if x.Get(int(j)) {
@@ -196,6 +200,8 @@ func (c *Compressed) Dim() int { return c.n }
 func (c *Compressed) NNZ() int { return c.nnz }
 
 // UnionRows implements Mat.
+//
+//dualsim:hotpath
 func (c *Compressed) UnionRows(x, dst *bitvec.Vector) {
 	x.ForEach(func(i int) bool {
 		if row, ok := c.rows[i]; ok {
@@ -206,6 +212,8 @@ func (c *Compressed) UnionRows(x, dst *bitvec.Vector) {
 }
 
 // RowIntersects implements Mat.
+//
+//dualsim:hotpath
 func (c *Compressed) RowIntersects(i int, x *bitvec.Vector) bool {
 	row, ok := c.rows[i]
 	return ok && row.Intersects(x)
@@ -270,6 +278,8 @@ const (
 // with cand by the SOI update rule.
 //
 // It returns the number of set bits of x ("work left") purely as a metric.
+//
+//dualsim:hotpath
 func (p Pair) Multiply(dir Direction, x, cand, dst *bitvec.Vector, s Strategy) int {
 	a, at := p.F, p.B
 	if dir == Backward {

@@ -37,6 +37,8 @@ func putVec(v *bitvec.Vector) { vecPool.Put(v) }
 // MultiplyParallel computes r = (x ×b A) ∧ cand into dst like Multiply,
 // distributing the work over the given number of goroutines. workers ≤ 1
 // falls back to the serial kernel.
+//
+//dualsim:hotpath
 func (p Pair) MultiplyParallel(dir Direction, x, cand, dst *bitvec.Vector, s Strategy, workers int) int {
 	if workers <= 1 {
 		return p.Multiply(dir, x, cand, dst, s)
@@ -67,6 +69,8 @@ func (p Pair) MultiplyParallel(dir Direction, x, cand, dst *bitvec.Vector, s Str
 
 // parallelUnionRows distributes the set bits of x (by word ranges) over
 // workers, each unioning its rows into a pooled private accumulator.
+//
+//dualsim:hotpath
 func parallelUnionRows(a Mat, x, dst *bitvec.Vector, workers int) {
 	words := x.Words()
 	ranges := wordRanges(len(words), workers)
@@ -99,6 +103,8 @@ func parallelUnionRows(a Mat, x, dst *bitvec.Vector, workers int) {
 
 // parallelProbeColumns distributes the candidate columns (by word ranges
 // of cand) over workers; each probes its columns against the transpose.
+//
+//dualsim:hotpath
 func parallelProbeColumns(at Mat, x, cand, dst *bitvec.Vector, workers int) {
 	words := cand.Words()
 	ranges := wordRanges(len(words), workers)
@@ -161,6 +167,8 @@ func wordRanges(n, workers int) [][2]int {
 // sliceInto overwrites dst (same length as v, already zeroed by getVec)
 // with only the words of v in [lo, hi) — a copy-free-enough way to reuse
 // the serial kernels per range with pooled inputs.
+//
+//dualsim:hotpath
 func sliceInto(dst, v *bitvec.Vector, lo, hi int) {
 	copy(dst.Words()[lo:hi], v.Words()[lo:hi])
 }

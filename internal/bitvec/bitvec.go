@@ -67,18 +67,24 @@ func wordsFor(n int) int { return (n + wordBits - 1) / wordBits }
 func (v *Vector) Len() int { return v.n }
 
 // Set sets bit i to 1.
+//
+//dualsim:hotpath
 func (v *Vector) Set(i int) {
 	v.boundsCheck(i)
 	v.words[i>>wordLog] |= 1 << uint(i&wordMask)
 }
 
 // Clear sets bit i to 0.
+//
+//dualsim:hotpath
 func (v *Vector) Clear(i int) {
 	v.boundsCheck(i)
 	v.words[i>>wordLog] &^= 1 << uint(i&wordMask)
 }
 
 // Get reports whether bit i is set.
+//
+//dualsim:hotpath
 func (v *Vector) Get(i int) bool {
 	v.boundsCheck(i)
 	return v.words[i>>wordLog]&(1<<uint(i&wordMask)) != 0
@@ -99,6 +105,8 @@ func (v *Vector) Fill() {
 }
 
 // Zero clears every bit.
+//
+//dualsim:hotpath
 func (v *Vector) Zero() {
 	clear(v.words)
 }
@@ -138,6 +146,8 @@ func (v *Vector) Clone() *Vector {
 }
 
 // CopyFrom overwrites v with the contents of w. The lengths must match.
+//
+//dualsim:hotpath
 func (v *Vector) CopyFrom(w *Vector) {
 	v.sameLen(w)
 	copy(v.words, w.words)
@@ -152,6 +162,8 @@ func (v *Vector) sameLen(w *Vector) {
 // And replaces v with v ∧ w and reports whether v changed. This is the
 // component-wise conjunction used in the SOI update step
 // χS'(v) := χS(v) ∧ r.
+//
+//dualsim:hotpath
 func (v *Vector) And(w *Vector) bool {
 	v.sameLen(w)
 	changed := false
@@ -167,6 +179,8 @@ func (v *Vector) And(w *Vector) bool {
 }
 
 // Or replaces v with v ∨ w and reports whether v changed.
+//
+//dualsim:hotpath
 func (v *Vector) Or(w *Vector) bool {
 	v.sameLen(w)
 	changed := false
@@ -182,6 +196,8 @@ func (v *Vector) Or(w *Vector) bool {
 }
 
 // AndNot replaces v with v ∧ ¬w and reports whether v changed.
+//
+//dualsim:hotpath
 func (v *Vector) AndNot(w *Vector) bool {
 	v.sameLen(w)
 	changed := false
@@ -198,6 +214,8 @@ func (v *Vector) AndNot(w *Vector) bool {
 
 // Intersects reports whether v ∧ w has any set bit, i.e. the non-disjointness
 // test of the paper's equation (4): F_a(v') ∩ χS(w) ≠ ∅.
+//
+//dualsim:hotpath
 func (v *Vector) Intersects(w *Vector) bool {
 	v.sameLen(w)
 	for i, x := range w.words {
@@ -210,6 +228,8 @@ func (v *Vector) Intersects(w *Vector) bool {
 
 // SubsetOf reports whether every set bit of v is also set in w — the
 // component-wise ≤ of the paper's inequalities (10).
+//
+//dualsim:hotpath
 func (v *Vector) SubsetOf(w *Vector) bool {
 	v.sameLen(w)
 	for i, x := range v.words {
@@ -244,6 +264,8 @@ func (v *Vector) IsEmpty() bool {
 }
 
 // Count returns the number of set bits (population count).
+//
+//dualsim:hotpath
 func (v *Vector) Count() int {
 	c := 0
 	for _, x := range v.words {
@@ -253,6 +275,8 @@ func (v *Vector) Count() int {
 }
 
 // Any returns the position of an arbitrary (the lowest) set bit, or -1.
+//
+//dualsim:hotpath
 func (v *Vector) Any() int {
 	for i, x := range v.words {
 		if x != 0 {

@@ -171,6 +171,8 @@ func (f *Follower) Ready() error {
 }
 
 // FollowerStats is a point-in-time view of replication progress.
+//
+//dualsim:wire
 type FollowerStats struct {
 	// Epoch is the replica's session epoch (0 before bootstrap).
 	Epoch uint64 `json:"epoch"`

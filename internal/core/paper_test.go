@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"dualsim/internal/bitmat"
@@ -377,7 +378,7 @@ func TestVerifySolutionAgainstSOI(t *testing.T) {
 	st := fig1a(t)
 	p := patternX1()
 	sys := BuildSystem(st, p, Config{})
-	sol := sys.Solve(soi.Options{})
+	sol := sys.Solve(context.Background(), soi.Options{})
 	if bad := sys.Verify(sol); bad != nil {
 		t.Fatalf("solution violates %v", bad)
 	}

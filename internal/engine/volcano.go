@@ -45,6 +45,8 @@ type Iterator interface {
 // ExecStats: which operator ran, over what (a pattern or condition), the
 // planner's cardinality estimate where one exists, and the rows actually
 // produced.
+//
+//dualsim:wire
 type OperatorStats struct {
 	Op      string  `json:"op"`
 	Detail  string  `json:"detail,omitempty"`
@@ -122,6 +124,8 @@ var ErrQueryMemoryExceeded = errors.New("engine: query memory budget exceeded")
 // distinct/limit seen-sets) and the total rows they buffered. Always
 // collected — the estimates are integer arithmetic on the paths that
 // already touch the buffered rows.
+//
+//dualsim:wire
 type Resources struct {
 	// PeakBytes is the high-water estimate of buffered bytes across the
 	// whole tree; LimitBytes echoes the budget when one was set.

@@ -18,6 +18,8 @@ import (
 )
 
 // Record is one access-log line. JSON tags are the log schema.
+//
+//dualsim:wire
 type Record struct {
 	Time     string  `json:"time"` // RFC3339Nano, UTC
 	Method   string  `json:"method"`

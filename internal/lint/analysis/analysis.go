@@ -1,0 +1,179 @@
+// Package analysis is a minimal, dependency-free re-implementation of
+// the golang.org/x/tools/go/analysis vocabulary (Analyzer, Pass,
+// Diagnostic) used by the dualsimvet invariant suite.
+//
+// The container this repository builds in has no module proxy access,
+// so the real x/tools framework cannot be vendored; the subset below is
+// API-compatible in spirit (an Analyzer has a Name, a Doc and a Run
+// function over a type-checked Pass) which keeps the analyzers in
+// internal/lint portable to the upstream framework if it ever becomes
+// available.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one invariant check. Run is invoked once per
+// type-checked package and reports findings through the Pass.
+type Analyzer struct {
+	// Name is the analyzer identifier: a valid flag name, shown in
+	// diagnostics and used to enable/disable the pass.
+	Name string
+	// Doc is the one-paragraph contract the analyzer enforces. The
+	// first line is used as the flag usage string.
+	Doc string
+	// Run performs the check. It may return an error for internal
+	// failures; invariant violations are reported via Pass.Reportf.
+	Run func(*Pass) error
+}
+
+// Pass is the per-package unit of work handed to an Analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Diagnostic is one reported invariant violation.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s", d.Pos, d.Message)
+}
+
+// NewPass assembles a Pass; sink receives each reported diagnostic.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, sink func(Diagnostic)) *Pass {
+	return &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info, report: sink}
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Path returns the package's import path with any test-variant suffix
+// ("pkg [pkg.test]") stripped, so scope checks match both the plain
+// package and its in-package test compilation.
+func (p *Pass) Path() string {
+	path := p.Pkg.Path()
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	return path
+}
+
+// IsTestFile reports whether file was parsed from a _test.go source.
+func (p *Pass) IsTestFile(file *ast.File) bool {
+	name := p.Fset.Position(file.Package).Filename
+	return strings.HasSuffix(name, "_test.go")
+}
+
+// SourceFiles yields the non-test files of the pass: invariants gate
+// production code; tests are free to use context.Background, ignore
+// Close errors, and allocate.
+func (p *Pass) SourceFiles() []*ast.File {
+	out := make([]*ast.File, 0, len(p.Files))
+	for _, f := range p.Files {
+		if !p.IsTestFile(f) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// CalleeFunc resolves the *types.Func a call expression invokes, or nil
+// for calls through function-typed variables, conversions and builtins.
+// It resolves both plain identifiers and selector calls (including
+// method values on embedded fields).
+func (p *Pass) CalleeFunc(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := p.TypesInfo.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := p.TypesInfo.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+		}
+		if fn, ok := p.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// IsPkgFunc reports whether call invokes the package-level function
+// pkgPath.name (e.g. "context", "Background").
+func (p *Pass) IsPkgFunc(call *ast.CallExpr, pkgPath string, names ...string) bool {
+	fn := p.CalleeFunc(call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// MethodOn reports whether fn is a method declared on the named type
+// pkgPath.typeName (receiver may be a pointer).
+func MethodOn(fn *types.Func, pkgPath, typeName string) bool {
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == typeName && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// IsContext reports whether t is context.Context.
+func IsContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// HasPrefixPath reports whether path equals prefix or is a subpackage
+// of it.
+func HasPrefixPath(path, prefix string) bool {
+	return path == prefix || strings.HasPrefix(path, prefix+"/")
+}

@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"dualsim/internal/lint/analysis"
+)
+
+// ctxflowScope lists the packages whose exported surface must thread
+// request contexts end to end: the evaluation core (engine, soi), the
+// serving path (server, cluster) and the durability layer (persist).
+var ctxflowScope = []string{
+	"internal/engine",
+	"internal/soi",
+	"internal/server",
+	"internal/cluster",
+	"internal/persist",
+}
+
+// CtxflowAnalyzer enforces the context-threading contract: cancellation
+// must flow from the HTTP handler down to the SOI round loop and the
+// WAL. Inside the scope packages it reports
+//
+//  1. any call to context.Background or context.TODO (only main
+//     packages and tests may originate a context);
+//  2. exported functions that take a context.Context anywhere but the
+//     first parameter;
+//  3. exported functions without a context parameter that nevertheless
+//     pass a context conjured from outside their own parameters,
+//     receiver or locals to a callee.
+var CtxflowAnalyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "enforce context threading: no context.Background/TODO in engine, soi, server, cluster or persist; " +
+		"exported functions take ctx first",
+	Run: runCtxflow,
+}
+
+func runCtxflow(pass *analysis.Pass) error {
+	if !inScope(pass.Path(), ctxflowScope...) {
+		return nil
+	}
+	for _, file := range pass.SourceFiles() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if pass.IsPkgFunc(call, "context", "Background") {
+					pass.Reportf(call.Pos(), "call to context.Background outside main or tests; thread the caller's context")
+				}
+				if pass.IsPkgFunc(call, "context", "TODO") {
+					pass.Reportf(call.Pos(), "call to context.TODO outside main or tests; thread the caller's context")
+				}
+			}
+			return true
+		})
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || !fn.Name.IsExported() {
+				continue
+			}
+			checkCtxSignature(pass, fn)
+		}
+	}
+	return nil
+}
+
+// checkCtxSignature applies rules 2 and 3 to one exported FuncDecl.
+func checkCtxSignature(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ctxAt := -1
+	pos := 0
+	if fn.Type.Params != nil {
+		for _, field := range fn.Type.Params.List {
+			t := pass.TypesInfo.TypeOf(field.Type)
+			n := len(field.Names)
+			if n == 0 {
+				n = 1
+			}
+			if analysis.IsContext(t) && ctxAt < 0 {
+				ctxAt = pos
+			}
+			pos += n
+		}
+	}
+	if ctxAt > 0 {
+		pass.Reportf(fn.Pos(), "exported function %s takes context.Context at parameter %d; context must be the first parameter", fn.Name.Name, ctxAt)
+		return
+	}
+	if ctxAt == 0 || fn.Body == nil {
+		return
+	}
+
+	// No context parameter: every context this function hands to a
+	// callee must still trace to its own scope (parameters, receiver,
+	// or locals derived from them) — not a stored global.
+	local := map[types.Object]bool{}
+	for id, obj := range pass.TypesInfo.Defs {
+		if obj == nil {
+			continue
+		}
+		if fn.Pos() <= id.Pos() && id.Pos() <= fn.End() {
+			local[obj] = true
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, arg := range call.Args {
+			t := pass.TypesInfo.TypeOf(arg)
+			if t == nil || !analysis.IsContext(t) {
+				continue
+			}
+			root := rootIdent(arg)
+			if root == nil {
+				continue // composite or call-rooted; Background/TODO is caught above
+			}
+			obj := pass.TypesInfo.Uses[root]
+			if obj == nil || local[obj] {
+				continue
+			}
+			if _, isVar := obj.(*types.Var); !isVar {
+				continue // package or function name roots, e.g. context.WithTimeout(...)
+			}
+			pass.Reportf(arg.Pos(), "exported function %s passes a context from outside its own scope; accept a context.Context first parameter instead", fn.Name.Name)
+		}
+		return true
+	})
+}
+
+// rootIdent unwraps x to the identifier at the base of a selector /
+// call / index chain: for s.cfg.ctx it returns s, for r.Context() it
+// returns r, for plain ctx it returns ctx.
+func rootIdent(x ast.Expr) *ast.Ident {
+	for {
+		switch e := x.(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			x = e.X
+		case *ast.CallExpr:
+			x = e.Fun
+		case *ast.IndexExpr:
+			x = e.X
+		case *ast.ParenExpr:
+			x = e.X
+		case *ast.StarExpr:
+			x = e.X
+		case *ast.TypeAssertExpr:
+			x = e.X
+		case *ast.UnaryExpr:
+			x = e.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"dualsim/internal/lint/analysis"
+)
+
+// errsyncScope: the durability layer and the daemon whose shutdown
+// path owns the final WAL checkpoint. The WAL-before-ack contract is
+// only as strong as the weakest ignored fsync result.
+var errsyncScope = []string{
+	"internal/persist",
+	"cmd/dualsimd",
+}
+
+// errsyncNames are the error-returning durability operations whose
+// results must not be dropped: file sync/close/write, lock
+// acquisition/release, buffered flushes and graceful shutdowns.
+var errsyncNames = map[string]bool{
+	"Sync":        true,
+	"Close":       true,
+	"Write":       true,
+	"WriteString": true,
+	"WriteAt":     true,
+	"Flush":       true,
+	"Flock":       true,
+	"Shutdown":    true,
+	"Checkpoint":  true,
+}
+
+// ErrsyncAnalyzer reports durability calls whose error result is
+// silently discarded — a bare `f.Close()` statement or a bare
+// `defer f.Sync()`. An explicit `_ = f.Close()` is accepted as a
+// visible, greppable acknowledgment on paths where the error is
+// genuinely uninteresting (e.g. closing a fully-read file); everywhere
+// else the error must join the function's error flow, because a
+// swallowed fsync failure silently voids the WAL-before-ack guarantee.
+var ErrsyncAnalyzer = &analysis.Analyzer{
+	Name: "errsync",
+	Doc:  "in persist and dualsimd, Sync/Close/Write/Flush/Flock/Shutdown error results must be checked (or explicitly discarded with _ =)",
+	Run:  runErrsync,
+}
+
+func runErrsync(pass *analysis.Pass) error {
+	if !inScope(pass.Path(), errsyncScope...) {
+		return nil
+	}
+	for _, file := range pass.SourceFiles() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					checkErrsyncCall(pass, call, false)
+				}
+			case *ast.DeferStmt:
+				checkErrsyncCall(pass, st.Call, true)
+			case *ast.GoStmt:
+				checkErrsyncCall(pass, st.Call, true)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkErrsyncCall(pass *analysis.Pass, call *ast.CallExpr, deferred bool) {
+	fn := pass.CalleeFunc(call)
+	if fn == nil || !errsyncNames[fn.Name()] {
+		// Also catch syscall.Flock, which is a package function.
+		if fn == nil || !(fn.Pkg() != nil && fn.Pkg().Path() == "syscall" && fn.Name() == "Flock") {
+			return
+		}
+	}
+	if !returnsError(fn) {
+		return
+	}
+	how := "discards"
+	if deferred {
+		how = "defers and discards"
+	}
+	pass.Reportf(call.Pos(), "%s the error from %s; check it (WAL-before-ack depends on surfaced sync/close failures) or discard explicitly with _ =", how, callDesc(fn))
+}
+
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	last := res.At(res.Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+func callDesc(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return "(" + named.Obj().Name() + ")." + fn.Name()
+		}
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}

@@ -1,0 +1,284 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"dualsim/internal/lint/analysis"
+)
+
+// nolockioScope: the sharded-mutex statement store, the admission
+// path, the router endpoint tables and the metrics registry are the
+// serving hot spots where an I/O call under a mutex stalls every
+// request behind it.
+var nolockioScope = []string{
+	"internal/stats",
+	"internal/server",
+	"internal/cluster",
+	"internal/metrics",
+}
+
+// NolockioAnalyzer forbids blocking operations while a sync.Mutex or
+// sync.RWMutex is held: network or file I/O, log/fmt printing to
+// streams, and channel sends. The required shape is snapshot-under-
+// lock, act-after-unlock.
+//
+// The check is a linear, intra-procedural walk: a region opens at a
+// `mu.Lock()`/`mu.RLock()` statement and closes at the matching
+// `Unlock`/`RUnlock`; a deferred unlock keeps the region open to the
+// end of the function. Function literals are not entered — a closure
+// runs on its own schedule.
+var NolockioAnalyzer = &analysis.Analyzer{
+	Name: "nolockio",
+	Doc:  "no network/file I/O, log/fmt printing or channel sends while holding a sync.Mutex/RWMutex in stats, server, cluster or metrics",
+	Run:  runNolockio,
+}
+
+func runNolockio(pass *analysis.Pass) error {
+	if !inScope(pass.Path(), nolockioScope...) {
+		return nil
+	}
+	for _, file := range pass.SourceFiles() {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			w := &lockWalker{pass: pass}
+			w.block(fn.Body.List, 0)
+		}
+	}
+	return nil
+}
+
+type lockWalker struct {
+	pass *analysis.Pass
+}
+
+// block walks stmts with the given entry lock depth and returns the
+// depth at the end of the sequence. Nested control flow is walked
+// conservatively: the deepest branch wins.
+func (w *lockWalker) block(stmts []ast.Stmt, depth int) int {
+	for _, s := range stmts {
+		depth = w.stmt(s, depth)
+	}
+	return depth
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, depth int) int {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			switch w.lockOp(call) {
+			case lockAcquire:
+				return depth + 1
+			case lockRelease:
+				if depth > 0 {
+					return depth - 1
+				}
+				return 0
+			}
+		}
+		if depth > 0 {
+			w.checkLocked(st.X, depth)
+		}
+		return depth
+	case *ast.DeferStmt:
+		// A deferred unlock pins the region open for the rest of the
+		// function; any other deferred call runs after the locks are
+		// (presumably) released, so its body is not checked.
+		return depth
+	case *ast.GoStmt:
+		// The goroutine body runs without this goroutine's locks.
+		return depth
+	case *ast.BlockStmt:
+		return w.block(st.List, depth)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			depth = w.stmt(st.Init, depth)
+		}
+		if depth > 0 {
+			w.checkLocked(st.Cond, depth)
+		}
+		after := w.block(st.Body.List, depth)
+		if st.Else != nil {
+			after = max(after, w.stmt(st.Else, depth))
+		} else {
+			after = max(after, depth)
+		}
+		return after
+	case *ast.ForStmt:
+		if st.Init != nil {
+			depth = w.stmt(st.Init, depth)
+		}
+		if depth > 0 {
+			if st.Cond != nil {
+				w.checkLocked(st.Cond, depth)
+			}
+			if st.Post != nil {
+				w.stmt(st.Post, depth)
+			}
+		}
+		return max(depth, w.block(st.Body.List, depth))
+	case *ast.RangeStmt:
+		if depth > 0 {
+			w.checkLocked(st.X, depth)
+		}
+		return max(depth, w.block(st.Body.List, depth))
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			depth = w.stmt(st.Init, depth)
+		}
+		if depth > 0 && st.Tag != nil {
+			w.checkLocked(st.Tag, depth)
+		}
+		after := depth
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				after = max(after, w.block(cc.Body, depth))
+			}
+		}
+		return after
+	case *ast.TypeSwitchStmt:
+		after := depth
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				after = max(after, w.block(cc.Body, depth))
+			}
+		}
+		return after
+	case *ast.SelectStmt:
+		after := depth
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				if depth > 0 && cc.Comm != nil {
+					if send, ok := cc.Comm.(*ast.SendStmt); ok {
+						w.reportSend(send.Arrow, depth)
+					}
+				}
+				after = max(after, w.block(cc.Body, depth))
+			}
+		}
+		return after
+	case *ast.LabeledStmt:
+		return w.stmt(st.Stmt, depth)
+	case *ast.SendStmt:
+		if depth > 0 {
+			w.reportSend(st.Arrow, depth)
+			w.checkLocked(st.Value, depth)
+		}
+		return depth
+	default:
+		if depth > 0 {
+			ast.Inspect(s, func(n ast.Node) bool {
+				switch nn := n.(type) {
+				case *ast.FuncLit:
+					return false
+				case *ast.SendStmt:
+					w.reportSend(nn.Arrow, depth)
+				case *ast.CallExpr:
+					w.checkCall(nn, depth)
+				}
+				return true
+			})
+		}
+		return depth
+	}
+}
+
+// checkLocked inspects one expression tree for banned operations while
+// a lock is held, without descending into function literals.
+func (w *lockWalker) checkLocked(e ast.Expr, depth int) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			w.checkCall(nn, depth)
+		}
+		return true
+	})
+}
+
+func (w *lockWalker) reportSend(pos token.Pos, depth int) {
+	w.pass.Reportf(pos, "channel send while holding a mutex (lock depth %d); release the lock before communicating", depth)
+}
+
+func (w *lockWalker) checkCall(call *ast.CallExpr, depth int) {
+	fn := w.pass.CalleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	pkg, name := fn.Pkg().Path(), fn.Name()
+	bad := ""
+	switch {
+	case pkg == "log":
+		bad = "log." + name
+	case pkg == "fmt" && (strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") || name == "Scan" || name == "Scanln" || name == "Scanf"):
+		bad = "fmt." + name
+	case pkg == "os" && osIOFuncs[name]:
+		bad = "os." + name
+	case analysis.MethodOn(fn, "os", "File"):
+		bad = "(*os.File)." + name
+	case pkg == "net/http":
+		bad = "net/http " + name
+	case pkg == "net" && (strings.HasPrefix(name, "Dial") || strings.HasPrefix(name, "Listen") || strings.HasPrefix(name, "Lookup") || isMethod(fn)):
+		bad = "net " + name
+	case pkg == "io" && ioFuncs[name]:
+		bad = "io." + name
+	case analysis.MethodOn(fn, "bufio", "Writer") && name == "Flush":
+		bad = "(*bufio.Writer).Flush"
+	}
+	if bad != "" {
+		w.pass.Reportf(call.Pos(), "%s called while holding a mutex (lock depth %d); snapshot under the lock, do I/O after unlocking", bad, depth)
+	}
+}
+
+// isMethod reports whether fn has a receiver (methods on net.Conn and
+// friends are connection I/O; package-level string helpers like
+// net.JoinHostPort are not).
+func isMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}
+
+var osIOFuncs = map[string]bool{
+	"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+	"ReadFile": true, "WriteFile": true, "ReadDir": true, "MkdirTemp": true,
+	"Remove": true, "RemoveAll": true, "Rename": true, "Link": true, "Symlink": true,
+	"Mkdir": true, "MkdirAll": true, "Stat": true, "Lstat": true,
+	"Truncate": true, "Chmod": true, "Chown": true, "Chtimes": true,
+}
+
+var ioFuncs = map[string]bool{
+	"Copy": true, "CopyN": true, "CopyBuffer": true,
+	"ReadAll": true, "ReadFull": true, "WriteString": true,
+}
+
+type lockOpKind int
+
+const (
+	lockNone lockOpKind = iota
+	lockAcquire
+	lockRelease
+)
+
+// lockOp classifies a call statement as a mutex acquire/release.
+func (w *lockWalker) lockOp(call *ast.CallExpr) lockOpKind {
+	fn := w.pass.CalleeFunc(call)
+	if fn == nil {
+		return lockNone
+	}
+	if !analysis.MethodOn(fn, "sync", "Mutex") && !analysis.MethodOn(fn, "sync", "RWMutex") {
+		return lockNone
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return lockAcquire
+	case "Unlock", "RUnlock":
+		return lockRelease
+	}
+	return lockNone
+}

@@ -1,0 +1,15 @@
+// Package api is a wiretags fixture for structs outside internal/wire:
+// only types carrying the //dualsim:wire annotation are checked.
+package api
+
+// Stats opts in via the annotation, so its untagged field is reported.
+//
+//dualsim:wire
+type Stats struct {
+	Calls int // want `wire struct Stats: field Calls has no json tag`
+}
+
+// Internal has the same shape but no annotation: out of scope, clean.
+type Internal struct {
+	Calls int
+}

@@ -1,0 +1,3 @@
+module dualsim
+
+go 1.24

@@ -1,0 +1,57 @@
+// Package hotpath is a hotalloc fixture: only functions annotated
+// //dualsim:hotpath are checked, and each allocation class is reported.
+package hotpath
+
+import "fmt"
+
+func sink(vs ...any) { _ = vs }
+
+// concat grows a string inside a loop: one hidden allocation per turn.
+//
+//dualsim:hotpath
+func concat(rows []int) string {
+	out := ""
+	for range rows {
+		out += "x" // want `concatenates strings inside a loop`
+	}
+	return out
+}
+
+// format calls into fmt, which allocates for its interface arguments
+// and its output buffer.
+//
+//dualsim:hotpath
+func format(n int) int {
+	fmt.Print(n) // want `calls fmt\.Print`
+	return n
+}
+
+// literals allocates composite literals per call.
+//
+//dualsim:hotpath
+func literals(k string) int {
+	m := map[string]int{k: 1} // want `allocates a map literal`
+	s := []int{1, 2, 3}       // want `allocates a slice literal`
+	return m[k] + s[0]
+}
+
+// boxes passes a scalar to an interface parameter: the int escapes to
+// the heap as an eface.
+//
+//dualsim:hotpath
+func boxes(n int) {
+	sink(n) // want `boxes a int into an interface`
+}
+
+// passthrough forwards an already-boxed variadic slice: no new boxing,
+// clean.
+//
+//dualsim:hotpath
+func passthrough(vs ...any) {
+	sink(vs...)
+}
+
+// plain is unannotated and may allocate freely: clean.
+func plain(n int) string {
+	return fmt.Sprintf("%d", n)
+}

@@ -1,0 +1,44 @@
+// Package engine is a ctxflow fixture: every violation line carries a
+// `// want` regex the test harness matches against the analyzer output.
+package engine
+
+import "context"
+
+// stored is the anti-pattern ctxflow's third rule exists for: a context
+// smuggled through package state instead of threaded as a parameter.
+var stored = context.TODO() // want `call to context\.TODO`
+
+func eval(ctx context.Context, q string) error {
+	_ = ctx
+	_ = q
+	return nil
+}
+
+// Evaluate conjures its own context instead of accepting the caller's.
+func Evaluate(q string) error {
+	return eval(context.Background(), q) // want `call to context\.Background outside main or tests`
+}
+
+// Solve passes a package-stored context: the same contract violation
+// even though it never calls context.Background itself.
+func Solve(q string) error {
+	return eval(stored, q) // want `exported function Solve passes a context from outside its own scope`
+}
+
+// Misordered accepts a context, but not as the first parameter.
+func Misordered(q string, ctx context.Context) error { // want `exported function Misordered takes context\.Context at parameter 1; context must be the first parameter`
+	return eval(ctx, q)
+}
+
+// Good threads the caller's context and produces no diagnostics.
+func Good(ctx context.Context, q string) error {
+	return eval(ctx, q)
+}
+
+// GoodLocal derives a context from its own scope, which is fine even
+// without a context.Context first parameter rule applying.
+func GoodLocal(parent context.Context, q string) error {
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+	return eval(ctx, q)
+}

@@ -1,0 +1,40 @@
+// Package other holds would-be violations of every analyzer in a
+// package OUTSIDE every analyzer's scope: the suite must stay silent
+// here, proving the import-path and annotation gating.
+package other
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+)
+
+var mu sync.Mutex
+
+// Background is fine here: internal/other is not an evaluation package.
+func Background() context.Context {
+	return context.Background()
+}
+
+// LogUnderLock is fine here: nolockio only patrols stats/server/cluster/metrics.
+func LogUnderLock() {
+	mu.Lock()
+	fmt.Println("outside scope")
+	mu.Unlock()
+}
+
+// DropClose is fine here: errsync only patrols internal/persist and cmd/dualsimd.
+func DropClose(f *os.File) {
+	f.Close()
+}
+
+// Allocy is unannotated, so hotalloc ignores it everywhere.
+func Allocy(n int) string {
+	return fmt.Sprintf("%d", n)
+}
+
+// Untagged is unannotated and outside internal/wire: wiretags ignores it.
+type Untagged struct {
+	Rows int
+}

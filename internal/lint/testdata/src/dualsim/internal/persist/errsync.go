@@ -1,0 +1,36 @@
+// Package persist is an errsync fixture: dropped durability errors
+// (Sync/Close/Write/Flock results) are reported; `_ =` is the explicit,
+// greppable way to discard one on purpose.
+package persist
+
+import (
+	"os"
+	"syscall"
+)
+
+func unchecked(f *os.File, b []byte) {
+	f.Sync()   // want `discards the error from \(File\)\.Sync`
+	f.Write(b) // want `discards the error from \(File\)\.Write`
+	f.Close()  // want `discards the error from \(File\)\.Close`
+}
+
+func deferred(f *os.File) {
+	defer f.Close() // want `defers and discards the error from \(File\)\.Close`
+}
+
+func flocked(f *os.File) {
+	syscall.Flock(int(f.Fd()), syscall.LOCK_UN) // want `discards the error from syscall\.Flock`
+}
+
+// acknowledged discards explicitly: accepted, clean.
+func acknowledged(f *os.File) {
+	_ = f.Close()
+}
+
+// checked surfaces both errors: clean.
+func checked(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,55 @@
+// Package stats is a nolockio fixture: I/O, logging and channel sends
+// inside mutex-held regions are reported; the snapshot-then-act shape
+// is the approved alternative and stays clean.
+package stats
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+type store struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	count int
+	done  chan struct{}
+}
+
+func (s *store) logUnderLock() {
+	s.mu.Lock()
+	fmt.Println("stats", s.count) // want `fmt\.Println called while holding a mutex`
+	s.mu.Unlock()
+}
+
+func (s *store) deferKeepsRegionOpen() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.done <- struct{}{} // want `channel send while holding a mutex`
+}
+
+func (s *store) fileIOUnderRLock() error {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	_, err := os.ReadFile("stats.json") // want `os\.ReadFile called while holding a mutex`
+	return err
+}
+
+// snapshotThenAct is the approved shape: copy state under the lock,
+// release, then do the slow work. No diagnostics.
+func (s *store) snapshotThenAct() {
+	s.mu.Lock()
+	n := s.count
+	s.mu.Unlock()
+	fmt.Println(n)
+	s.done <- struct{}{}
+}
+
+// spawnedGoroutineIsItsOwnRegion: a go statement's body runs after the
+// critical section from the scheduler's point of view; nolockio does
+// not attribute its calls to the outer lock region.
+func (s *store) spawnedGoroutineIsItsOwnRegion() {
+	s.mu.Lock()
+	go func() { fmt.Println("async") }()
+	s.mu.Unlock()
+}

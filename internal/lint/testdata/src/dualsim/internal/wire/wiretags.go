@@ -1,0 +1,22 @@
+// Package wire is a wiretags fixture: every struct here is in scope
+// unconditionally because the package path is internal/wire.
+package wire
+
+// Envelope exercises each tag defect wiretags reports.
+type Envelope struct {
+	Epoch uint64 `json:"epoch"` // explicit lowerCamel: clean
+	Rows  int    `json:"Rows"`  // want `wire struct Envelope: field Rows json tag "Rows" is not lowerCamel`
+	Query string // want `wire struct Envelope: field Query has no json tag`
+	Snake string `json:"snake_case"` // want `wire struct Envelope: field Snake json tag "snake_case" is not lowerCamel`
+	Skip  string `json:"-"`          // explicit omission: clean
+
+	unexported string // unexported fields never travel: clean
+}
+
+// Clean is a fully tagged struct and produces no diagnostics.
+type Clean struct {
+	TraceID string `json:"traceID"`
+	Elapsed int64  `json:"elapsedNanos,omitempty"`
+}
+
+func silence(e Envelope, c Clean) (Envelope, Clean) { _ = e.unexported; return e, c }

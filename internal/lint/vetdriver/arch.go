@@ -1,0 +1,6 @@
+package vetdriver
+
+import "runtime"
+
+// defaultGOARCH sizes type-checking for the host when GOARCH is unset.
+const defaultGOARCH = runtime.GOARCH

@@ -1,0 +1,315 @@
+// Package vetdriver runs the dualsimvet analyzer suite, speaking the
+// `go vet -vettool` unitchecker protocol with only the standard
+// library (the build environment has no module proxy, so
+// golang.org/x/tools/go/analysis/unitchecker is reimplemented here).
+//
+// The protocol, as implemented by cmd/go/internal/work.(*Builder).vet:
+//
+//  1. `tool -flags` — print a JSON description of the tool's flags so
+//     `go vet` can validate its command line;
+//  2. `tool -V=full` — print "<exe> version devel ... buildID=<hash>"
+//     so `go vet` can fingerprint the tool for its action cache;
+//  3. `tool <flags> <objdir>/vet.cfg` — analyze one package described
+//     by a JSON config: absolute Go file paths plus gc export data for
+//     every dependency. Diagnostics go to stderr, exit status 2 marks
+//     findings, and an (empty — the suite is factless) .vetx output
+//     file is written for the cache.
+//
+// Standalone invocation (`dualsimvet ./...`) re-executes `go vet
+// -vettool=<self>` so package loading, caching and test-variant
+// handling are the go command's own.
+package vetdriver
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+
+	"dualsim/internal/lint/analysis"
+)
+
+// vetConfig mirrors cmd/go/internal/work.vetConfig — the JSON the go
+// command hands a vet tool for each package.
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+	GoVersion     string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the dualsimvet entry point; it returns the process exit code.
+func Main(progName string, args []string, suite []*analysis.Analyzer) int {
+	fs := flag.NewFlagSet(progName, flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [-analyzer[=false] ...] <packages|vet.cfg>\n\nAnalyzers:\n", progName)
+		for _, a := range suite {
+			fmt.Fprintf(os.Stderr, "  -%s\n        %s\n", a.Name, a.Doc)
+		}
+	}
+	versionFlag := fs.String("V", "", "print version and exit (-V=full, used by the go command)")
+	printFlags := fs.Bool("flags", false, "print analyzer flags in JSON (used by the go command)")
+	selected := make(map[string]*bool, len(suite))
+	for _, a := range suite {
+		doc, _, _ := strings.Cut(a.Doc, "\n")
+		selected[a.Name] = fs.Bool(a.Name, false, doc)
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *versionFlag != "" {
+		return printVersion(progName, *versionFlag)
+	}
+	if *printFlags {
+		return printFlagDefs(suite)
+	}
+
+	// Analyzer selection follows vet convention: naming any analyzer
+	// runs only the named ones; -name=false subtracts from the full
+	// suite; nothing named runs everything.
+	explicitTrue := false
+	fs.Visit(func(f *flag.Flag) {
+		if _, ok := selected[f.Name]; ok && f.Value.String() == "true" {
+			explicitTrue = true
+		}
+	})
+	explicitly := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) {
+		if _, ok := selected[f.Name]; ok {
+			explicitly[f.Name] = true
+		}
+	})
+	var enabled []*analysis.Analyzer
+	var reexecFlags []string
+	for _, a := range suite {
+		on := true
+		if explicitTrue {
+			on = *selected[a.Name]
+		} else if explicitly[a.Name] {
+			on = *selected[a.Name] // -name=false
+		}
+		if on {
+			enabled = append(enabled, a)
+		}
+		if explicitly[a.Name] {
+			reexecFlags = append(reexecFlags, fmt.Sprintf("-%s=%v", a.Name, *selected[a.Name]))
+		}
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return checkUnit(rest[0], enabled)
+	}
+	if len(rest) == 0 {
+		fs.Usage()
+		return 2
+	}
+	return standalone(reexecFlags, rest)
+}
+
+// printVersion implements the -V=full handshake: the go command
+// requires "<f0> version <f2>..." where, for "devel" tools, the last
+// field carries a content hash it folds into its action cache key.
+func printVersion(progName, mode string) int {
+	if mode != "full" {
+		fmt.Fprintf(os.Stderr, "%s: unsupported -V mode %q\n", progName, mode)
+		return 2
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		exe = progName
+	}
+	h := sha256.New()
+	if f, err := os.Open(exe); err == nil {
+		_, _ = io.Copy(h, f)
+		_ = f.Close()
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", exe, h.Sum(nil))
+	return 0
+}
+
+// printFlagDefs implements `tool -flags`: the JSON flag inventory the
+// go command uses to validate `go vet` command lines.
+func printFlagDefs(suite []*analysis.Analyzer) int {
+	type flagDef struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	defs := make([]flagDef, 0, len(suite))
+	for _, a := range suite {
+		doc, _, _ := strings.Cut(a.Doc, "\n")
+		defs = append(defs, flagDef{Name: a.Name, Bool: true, Usage: doc})
+	}
+	out, err := json.Marshal(defs)
+	if err != nil {
+		return 1
+	}
+	os.Stdout.Write(append(out, '\n'))
+	return 0
+}
+
+// standalone re-executes the suite through `go vet` so the go command
+// does package loading and caching; diagnostics stream through.
+func standalone(analyzerFlags, patterns []string) int {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dualsimvet: cannot locate own executable: %v\n", err)
+		return 1
+	}
+	args := append([]string{"vet", "-vettool=" + self}, analyzerFlags...)
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "dualsimvet: go vet: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// checkUnit analyzes the single package described by cfgPath.
+func checkUnit(cfgPath string, enabled []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dualsimvet: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "dualsimvet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			// The suite computes no cross-package facts; an empty
+			// output still lets the go command cache this run.
+			_ = os.WriteFile(cfg.VetxOutput, nil, 0o666)
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency-only visit: nothing to compute, nothing to report.
+		writeVetx()
+		return 0
+	}
+
+	diags, err := analyzePackage(&cfg, enabled)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "dualsimvet: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Offset < b.Offset
+	})
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", d.Pos, d.Analyzer, d.Message)
+	}
+	writeVetx()
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// analyzePackage parses and type-checks the unit from its vet config,
+// importing dependencies from the gc export data the go command
+// supplied, then runs every enabled analyzer.
+func analyzePackage(cfg *vetConfig, enabled []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	tconf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Sizes:    types.SizesFor("gc", buildArch()),
+	}
+	if strings.HasPrefix(cfg.GoVersion, "go") {
+		tconf.GoVersion = cfg.GoVersion
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+
+	var diags []analysis.Diagnostic
+	sink := func(d analysis.Diagnostic) { diags = append(diags, d) }
+	for _, a := range enabled {
+		pass := analysis.NewPass(a, fset, files, pkg, info, sink)
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %v", a.Name, err)
+		}
+	}
+	return diags, nil
+}
+
+func buildArch() string {
+	if v := os.Getenv("GOARCH"); v != "" {
+		return v
+	}
+	return defaultGOARCH
+}

@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/ast"
+	"reflect"
+	"strconv"
+	"strings"
+
+	"dualsim/internal/lint/analysis"
+)
+
+// WireAnnotation marks a struct outside internal/wire as wire-visible:
+// its JSON encoding is protocol surface and must carry stable
+// lowerCamel tags. Structs declared inside internal/wire are checked
+// unconditionally.
+const WireAnnotation = "//dualsim:wire"
+
+// WiretagsAnalyzer turns the stats_json_test.go runtime guard into a
+// compile gate: every exported, non-embedded field of a wire struct
+// must have an explicit `json:"..."` tag whose name is lowerCamel (or
+// "-"). Untagged exported fields would marshal under their Go name —
+// an accidental, UpperCamel wire format change.
+var WiretagsAnalyzer = &analysis.Analyzer{
+	Name: "wiretags",
+	Doc:  "wire-visible structs (internal/wire and //dualsim:wire) need explicit lowerCamel json tags on exported fields",
+	Run:  runWiretags,
+}
+
+func runWiretags(pass *analysis.Pass) error {
+	wirePkg := analysis.HasPrefixPath(pass.Path(), Module+"/internal/wire")
+	for _, file := range pass.SourceFiles() {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			declAnnotated := hasAnnotation(gd.Doc, WireAnnotation)
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				if wirePkg || declAnnotated || hasAnnotation(ts.Doc, WireAnnotation) || hasAnnotation(ts.Comment, WireAnnotation) {
+					checkWireStruct(pass, ts.Name.Name, st)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func checkWireStruct(pass *analysis.Pass, name string, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		if len(field.Names) == 0 {
+			continue // embedded field: inlined by encoding/json by design
+		}
+		for _, fname := range field.Names {
+			if !fname.IsExported() {
+				continue // unexported fields never marshal
+			}
+			if field.Tag == nil {
+				pass.Reportf(fname.Pos(), "wire struct %s: field %s has no json tag; wire fields need an explicit lowerCamel tag", name, fname.Name)
+				continue
+			}
+			raw, err := strconv.Unquote(field.Tag.Value)
+			if err != nil {
+				pass.Reportf(field.Tag.Pos(), "wire struct %s: field %s has an unparseable struct tag", name, fname.Name)
+				continue
+			}
+			jsonTag, ok := reflect.StructTag(raw).Lookup("json")
+			if !ok {
+				pass.Reportf(fname.Pos(), "wire struct %s: field %s has no json tag; wire fields need an explicit lowerCamel tag", name, fname.Name)
+				continue
+			}
+			tagName, _, _ := strings.Cut(jsonTag, ",")
+			if !wireTagName(tagName) {
+				pass.Reportf(field.Tag.Pos(), "wire struct %s: field %s json tag %q is not lowerCamel", name, fname.Name, tagName)
+			}
+		}
+	}
+}
+
+// wireTagName reports whether s is an acceptable wire field name:
+// "-" (excluded) or lowerCamel ASCII letters and digits.
+func wireTagName(s string) bool {
+	if s == "-" {
+		return true
+	}
+	if s == "" {
+		return false
+	}
+	if s[0] < 'a' || s[0] > 'z' {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// hasAnnotation reports whether the comment group contains the exact
+// directive line.
+func hasAnnotation(cg *ast.CommentGroup, directive string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.TrimSpace(c.Text) == directive {
+			return true
+		}
+	}
+	return false
+}

@@ -83,6 +83,8 @@ var DefLatencyBuckets = []float64{
 }
 
 // Observe records one value.
+//
+//dualsim:hotpath
 func (h *Histogram) Observe(v float64) {
 	// Linear scan: bucket counts are small (≤ ~20) and the branch
 	// predicts well; a binary search buys nothing at this size.

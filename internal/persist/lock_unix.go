@@ -3,6 +3,7 @@
 package persist
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -21,8 +22,7 @@ func lockDir(dir string) (*os.File, error) {
 		return nil, fmt.Errorf("persist: %w", err)
 	}
 	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("persist: data dir %s is locked by another live process: %w", dir, err)
+		return nil, errors.Join(fmt.Errorf("persist: data dir %s is locked by another live process: %w", dir, err), f.Close())
 	}
 	return f, nil
 }

@@ -2,6 +2,7 @@ package persist
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
@@ -93,7 +94,7 @@ func Init(dir string, st *storage.Store, epoch uint64) (*Log, error) {
 	}
 	fail := func(err error) (*Log, error) {
 		if lock != nil {
-			lock.Close()
+			err = errors.Join(err, lock.Close())
 		}
 		return nil, err
 	}
@@ -128,7 +129,7 @@ func Open(dir string) (*Log, *Recovered, error) {
 	}
 	fail := func(err error) (*Log, *Recovered, error) {
 		if lock != nil {
-			lock.Close()
+			err = errors.Join(err, lock.Close())
 		}
 		return nil, nil, err
 	}
@@ -347,7 +348,7 @@ func (l *Log) Close() error {
 	err := l.wal.Close()
 	l.wal = nil
 	if l.lock != nil {
-		l.lock.Close() // closing drops the flock
+		err = errors.Join(err, l.lock.Close()) // closing drops the flock
 		l.lock = nil
 	}
 	return err

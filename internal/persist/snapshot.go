@@ -162,17 +162,14 @@ func WriteSnapshot(dir string, st *storage.Store, epoch uint64) (int64, error) {
 	defer os.Remove(tmp) // no-op after the rename
 
 	if err := EncodeSnapshotTo(f, st, epoch); err != nil {
-		f.Close()
-		return 0, err
+		return 0, errors.Join(err, f.Close())
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
-		return 0, fmt.Errorf("persist: snapshot fsync: %w", err)
+		return 0, errors.Join(fmt.Errorf("persist: snapshot fsync: %w", err), f.Close())
 	}
 	info, err := f.Stat()
 	if err != nil {
-		f.Close()
-		return 0, fmt.Errorf("persist: %w", err)
+		return 0, errors.Join(fmt.Errorf("persist: %w", err), f.Close())
 	}
 	if err := f.Close(); err != nil {
 		return 0, fmt.Errorf("persist: %w", err)
@@ -233,9 +230,11 @@ func syncDir(dir string) error {
 	if err != nil {
 		return fmt.Errorf("persist: %w", err)
 	}
-	defer d.Close()
 	if err := d.Sync(); err != nil {
-		return fmt.Errorf("persist: dir fsync: %w", err)
+		return errors.Join(fmt.Errorf("persist: dir fsync: %w", err), d.Close())
+	}
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("persist: %w", err)
 	}
 	return nil
 }

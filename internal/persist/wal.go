@@ -265,12 +265,10 @@ func createWAL(path string) (*os.File, error) {
 	copy(hdr[:], walMagic)
 	binary.LittleEndian.PutUint32(hdr[len(walMagic):], Version)
 	if _, err := f.Write(hdr[:]); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("persist: WAL header: %w", err)
+		return nil, errors.Join(fmt.Errorf("persist: WAL header: %w", err), f.Close())
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("persist: WAL fsync: %w", err)
+		return nil, errors.Join(fmt.Errorf("persist: WAL fsync: %w", err), f.Close())
 	}
 	return f, nil
 }
@@ -281,7 +279,7 @@ func openWALForAppend(path string, goodLen int64) (*os.File, int64, error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if os.IsNotExist(err) || goodLen < walHeaderLen {
 		if f != nil {
-			f.Close()
+			_ = f.Close() // recreated from scratch below; nothing durable yet
 		}
 		nf, cerr := createWAL(path)
 		return nf, walHeaderLen, cerr
@@ -290,12 +288,10 @@ func openWALForAppend(path string, goodLen int64) (*os.File, int64, error) {
 		return nil, 0, fmt.Errorf("persist: %w", err)
 	}
 	if err := f.Truncate(goodLen); err != nil {
-		f.Close()
-		return nil, 0, fmt.Errorf("persist: truncating torn WAL tail: %w", err)
+		return nil, 0, errors.Join(fmt.Errorf("persist: truncating torn WAL tail: %w", err), f.Close())
 	}
 	if _, err := f.Seek(0, io.SeekEnd); err != nil {
-		f.Close()
-		return nil, 0, fmt.Errorf("persist: %w", err)
+		return nil, 0, errors.Join(fmt.Errorf("persist: %w", err), f.Close())
 	}
 	return f, goodLen, nil
 }

@@ -1,6 +1,7 @@
 package soi
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 )
@@ -28,10 +29,10 @@ type OrderStats struct {
 // plus the built-in heuristic and reports the observed round counts. The
 // solution itself is identical in every case (the largest solution is
 // unique); only the effort differs.
-func (s *System) SearchOrders(trials int, seed int64, opts Options) OrderStats {
+func (s *System) SearchOrders(ctx context.Context, trials int, seed int64, opts Options) OrderStats {
 	stats := OrderStats{Trials: trials}
 
-	heur := s.Solve(opts)
+	heur := s.Solve(ctx, opts)
 	stats.HeuristicRounds = heur.Stats.Rounds
 	stats.BestRounds = heur.Stats.Rounds
 	stats.WorstRounds = heur.Stats.Rounds
@@ -46,7 +47,7 @@ func (s *System) SearchOrders(trials int, seed int64, opts Options) OrderStats {
 		r.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
 		o := opts
 		o.Permutation = append([]int(nil), perm...)
-		sol := s.Solve(o)
+		sol := s.Solve(ctx, o)
 		rounds := sol.Stats.Rounds
 		sol.Release()
 		if rounds < stats.BestRounds {

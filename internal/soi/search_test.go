@@ -1,6 +1,7 @@
 package soi
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -27,7 +28,7 @@ func chainSystem(n int) *System {
 
 func TestSearchOrdersFindsSpread(t *testing.T) {
 	s := chainSystem(24)
-	stats := s.SearchOrders(30, 7, Options{})
+	stats := s.SearchOrders(context.Background(), 30, 7, Options{})
 	if stats.Trials != 30 {
 		t.Fatalf("trials = %d", stats.Trials)
 	}
@@ -62,14 +63,14 @@ func TestPropertyPermutationInvariantSolution(t *testing.T) {
 		s.AddEdge(b, c, mats, "p")
 		s.AddEdge(c, a, mats, "p")
 
-		want := s.Solve(Options{})
+		want := s.Solve(context.Background(), Options{})
 		perm := make([]int, s.NumIneqs())
 		for i := range perm {
 			perm[i] = i
 		}
 		for trial := 0; trial < 5; trial++ {
 			r.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
-			sol := s.Solve(Options{Permutation: append([]int(nil), perm...)})
+			sol := s.Solve(context.Background(), Options{Permutation: append([]int(nil), perm...)})
 			for v := range want.Chi {
 				if !sol.Chi[v].Equal(want.Chi[v]) {
 					return false
@@ -91,8 +92,8 @@ func TestSearchOrdersRespectsBounds(t *testing.T) {
 	v := s.AddVar("v", bitvec.FromBits(n, 0), true)
 	w := s.AddVar("w", nil, true)
 	s.AddEdge(v, w, mats, "p")
-	stats := s.SearchOrders(10, 3, Options{})
-	sol := s.Solve(Options{Permutation: stats.BestPermutation})
+	stats := s.SearchOrders(context.Background(), 10, 3, Options{})
+	sol := s.Solve(context.Background(), Options{Permutation: stats.BestPermutation})
 	if !sol.Chi[v].Equal(bitvec.FromBits(n, 0)) || !sol.Chi[w].Equal(bitvec.FromBits(n, 1)) {
 		t.Fatalf("solution drifted: v=%v w=%v", sol.Chi[v], sol.Chi[w])
 	}

@@ -295,11 +295,12 @@ func (s *System) Finalize() {
 	})
 }
 
-// Solve computes the largest solution. The system itself is not modified
-// after its (lazily triggered) finalization and may be solved repeatedly,
-// e.g. with different options.
-func (s *System) Solve(opts Options) *Solution {
-	sol, _ := s.SolveCtx(context.Background(), opts)
+// Solve computes the largest solution, ignoring cancellation errors
+// (it returns nil if ctx expires mid-fixpoint). The system itself is
+// not modified after its (lazily triggered) finalization and may be
+// solved repeatedly, e.g. with different options.
+func (s *System) Solve(ctx context.Context, opts Options) *Solution {
+	sol, _ := s.SolveCtx(ctx, opts)
 	return sol
 }
 

@@ -41,7 +41,7 @@ func fig3System() (*System, map[string]Var) {
 // largest solution of the Fig. 3 SOI.
 func TestFig3LargestSolution(t *testing.T) {
 	s, vars := fig3System()
-	sol := s.Solve(Options{})
+	sol := s.Solve(context.Background(), Options{})
 
 	want := map[string][]int{
 		"place":     {0},
@@ -69,11 +69,11 @@ func TestFig3LargestSolution(t *testing.T) {
 // the same largest solution.
 func TestAllOptionsSameFixpoint(t *testing.T) {
 	ref, _ := fig3System()
-	want := ref.Solve(Options{})
+	want := ref.Solve(context.Background(), Options{})
 	for _, strat := range []bitmat.Strategy{bitmat.Auto, bitmat.RowWise, bitmat.ColWise} {
 		for _, ord := range []Order{SparsestFirst, DeclarationOrder} {
 			s, _ := fig3System()
-			sol := s.Solve(Options{Strategy: strat, Order: ord})
+			sol := s.Solve(context.Background(), Options{Strategy: strat, Order: ord})
 			for v := range want.Chi {
 				if !sol.Chi[v].Equal(want.Chi[v]) {
 					t.Fatalf("strategy %v order %v: χ(x%d) differs", strat, ord, v)
@@ -91,7 +91,7 @@ func TestCopyInequality(t *testing.T) {
 	y := s.AddVar("y", bitvec.FromBits(n, 0, 1), true)
 	x := s.AddVar("x", nil, false)
 	s.AddCopy(x, y)
-	sol := s.Solve(Options{})
+	sol := s.Solve(context.Background(), Options{})
 	if !sol.Chi[x].Equal(bitvec.FromBits(n, 0, 1)) {
 		t.Fatalf("χ(x) = %v", sol.Chi[x])
 	}
@@ -111,7 +111,7 @@ func TestSelfLoopEdgeConverges(t *testing.T) {
 	s := NewSystem(n)
 	v := s.AddVar("v", nil, true)
 	s.AddEdge(v, v, chain, "next")
-	sol := s.Solve(Options{})
+	sol := s.Solve(context.Background(), Options{})
 	if !sol.Chi[v].IsEmpty() {
 		t.Fatalf("χ(v) = %v, want empty (chain has no cycle)", sol.Chi[v])
 	}
@@ -130,7 +130,7 @@ func TestSelfLoopCycleKept(t *testing.T) {
 	s := NewSystem(n)
 	v := s.AddVar("v", nil, true)
 	s.AddEdge(v, v, cyc, "next")
-	sol := s.Solve(Options{})
+	sol := s.Solve(context.Background(), Options{})
 	if !sol.Chi[v].Equal(bitvec.FromBits(n, 0, 1)) {
 		t.Fatalf("χ(v) = %v, want {0, 1}", sol.Chi[v])
 	}
@@ -141,7 +141,7 @@ func TestSelfLoopCycleKept(t *testing.T) {
 func TestShortCircuitOnInitialEmpty(t *testing.T) {
 	s := NewSystem(3)
 	s.AddVar("v", bitvec.New(3), true)
-	sol := s.Solve(Options{ShortCircuit: true})
+	sol := s.Solve(context.Background(), Options{ShortCircuit: true})
 	if !sol.Stats.ShortCircuited {
 		t.Fatal("expected short circuit")
 	}
@@ -156,7 +156,7 @@ func TestShortCircuitIgnoresOptionalVars(t *testing.T) {
 	s := NewSystem(3)
 	s.AddVar("opt", bitvec.New(3), false)
 	s.AddVar("mand", nil, true)
-	sol := s.Solve(Options{ShortCircuit: true})
+	sol := s.Solve(context.Background(), Options{ShortCircuit: true})
 	if sol.Stats.ShortCircuited {
 		t.Fatal("optional emptiness must not short-circuit")
 	}
@@ -168,7 +168,7 @@ func TestShortCircuitIgnoresOptionalVars(t *testing.T) {
 // TestVerifyDetectsViolations: Verify flags a manually broken solution.
 func TestVerifyDetectsViolations(t *testing.T) {
 	s, vars := fig3System()
-	sol := s.Solve(Options{})
+	sol := s.Solve(context.Background(), Options{})
 	// Break it: claim node 2 (coworker) also simulates place.
 	sol.Chi[vars["place"]].Set(2)
 	bad := s.Verify(sol)
@@ -183,7 +183,7 @@ func TestVerifyDetectsViolations(t *testing.T) {
 	y := s2.AddVar("y", bitvec.FromBits(3, 0), true)
 	x := s2.AddVar("x", nil, false)
 	s2.AddCopy(x, y)
-	sol2 := s2.Solve(Options{})
+	sol2 := s2.Solve(context.Background(), Options{})
 	sol2.Chi[x].Set(2)
 	if bad := s2.Verify(sol2); bad == nil || bad.Kind != Copy {
 		t.Fatalf("copy violation not detected: %v", bad)
@@ -213,8 +213,8 @@ func TestIneqString(t *testing.T) {
 // solution (the system is not consumed).
 func TestSolveIsRepeatable(t *testing.T) {
 	s, _ := fig3System()
-	a := s.Solve(Options{})
-	b := s.Solve(Options{Strategy: bitmat.ColWise})
+	a := s.Solve(context.Background(), Options{})
+	b := s.Solve(context.Background(), Options{Strategy: bitmat.ColWise})
 	for v := range a.Chi {
 		if !a.Chi[v].Equal(b.Chi[v]) {
 			t.Fatalf("second solve differs at x%d", v)
@@ -245,7 +245,7 @@ func TestConstrainInit(t *testing.T) {
 	v := s.AddVar("v", nil, true)
 	s.ConstrainInit(v, bitvec.FromBits(4, 0, 1, 2))
 	s.ConstrainInit(v, bitvec.FromBits(4, 1, 2, 3))
-	sol := s.Solve(Options{})
+	sol := s.Solve(context.Background(), Options{})
 	if !sol.Chi[v].Equal(bitvec.FromBits(4, 1, 2)) {
 		t.Fatalf("χ(v) = %v", sol.Chi[v])
 	}
@@ -291,10 +291,10 @@ func TestRestrictValidation(t *testing.T) {
 // run-to-run.
 func TestDeterministicOrdering(t *testing.T) {
 	ref, _ := fig3System()
-	want := ref.Solve(Options{})
+	want := ref.Solve(context.Background(), Options{})
 	for i := 0; i < 20; i++ {
 		s, _ := fig3System()
-		sol := s.Solve(Options{})
+		sol := s.Solve(context.Background(), Options{})
 		if sol.Stats != want.Stats {
 			t.Fatalf("solve %d effort drifted: %+v vs %+v", i, sol.Stats, want.Stats)
 		}
@@ -308,7 +308,7 @@ func TestSolutionRelease(t *testing.T) {
 	nilSol.Release() // must not panic
 
 	s, vars := fig3System()
-	sol := s.Solve(Options{})
+	sol := s.Solve(context.Background(), Options{})
 	if !sol.Chi[vars["movie"]].Equal(bitvec.FromBits(4, 3)) {
 		t.Fatalf("pre-release solution wrong: %v", sol.Chi[vars["movie"]])
 	}
@@ -320,7 +320,7 @@ func TestSolutionRelease(t *testing.T) {
 
 	// The next solve reuses the pooled workspace and computes the same
 	// fixpoint.
-	again := s.Solve(Options{})
+	again := s.Solve(context.Background(), Options{})
 	if !again.Chi[vars["movie"]].Equal(bitvec.FromBits(4, 3)) {
 		t.Fatalf("post-release solution wrong: %v", again.Chi[vars["movie"]])
 	}
@@ -330,7 +330,7 @@ func TestSolutionRelease(t *testing.T) {
 		t.Skip("allocation counts are not meaningful under the race detector")
 	}
 	allocs := testing.AllocsPerRun(100, func() {
-		sol := s.Solve(Options{})
+		sol := s.Solve(context.Background(), Options{})
 		sol.Release()
 	})
 	// Steady state allocates only per-solve bookkeeping (the Solution

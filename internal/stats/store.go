@@ -38,6 +38,8 @@ type Observation struct {
 
 // Statement is the aggregate view of one fingerprint — the row shape of
 // GET /v1/debug/statements. JSON tags are wire-stable lowerCamel.
+//
+//dualsim:wire
 type Statement struct {
 	Fingerprint string `json:"fingerprint"`
 	// Query is the canonical normalized statement text (variables
@@ -87,6 +89,7 @@ type entry struct {
 	hist *metrics.Histogram
 }
 
+//dualsim:hotpath
 func (e *entry) touch(clock *atomic.Int64) { e.lastUsed.Store(clock.Add(1)) }
 
 // Store is the bounded per-statement aggregate map. The zero value is
@@ -154,6 +157,8 @@ func (s *Store) evictLocked() {
 
 // Record folds one execution into its statement aggregate. It is safe
 // for concurrent use and allocation-free once the statement exists.
+//
+//dualsim:hotpath
 func (s *Store) Record(fp Fingerprint, obs Observation) {
 	if s == nil || fp.Zero() {
 		return
@@ -193,6 +198,8 @@ func (s *Store) Record(fp Fingerprint, obs Observation) {
 
 // RecordShed counts an admission-shed request against its statement
 // (shed requests never execute, so they are not calls).
+//
+//dualsim:hotpath
 func (s *Store) RecordShed(fp Fingerprint) {
 	if s == nil || fp.Zero() {
 		return

@@ -8,6 +8,8 @@ import (
 // Entry is one captured slow query: enough to reconstruct what ran,
 // where the time went and against which snapshot, without grepping logs.
 // JSON tags are wire-stable (GET /v1/debug/slow).
+//
+//dualsim:wire
 type Entry struct {
 	// Time is the wall-clock completion time of the request.
 	Time time.Time `json:"time"`

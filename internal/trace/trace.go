@@ -28,6 +28,8 @@ import (
 
 // Span is one timed node of a trace tree. The JSON tags are wire-stable:
 // spans travel inside ExecStats ("trace") and the slow-query log.
+//
+//dualsim:wire
 type Span struct {
 	// TraceID is set on the root span of every subtree that crosses a
 	// process boundary, so stitched shard subtrees prove they belong to
@@ -103,6 +105,8 @@ func (t *Trace) Root() *Span {
 
 // Traceparent renders the W3C header value propagated to shards:
 // version 00, this trace's ID, the root span as parent, sampled flag.
+//
+//dualsim:hotpath
 func (t *Trace) Traceparent() string {
 	if t == nil {
 		return ""
@@ -151,6 +155,8 @@ func randHex(n int) string {
 // code calls them unconditionally and pays nothing when tracing is off.
 
 // StartChild opens a live child span clocked from now.
+//
+//dualsim:hotpath
 func (s *Span) StartChild(name string) *Span {
 	if s == nil {
 		return nil
@@ -165,6 +171,8 @@ func (s *Span) StartChild(name string) *Span {
 }
 
 // End stamps a live span's duration. Synthesized spans are unaffected.
+//
+//dualsim:hotpath
 func (s *Span) End() {
 	if s == nil || s.began.IsZero() {
 		return
@@ -177,6 +185,8 @@ func (s *Span) End() {
 // Record grafts a completed child span with an externally measured
 // duration — for measurements taken without a live span (parse/plan
 // times recorded at Prepare, per-operator times from the executor).
+//
+//dualsim:hotpath
 func (s *Span) Record(name string, d time.Duration) *Span {
 	if s == nil {
 		return nil
@@ -188,6 +198,8 @@ func (s *Span) Record(name string, d time.Duration) *Span {
 
 // Attach stitches an existing subtree (typically deserialized from a
 // shard response) under this span.
+//
+//dualsim:hotpath
 func (s *Span) Attach(child *Span) {
 	if s == nil || child == nil {
 		return
@@ -195,6 +207,7 @@ func (s *Span) Attach(child *Span) {
 	s.attach(child)
 }
 
+//dualsim:hotpath
 func (s *Span) attach(child *Span) {
 	s.lock()
 	s.Children = append(s.Children, child)
@@ -202,6 +215,8 @@ func (s *Span) attach(child *Span) {
 }
 
 // SetAttr records a string attribute.
+//
+//dualsim:hotpath
 func (s *Span) SetAttr(k, v string) {
 	if s == nil {
 		return
@@ -215,6 +230,8 @@ func (s *Span) SetAttr(k, v string) {
 }
 
 // Add accumulates into a named counter.
+//
+//dualsim:hotpath
 func (s *Span) Add(name string, n int64) {
 	if s == nil {
 		return
@@ -229,6 +246,8 @@ func (s *Span) Add(name string, n int64) {
 
 // SetDuration overrides the span's duration (for spans whose cost was
 // measured elsewhere, e.g. an fsync latency reported by the WAL).
+//
+//dualsim:hotpath
 func (s *Span) SetDuration(d time.Duration) {
 	if s == nil {
 		return
@@ -238,12 +257,14 @@ func (s *Span) SetDuration(d time.Duration) {
 	s.unlock()
 }
 
+//dualsim:hotpath
 func (s *Span) lock() {
 	if s.tr != nil {
 		s.tr.mu.Lock()
 	}
 }
 
+//dualsim:hotpath
 func (s *Span) unlock() {
 	if s.tr != nil {
 		s.tr.mu.Unlock()
@@ -253,6 +274,8 @@ func (s *Span) unlock() {
 // Traceparent renders the W3C header value of the span's trace ("" on a
 // nil or deserialized span) — what the router injects on shard calls
 // made while a fan-out span is current.
+//
+//dualsim:hotpath
 func (s *Span) Traceparent() string {
 	if s == nil || s.tr == nil {
 		return ""
@@ -290,6 +313,8 @@ func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
 
 // SpanFromContext returns the context's current span, nil when tracing
 // is not enabled for this request.
+//
+//dualsim:hotpath
 func SpanFromContext(ctx context.Context) *Span {
 	sp, _ := ctx.Value(ctxKey{}).(*Span)
 	return sp

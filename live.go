@@ -38,6 +38,8 @@ type Delta struct {
 
 // ApplyStats reports one Apply or Compact. JSON tags are part of the
 // serving wire format (see ExecStats).
+//
+//dualsim:wire
 type ApplyStats struct {
 	// Epoch is the epoch of the newly published snapshot (or, for a
 	// no-op Apply of an empty Delta, the unchanged current epoch).
@@ -259,6 +261,8 @@ func (db *DB) Compact(ctx context.Context) (ApplyStats, error) {
 
 // CheckpointStats reports one Checkpoint. JSON tags are part of the
 // serving wire format (see ExecStats).
+//
+//dualsim:wire
 type CheckpointStats struct {
 	// Epoch is the checkpointed store epoch.
 	Epoch uint64 `json:"epoch"`
@@ -327,6 +331,8 @@ func (db *DB) WALTail(afterEpoch uint64) ([]persist.Record, uint64, error) {
 // PersistStats is the durable session's cumulative persistence
 // bookkeeping (zero value on a non-durable session). JSON tags follow
 // the serving wire format.
+//
+//dualsim:wire
 type PersistStats struct {
 	Durable             bool   `json:"durable"`
 	WALBytes            int64  `json:"walBytes"`

@@ -211,6 +211,8 @@ func attachOperatorSpans(sp *trace.Span, ops []OperatorStats) {
 // The JSON encoding (lowerCamel tags, durations in nanoseconds) is the
 // stable wire form served by dualsimd and archived by benchtables -json;
 // it does not follow Go field renames.
+//
+//dualsim:wire
 type StageStats struct {
 	// Name is the stage name ("fingerprint", "prune", "evaluate").
 	Name string `json:"name"`
@@ -230,6 +232,8 @@ type StageStats struct {
 // ExecStats reports one execution of a prepared query, stage by stage.
 //
 // JSON tags are part of the serving wire format (see StageStats).
+//
+//dualsim:wire
 type ExecStats struct {
 	// Stages holds per-stage timings and cardinalities in pipeline order.
 	Stages []StageStats `json:"stages,omitempty"`

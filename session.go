@@ -274,6 +274,8 @@ func (db *DB) stagesFor(snap *dbSnapshot) []Stage {
 
 // PrepareStats reports the one-time planning work of a Prepare call.
 // JSON tags are part of the serving wire format (see ExecStats).
+//
+//dualsim:wire
 type PrepareStats struct {
 	// PlanTime is the total planning duration: parsing (when Prepare was
 	// given source text), pattern extraction, SOI lowering with the
